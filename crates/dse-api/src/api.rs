@@ -1,0 +1,69 @@
+//! The engine-independent Parallel API surface.
+//!
+//! The paper's portability claim is that one parallel application runs
+//! unchanged on any platform that hosts the DSE libraries. We capture that
+//! as a trait: application bodies written against [`ParallelApi`] run on
+//! the deterministic simulated cluster ([`crate::DseCtx`]) *and* on the
+//! real-thread live engine (`dse-live`), byte-identical results either way.
+
+use dse_kernel::Distribution;
+use dse_msg::RegionId;
+use dse_platform::Work;
+
+/// The operations every DSE execution engine provides to applications.
+pub trait ParallelApi {
+    /// This process's rank in `0..nprocs`.
+    fn rank(&self) -> u32;
+    /// Number of parallel processes.
+    fn nprocs(&self) -> usize;
+    /// Account for `work` of computation (virtual time on the simulator,
+    /// a no-op on the live engine where the computation really ran).
+    fn compute(&mut self, work: Work);
+    /// Collectively allocate a zero-initialized global-memory region.
+    fn gm_alloc(&mut self, len: usize, dist: Distribution) -> RegionId;
+    /// Read bytes from global memory.
+    fn gm_read(&mut self, region: RegionId, offset: u64, len: usize) -> Vec<u8>;
+    /// Write bytes to global memory.
+    fn gm_write(&mut self, region: RegionId, offset: u64, data: &[u8]);
+    /// Atomic fetch-and-add on an aligned 8-byte cell.
+    fn gm_fetch_add(&mut self, region: RegionId, offset: u64, delta: i64) -> i64;
+    /// Synchronize all ranks (auto-sequenced; same order on every rank).
+    fn barrier(&mut self);
+    /// Acquire a cluster-wide lock.
+    fn lock(&mut self, id: u32);
+    /// Release a cluster-wide lock.
+    fn unlock(&mut self, id: u32);
+}
+
+impl ParallelApi for crate::DseCtx<'_> {
+    fn rank(&self) -> u32 {
+        crate::DseCtx::rank(self)
+    }
+    fn nprocs(&self) -> usize {
+        crate::DseCtx::nprocs(self)
+    }
+    fn compute(&mut self, work: Work) {
+        crate::DseCtx::compute(self, work)
+    }
+    fn gm_alloc(&mut self, len: usize, dist: Distribution) -> RegionId {
+        crate::DseCtx::gm_alloc(self, len, dist)
+    }
+    fn gm_read(&mut self, region: RegionId, offset: u64, len: usize) -> Vec<u8> {
+        crate::DseCtx::gm_read(self, region, offset, len)
+    }
+    fn gm_write(&mut self, region: RegionId, offset: u64, data: &[u8]) {
+        crate::DseCtx::gm_write(self, region, offset, data)
+    }
+    fn gm_fetch_add(&mut self, region: RegionId, offset: u64, delta: i64) -> i64 {
+        crate::DseCtx::gm_fetch_add(self, region, offset, delta)
+    }
+    fn barrier(&mut self) {
+        crate::DseCtx::barrier(self)
+    }
+    fn lock(&mut self, id: u32) {
+        crate::DseCtx::lock(self, id)
+    }
+    fn unlock(&mut self, id: u32) {
+        crate::DseCtx::unlock(self, id)
+    }
+}

@@ -1,0 +1,588 @@
+//! `DseCtx` — the parallel application programming interface.
+//!
+//! Every DSE process body receives a `DseCtx`. Its methods are the paper's
+//! Parallel API library: global-memory access (which transparently becomes
+//! the own-node fast path or request/response messages to home-node
+//! kernels), barriers and locks (coordinated by node 0), point-to-point
+//! user messages, and computation charging.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use dse_kernel::cache::{blocks_inside, CACHE_BLOCK};
+use dse_kernel::kernel::{barrier_enter, lock_acquire, lock_release};
+use dse_kernel::netpath::{charge_local, charge_recv, send_msg};
+use dse_kernel::{ClusterShared, Distribution, Party, SimMsg};
+use dse_msg::{GlobalPid, Message, NodeId, RegionId, ReqId, ReqIdGen};
+use dse_platform::Work;
+use dse_sim::{ProcCtx, SimDuration, SimTime};
+
+/// Barrier ids above this are reserved for the auto-sequenced
+/// [`DseCtx::barrier`]; named barriers must stay below.
+pub const AUTO_BARRIER_BASE: u32 = 0x4000_0000;
+
+/// A received user message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserMsg {
+    /// Sending process.
+    pub from: GlobalPid,
+    /// Application tag.
+    pub tag: u32,
+    /// Payload.
+    pub data: Vec<u8>,
+}
+
+/// The per-process API context handed to application bodies.
+pub struct DseCtx<'a> {
+    ctx: &'a mut ProcCtx<SimMsg>,
+    shared: Arc<ClusterShared>,
+    rank: u32,
+    pid: GlobalPid,
+    node: NodeId,
+    reqs: ReqIdGen,
+    barrier_seq: u32,
+    alloc_seq: usize,
+    /// Messages that arrived while awaiting something else (user data).
+    stash: VecDeque<(NodeId, Message)>,
+}
+
+impl<'a> DseCtx<'a> {
+    /// Wrap a simulation process context. Called by the program harness.
+    pub fn new(
+        ctx: &'a mut ProcCtx<SimMsg>,
+        shared: Arc<ClusterShared>,
+        rank: u32,
+        pid: GlobalPid,
+    ) -> DseCtx<'a> {
+        let node = pid.node();
+        DseCtx {
+            ctx,
+            shared,
+            rank,
+            pid,
+            node,
+            reqs: ReqIdGen::new(),
+            barrier_seq: 0,
+            alloc_seq: 0,
+            stash: VecDeque::new(),
+        }
+    }
+
+    /// This process's rank in `0..nprocs`.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Number of parallel processes in the program.
+    pub fn nprocs(&self) -> usize {
+        self.shared.nnodes()
+    }
+
+    /// This process's cluster-wide pid.
+    pub fn pid(&self) -> GlobalPid {
+        self.pid
+    }
+
+    /// The node (processor element) this process runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The pid of another rank (node == rank, local slot 1, in the standard
+    /// harness placement).
+    pub fn pid_of_rank(&self, rank: u32) -> GlobalPid {
+        GlobalPid::new(NodeId(rank as u16), 1)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// Shared cluster state (for tooling layers such as the SSI crate).
+    pub fn shared(&self) -> &Arc<ClusterShared> {
+        &self.shared
+    }
+
+    /// True if someone requested this process terminate (cooperative, like
+    /// a UNIX signal checked at safe points).
+    pub fn termination_requested(&self) -> bool {
+        self.shared.is_terminated(self.pid)
+    }
+
+    /// Charge `work` of computation to this node's CPU (FCFS with every
+    /// co-resident kernel and process on the same physical machine).
+    ///
+    /// The charge is sliced at the async-I/O preemption quantum: a SIGIO
+    /// for an arriving remote request interrupts application computation
+    /// almost immediately on a real UNIX, so long compute bursts must not
+    /// block the co-resident kernel's short service times in the model.
+    pub fn compute(&mut self, work: Work) {
+        const SLICE: SimDuration = SimDuration::from_millis(5);
+        let mut remaining = self.shared.cost(self.node).compute(work);
+        let cpu = self.shared.cpu_of(self.node);
+        while remaining > SLICE {
+            self.ctx.use_resource(cpu, SLICE);
+            remaining = remaining - SLICE;
+        }
+        self.ctx.use_resource(cpu, remaining);
+    }
+
+    // ----- global memory ---------------------------------------------------
+
+    /// Collectively allocate a zero-initialized global-memory region. Every
+    /// rank must call with identical arguments and in the same order.
+    pub fn gm_alloc(&mut self, len: usize, dist: Distribution) -> RegionId {
+        let seq = self.alloc_seq;
+        self.alloc_seq += 1;
+        charge_local(self.ctx, &self.shared, self.node, 0);
+        let store = &self.shared.store;
+        self.shared
+            .collective_alloc(seq, len, || store.alloc(len, dist))
+    }
+
+    /// Read `len` bytes at `offset` from a region. Own-node ranges take the
+    /// linked-library fast path; remote ranges become pipelined
+    /// request/response exchanges with the home kernels.
+    pub fn gm_read(&mut self, region: RegionId, offset: u64, len: usize) -> Vec<u8> {
+        let runs = self
+            .shared
+            .store
+            .split_by_home(region, offset, len)
+            .unwrap_or_else(|e| panic!("rank {}: gm_read failed: {e}", self.rank));
+        let cache_on = self.shared.config.gm_cache;
+        let mut result = vec![0u8; len];
+        // req id -> (result offset, length, fetch offset, blocks to install)
+        let mut pending: HashMap<u64, (usize, usize, u64, Vec<u64>)> = HashMap::new();
+        let issue = |me: &mut Self,
+                     result: &mut Vec<u8>,
+                     pending: &mut HashMap<u64, (usize, usize, u64, Vec<u64>)>,
+                     home: NodeId,
+                     off: u64,
+                     rlen: usize,
+                     install: Vec<u64>| {
+            let buf_off = (off - offset) as usize;
+            if home == me.node {
+                charge_local(me.ctx, &me.shared, me.node, rlen);
+                let data = me.shared.store.read(region, off, rlen).unwrap();
+                result[buf_off..buf_off + rlen].copy_from_slice(&data);
+                me.shared.stats.update(|s| {
+                    s.gm_local_reads += 1;
+                    s.gm_bytes_read += rlen as u64;
+                });
+            } else {
+                let req = me.reqs.next();
+                pending.insert(req.0, (buf_off, rlen, off, install));
+                let msg = Message::GmReadReq {
+                    req,
+                    region,
+                    offset: off,
+                    len: rlen as u32,
+                };
+                let kproc = me.shared.kernel_of(home);
+                let reply = me.ctx.id();
+                send_msg(me.ctx, &me.shared, me.node, home, kproc, reply, &msg);
+            }
+        };
+        for (home, off, rlen) in runs {
+            if home == self.node || !cache_on {
+                issue(self, &mut result, &mut pending, home, off, rlen, Vec::new());
+                continue;
+            }
+            // Cached remote read: serve full blocks from the local cache
+            // where possible; merge the misses and the unaligned edge
+            // fragments into as few fetches as possible.
+            let end = off + rlen as u64;
+            let full = blocks_inside(off, rlen);
+            let bsz = CACHE_BLOCK as u64;
+            struct Fetch {
+                off: u64,
+                len: usize,
+                install: Vec<u64>,
+            }
+            let mut fetches: Vec<Fetch> = Vec::new();
+            let mut cur: Option<Fetch> = None;
+            let add_fetch = |cur: &mut Option<Fetch>, s: u64, e: u64, blk: Option<u64>| match cur {
+                Some(f) => {
+                    f.len += (e - s) as usize;
+                    if let Some(b) = blk {
+                        f.install.push(b);
+                    }
+                }
+                None => {
+                    *cur = Some(Fetch {
+                        off: s,
+                        len: (e - s) as usize,
+                        install: blk.into_iter().collect(),
+                    })
+                }
+            };
+            if full.is_empty() {
+                add_fetch(&mut cur, off, end, None);
+            } else {
+                if off < full.start * bsz {
+                    add_fetch(&mut cur, off, full.start * bsz, None);
+                }
+                for b in full.clone() {
+                    if let Some(data) = self.shared.cache.get(self.node, region, b) {
+                        // Hit: a library call plus a block copy, no wire.
+                        charge_local(self.ctx, &self.shared, self.node, CACHE_BLOCK);
+                        self.shared.stats.update(|s| s.cache_hits += 1);
+                        let bo = (b * bsz - offset) as usize;
+                        result[bo..bo + CACHE_BLOCK].copy_from_slice(&data);
+                        if let Some(f) = cur.take() {
+                            fetches.push(f);
+                        }
+                    } else {
+                        self.shared.stats.update(|s| s.cache_misses += 1);
+                        add_fetch(&mut cur, b * bsz, (b + 1) * bsz, Some(b));
+                    }
+                }
+                if full.end * bsz < end {
+                    add_fetch(&mut cur, full.end * bsz, end, None);
+                }
+            }
+            if let Some(f) = cur.take() {
+                fetches.push(f);
+            }
+            for f in fetches {
+                issue(
+                    self,
+                    &mut result,
+                    &mut pending,
+                    home,
+                    f.off,
+                    f.len,
+                    f.install,
+                );
+            }
+        }
+        while !pending.is_empty() {
+            let (from, msg) = self.recv_runtime();
+            match msg {
+                Message::GmReadResp { req, data } => {
+                    let (bo, rl, foff, install) = pending
+                        .remove(&req.0)
+                        .expect("unmatched GmReadResp correlation id");
+                    assert_eq!(data.len(), rl, "short remote read");
+                    result[bo..bo + rl].copy_from_slice(&data);
+                    for b in install {
+                        let lo = (b * CACHE_BLOCK as u64 - foff) as usize;
+                        let chunk = data[lo..lo + CACHE_BLOCK].to_vec();
+                        self.shared.cache.install(self.node, region, b, chunk);
+                    }
+                }
+                other => self.stash.push_back((from, other)),
+            }
+        }
+        result
+    }
+
+    /// Invalidate every other node's cached copies of a range and wait for
+    /// their acknowledgements (the local-write half of the write-invalidate
+    /// protocol; remote writes are handled by the home kernel).
+    fn invalidate_for_local_write(&mut self, region: RegionId, offset: u64, len: usize) {
+        let txn = self.reqs.next();
+        let me = self.ctx.id();
+        charge_local(self.ctx, &self.shared, self.node, 0);
+        let holders = self
+            .shared
+            .cache
+            .take_holders(region, offset, len, self.node);
+        let inv = Message::GmInvalidate {
+            req: txn,
+            region,
+            offset,
+            len: len as u32,
+        };
+        let mut awaiting = 0;
+        for h in holders {
+            self.shared.stats.update(|s| s.cache_invalidations += 1);
+            let kproc = self.shared.kernel_of(h);
+            send_msg(self.ctx, &self.shared, self.node, h, kproc, me, &inv);
+            awaiting += 1;
+        }
+        while awaiting > 0 {
+            let (from, msg) = self.recv_runtime();
+            match msg {
+                Message::GmInvalidateAck { req } if req == txn => awaiting -= 1,
+                other => self.stash.push_back((from, other)),
+            }
+        }
+    }
+
+    /// Write bytes at `offset` into a region (pipelined per home node).
+    pub fn gm_write(&mut self, region: RegionId, offset: u64, data: &[u8]) {
+        let runs = self
+            .shared
+            .store
+            .split_by_home(region, offset, data.len())
+            .unwrap_or_else(|e| panic!("rank {}: gm_write failed: {e}", self.rank));
+        let cache_on = self.shared.config.gm_cache;
+        if cache_on {
+            // A writer's own copies of the written range go stale too.
+            self.shared
+                .cache
+                .drop_range(self.node, region, offset, data.len());
+        }
+        let mut pending = 0usize;
+        for (home, off, rlen) in runs {
+            let buf_off = (off - offset) as usize;
+            let chunk = &data[buf_off..buf_off + rlen];
+            if home == self.node {
+                if cache_on {
+                    self.invalidate_for_local_write(region, off, rlen);
+                }
+                charge_local(self.ctx, &self.shared, self.node, rlen);
+                self.shared.store.write(region, off, chunk).unwrap();
+                self.shared.stats.update(|s| {
+                    s.gm_local_writes += 1;
+                    s.gm_bytes_written += rlen as u64;
+                });
+            } else {
+                let req = self.reqs.next();
+                pending += 1;
+                let msg = Message::GmWriteReq {
+                    req,
+                    region,
+                    offset: off,
+                    data: chunk.to_vec(),
+                };
+                let kproc = self.shared.kernel_of(home);
+                let me = self.ctx.id();
+                send_msg(self.ctx, &self.shared, self.node, home, kproc, me, &msg);
+            }
+        }
+        while pending > 0 {
+            let (from, msg) = self.recv_runtime();
+            match msg {
+                Message::GmWriteAck { .. } => pending -= 1,
+                other => self.stash.push_back((from, other)),
+            }
+        }
+    }
+
+    /// Atomic fetch-and-add on an aligned 8-byte cell; returns the previous
+    /// value. The cell's home kernel serializes concurrent updates.
+    pub fn gm_fetch_add(&mut self, region: RegionId, offset: u64, delta: i64) -> i64 {
+        let home = self
+            .shared
+            .store
+            .home_of(region, offset)
+            .unwrap_or_else(|e| panic!("rank {}: fetch_add failed: {e}", self.rank));
+        if home == self.node {
+            if self.shared.config.gm_cache {
+                self.shared.cache.drop_range(self.node, region, offset, 8);
+                self.invalidate_for_local_write(region, offset, 8);
+            }
+            charge_local(self.ctx, &self.shared, self.node, 8);
+            self.shared.stats.update(|s| s.fetch_adds += 1);
+            return self.shared.store.fetch_add(region, offset, delta).unwrap();
+        }
+        let req = self.reqs.next();
+        let msg = Message::GmFetchAddReq {
+            req,
+            region,
+            offset,
+            delta,
+        };
+        let kproc = self.shared.kernel_of(home);
+        let me = self.ctx.id();
+        send_msg(self.ctx, &self.shared, self.node, home, kproc, me, &msg);
+        loop {
+            let (from, msg) = self.recv_runtime();
+            match msg {
+                Message::GmFetchAddResp { req: r, prev } if r == req => return prev,
+                other => self.stash.push_back((from, other)),
+            }
+        }
+    }
+
+    // ----- synchronization -------------------------------------------------
+
+    /// Synchronize all ranks. Every rank must call `barrier` the same number
+    /// of times in the same order (auto-sequenced ids).
+    pub fn barrier(&mut self) {
+        let id = AUTO_BARRIER_BASE + self.barrier_seq;
+        self.barrier_seq += 1;
+        self.barrier_at(id);
+    }
+
+    /// Synchronize on an explicitly named barrier (`id < AUTO_BARRIER_BASE`).
+    pub fn barrier_named(&mut self, id: u32) {
+        assert!(id < AUTO_BARRIER_BASE, "named barrier id too large");
+        self.barrier_at(id);
+    }
+
+    fn barrier_at(&mut self, id: u32) {
+        let party = Party {
+            pid: self.pid,
+            node: self.node,
+            reply_to: self.ctx.id(),
+            req: ReqId(0),
+        };
+        if self.node == NodeId(0) {
+            // Own-node path into the coordination state.
+            charge_local(self.ctx, &self.shared, self.node, 16);
+            if barrier_enter(self.ctx, &self.shared, NodeId(0), id, party).is_some() {
+                return;
+            }
+        } else {
+            let msg = Message::BarrierEnter {
+                barrier: id,
+                pid: self.pid,
+            };
+            let k0 = self.shared.kernel_of(NodeId(0));
+            let me = self.ctx.id();
+            send_msg(self.ctx, &self.shared, self.node, NodeId(0), k0, me, &msg);
+        }
+        loop {
+            let (from, msg) = self.recv_runtime();
+            match msg {
+                Message::BarrierRelease { barrier, .. } if barrier == id => return,
+                other => self.stash.push_back((from, other)),
+            }
+        }
+    }
+
+    /// Acquire a cluster-wide lock (FIFO).
+    pub fn lock(&mut self, id: u32) {
+        let req = self.reqs.next();
+        let party = Party {
+            pid: self.pid,
+            node: self.node,
+            reply_to: self.ctx.id(),
+            req,
+        };
+        if self.node == NodeId(0) {
+            charge_local(self.ctx, &self.shared, self.node, 16);
+            lock_acquire(self.ctx, &self.shared, NodeId(0), id, party);
+        } else {
+            let msg = Message::LockReq {
+                req,
+                lock: id,
+                pid: self.pid,
+            };
+            let k0 = self.shared.kernel_of(NodeId(0));
+            let me = self.ctx.id();
+            send_msg(self.ctx, &self.shared, self.node, NodeId(0), k0, me, &msg);
+        }
+        loop {
+            let (from, msg) = self.recv_runtime();
+            match msg {
+                Message::LockGrant { req: r, .. } if r == req => return,
+                other => self.stash.push_back((from, other)),
+            }
+        }
+    }
+
+    /// Release a cluster-wide lock this process holds.
+    pub fn unlock(&mut self, id: u32) {
+        if self.node == NodeId(0) {
+            charge_local(self.ctx, &self.shared, self.node, 16);
+            lock_release(self.ctx, &self.shared, NodeId(0), id, self.pid);
+        } else {
+            let msg = Message::UnlockReq {
+                lock: id,
+                pid: self.pid,
+            };
+            let k0 = self.shared.kernel_of(NodeId(0));
+            let me = self.ctx.id();
+            send_msg(self.ctx, &self.shared, self.node, NodeId(0), k0, me, &msg);
+        }
+    }
+
+    /// Request cooperative termination of another process: its
+    /// [`DseCtx::termination_requested`] flag turns on once its node's
+    /// kernel processes the request (checked at the target's convenience,
+    /// like a UNIX signal). Blocks until the kernel acknowledges.
+    pub fn terminate(&mut self, pid: GlobalPid) {
+        let req = self.reqs.next();
+        let msg = Message::TerminateReq { req, pid };
+        let target = pid.node();
+        let kproc = self.shared.kernel_of(target);
+        let me = self.ctx.id();
+        send_msg(self.ctx, &self.shared, self.node, target, kproc, me, &msg);
+        loop {
+            let (from, msg) = self.recv_runtime();
+            match msg {
+                Message::TerminateAck { req: r } if r == req => return,
+                other => self.stash.push_back((from, other)),
+            }
+        }
+    }
+
+    // ----- point-to-point messages ------------------------------------------
+
+    /// Send tagged bytes to another rank's process.
+    pub fn send_to(&mut self, to: GlobalPid, tag: u32, data: Vec<u8>) {
+        let dest = self
+            .shared
+            .app_proc(to)
+            .unwrap_or_else(|| panic!("send_to: unknown pid {to} (synchronize before sending)"));
+        let msg = Message::UserData {
+            from: self.pid,
+            tag,
+            data,
+        };
+        let me = self.ctx.id();
+        send_msg(self.ctx, &self.shared, self.node, to.node(), dest, me, &msg);
+    }
+
+    /// Receive the next user message, optionally filtered by tag.
+    pub fn recv_user(&mut self, want_tag: Option<u32>) -> UserMsg {
+        // Serve from the stash first.
+        if let Some(idx) = self.stash.iter().position(|(_, m)| match m {
+            Message::UserData { tag, .. } => want_tag.is_none_or(|t| t == *tag),
+            _ => false,
+        }) {
+            if let (_, Message::UserData { from, tag, data }) = self.stash.remove(idx).unwrap() {
+                return UserMsg { from, tag, data };
+            }
+            unreachable!()
+        }
+        loop {
+            let (from_node, msg) = self.recv_runtime();
+            match msg {
+                Message::UserData { from, tag, data } if want_tag.is_none_or(|t| t == tag) => {
+                    return UserMsg { from, tag, data }
+                }
+                other => self.stash.push_back((from_node, other)),
+            }
+        }
+    }
+
+    // ----- internals --------------------------------------------------------
+
+    /// Receive one runtime message, charging the receive-side software cost.
+    fn recv_runtime(&mut self) -> (NodeId, Message) {
+        let env = self
+            .ctx
+            .recv()
+            .expect("simulation shut down while a process was waiting");
+        let sm = env.msg;
+        charge_recv(self.ctx, &self.shared, self.node, sm.bytes.len());
+        let msg = Message::decode(&sm.bytes).expect("undecodable runtime message");
+        (sm.from_node, msg)
+    }
+
+    /// Called by the harness after the body returns: notify the launcher.
+    pub fn finish(&mut self) {
+        self.shared.mark_exited(self.pid);
+        let msg = Message::ExitNotice {
+            pid: self.pid,
+            status: 0,
+        };
+        let launcher = self.shared.launcher();
+        let me = self.ctx.id();
+        send_msg(
+            self.ctx,
+            &self.shared,
+            self.node,
+            NodeId(0),
+            launcher,
+            me,
+            &msg,
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # dse-api — the DSE Parallel API library
+//!
+//! The user-facing half of the paper's software organization (Fig. 3): the
+//! **parallel application programming interface library** that the parallel
+//! application links together with the kernel library into one process.
+//!
+//! * [`DseProgram`] — configure a cluster (platform, machine count, runtime
+//!   config) and [`DseProgram::run`] an SPMD body over `p` processors;
+//! * [`DseCtx`] — the per-process API: global-memory access, barriers,
+//!   locks, atomic counters, point-to-point messages, computation charging;
+//! * [`GmArray`]/[`GmCounter`] — typed views over distributed regions;
+//! * [`collective`] — broadcast/gather/reduce conveniences built from the
+//!   same primitives an application would use by hand.
+//!
+//! ```
+//! use dse_api::{collective, DseProgram};
+//! use dse_platform::Platform;
+//!
+//! let result = DseProgram::new(Platform::linux_pentium2()).run(4, |ctx| {
+//!     let rank_sum = collective::reduce_sum(ctx, ctx.rank() as f64);
+//!     assert_eq!(rank_sum, 0.0 + 1.0 + 2.0 + 3.0);
+//! });
+//! assert!(result.secs() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod api;
+pub mod collective;
+mod ctx;
+mod program;
+mod region;
+
+pub use api::ParallelApi;
+pub use ctx::{DseCtx, UserMsg, AUTO_BARRIER_BASE};
+pub use program::{DseProgram, RunResult};
+pub use region::{GmArray, GmCounter, GmElem};
+
+// Re-export the vocabulary callers need alongside the API.
+pub use dse_kernel::{Distribution, DseConfig, KernelStats, NetworkChoice, Organization};
+pub use dse_msg::{GlobalPid, NodeId, RegionId};
+pub use dse_platform::{ClusterSpec, Platform, Work};
+pub use dse_sim::{SimDuration, SimTime};

@@ -1,0 +1,241 @@
+//! The program harness: build a simulated cluster, invoke the parallel
+//! processes, run to completion, and report.
+//!
+//! This is the paper's *parallel process invocation/termination* module made
+//! executable: a launcher process on node 0 sends `InvokeReq` to every
+//! node's kernel, the kernels fork the DSE processes, and the launcher's
+//! clock from first invocation to last `ExitNotice` is the **execution
+//! time** every figure plots.
+
+use std::sync::Arc;
+
+use dse_kernel::kernel::{kernel_main, AppFactory};
+use dse_kernel::netpath::{charge_recv, send_msg};
+use dse_kernel::{ClusterShared, DseConfig, KernelStats, SimMsg};
+use dse_msg::{Message, NodeId, ReqIdGen};
+use dse_platform::{ClusterSpec, Platform, PAPER_MACHINES};
+use dse_sim::{ProcCtx, SimDuration, SimReport, Simulator};
+
+use crate::ctx::DseCtx;
+
+/// Everything a completed run reports.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Execution time of the parallel application (launcher-observed).
+    pub elapsed: SimDuration,
+    /// Number of processors (DSE kernels) used.
+    pub nprocs: usize,
+    /// Platform id (`"sunos"`, `"aix"`, `"linux"`).
+    pub platform_id: &'static str,
+    /// Runtime activity counters.
+    pub stats: KernelStats,
+    /// Frames the interconnect carried.
+    pub net_frames: u64,
+    /// Wire bytes the interconnect carried (headers included).
+    pub net_wire_bytes: u64,
+    /// Collision/backoff rounds on the shared bus (0 for switched fabrics).
+    pub net_collisions: u64,
+    /// The engine's report (trace hash, resource usage, completions).
+    pub report: SimReport,
+}
+
+impl RunResult {
+    /// Execution time in seconds.
+    pub fn secs(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+}
+
+/// A configured DSE program ready to run workloads.
+#[derive(Debug, Clone)]
+pub struct DseProgram {
+    platform: Platform,
+    machines: usize,
+    machine_platforms: Option<Vec<Platform>>,
+    config: DseConfig,
+    tracing: bool,
+}
+
+impl DseProgram {
+    /// A program on the given platform with the paper's 6-machine cluster
+    /// and default (paper) configuration.
+    pub fn new(platform: Platform) -> DseProgram {
+        DseProgram {
+            platform,
+            machines: PAPER_MACHINES,
+            machine_platforms: None,
+            config: DseConfig::default(),
+            tracing: false,
+        }
+    }
+
+    /// A heterogeneous cluster: machine `m` runs `platforms[m]` (the
+    /// paper's future-work direction of mixing UNIX platforms). The machine
+    /// count equals the platform list length.
+    pub fn heterogeneous(platforms: Vec<Platform>) -> DseProgram {
+        assert!(!platforms.is_empty());
+        DseProgram {
+            platform: platforms[0].clone(),
+            machines: platforms.len(),
+            machine_platforms: Some(platforms),
+            config: DseConfig::default(),
+            tracing: false,
+        }
+    }
+
+    /// Record an execution trace during runs; retrieve it from
+    /// `RunResult::report.trace` (analyze with the `dse-trace` crate).
+    pub fn with_tracing(mut self, on: bool) -> DseProgram {
+        self.tracing = on;
+        self
+    }
+
+    /// Override the number of physical machines.
+    pub fn with_machines(mut self, machines: usize) -> DseProgram {
+        assert!(machines > 0);
+        self.machines = machines;
+        self
+    }
+
+    /// Override the runtime configuration.
+    pub fn with_config(mut self, config: DseConfig) -> DseProgram {
+        self.config = config;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DseConfig {
+        &self.config
+    }
+
+    /// Run `body` as an SPMD program over `nprocs` parallel processes and
+    /// return the measured result. `body` is invoked once per rank with
+    /// that rank's [`DseCtx`].
+    pub fn run<F>(&self, nprocs: usize, body: F) -> RunResult
+    where
+        F: Fn(&mut DseCtx<'_>) + Send + Sync + 'static,
+    {
+        assert!(nprocs > 0, "need at least one processor");
+        assert!(nprocs <= u16::MAX as usize, "too many processors");
+        let mut spec = ClusterSpec::with_machines(self.platform.clone(), self.machines, nprocs);
+        spec.machine_platforms = self.machine_platforms.clone();
+        let mut sim: Simulator<SimMsg> = Simulator::new();
+        if self.tracing {
+            sim.enable_tracing();
+        }
+        let cpus = (0..spec.machines_used())
+            .map(|m| sim.add_resource(&format!("cpu{m}")))
+            .collect();
+        let shared = Arc::new(ClusterShared::new(spec, self.config.clone(), cpus));
+
+        let body = Arc::new(body);
+        let factory: AppFactory = {
+            let shared = Arc::clone(&shared);
+            Arc::new(move |rank, pid| {
+                let shared = Arc::clone(&shared);
+                let body = Arc::clone(&body);
+                Box::new(move |pctx: &mut ProcCtx<SimMsg>| {
+                    let mut dctx = DseCtx::new(pctx, shared, rank, pid);
+                    body(&mut dctx);
+                    dctx.finish();
+                })
+            })
+        };
+
+        let kernel_ids = (0..nprocs)
+            .map(|n| {
+                let shared = Arc::clone(&shared);
+                let factory = Arc::clone(&factory);
+                sim.spawn(&format!("kernel{n}"), move |kctx| {
+                    kernel_main(kctx, NodeId(n as u16), shared, factory)
+                })
+            })
+            .collect();
+        shared.set_kernels(kernel_ids);
+
+        let launcher_shared = Arc::clone(&shared);
+        let launcher = sim.spawn("launcher", move |lctx| {
+            launcher_main(lctx, launcher_shared, nprocs)
+        });
+        shared.set_launcher(launcher);
+
+        let report = sim.run();
+        let elapsed = shared
+            .elapsed
+            .lock()
+            .expect("launcher did not complete — parallel program hung");
+        let (net_frames, net_wire_bytes, net_collisions) = {
+            let net = shared.network.lock();
+            (
+                net.total_frames(),
+                net.total_wire_bytes(),
+                net.total_collisions(),
+            )
+        };
+        RunResult {
+            elapsed,
+            nprocs,
+            platform_id: shared.spec.platform.id,
+            stats: shared.stats.snapshot(),
+            net_frames,
+            net_wire_bytes,
+            net_collisions,
+            report,
+        }
+    }
+}
+
+/// The launcher: invoke every rank, await acknowledgements and exits,
+/// record the execution time, then shut the kernels down.
+fn launcher_main(ctx: &mut ProcCtx<SimMsg>, shared: Arc<ClusterShared>, nprocs: usize) {
+    let node0 = NodeId(0);
+    let start = ctx.now();
+    let mut reqs = ReqIdGen::new();
+    for rank in 0..nprocs {
+        let req = reqs.next();
+        let msg = Message::InvokeReq {
+            req,
+            rank: rank as u32,
+            args: Vec::new(),
+        };
+        let target = NodeId(rank as u16);
+        let kproc = shared.kernel_of(target);
+        let me = ctx.id();
+        send_msg(ctx, &shared, node0, target, kproc, me, &msg);
+    }
+    let mut acks = 0;
+    let mut exits = 0;
+    while acks < nprocs || exits < nprocs {
+        let env = match ctx.recv() {
+            Some(e) => e,
+            None => panic!(
+                "simulation ended before all ranks finished: acks={acks} exits={exits} of {nprocs}"
+            ),
+        };
+        let sm = env.msg;
+        charge_recv(ctx, &shared, node0, sm.bytes.len());
+        match Message::decode(&sm.bytes).expect("launcher got undecodable message") {
+            Message::InvokeAck { .. } => acks += 1,
+            Message::ExitNotice { status, pid } => {
+                assert_eq!(status, 0, "rank {pid} exited with failure");
+                exits += 1;
+            }
+            other => panic!("launcher got unexpected message {other:?}"),
+        }
+    }
+    *shared.elapsed.lock() = Some(ctx.now() - start);
+    // Post-measurement housekeeping: stop the kernels.
+    let shutdown = Message::KernelShutdown.encode();
+    for n in 0..nprocs {
+        let k = shared.kernel_of(NodeId(n as u16));
+        ctx.send(
+            k,
+            dse_sim::SimDuration::from_nanos(1),
+            SimMsg {
+                from_node: node0,
+                reply_to: ctx.id(),
+                bytes: shutdown.clone(),
+            },
+        );
+    }
+}

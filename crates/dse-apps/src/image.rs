@@ -1,0 +1,106 @@
+//! Synthetic source images for the DCT-II experiment.
+//!
+//! The paper compresses a 512×512-pixel image; the original is not
+//! available, so we generate a deterministic stand-in with realistic
+//! spectral content: smooth gradients (low frequencies the DCT compacts
+//! well), texture sinusoids, and seeded noise (high frequencies that
+//! quantization discards).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A square grayscale image, row-major `u8` pixels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Side length in pixels.
+    pub size: usize,
+    /// Row-major pixels.
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// Deterministically synthesize a `size`×`size` test image.
+    pub fn synthetic(size: usize, seed: u64) -> Image {
+        let mut rng = StdRng::seed_from_u64(seed ^ (size as u64) << 1);
+        let mut pixels = Vec::with_capacity(size * size);
+        let s = size as f64;
+        for y in 0..size {
+            for x in 0..size {
+                let xf = x as f64 / s;
+                let yf = y as f64 / s;
+                // Gradient + two texture frequencies + mild noise.
+                let v = 96.0 * (xf + yf) / 2.0
+                    + 64.0 * ((xf * 19.0).sin() * (yf * 13.0).cos() * 0.5 + 0.5)
+                    + 48.0 * ((xf * 3.0 + yf * 5.0) * std::f64::consts::PI).sin().abs()
+                    + rng.gen_range(0.0..16.0);
+                pixels.push(v.clamp(0.0, 255.0) as u8);
+            }
+        }
+        Image { size, pixels }
+    }
+
+    /// Pixel at (x, y).
+    #[inline]
+    pub fn at(&self, x: usize, y: usize) -> u8 {
+        self.pixels[y * self.size + x]
+    }
+}
+
+/// Peak signal-to-noise ratio between two same-size images, in dB.
+pub fn psnr(a: &Image, b: &Image) -> f64 {
+    assert_eq!(a.size, b.size);
+    let mse: f64 = a
+        .pixels
+        .iter()
+        .zip(&b.pixels)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / (a.pixels.len() as f64);
+    if mse == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (255.0f64 * 255.0 / mse).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = Image::synthetic(64, 7);
+        let b = Image::synthetic(64, 7);
+        assert_eq!(a, b);
+        let c = Image::synthetic(64, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn image_has_spread_histogram() {
+        let img = Image::synthetic(128, 1);
+        let lo = img.pixels.iter().filter(|&&p| p < 64).count();
+        let hi = img.pixels.iter().filter(|&&p| p > 160).count();
+        assert!(lo > 100, "too few dark pixels: {lo}");
+        assert!(hi > 100, "too few bright pixels: {hi}");
+    }
+
+    #[test]
+    fn psnr_identical_is_infinite() {
+        let img = Image::synthetic(32, 3);
+        assert!(psnr(&img, &img).is_infinite());
+    }
+
+    #[test]
+    fn psnr_detects_distortion() {
+        let a = Image::synthetic(32, 3);
+        let mut b = a.clone();
+        for p in &mut b.pixels {
+            *p = p.saturating_add(10);
+        }
+        let v = psnr(&a, &b);
+        assert!(v > 20.0 && v < 40.0, "psnr {v} out of expected band");
+    }
+}

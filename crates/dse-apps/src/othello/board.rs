@@ -1,0 +1,217 @@
+//! Othello board representation and move logic (bitboards).
+
+/// One side's discs are `own`, the other's `opp`; `own` is always the side
+/// to move. Square i = file + 8*rank, bit `1 << i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Board {
+    /// Discs of the player to move.
+    pub own: u64,
+    /// Discs of the opponent.
+    pub opp: u64,
+}
+
+/// The standard initial position (Black to move).
+pub fn initial() -> Board {
+    Board {
+        own: (1 << 28) | (1 << 35), // d4? — Black on e4, d5 in 0-index: bits 28 (e4) and 35 (d5)
+        opp: (1 << 27) | (1 << 36), // White on d4, e5
+    }
+}
+
+const NOT_FILE_A: u64 = 0xfefe_fefe_fefe_fefe;
+const NOT_FILE_H: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+
+#[inline]
+fn shift(bb: u64, dir: i32) -> u64 {
+    match dir {
+        1 => (bb & NOT_FILE_H) << 1,  // east
+        -1 => (bb & NOT_FILE_A) >> 1, // west
+        8 => bb << 8,                 // north
+        -8 => bb >> 8,                // south
+        9 => (bb & NOT_FILE_H) << 9,  // north-east
+        7 => (bb & NOT_FILE_A) << 7,  // north-west
+        -7 => (bb & NOT_FILE_H) >> 7, // south-east
+        -9 => (bb & NOT_FILE_A) >> 9, // south-west
+        _ => unreachable!(),
+    }
+}
+
+const DIRS: [i32; 8] = [1, -1, 8, -8, 9, 7, -7, -9];
+
+/// Bitboard of legal moves for the side to move.
+pub fn legal_moves(b: Board) -> u64 {
+    let empty = !(b.own | b.opp);
+    let mut moves = 0u64;
+    for &d in &DIRS {
+        // Chains of opponent discs adjacent to own discs in direction d.
+        let mut chain = shift(b.own, d) & b.opp;
+        for _ in 0..5 {
+            chain |= shift(chain, d) & b.opp;
+        }
+        moves |= shift(chain, d) & empty;
+    }
+    moves
+}
+
+/// Apply the move at square `sq` (must be legal); returns the position with
+/// sides swapped (opponent to move).
+pub fn apply(b: Board, sq: u8) -> Board {
+    let mv = 1u64 << sq;
+    debug_assert!(legal_moves(b) & mv != 0, "illegal move {sq}");
+    let mut flips = 0u64;
+    for &d in &DIRS {
+        let mut line = 0u64;
+        let mut cur = shift(mv, d);
+        while cur & b.opp != 0 {
+            line |= cur;
+            cur = shift(cur, d);
+        }
+        if cur & b.own != 0 {
+            flips |= line;
+        }
+    }
+    debug_assert!(flips != 0, "move {sq} flips nothing");
+    Board {
+        own: b.opp & !flips,
+        opp: b.own | flips | mv,
+    }
+}
+
+/// Swap sides without moving (a pass).
+pub fn pass(b: Board) -> Board {
+    Board {
+        own: b.opp,
+        opp: b.own,
+    }
+}
+
+/// Disc difference (own - opp).
+pub fn disc_diff(b: Board) -> i32 {
+    b.own.count_ones() as i32 - b.opp.count_ones() as i32
+}
+
+/// True when neither side can move.
+pub fn is_terminal(b: Board) -> bool {
+    legal_moves(b) == 0 && legal_moves(pass(b)) == 0
+}
+
+/// Iterate over the set squares of a bitboard.
+pub fn squares(mut bb: u64) -> impl Iterator<Item = u8> {
+    std::iter::from_fn(move || {
+        if bb == 0 {
+            None
+        } else {
+            let sq = bb.trailing_zeros() as u8;
+            bb &= bb - 1;
+            Some(sq)
+        }
+    })
+}
+
+/// Deterministic midgame position: play `plies` pseudo-random legal moves
+/// from the initial position (passing when forced).
+pub fn midgame(plies: usize, seed: u64) -> Board {
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut b = initial();
+    let mut done = 0;
+    while done < plies && !is_terminal(b) {
+        let moves: Vec<u8> = squares(legal_moves(b)).collect();
+        if moves.is_empty() {
+            b = pass(b);
+            continue;
+        }
+        b = apply(b, moves[next() % moves.len()]);
+        done += 1;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_position_is_sane() {
+        let b = initial();
+        assert_eq!((b.own | b.opp).count_ones(), 4);
+        assert_eq!(b.own & b.opp, 0);
+        assert_eq!(legal_moves(b).count_ones(), 4);
+    }
+
+    #[test]
+    fn first_move_flips_one_disc() {
+        let b = initial();
+        let mv = squares(legal_moves(b)).next().unwrap();
+        let after = apply(b, mv);
+        // 5 discs total; mover (now opp) has 4, other side 1.
+        assert_eq!((after.own | after.opp).count_ones(), 5);
+        assert_eq!(after.opp.count_ones(), 4);
+        assert_eq!(after.own.count_ones(), 1);
+    }
+
+    #[test]
+    fn apply_preserves_disjointness() {
+        let mut b = initial();
+        for _ in 0..20 {
+            let moves: Vec<u8> = squares(legal_moves(b)).collect();
+            if moves.is_empty() {
+                b = pass(b);
+                if legal_moves(b) == 0 {
+                    break;
+                }
+                continue;
+            }
+            b = apply(b, moves[0]);
+            assert_eq!(b.own & b.opp, 0, "overlap after move");
+        }
+    }
+
+    #[test]
+    fn perft_initial_depth_2() {
+        // All 4 first moves are symmetric; each yields 3 replies.
+        let b = initial();
+        let mut count = 0;
+        for m in squares(legal_moves(b)) {
+            let c = apply(b, m);
+            count += legal_moves(c).count_ones();
+        }
+        assert_eq!(count, 12);
+    }
+
+    #[test]
+    fn midgame_is_deterministic_and_playable() {
+        let a = midgame(10, 42);
+        let b = midgame(10, 42);
+        assert_eq!(a, b);
+        assert!((a.own | a.opp).count_ones() >= 12);
+        assert!(legal_moves(a) != 0, "midgame position should have moves");
+        let c = midgame(10, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn disc_diff_and_terminal() {
+        let b = initial();
+        assert_eq!(disc_diff(b), 0);
+        assert!(!is_terminal(b));
+        let full = Board {
+            own: u64::MAX,
+            opp: 0,
+        };
+        assert!(is_terminal(full));
+        assert_eq!(disc_diff(full), 64);
+    }
+
+    #[test]
+    fn squares_iterates_in_order() {
+        let bb = (1 << 3) | (1 << 17) | (1 << 63);
+        let v: Vec<u8> = squares(bb).collect();
+        assert_eq!(v, vec![3, 17, 63]);
+    }
+}

@@ -1,0 +1,17 @@
+//! Othello game-tree search (§4.3).
+//!
+//! A typical AI search workload: the paper verifies parallel execution of
+//! an Othello player at depths 3..8, observing no speedup at shallow depths
+//! (communication frequency dominates the tiny subtrees) and clear speedup
+//! once the depth — and therefore the per-task computation — grows.
+
+pub mod board;
+pub mod parallel;
+pub mod search;
+
+pub use board::{initial, legal_moves, midgame, Board};
+pub use parallel::{
+    assemble, body, make_tasks, pick_best, run_task, search_parallel, search_sequential,
+    OthelloParams, Task,
+};
+pub use search::{alphabeta, best_move, evaluate, minimax, root_scores};

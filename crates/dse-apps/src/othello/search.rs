@@ -1,0 +1,172 @@
+//! Game-tree search: negamax with alpha-beta pruning.
+
+use super::board::{apply, disc_diff, is_terminal, legal_moves, pass, squares, Board};
+
+/// Score magnitude of a finished game disc (keeps terminal scores outside
+/// the heuristic range).
+const DISC_SCORE: i32 = 1000;
+
+/// Corner squares bitmask.
+const CORNERS: u64 = 0x8100_0000_0000_0081;
+
+/// Heuristic evaluation from the side to move's perspective.
+pub fn evaluate(b: Board) -> i32 {
+    let mobility = legal_moves(b).count_ones() as i32 - legal_moves(pass(b)).count_ones() as i32;
+    let corners = (b.own & CORNERS).count_ones() as i32 - (b.opp & CORNERS).count_ones() as i32;
+    disc_diff(b) + 4 * mobility + 25 * corners
+}
+
+/// Exact score of a finished game.
+fn terminal_score(b: Board) -> i32 {
+    disc_diff(b).signum() * DISC_SCORE + disc_diff(b)
+}
+
+/// Negamax with alpha-beta pruning. `nodes` counts visited positions (the
+/// work metric charged to the simulated CPU).
+pub fn alphabeta(b: Board, depth: u32, mut alpha: i32, beta: i32, nodes: &mut u64) -> i32 {
+    *nodes += 1;
+    if is_terminal(b) {
+        return terminal_score(b);
+    }
+    if depth == 0 {
+        return evaluate(b);
+    }
+    let moves = legal_moves(b);
+    if moves == 0 {
+        // Forced pass: same depth (a pass is not a ply of lookahead lost —
+        // the double-pass case was handled as terminal above).
+        return -alphabeta(pass(b), depth, -beta, -alpha, nodes);
+    }
+    let mut best = i32::MIN + 1;
+    for sq in squares(moves) {
+        let v = -alphabeta(apply(b, sq), depth - 1, -beta, -alpha, nodes);
+        if v > best {
+            best = v;
+        }
+        if best > alpha {
+            alpha = best;
+        }
+        if alpha >= beta {
+            break;
+        }
+    }
+    best
+}
+
+/// Plain negamax without pruning (test oracle for alpha-beta).
+pub fn minimax(b: Board, depth: u32, nodes: &mut u64) -> i32 {
+    *nodes += 1;
+    if is_terminal(b) {
+        return terminal_score(b);
+    }
+    if depth == 0 {
+        return evaluate(b);
+    }
+    let moves = legal_moves(b);
+    if moves == 0 {
+        return -minimax(pass(b), depth, nodes);
+    }
+    squares(moves)
+        .map(|sq| -minimax(apply(b, sq), depth - 1, nodes))
+        .max()
+        .unwrap()
+}
+
+/// Exact root scores: `(move, value)` for every legal root move, each
+/// searched with a full window (the task decomposition the parallel version
+/// distributes). Also returns total nodes.
+pub fn root_scores(b: Board, depth: u32) -> (Vec<(u8, i32)>, u64) {
+    assert!(depth >= 1);
+    let mut nodes = 0;
+    let scores = squares(legal_moves(b))
+        .map(|sq| {
+            let v = -alphabeta(
+                apply(b, sq),
+                depth - 1,
+                i32::MIN + 1,
+                i32::MAX - 1,
+                &mut nodes,
+            );
+            (sq, v)
+        })
+        .collect();
+    (scores, nodes)
+}
+
+/// The best move and its score (first-listed move on ties).
+pub fn best_move(b: Board, depth: u32) -> (u8, i32, u64) {
+    let (scores, nodes) = root_scores(b, depth);
+    let &(mv, v) = scores
+        .iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .expect("no legal moves at root");
+    (mv, v, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::othello::board::midgame;
+
+    #[test]
+    fn alphabeta_equals_minimax() {
+        for seed in 0..4 {
+            let b = midgame(8 + seed as usize, seed);
+            for depth in 1..=4 {
+                let mut n1 = 0;
+                let mut n2 = 0;
+                let ab = alphabeta(b, depth, i32::MIN + 1, i32::MAX - 1, &mut n1);
+                let mm = minimax(b, depth, &mut n2);
+                assert_eq!(ab, mm, "seed {seed} depth {depth}");
+                assert!(n1 <= n2, "pruning should not expand more nodes");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_actually_prunes() {
+        let b = midgame(10, 1);
+        let mut n1 = 0;
+        let mut n2 = 0;
+        let _ = alphabeta(b, 5, i32::MIN + 1, i32::MAX - 1, &mut n1);
+        let _ = minimax(b, 5, &mut n2);
+        assert!(n1 * 2 < n2, "alpha-beta {n1} vs minimax {n2}");
+    }
+
+    #[test]
+    fn deeper_search_visits_more_nodes() {
+        let b = midgame(10, 2);
+        let mut prev = 0;
+        for depth in 1..=5 {
+            let mut n = 0;
+            let _ = alphabeta(b, depth, i32::MIN + 1, i32::MAX - 1, &mut n);
+            assert!(n > prev, "depth {depth}: {n} <= {prev}");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn best_move_is_a_legal_move() {
+        let b = midgame(10, 3);
+        let (mv, _, _) = best_move(b, 3);
+        assert!(legal_moves(b) & (1 << mv) != 0);
+    }
+
+    #[test]
+    fn root_scores_cover_all_moves() {
+        let b = midgame(10, 4);
+        let (scores, _) = root_scores(b, 2);
+        assert_eq!(scores.len(), legal_moves(b).count_ones() as usize);
+    }
+
+    #[test]
+    fn terminal_position_scored_exactly() {
+        let full = Board {
+            own: u64::MAX ^ 1,
+            opp: 1,
+        };
+        let mut n = 0;
+        let v = alphabeta(full, 3, i32::MIN + 1, i32::MAX - 1, &mut n);
+        assert_eq!(v, 1000 + 62);
+    }
+}

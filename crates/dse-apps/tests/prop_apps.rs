@@ -1,0 +1,101 @@
+//! Property tests for the workload kernels: algorithmic invariants that
+//! must hold for any input, independent of the cluster runtime.
+
+use proptest::prelude::*;
+
+use dse_apps::dct::{compress_sequential, decompress, zigzag, DctParams};
+use dse_apps::gauss_seidel::{generate, residual, solve_sequential, GaussSeidelParams};
+use dse_apps::image::{psnr, Image};
+use dse_apps::knights::{count_from, count_sequential, job_members, prefixes};
+use dse_apps::othello::{
+    alphabeta, assemble, make_tasks, midgame, minimax, pick_best, root_scores, run_task,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn alphabeta_equals_minimax_on_random_positions(
+        plies in 4usize..20,
+        seed in any::<u64>(),
+        depth in 1u32..4,
+    ) {
+        let b = midgame(plies, seed);
+        let mut n1 = 0;
+        let mut n2 = 0;
+        let ab = alphabeta(b, depth, i32::MIN + 1, i32::MAX - 1, &mut n1);
+        let mm = minimax(b, depth, &mut n2);
+        prop_assert_eq!(ab, mm);
+        prop_assert!(n1 <= n2);
+    }
+
+    #[test]
+    fn task_decomposition_is_exact_for_any_position(
+        plies in 4usize..16,
+        seed in any::<u64>(),
+        depth in 2u32..5,
+    ) {
+        let b = midgame(plies, seed);
+        if dse_apps::othello::legal_moves(b) == 0 {
+            return Ok(());
+        }
+        let tasks = make_tasks(b, depth);
+        let values: Vec<i32> = tasks.iter().map(|&t| run_task(b, depth, t).0).collect();
+        let mut got = assemble(&tasks, &values);
+        got.sort_unstable();
+        let (mut want, _) = root_scores(b, depth);
+        want.sort_unstable();
+        prop_assert_eq!(&got, &want);
+        // And the chosen move is one of the root moves with the max score.
+        let best = pick_best(&got);
+        let max = want.iter().map(|&(_, v)| v).max().unwrap();
+        prop_assert_eq!(best.1, max);
+    }
+
+    #[test]
+    fn dct_reconstruction_quality_bounded(seed in any::<u64>(), block_sel in 0usize..3) {
+        let block = [4, 8, 16][block_sel];
+        let params = DctParams { size: 32, block, keep: 0.25, seed };
+        let c = compress_sequential(&params);
+        let rec = decompress(&c);
+        let orig = Image::synthetic(32, seed);
+        // Keeping the low-frequency quarter must stay comfortably above
+        // "noise" reconstruction quality.
+        prop_assert!(psnr(&orig, &rec) > 18.0);
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation(b in 1usize..24) {
+        let zz = zigzag(b);
+        prop_assert_eq!(zz.len(), b * b);
+        let mut seen = vec![false; b * b];
+        for (u, v) in zz {
+            prop_assert!(u < b && v < b);
+            prop_assert!(!seen[u * b + v]);
+            seen[u * b + v] = true;
+        }
+    }
+
+    #[test]
+    fn knights_total_invariant_under_any_job_grouping(jobs in 1usize..300) {
+        let (total, _) = count_sequential(5);
+        let pfx = prefixes(5, 6);
+        let mut sum = 0u64;
+        for j in 0..jobs {
+            for i in job_members(pfx.len(), jobs, j) {
+                let mut nodes = 0;
+                sum += count_from(5, pfx[i], &mut nodes);
+            }
+        }
+        prop_assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn gauss_converges_for_any_seed(n in 5usize..40, seed in any::<u64>()) {
+        let params = GaussSeidelParams { n, eps: 1e-8, max_iters: 200, seed };
+        let sol = solve_sequential(&params);
+        prop_assert!(sol.iters < params.max_iters, "no convergence");
+        let sys = generate(&params);
+        prop_assert!(residual(&sys, &sol.x) < 1e-6);
+    }
+}

@@ -1,0 +1,154 @@
+//! Regenerate every table and figure of the paper's evaluation (§4).
+//!
+//! Run with `cargo bench -p dse-bench --bench figures`. Useful arguments
+//! (also honoured after cargo's own `--bench` flag):
+//!
+//! * `--quick`            reduced sweep (CI/smoke)
+//! * `--app gauss|dct|othello|knights|ablations|tables`  restrict scope
+//! * `--platform sunos|aix|linux`                        restrict platform
+//! * `--verbose`          one progress line per simulated run
+//!
+//! CSVs land in `bench_results/`.
+
+use std::path::{Path, PathBuf};
+
+use dse_api::Platform;
+use dse_bench::checks;
+use dse_bench::series::Figure;
+use dse_bench::sweeps::{self, SweepCfg};
+use dse_bench::{
+    ablation_cache, ablation_hetero, ablation_model, ablation_org, ablation_proto,
+    ablation_vcluster,
+};
+
+struct Opts {
+    quick: bool,
+    app: Option<String>,
+    platform: Option<String>,
+    verbose: bool,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        quick: std::env::var("DSE_BENCH_QUICK").is_ok(),
+        app: None,
+        platform: None,
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--verbose" => opts.verbose = true,
+            "--app" => opts.app = args.next(),
+            "--platform" => opts.platform = args.next(),
+            _ => {} // cargo bench passes --bench etc.
+        }
+    }
+    opts
+}
+
+fn out_dir() -> PathBuf {
+    // Workspace root if running under cargo, else cwd.
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../../bench_results"))
+        .unwrap_or_else(|_| PathBuf::from("bench_results"))
+}
+
+fn emit(fig: &Figure, dir: &Path) {
+    println!("{}", fig.render_text());
+    if let Err(e) = fig.write_csv(dir) {
+        eprintln!("warning: could not write CSV for {}: {e}", fig.id);
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    let mut cfg = if opts.quick {
+        SweepCfg::quick()
+    } else {
+        SweepCfg::paper()
+    };
+    cfg.verbose = opts.verbose;
+    let dir = out_dir();
+    let platforms: Vec<Platform> = Platform::all()
+        .into_iter()
+        .filter(|p| opts.platform.as_deref().is_none_or(|want| want == p.id))
+        .collect();
+    let want = |app: &str| opts.app.as_deref().is_none_or(|w| w == app);
+    let mut all_checks: Vec<checks::Check> = Vec::new();
+
+    if want("tables") {
+        println!("{}", sweeps::table1());
+        println!("{}", sweeps::table2(12));
+    }
+
+    for platform in &platforms {
+        if want("gauss") {
+            eprintln!("[sweep] Gauss-Seidel on {}", platform.id);
+            let (time_fig, speed_fig) = sweeps::gauss_figures(platform, &cfg);
+            emit(&time_fig, &dir);
+            emit(&speed_fig, &dir);
+            all_checks.extend(checks::check_gauss(&speed_fig));
+        }
+        if want("dct") {
+            eprintln!("[sweep] DCT-II on {}", platform.id);
+            let (time_fig, speed_fig) = sweeps::dct_figures(platform, &cfg);
+            emit(&time_fig, &dir);
+            emit(&speed_fig, &dir);
+            all_checks.extend(checks::check_dct(&speed_fig));
+        }
+        if want("othello") {
+            eprintln!("[sweep] Othello on {}", platform.id);
+            let (time_fig, speed_fig) = sweeps::othello_figures(platform, &cfg);
+            emit(&time_fig, &dir);
+            emit(&speed_fig, &dir);
+            all_checks.extend(checks::check_othello(&speed_fig));
+        }
+        if want("knights") {
+            eprintln!("[sweep] Knight's Tour on {}", platform.id);
+            let (time_fig, speed_fig) = sweeps::knights_figures(platform, &cfg);
+            emit(&time_fig, &dir);
+            emit(&speed_fig, &dir);
+            all_checks.extend(checks::check_knights(&speed_fig));
+        }
+    }
+
+    if want("ablations") {
+        // Ablations on the original DSE platform (SunOS/SparcStation).
+        let platform = Platform::sunos_sparc();
+        eprintln!("[sweep] ablations on {}", platform.id);
+        let org = ablation_org(&platform, &cfg);
+        emit(&org, &dir);
+        all_checks.extend(checks::check_org(&org));
+        let proto = ablation_proto(&platform, &cfg);
+        emit(&proto, &dir);
+        all_checks.extend(checks::check_proto(&proto));
+        let vc = ablation_vcluster(&platform, &cfg);
+        emit(&vc, &dir);
+        all_checks.extend(checks::check_vcluster(&vc));
+        let cache = ablation_cache(&platform, &cfg);
+        emit(&cache, &dir);
+        all_checks.extend(checks::check_cache(&cache));
+        let model = ablation_model(&platform, &cfg);
+        emit(&model, &dir);
+        all_checks.extend(checks::check_model(&model));
+        let hetero = ablation_hetero(&cfg);
+        emit(&hetero, &dir);
+        all_checks.extend(checks::check_hetero(&hetero));
+    }
+
+    let (text, all_pass) = checks::render_checks(&all_checks);
+    println!("== Shape checks (paper-reported behaviours) ==");
+    print!("{text}");
+    println!(
+        "== {} / {} checks passed ==",
+        all_checks.iter().filter(|c| c.pass).count(),
+        all_checks.len()
+    );
+    if !all_pass {
+        // Report but do not abort: partial sweeps (--quick/--app) may not
+        // exercise every shape.
+        eprintln!("note: some shape checks failed (see above)");
+    }
+}

@@ -1,0 +1,137 @@
+//! Criterion microbenches of the runtime's building blocks: wire codec,
+//! network models, simulated runtime primitives (barrier, GM access, lock),
+//! and the application kernels' raw compute rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dse_api::{Distribution, DseProgram, GmArray, Platform};
+use dse_apps::{dct, knights, othello};
+use dse_msg::{Message, NodeId, ReqId};
+use dse_net::{EthernetBus, Network, ETHERNET_10MBPS};
+use dse_sim::SimTime;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for size in [0usize, 64, 1460, 8192] {
+        let msg = Message::GmReadResp {
+            req: ReqId(77),
+            data: vec![0xAB; size],
+        };
+        g.bench_with_input(BenchmarkId::new("encode", size), &msg, |b, m| {
+            b.iter(|| black_box(m.encode()))
+        });
+        let bytes = msg.encode();
+        g.bench_with_input(BenchmarkId::new("decode", size), &bytes, |b, buf| {
+            b.iter(|| black_box(Message::decode(buf).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_network_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network-model");
+    g.bench_function("ethernet-frame-idle", |b| {
+        let mut bus = EthernetBus::new(ETHERNET_10MBPS, 1);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10_000_000;
+            black_box(bus.transmit_frame(SimTime::from_nanos(t), 1518))
+        })
+    });
+    g.bench_function("network-send-message-4k", |b| {
+        let mut net = Network::paper_lan(1);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 50_000_000;
+            black_box(net.send_message(SimTime::from_nanos(t), 0, 1, 4096))
+        })
+    });
+    g.finish();
+}
+
+/// Wall-clock cost of simulating one runtime primitive end to end (these
+/// measure the *simulator's* speed, i.e. how much host time one simulated
+/// operation costs — the per-op virtual costs are what the figures report).
+fn bench_sim_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulated-runtime");
+    g.bench_function("barrier-x100-p4", |b| {
+        b.iter(|| {
+            DseProgram::new(Platform::linux_pentium2()).run(4, |ctx| {
+                for _ in 0..100 {
+                    ctx.barrier();
+                }
+            })
+        })
+    });
+    g.bench_function("remote-read-x100-p2", |b| {
+        b.iter(|| {
+            DseProgram::new(Platform::linux_pentium2()).run(2, |ctx| {
+                let arr = GmArray::<u64>::alloc(ctx, 512, Distribution::OnNode(NodeId(0)));
+                ctx.barrier();
+                if ctx.rank() == 1 {
+                    for _ in 0..100 {
+                        black_box(arr.read(ctx, 0, 64));
+                    }
+                }
+            })
+        })
+    });
+    g.bench_function("lock-unlock-x100-p3", |b| {
+        b.iter(|| {
+            DseProgram::new(Platform::linux_pentium2()).run(3, |ctx| {
+                for _ in 0..100 {
+                    ctx.lock(1);
+                    ctx.unlock(1);
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_app_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("app-kernels");
+    g.bench_function("dct-block8-strip", |b| {
+        let params = dct::DctParams {
+            size: 512,
+            block: 8,
+            keep: 0.25,
+            seed: 1,
+        };
+        b.iter(|| black_box(dct::compress_sequential(&params)))
+    });
+    g.bench_function("othello-alphabeta-d5", |b| {
+        let bd = othello::midgame(12, 7);
+        b.iter(|| {
+            let mut n = 0;
+            black_box(othello::alphabeta(
+                bd,
+                5,
+                i32::MIN + 1,
+                i32::MAX - 1,
+                &mut n,
+            ))
+        })
+    });
+    g.bench_function("knights-5x5-full", |b| {
+        b.iter(|| black_box(knights::count_sequential(5)))
+    });
+    g.finish();
+}
+
+fn short_config() -> Criterion {
+    // Keep `cargo bench --workspace` wall time reasonable: these are
+    // smoke-grade microbenches, not regression gates.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = bench_codec, bench_network_models, bench_sim_primitives, bench_app_kernels
+}
+criterion_main!(benches);

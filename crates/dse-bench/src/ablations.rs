@@ -1,0 +1,263 @@
+//! Ablations of the design choices the paper claims or motivates:
+//! the new linked-library organization (vs the legacy separate kernel
+//! process), protocol independence (TCP/IP vs lighter stacks vs a switched
+//! high-speed network), and the virtual-cluster machine sharing.
+
+use dse_api::{
+    Distribution, DseConfig, DseProgram, GmArray, NetworkChoice, Organization, Platform,
+    SimDuration, Work,
+};
+use dse_apps::gauss_seidel::{self, GaussSeidelParams};
+use dse_apps::gauss_seidel_mp;
+use dse_apps::knights::{self, KnightsParams};
+use dse_msg::NodeId;
+use dse_net::Protocol;
+
+use crate::series::{Figure, Series};
+use crate::sweeps::SweepCfg;
+
+/// Reference workload for the ablations (a mid-size solver run: enough
+/// communication for organization/protocol effects to show, enough
+/// computation that the result is not pure overhead).
+fn workload() -> GaussSeidelParams {
+    GaussSeidelParams::paper(400)
+}
+
+fn run_times(program: &DseProgram, procs: &[usize]) -> Vec<(f64, f64)> {
+    procs
+        .iter()
+        .map(|&p| {
+            let (run, sol) = gauss_seidel::solve_parallel(program, p, workload());
+            assert!(sol.delta <= workload().eps);
+            (p as f64, run.secs())
+        })
+        .collect()
+}
+
+/// A1 — software organization: the paper's new linked-library DSE against
+/// the legacy separate-kernel-process DSE (refs. \[3]\[4]); same workload, same
+/// network, only the organization differs.
+pub fn ablation_org(platform: &Platform, cfg: &SweepCfg) -> Figure {
+    let mut series = Vec::new();
+    for (label, org) in [
+        ("linked-library", Organization::LinkedLibrary),
+        ("separate-process", Organization::SeparateProcess),
+    ] {
+        let config = DseConfig {
+            organization: org,
+            ..DseConfig::paper()
+        };
+        let program = DseProgram::new(platform.clone()).with_config(config);
+        series.push(Series::new(label, run_times(&program, &cfg.procs)));
+    }
+    Figure {
+        id: format!("ablation-org-{}", platform.id),
+        title: format!(
+            "Software organization ablation (Gauss-Seidel N=400) on {}",
+            platform.os
+        ),
+        xlabel: "procs".into(),
+        ylabel: "execution time [s]".into(),
+        series,
+    }
+}
+
+/// A2 — protocol/network independence: TCP/IP, UDP and raw Ethernet over
+/// the 10 Mbps bus, plus TCP/IP over a switched 100 Mbps fabric (the
+/// "high-speed network" the conclusion aims at).
+pub fn ablation_proto(platform: &Platform, cfg: &SweepCfg) -> Figure {
+    let variants: Vec<(&str, DseConfig)> = vec![
+        (
+            "tcp-bus10",
+            DseConfig::paper().with_protocol(Protocol::TcpIp),
+        ),
+        ("udp-bus10", DseConfig::paper().with_protocol(Protocol::Udp)),
+        (
+            "raw-bus10",
+            DseConfig::paper().with_protocol(Protocol::RawEthernet),
+        ),
+        (
+            "tcp-switched100",
+            DseConfig::paper()
+                .with_protocol(Protocol::TcpIp)
+                .with_network(NetworkChoice::Switched(
+                    100_000_000.0,
+                    SimDuration::from_micros(5),
+                )),
+        ),
+    ];
+    let mut series = Vec::new();
+    for (label, config) in variants {
+        let program = DseProgram::new(platform.clone()).with_config(config);
+        series.push(Series::new(label, run_times(&program, &cfg.procs)));
+    }
+    Figure {
+        id: format!("ablation-proto-{}", platform.id),
+        title: format!(
+            "Protocol/network ablation (Gauss-Seidel N=400) on {}",
+            platform.os
+        ),
+        xlabel: "procs".into(),
+        ylabel: "execution time [s]".into(),
+        series,
+    }
+}
+
+/// A5 — programming model: DSE's shared global memory vs an explicit
+/// message-passing implementation of the same solver (the PVM/MPI-style
+/// alternative the paper's related work positions DSE against). Same
+/// numerical organization, identical solutions; only the communication
+/// pattern differs.
+pub fn ablation_model(platform: &Platform, cfg: &SweepCfg) -> Figure {
+    let params = workload();
+    let program = DseProgram::new(platform.clone());
+    let mut series = Vec::new();
+    let dsm_pts: Vec<(f64, f64)> = cfg
+        .procs
+        .iter()
+        .map(|&p| {
+            let (run, sol) = gauss_seidel::solve_parallel(&program, p, params);
+            assert!(sol.delta <= params.eps);
+            (p as f64, run.secs())
+        })
+        .collect();
+    series.push(Series::new("dsm", dsm_pts));
+    let mp_pts: Vec<(f64, f64)> = cfg
+        .procs
+        .iter()
+        .map(|&p| {
+            let (run, sol) = gauss_seidel_mp::solve_parallel_mp(&program, p, params);
+            assert!(sol.delta <= params.eps);
+            (p as f64, run.secs())
+        })
+        .collect();
+    series.push(Series::new("message-passing", mp_pts));
+    Figure {
+        id: format!("ablation-model-{}", platform.id),
+        title: format!(
+            "Programming-model ablation (Gauss-Seidel N=400) on {}",
+            platform.os
+        ),
+        xlabel: "procs".into(),
+        ylabel: "execution time [s]".into(),
+        series,
+    }
+}
+
+/// A6 — heterogeneous cluster (the paper's future work): the Knight's-Tour
+/// workload on all-SPARC, mixed SPARC+Pentium-II, and all-Pentium-II
+/// clusters of 4 machines. Dynamic tasking lets the mixed cluster track
+/// the fast machines instead of the slow ones.
+pub fn ablation_hetero(cfg: &SweepCfg) -> Figure {
+    let variants: Vec<(&str, Vec<Platform>)> = vec![
+        ("all-sparc", vec![Platform::sunos_sparc(); 4]),
+        (
+            "mixed",
+            vec![
+                Platform::sunos_sparc(),
+                Platform::linux_pentium2(),
+                Platform::sunos_sparc(),
+                Platform::linux_pentium2(),
+            ],
+        ),
+        ("all-pentium2", vec![Platform::linux_pentium2(); 4]),
+    ];
+    let (reference, _) = knights::count_sequential(5);
+    let mut series = Vec::new();
+    for (label, platforms) in variants {
+        let program = DseProgram::heterogeneous(platforms);
+        let pts = cfg
+            .procs
+            .iter()
+            .filter(|&&p| p <= 4)
+            .map(|&p| {
+                let (run, count) = knights::count_parallel(&program, p, KnightsParams::paper(64));
+                assert_eq!(count, reference);
+                (p as f64, run.secs())
+            })
+            .collect();
+        series.push(Series::new(label, pts));
+    }
+    Figure {
+        id: "ablation-hetero".into(),
+        title: "Heterogeneous-cluster ablation (Knight's Tour, 64 jobs)".into(),
+        xlabel: "procs".into(),
+        ylabel: "execution time [s]".into(),
+        series,
+    }
+}
+
+/// A4 — the global-memory cache extension on a read-mostly shared-table
+/// workload (all ranks repeatedly scan a table homed on node 0) vs the
+/// paper's plain request/response semantics.
+pub fn ablation_cache(platform: &Platform, cfg: &SweepCfg) -> Figure {
+    let scan = |ctx: &mut dse_api::DseCtx<'_>| {
+        let arr = GmArray::<u64>::alloc(ctx, 4096, Distribution::OnNode(NodeId(0)));
+        if ctx.rank() == 0 {
+            let vals: Vec<u64> = (0..4096).map(|i| i * 7).collect();
+            arr.write(ctx, 0, &vals);
+        }
+        ctx.barrier();
+        let mut acc = 0u64;
+        for _ in 0..10 {
+            let v = arr.read(ctx, 0, 4096);
+            acc = acc.wrapping_add(v.iter().sum::<u64>());
+            ctx.compute(Work::iops(4096 * 4));
+        }
+        ctx.barrier();
+        assert!(acc > 0);
+    };
+    let mut series = Vec::new();
+    for (label, cache) in [("request-response", false), ("gm-cache", true)] {
+        let config = DseConfig::paper().with_gm_cache(cache);
+        let program = DseProgram::new(platform.clone()).with_config(config);
+        let pts = cfg
+            .procs
+            .iter()
+            .map(|&p| (p as f64, program.run(p, scan).secs()))
+            .collect();
+        series.push(Series::new(label, pts));
+    }
+    Figure {
+        id: format!("ablation-cache-{}", platform.id),
+        title: format!(
+            "GM-cache ablation (read-mostly shared table) on {}",
+            platform.os
+        ),
+        xlabel: "procs".into(),
+        ylabel: "execution time [s]".into(),
+        series,
+    }
+}
+
+/// A3 — virtual cluster: the same processor counts on the paper's 6
+/// machines (kernels share CPUs past 6) vs 12 machines (no sharing).
+/// Uses the compute-bound Knight's-Tour workload (16 jobs) so the CPU
+/// sharing — not the shared bus — is the variable under test.
+pub fn ablation_vcluster(platform: &Platform, cfg: &SweepCfg) -> Figure {
+    let (reference, _) = knights::count_sequential(5);
+    let mut series = Vec::new();
+    for machines in [6usize, 12] {
+        let program = DseProgram::new(platform.clone()).with_machines(machines);
+        let pts = cfg
+            .procs
+            .iter()
+            .map(|&p| {
+                let (run, count) = knights::count_parallel(&program, p, KnightsParams::paper(16));
+                assert_eq!(count, reference);
+                (p as f64, run.secs())
+            })
+            .collect();
+        series.push(Series::new(format!("{machines}-machines"), pts));
+    }
+    Figure {
+        id: format!("ablation-vcluster-{}", platform.id),
+        title: format!(
+            "Virtual-cluster ablation (Knight's Tour, 16 jobs) on {}",
+            platform.os
+        ),
+        xlabel: "procs".into(),
+        ylabel: "execution time [s]".into(),
+        series,
+    }
+}

@@ -1,0 +1,25 @@
+//! # dse-bench — regenerating the paper's evaluation
+//!
+//! For every table and figure in §4 of the paper this crate provides a
+//! sweep that reruns the workload on the simulated cluster and emits the
+//! same rows/series the paper plots, plus mechanical *shape checks* that
+//! assert the qualitative findings (who wins, where curves bend) hold in
+//! the reproduction. The `figures` bench target drives everything and
+//! writes CSVs under `bench_results/`.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod checks;
+pub mod series;
+pub mod sweeps;
+
+pub use ablations::{
+    ablation_cache, ablation_hetero, ablation_model, ablation_org, ablation_proto,
+    ablation_vcluster,
+};
+pub use checks::{render_checks, Check};
+pub use series::{speedup_against_base, transpose, Figure, Series};
+pub use sweeps::{
+    dct_figures, gauss_figures, knights_figures, othello_figures, table1, table2, SweepCfg,
+};

@@ -1,0 +1,255 @@
+//! Figure data structures, text rendering and CSV output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One plotted line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. `"4x4"`, `"Depth 6"`, `"N=500"`).
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// The y value at a given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+
+    /// The maximum y over all points.
+    pub fn y_max(&self) -> f64 {
+        self.points.iter().map(|&(_, y)| y).fold(f64::MIN, f64::max)
+    }
+
+    /// The x of the maximum y.
+    pub fn argmax_x(&self) -> f64 {
+        self.points
+            .iter()
+            .fold(
+                (f64::NAN, f64::MIN),
+                |acc, &(x, y)| {
+                    if y > acc.1 {
+                        (x, y)
+                    } else {
+                        acc
+                    }
+                },
+            )
+            .0
+    }
+}
+
+/// One reproduced figure (or one-axis table).
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier matching the paper, e.g. `"fig5"`.
+    pub id: String,
+    /// Human title, e.g. `"Speed-up of Gauss-Seidel on SunOS/SparcStation"`.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// The plotted lines.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Find a series by label.
+    pub fn series_named(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Render as an aligned text table (x column + one column per series).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} [{}] ==", self.title, self.id);
+        let _ = write!(out, "{:>12}", self.xlabel);
+        for s in &self.series {
+            let _ = write!(out, "{:>14}", s.label);
+        }
+        out.push('\n');
+        // Union of x values across series, sorted.
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        for x in xs {
+            let _ = write!(out, "{x:>12.6}");
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(out, "{y:>14.6}");
+                    }
+                    None => {
+                        let _ = write!(out, "{:>14}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "(y = {})", self.ylabel);
+        out
+    }
+
+    /// Serialize as CSV: `x,<label>,<label>,...` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.xlabel);
+        for s in &self.series {
+            let _ = write!(out, ",{}", s.label);
+        }
+        out.push('\n');
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        for x in xs {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(out, ",{y}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV under `dir/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+}
+
+/// Turn execution-time series into speed-up series against the y at
+/// `base_x` within each series (the paper's "speed improvement ratio":
+/// T(1 processor) / T(p)).
+pub fn speedup_against_base(times: &[Series], base_x: f64) -> Vec<Series> {
+    times
+        .iter()
+        .map(|s| {
+            let base = s
+                .y_at(base_x)
+                .unwrap_or_else(|| panic!("series '{}' lacks base x {base_x}", s.label));
+            Series {
+                label: s.label.clone(),
+                points: s.points.iter().map(|&(x, y)| (x, base / y)).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Transpose series: given per-`a` series over x=`b`, produce per-`b`
+/// series over x=`a` (used to re-slice one sweep for two figures).
+pub fn transpose(series: &[Series], new_labels: impl Fn(f64) -> String) -> Vec<Series> {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    xs.iter()
+        .map(|&x| {
+            let pts: Vec<(f64, f64)> = series
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    s.y_at(x).map(|y| {
+                        let a: f64 = s.label.parse().unwrap_or(i as f64);
+                        (a, y)
+                    })
+                })
+                .collect();
+            Series::new(new_labels(x), pts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        Figure {
+            id: "t".into(),
+            title: "test".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![
+                Series::new("a", vec![(1.0, 10.0), (2.0, 5.0)]),
+                Series::new("b", vec![(1.0, 8.0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn text_rendering_includes_all_points() {
+        let t = fig().render_text();
+        assert!(t.contains("10.0"));
+        assert!(t.contains("8.0"));
+        assert!(t.contains('-'), "missing point should render as dash");
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = fig().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "1,10,8");
+        assert_eq!(lines[2], "2,5,");
+    }
+
+    #[test]
+    fn speedup_from_base() {
+        let s = vec![Series::new("n", vec![(1.0, 10.0), (2.0, 5.0), (4.0, 4.0)])];
+        let sp = speedup_against_base(&s, 1.0);
+        assert_eq!(sp[0].points, vec![(1.0, 1.0), (2.0, 2.0), (4.0, 2.5)]);
+    }
+
+    #[test]
+    fn transpose_reslices() {
+        // Per-p series over x=N  →  per-N series over x=p.
+        let per_p = vec![
+            Series::new("1", vec![(100.0, 10.0), (200.0, 20.0)]),
+            Series::new("2", vec![(100.0, 6.0), (200.0, 11.0)]),
+        ];
+        let per_n = transpose(&per_p, |n| format!("N={n}"));
+        assert_eq!(per_n.len(), 2);
+        assert_eq!(per_n[0].label, "N=100");
+        assert_eq!(per_n[0].points, vec![(1.0, 10.0), (2.0, 6.0)]);
+        assert_eq!(per_n[1].points, vec![(1.0, 20.0), (2.0, 11.0)]);
+    }
+
+    #[test]
+    fn series_stats() {
+        let s = Series::new("s", vec![(1.0, 1.0), (2.0, 9.0), (3.0, 4.0)]);
+        assert_eq!(s.y_max(), 9.0);
+        assert_eq!(s.argmax_x(), 2.0);
+        assert_eq!(s.y_at(3.0), Some(4.0));
+        assert_eq!(s.y_at(5.0), None);
+    }
+}

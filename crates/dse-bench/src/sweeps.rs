@@ -1,0 +1,284 @@
+//! Parameter sweeps regenerating every evaluation figure of the paper.
+//!
+//! Figure numbering follows the paper: Gauss-Seidel (Figs. 4–9), DCT-II
+//! (Figs. 10–15), Othello (Figs. 16–18), Knight's Tour (Figs. 19–21), each
+//! triple/sextuple covering SunOS/SparcStation, AIX/RS6000 and
+//! Linux/Pentium-II. All runs execute on the deterministic simulated
+//! cluster; "execution time" is the launcher-observed virtual time and
+//! "speed improvement ratio" is T(1)/T(p), as in the paper.
+
+use dse_api::{DseProgram, Platform};
+use dse_apps::{dct, gauss_seidel, knights, othello};
+
+use crate::series::{speedup_against_base, Figure, Series};
+
+/// Sweep sizes. `paper()` is the full evaluation; `quick()` is a reduced
+/// sweep for tests and smoke runs.
+#[derive(Debug, Clone)]
+pub struct SweepCfg {
+    /// Processor counts for the Gauss-Seidel N-sweep figures.
+    pub gauss_procs: Vec<usize>,
+    /// System dimensions N.
+    pub gauss_dims: Vec<usize>,
+    /// Processor counts for the per-processor-axis figures.
+    pub procs: Vec<usize>,
+    /// DCT block sizes.
+    pub dct_blocks: Vec<usize>,
+    /// Othello search depths.
+    pub othello_depths: Vec<u32>,
+    /// Knight's-Tour job counts.
+    pub knights_jobs: Vec<usize>,
+    /// Print one progress line per simulated run.
+    pub verbose: bool,
+}
+
+impl SweepCfg {
+    /// The paper's full sweep.
+    pub fn paper() -> SweepCfg {
+        SweepCfg {
+            gauss_procs: vec![1, 2, 4, 6, 8, 12],
+            gauss_dims: (1..=9).map(|k| k * 100).collect(),
+            procs: (1..=12).collect(),
+            dct_blocks: vec![4, 8, 16, 32],
+            othello_depths: (3..=8).collect(),
+            knights_jobs: vec![4, 16, 64, 256],
+            verbose: false,
+        }
+    }
+
+    /// A reduced sweep for fast smoke checks.
+    pub fn quick() -> SweepCfg {
+        SweepCfg {
+            gauss_procs: vec![1, 2, 4, 8],
+            gauss_dims: vec![100, 400],
+            procs: vec![1, 2, 4, 8],
+            dct_blocks: vec![4, 16],
+            othello_depths: vec![3, 5],
+            knights_jobs: vec![4, 16, 256],
+            verbose: false,
+        }
+    }
+}
+
+fn progress(cfg: &SweepCfg, msg: &str) {
+    if cfg.verbose {
+        eprintln!("  [run] {msg}");
+    }
+}
+
+/// Paper figure numbers for `(app, platform)`; `.0` is the execution-time
+/// figure, `.1` the speed-up figure (equal when the paper shows only one).
+fn fig_ids(app: &str, platform: &Platform) -> (String, String) {
+    let (t, s) = match (app, platform.id) {
+        ("gauss", "sunos") => (4, 5),
+        ("gauss", "aix") => (6, 7),
+        ("gauss", "linux") => (8, 9),
+        ("dct", "sunos") => (10, 11),
+        ("dct", "aix") => (12, 13),
+        ("dct", "linux") => (14, 15),
+        ("othello", "sunos") => (16, 16),
+        ("othello", "aix") => (17, 17),
+        ("othello", "linux") => (18, 18),
+        ("knights", "sunos") => (19, 19),
+        ("knights", "aix") => (20, 20),
+        ("knights", "linux") => (21, 21),
+        _ => panic!("unknown app/platform {app}/{}", platform.id),
+    };
+    if t == s {
+        (format!("fig{t}"), format!("fig{t}-speedup"))
+    } else {
+        (format!("fig{t}"), format!("fig{s}"))
+    }
+}
+
+/// Gauss-Seidel sweep → (Fig. 4/6/8 execution time vs N, per-processor
+/// series; Fig. 5/7/9 speed-up vs processors, per-N series).
+pub fn gauss_figures(platform: &Platform, cfg: &SweepCfg) -> (Figure, Figure) {
+    let program = DseProgram::new(platform.clone());
+    // times[p-series] over x = N
+    let mut time_series = Vec::new();
+    // speedup needs per-N times over p.
+    let mut per_n: Vec<(usize, Vec<(f64, f64)>)> =
+        cfg.gauss_dims.iter().map(|&n| (n, Vec::new())).collect();
+    for &p in &cfg.gauss_procs {
+        let mut pts = Vec::new();
+        for (i, &n) in cfg.gauss_dims.iter().enumerate() {
+            progress(cfg, &format!("gauss {} N={n} p={p}", platform.id));
+            let params = gauss_seidel::GaussSeidelParams::paper(n);
+            let (run, sol) = gauss_seidel::solve_parallel(&program, p, params);
+            assert!(sol.delta <= params.eps, "solver did not converge");
+            pts.push((n as f64, run.secs()));
+            per_n[i].1.push((p as f64, run.secs()));
+        }
+        time_series.push(Series::new(format!("{p}"), pts));
+    }
+    let speedup_series: Vec<Series> = per_n
+        .into_iter()
+        .map(|(n, pts)| {
+            let base = pts
+                .iter()
+                .find(|&&(p, _)| p == 1.0)
+                .map(|&(_, t)| t)
+                .expect("p=1 required in gauss_procs");
+            Series::new(
+                format!("N={n}"),
+                pts.into_iter().map(|(p, t)| (p, base / t)).collect(),
+            )
+        })
+        .collect();
+    let (tid, sid) = fig_ids("gauss", platform);
+    (
+        Figure {
+            id: tid,
+            title: format!("Gauss-Seidel on {} ({})", platform.os, platform.machine),
+            xlabel: "N".into(),
+            ylabel: "execution time [s] (series = processors)".into(),
+            series: time_series,
+        },
+        Figure {
+            id: sid,
+            title: format!("Speed-up of Gauss-Seidel on {}", platform.os),
+            xlabel: "procs".into(),
+            ylabel: "speed improvement ratio (series = N)".into(),
+            series: speedup_series,
+        },
+    )
+}
+
+/// DCT-II sweep → (Fig. 10/12/14 execution time vs processors, per-block
+/// series; Fig. 11/13/15 speed-up vs processors).
+pub fn dct_figures(platform: &Platform, cfg: &SweepCfg) -> (Figure, Figure) {
+    let program = DseProgram::new(platform.clone());
+    let mut time_series = Vec::new();
+    for &b in &cfg.dct_blocks {
+        let params = dct::DctParams::paper(b);
+        let reference = dct::compress_sequential(&params);
+        let mut pts = Vec::new();
+        for &p in &cfg.procs {
+            progress(cfg, &format!("dct {} block={b} p={p}", platform.id));
+            let (run, out) = dct::compress_parallel(&program, p, params);
+            assert_eq!(out, reference, "parallel DCT output diverged");
+            pts.push((p as f64, run.secs()));
+        }
+        time_series.push(Series::new(format!("{b}x{b}"), pts));
+    }
+    let speedup = speedup_against_base(&time_series, 1.0);
+    let (tid, sid) = fig_ids("dct", platform);
+    (
+        Figure {
+            id: tid,
+            title: format!("DCT-II on {} ({})", platform.os, platform.machine),
+            xlabel: "procs".into(),
+            ylabel: "execution time [s] (series = block size)".into(),
+            series: time_series,
+        },
+        Figure {
+            id: sid,
+            title: format!("Speed-up of DCT-II on {}", platform.os),
+            xlabel: "procs".into(),
+            ylabel: "speed improvement ratio (series = block size)".into(),
+            series: speedup,
+        },
+    )
+}
+
+/// Othello sweep → (execution time vs processors; Fig. 16/17/18 speed-up
+/// vs processors, per-depth series).
+pub fn othello_figures(platform: &Platform, cfg: &SweepCfg) -> (Figure, Figure) {
+    let program = DseProgram::new(platform.clone());
+    let mut time_series = Vec::new();
+    for &d in &cfg.othello_depths {
+        let params = othello::OthelloParams::paper(d);
+        let (smv, sv, _) = othello::search_sequential(&params);
+        let mut pts = Vec::new();
+        for &p in &cfg.procs {
+            progress(cfg, &format!("othello {} depth={d} p={p}", platform.id));
+            let (run, best) = othello::search_parallel(&program, p, params);
+            assert_eq!(best, (smv, sv), "parallel search result diverged");
+            pts.push((p as f64, run.secs()));
+        }
+        time_series.push(Series::new(format!("Depth{d}"), pts));
+    }
+    let speedup = speedup_against_base(&time_series, 1.0);
+    let (tid, sid) = fig_ids("othello", platform);
+    (
+        Figure {
+            id: format!("{tid}-time"),
+            title: format!("Othello game on {} (execution time)", platform.os),
+            xlabel: "procs".into(),
+            ylabel: "execution time [s] (series = depth)".into(),
+            series: time_series,
+        },
+        Figure {
+            id: sid,
+            title: format!("Speed-up of Othello Game on {}", platform.os),
+            xlabel: "procs".into(),
+            ylabel: "execution improvement ratio (series = depth)".into(),
+            series: speedup,
+        },
+    )
+}
+
+/// Knight's-Tour sweep → (Fig. 19/20/21 execution time vs processors,
+/// per-job-count series; supplementary speed-up figure).
+pub fn knights_figures(platform: &Platform, cfg: &SweepCfg) -> (Figure, Figure) {
+    let program = DseProgram::new(platform.clone());
+    let (reference, _) = knights::count_sequential(5);
+    let mut time_series = Vec::new();
+    for &jobs in &cfg.knights_jobs {
+        let params = knights::KnightsParams::paper(jobs);
+        let mut pts = Vec::new();
+        for &p in &cfg.procs {
+            progress(cfg, &format!("knights {} jobs={jobs} p={p}", platform.id));
+            let (run, count) = knights::count_parallel(&program, p, params);
+            assert_eq!(count, reference, "parallel tour count diverged");
+            pts.push((p as f64, run.secs()));
+        }
+        time_series.push(Series::new(format!("{jobs}_Jobs"), pts));
+    }
+    let speedup = speedup_against_base(&time_series, 1.0);
+    let (tid, sid) = fig_ids("knights", platform);
+    (
+        Figure {
+            id: tid,
+            title: format!("Knight's Tour Problem on {}", platform.os),
+            xlabel: "procs".into(),
+            ylabel: "execution time [s] (series = jobs)".into(),
+            series: time_series,
+        },
+        Figure {
+            id: sid,
+            title: format!("Knight's Tour speed-up on {}", platform.os),
+            xlabel: "procs".into(),
+            ylabel: "speed improvement ratio (series = jobs)".into(),
+            series: speedup,
+        },
+    )
+}
+
+/// Table 1: the experiment environments.
+pub fn table1() -> String {
+    let mut out = String::from("== Table 1: Experiment environments ==\n");
+    out.push_str(&format!(
+        "{:<12} {:<45} {:<22}\n",
+        "Platform", "Machine", "OS"
+    ));
+    for p in Platform::all() {
+        out.push_str(&format!("{:<12} {:<45} {:<22}\n", p.id, p.machine, p.os));
+    }
+    out
+}
+
+/// Table 2: machines used vs requested processors (virtual cluster rule).
+pub fn table2(max_p: usize) -> String {
+    use dse_platform::ClusterSpec;
+    let mut out = String::from("== Table 2: machines vs processors (virtual cluster) ==\n");
+    out.push_str(&format!(
+        "{:<12} {:<16} {:<22}\n",
+        "processors", "machines used", "max kernels/machine"
+    ));
+    for (p, used, colo) in ClusterSpec::table2_rows(dse_platform::PAPER_MACHINES, max_p) {
+        out.push_str(&format!("{p:<12} {used:<16} {colo:<22}\n"));
+    }
+    out
+}

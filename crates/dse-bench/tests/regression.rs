@@ -1,0 +1,55 @@
+//! Golden regression pins: exact simulated timings for a handful of small
+//! runs. Every run is deterministic, so these values change only when the
+//! cost models or the runtime's message patterns change — if you changed
+//! those *intentionally*, update the pins (and re-check EXPERIMENTS.md);
+//! if you didn't, you just caught a regression.
+
+use dse_api::{DseConfig, DseProgram, Platform};
+use dse_apps::{gauss_seidel, knights, othello};
+
+fn pin(name: &str, got_ns: u64, want_ns: u64) {
+    assert_eq!(
+        got_ns, want_ns,
+        "{name}: simulated time drifted (got {got_ns} ns, pinned {want_ns} ns).\n\
+         If a cost-model or protocol change was intentional, update this pin\n\
+         and re-run `cargo bench -p dse-bench --bench figures`."
+    );
+}
+
+#[test]
+fn pin_gauss_sunos_p4() {
+    let params = gauss_seidel::GaussSeidelParams::paper(200);
+    let program = DseProgram::new(Platform::sunos_sparc());
+    let (run, _) = gauss_seidel::solve_parallel(&program, 4, params);
+    pin("gauss-sunos-p4-n200", run.elapsed.as_nanos(), 356_604_870);
+}
+
+#[test]
+fn pin_knights_linux_p6() {
+    let program = DseProgram::new(Platform::linux_pentium2());
+    let (run, count) = knights::count_parallel(&program, 6, knights::KnightsParams::paper(16));
+    assert_eq!(count, 304);
+    pin(
+        "knights-linux-p6-16jobs",
+        run.elapsed.as_nanos(),
+        515_336_862,
+    );
+}
+
+#[test]
+fn pin_othello_legacy_vs_linked_gap() {
+    // The organization gap itself is a stable, meaningful quantity.
+    let params = othello::OthelloParams::paper(4);
+    let linked = DseProgram::new(Platform::aix_rs6000());
+    let legacy = DseProgram::new(Platform::aix_rs6000()).with_config(DseConfig::legacy());
+    let (tl, _) = othello::search_parallel(&linked, 3, params);
+    let (tg, _) = othello::search_parallel(&legacy, 3, params);
+    assert!(tg.elapsed > tl.elapsed);
+    // Gap must be substantial (legacy pays IPC per interaction) and bounded
+    // (it is an overhead, not a different algorithm).
+    let ratio = tg.elapsed.as_nanos() as f64 / tl.elapsed.as_nanos() as f64;
+    assert!(
+        (1.02..3.0).contains(&ratio),
+        "organization overhead ratio {ratio:.3} out of expected band"
+    );
+}

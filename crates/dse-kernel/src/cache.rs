@@ -1,0 +1,190 @@
+//! The optional global-memory cache: read-replicate, write-invalidate.
+//!
+//! DSE's baseline semantics are pure request/response — every remote access
+//! pays a message round trip. This extension (in the spirit of the DSM
+//! systems the paper positions itself against) lets nodes keep copies of
+//! remote blocks they have read:
+//!
+//! * reads install fixed-size blocks into a per-node cache; the home
+//!   kernel's directory records who holds copies;
+//! * any write (or atomic) to a range first invalidates all other holders'
+//!   copies and waits for their acknowledgements, *then* acknowledges the
+//!   writer — single-home transaction ordering, the classic sequential-
+//!   consistency recipe for write-invalidate protocols.
+//!
+//! Only blocks *fully contained* in one request are cached (edge fragments
+//! always go to the home), which keeps entries uniform without complicating
+//! the home-run arithmetic.
+
+use std::collections::{HashMap, HashSet};
+
+use parking_lot::Mutex;
+
+use dse_msg::{NodeId, RegionId};
+
+/// Cache block granularity in bytes.
+pub const CACHE_BLOCK: usize = 512;
+
+/// Key of one cached block.
+type BlockKey = (RegionId, u64);
+
+/// First block index covering `offset`.
+#[inline]
+pub fn block_of(offset: u64) -> u64 {
+    offset / CACHE_BLOCK as u64
+}
+
+/// Block indices intersecting `[offset, offset+len)`.
+pub fn blocks_touching(offset: u64, len: usize) -> std::ops::Range<u64> {
+    if len == 0 {
+        return block_of(offset)..block_of(offset);
+    }
+    block_of(offset)..block_of(offset + len as u64 - 1) + 1
+}
+
+/// Block indices whose full `[b*B, (b+1)*B)` span lies inside the range.
+pub fn blocks_inside(offset: u64, len: usize) -> std::ops::Range<u64> {
+    let b = CACHE_BLOCK as u64;
+    let first = offset.div_ceil(b);
+    let last = (offset + len as u64) / b;
+    first..last.max(first)
+}
+
+/// Per-node block caches (one map per node, all living in the shared state
+/// because the simulator is one address space; the per-node separation is
+/// what the costs are charged against).
+pub struct CacheStore {
+    nodes: Vec<Mutex<HashMap<BlockKey, Vec<u8>>>>,
+    /// Directory: which nodes hold a copy of each block. Lives with the
+    /// data homes conceptually; centralized here for the simulator.
+    directory: Mutex<HashMap<BlockKey, HashSet<NodeId>>>,
+}
+
+impl CacheStore {
+    /// Caches for `nnodes` nodes.
+    pub fn new(nnodes: usize) -> CacheStore {
+        CacheStore {
+            nodes: (0..nnodes).map(|_| Mutex::new(HashMap::new())).collect(),
+            directory: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Look up a block copy held by `node`.
+    pub fn get(&self, node: NodeId, region: RegionId, block: u64) -> Option<Vec<u8>> {
+        self.nodes[node.index()]
+            .lock()
+            .get(&(region, block))
+            .cloned()
+    }
+
+    /// Install a block copy at `node` and register it in the directory.
+    pub fn install(&self, node: NodeId, region: RegionId, block: u64, data: Vec<u8>) {
+        debug_assert_eq!(data.len(), CACHE_BLOCK);
+        self.nodes[node.index()]
+            .lock()
+            .insert((region, block), data);
+        self.directory
+            .lock()
+            .entry((region, block))
+            .or_default()
+            .insert(node);
+    }
+
+    /// Drop `node`'s copies of all blocks intersecting the range (the
+    /// holder-side action of a `GmInvalidate`).
+    pub fn drop_range(&self, node: NodeId, region: RegionId, offset: u64, len: usize) {
+        let mut map = self.nodes[node.index()].lock();
+        for b in blocks_touching(offset, len) {
+            map.remove(&(region, b));
+        }
+    }
+
+    /// Remove directory registrations for every block intersecting the
+    /// range and return the nodes (other than `exclude`) that held copies
+    /// — the invalidation recipients.
+    pub fn take_holders(
+        &self,
+        region: RegionId,
+        offset: u64,
+        len: usize,
+        exclude: NodeId,
+    ) -> Vec<NodeId> {
+        let mut dir = self.directory.lock();
+        let mut holders: Vec<NodeId> = Vec::new();
+        for b in blocks_touching(offset, len) {
+            if let Some(set) = dir.remove(&(region, b)) {
+                for n in set {
+                    if n != exclude && !holders.contains(&n) {
+                        holders.push(n);
+                    }
+                }
+            }
+        }
+        holders.sort_unstable();
+        holders
+    }
+
+    /// Number of blocks currently cached at `node` (for tests/stats).
+    pub fn cached_blocks(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: u64 = CACHE_BLOCK as u64;
+
+    #[test]
+    fn block_ranges() {
+        assert_eq!(blocks_touching(0, 1), 0..1);
+        assert_eq!(blocks_touching(0, CACHE_BLOCK), 0..1);
+        assert_eq!(blocks_touching(0, CACHE_BLOCK + 1), 0..2);
+        assert_eq!(blocks_touching(B - 1, 2), 0..2);
+        assert_eq!(blocks_touching(B, 0), 1..1);
+    }
+
+    #[test]
+    fn blocks_inside_requires_full_coverage() {
+        assert_eq!(blocks_inside(0, CACHE_BLOCK), 0..1);
+        assert_eq!(blocks_inside(1, CACHE_BLOCK), 1..1); // partial at both ends
+        assert_eq!(blocks_inside(0, 3 * CACHE_BLOCK - 1), 0..2);
+        assert_eq!(blocks_inside(B, 2 * CACHE_BLOCK), 1..3);
+    }
+
+    #[test]
+    fn install_get_drop() {
+        let cs = CacheStore::new(2);
+        let r = RegionId(1);
+        cs.install(NodeId(0), r, 3, vec![7; CACHE_BLOCK]);
+        assert_eq!(cs.get(NodeId(0), r, 3).unwrap()[0], 7);
+        assert!(cs.get(NodeId(1), r, 3).is_none());
+        cs.drop_range(NodeId(0), r, 3 * B, CACHE_BLOCK);
+        assert!(cs.get(NodeId(0), r, 3).is_none());
+    }
+
+    #[test]
+    fn directory_tracks_and_clears_holders() {
+        let cs = CacheStore::new(3);
+        let r = RegionId(0);
+        cs.install(NodeId(1), r, 0, vec![0; CACHE_BLOCK]);
+        cs.install(NodeId(2), r, 0, vec![0; CACHE_BLOCK]);
+        cs.install(NodeId(2), r, 1, vec![0; CACHE_BLOCK]);
+        // A write over blocks 0..2, from node 1's perspective.
+        let holders = cs.take_holders(r, 0, 2 * CACHE_BLOCK, NodeId(1));
+        assert_eq!(holders, vec![NodeId(2)]);
+        // Directory is cleared: a second take returns nobody.
+        assert!(cs.take_holders(r, 0, 2 * CACHE_BLOCK, NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn take_holders_dedups_across_blocks() {
+        let cs = CacheStore::new(2);
+        let r = RegionId(0);
+        cs.install(NodeId(1), r, 0, vec![0; CACHE_BLOCK]);
+        cs.install(NodeId(1), r, 1, vec![0; CACHE_BLOCK]);
+        let holders = cs.take_holders(r, 0, 2 * CACHE_BLOCK, NodeId(0));
+        assert_eq!(holders, vec![NodeId(1)]);
+    }
+}

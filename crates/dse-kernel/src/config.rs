@@ -1,0 +1,131 @@
+//! Runtime configuration: software organization, protocol, network, cache.
+
+use dse_net::Protocol;
+use dse_sim::SimDuration;
+
+/// Which DSE software organization to model.
+///
+/// The 1999 paper's contribution is moving from the *separate kernel
+/// process* organization (every API call crosses a UNIX IPC boundary) to the
+/// *linked library* organization (DSE kernel + parallel API linked into the
+/// application's single UNIX process, context-switched by async-I/O
+/// signals). Keeping both lets the benches regenerate the improvement claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Organization {
+    /// New organization: kernel as a statically linked library (Fig. 2/3).
+    LinkedLibrary,
+    /// Legacy organization: kernel as a separate UNIX process; each local
+    /// API interaction pays an IPC rendezvous plus context switches.
+    SeparateProcess,
+}
+
+/// Which physical interconnect the cluster uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetworkChoice {
+    /// Shared-bus Ethernet (CSMA/CD) at the given bit rate. The paper's LAN
+    /// is `SharedBus(10e6)`.
+    SharedBus(f64),
+    /// Switched full-duplex fabric at the given bit rate and switch latency.
+    Switched(f64, SimDuration),
+}
+
+/// Full DSE runtime configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseConfig {
+    /// Software organization (new vs legacy).
+    pub organization: Organization,
+    /// Protocol stack carrying DSE messages.
+    pub protocol: Protocol,
+    /// Physical interconnect.
+    pub network: NetworkChoice,
+    /// Enable the read-replicating, write-invalidating global-memory cache
+    /// (an extension beyond the paper's request/response semantics).
+    pub gm_cache: bool,
+    /// Seed for all model randomness (Ethernet backoff).
+    pub seed: u64,
+}
+
+impl Default for DseConfig {
+    /// The paper's configuration: linked-library organization, TCP/IP over
+    /// 10 Mbps shared-bus Ethernet, no GM cache.
+    fn default() -> Self {
+        DseConfig {
+            organization: Organization::LinkedLibrary,
+            protocol: Protocol::TcpIp,
+            network: NetworkChoice::SharedBus(10_000_000.0),
+            gm_cache: false,
+            seed: 0x05E_1999,
+        }
+    }
+}
+
+impl DseConfig {
+    /// The paper's configuration (alias of `Default`).
+    pub fn paper() -> DseConfig {
+        DseConfig::default()
+    }
+
+    /// Same but with the legacy separate-process organization.
+    pub fn legacy() -> DseConfig {
+        DseConfig {
+            organization: Organization::SeparateProcess,
+            ..DseConfig::default()
+        }
+    }
+
+    /// Builder-style: set the protocol.
+    pub fn with_protocol(mut self, p: Protocol) -> Self {
+        self.protocol = p;
+        self
+    }
+
+    /// Builder-style: set the network.
+    pub fn with_network(mut self, n: NetworkChoice) -> Self {
+        self.network = n;
+        self
+    }
+
+    /// Builder-style: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: enable/disable the GM cache.
+    pub fn with_gm_cache(mut self, on: bool) -> Self {
+        self.gm_cache = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = DseConfig::default();
+        assert_eq!(c.organization, Organization::LinkedLibrary);
+        assert_eq!(c.protocol, Protocol::TcpIp);
+        assert!(matches!(c.network, NetworkChoice::SharedBus(b) if b == 10_000_000.0));
+        assert!(!c.gm_cache);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = DseConfig::paper()
+            .with_protocol(Protocol::RawEthernet)
+            .with_seed(42)
+            .with_gm_cache(true);
+        assert_eq!(c.protocol, Protocol::RawEthernet);
+        assert_eq!(c.seed, 42);
+        assert!(c.gm_cache);
+    }
+
+    #[test]
+    fn legacy_differs_only_in_organization() {
+        let l = DseConfig::legacy();
+        assert_eq!(l.organization, Organization::SeparateProcess);
+        assert_eq!(l.protocol, DseConfig::default().protocol);
+    }
+}

@@ -1,0 +1,169 @@
+//! The combined cost model: platform × protocol × organization.
+//!
+//! Everything the runtime charges to a CPU goes through here, so the pricing
+//! rules live in one place and the ablation benches can vary one factor at a
+//! time.
+
+use dse_net::ProtocolModel;
+use dse_platform::{Platform, Work};
+use dse_sim::SimDuration;
+
+use crate::config::Organization;
+
+/// Fork/exec-style cost of creating a DSE parallel process, expressed as a
+/// multiple of the platform's context-switch cost (lab-era UNIX process
+/// creation is on the order of milliseconds).
+const FORK_CTX_SWITCHES: f64 = 60.0;
+
+/// Fixed software cost of the own-node fast path (a function call into the
+/// linked kernel library plus queue bookkeeping), in microseconds.
+const LOCAL_CALL_US: f64 = 2.0;
+
+/// Prices runtime actions on one platform under one protocol/organization.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    platform: Platform,
+    proto: ProtocolModel,
+    organization: Organization,
+}
+
+impl CostModel {
+    /// Build a cost model.
+    pub fn new(platform: Platform, proto: ProtocolModel, organization: Organization) -> CostModel {
+        CostModel {
+            platform,
+            proto,
+            organization,
+        }
+    }
+
+    /// The underlying platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// CPU time for application work.
+    pub fn compute(&self, work: Work) -> SimDuration {
+        SimDuration::from_secs_f64(self.platform.compute_secs(work))
+    }
+
+    /// Host software time to push one `bytes`-payload message into the
+    /// network (syscall + protocol send processing, protocol-scaled).
+    pub fn msg_send(&self, bytes: usize) -> SimDuration {
+        let os = &self.platform.os_params;
+        let secs = (os.syscall_us + os.proto_send_us * self.proto.per_msg_scale) * 1e-6
+            + bytes as f64 * os.proto_byte_ns * self.proto.per_byte_scale * 1e-9;
+        SimDuration::from_secs_f64(secs + self.ipc_penalty())
+    }
+
+    /// Host software time to take one `bytes`-payload message out of the
+    /// network: protocol receive processing plus the async-I/O signal
+    /// delivery and the context switch into DSE-kernel duty.
+    pub fn msg_recv(&self, bytes: usize) -> SimDuration {
+        let os = &self.platform.os_params;
+        let secs =
+            (os.proto_recv_us * self.proto.per_msg_scale + os.signal_us + os.context_switch_us)
+                * 1e-6
+                + bytes as f64 * os.proto_byte_ns * self.proto.per_byte_scale * 1e-9;
+        SimDuration::from_secs_f64(secs + self.ipc_penalty())
+    }
+
+    /// Own-node fast path: the API calls straight into the linked kernel
+    /// library and touches `bytes` of memory. Under the legacy organization
+    /// this instead crosses the IPC boundary to the kernel process.
+    pub fn local_call(&self, bytes: usize) -> SimDuration {
+        let copy = bytes as f64 / (self.platform.cpu.mem_mb_s * 1e6);
+        SimDuration::from_secs_f64(LOCAL_CALL_US * 1e-6 + copy + self.ipc_penalty())
+    }
+
+    /// Memory traffic of servicing a GM request (copy in/out of the store).
+    pub fn mem_copy(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / (self.platform.cpu.mem_mb_s * 1e6))
+    }
+
+    /// Cost of creating one DSE parallel process on this node.
+    pub fn fork(&self) -> SimDuration {
+        SimDuration::from_secs_f64(
+            self.platform.os_params.context_switch_us * FORK_CTX_SWITCHES * 1e-6,
+        )
+    }
+
+    /// The per-interaction penalty the legacy separate-process organization
+    /// pays (an IPC rendezvous plus two context switches); zero for the
+    /// linked-library organization.
+    fn ipc_penalty(&self) -> f64 {
+        match self.organization {
+            Organization::LinkedLibrary => 0.0,
+            Organization::SeparateProcess => self.platform.legacy_ipc_secs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_net::Protocol;
+
+    fn model(org: Organization) -> CostModel {
+        CostModel::new(
+            Platform::sunos_sparc(),
+            ProtocolModel::of(Protocol::TcpIp),
+            org,
+        )
+    }
+
+    #[test]
+    fn legacy_is_strictly_more_expensive() {
+        let new = model(Organization::LinkedLibrary);
+        let old = model(Organization::SeparateProcess);
+        assert!(old.msg_send(100) > new.msg_send(100));
+        assert!(old.msg_recv(100) > new.msg_recv(100));
+        assert!(old.local_call(100) > new.local_call(100));
+        // Compute is organization-independent.
+        assert_eq!(
+            old.compute(Work::flops(1000)),
+            new.compute(Work::flops(1000))
+        );
+    }
+
+    #[test]
+    fn local_call_cheaper_than_message_pair() {
+        let m = model(Organization::LinkedLibrary);
+        let local = m.local_call(256);
+        let remote = m.msg_send(256) + m.msg_recv(256);
+        assert!(
+            local.as_nanos() * 10 < remote.as_nanos(),
+            "own-node path must be much cheaper: {local} vs {remote}"
+        );
+    }
+
+    #[test]
+    fn lighter_protocol_cheaper() {
+        let tcp = CostModel::new(
+            Platform::linux_pentium2(),
+            ProtocolModel::of(Protocol::TcpIp),
+            Organization::LinkedLibrary,
+        );
+        let raw = CostModel::new(
+            Platform::linux_pentium2(),
+            ProtocolModel::of(Protocol::RawEthernet),
+            Organization::LinkedLibrary,
+        );
+        assert!(raw.msg_send(1000) < tcp.msg_send(1000));
+        assert!(raw.msg_recv(1000) < tcp.msg_recv(1000));
+    }
+
+    #[test]
+    fn fork_is_milliseconds_scale() {
+        let m = model(Organization::LinkedLibrary);
+        let f = m.fork().as_secs_f64();
+        assert!(f > 1e-3 && f < 20e-3, "fork cost {f}s out of range");
+    }
+
+    #[test]
+    fn per_byte_costs_grow() {
+        let m = model(Organization::LinkedLibrary);
+        assert!(m.msg_send(10_000) > m.msg_send(10));
+        assert!(m.mem_copy(10_000) > m.mem_copy(10));
+    }
+}

@@ -1,0 +1,438 @@
+//! The DSE kernel main loop (the parallel processing engine).
+//!
+//! One kernel runs per node. Under the new organization it is a library
+//! linked into the application's process, woken by async-I/O signals when a
+//! remote request arrives; in the simulator it is its own scheduled entity
+//! whose service time is charged to the node's machine CPU — which is
+//! exactly the semantics of signal-driven interruption: kernel work steals
+//! CPU from the co-resident application process.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dse_msg::{GlobalPid, Message, NodeId, ReqId, ReqIdGen};
+use dse_sim::{ProcCtx, ProcId};
+
+use crate::cache::blocks_inside;
+use crate::netpath::{charge_recv, send_msg};
+use crate::shared::ClusterShared;
+use crate::simmsg::SimMsg;
+use crate::sync::{BarrierOutcome, LockOutcome, Party, UnlockOutcome};
+
+/// A ready-to-run application process body (built by the API layer).
+pub type AppBody = Box<dyn FnOnce(&mut ProcCtx<SimMsg>) + Send>;
+
+/// Factory turning (rank, pid) into an application process body; supplied
+/// by the program harness so the kernel stays independent of the API crate.
+pub type AppFactory = Arc<dyn Fn(u32, GlobalPid) -> AppBody + Send + Sync>;
+
+/// Handle a barrier entry on behalf of `party` and, if the barrier
+/// completed, send the releases to all *earlier* waiters. Returns the
+/// completed epoch (the caller decides whether `party` itself proceeds
+/// directly — the own-node path — or needs its own release message — the
+/// remote path). `acting_node` is the node whose CPU pays for the sends.
+pub fn barrier_enter(
+    ctx: &mut ProcCtx<SimMsg>,
+    shared: &ClusterShared,
+    acting_node: NodeId,
+    barrier: u32,
+    party: Party,
+) -> Option<u32> {
+    match shared.barriers.enter(barrier, party) {
+        BarrierOutcome::Wait => None,
+        BarrierOutcome::Complete { epoch, waiters } => {
+            shared.stats.update(|s| s.barrier_epochs += 1);
+            let release = Message::BarrierRelease { barrier, epoch };
+            for w in waiters {
+                send_msg(
+                    ctx,
+                    shared,
+                    acting_node,
+                    w.node,
+                    w.reply_to,
+                    ctx.id(),
+                    &release,
+                );
+            }
+            Some(epoch)
+        }
+    }
+}
+
+/// Handle a lock request on behalf of `party`; sends the grant if the lock
+/// was free. `acting_node` pays for the grant send.
+pub fn lock_acquire(
+    ctx: &mut ProcCtx<SimMsg>,
+    shared: &ClusterShared,
+    acting_node: NodeId,
+    lock: u32,
+    party: Party,
+) {
+    match shared.locks.acquire(lock, party) {
+        LockOutcome::Granted => {
+            shared.stats.update(|s| s.lock_grants += 1);
+            let grant = Message::LockGrant {
+                req: party.req,
+                lock,
+            };
+            send_msg(
+                ctx,
+                shared,
+                acting_node,
+                party.node,
+                party.reply_to,
+                ctx.id(),
+                &grant,
+            );
+        }
+        LockOutcome::Queued => {}
+    }
+}
+
+/// Handle a lock release; passes ownership to the next queued party if any.
+pub fn lock_release(
+    ctx: &mut ProcCtx<SimMsg>,
+    shared: &ClusterShared,
+    acting_node: NodeId,
+    lock: u32,
+    pid: GlobalPid,
+) {
+    match shared.locks.release(lock, pid) {
+        UnlockOutcome::Released => {}
+        UnlockOutcome::Granted(next) => {
+            shared.stats.update(|s| s.lock_grants += 1);
+            let grant = Message::LockGrant {
+                req: next.req,
+                lock,
+            };
+            send_msg(
+                ctx,
+                shared,
+                acting_node,
+                next.node,
+                next.reply_to,
+                ctx.id(),
+                &grant,
+            );
+        }
+    }
+}
+
+/// A coherence transaction awaiting invalidation acknowledgements before
+/// its response can be released.
+struct PendingTxn {
+    remaining: usize,
+    response: Message,
+    to_node: NodeId,
+    to_proc: ProcId,
+}
+
+/// Start a write-invalidate transaction for a store mutation covering
+/// `[offset, offset+len)` of `region`: sends `GmInvalidate` to every other
+/// holder and returns the number of acks to await (0 = no holders).
+#[allow(clippy::too_many_arguments)]
+pub fn begin_invalidation(
+    ctx: &mut ProcCtx<SimMsg>,
+    shared: &ClusterShared,
+    acting_node: NodeId,
+    txn: ReqId,
+    region: dse_msg::RegionId,
+    offset: u64,
+    len: usize,
+    exclude: NodeId,
+) -> usize {
+    let holders = shared.cache.take_holders(region, offset, len, exclude);
+    let inv = Message::GmInvalidate {
+        req: txn,
+        region,
+        offset,
+        len: len as u32,
+    };
+    for h in &holders {
+        shared.stats.update(|s| s.cache_invalidations += 1);
+        let kproc = shared.kernel_of(*h);
+        let me = ctx.id();
+        send_msg(ctx, shared, acting_node, *h, kproc, me, &inv);
+    }
+    holders.len()
+}
+
+/// The kernel loop for `node`. Runs until a `KernelShutdown` arrives (or the
+/// simulation drains).
+pub fn kernel_main(
+    ctx: &mut ProcCtx<SimMsg>,
+    node: NodeId,
+    shared: Arc<ClusterShared>,
+    factory: AppFactory,
+) {
+    let mut next_local_pid: u16 = 1;
+    let cache_on = shared.config.gm_cache;
+    let mut txn_ids = ReqIdGen::new();
+    let mut pending: HashMap<u64, PendingTxn> = HashMap::new();
+    while let Some(env) = ctx.recv() {
+        let sm = env.msg;
+        let msg = Message::decode(&sm.bytes).expect("kernel received undecodable message");
+        if matches!(msg, Message::KernelShutdown) {
+            break;
+        }
+        // Async-I/O receive path: signal delivery + protocol processing on
+        // this node's CPU (stealing time from the co-resident app).
+        charge_recv(ctx, &shared, node, sm.bytes.len());
+        match msg {
+            Message::GmReadReq {
+                req,
+                region,
+                offset,
+                len,
+            } => {
+                let data = shared
+                    .store
+                    .read(region, offset, len as usize)
+                    .unwrap_or_else(|e| panic!("kernel {node}: remote read failed: {e}"));
+                ctx.use_resource(shared.cpu_of(node), shared.cost(node).mem_copy(data.len()));
+                shared.stats.update(|s| {
+                    s.gm_remote_reads += 1;
+                    s.gm_bytes_read += data.len() as u64;
+                });
+                if cache_on {
+                    // The reader will install every block fully inside the
+                    // response; record it as a holder of exactly those.
+                    for b in blocks_inside(offset, len as usize) {
+                        let lo = (b as usize * crate::cache::CACHE_BLOCK) as u64 - offset;
+                        let chunk =
+                            data[lo as usize..lo as usize + crate::cache::CACHE_BLOCK].to_vec();
+                        shared.cache.install(sm.from_node, region, b, chunk);
+                    }
+                }
+                let resp = Message::GmReadResp { req, data };
+                send_msg(
+                    ctx,
+                    &shared,
+                    node,
+                    sm.from_node,
+                    sm.reply_to,
+                    ctx.id(),
+                    &resp,
+                );
+            }
+            Message::GmWriteReq {
+                req,
+                region,
+                offset,
+                data,
+            } => {
+                ctx.use_resource(shared.cpu_of(node), shared.cost(node).mem_copy(data.len()));
+                shared.stats.update(|s| {
+                    s.gm_remote_writes += 1;
+                    s.gm_bytes_written += data.len() as u64;
+                });
+                let len = data.len();
+                shared
+                    .store
+                    .write(region, offset, &data)
+                    .unwrap_or_else(|e| panic!("kernel {node}: remote write failed: {e}"));
+                let resp = Message::GmWriteAck { req };
+                let mut acks_needed = 0;
+                if cache_on {
+                    let txn = txn_ids.next();
+                    acks_needed = begin_invalidation(
+                        ctx,
+                        &shared,
+                        node,
+                        txn,
+                        region,
+                        offset,
+                        len,
+                        sm.from_node,
+                    );
+                    if acks_needed > 0 {
+                        pending.insert(
+                            txn.0,
+                            PendingTxn {
+                                remaining: acks_needed,
+                                response: resp.clone(),
+                                to_node: sm.from_node,
+                                to_proc: sm.reply_to,
+                            },
+                        );
+                    }
+                }
+                if acks_needed == 0 {
+                    send_msg(
+                        ctx,
+                        &shared,
+                        node,
+                        sm.from_node,
+                        sm.reply_to,
+                        ctx.id(),
+                        &resp,
+                    );
+                }
+            }
+            Message::GmFetchAddReq {
+                req,
+                region,
+                offset,
+                delta,
+            } => {
+                let prev = shared
+                    .store
+                    .fetch_add(region, offset, delta)
+                    .unwrap_or_else(|e| panic!("kernel {node}: remote fetch-add failed: {e}"));
+                shared.stats.update(|s| s.fetch_adds += 1);
+                let resp = Message::GmFetchAddResp { req, prev };
+                let mut acks_needed = 0;
+                if cache_on {
+                    let txn = txn_ids.next();
+                    acks_needed = begin_invalidation(
+                        ctx,
+                        &shared,
+                        node,
+                        txn,
+                        region,
+                        offset,
+                        8,
+                        sm.from_node,
+                    );
+                    if acks_needed > 0 {
+                        pending.insert(
+                            txn.0,
+                            PendingTxn {
+                                remaining: acks_needed,
+                                response: resp.clone(),
+                                to_node: sm.from_node,
+                                to_proc: sm.reply_to,
+                            },
+                        );
+                    }
+                }
+                if acks_needed == 0 {
+                    send_msg(
+                        ctx,
+                        &shared,
+                        node,
+                        sm.from_node,
+                        sm.reply_to,
+                        ctx.id(),
+                        &resp,
+                    );
+                }
+            }
+            Message::InvokeReq { req, rank, .. } => {
+                // Parallel process creation: fork-scale cost, then the new
+                // process begins on this node.
+                ctx.use_resource(shared.cpu_of(node), shared.cost(node).fork());
+                let pid = GlobalPid::new(node, next_local_pid);
+                next_local_pid += 1;
+                shared.stats.update(|s| s.invokes += 1);
+                let body = factory(rank, pid);
+                let app_proc = ctx.spawn(&format!("rank{rank}@{node}"), move |pctx| {
+                    body(pctx);
+                });
+                shared.register_app(pid, app_proc);
+                let resp = Message::InvokeAck { req, pid };
+                send_msg(
+                    ctx,
+                    &shared,
+                    node,
+                    sm.from_node,
+                    sm.reply_to,
+                    ctx.id(),
+                    &resp,
+                );
+            }
+            Message::TerminateReq { req, pid } => {
+                shared.mark_terminated(pid);
+                let resp = Message::TerminateAck { req };
+                send_msg(
+                    ctx,
+                    &shared,
+                    node,
+                    sm.from_node,
+                    sm.reply_to,
+                    ctx.id(),
+                    &resp,
+                );
+            }
+            Message::BarrierEnter { barrier, pid } => {
+                debug_assert_eq!(node, NodeId(0), "barrier traffic must reach node 0");
+                let party = Party {
+                    pid,
+                    node: sm.from_node,
+                    reply_to: sm.reply_to,
+                    req: ReqId(0),
+                };
+                if let Some(epoch) = barrier_enter(ctx, &shared, node, barrier, party) {
+                    // The remote completer is itself blocked awaiting a
+                    // release (unlike the own-node path, which proceeds
+                    // straight through the library call).
+                    let release = Message::BarrierRelease { barrier, epoch };
+                    send_msg(
+                        ctx,
+                        &shared,
+                        node,
+                        sm.from_node,
+                        sm.reply_to,
+                        ctx.id(),
+                        &release,
+                    );
+                }
+            }
+            Message::LockReq { req, lock, pid } => {
+                debug_assert_eq!(node, NodeId(0), "lock traffic must reach node 0");
+                let party = Party {
+                    pid,
+                    node: sm.from_node,
+                    reply_to: sm.reply_to,
+                    req,
+                };
+                lock_acquire(ctx, &shared, node, lock, party);
+            }
+            Message::UnlockReq { lock, pid } => {
+                debug_assert_eq!(node, NodeId(0), "lock traffic must reach node 0");
+                lock_release(ctx, &shared, node, lock, pid);
+            }
+            Message::GmInvalidate {
+                req,
+                region,
+                offset,
+                len,
+            } => {
+                // Drop this node's stale copies and confirm.
+                shared.cache.drop_range(node, region, offset, len as usize);
+                let ack = Message::GmInvalidateAck { req };
+                send_msg(
+                    ctx,
+                    &shared,
+                    node,
+                    sm.from_node,
+                    sm.reply_to,
+                    ctx.id(),
+                    &ack,
+                );
+            }
+            Message::GmInvalidateAck { req } => {
+                let done = {
+                    let txn = pending
+                        .get_mut(&req.0)
+                        .unwrap_or_else(|| panic!("kernel {node}: stray invalidate ack {req:?}"));
+                    txn.remaining -= 1;
+                    txn.remaining == 0
+                };
+                if done {
+                    let txn = pending.remove(&req.0).unwrap();
+                    send_msg(
+                        ctx,
+                        &shared,
+                        node,
+                        txn.to_node,
+                        txn.to_proc,
+                        ctx.id(),
+                        &txn.response,
+                    );
+                }
+            }
+            other => panic!("kernel {node}: unexpected message {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # dse-kernel — the DSE Parallel Processing Library
+//!
+//! This crate is the paper's **parallel processing library** (Fig. 2/3): the
+//! DSE kernel implemented as a library that the parallel application links
+//! against, comprising
+//!
+//! * the **parallel process management module** ([`kernel`] — invocation,
+//!   termination, exit collection),
+//! * the **global memory management module** ([`gmem`] — home-partitioned
+//!   regions, reads/writes/atomics),
+//! * the **message exchange mechanism** ([`netpath`] + [`simmsg`] — own-node
+//!   fast path, same-machine loopback, LAN with protocol and bus costs),
+//! * cluster-wide synchronization ([`sync`] — barriers and locks,
+//!   coordinated by node 0),
+//! * and the combined [`cost`] model (platform × protocol × organization),
+//!   including the legacy separate-kernel-process organization for the
+//!   paper's "substantial enhancement" comparison.
+//!
+//! The user-facing Parallel API lives in `dse-api`; this crate deliberately
+//! knows nothing about it (the kernel receives application bodies through
+//! the opaque [`kernel::AppFactory`]).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod cost;
+pub mod gmem;
+pub mod kernel;
+pub mod netpath;
+pub mod shared;
+pub mod simmsg;
+pub mod stats;
+pub mod sync;
+
+pub use cache::{CacheStore, CACHE_BLOCK};
+pub use config::{DseConfig, NetworkChoice, Organization};
+pub use cost::CostModel;
+pub use gmem::{Distribution, GlobalStore, GmError};
+pub use kernel::{kernel_main, AppBody, AppFactory};
+pub use shared::ClusterShared;
+pub use simmsg::SimMsg;
+pub use stats::{KernelStats, StatsCell};
+pub use sync::{BarrierCenter, BarrierOutcome, LockCenter, LockOutcome, Party, UnlockOutcome};

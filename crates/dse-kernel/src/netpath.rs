@@ -1,0 +1,89 @@
+//! The message exchange mechanism: how a runtime message actually travels.
+//!
+//! Three paths, as in the paper's Fig. 3:
+//!
+//! * **own node** — the API calls straight into the linked kernel library;
+//!   no message exists (handled by the callers via `CostModel::local_call`);
+//! * **loopback** — two kernels co-located on one physical machine (the
+//!   virtual-cluster case): full protocol software cost on both sides, but
+//!   no LAN transmission and no collisions;
+//! * **LAN** — protocol software cost on both sides plus shared-bus
+//!   Ethernet transmission booked on the [`dse_net::Network`] model.
+//!
+//! Every send charges the *sender's* machine CPU, every receive charges the
+//! *receiver's* machine CPU (protocol receive + SIGIO signal delivery +
+//! context switch — the async-I/O interruption the paper describes).
+
+use dse_msg::{Message, NodeId};
+use dse_sim::{ProcCtx, ProcId, SimDuration};
+
+use crate::shared::ClusterShared;
+use crate::simmsg::SimMsg;
+
+/// Queueing delay of a loopback (same-machine) delivery. The software costs
+/// dominate; this only keeps event ordering sane.
+const LOOPBACK_DELAY: SimDuration = SimDuration::from_micros(5);
+
+/// Send `msg` from `from_node` to the simulation process `to_proc` living
+/// on `to_node`. Charges the sender-side software cost, books the wire (or
+/// loopback), and dispatches the envelope. `reply_to` names the simulation
+/// process any response should go to.
+pub fn send_msg(
+    ctx: &mut ProcCtx<SimMsg>,
+    shared: &ClusterShared,
+    from_node: NodeId,
+    to_node: NodeId,
+    to_proc: ProcId,
+    reply_to: ProcId,
+    msg: &Message,
+) {
+    let bytes = msg.encode();
+    shared.stats.update(|s| {
+        s.messages += 1;
+        s.message_bytes += bytes.len() as u64;
+    });
+    // Sender software path (syscall + protocol + copy), on the sender CPU.
+    ctx.use_resource(
+        shared.cpu_of(from_node),
+        shared.cost(from_node).msg_send(bytes.len()),
+    );
+    let latency = if shared.same_machine(from_node, to_node) {
+        LOOPBACK_DELAY
+    } else {
+        let now = ctx.now();
+        let timing = shared.network.lock().send_message(
+            now,
+            shared.machine_of(from_node),
+            shared.machine_of(to_node),
+            bytes.len(),
+        );
+        timing.delivered_at - now
+    };
+    ctx.send(
+        to_proc,
+        latency,
+        SimMsg {
+            from_node,
+            reply_to,
+            bytes,
+        },
+    );
+}
+
+/// Charge the receiver-side software cost for a message of `wire_len`
+/// payload bytes that just arrived at `node` (protocol receive processing,
+/// SIGIO delivery, context switch into kernel duty).
+pub fn charge_recv(
+    ctx: &mut ProcCtx<SimMsg>,
+    shared: &ClusterShared,
+    node: NodeId,
+    wire_len: usize,
+) {
+    ctx.use_resource(shared.cpu_of(node), shared.cost(node).msg_recv(wire_len));
+}
+
+/// Charge the own-node fast path (function call into the linked kernel
+/// library, touching `bytes` of memory).
+pub fn charge_local(ctx: &mut ProcCtx<SimMsg>, shared: &ClusterShared, node: NodeId, bytes: usize) {
+    ctx.use_resource(shared.cpu_of(node), shared.cost(node).local_call(bytes));
+}

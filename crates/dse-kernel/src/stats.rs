@@ -1,0 +1,80 @@
+//! Runtime counters collected across a parallel run.
+
+use parking_lot::Mutex;
+
+/// A snapshot of (or live accumulator for) runtime activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Global-memory reads satisfied on the requesting node.
+    pub gm_local_reads: u64,
+    /// Global-memory reads that crossed to another node.
+    pub gm_remote_reads: u64,
+    /// Global-memory writes satisfied on the requesting node.
+    pub gm_local_writes: u64,
+    /// Global-memory writes that crossed to another node.
+    pub gm_remote_writes: u64,
+    /// Bytes read from global memory.
+    pub gm_bytes_read: u64,
+    /// Bytes written to global memory.
+    pub gm_bytes_written: u64,
+    /// Atomic fetch-add operations.
+    pub fetch_adds: u64,
+    /// Runtime messages sent (requests, responses, control).
+    pub messages: u64,
+    /// Payload bytes across all runtime messages.
+    pub message_bytes: u64,
+    /// Barrier completions (epochs) observed.
+    pub barrier_epochs: u64,
+    /// Lock grants issued.
+    pub lock_grants: u64,
+    /// Parallel processes invoked.
+    pub invokes: u64,
+    /// Cache hits in the optional GM cache.
+    pub cache_hits: u64,
+    /// Cache misses in the optional GM cache.
+    pub cache_misses: u64,
+    /// Invalidation messages sent by the optional GM cache.
+    pub cache_invalidations: u64,
+}
+
+/// Thread-safe accumulator shared by every simulated entity.
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    inner: Mutex<KernelStats>,
+}
+
+impl StatsCell {
+    /// Fresh zeroed counters.
+    pub fn new() -> StatsCell {
+        StatsCell::default()
+    }
+
+    /// Apply a mutation to the counters.
+    pub fn update(&self, f: impl FnOnce(&mut KernelStats)) {
+        f(&mut self.inner.lock());
+    }
+
+    /// Copy the current values out.
+    pub fn snapshot(&self) -> KernelStats {
+        self.inner.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_and_snapshot() {
+        let s = StatsCell::new();
+        s.update(|k| k.messages += 3);
+        s.update(|k| {
+            k.messages += 1;
+            k.gm_bytes_read += 100;
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.messages, 4);
+        assert_eq!(snap.gm_bytes_read, 100);
+        assert_eq!(snap.barrier_epochs, 0);
+    }
+}

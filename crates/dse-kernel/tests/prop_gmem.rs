@@ -1,0 +1,115 @@
+//! Property tests for global-memory management: arbitrary operation
+//! sequences match a flat local mirror, home-splitting is a partition, and
+//! the cache block arithmetic tiles exactly.
+
+use proptest::prelude::*;
+
+use dse_kernel::cache::{blocks_inside, blocks_touching, CACHE_BLOCK};
+use dse_kernel::gmem::{Distribution, GlobalStore};
+use dse_msg::NodeId;
+
+fn arb_dist(nnodes: usize) -> impl Strategy<Value = Distribution> {
+    prop_oneof![
+        Just(Distribution::Blocked),
+        (1usize..200).prop_map(|c| Distribution::BlockedBy { chunk: c }),
+        (1usize..100).prop_map(|b| Distribution::Cyclic { block: b }),
+        (0..nnodes).prop_map(|n| Distribution::OnNode(NodeId(n as u16))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn read_write_matches_mirror(
+        dist in arb_dist(4),
+        len in 1usize..2000,
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0usize..2000, 0usize..300, any::<u8>()),
+            0..40
+        ),
+    ) {
+        let gs = GlobalStore::new(4);
+        let r = gs.alloc(len, dist);
+        let mut mirror = vec![0u8; len];
+        for (is_write, off, oplen, fill) in ops {
+            let off = off % len;
+            let oplen = oplen.min(len - off);
+            if is_write {
+                let data = vec![fill; oplen];
+                gs.write(r, off as u64, &data).unwrap();
+                mirror[off..off + oplen].copy_from_slice(&data);
+            } else {
+                let got = gs.read(r, off as u64, oplen).unwrap();
+                prop_assert_eq!(&got[..], &mirror[off..off + oplen]);
+            }
+        }
+    }
+
+    #[test]
+    fn split_by_home_is_an_exact_partition(
+        dist in arb_dist(5),
+        len in 1usize..3000,
+        off in 0usize..3000,
+        span in 0usize..1000,
+    ) {
+        let gs = GlobalStore::new(5);
+        let r = gs.alloc(len, dist);
+        let off = off % len;
+        let span = span.min(len - off);
+        let runs = gs.split_by_home(r, off as u64, span).unwrap();
+        // Contiguous, in order, covering exactly [off, off+span).
+        let mut cursor = off as u64;
+        for (home, ro, rl) in &runs {
+            prop_assert_eq!(*ro, cursor, "gap or overlap");
+            prop_assert!(*rl > 0);
+            // Every byte of the run really homes on the reported node.
+            for probe in [*ro, ro + *rl as u64 - 1, ro + (*rl as u64) / 2] {
+                prop_assert_eq!(gs.home_of(r, probe).unwrap(), *home);
+            }
+            cursor += *rl as u64;
+        }
+        prop_assert_eq!(cursor, (off + span) as u64);
+        // Adjacent runs have distinct homes (maximal merging).
+        for w in runs.windows(2) {
+            prop_assert_ne!(w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn fetch_add_sequence_matches_model(
+        deltas in proptest::collection::vec(any::<i32>(), 1..50),
+    ) {
+        let gs = GlobalStore::new(2);
+        let r = gs.alloc(8, Distribution::OnNode(NodeId(0)));
+        let mut model: i64 = 0;
+        for d in deltas {
+            let prev = gs.fetch_add(r, 0, d as i64).unwrap();
+            prop_assert_eq!(prev, model);
+            model = model.wrapping_add(d as i64);
+        }
+    }
+
+    #[test]
+    fn cache_block_arithmetic_tiles(off in 0u64..100_000, len in 0usize..10_000) {
+        let touching = blocks_touching(off, len);
+        let inside = blocks_inside(off, len);
+        // Inside ⊆ touching.
+        prop_assert!(inside.start >= touching.start);
+        prop_assert!(inside.end <= touching.end.max(inside.start));
+        // Every inside block really lies within the range.
+        let b = CACHE_BLOCK as u64;
+        for blk in inside {
+            prop_assert!(blk * b >= off);
+            prop_assert!((blk + 1) * b <= off + len as u64);
+        }
+        // Touching blocks intersect the range (when non-empty).
+        if len > 0 {
+            for blk in touching {
+                let bs = blk * b;
+                let be = (blk + 1) * b;
+                prop_assert!(bs < off + len as u64 && be > off);
+            }
+        }
+    }
+}

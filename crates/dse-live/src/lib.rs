@@ -1,0 +1,13 @@
+//! # dse-live — the real-thread DSE execution engine
+//!
+//! The counterpart of the simulated cluster: [`run_live`] executes the same
+//! [`dse_api::ParallelApi`] application bodies on real OS threads with real
+//! synchronization and wall-clock timing. One application source, two
+//! engines — the portability the paper's design argues for, demonstrated
+//! mechanically by the cross-engine equivalence tests in `tests/`.
+
+#![warn(missing_docs)]
+
+mod engine;
+
+pub use engine::{run_live, LiveCluster, LiveCtx, LiveRunResult};

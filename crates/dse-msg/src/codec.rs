@@ -1,0 +1,251 @@
+//! Byte-level reader/writer helpers for the hand-rolled wire format.
+//!
+//! DSE predates ubiquitous serialization frameworks; the paper's "global
+//! memory access request message create module" and "response message
+//! analyze module" construct and parse explicit message buffers. We mirror
+//! that with a small little-endian codec. The encoded length is also what
+//! the network model charges for, so encoding must be stable.
+
+use std::fmt;
+
+/// Errors produced while decoding a wire buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the announced content.
+    Truncated {
+        /// How many bytes the decoder needed.
+        needed: usize,
+        /// How many bytes remained.
+        had: usize,
+    },
+    /// Unknown message tag byte.
+    BadTag(u8),
+    /// The buffer had trailing bytes after a complete message.
+    TrailingBytes(usize),
+    /// A length field exceeded sanity bounds.
+    BadLength(u64),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, had } => {
+                write!(f, "truncated buffer: needed {needed} bytes, had {had}")
+            }
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            CodecError::BadLength(n) => write!(f, "implausible length field {n}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Maximum payload length the decoder will accept (sanity bound).
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Writer with preallocated capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian i64.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed byte string (u32 length).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Consume the writer, yielding the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Little-endian byte reader over a borrowed buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError::Truncated {
+                needed: n,
+                had: self.buf.len() - self.pos,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian i64.
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.u32()? as usize;
+        if len > MAX_PAYLOAD {
+            return Err(CodecError::BadLength(len as u64));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless the buffer is fully consumed.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return Err(CodecError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(u64::MAX - 1);
+        w.i64(-42);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut w = Writer::new();
+        w.bytes(b"hello");
+        w.bytes(b"");
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.bytes().unwrap(), b"");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.u64(1);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf[..5]);
+        match r.u64() {
+            Err(CodecError::Truncated { needed: 8, had: 5 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let buf = [1u8, 2, 3];
+        let mut r = Reader::new(&buf);
+        let _ = r.u8().unwrap();
+        assert_eq!(r.expect_end(), Err(CodecError::TrailingBytes(2)));
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        match r.bytes() {
+            Err(CodecError::BadLength(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

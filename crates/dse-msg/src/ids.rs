@@ -1,0 +1,127 @@
+//! Identifier types shared across the DSE runtime.
+
+use std::fmt;
+
+/// A node (processor element) in the cluster. One DSE kernel runs per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A cluster-wide (single-system-image) process identifier.
+///
+/// DSE presents one flat process-id space across the cluster: the top half
+/// names the node that hosts the process, the bottom half is the node-local
+/// slot. Applications never need to decompose it — that is the point of the
+/// SSI — but the runtime can.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalPid(pub u32);
+
+impl GlobalPid {
+    /// Compose from hosting node and node-local slot.
+    #[inline]
+    pub fn new(node: NodeId, local: u16) -> GlobalPid {
+        GlobalPid(((node.0 as u32) << 16) | local as u32)
+    }
+
+    /// The node hosting this process.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId((self.0 >> 16) as u16)
+    }
+
+    /// The node-local slot.
+    #[inline]
+    pub fn local(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+}
+
+impl fmt::Display for GlobalPid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpid({}:{})", self.node().0, self.local())
+    }
+}
+
+/// A global-memory region handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u32);
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gm{}", self.0)
+    }
+}
+
+/// Correlates a request with its response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReqId(pub u64);
+
+/// Monotonic allocator for [`ReqId`]s (one per requesting process).
+#[derive(Debug, Default)]
+pub struct ReqIdGen {
+    next: u64,
+}
+
+impl ReqIdGen {
+    /// A fresh generator starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate the next id.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> ReqId {
+        let id = ReqId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpid_packs_and_unpacks() {
+        let pid = GlobalPid::new(NodeId(3), 17);
+        assert_eq!(pid.node(), NodeId(3));
+        assert_eq!(pid.local(), 17);
+    }
+
+    #[test]
+    fn gpid_extremes() {
+        let pid = GlobalPid::new(NodeId(u16::MAX), u16::MAX);
+        assert_eq!(pid.node(), NodeId(u16::MAX));
+        assert_eq!(pid.local(), u16::MAX);
+        let zero = GlobalPid::new(NodeId(0), 0);
+        assert_eq!(zero.0, 0);
+    }
+
+    #[test]
+    fn reqid_gen_monotonic() {
+        let mut g = ReqIdGen::new();
+        assert_eq!(g.next(), ReqId(0));
+        assert_eq!(g.next(), ReqId(1));
+        assert_eq!(g.next(), ReqId(2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(GlobalPid::new(NodeId(1), 2).to_string(), "gpid(1:2)");
+        assert_eq!(RegionId(9).to_string(), "gm9");
+    }
+}

@@ -1,0 +1,24 @@
+//! # dse-msg — the DSE message exchange wire format
+//!
+//! The paper's software organization (Fig. 3) names two API-side modules —
+//! the *global memory access request message create module* and the
+//! *response message analyze module* — plus the kernel-side *message
+//! exchange mechanism* that moves those buffers between nodes. This crate
+//! is their common vocabulary:
+//!
+//! * [`Message`] — every runtime message (global-memory access, process
+//!   invocation/termination, barriers/locks, user data), with a hand-rolled
+//!   little-endian encoding whose size is exactly what the network model
+//!   charges for;
+//! * identifier types ([`NodeId`], [`GlobalPid`], [`RegionId`], [`ReqId`])
+//!   shared by every layer.
+
+#![warn(missing_docs)]
+
+mod codec;
+mod ids;
+mod message;
+
+pub use codec::{CodecError, Reader, Writer, MAX_PAYLOAD};
+pub use ids::{GlobalPid, NodeId, RegionId, ReqId, ReqIdGen};
+pub use message::Message;

@@ -1,0 +1,647 @@
+//! The DSE message set and its wire encoding.
+//!
+//! These are the payloads of the paper's *message exchange mechanism*
+//! (Fig. 3): global-memory access requests/responses, parallel process
+//! invocation/termination, synchronization traffic and raw user data. The
+//! encoding is an explicit little-endian layout — tag byte, fixed header
+//! fields, then any variable payload — because the encoded size is also the
+//! number of bytes the network model puts on the wire.
+
+use crate::codec::{CodecError, Reader, Writer};
+use crate::ids::{GlobalPid, RegionId, ReqId};
+
+/// One DSE runtime message.
+///
+/// ```
+/// use dse_msg::{Message, RegionId, ReqId};
+///
+/// let msg = Message::GmReadReq {
+///     req: ReqId(7),
+///     region: RegionId(0),
+///     offset: 128,
+///     len: 64,
+/// };
+/// let wire = msg.encode();
+/// assert_eq!(wire.len(), msg.wire_len());
+/// assert_eq!(Message::decode(&wire).unwrap(), msg);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Read `len` bytes at `offset` within a global-memory region.
+    GmReadReq {
+        /// Correlation id.
+        req: ReqId,
+        /// Target region.
+        region: RegionId,
+        /// Byte offset within the region.
+        offset: u64,
+        /// Byte length to read.
+        len: u32,
+    },
+    /// Response carrying the bytes of a [`Message::GmReadReq`].
+    GmReadResp {
+        /// Correlation id of the request.
+        req: ReqId,
+        /// The data read.
+        data: Vec<u8>,
+    },
+    /// Write bytes at `offset` within a global-memory region.
+    GmWriteReq {
+        /// Correlation id.
+        req: ReqId,
+        /// Target region.
+        region: RegionId,
+        /// Byte offset within the region.
+        offset: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Acknowledges a [`Message::GmWriteReq`].
+    GmWriteAck {
+        /// Correlation id of the request.
+        req: ReqId,
+    },
+    /// Atomic fetch-and-add on an 8-byte cell of a region (synchronization
+    /// substrate for locks, counters and barriers).
+    GmFetchAddReq {
+        /// Correlation id.
+        req: ReqId,
+        /// Target region.
+        region: RegionId,
+        /// Byte offset of the 8-byte cell.
+        offset: u64,
+        /// Signed increment.
+        delta: i64,
+    },
+    /// Response to [`Message::GmFetchAddReq`] with the previous value.
+    GmFetchAddResp {
+        /// Correlation id of the request.
+        req: ReqId,
+        /// Value of the cell before the increment.
+        prev: i64,
+    },
+    /// Invalidate any cached copies of a region range (cache-coherence
+    /// traffic when the optional global-memory cache is enabled).
+    GmInvalidate {
+        /// Correlation id (acknowledged by [`Message::GmInvalidateAck`]).
+        req: ReqId,
+        /// Target region.
+        region: RegionId,
+        /// Byte offset of the invalidated range.
+        offset: u64,
+        /// Length of the invalidated range.
+        len: u32,
+    },
+    /// Confirms a [`Message::GmInvalidate`] (the stale copies are gone).
+    GmInvalidateAck {
+        /// Correlation id of the invalidation.
+        req: ReqId,
+    },
+    /// Ask a node's kernel to start a parallel process.
+    InvokeReq {
+        /// Correlation id.
+        req: ReqId,
+        /// Rank the new process will hold in the parallel program.
+        rank: u32,
+        /// Opaque argument bytes handed to the process body.
+        args: Vec<u8>,
+    },
+    /// Confirms an [`Message::InvokeReq`] with the new global pid.
+    InvokeAck {
+        /// Correlation id of the request.
+        req: ReqId,
+        /// The spawned process's cluster-wide pid.
+        pid: GlobalPid,
+    },
+    /// A parallel process finished (sent home to the invoking kernel).
+    ExitNotice {
+        /// Which process exited.
+        pid: GlobalPid,
+        /// Application exit status.
+        status: i32,
+    },
+    /// Ask a kernel to terminate a resident process.
+    TerminateReq {
+        /// Correlation id.
+        req: ReqId,
+        /// Which process to terminate.
+        pid: GlobalPid,
+    },
+    /// Confirms a [`Message::TerminateReq`].
+    TerminateAck {
+        /// Correlation id of the request.
+        req: ReqId,
+    },
+    /// A process entered a barrier.
+    BarrierEnter {
+        /// Barrier identifier.
+        barrier: u32,
+        /// Entering process.
+        pid: GlobalPid,
+    },
+    /// The barrier master releases all waiters of an epoch.
+    BarrierRelease {
+        /// Barrier identifier.
+        barrier: u32,
+        /// Completed epoch number.
+        epoch: u32,
+    },
+    /// Request ownership of a cluster lock.
+    LockReq {
+        /// Correlation id.
+        req: ReqId,
+        /// Lock identifier.
+        lock: u32,
+        /// Requesting process.
+        pid: GlobalPid,
+    },
+    /// Grant of a [`Message::LockReq`].
+    LockGrant {
+        /// Correlation id of the request.
+        req: ReqId,
+        /// Lock identifier.
+        lock: u32,
+    },
+    /// Release a held cluster lock.
+    UnlockReq {
+        /// Lock identifier.
+        lock: u32,
+        /// Releasing process.
+        pid: GlobalPid,
+    },
+    /// Application-level point-to-point data (the message-passing escape
+    /// hatch the API also exposes).
+    UserData {
+        /// Sender process.
+        from: GlobalPid,
+        /// Application tag for matching.
+        tag: u32,
+        /// Payload bytes.
+        data: Vec<u8>,
+    },
+    /// Ask a kernel's main loop to exit (orderly shutdown).
+    KernelShutdown,
+}
+
+const TAG_GM_READ_REQ: u8 = 0x01;
+const TAG_GM_READ_RESP: u8 = 0x02;
+const TAG_GM_WRITE_REQ: u8 = 0x03;
+const TAG_GM_WRITE_ACK: u8 = 0x04;
+const TAG_GM_FADD_REQ: u8 = 0x05;
+const TAG_GM_FADD_RESP: u8 = 0x06;
+const TAG_GM_INVALIDATE: u8 = 0x07;
+const TAG_GM_INVALIDATE_ACK: u8 = 0x08;
+const TAG_INVOKE_REQ: u8 = 0x10;
+const TAG_INVOKE_ACK: u8 = 0x11;
+const TAG_EXIT_NOTICE: u8 = 0x12;
+const TAG_TERMINATE_REQ: u8 = 0x13;
+const TAG_TERMINATE_ACK: u8 = 0x14;
+const TAG_BARRIER_ENTER: u8 = 0x20;
+const TAG_BARRIER_RELEASE: u8 = 0x21;
+const TAG_LOCK_REQ: u8 = 0x22;
+const TAG_LOCK_GRANT: u8 = 0x23;
+const TAG_UNLOCK_REQ: u8 = 0x24;
+const TAG_USER_DATA: u8 = 0x30;
+const TAG_KERNEL_SHUTDOWN: u8 = 0x7F;
+
+impl Message {
+    /// Encode into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(self.wire_len());
+        match self {
+            Message::GmReadReq {
+                req,
+                region,
+                offset,
+                len,
+            } => {
+                w.u8(TAG_GM_READ_REQ);
+                w.u64(req.0);
+                w.u32(region.0);
+                w.u64(*offset);
+                w.u32(*len);
+            }
+            Message::GmReadResp { req, data } => {
+                w.u8(TAG_GM_READ_RESP);
+                w.u64(req.0);
+                w.bytes(data);
+            }
+            Message::GmWriteReq {
+                req,
+                region,
+                offset,
+                data,
+            } => {
+                w.u8(TAG_GM_WRITE_REQ);
+                w.u64(req.0);
+                w.u32(region.0);
+                w.u64(*offset);
+                w.bytes(data);
+            }
+            Message::GmWriteAck { req } => {
+                w.u8(TAG_GM_WRITE_ACK);
+                w.u64(req.0);
+            }
+            Message::GmFetchAddReq {
+                req,
+                region,
+                offset,
+                delta,
+            } => {
+                w.u8(TAG_GM_FADD_REQ);
+                w.u64(req.0);
+                w.u32(region.0);
+                w.u64(*offset);
+                w.i64(*delta);
+            }
+            Message::GmFetchAddResp { req, prev } => {
+                w.u8(TAG_GM_FADD_RESP);
+                w.u64(req.0);
+                w.i64(*prev);
+            }
+            Message::GmInvalidate {
+                req,
+                region,
+                offset,
+                len,
+            } => {
+                w.u8(TAG_GM_INVALIDATE);
+                w.u64(req.0);
+                w.u32(region.0);
+                w.u64(*offset);
+                w.u32(*len);
+            }
+            Message::GmInvalidateAck { req } => {
+                w.u8(TAG_GM_INVALIDATE_ACK);
+                w.u64(req.0);
+            }
+            Message::InvokeReq { req, rank, args } => {
+                w.u8(TAG_INVOKE_REQ);
+                w.u64(req.0);
+                w.u32(*rank);
+                w.bytes(args);
+            }
+            Message::InvokeAck { req, pid } => {
+                w.u8(TAG_INVOKE_ACK);
+                w.u64(req.0);
+                w.u32(pid.0);
+            }
+            Message::ExitNotice { pid, status } => {
+                w.u8(TAG_EXIT_NOTICE);
+                w.u32(pid.0);
+                w.u32(*status as u32);
+            }
+            Message::TerminateReq { req, pid } => {
+                w.u8(TAG_TERMINATE_REQ);
+                w.u64(req.0);
+                w.u32(pid.0);
+            }
+            Message::TerminateAck { req } => {
+                w.u8(TAG_TERMINATE_ACK);
+                w.u64(req.0);
+            }
+            Message::BarrierEnter { barrier, pid } => {
+                w.u8(TAG_BARRIER_ENTER);
+                w.u32(*barrier);
+                w.u32(pid.0);
+            }
+            Message::BarrierRelease { barrier, epoch } => {
+                w.u8(TAG_BARRIER_RELEASE);
+                w.u32(*barrier);
+                w.u32(*epoch);
+            }
+            Message::LockReq { req, lock, pid } => {
+                w.u8(TAG_LOCK_REQ);
+                w.u64(req.0);
+                w.u32(*lock);
+                w.u32(pid.0);
+            }
+            Message::LockGrant { req, lock } => {
+                w.u8(TAG_LOCK_GRANT);
+                w.u64(req.0);
+                w.u32(*lock);
+            }
+            Message::UnlockReq { lock, pid } => {
+                w.u8(TAG_UNLOCK_REQ);
+                w.u32(*lock);
+                w.u32(pid.0);
+            }
+            Message::UserData { from, tag, data } => {
+                w.u8(TAG_USER_DATA);
+                w.u32(from.0);
+                w.u32(*tag);
+                w.bytes(data);
+            }
+            Message::KernelShutdown => {
+                w.u8(TAG_KERNEL_SHUTDOWN);
+            }
+        }
+        w.finish()
+    }
+
+    /// Exact encoded size in bytes (this is what goes on the wire and what
+    /// the network model charges for).
+    pub fn wire_len(&self) -> usize {
+        1 + match self {
+            Message::GmReadReq { .. } => 8 + 4 + 8 + 4,
+            Message::GmReadResp { data, .. } => 8 + 4 + data.len(),
+            Message::GmWriteReq { data, .. } => 8 + 4 + 8 + 4 + data.len(),
+            Message::GmWriteAck { .. } => 8,
+            Message::GmFetchAddReq { .. } => 8 + 4 + 8 + 8,
+            Message::GmFetchAddResp { .. } => 8 + 8,
+            Message::GmInvalidate { .. } => 8 + 4 + 8 + 4,
+            Message::GmInvalidateAck { .. } => 8,
+            Message::InvokeReq { args, .. } => 8 + 4 + 4 + args.len(),
+            Message::InvokeAck { .. } => 8 + 4,
+            Message::ExitNotice { .. } => 4 + 4,
+            Message::TerminateReq { .. } => 8 + 4,
+            Message::TerminateAck { .. } => 8,
+            Message::BarrierEnter { .. } => 4 + 4,
+            Message::BarrierRelease { .. } => 4 + 4,
+            Message::LockReq { .. } => 8 + 4 + 4,
+            Message::LockGrant { .. } => 8 + 4,
+            Message::UnlockReq { .. } => 4 + 4,
+            Message::UserData { data, .. } => 4 + 4 + 4 + data.len(),
+            Message::KernelShutdown => 0,
+        }
+    }
+
+    /// Decode a message from a complete buffer.
+    pub fn decode(buf: &[u8]) -> Result<Message, CodecError> {
+        let mut r = Reader::new(buf);
+        let tag = r.u8()?;
+        let msg = match tag {
+            TAG_GM_READ_REQ => Message::GmReadReq {
+                req: ReqId(r.u64()?),
+                region: RegionId(r.u32()?),
+                offset: r.u64()?,
+                len: r.u32()?,
+            },
+            TAG_GM_READ_RESP => Message::GmReadResp {
+                req: ReqId(r.u64()?),
+                data: r.bytes()?,
+            },
+            TAG_GM_WRITE_REQ => Message::GmWriteReq {
+                req: ReqId(r.u64()?),
+                region: RegionId(r.u32()?),
+                offset: r.u64()?,
+                data: r.bytes()?,
+            },
+            TAG_GM_WRITE_ACK => Message::GmWriteAck {
+                req: ReqId(r.u64()?),
+            },
+            TAG_GM_FADD_REQ => Message::GmFetchAddReq {
+                req: ReqId(r.u64()?),
+                region: RegionId(r.u32()?),
+                offset: r.u64()?,
+                delta: r.i64()?,
+            },
+            TAG_GM_FADD_RESP => Message::GmFetchAddResp {
+                req: ReqId(r.u64()?),
+                prev: r.i64()?,
+            },
+            TAG_GM_INVALIDATE => Message::GmInvalidate {
+                req: ReqId(r.u64()?),
+                region: RegionId(r.u32()?),
+                offset: r.u64()?,
+                len: r.u32()?,
+            },
+            TAG_GM_INVALIDATE_ACK => Message::GmInvalidateAck {
+                req: ReqId(r.u64()?),
+            },
+            TAG_INVOKE_REQ => Message::InvokeReq {
+                req: ReqId(r.u64()?),
+                rank: r.u32()?,
+                args: r.bytes()?,
+            },
+            TAG_INVOKE_ACK => Message::InvokeAck {
+                req: ReqId(r.u64()?),
+                pid: GlobalPid(r.u32()?),
+            },
+            TAG_EXIT_NOTICE => Message::ExitNotice {
+                pid: GlobalPid(r.u32()?),
+                status: r.u32()? as i32,
+            },
+            TAG_TERMINATE_REQ => Message::TerminateReq {
+                req: ReqId(r.u64()?),
+                pid: GlobalPid(r.u32()?),
+            },
+            TAG_TERMINATE_ACK => Message::TerminateAck {
+                req: ReqId(r.u64()?),
+            },
+            TAG_BARRIER_ENTER => Message::BarrierEnter {
+                barrier: r.u32()?,
+                pid: GlobalPid(r.u32()?),
+            },
+            TAG_BARRIER_RELEASE => Message::BarrierRelease {
+                barrier: r.u32()?,
+                epoch: r.u32()?,
+            },
+            TAG_LOCK_REQ => Message::LockReq {
+                req: ReqId(r.u64()?),
+                lock: r.u32()?,
+                pid: GlobalPid(r.u32()?),
+            },
+            TAG_LOCK_GRANT => Message::LockGrant {
+                req: ReqId(r.u64()?),
+                lock: r.u32()?,
+            },
+            TAG_UNLOCK_REQ => Message::UnlockReq {
+                lock: r.u32()?,
+                pid: GlobalPid(r.u32()?),
+            },
+            TAG_USER_DATA => Message::UserData {
+                from: GlobalPid(r.u32()?),
+                tag: r.u32()?,
+                data: r.bytes()?,
+            },
+            TAG_KERNEL_SHUTDOWN => Message::KernelShutdown,
+            other => return Err(CodecError::BadTag(other)),
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+
+    /// True for messages that expect a correlated response.
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            Message::GmReadReq { .. }
+                | Message::GmWriteReq { .. }
+                | Message::GmFetchAddReq { .. }
+                | Message::InvokeReq { .. }
+                | Message::TerminateReq { .. }
+                | Message::LockReq { .. }
+        )
+    }
+
+    /// The correlation id, if this message carries one.
+    pub fn req_id(&self) -> Option<ReqId> {
+        match self {
+            Message::GmReadReq { req, .. }
+            | Message::GmReadResp { req, .. }
+            | Message::GmWriteReq { req, .. }
+            | Message::GmWriteAck { req }
+            | Message::GmFetchAddReq { req, .. }
+            | Message::GmFetchAddResp { req, .. }
+            | Message::InvokeReq { req, .. }
+            | Message::InvokeAck { req, .. }
+            | Message::TerminateReq { req, .. }
+            | Message::TerminateAck { req }
+            | Message::LockReq { req, .. }
+            | Message::LockGrant { req, .. }
+            | Message::GmInvalidate { req, .. }
+            | Message::GmInvalidateAck { req } => Some(*req),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::GmReadReq {
+                req: ReqId(1),
+                region: RegionId(2),
+                offset: 3,
+                len: 4,
+            },
+            Message::GmReadResp {
+                req: ReqId(1),
+                data: vec![1, 2, 3],
+            },
+            Message::GmWriteReq {
+                req: ReqId(9),
+                region: RegionId(0),
+                offset: 1024,
+                data: vec![0; 17],
+            },
+            Message::GmWriteAck { req: ReqId(9) },
+            Message::GmFetchAddReq {
+                req: ReqId(5),
+                region: RegionId(7),
+                offset: 8,
+                delta: -3,
+            },
+            Message::GmFetchAddResp {
+                req: ReqId(5),
+                prev: 41,
+            },
+            Message::GmInvalidate {
+                req: ReqId(21),
+                region: RegionId(3),
+                offset: 64,
+                len: 128,
+            },
+            Message::GmInvalidateAck { req: ReqId(21) },
+            Message::InvokeReq {
+                req: ReqId(11),
+                rank: 4,
+                args: b"argv".to_vec(),
+            },
+            Message::InvokeAck {
+                req: ReqId(11),
+                pid: GlobalPid::new(crate::ids::NodeId(2), 5),
+            },
+            Message::ExitNotice {
+                pid: GlobalPid(77),
+                status: -1,
+            },
+            Message::TerminateReq {
+                req: ReqId(12),
+                pid: GlobalPid(77),
+            },
+            Message::TerminateAck { req: ReqId(12) },
+            Message::BarrierEnter {
+                barrier: 1,
+                pid: GlobalPid(3),
+            },
+            Message::BarrierRelease {
+                barrier: 1,
+                epoch: 9,
+            },
+            Message::LockReq {
+                req: ReqId(13),
+                lock: 2,
+                pid: GlobalPid(3),
+            },
+            Message::LockGrant {
+                req: ReqId(13),
+                lock: 2,
+            },
+            Message::UnlockReq {
+                lock: 2,
+                pid: GlobalPid(3),
+            },
+            Message::UserData {
+                from: GlobalPid(4),
+                tag: 99,
+                data: vec![7; 1500],
+            },
+            Message::KernelShutdown,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for msg in samples() {
+            let buf = msg.encode();
+            assert_eq!(buf.len(), msg.wire_len(), "wire_len mismatch for {msg:?}");
+            let back = Message::decode(&buf).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert_eq!(Message::decode(&[0xEE]), Err(CodecError::BadTag(0xEE)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let buf = samples()[0].encode();
+        assert!(Message::decode(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn trailing_rejected() {
+        let mut buf = samples()[0].encode();
+        buf.push(0);
+        assert_eq!(Message::decode(&buf), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn request_classification() {
+        assert!(samples()[0].is_request());
+        assert!(!Message::KernelShutdown.is_request());
+        assert!(!samples()[1].is_request()); // responses are not requests
+    }
+
+    #[test]
+    fn req_id_extraction() {
+        assert_eq!(samples()[0].req_id(), Some(ReqId(1)));
+        assert_eq!(Message::KernelShutdown.req_id(), None);
+        assert_eq!(
+            Message::UserData {
+                from: GlobalPid(1),
+                tag: 0,
+                data: vec![]
+            }
+            .req_id(),
+            None
+        );
+    }
+
+    #[test]
+    fn negative_status_roundtrips() {
+        let msg = Message::ExitNotice {
+            pid: GlobalPid(1),
+            status: -37,
+        };
+        let back = Message::decode(&msg.encode()).unwrap();
+        assert_eq!(back, msg);
+    }
+}

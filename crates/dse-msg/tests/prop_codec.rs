@@ -1,0 +1,121 @@
+//! Property tests: any structurally valid message survives an encode/decode
+//! roundtrip, and arbitrary byte soup never panics the decoder.
+
+use dse_msg::{GlobalPid, Message, NodeId, RegionId, ReqId};
+use proptest::prelude::*;
+
+fn arb_pid() -> impl Strategy<Value = GlobalPid> {
+    (any::<u16>(), any::<u16>()).prop_map(|(n, l)| GlobalPid::new(NodeId(n), l))
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    let data = proptest::collection::vec(any::<u8>(), 0..2048);
+    prop_oneof![
+        (any::<u64>(), any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(r, g, o, l)| {
+            Message::GmReadReq {
+                req: ReqId(r),
+                region: RegionId(g),
+                offset: o,
+                len: l,
+            }
+        }),
+        (any::<u64>(), data.clone()).prop_map(|(r, d)| Message::GmReadResp {
+            req: ReqId(r),
+            data: d
+        }),
+        (any::<u64>(), any::<u32>(), any::<u64>(), data.clone()).prop_map(|(r, g, o, d)| {
+            Message::GmWriteReq {
+                req: ReqId(r),
+                region: RegionId(g),
+                offset: o,
+                data: d,
+            }
+        }),
+        any::<u64>().prop_map(|r| Message::GmWriteAck { req: ReqId(r) }),
+        (any::<u64>(), any::<u32>(), any::<u64>(), any::<i64>()).prop_map(|(r, g, o, d)| {
+            Message::GmFetchAddReq {
+                req: ReqId(r),
+                region: RegionId(g),
+                offset: o,
+                delta: d,
+            }
+        }),
+        (any::<u64>(), any::<i64>()).prop_map(|(r, p)| Message::GmFetchAddResp {
+            req: ReqId(r),
+            prev: p
+        }),
+        (any::<u64>(), any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(r, g, o, l)| {
+            Message::GmInvalidate {
+                req: ReqId(r),
+                region: RegionId(g),
+                offset: o,
+                len: l,
+            }
+        }),
+        any::<u64>().prop_map(|r| Message::GmInvalidateAck { req: ReqId(r) }),
+        (any::<u64>(), any::<u32>(), data.clone()).prop_map(|(r, k, a)| Message::InvokeReq {
+            req: ReqId(r),
+            rank: k,
+            args: a
+        }),
+        (any::<u64>(), arb_pid()).prop_map(|(r, p)| Message::InvokeAck {
+            req: ReqId(r),
+            pid: p
+        }),
+        (arb_pid(), any::<i32>()).prop_map(|(p, s)| Message::ExitNotice { pid: p, status: s }),
+        (any::<u64>(), arb_pid()).prop_map(|(r, p)| Message::TerminateReq {
+            req: ReqId(r),
+            pid: p
+        }),
+        any::<u64>().prop_map(|r| Message::TerminateAck { req: ReqId(r) }),
+        (any::<u32>(), arb_pid()).prop_map(|(b, p)| Message::BarrierEnter { barrier: b, pid: p }),
+        (any::<u32>(), any::<u32>()).prop_map(|(b, e)| Message::BarrierRelease {
+            barrier: b,
+            epoch: e
+        }),
+        (any::<u64>(), any::<u32>(), arb_pid()).prop_map(|(r, l, p)| Message::LockReq {
+            req: ReqId(r),
+            lock: l,
+            pid: p
+        }),
+        (any::<u64>(), any::<u32>()).prop_map(|(r, l)| Message::LockGrant {
+            req: ReqId(r),
+            lock: l
+        }),
+        (any::<u32>(), arb_pid()).prop_map(|(l, p)| Message::UnlockReq { lock: l, pid: p }),
+        (arb_pid(), any::<u32>(), data).prop_map(|(f, t, d)| Message::UserData {
+            from: f,
+            tag: t,
+            data: d
+        }),
+        Just(Message::KernelShutdown),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(msg in arb_message()) {
+        let buf = msg.encode();
+        prop_assert_eq!(buf.len(), msg.wire_len());
+        let back = Message::decode(&buf).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn truncation_always_detected(msg in arb_message(), cut in 1usize..32) {
+        let buf = msg.encode();
+        if cut < buf.len() {
+            let short = &buf[..buf.len() - cut];
+            // Either a decode error, or (if the prefix happens to parse as a
+            // shorter valid message) a different message — never equal bytes.
+            if let Ok(back) = Message::decode(short) {
+                prop_assert_ne!(back.encode(), buf);
+            }
+        }
+    }
+}

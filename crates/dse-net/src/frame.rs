@@ -1,0 +1,65 @@
+//! Message segmentation into wire frames.
+
+/// Split a message of `len` payload bytes into frame payload sizes, each at
+/// most `max_payload`. A zero-length message still occupies one (minimum
+/// size) frame — acknowledgements are real traffic.
+pub fn segment(len: usize, max_payload: usize) -> Vec<usize> {
+    assert!(max_payload > 0, "max_payload must be positive");
+    if len == 0 {
+        return vec![0];
+    }
+    let full = len / max_payload;
+    let rest = len % max_payload;
+    let mut frames = vec![max_payload; full];
+    if rest > 0 {
+        frames.push(rest);
+    }
+    frames
+}
+
+/// Number of frames `segment` would produce, without allocating.
+pub fn frame_count(len: usize, max_payload: usize) -> usize {
+    assert!(max_payload > 0, "max_payload must be positive");
+    if len == 0 {
+        1
+    } else {
+        len.div_ceil(max_payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_length_is_one_frame() {
+        assert_eq!(segment(0, 1460), vec![0]);
+        assert_eq!(frame_count(0, 1460), 1);
+    }
+
+    #[test]
+    fn exact_multiple() {
+        assert_eq!(segment(2920, 1460), vec![1460, 1460]);
+        assert_eq!(frame_count(2920, 1460), 2);
+    }
+
+    #[test]
+    fn remainder_tail() {
+        assert_eq!(segment(3000, 1460), vec![1460, 1460, 80]);
+        assert_eq!(frame_count(3000, 1460), 3);
+    }
+
+    #[test]
+    fn small_message_single_frame() {
+        assert_eq!(segment(17, 1460), vec![17]);
+    }
+
+    #[test]
+    fn counts_match_segments() {
+        for len in [0usize, 1, 100, 1460, 1461, 9999, 65536] {
+            assert_eq!(segment(len, 1460).len(), frame_count(len, 1460));
+            let total: usize = segment(len, 1460).iter().sum();
+            assert_eq!(total, len);
+        }
+    }
+}

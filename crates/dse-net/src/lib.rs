@@ -1,0 +1,32 @@
+//! # dse-net — the cluster interconnect models
+//!
+//! The 1999 testbed is a 10 Mbps **bus-type Ethernet**: one shared medium,
+//! CSMA/CD arbitration, and packet collisions that grow with communication
+//! frequency (the paper blames exactly this for the Knight's-Tour slowdown
+//! beyond four processors). This crate models that LAN and the alternatives
+//! the paper's conclusion points toward:
+//!
+//! * [`EthernetBus`] — shared bus with truncated binary exponential backoff;
+//! * [`SwitchedFabric`] — full-duplex switched "high-speed network";
+//! * [`Protocol`]/[`ProtocolModel`] — TCP/IP, UDP and raw-Ethernet software
+//!   stacks (the revised DSE is protocol-independent, so the stack is a
+//!   parameter, not an assumption);
+//! * [`Network`] — the facade that segments messages into frames
+//!   ([`frame`]) and books them on the fabric.
+//!
+//! All models are *timing* models: they answer "when does this message
+//! arrive", while the actual bytes travel through the simulation engine's
+//! envelopes.
+
+#![warn(missing_docs)]
+
+mod ethernet;
+pub mod frame;
+mod model;
+mod protocol;
+mod switch;
+
+pub use ethernet::{BusStats, EthernetBus, TxTiming, ETHERNET_100MBPS, ETHERNET_10MBPS};
+pub use model::{MsgTiming, Network};
+pub use protocol::{Protocol, ProtocolModel};
+pub use switch::{SwitchStats, SwitchedFabric};

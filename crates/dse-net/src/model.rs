@@ -1,0 +1,193 @@
+//! The network facade: protocol segmentation over a bus or switched fabric.
+
+use dse_sim::{SimDuration, SimTime};
+
+use crate::ethernet::{EthernetBus, TxTiming, ETHERNET_10MBPS};
+use crate::frame::segment;
+use crate::protocol::{Protocol, ProtocolModel};
+use crate::switch::SwitchedFabric;
+
+/// Timing of a whole (possibly multi-frame) message transfer.
+#[derive(Debug, Clone, Copy)]
+pub struct MsgTiming {
+    /// When the last frame fully arrived at the destination NIC.
+    pub delivered_at: SimTime,
+    /// Total wire bytes including all per-frame headers.
+    pub wire_bytes: usize,
+    /// Number of frames used.
+    pub frames: usize,
+    /// Collision rounds suffered across all frames (bus only).
+    pub collisions: u32,
+}
+
+enum Fabric {
+    Bus(EthernetBus),
+    Switched(SwitchedFabric),
+}
+
+/// A cluster interconnect: a protocol model on top of a physical fabric.
+///
+/// ```
+/// use dse_net::Network;
+/// use dse_sim::SimTime;
+///
+/// let mut lan = Network::paper_lan(1);
+/// let t = lan.send_message(SimTime::ZERO, 0, 1, 4000);
+/// assert_eq!(t.frames, 3); // 1460-byte MSS segmentation
+/// assert!(t.delivered_at.as_secs_f64() > 0.003); // >3 ms on 10 Mbps
+/// ```
+pub struct Network {
+    proto: ProtocolModel,
+    fabric: Fabric,
+}
+
+impl Network {
+    /// The paper's LAN: 10 Mbps shared-bus Ethernet carrying TCP/IP.
+    pub fn paper_lan(seed: u64) -> Network {
+        Network::shared_bus(ETHERNET_10MBPS, Protocol::TcpIp, seed)
+    }
+
+    /// A shared-bus Ethernet at `bits_per_sec` with the given protocol.
+    pub fn shared_bus(bits_per_sec: f64, protocol: Protocol, seed: u64) -> Network {
+        Network {
+            proto: ProtocolModel::of(protocol),
+            fabric: Fabric::Bus(EthernetBus::new(bits_per_sec, seed)),
+        }
+    }
+
+    /// A switched full-duplex fabric with `ports` machine ports.
+    pub fn switched(
+        ports: usize,
+        bits_per_sec: f64,
+        latency: SimDuration,
+        protocol: Protocol,
+    ) -> Network {
+        Network {
+            proto: ProtocolModel::of(protocol),
+            fabric: Fabric::Switched(SwitchedFabric::new(ports, bits_per_sec, latency)),
+        }
+    }
+
+    /// The protocol model in use.
+    pub fn protocol(&self) -> &ProtocolModel {
+        &self.proto
+    }
+
+    /// Book a `payload_len`-byte message from machine `src` to machine `dst`
+    /// entering the NIC at `now`; frames are queued back-to-back.
+    pub fn send_message(
+        &mut self,
+        now: SimTime,
+        src: usize,
+        dst: usize,
+        payload_len: usize,
+    ) -> MsgTiming {
+        let mut delivered = now;
+        let mut wire_bytes = 0;
+        let mut collisions = 0;
+        let payloads = segment(payload_len, self.proto.max_payload);
+        let frames = payloads.len();
+        let mut at = now;
+        for p in payloads {
+            let wb = self.proto.frame_wire_bytes(p);
+            let t: TxTiming = match &mut self.fabric {
+                Fabric::Bus(b) => b.transmit_frame(at, wb),
+                Fabric::Switched(s) => s.transmit_frame(at, src, dst, wb),
+            };
+            wire_bytes += wb;
+            collisions += t.collisions;
+            delivered = delivered.max(t.end);
+            // The next frame can only be offered once this one left the NIC.
+            at = t.end;
+        }
+        MsgTiming {
+            delivered_at: delivered,
+            wire_bytes,
+            frames,
+            collisions,
+        }
+    }
+
+    /// Total collision rounds so far (0 for switched fabrics).
+    pub fn total_collisions(&self) -> u64 {
+        match &self.fabric {
+            Fabric::Bus(b) => b.stats.collisions,
+            Fabric::Switched(_) => 0,
+        }
+    }
+
+    /// Total frames carried so far.
+    pub fn total_frames(&self) -> u64 {
+        match &self.fabric {
+            Fabric::Bus(b) => b.stats.frames,
+            Fabric::Switched(s) => s.stats.frames,
+        }
+    }
+
+    /// Total wire bytes carried so far.
+    pub fn total_wire_bytes(&self) -> u64 {
+        match &self.fabric {
+            Fabric::Bus(b) => b.stats.wire_bytes,
+            Fabric::Switched(s) => s.stats.wire_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_frame_message() {
+        let mut n = Network::paper_lan(1);
+        let t = n.send_message(SimTime::ZERO, 0, 1, 100);
+        assert_eq!(t.frames, 1);
+        assert_eq!(t.wire_bytes, 158); // 100 + 58 TCP/IP headers
+        assert!(t.delivered_at > SimTime::ZERO);
+    }
+
+    #[test]
+    fn large_message_segments() {
+        let mut n = Network::paper_lan(1);
+        let t = n.send_message(SimTime::ZERO, 0, 1, 4096);
+        assert_eq!(t.frames, 3); // 1460+1460+1176
+        assert_eq!(t.wire_bytes, 4096 + 3 * 58);
+    }
+
+    #[test]
+    fn ack_still_costs_a_min_frame() {
+        let mut n = Network::paper_lan(1);
+        let t = n.send_message(SimTime::ZERO, 0, 1, 0);
+        assert_eq!(t.frames, 1);
+        assert_eq!(t.wire_bytes, 64);
+    }
+
+    #[test]
+    fn switched_beats_bus_under_cross_traffic() {
+        let mut bus = Network::paper_lan(7);
+        let mut sw = Network::switched(
+            6,
+            100_000_000.0,
+            SimDuration::from_micros(5),
+            Protocol::TcpIp,
+        );
+        // Three disjoint pairs all sending at once.
+        let mut bus_end = SimTime::ZERO;
+        let mut sw_end = SimTime::ZERO;
+        for (s, d) in [(0, 1), (2, 3), (4, 5)] {
+            bus_end = bus_end.max(bus.send_message(SimTime::ZERO, s, d, 8000).delivered_at);
+            sw_end = sw_end.max(sw.send_message(SimTime::ZERO, s, d, 8000).delivered_at);
+        }
+        assert!(sw_end < bus_end);
+        assert_eq!(sw.total_collisions(), 0);
+        assert!(bus.total_collisions() > 0);
+    }
+
+    #[test]
+    fn later_frames_chain_after_earlier() {
+        let mut n = Network::paper_lan(3);
+        let a = n.send_message(SimTime::ZERO, 0, 1, 1460);
+        let b = n.send_message(SimTime::ZERO, 2, 3, 1460);
+        assert!(b.delivered_at >= a.delivered_at);
+    }
+}

@@ -1,0 +1,115 @@
+//! Protocol software-stack models.
+//!
+//! One goal of the revised DSE organization was to *eliminate dependency on
+//! a specific communication protocol* so that the runtime could later
+//! exploit "the raw performance of high-speed networks". We therefore make
+//! the protocol a pluggable parameter: each variant scales the platform's
+//! per-message / per-byte software costs and sets the per-frame header tax.
+
+/// Which protocol stack carries DSE messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// TCP/IP over Ethernet — the stack the 1999 experiments used.
+    TcpIp,
+    /// UDP/IP with DSE-level reliability — lighter per-message processing.
+    Udp,
+    /// Raw Ethernet frames — the "exploit the raw network" future direction.
+    RawEthernet,
+}
+
+/// Cost-model parameters for a protocol stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolModel {
+    /// Which protocol this models.
+    pub protocol: Protocol,
+    /// Header + trailer bytes added to every frame on the wire
+    /// (Ethernet 14 + FCS 4, plus IP/TCP/UDP headers as applicable).
+    pub header_bytes: usize,
+    /// Largest message payload carried in one frame.
+    pub max_payload: usize,
+    /// Multiplier on the platform's per-message protocol processing cost.
+    pub per_msg_scale: f64,
+    /// Multiplier on the platform's per-byte (copy/checksum) cost.
+    pub per_byte_scale: f64,
+}
+
+impl ProtocolModel {
+    /// Look up the model for a protocol.
+    pub fn of(protocol: Protocol) -> ProtocolModel {
+        match protocol {
+            // Ethernet(18) + IP(20) + TCP(20) = 58 overhead bytes, MSS 1460.
+            Protocol::TcpIp => ProtocolModel {
+                protocol,
+                header_bytes: 58,
+                max_payload: 1460,
+                per_msg_scale: 1.0,
+                per_byte_scale: 1.0,
+            },
+            // Ethernet(18) + IP(20) + UDP(8) = 46 overhead bytes.
+            Protocol::Udp => ProtocolModel {
+                protocol,
+                header_bytes: 46,
+                max_payload: 1472,
+                per_msg_scale: 0.60,
+                per_byte_scale: 1.0,
+            },
+            // Ethernet(18) only; checksum offloaded to the NIC FCS.
+            Protocol::RawEthernet => ProtocolModel {
+                protocol,
+                header_bytes: 18,
+                max_payload: 1500,
+                per_msg_scale: 0.25,
+                per_byte_scale: 0.65,
+            },
+        }
+    }
+
+    /// Wire bytes for a single frame carrying `payload` message bytes.
+    pub fn frame_wire_bytes(&self, payload: usize) -> usize {
+        debug_assert!(payload <= self.max_payload);
+        // Ethernet enforces a 64-byte minimum frame.
+        (payload + self.header_bytes).max(64)
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self.protocol {
+            Protocol::TcpIp => "TCP/IP",
+            Protocol::Udp => "UDP/IP",
+            Protocol::RawEthernet => "raw-ethernet",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_are_ranked_by_weight() {
+        let tcp = ProtocolModel::of(Protocol::TcpIp);
+        let udp = ProtocolModel::of(Protocol::Udp);
+        let raw = ProtocolModel::of(Protocol::RawEthernet);
+        assert!(tcp.per_msg_scale > udp.per_msg_scale);
+        assert!(udp.per_msg_scale > raw.per_msg_scale);
+        assert!(tcp.header_bytes > udp.header_bytes);
+        assert!(udp.header_bytes > raw.header_bytes);
+        assert!(raw.max_payload >= udp.max_payload);
+    }
+
+    #[test]
+    fn minimum_frame_enforced() {
+        let raw = ProtocolModel::of(Protocol::RawEthernet);
+        assert_eq!(raw.frame_wire_bytes(1), 64);
+        assert_eq!(raw.frame_wire_bytes(100), 118);
+    }
+
+    #[test]
+    fn mss_plus_headers_fits_mtu() {
+        for p in [Protocol::TcpIp, Protocol::Udp, Protocol::RawEthernet] {
+            let m = ProtocolModel::of(p);
+            // IP MTU 1500 + Ethernet 18 = 1518 max frame.
+            assert!(m.frame_wire_bytes(m.max_payload) <= 1518);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the network models: physical invariants that must
+//! hold for any traffic pattern.
+
+use proptest::prelude::*;
+
+use dse_net::{EthernetBus, Network, Protocol, SwitchedFabric, ETHERNET_10MBPS};
+use dse_sim::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bus_transmissions_never_overlap(
+        arrivals in proptest::collection::vec((0u64..5_000_000, 64usize..1519), 1..60),
+    ) {
+        // Arrivals must be offered in non-decreasing time order (the
+        // deterministic engine guarantees that); sizes arbitrary.
+        let mut arrivals = arrivals;
+        arrivals.sort_by_key(|&(t, _)| t);
+        let mut bus = EthernetBus::new(ETHERNET_10MBPS, 42);
+        let mut intervals: Vec<(u64, u64)> = Vec::new();
+        for (t, bytes) in arrivals {
+            let tx = bus.transmit_frame(SimTime::from_nanos(t), bytes);
+            prop_assert!(tx.start >= SimTime::from_nanos(t), "time travel");
+            prop_assert!(tx.end > tx.start);
+            intervals.push((tx.start.as_nanos(), tx.end.as_nanos()));
+        }
+        // One shared medium: transmissions are totally ordered and disjoint.
+        for w in intervals.windows(2) {
+            prop_assert!(w[1].0 >= w[0].1, "overlap: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn bus_frame_time_is_linear_in_bytes(bytes in 64usize..1519) {
+        let bus = EthernetBus::new(ETHERNET_10MBPS, 1);
+        let ft = bus.frame_time(bytes);
+        // 8 bits/byte + 64 preamble bits at 10 Mbps = 100 ns/bit.
+        prop_assert_eq!(ft.as_nanos(), (bytes as u64 * 8 + 64) * 100);
+    }
+
+    #[test]
+    fn switch_ports_serialize(
+        frames in proptest::collection::vec((0usize..4, 0usize..4, 64usize..1519), 1..40),
+    ) {
+        let mut fabric = SwitchedFabric::new(4, 100_000_000.0, SimDuration::from_micros(5));
+        let mut per_src: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 4];
+        let mut per_dst: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 4];
+        for (src, dst, bytes) in frames {
+            let tx = fabric.transmit_frame(SimTime::ZERO, src, dst, bytes);
+            let ft = fabric.frame_time(bytes).as_nanos();
+            per_src[src].push((tx.start.as_nanos(), tx.start.as_nanos() + ft));
+            per_dst[dst].push((tx.end.as_nanos() - ft, tx.end.as_nanos()));
+            prop_assert_eq!(tx.collisions, 0);
+        }
+        // Egress (tx) side of each source port is serialized.
+        for list in &per_src {
+            for w in list.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1, "src port overlap: {:?}", w);
+            }
+        }
+        // Ingress (rx) side of each destination port is serialized.
+        for list in &per_dst {
+            for w in list.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1, "dst port overlap: {:?}", w);
+            }
+        }
+    }
+
+    #[test]
+    fn message_timing_monotone_in_size(
+        base in 0usize..4096,
+        extra in 1usize..4096,
+    ) {
+        // A bigger message on a fresh network never arrives earlier.
+        let t_small = Network::shared_bus(ETHERNET_10MBPS, Protocol::TcpIp, 9)
+            .send_message(SimTime::ZERO, 0, 1, base)
+            .delivered_at;
+        let t_large = Network::shared_bus(ETHERNET_10MBPS, Protocol::TcpIp, 9)
+            .send_message(SimTime::ZERO, 0, 1, base + extra)
+            .delivered_at;
+        prop_assert!(t_large >= t_small);
+    }
+
+    #[test]
+    fn wire_bytes_account_for_headers(payload in 0usize..20_000) {
+        let mut net = Network::shared_bus(ETHERNET_10MBPS, Protocol::TcpIp, 3);
+        let t = net.send_message(SimTime::ZERO, 0, 1, payload);
+        // TCP/IP: 58 header bytes per frame, 1460 MSS, min frame 64.
+        let frames = if payload == 0 { 1 } else { payload.div_ceil(1460) };
+        prop_assert_eq!(t.frames, frames);
+        prop_assert!(t.wire_bytes >= payload);
+        prop_assert!(t.wire_bytes <= payload + frames * 64);
+    }
+}

@@ -1,0 +1,114 @@
+//! Abstract computation amounts.
+//!
+//! Applications describe *how much* computation a step performs in
+//! machine-independent units; a [`crate::Platform`] converts the description
+//! into virtual time. Keeping the two separated is what lets one application
+//! binary be "run" on all three of the paper's platforms.
+
+use std::ops::{Add, AddAssign, Mul};
+
+/// A machine-independent description of a chunk of computation.
+///
+/// `flops` counts floating-point operations (multiply-add counted as two),
+/// `iops` counts simple integer/logic operations, and `mem_bytes` counts
+/// bytes that must stream through the memory system (copies, scans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Work {
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Simple integer/branch operations.
+    pub iops: u64,
+    /// Bytes moved through memory (copies, streaming reads/writes).
+    pub mem_bytes: u64,
+}
+
+impl Work {
+    /// No work at all.
+    pub const ZERO: Work = Work {
+        flops: 0,
+        iops: 0,
+        mem_bytes: 0,
+    };
+
+    /// Pure floating-point work.
+    pub const fn flops(n: u64) -> Work {
+        Work {
+            flops: n,
+            iops: 0,
+            mem_bytes: 0,
+        }
+    }
+
+    /// Pure integer/branch work.
+    pub const fn iops(n: u64) -> Work {
+        Work {
+            flops: 0,
+            iops: n,
+            mem_bytes: 0,
+        }
+    }
+
+    /// Pure memory-streaming work.
+    pub const fn mem_bytes(n: u64) -> Work {
+        Work {
+            flops: 0,
+            iops: 0,
+            mem_bytes: n,
+        }
+    }
+
+    /// True if no component is nonzero.
+    pub const fn is_zero(&self) -> bool {
+        self.flops == 0 && self.iops == 0 && self.mem_bytes == 0
+    }
+}
+
+impl Add for Work {
+    type Output = Work;
+    fn add(self, rhs: Work) -> Work {
+        Work {
+            flops: self.flops.saturating_add(rhs.flops),
+            iops: self.iops.saturating_add(rhs.iops),
+            mem_bytes: self.mem_bytes.saturating_add(rhs.mem_bytes),
+        }
+    }
+}
+
+impl AddAssign for Work {
+    fn add_assign(&mut self, rhs: Work) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for Work {
+    type Output = Work;
+    fn mul(self, rhs: u64) -> Work {
+        Work {
+            flops: self.flops.saturating_mul(rhs),
+            iops: self.iops.saturating_mul(rhs),
+            mem_bytes: self.mem_bytes.saturating_mul(rhs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let w = Work::flops(10) + Work::iops(20) + Work::mem_bytes(30);
+        assert_eq!(w.flops, 10);
+        assert_eq!(w.iops, 20);
+        assert_eq!(w.mem_bytes, 30);
+        let w2 = w * 3;
+        assert_eq!(w2.flops, 30);
+        assert_eq!(w2.mem_bytes, 90);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Work::ZERO.is_zero());
+        assert!(!Work::flops(1).is_zero());
+    }
+}

@@ -1,0 +1,933 @@
+//! The direct-execution discrete-event engine.
+//!
+//! Each simulated process runs its *real* Rust code on a dedicated OS thread,
+//! but exactly one thread executes at any instant: the engine resumes the
+//! runnable entity with the lowest virtual time, waits for it to yield (every
+//! context-API call yields), and only then proceeds. Virtual time advances
+//! solely through yields, so event handling is totally ordered by
+//! `(time, sequence)` and a run is bit-for-bit deterministic.
+//!
+//! This is the classic "direct execution" simulation style: application
+//! results are computed for real (a solver really converges, a game tree is
+//! really searched) while *timing* comes entirely from the cost model that
+//! callers express through [`ProcCtx::use_resource`], [`ProcCtx::sleep`] and
+//! message latencies.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use crate::envelope::{Envelope, RecvResult};
+use crate::ids::{ProcId, ResourceId};
+use crate::stats::{ResourceStats, SimReport, SimStats, TraceHasher};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceKind, TraceRecords};
+
+type ProcFn<M> = Box<dyn FnOnce(&mut ProcCtx<M>) + Send + 'static>;
+
+/// What the engine hands a process when resuming it.
+enum ResumePayload<M: Send + 'static> {
+    /// Plain wakeup (sleep expired, resource granted, send accepted, start).
+    None,
+    /// A received message.
+    Msg(Envelope<M>),
+    /// A `recv` deadline expired with no message.
+    Timeout,
+    /// A spawned child's id.
+    Spawned(ProcId),
+    /// The simulation is over; unblock and clean up.
+    Shutdown,
+}
+
+struct Resume<M: Send + 'static> {
+    time: SimTime,
+    payload: ResumePayload<M>,
+}
+
+/// What a process asks of the engine when yielding.
+enum YieldReason<M: Send + 'static> {
+    /// Suspend until the given instant.
+    Sleep { until: SimTime },
+    /// Queue on a FCFS resource and hold it for `dur`.
+    UseResource { res: ResourceId, dur: SimDuration },
+    /// Send a message; the engine accepts it and resumes the caller at once.
+    Send {
+        to: ProcId,
+        latency: SimDuration,
+        msg: M,
+    },
+    /// Wait for a message (optionally until a deadline).
+    Recv { deadline: Option<SimTime> },
+    /// Create a new process starting now.
+    Spawn { name: String, f: ProcFn<M> },
+    /// The process function returned.
+    Exit,
+}
+
+struct YieldMsg<M: Send + 'static> {
+    time: SimTime,
+    reason: YieldReason<M>,
+}
+
+/// Heap event actions.
+enum Action<M: Send + 'static> {
+    /// Resume process if its epoch still matches.
+    Wake(ProcId, u64, ResumePayload<M>),
+    /// Deposit a message at its destination.
+    Deliver(ProcId, Envelope<M>),
+}
+
+struct Event<M: Send + 'static> {
+    time: SimTime,
+    seq: u64,
+    action: Action<M>,
+}
+
+/// Heap key; min-heap by `(time, seq)` so ties resolve in schedule order.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct Key(SimTime, u64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    /// Has a pending wake event in the heap.
+    Scheduled,
+    /// Blocked in `recv` with no pending wake.
+    Blocked,
+    /// Currently executing (engine is waiting on its yield channel).
+    Running,
+    /// Finished.
+    Done,
+}
+
+struct ProcSlot<M: Send + 'static> {
+    name: String,
+    state: ProcState,
+    /// Guards against stale wake events; bumped whenever a wake is scheduled.
+    epoch: u64,
+    time: SimTime,
+    /// When the process blocked in `recv` (tracing).
+    blocked_since: Option<SimTime>,
+    /// Whether the first scheduling was traced.
+    started: bool,
+    resume_tx: Sender<Resume<M>>,
+    yield_rx: Receiver<YieldMsg<M>>,
+    thread: Option<JoinHandle<()>>,
+    inbox: VecDeque<Envelope<M>>,
+}
+
+struct ResourceState {
+    name: String,
+    available_at: SimTime,
+    stats_busy: SimDuration,
+    stats_waited: SimDuration,
+    acquisitions: u64,
+}
+
+/// The simulation engine. Type parameter `M` is the message payload type
+/// exchanged between processes.
+///
+/// ```
+/// use dse_sim::{SimDuration, Simulator};
+///
+/// let mut sim: Simulator<u32> = Simulator::new();
+/// let echo = sim.spawn("echo", |ctx| {
+///     while let Some(env) = ctx.recv() {
+///         ctx.send(env.from, SimDuration::from_micros(10), env.msg + 1);
+///     }
+/// });
+/// sim.spawn("client", move |ctx| {
+///     ctx.send(echo, SimDuration::from_micros(10), 41);
+///     let reply = ctx.recv().unwrap();
+///     assert_eq!(reply.msg, 42);
+///     assert_eq!(ctx.now().as_nanos(), 20_000); // two 10 µs hops
+/// });
+/// let report = sim.run();
+/// assert_eq!(report.stats.sends, 2);
+/// ```
+pub struct Simulator<M: Send + 'static> {
+    procs: Vec<ProcSlot<M>>,
+    resources: Vec<ResourceState>,
+    heap: BinaryHeap<Reverse<(Key, Event<M>)>>,
+    seq: u64,
+    now: SimTime,
+    stats: SimStats,
+    hasher: TraceHasher,
+    tracing: Option<Vec<TraceEvent>>,
+    shutting_down: bool,
+}
+
+// Manual Ord plumbing: only the Key participates in ordering.
+impl<M: Send + 'static> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M: Send + 'static> Eq for Event<M> {}
+impl<M: Send + 'static> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M: Send + 'static> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<M: Send + 'static> Default for Simulator<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Send + 'static> Simulator<M> {
+    /// Create an empty simulator.
+    pub fn new() -> Self {
+        Simulator {
+            procs: Vec::new(),
+            resources: Vec::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            stats: SimStats::default(),
+            hasher: TraceHasher::new(),
+            tracing: None,
+            shutting_down: false,
+        }
+    }
+
+    /// Record an execution trace during the run (see [`TraceRecords`]);
+    /// retrieve it from [`SimReport::trace`].
+    pub fn enable_tracing(&mut self) {
+        self.tracing = Some(Vec::new());
+    }
+
+    #[inline]
+    fn trace(&mut self, proc: ProcId, kind: TraceKind) {
+        if let Some(t) = self.tracing.as_mut() {
+            t.push(TraceEvent { proc, kind });
+        }
+    }
+
+    /// Register a FCFS resource (e.g. a machine CPU). Must be called before
+    /// [`Simulator::run`].
+    pub fn add_resource(&mut self, name: &str) -> ResourceId {
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources.push(ResourceState {
+            name: name.to_string(),
+            available_at: SimTime::ZERO,
+            stats_busy: SimDuration::ZERO,
+            stats_waited: SimDuration::ZERO,
+            acquisitions: 0,
+        });
+        id
+    }
+
+    /// Register a process to start at t = 0.
+    pub fn spawn<F>(&mut self, name: &str, f: F) -> ProcId
+    where
+        F: FnOnce(&mut ProcCtx<M>) + Send + 'static,
+    {
+        let id = self.add_proc(name, Box::new(f));
+        self.push_wake(SimTime::ZERO, id, ResumePayload::None);
+        id
+    }
+
+    fn add_proc(&mut self, name: &str, f: ProcFn<M>) -> ProcId {
+        let id = ProcId(self.procs.len() as u32);
+        let (resume_tx, resume_rx) = channel::<Resume<M>>();
+        let (yield_tx, yield_rx) = channel::<YieldMsg<M>>();
+        let thread_name = format!("sim-{name}");
+        let thread = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                let mut ctx = ProcCtx {
+                    id,
+                    now: SimTime::ZERO,
+                    resume_rx,
+                    yield_tx,
+                    dead: false,
+                };
+                // Wait for the engine's start signal.
+                match ctx.resume_rx.recv() {
+                    Ok(r) => ctx.now = r.time,
+                    Err(_) => return, // engine torn down before start
+                }
+                f(&mut ctx);
+                // Best-effort exit notification; the engine may already be gone.
+                let _ = ctx.yield_tx.send(YieldMsg {
+                    time: ctx.now,
+                    reason: YieldReason::Exit,
+                });
+            })
+            .expect("failed to spawn simulation thread");
+        self.procs.push(ProcSlot {
+            name: name.to_string(),
+            state: ProcState::Scheduled,
+            epoch: 0,
+            time: SimTime::ZERO,
+            blocked_since: None,
+            started: false,
+            resume_tx,
+            yield_rx,
+            thread: Some(thread),
+            inbox: VecDeque::new(),
+        });
+        self.stats.spawns += 1;
+        id
+    }
+
+    fn push_event(&mut self, time: SimTime, action: Action<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap
+            .push(Reverse((Key(time, seq), Event { time, seq, action })));
+    }
+
+    /// Schedule a wake for `p` at `time`, invalidating older pending wakes.
+    fn push_wake(&mut self, time: SimTime, p: ProcId, payload: ResumePayload<M>) {
+        let slot = &mut self.procs[p.index()];
+        slot.epoch += 1;
+        let epoch = slot.epoch;
+        slot.state = ProcState::Scheduled;
+        self.push_event(time, Action::Wake(p, epoch, payload));
+    }
+
+    /// Run the simulation to completion and return the report.
+    ///
+    /// The run ends when the event heap drains; any process still blocked in
+    /// `recv` at that point (typically server loops) is resumed with a
+    /// shutdown indication and reported in `blocked_at_end`.
+    ///
+    /// Panics raised inside process threads are propagated to the caller.
+    pub fn run(mut self) -> SimReport {
+        while let Some(Reverse((_, ev))) = self.heap.pop() {
+            self.stats.events += 1;
+            debug_assert!(ev.time >= self.now, "event heap out of order");
+            self.now = ev.time;
+            match ev.action {
+                Action::Deliver(to, env) => self.deliver(to, env),
+                Action::Wake(p, epoch, payload) => {
+                    if self.procs[p.index()].epoch != epoch {
+                        continue; // stale wake (e.g. timeout raced a message)
+                    }
+                    self.hasher.mix(ev.time.as_nanos());
+                    self.hasher.mix(p.0 as u64);
+                    self.run_proc(p, ev.time, payload);
+                }
+            }
+        }
+        self.shutdown()
+    }
+
+    fn deliver(&mut self, to: ProcId, env: Envelope<M>) {
+        self.hasher.mix(env.delivered_at.as_nanos());
+        self.hasher.mix(0x00de_11fe ^ to.0 as u64);
+        let slot = &mut self.procs[to.index()];
+        match slot.state {
+            ProcState::Done => {
+                self.stats.dropped += 1;
+            }
+            ProcState::Blocked => {
+                self.stats.delivers += 1;
+                // Wake the receiver at the later of its local time and now.
+                let t = slot.time.max(self.now);
+                self.push_wake(t, to, ResumePayload::Msg(env));
+            }
+            _ => {
+                self.stats.delivers += 1;
+                slot.inbox.push_back(env);
+            }
+        }
+    }
+
+    /// Resume process `p` at time `t` and service its yields until it blocks.
+    fn run_proc(&mut self, p: ProcId, t: SimTime, payload: ResumePayload<M>) {
+        let i = p.index();
+        if self.tracing.is_some() {
+            if !self.procs[i].started {
+                self.procs[i].started = true;
+                self.trace(p, TraceKind::Start { at: t });
+            }
+            if let Some(from) = self.procs[i].blocked_since.take() {
+                self.trace(p, TraceKind::RecvWait { from, until: t });
+            }
+        }
+        self.procs[i].state = ProcState::Running;
+        self.procs[i].time = t;
+        if self.procs[i]
+            .resume_tx
+            .send(Resume { time: t, payload })
+            .is_err()
+        {
+            self.harvest_panic(p);
+        }
+        loop {
+            let y = match self.procs[i].yield_rx.recv() {
+                Ok(y) => y,
+                Err(_) => {
+                    self.harvest_panic(p);
+                    return;
+                }
+            };
+            let yt = y.time;
+            self.procs[i].time = yt;
+            match y.reason {
+                YieldReason::Sleep { until } => {
+                    self.trace(
+                        p,
+                        TraceKind::Sleep {
+                            from: yt,
+                            until: until.max(yt),
+                        },
+                    );
+                    self.push_wake(until.max(yt), p, ResumePayload::None);
+                    return;
+                }
+                YieldReason::UseResource { res, dur } => {
+                    let r = &mut self.resources[res.index()];
+                    let start = r.available_at.max(yt);
+                    r.stats_waited += start - yt;
+                    r.stats_busy += dur;
+                    r.acquisitions += 1;
+                    r.available_at = start + dur;
+                    let done = start + dur;
+                    if self.tracing.is_some() {
+                        if start > yt {
+                            self.trace(
+                                p,
+                                TraceKind::ResourceWait {
+                                    res,
+                                    from: yt,
+                                    until: start,
+                                },
+                            );
+                        }
+                        self.trace(
+                            p,
+                            TraceKind::ResourceHold {
+                                res,
+                                from: start,
+                                until: done,
+                            },
+                        );
+                    }
+                    self.push_wake(done, p, ResumePayload::None);
+                    return;
+                }
+                YieldReason::Send { to, latency, msg } => {
+                    self.stats.sends += 1;
+                    self.trace(p, TraceKind::Sent { at: yt, to });
+                    let env = Envelope {
+                        from: p,
+                        sent_at: yt,
+                        delivered_at: yt + latency,
+                        msg,
+                    };
+                    self.push_event(env.delivered_at, Action::Deliver(to, env));
+                    if !self.resume_in_place(p, yt, ResumePayload::None) {
+                        return;
+                    }
+                }
+                YieldReason::Recv { deadline } => {
+                    if let Some(env) = self.procs[i].inbox.pop_front() {
+                        let t2 = yt.max(env.delivered_at);
+                        self.procs[i].time = t2;
+                        if !self.resume_in_place(p, t2, ResumePayload::Msg(env)) {
+                            return;
+                        }
+                    } else if self.shutting_down {
+                        if !self.resume_in_place(p, yt, ResumePayload::Shutdown) {
+                            return;
+                        }
+                    } else {
+                        self.procs[i].state = ProcState::Blocked;
+                        self.procs[i].blocked_since = Some(yt);
+                        if let Some(d) = deadline {
+                            // Leave state Blocked but schedule the timeout wake;
+                            // push_wake flips state to Scheduled, so set it back.
+                            self.push_wake(d.max(yt), p, ResumePayload::Timeout);
+                            self.procs[i].state = ProcState::Blocked;
+                        }
+                        return;
+                    }
+                }
+                YieldReason::Spawn { name, f } => {
+                    let child = self.add_proc(&name, f);
+                    self.push_wake(yt, child, ResumePayload::None);
+                    if !self.resume_in_place(p, yt, ResumePayload::Spawned(child)) {
+                        return;
+                    }
+                }
+                YieldReason::Exit => {
+                    self.trace(p, TraceKind::Exit { at: yt });
+                    self.procs[i].state = ProcState::Done;
+                    if let Some(h) = self.procs[i].thread.take() {
+                        let _ = h.join();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Resume a process that yielded a non-blocking request. Returns false if
+    /// the process vanished (panic), which `harvest_panic` escalates anyway.
+    fn resume_in_place(&mut self, p: ProcId, t: SimTime, payload: ResumePayload<M>) -> bool {
+        if self.procs[p.index()]
+            .resume_tx
+            .send(Resume { time: t, payload })
+            .is_err()
+        {
+            self.harvest_panic(p);
+            return false;
+        }
+        true
+    }
+
+    /// A process's channel disconnected: join it and propagate its panic.
+    fn harvest_panic(&mut self, p: ProcId) {
+        let slot = &mut self.procs[p.index()];
+        let name = slot.name.clone();
+        if let Some(h) = slot.thread.take() {
+            if let Err(payload) = h.join() {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "<non-string panic>".into());
+                panic!("simulated process '{name}' panicked: {msg}");
+            }
+        }
+        panic!("simulated process '{name}' disconnected without exiting");
+    }
+
+    /// Drain blocked processes once the heap is empty and build the report.
+    fn shutdown(mut self) -> SimReport {
+        self.shutting_down = true;
+        for i in 0..self.procs.len() {
+            if self.procs[i].state == ProcState::Blocked {
+                let p = ProcId(i as u32);
+                let t = self.procs[i].time;
+                // Unblock with Shutdown; the process may yield a few more
+                // times while unwinding its loops. Time is frozen.
+                self.procs[i].state = ProcState::Running;
+                if self.procs[i]
+                    .resume_tx
+                    .send(Resume {
+                        time: t,
+                        payload: ResumePayload::Shutdown,
+                    })
+                    .is_err()
+                {
+                    self.harvest_panic(p);
+                }
+                self.drain_until_exit(p);
+            }
+        }
+        let mut completed = Vec::new();
+        let mut blocked = Vec::new();
+        for slot in &mut self.procs {
+            match slot.state {
+                ProcState::Done => completed.push(slot.name.clone()),
+                _ => blocked.push(slot.name.clone()),
+            }
+            if let Some(h) = slot.thread.take() {
+                let _ = h.join();
+            }
+        }
+        let trace = self.tracing.take().map(|events| TraceRecords {
+            events,
+            proc_names: self.procs.iter().map(|s| s.name.clone()).collect(),
+        });
+        SimReport {
+            end_time: self.now,
+            stats: self.stats,
+            trace,
+            resources: self
+                .resources
+                .iter()
+                .map(|r| ResourceStats {
+                    name: r.name.clone(),
+                    busy: r.stats_busy,
+                    waited: r.stats_waited,
+                    acquisitions: r.acquisitions,
+                })
+                .collect(),
+            completed,
+            blocked_at_end: blocked,
+            trace_hash: self.hasher.finish(),
+        }
+    }
+
+    /// During shutdown: serve a process's remaining yields with frozen time
+    /// until it exits. Sends are dropped, receives return Shutdown.
+    fn drain_until_exit(&mut self, p: ProcId) {
+        let i = p.index();
+        loop {
+            let y = match self.procs[i].yield_rx.recv() {
+                Ok(y) => y,
+                Err(_) => {
+                    self.harvest_panic(p);
+                    return;
+                }
+            };
+            let t = self.procs[i].time;
+            match y.reason {
+                YieldReason::Exit => {
+                    self.trace(p, TraceKind::Exit { at: t });
+                    self.procs[i].state = ProcState::Done;
+                    if let Some(h) = self.procs[i].thread.take() {
+                        let _ = h.join();
+                    }
+                    return;
+                }
+                YieldReason::Recv { .. } => {
+                    if !self.resume_in_place(p, t, ResumePayload::Shutdown) {
+                        return;
+                    }
+                }
+                YieldReason::Spawn { .. } => {
+                    panic!("process '{}' spawned during shutdown", self.procs[i].name);
+                }
+                _ => {
+                    // Sleep / UseResource / Send complete immediately.
+                    if !self.resume_in_place(p, t, ResumePayload::None) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The context handed to each simulated process. All virtual-time effects
+/// flow through these methods.
+pub struct ProcCtx<M: Send + 'static> {
+    id: ProcId,
+    now: SimTime,
+    resume_rx: Receiver<Resume<M>>,
+    yield_tx: Sender<YieldMsg<M>>,
+    dead: bool,
+}
+
+impl<M: Send + 'static> ProcCtx<M> {
+    /// This process's id.
+    #[inline]
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// Current local virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// True once the engine has signalled shutdown to this process.
+    #[inline]
+    pub fn is_shutdown(&self) -> bool {
+        self.dead
+    }
+
+    fn call(&mut self, reason: YieldReason<M>) -> ResumePayload<M> {
+        if self.dead {
+            return ResumePayload::Shutdown;
+        }
+        if self
+            .yield_tx
+            .send(YieldMsg {
+                time: self.now,
+                reason,
+            })
+            .is_err()
+        {
+            self.dead = true;
+            return ResumePayload::Shutdown;
+        }
+        match self.resume_rx.recv() {
+            Ok(r) => {
+                self.now = r.time;
+                if matches!(r.payload, ResumePayload::Shutdown) {
+                    self.dead = true;
+                }
+                r.payload
+            }
+            Err(_) => {
+                self.dead = true;
+                ResumePayload::Shutdown
+            }
+        }
+    }
+
+    /// Advance this process's clock by `d` without contending for any
+    /// resource (pure delay, e.g. a propagation latency).
+    pub fn sleep(&mut self, d: SimDuration) {
+        let until = self.now + d;
+        self.call(YieldReason::Sleep { until });
+    }
+
+    /// Suspend until absolute time `t` (no-op if `t` is in the past).
+    pub fn sleep_until(&mut self, t: SimTime) {
+        self.call(YieldReason::Sleep { until: t });
+    }
+
+    /// Queue FCFS on `res` and hold it for `dur`; returns once the hold
+    /// completes. This is how CPU computation is charged.
+    pub fn use_resource(&mut self, res: ResourceId, dur: SimDuration) {
+        if dur.is_zero() {
+            return;
+        }
+        self.call(YieldReason::UseResource { res, dur });
+    }
+
+    /// Send `msg` to `to`, arriving after `latency`. Non-blocking.
+    pub fn send(&mut self, to: ProcId, latency: SimDuration, msg: M) {
+        self.call(YieldReason::Send { to, latency, msg });
+    }
+
+    /// Block until a message arrives. Returns `None` when the simulation is
+    /// shutting down and no further messages can arrive.
+    pub fn recv(&mut self) -> Option<Envelope<M>> {
+        match self.call(YieldReason::Recv { deadline: None }) {
+            ResumePayload::Msg(env) => Some(env),
+            ResumePayload::Shutdown => None,
+            _ => None,
+        }
+    }
+
+    /// Block until a message arrives or `deadline` passes.
+    pub fn recv_deadline(&mut self, deadline: SimTime) -> RecvResult<M> {
+        match self.call(YieldReason::Recv {
+            deadline: Some(deadline),
+        }) {
+            ResumePayload::Msg(env) => RecvResult::Msg(env),
+            ResumePayload::Timeout => RecvResult::Timeout,
+            _ => RecvResult::Shutdown,
+        }
+    }
+
+    /// Spawn a new process starting at the current time; returns its id.
+    pub fn spawn<F>(&mut self, name: &str, f: F) -> ProcId
+    where
+        F: FnOnce(&mut ProcCtx<M>) + Send + 'static,
+    {
+        match self.call(YieldReason::Spawn {
+            name: name.to_string(),
+            f: Box::new(f),
+        }) {
+            ResumePayload::Spawned(id) => id,
+            _ => panic!("spawn failed: simulation shutting down"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_process_sleeps() {
+        let mut sim: Simulator<()> = Simulator::new();
+        let done = Arc::new(AtomicU64::new(0));
+        let d2 = done.clone();
+        sim.spawn("a", move |ctx| {
+            ctx.sleep(SimDuration::from_millis(5));
+            d2.store(ctx.now().as_nanos(), Ordering::SeqCst);
+        });
+        let report = sim.run();
+        assert_eq!(done.load(Ordering::SeqCst), 5_000_000);
+        assert_eq!(report.end_time.as_nanos(), 5_000_000);
+        assert!(report.completed_named("a"));
+    }
+
+    #[test]
+    fn ping_pong_message_latency() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let l1 = log.clone();
+        let ponger = sim.spawn("pong", move |ctx| {
+            let env = ctx.recv().expect("ping");
+            l1.lock().push(("pong-got", ctx.now().as_nanos(), env.msg));
+            ctx.send(env.from, SimDuration::from_micros(10), env.msg + 1);
+        });
+        let l2 = log.clone();
+        sim.spawn("ping", move |ctx| {
+            ctx.send(ponger, SimDuration::from_micros(10), 7);
+            let env = ctx.recv().expect("pong");
+            l2.lock().push(("ping-got", ctx.now().as_nanos(), env.msg));
+        });
+        sim.run();
+        let log = log.lock();
+        assert_eq!(log[0], ("pong-got", 10_000, 7));
+        assert_eq!(log[1], ("ping-got", 20_000, 8));
+    }
+
+    #[test]
+    fn resource_serializes_holders() {
+        let mut sim: Simulator<()> = Simulator::new();
+        let cpu = sim.add_resource("cpu");
+        let ends = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let e = ends.clone();
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                ctx.use_resource(cpu, SimDuration::from_millis(10));
+                e.lock().push((i, ctx.now().as_nanos()));
+            });
+        }
+        let report = sim.run();
+        let ends = ends.lock();
+        // FCFS in spawn order; each holds 10ms exclusively.
+        assert_eq!(ends[0], (0, 10_000_000));
+        assert_eq!(ends[1], (1, 20_000_000));
+        assert_eq!(ends[2], (2, 30_000_000));
+        let rs = &report.resources[0];
+        assert_eq!(rs.acquisitions, 3);
+        assert_eq!(rs.busy.as_nanos(), 30_000_000);
+        assert_eq!(rs.waited.as_nanos(), 10_000_000 + 20_000_000);
+    }
+
+    #[test]
+    fn recv_deadline_times_out() {
+        let mut sim: Simulator<()> = Simulator::new();
+        let out = Arc::new(AtomicU64::new(0));
+        let o = out.clone();
+        sim.spawn("t", move |ctx| {
+            match ctx.recv_deadline(SimTime::from_nanos(1000)) {
+                RecvResult::Timeout => o.store(ctx.now().as_nanos(), Ordering::SeqCst),
+                _ => panic!("expected timeout"),
+            }
+        });
+        sim.run();
+        assert_eq!(out.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn message_beats_deadline() {
+        let mut sim: Simulator<u8> = Simulator::new();
+        let out = Arc::new(AtomicU64::new(0));
+        let o = out.clone();
+        let rx = sim.spawn("rx", move |ctx| {
+            match ctx.recv_deadline(SimTime::from_nanos(1_000_000)) {
+                RecvResult::Msg(env) => o.store(env.msg as u64, Ordering::SeqCst),
+                _ => panic!("expected message"),
+            }
+            // Stale timeout wake must not disturb a later recv.
+            assert!(ctx.recv().is_none());
+        });
+        sim.spawn("tx", move |ctx| {
+            ctx.send(rx, SimDuration::from_nanos(500), 42);
+        });
+        sim.run();
+        assert_eq!(out.load(Ordering::SeqCst), 42);
+    }
+
+    #[test]
+    fn dynamic_spawn_runs_child() {
+        let mut sim: Simulator<()> = Simulator::new();
+        let count = Arc::new(AtomicU64::new(0));
+        let c = count.clone();
+        sim.spawn("parent", move |ctx| {
+            for i in 0..4 {
+                let c2 = c.clone();
+                ctx.spawn(&format!("child{i}"), move |cctx| {
+                    cctx.sleep(SimDuration::from_micros(1));
+                    c2.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        let report = sim.run();
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+        assert_eq!(report.completed.len(), 5);
+    }
+
+    #[test]
+    fn server_loop_reported_blocked_at_end() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let served = Arc::new(AtomicU64::new(0));
+        let s = served.clone();
+        let server = sim.spawn("server", move |ctx| {
+            while let Some(env) = ctx.recv() {
+                s.fetch_add(env.msg as u64, Ordering::SeqCst);
+            }
+        });
+        sim.spawn("client", move |ctx| {
+            ctx.send(server, SimDuration::from_nanos(10), 5);
+            ctx.send(server, SimDuration::from_nanos(10), 6);
+        });
+        let report = sim.run();
+        assert_eq!(served.load(Ordering::SeqCst), 11);
+        assert!(report.completed_named("client"));
+        assert!(report.completed_named("server")); // drained at shutdown
+    }
+
+    #[test]
+    fn deterministic_trace_hash() {
+        fn build() -> SimReport {
+            let mut sim: Simulator<u64> = Simulator::new();
+            let cpu = sim.add_resource("cpu");
+            let echo = sim.spawn("echo", move |ctx| {
+                while let Some(env) = ctx.recv() {
+                    ctx.use_resource(cpu, SimDuration::from_nanos(env.msg));
+                    ctx.send(env.from, SimDuration::from_micros(3), env.msg * 2);
+                }
+            });
+            for i in 0..3u64 {
+                sim.spawn(&format!("c{i}"), move |ctx| {
+                    ctx.sleep(SimDuration::from_nanos(i * 100));
+                    ctx.send(echo, SimDuration::from_micros(3), i + 1);
+                    let _ = ctx.recv();
+                });
+            }
+            sim.run()
+        }
+        let a = build();
+        let b = build();
+        assert_eq!(a.trace_hash, b.trace_hash);
+        assert_eq!(a.end_time, b.end_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn process_panic_propagates() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.spawn("bad", |_ctx| panic!("boom"));
+        sim.run();
+    }
+
+    #[test]
+    fn message_to_done_process_is_dropped() {
+        let mut sim: Simulator<u8> = Simulator::new();
+        let gone = sim.spawn("gone", |_ctx| {});
+        sim.spawn("late", move |ctx| {
+            ctx.sleep(SimDuration::from_millis(1));
+            ctx.send(gone, SimDuration::from_nanos(1), 1);
+        });
+        let report = sim.run();
+        assert_eq!(report.stats.dropped, 1);
+    }
+
+    #[test]
+    fn messages_queue_in_inbox_while_running() {
+        // A receiver that computes first, then drains: both messages must be
+        // waiting in its inbox and be received in delivery order.
+        let mut sim: Simulator<u32> = Simulator::new();
+        let cpu = sim.add_resource("cpu");
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let o = order.clone();
+        let rx = sim.spawn("rx", move |ctx| {
+            ctx.use_resource(cpu, SimDuration::from_millis(10));
+            o.lock().push(ctx.recv().unwrap().msg);
+            o.lock().push(ctx.recv().unwrap().msg);
+        });
+        sim.spawn("tx", move |ctx| {
+            ctx.send(rx, SimDuration::from_micros(1), 1);
+            ctx.send(rx, SimDuration::from_micros(2), 2);
+        });
+        sim.run();
+        assert_eq!(*order.lock(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Message envelopes exchanged between simulated processes.
+
+use crate::ids::ProcId;
+use crate::time::SimTime;
+
+/// A message in flight or in an inbox, together with its routing metadata.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// The process that sent the message.
+    pub from: ProcId,
+    /// Virtual time at which the sender issued the message.
+    pub sent_at: SimTime,
+    /// Virtual time at which the message reached the receiver's inbox.
+    pub delivered_at: SimTime,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Outcome of a `recv` with a deadline.
+#[derive(Debug)]
+pub enum RecvResult<M> {
+    /// A message arrived (possibly already waiting in the inbox).
+    Msg(Envelope<M>),
+    /// The deadline passed with no message.
+    Timeout,
+    /// The simulation is shutting down; no further messages will arrive.
+    Shutdown,
+}
+
+impl<M> RecvResult<M> {
+    /// Unwrap a message, panicking on timeout/shutdown. For tests and
+    /// protocols where the message is guaranteed.
+    pub fn expect_msg(self, what: &str) -> Envelope<M> {
+        match self {
+            RecvResult::Msg(env) => env,
+            RecvResult::Timeout => panic!("expected message ({what}), got timeout"),
+            RecvResult::Shutdown => panic!("expected message ({what}), got shutdown"),
+        }
+    }
+
+    /// True if this is a message.
+    pub fn is_msg(&self) -> bool {
+        matches!(self, RecvResult::Msg(_))
+    }
+}

@@ -1,0 +1,54 @@
+//! Identifier newtypes for simulated entities.
+
+use std::fmt;
+
+/// Identifies a simulated process (an independently-scheduled thread of
+/// control with its own inbox and virtual clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub(crate) u32);
+
+impl ProcId {
+    /// The raw index of this process within the simulator.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index. Only meaningful for ids previously
+    /// obtained from the same simulator.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ProcId(i as u32)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifies a FCFS-served resource (a CPU, a shared bus, a disk, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub(crate) u32);
+
+impl ResourceId {
+    /// The raw index of this resource within the simulator.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index. Only meaningful for ids previously
+    /// obtained from the same simulator.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ResourceId(i as u32)
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}

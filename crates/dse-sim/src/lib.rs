@@ -1,0 +1,36 @@
+//! # dse-sim — deterministic direct-execution discrete-event engine
+//!
+//! This crate is the timing substrate for the DSE reproduction. It simulates
+//! a set of *processes* (each running real Rust code on its own OS thread,
+//! interleaved one-at-a-time in virtual-time order), *messages* between them
+//! (delivered after caller-computed latencies) and *FCFS resources* (machine
+//! CPUs, shared buses) that serialize and therefore stretch contended work.
+//!
+//! Design rules that make runs bit-for-bit reproducible:
+//!
+//! * virtual time is integer nanoseconds ([`SimTime`]/[`SimDuration`]);
+//! * a process's clock only advances at yield points, so the engine always
+//!   services requests in global `(time, sequence)` order;
+//! * all randomness flows through the seeded [`SimRng`].
+//!
+//! The typical setup (done by `dse-kernel`) is one simulated process per DSE
+//! node kernel plus one per parallel application process, a CPU resource per
+//! physical machine, and an Ethernet-bus process from `dse-net`.
+
+#![warn(missing_docs)]
+
+mod engine;
+mod envelope;
+mod ids;
+mod rng;
+mod stats;
+mod time;
+mod trace;
+
+pub use engine::{ProcCtx, Simulator};
+pub use envelope::{Envelope, RecvResult};
+pub use ids::{ProcId, ResourceId};
+pub use rng::SimRng;
+pub use stats::{ResourceStats, SimReport, SimStats};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceKind, TraceRecords};

@@ -1,0 +1,91 @@
+//! Optional execution tracing: what every simulated process spent its
+//! virtual time on. Consumed by the `dse-trace` analysis crate to explain
+//! *why* a configuration is slow (compute vs CPU queueing vs waiting for
+//! messages) — the quantities the paper reasons about qualitatively.
+
+use crate::ids::{ProcId, ResourceId};
+use crate::time::SimTime;
+
+/// One traced occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The process's first scheduling.
+    Start {
+        /// When it began.
+        at: SimTime,
+    },
+    /// Queued behind earlier holders of a resource.
+    ResourceWait {
+        /// Resource queued on.
+        res: ResourceId,
+        /// Queue entry time.
+        from: SimTime,
+        /// Grant time.
+        until: SimTime,
+    },
+    /// Held a resource (computing / servicing).
+    ResourceHold {
+        /// Resource held.
+        res: ResourceId,
+        /// Grant time.
+        from: SimTime,
+        /// Release time.
+        until: SimTime,
+    },
+    /// Blocked in `recv` with an empty inbox.
+    RecvWait {
+        /// Block time.
+        from: SimTime,
+        /// Wake time (message arrival or timeout).
+        until: SimTime,
+    },
+    /// Pure delay (`sleep`).
+    Sleep {
+        /// Sleep start.
+        from: SimTime,
+        /// Wake time.
+        until: SimTime,
+    },
+    /// Sent a message.
+    Sent {
+        /// Send time.
+        at: SimTime,
+        /// Destination process.
+        to: ProcId,
+    },
+    /// The process function returned.
+    Exit {
+        /// Completion time.
+        at: SimTime,
+    },
+}
+
+/// One traced event, attributed to a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The process this happened to.
+    pub proc: ProcId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// A full recorded trace: events in engine order plus process names.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecords {
+    /// Events in the order the engine handled them.
+    pub events: Vec<TraceEvent>,
+    /// Process names indexed by `ProcId::index()`.
+    pub proc_names: Vec<String>,
+}
+
+impl TraceRecords {
+    /// Events belonging to one process.
+    pub fn of(&self, proc: ProcId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.proc == proc)
+    }
+
+    /// Name of a process.
+    pub fn name(&self, proc: ProcId) -> &str {
+        &self.proc_names[proc.index()]
+    }
+}

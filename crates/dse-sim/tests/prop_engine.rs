@@ -1,0 +1,119 @@
+//! Property tests for the simulation engine: determinism under arbitrary
+//! programs, event-ordering invariants, resource accounting.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dse_sim::{SimDuration, SimReport, Simulator};
+
+/// A small random program: `n` workers doing randomized sleep / send /
+/// compute sequences against one echo server and one CPU resource.
+fn run_program(steps: Vec<(u8, u16)>, workers: u8) -> SimReport {
+    let workers = workers % 4 + 1;
+    let mut sim: Simulator<u64> = Simulator::new();
+    let cpu = sim.add_resource("cpu");
+    let echo = sim.spawn("echo", move |ctx| {
+        while let Some(env) = ctx.recv() {
+            ctx.send(env.from, SimDuration::from_micros(7), env.msg + 1);
+        }
+    });
+    let steps = Arc::new(steps);
+    for w in 0..workers {
+        let steps = Arc::clone(&steps);
+        sim.spawn(&format!("w{w}"), move |ctx| {
+            for (i, &(op, arg)) in steps.iter().enumerate() {
+                // Each worker takes a different slice of the program.
+                if i % workers as usize != w as usize {
+                    continue;
+                }
+                match op % 3 {
+                    0 => ctx.sleep(SimDuration::from_nanos(arg as u64 * 13 + 1)),
+                    1 => ctx.use_resource(cpu, SimDuration::from_nanos(arg as u64 * 31 + 1)),
+                    _ => {
+                        ctx.send(echo, SimDuration::from_micros(3), arg as u64);
+                        let reply = ctx.recv().expect("echo reply");
+                        assert_eq!(reply.msg, arg as u64 + 1);
+                    }
+                }
+            }
+        });
+    }
+    sim.run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn identical_programs_produce_identical_traces(
+        steps in proptest::collection::vec((any::<u8>(), any::<u16>()), 0..40),
+        workers in any::<u8>(),
+    ) {
+        let a = run_program(steps.clone(), workers);
+        let b = run_program(steps, workers);
+        prop_assert_eq!(a.trace_hash, b.trace_hash);
+        prop_assert_eq!(a.end_time, b.end_time);
+        prop_assert_eq!(a.stats.sends, b.stats.sends);
+    }
+
+    #[test]
+    fn resource_time_is_conserved(
+        holds in proptest::collection::vec(1u64..1_000_000, 1..20),
+    ) {
+        // N processes each hold the CPU once: busy time equals the sum of
+        // the holds and the end time is at least the busy time.
+        let mut sim: Simulator<()> = Simulator::new();
+        let cpu = sim.add_resource("cpu");
+        for (i, &h) in holds.iter().enumerate() {
+            sim.spawn(&format!("h{i}"), move |ctx| {
+                ctx.use_resource(cpu, SimDuration::from_nanos(h));
+            });
+        }
+        let report = sim.run();
+        let total: u64 = holds.iter().sum();
+        prop_assert_eq!(report.resources[0].busy.as_nanos(), total);
+        prop_assert!(report.end_time.as_nanos() >= total);
+        prop_assert_eq!(report.resources[0].acquisitions, holds.len() as u64);
+    }
+
+    #[test]
+    fn messages_between_two_procs_arrive_in_send_order(
+        payloads in proptest::collection::vec(any::<u64>(), 1..30),
+    ) {
+        let got = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        let n = payloads.len();
+        let mut sim: Simulator<u64> = Simulator::new();
+        let rx = sim.spawn("rx", move |ctx| {
+            for _ in 0..n {
+                g.lock().unwrap().push(ctx.recv().unwrap().msg);
+            }
+        });
+        let ps = payloads.clone();
+        sim.spawn("tx", move |ctx| {
+            for p in ps {
+                // Constant latency: FIFO arrival must match send order.
+                ctx.send(rx, SimDuration::from_micros(5), p);
+            }
+        });
+        sim.run();
+        prop_assert_eq!(got.lock().unwrap().clone(), payloads);
+    }
+
+    #[test]
+    fn sleep_accumulates_exactly(ns in proptest::collection::vec(1u64..10_000, 1..50)) {
+        let end = Arc::new(AtomicU64::new(0));
+        let e = Arc::clone(&end);
+        let ns2 = ns.clone();
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.spawn("s", move |ctx| {
+            for &d in &ns2 {
+                ctx.sleep(SimDuration::from_nanos(d));
+            }
+            e.store(ctx.now().as_nanos(), Ordering::SeqCst);
+        });
+        sim.run();
+        prop_assert_eq!(end.load(Ordering::SeqCst), ns.iter().sum::<u64>());
+    }
+}

@@ -1,0 +1,21 @@
+//! # dse-ssi — single-system-image services
+//!
+//! The paper's research goal is a cluster that *looks like one system*.
+//! This crate layers the user-visible SSI services over the DSE runtime:
+//!
+//! * [`ClusterView`] — one cluster-wide process table (`ps`), node table
+//!   and load picture, identical from every node;
+//! * [`names`] — a cluster-wide name service binding symbolic names to
+//!   global-memory regions ("unified access to resources");
+//! * [`Placer`]/[`PlacementPolicy`] — transparent process placement
+//!   (round-robin reproduces the paper's Table 2 virtual-cluster rule;
+//!   least-loaded and packed are the obvious alternatives).
+
+#![warn(missing_docs)]
+
+pub mod names;
+mod placement;
+mod view;
+
+pub use placement::{PlacementPolicy, Placer};
+pub use view::{ClusterView, NodeInfo, ProcState, ProcessEntry};

@@ -1,0 +1,118 @@
+//! Transparent process placement policies.
+//!
+//! One SSI promise is that users need not know where work runs: the system
+//! picks a node. These policies choose a machine given the current load
+//! picture (as produced by [`crate::ClusterView::machine_loads`]).
+
+/// A placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Cycle through machines regardless of load (the paper's Table 2
+    /// virtual-cluster rule is exactly this).
+    RoundRobin,
+    /// Pick the machine with the fewest running processes (ties: lowest
+    /// index, for determinism).
+    LeastLoaded,
+    /// Fill one machine before moving to the next (cache/locality bias).
+    Packed,
+}
+
+/// Stateful placer applying a policy over successive placements.
+#[derive(Debug, Clone)]
+pub struct Placer {
+    policy: PlacementPolicy,
+    next_rr: usize,
+}
+
+impl Placer {
+    /// A placer with the given policy.
+    pub fn new(policy: PlacementPolicy) -> Placer {
+        Placer { policy, next_rr: 0 }
+    }
+
+    /// Choose a machine for the next process given current `loads`
+    /// (running-process count per machine). Panics on an empty cluster.
+    pub fn choose(&mut self, loads: &[usize]) -> usize {
+        assert!(!loads.is_empty(), "no machines to place on");
+        match self.policy {
+            PlacementPolicy::RoundRobin => {
+                let m = self.next_rr % loads.len();
+                self.next_rr += 1;
+                m
+            }
+            PlacementPolicy::LeastLoaded => {
+                let mut best = 0;
+                for (m, &l) in loads.iter().enumerate() {
+                    if l < loads[best] {
+                        best = m;
+                    }
+                }
+                best
+            }
+            PlacementPolicy::Packed => {
+                // First machine that is the current maximum but still the
+                // earliest; i.e. keep adding to the lowest-index machine.
+                0
+            }
+        }
+    }
+
+    /// Place `count` processes starting from the given loads; returns the
+    /// chosen machine per process.
+    pub fn place_all(&mut self, mut loads: Vec<usize>, count: usize) -> Vec<usize> {
+        (0..count)
+            .map(|_| {
+                let m = self.choose(&loads);
+                loads[m] += 1;
+                m
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = Placer::new(PlacementPolicy::RoundRobin);
+        let picks = p.place_all(vec![0; 3], 7);
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn round_robin_matches_paper_virtual_cluster() {
+        // 8 processes on 6 machines = the paper's Table 2 placement.
+        let mut p = Placer::new(PlacementPolicy::RoundRobin);
+        let picks = p.place_all(vec![0; 6], 8);
+        assert_eq!(picks, vec![0, 1, 2, 3, 4, 5, 0, 1]);
+    }
+
+    #[test]
+    fn least_loaded_balances() {
+        let mut p = Placer::new(PlacementPolicy::LeastLoaded);
+        let picks = p.place_all(vec![2, 0, 1], 3);
+        assert_eq!(picks, vec![1, 1, 2]); // 1 (load 0), 1 again (ties at 1 → index 1), then 2
+    }
+
+    #[test]
+    fn least_loaded_deterministic_on_ties() {
+        let mut p = Placer::new(PlacementPolicy::LeastLoaded);
+        assert_eq!(p.choose(&[1, 1, 1]), 0);
+    }
+
+    #[test]
+    fn packed_fills_first() {
+        let mut p = Placer::new(PlacementPolicy::Packed);
+        let picks = p.place_all(vec![0; 4], 3);
+        assert_eq!(picks, vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no machines")]
+    fn empty_cluster_panics() {
+        let mut p = Placer::new(PlacementPolicy::RoundRobin);
+        let _ = p.choose(&[]);
+    }
+}

@@ -1,0 +1,221 @@
+//! The single-system-image cluster view: one process table, one resource
+//! picture, regardless of which node you ask from.
+
+use dse_kernel::ClusterShared;
+use dse_msg::{GlobalPid, NodeId};
+
+/// Lifecycle state of a DSE process in the cluster-wide table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Invoked and not yet finished.
+    Running,
+    /// Asked to terminate cooperatively, not yet finished.
+    Terminating,
+    /// Body returned.
+    Exited,
+}
+
+/// One row of the cluster-wide `ps` listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessEntry {
+    /// Cluster-wide pid (the SSI's flat id space).
+    pub pid: GlobalPid,
+    /// Node hosting the process.
+    pub node: NodeId,
+    /// Physical machine hosting that node.
+    pub machine: usize,
+    /// Lifecycle state.
+    pub state: ProcState,
+}
+
+/// One row of the cluster-wide node listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// The node.
+    pub node: NodeId,
+    /// Physical machine hosting it.
+    pub machine: usize,
+    /// DSE kernels co-resident on that machine (1 on a real cluster, more
+    /// on a virtual cluster).
+    pub kernels_on_machine: usize,
+    /// Application processes currently running on this node.
+    pub running: usize,
+}
+
+/// A read-only single-system-image view over a cluster.
+///
+/// ```
+/// use dse_api::{DseProgram, Platform};
+/// use dse_ssi::ClusterView;
+/// use std::sync::Arc;
+///
+/// DseProgram::new(Platform::sunos_sparc()).run(3, |ctx| {
+///     ctx.barrier(); // all ranks registered
+///     let shared = Arc::clone(ctx.shared());
+///     let view = ClusterView::new(&shared);
+///     assert_eq!(view.ps().len(), 3); // one flat pid space
+///     ctx.barrier();
+/// });
+/// ```
+pub struct ClusterView<'a> {
+    shared: &'a ClusterShared,
+}
+
+impl<'a> ClusterView<'a> {
+    /// Build the view.
+    pub fn new(shared: &'a ClusterShared) -> ClusterView<'a> {
+        ClusterView { shared }
+    }
+
+    /// Cluster-wide process table (the SSI `ps`).
+    pub fn ps(&self) -> Vec<ProcessEntry> {
+        self.shared
+            .all_apps()
+            .into_iter()
+            .map(|(pid, _)| {
+                let state = if self.shared.is_exited(pid) {
+                    ProcState::Exited
+                } else if self.shared.is_terminated(pid) {
+                    ProcState::Terminating
+                } else {
+                    ProcState::Running
+                };
+                ProcessEntry {
+                    pid,
+                    node: pid.node(),
+                    machine: self.shared.machine_of(pid.node()),
+                    state,
+                }
+            })
+            .collect()
+    }
+
+    /// Find one process.
+    pub fn find(&self, pid: GlobalPid) -> Option<ProcessEntry> {
+        self.ps().into_iter().find(|e| e.pid == pid)
+    }
+
+    /// Cluster-wide node table.
+    pub fn nodes(&self) -> Vec<NodeInfo> {
+        let ps = self.ps();
+        (0..self.shared.nnodes())
+            .map(|n| {
+                let node = NodeId(n as u16);
+                let machine = self.shared.machine_of(node);
+                NodeInfo {
+                    node,
+                    machine,
+                    kernels_on_machine: self.shared.spec.kernels_on(machine),
+                    running: ps
+                        .iter()
+                        .filter(|e| e.node == node && e.state == ProcState::Running)
+                        .count(),
+                }
+            })
+            .collect()
+    }
+
+    /// Running processes per physical machine (load picture for placement).
+    pub fn machine_loads(&self) -> Vec<usize> {
+        let ps = self.ps();
+        (0..self.shared.spec.machines_used())
+            .map(|m| {
+                ps.iter()
+                    .filter(|e| e.machine == m && e.state == ProcState::Running)
+                    .count()
+            })
+            .collect()
+    }
+
+    /// Render the `ps` table as text (the user-facing SSI utility).
+    pub fn ps_text(&self) -> String {
+        let mut out = String::from("PID        NODE  MACHINE  STATE\n");
+        for e in self.ps() {
+            let state = match e.state {
+                ProcState::Running => "running",
+                ProcState::Terminating => "terminating",
+                ProcState::Exited => "exited",
+            };
+            out.push_str(&format!(
+                "{:<10} {:<5} {:<8} {}\n",
+                e.pid.0, e.node.0, e.machine, state
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_kernel::DseConfig;
+    use dse_platform::{ClusterSpec, Platform};
+    use dse_sim::{ProcId, ResourceId};
+
+    fn shared(p: usize) -> ClusterShared {
+        let spec = ClusterSpec::paper(Platform::sunos_sparc(), p);
+        let cpus = (0..spec.machines_used())
+            .map(ResourceId::from_index)
+            .collect();
+        ClusterShared::new(spec, DseConfig::default(), cpus)
+    }
+
+    #[test]
+    fn ps_reflects_registration_and_exit() {
+        let s = shared(3);
+        let a = GlobalPid::new(NodeId(0), 1);
+        let b = GlobalPid::new(NodeId(2), 1);
+        s.register_app(a, ProcId::from_index(10));
+        s.register_app(b, ProcId::from_index(11));
+        let view = ClusterView::new(&s);
+        let ps = view.ps();
+        assert_eq!(ps.len(), 2);
+        assert!(ps.iter().all(|e| e.state == ProcState::Running));
+        s.mark_exited(a);
+        assert_eq!(view.find(a).unwrap().state, ProcState::Exited);
+        assert_eq!(view.find(b).unwrap().state, ProcState::Running);
+    }
+
+    #[test]
+    fn termination_shows_as_terminating() {
+        let s = shared(2);
+        let a = GlobalPid::new(NodeId(1), 1);
+        s.register_app(a, ProcId::from_index(9));
+        s.mark_terminated(a);
+        let view = ClusterView::new(&s);
+        assert_eq!(view.find(a).unwrap().state, ProcState::Terminating);
+    }
+
+    #[test]
+    fn node_table_counts_virtual_cluster_kernels() {
+        let s = shared(8); // 6 machines, nodes 6,7 co-located
+        let view = ClusterView::new(&s);
+        let nodes = view.nodes();
+        assert_eq!(nodes.len(), 8);
+        assert_eq!(nodes[0].kernels_on_machine, 2); // machine 0 hosts n0+n6
+        assert_eq!(nodes[2].kernels_on_machine, 1);
+    }
+
+    #[test]
+    fn machine_loads_track_running() {
+        let s = shared(8);
+        s.register_app(GlobalPid::new(NodeId(0), 1), ProcId::from_index(1));
+        s.register_app(GlobalPid::new(NodeId(6), 1), ProcId::from_index(2));
+        s.register_app(GlobalPid::new(NodeId(1), 1), ProcId::from_index(3));
+        let view = ClusterView::new(&s);
+        let loads = view.machine_loads();
+        assert_eq!(loads[0], 2); // nodes 0 and 6 share machine 0
+        assert_eq!(loads[1], 1);
+        assert_eq!(loads[2], 0);
+    }
+
+    #[test]
+    fn ps_text_renders_rows() {
+        let s = shared(2);
+        s.register_app(GlobalPid::new(NodeId(0), 1), ProcId::from_index(1));
+        let view = ClusterView::new(&s);
+        let text = view.ps_text();
+        assert!(text.contains("PID"));
+        assert!(text.contains("running"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Per-process time breakdowns from an execution trace.
+//!
+//! Classifies every simulated process's lifetime into: **compute** (holding
+//! a CPU or other resource), **CPU queueing** (waiting behind co-resident
+//! holders — the virtual-cluster overload), **communication wait** (blocked
+//! in `recv` — request round trips, barrier waits), **sleep**, and
+//! **other** (unaccounted scheduling gaps). These are exactly the
+//! quantities the paper argues with: "communication frequency",
+//! "machine load increases in proportion", "computation granularity".
+
+use dse_sim::{ProcId, SimDuration, SimTime, TraceKind, TraceRecords};
+
+/// Where one process's virtual time went.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcBreakdown {
+    /// The process.
+    pub proc: ProcId,
+    /// Its name.
+    pub name: String,
+    /// First scheduling.
+    pub start: SimTime,
+    /// Exit time (or the run's end for server loops).
+    pub end: SimTime,
+    /// Time holding resources (computing / servicing).
+    pub compute: SimDuration,
+    /// Time queued for resources (CPU contention).
+    pub cpu_wait: SimDuration,
+    /// Time blocked in `recv` (communication / synchronization wait).
+    pub recv_wait: SimDuration,
+    /// Time in pure sleeps.
+    pub sleep: SimDuration,
+    /// Messages sent.
+    pub sends: u64,
+}
+
+impl ProcBreakdown {
+    /// Total lifetime.
+    pub fn span(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Lifetime not covered by the other categories.
+    pub fn other(&self) -> SimDuration {
+        self.span() - self.compute - self.cpu_wait - self.recv_wait - self.sleep
+    }
+
+    /// Fraction of the lifetime spent in a category (0..1).
+    pub fn frac(&self, of: SimDuration) -> f64 {
+        let span = self.span().as_nanos();
+        if span == 0 {
+            return 0.0;
+        }
+        of.as_nanos() as f64 / span as f64
+    }
+}
+
+/// The analysis of one run's trace.
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    /// Per-process breakdowns, in process order.
+    pub procs: Vec<ProcBreakdown>,
+    /// The run's end time.
+    pub end_time: SimTime,
+}
+
+/// Build per-process breakdowns from a recorded trace.
+///
+/// ```
+/// use dse_sim::{SimDuration, Simulator};
+/// use dse_trace::analyze;
+///
+/// let mut sim: Simulator<()> = Simulator::new();
+/// sim.enable_tracing();
+/// let cpu = sim.add_resource("cpu");
+/// sim.spawn("worker", move |ctx| {
+///     ctx.use_resource(cpu, SimDuration::from_millis(10));
+/// });
+/// let report = sim.run();
+/// let analysis = analyze(report.trace.as_ref().unwrap(), report.end_time);
+/// let worker = &analysis.procs[0];
+/// assert_eq!(worker.compute, SimDuration::from_millis(10));
+/// ```
+pub fn analyze(trace: &TraceRecords, end_time: SimTime) -> TraceAnalysis {
+    let n = trace.proc_names.len();
+    let mut procs: Vec<ProcBreakdown> = (0..n)
+        .map(|i| ProcBreakdown {
+            proc: ProcId::from_index(i),
+            name: trace.proc_names[i].clone(),
+            start: SimTime::ZERO,
+            end: end_time,
+            compute: SimDuration::ZERO,
+            cpu_wait: SimDuration::ZERO,
+            recv_wait: SimDuration::ZERO,
+            sleep: SimDuration::ZERO,
+            sends: 0,
+        })
+        .collect();
+    for ev in &trace.events {
+        let b = &mut procs[ev.proc.index()];
+        match ev.kind {
+            TraceKind::Start { at } => b.start = at,
+            TraceKind::Exit { at } => b.end = at,
+            TraceKind::ResourceHold { from, until, .. } => b.compute += until - from,
+            TraceKind::ResourceWait { from, until, .. } => b.cpu_wait += until - from,
+            TraceKind::RecvWait { from, until } => b.recv_wait += until - from,
+            TraceKind::Sleep { from, until } => b.sleep += until - from,
+            TraceKind::Sent { .. } => b.sends += 1,
+        }
+    }
+    TraceAnalysis { procs, end_time }
+}
+
+impl TraceAnalysis {
+    /// Breakdowns whose process name starts with `prefix` (e.g. `"rank"`,
+    /// `"kernel"`).
+    pub fn group(&self, prefix: &str) -> Vec<&ProcBreakdown> {
+        self.procs
+            .iter()
+            .filter(|p| p.name.starts_with(prefix))
+            .collect()
+    }
+
+    /// Aggregate fractions `(compute, cpu_wait, recv_wait)` over a group,
+    /// weighted by lifetime.
+    pub fn group_fractions(&self, prefix: &str) -> (f64, f64, f64) {
+        let group = self.group(prefix);
+        let total: u64 = group.iter().map(|p| p.span().as_nanos()).sum();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let c: u64 = group.iter().map(|p| p.compute.as_nanos()).sum();
+        let q: u64 = group.iter().map(|p| p.cpu_wait.as_nanos()).sum();
+        let r: u64 = group.iter().map(|p| p.recv_wait.as_nanos()).sum();
+        (
+            c as f64 / total as f64,
+            q as f64 / total as f64,
+            r as f64 / total as f64,
+        )
+    }
+
+    /// Render the per-process table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "process            span[s]  compute%   cpu-q%   recv-w%   sleep%  sends\n",
+        );
+        for p in &self.procs {
+            out.push_str(&format!(
+                "{:<18} {:>8.4} {:>8.1} {:>8.1} {:>9.1} {:>8.1} {:>6}\n",
+                p.name,
+                p.span().as_secs_f64(),
+                100.0 * p.frac(p.compute),
+                100.0 * p.frac(p.cpu_wait),
+                100.0 * p.frac(p.recv_wait),
+                100.0 * p.frac(p.sleep),
+                p.sends,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_sim::{SimDuration, Simulator};
+
+    #[test]
+    fn breakdown_accounts_for_known_program() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        sim.enable_tracing();
+        let cpu = sim.add_resource("cpu");
+        let server = sim.spawn("server", move |ctx| {
+            while let Some(env) = ctx.recv() {
+                ctx.use_resource(cpu, SimDuration::from_millis(2));
+                ctx.send(env.from, SimDuration::from_micros(10), env.msg);
+            }
+        });
+        sim.spawn("client", move |ctx| {
+            ctx.use_resource(cpu, SimDuration::from_millis(10)); // compute
+            ctx.send(server, SimDuration::from_micros(10), 1);
+            let _ = ctx.recv(); // recv wait ≈ 2ms + wire
+            ctx.sleep(SimDuration::from_millis(5));
+        });
+        let report = sim.run();
+        let analysis = analyze(report.trace.as_ref().unwrap(), report.end_time);
+        let client = analysis.procs.iter().find(|p| p.name == "client").unwrap();
+        assert_eq!(client.compute, SimDuration::from_millis(10));
+        assert_eq!(client.sleep, SimDuration::from_millis(5));
+        // Recv wait covers the server's service time plus two wire hops.
+        assert_eq!(client.recv_wait, SimDuration::from_micros(2020));
+        assert_eq!(client.sends, 1);
+        assert_eq!(client.other(), SimDuration::ZERO);
+        // The server's compute shows up too.
+        let server = analysis.procs.iter().find(|p| p.name == "server").unwrap();
+        assert_eq!(server.compute, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn cpu_wait_detected_under_contention() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.enable_tracing();
+        let cpu = sim.add_resource("cpu");
+        for i in 0..2 {
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                ctx.use_resource(cpu, SimDuration::from_millis(3));
+            });
+        }
+        let report = sim.run();
+        let analysis = analyze(report.trace.as_ref().unwrap(), report.end_time);
+        let w1 = analysis.procs.iter().find(|p| p.name == "w1").unwrap();
+        assert_eq!(w1.cpu_wait, SimDuration::from_millis(3));
+        assert_eq!(w1.compute, SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn group_fractions_weighted() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.enable_tracing();
+        let cpu = sim.add_resource("cpu");
+        sim.spawn("rank0", move |ctx| {
+            ctx.use_resource(cpu, SimDuration::from_millis(4));
+        });
+        sim.spawn("rank1", move |ctx| {
+            ctx.sleep(SimDuration::from_millis(4));
+        });
+        let report = sim.run();
+        let analysis = analyze(report.trace.as_ref().unwrap(), report.end_time);
+        let (c, q, r) = analysis.group_fractions("rank");
+        assert!((c - 0.5).abs() < 0.01, "compute fraction {c}");
+        assert_eq!(q, 0.0);
+        assert_eq!(r, 0.0);
+        assert_eq!(analysis.group("rank").len(), 2);
+    }
+
+    #[test]
+    fn render_contains_headers_and_rows() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.enable_tracing();
+        sim.spawn("p", |ctx| ctx.sleep(SimDuration::from_millis(1)));
+        let report = sim.run();
+        let analysis = analyze(report.trace.as_ref().unwrap(), report.end_time);
+        let text = analysis.render();
+        assert!(text.contains("compute%"));
+        assert!(text.contains('p'));
+    }
+}

@@ -1,0 +1,131 @@
+//! ASCII Gantt rendering of a trace: one row per process, one column per
+//! time bucket, a letter per dominant activity.
+//!
+//! Legend: `#` compute (resource held), `q` CPU queueing, `.` waiting for a
+//! message, `s` sleeping, space = not yet started / exited / idle.
+
+use dse_sim::{SimTime, TraceKind, TraceRecords};
+
+/// Activity codes per bucket, most important last (later wins ties by
+/// painting over).
+const IDLE: u8 = b' ';
+
+fn paint(row: &mut [u8], t0: SimTime, t1: SimTime, start: SimTime, bucket_ns: u64, code: u8) {
+    if t1 <= start || bucket_ns == 0 {
+        return;
+    }
+    let b0 = (t0.as_nanos().saturating_sub(start.as_nanos())) / bucket_ns;
+    let b1 = (t1.as_nanos().saturating_sub(start.as_nanos())).div_ceil(bucket_ns);
+    for b in b0..b1.min(row.len() as u64) {
+        let cell = &mut row[b as usize];
+        // Compute has the highest priority, then queueing, then waits.
+        let rank = |c: u8| match c {
+            b'#' => 3,
+            b'q' => 2,
+            b'.' => 1,
+            b's' => 1,
+            _ => 0,
+        };
+        if rank(code) >= rank(*cell) {
+            *cell = code;
+        }
+    }
+}
+
+/// Render the trace as an ASCII timeline of `width` buckets.
+pub fn gantt(trace: &TraceRecords, end_time: SimTime, width: usize) -> String {
+    assert!(width > 0);
+    let bucket_ns = (end_time.as_nanos().max(1)).div_ceil(width as u64);
+    let n = trace.proc_names.len();
+    let mut rows = vec![vec![IDLE; width]; n];
+    for ev in &trace.events {
+        let row = &mut rows[ev.proc.index()];
+        match ev.kind {
+            TraceKind::ResourceHold { from, until, .. } => {
+                paint(row, from, until, SimTime::ZERO, bucket_ns, b'#')
+            }
+            TraceKind::ResourceWait { from, until, .. } => {
+                paint(row, from, until, SimTime::ZERO, bucket_ns, b'q')
+            }
+            TraceKind::RecvWait { from, until } => {
+                paint(row, from, until, SimTime::ZERO, bucket_ns, b'.')
+            }
+            TraceKind::Sleep { from, until } => {
+                paint(row, from, until, SimTime::ZERO, bucket_ns, b's')
+            }
+            _ => {}
+        }
+    }
+    let name_w = trace
+        .proc_names
+        .iter()
+        .map(|s| s.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>nw$} |{}| t = 0 .. {}\n",
+        "proc",
+        "-".repeat(width),
+        end_time,
+        nw = name_w
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>nw$} |{}|\n",
+            trace.proc_names[i],
+            String::from_utf8_lossy(row),
+            nw = name_w
+        ));
+    }
+    out.push_str("legend: '#'=compute  'q'=cpu-queue  '.'=recv-wait  's'=sleep\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_sim::{SimDuration, Simulator};
+
+    #[test]
+    fn gantt_shows_compute_then_sleep() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.enable_tracing();
+        let cpu = sim.add_resource("cpu");
+        sim.spawn("p", move |ctx| {
+            ctx.use_resource(cpu, SimDuration::from_millis(5));
+            ctx.sleep(SimDuration::from_millis(5));
+        });
+        let report = sim.run();
+        let text = gantt(report.trace.as_ref().unwrap(), report.end_time, 10);
+        let row = text.lines().nth(1).unwrap();
+        let cells: String = row.chars().skip_while(|&c| c != '|').collect();
+        // First half compute, second half sleep.
+        assert!(cells.contains("#####"), "row: {row}");
+        assert!(cells.contains("sssss"), "row: {row}");
+    }
+
+    #[test]
+    fn gantt_marks_queueing() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.enable_tracing();
+        let cpu = sim.add_resource("cpu");
+        for i in 0..2 {
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                ctx.use_resource(cpu, SimDuration::from_millis(4));
+            });
+        }
+        let report = sim.run();
+        let text = gantt(report.trace.as_ref().unwrap(), report.end_time, 8);
+        let w1 = text.lines().nth(2).unwrap();
+        assert!(w1.contains('q'), "second worker should queue: {text}");
+    }
+
+    #[test]
+    fn empty_trace_renders_header_only_rows() {
+        let trace = TraceRecords::default();
+        let text = gantt(&trace, SimTime::from_nanos(1000), 5);
+        assert!(text.starts_with("proc") || text.contains("proc"));
+    }
+}

@@ -1,0 +1,22 @@
+//! # dse-trace — execution-trace analysis for DSE runs
+//!
+//! The paper explains its curves with narratives — "communication frequency
+//! is high", "the machine load increases in proportion to the number of
+//! kernels", "small computation granularity" — and this crate makes those
+//! narratives measurable: enable tracing on a run
+//! (`DseProgram::with_tracing(true)`), then
+//!
+//! * [`analyze`] classifies every process's time into compute / CPU
+//!   queueing / communication wait / sleep ([`ProcBreakdown`]);
+//! * [`gantt`] renders an ASCII timeline of the whole cluster.
+//!
+//! See `examples/trace_breakdown.rs` for the DCT fine-vs-coarse grain
+//! story told in these terms.
+
+#![warn(missing_docs)]
+
+mod breakdown;
+mod gantt;
+
+pub use breakdown::{analyze, ProcBreakdown, TraceAnalysis};
+pub use gantt::gantt;

@@ -1,0 +1,194 @@
+//! `dse-run` — command-line front end to the DSE reproduction.
+//!
+//! Run any of the paper's workloads on any simulated platform and
+//! configuration, and optionally print the execution-trace breakdown:
+//!
+//! ```sh
+//! dse-run gauss   --platform sunos --procs 4 --n 600
+//! dse-run dct     --platform linux --procs 8 --block 16 --trace
+//! dse-run othello --platform aix   --procs 6 --depth 7
+//! dse-run knights --platform sunos --procs 12 --jobs 16 --organization legacy
+//! dse-run gauss-mp --procs 4 --n 400          # message-passing variant
+//! ```
+
+use dse::apps::{dct, gauss_seidel, gauss_seidel_mp, knights, matmul, othello};
+use dse::net::Protocol;
+use dse::prelude::*;
+use dse_trace::{analyze, gantt};
+
+struct Args {
+    app: String,
+    platform: String,
+    procs: usize,
+    n: usize,
+    block: usize,
+    depth: u32,
+    jobs: usize,
+    organization: String,
+    protocol: String,
+    cache: bool,
+    trace: bool,
+    machines: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dse-run <gauss|gauss-mp|dct|othello|knights|matmul> [options]
+  --platform sunos|aix|linux   simulated platform        (default sunos)
+  --procs N                    processors 1..12           (default 4)
+  --machines N                 physical machines          (default 6)
+  --n N                        Gauss-Seidel dimension     (default 400)
+  --block B                    DCT block size             (default 8)
+  --depth D                    Othello search depth       (default 5)
+  --jobs J                     Knight's-Tour job count    (default 16)
+  --organization linked|legacy software organization     (default linked)
+  --protocol tcp|udp|raw       protocol stack             (default tcp)
+  --cache                      enable the GM cache
+  --trace                      print the execution-time breakdown"
+    );
+    std::process::exit(2)
+}
+
+fn parse() -> Args {
+    let mut args = Args {
+        app: String::new(),
+        platform: "sunos".into(),
+        procs: 4,
+        n: 400,
+        block: 8,
+        depth: 5,
+        jobs: 16,
+        organization: "linked".into(),
+        protocol: "tcp".into(),
+        cache: false,
+        trace: false,
+        machines: 6,
+    };
+    let mut it = std::env::args().skip(1);
+    args.app = it.next().unwrap_or_else(|| usage());
+    while let Some(flag) = it.next() {
+        let val = |it: &mut dyn Iterator<Item = String>| it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--platform" => args.platform = val(&mut it),
+            "--procs" => args.procs = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--machines" => args.machines = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--n" => args.n = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--block" => args.block = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--depth" => args.depth = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--jobs" => args.jobs = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--organization" => args.organization = val(&mut it),
+            "--protocol" => args.protocol = val(&mut it),
+            "--cache" => args.cache = true,
+            "--trace" => args.trace = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse();
+    let platform = Platform::by_id(&args.platform).unwrap_or_else(|| {
+        eprintln!("unknown platform '{}'", args.platform);
+        usage()
+    });
+    let mut config = DseConfig::paper().with_gm_cache(args.cache);
+    config.organization = match args.organization.as_str() {
+        "linked" => Organization::LinkedLibrary,
+        "legacy" => Organization::SeparateProcess,
+        _ => usage(),
+    };
+    config.protocol = match args.protocol.as_str() {
+        "tcp" => Protocol::TcpIp,
+        "udp" => Protocol::Udp,
+        "raw" => Protocol::RawEthernet,
+        _ => usage(),
+    };
+    let program = DseProgram::new(platform.clone())
+        .with_machines(args.machines)
+        .with_config(config)
+        .with_tracing(args.trace);
+
+    println!(
+        "# {} on {} ({}), {} processors / {} machines",
+        args.app, platform.os, platform.machine, args.procs, args.machines
+    );
+    let run = match args.app.as_str() {
+        "gauss" => {
+            let params = gauss_seidel::GaussSeidelParams::paper(args.n);
+            let (run, sol) = gauss_seidel::solve_parallel(&program, args.procs, params);
+            println!(
+                "solved N={} in {} sweeps, final delta {:.2e}",
+                args.n, sol.iters, sol.delta
+            );
+            run
+        }
+        "gauss-mp" => {
+            let params = gauss_seidel::GaussSeidelParams::paper(args.n);
+            let (run, sol) = gauss_seidel_mp::solve_parallel_mp(&program, args.procs, params);
+            println!(
+                "solved N={} (message passing) in {} sweeps, final delta {:.2e}",
+                args.n, sol.iters, sol.delta
+            );
+            run
+        }
+        "dct" => {
+            let params = dct::DctParams::paper(args.block);
+            let (run, out) = dct::compress_parallel(&program, args.procs, params);
+            println!(
+                "compressed {}x{} image, {} coefficients kept",
+                params.size,
+                params.size,
+                out.coeffs.len()
+            );
+            run
+        }
+        "othello" => {
+            let params = othello::OthelloParams::paper(args.depth);
+            let (run, (mv, score)) = othello::search_parallel(&program, args.procs, params);
+            println!(
+                "depth {}: best move {}{} score {:+}",
+                args.depth,
+                (b'a' + mv % 8) as char,
+                mv / 8 + 1,
+                score
+            );
+            run
+        }
+        "matmul" => {
+            let params = matmul::MatmulParams::single(args.n.min(256));
+            let (run, c) = matmul::multiply_parallel(&program, args.procs, params);
+            println!("multiplied {0}x{0} matrices, C[0]={1:.4}", params.n, c[0]);
+            run
+        }
+        "knights" => {
+            let params = knights::KnightsParams::paper(args.jobs);
+            let (run, count) = knights::count_parallel(&program, args.procs, params);
+            println!("counted {count} tours ({} jobs)", args.jobs);
+            run
+        }
+        _ => usage(),
+    };
+
+    println!(
+        "execution time: {}   messages: {}   wire bytes: {}   collisions: {}",
+        run.elapsed, run.stats.messages, run.net_wire_bytes, run.net_collisions
+    );
+    if args.cache {
+        println!(
+            "cache: {} hits / {} misses / {} invalidations",
+            run.stats.cache_hits, run.stats.cache_misses, run.stats.cache_invalidations
+        );
+    }
+    if args.trace {
+        let trace = run.report.trace.as_ref().expect("tracing enabled");
+        let analysis = analyze(trace, run.report.end_time);
+        println!();
+        print!("{}", analysis.render());
+        println!("{}", gantt(trace, run.report.end_time, 72));
+    }
+}

@@ -1,0 +1,58 @@
+//! # dse — a portable cluster computing environment with single-system-image support
+//!
+//! A full reproduction, as a Rust library, of the system described in
+//! *"Towards a Portable Cluster Computing Environment Supporting Single
+//! System Image"* (Asazu, Apduhan, Arita; ICPP Workshops 1999): the **DSE**
+//! (Distributed Supercomputing Environment) — a user-level, shared-memory
+//! cluster runtime in its revised linked-library organization, together
+//! with everything needed to rerun the paper's evaluation.
+//!
+//! ## Crate map
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`sim`] | `dse-sim` | deterministic direct-execution discrete-event engine |
+//! | [`platform`] | `dse-platform` | Table 1 platform cost models + Table 2 cluster rules |
+//! | [`msg`] | `dse-msg` | wire format of the message exchange mechanism |
+//! | [`net`] | `dse-net` | CSMA/CD bus Ethernet, switched fabric, protocol stacks |
+//! | [`kernel`] | `dse-kernel` | the parallel processing library (DSE kernel) |
+//! | [`api`] | `dse-api` | the parallel API library (`DseProgram`, `DseCtx`) |
+//! | [`ssi`] | `dse-ssi` | single-system-image services (process table, names, placement) |
+//! | [`live`] | `dse-live` | the same API on real OS threads |
+//! | [`apps`] | `dse-apps` | the paper's four workloads |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dse::prelude::*;
+//!
+//! // Run an SPMD program on a simulated 4-processor SparcStation cluster.
+//! let result = DseProgram::new(Platform::sunos_sparc()).run(4, |ctx| {
+//!     let table = GmArray::<f64>::alloc(ctx, 4, Distribution::Blocked);
+//!     table.set(ctx, ctx.rank() as usize, ctx.rank() as f64 * 2.0);
+//!     ctx.barrier();
+//!     let all = table.read(ctx, 0, 4);
+//!     assert_eq!(all, vec![0.0, 2.0, 4.0, 6.0]);
+//! });
+//! println!("simulated execution time: {}", result.elapsed);
+//! ```
+
+pub use dse_api as api;
+pub use dse_apps as apps;
+pub use dse_kernel as kernel;
+pub use dse_live as live;
+pub use dse_msg as msg;
+pub use dse_net as net;
+pub use dse_platform as platform;
+pub use dse_sim as sim;
+pub use dse_ssi as ssi;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use dse_api::{
+        collective, Distribution, DseConfig, DseCtx, DseProgram, GmArray, GmCounter, NetworkChoice,
+        Organization, ParallelApi, Platform, RunResult, Work,
+    };
+    pub use dse_live::run_live;
+    pub use dse_ssi::{ClusterView, PlacementPolicy, Placer};
+}

@@ -1,0 +1,81 @@
+//! Portability, mechanically: each workload's single SPMD body produces
+//! identical results on the deterministic simulated cluster and on the
+//! real-thread live engine.
+
+use dse::apps::{dct, gauss_seidel, knights, othello};
+use dse::live::run_live;
+use dse::prelude::*;
+use std::sync::Mutex;
+
+/// Run a body on the live engine and capture rank 0's result.
+fn live_capture<T: Send + 'static>(
+    nprocs: usize,
+    body: impl Fn(&mut dse::live::LiveCtx) -> Option<T> + Send + Sync,
+) -> T {
+    let slot: Mutex<Option<T>> = Mutex::new(None);
+    run_live(nprocs, |ctx| {
+        if let Some(v) = body(ctx) {
+            *slot.lock().unwrap() = Some(v);
+        }
+    });
+    slot.into_inner().unwrap().expect("rank 0 result")
+}
+
+#[test]
+fn gauss_seidel_same_on_both_engines() {
+    let params = gauss_seidel::GaussSeidelParams::paper(80);
+    let program = DseProgram::new(Platform::sunos_sparc());
+    let (_, sim_sol) = gauss_seidel::solve_parallel(&program, 3, params);
+    let live_sol = live_capture(3, |ctx| gauss_seidel::body(ctx, &params));
+    // Both engines execute the same sweeps in the same barrier structure,
+    // so results agree exactly.
+    assert_eq!(sim_sol.iters, live_sol.iters);
+    assert_eq!(sim_sol.x, live_sol.x);
+}
+
+#[test]
+fn dct_same_on_both_engines() {
+    let params = dct::DctParams {
+        size: 128,
+        block: 8,
+        keep: 0.25,
+        seed: 3,
+    };
+    let program = DseProgram::new(Platform::linux_pentium2());
+    let (_, sim_out) = dct::compress_parallel(&program, 4, params);
+    let live_out = live_capture(4, |ctx| dct::body(ctx, &params));
+    assert_eq!(sim_out, live_out);
+    assert_eq!(sim_out, dct::compress_sequential(&params));
+}
+
+#[test]
+fn othello_same_on_both_engines() {
+    let params = othello::OthelloParams::paper(4);
+    let program = DseProgram::new(Platform::aix_rs6000());
+    let (_, sim_best) = othello::search_parallel(&program, 3, params);
+    let live_best = live_capture(3, |ctx| othello::body(ctx, &params));
+    assert_eq!(sim_best, live_best);
+    let (mv, v, _) = othello::search_sequential(&params);
+    assert_eq!(sim_best, (mv, v));
+}
+
+#[test]
+fn knights_same_on_both_engines() {
+    let params = knights::KnightsParams::paper(16);
+    let program = DseProgram::new(Platform::sunos_sparc());
+    let (_, sim_count) = knights::count_parallel(&program, 4, params);
+    let live_count = live_capture(4, |ctx| knights::body(ctx, &params));
+    assert_eq!(sim_count, live_count);
+    assert_eq!(sim_count, 304);
+}
+
+#[test]
+fn matmul_same_on_both_engines() {
+    use dse::apps::matmul;
+    let params = matmul::MatmulParams::single(20);
+    let program = DseProgram::new(Platform::sunos_sparc());
+    let (_, sim_c) = matmul::multiply_parallel(&program, 3, params);
+    let live_c = live_capture(3, |ctx| matmul::body(ctx, &params));
+    assert_eq!(sim_c, live_c);
+    assert_eq!(sim_c, matmul::multiply_sequential(&params));
+}

@@ -1,0 +1,84 @@
+//! Smoke-runs of the figure-reproduction harness (reduced sweeps): every
+//! generator produces well-formed data and the text/CSV renderers agree.
+
+use dse::prelude::*;
+use dse_bench::sweeps::{self, SweepCfg};
+use dse_bench::{ablation_org, checks};
+
+#[test]
+fn gauss_figures_well_formed() {
+    let cfg = SweepCfg::quick();
+    let (time_fig, speed_fig) = sweeps::gauss_figures(&Platform::sunos_sparc(), &cfg);
+    assert_eq!(time_fig.id, "fig4");
+    assert_eq!(speed_fig.id, "fig5");
+    assert_eq!(time_fig.series.len(), cfg.gauss_procs.len());
+    assert_eq!(speed_fig.series.len(), cfg.gauss_dims.len());
+    // Speedup at p=1 is 1.0 by construction.
+    for s in &speed_fig.series {
+        assert_eq!(s.y_at(1.0), Some(1.0), "series {}", s.label);
+    }
+    // All times positive.
+    for s in &time_fig.series {
+        assert!(s.points.iter().all(|&(_, y)| y > 0.0));
+    }
+}
+
+#[test]
+fn dct_figures_well_formed() {
+    let cfg = SweepCfg::quick();
+    let (time_fig, speed_fig) = sweeps::dct_figures(&Platform::linux_pentium2(), &cfg);
+    assert_eq!(time_fig.id, "fig14");
+    assert_eq!(speed_fig.id, "fig15");
+    assert_eq!(time_fig.series.len(), cfg.dct_blocks.len());
+    let csv = time_fig.to_csv();
+    assert!(csv.starts_with("procs,4x4,16x16"));
+    assert_eq!(csv.lines().count(), 1 + cfg.procs.len());
+}
+
+#[test]
+fn othello_figures_well_formed() {
+    let cfg = SweepCfg::quick();
+    let (_, speed_fig) = sweeps::othello_figures(&Platform::aix_rs6000(), &cfg);
+    assert_eq!(speed_fig.id, "fig17-speedup");
+    let text = speed_fig.render_text();
+    assert!(text.contains("Depth3"));
+    assert!(text.contains("Othello"));
+}
+
+#[test]
+fn knights_figures_well_formed_and_checked() {
+    let mut cfg = SweepCfg::quick();
+    cfg.procs = vec![1, 2, 4, 6];
+    let (time_fig, speed_fig) = sweeps::knights_figures(&Platform::sunos_sparc(), &cfg);
+    assert_eq!(time_fig.id, "fig19");
+    let results = checks::check_knights(&speed_fig);
+    assert!(!results.is_empty());
+    for c in &results {
+        assert!(c.pass, "{}: {}", c.name, c.detail);
+    }
+}
+
+#[test]
+fn ablation_org_quick_check() {
+    let mut cfg = SweepCfg::quick();
+    cfg.procs = vec![1, 3];
+    let fig = ablation_org(&Platform::linux_pentium2(), &cfg);
+    for c in checks::check_org(&fig) {
+        assert!(c.pass, "{}: {}", c.name, c.detail);
+    }
+}
+
+#[test]
+fn tables_render() {
+    let t1 = sweeps::table1();
+    assert!(t1.contains("SparcStation"));
+    assert!(t1.contains("AIX"));
+    assert!(t1.contains("Linux"));
+    let t2 = sweeps::table2(12);
+    assert!(t2.contains("12"));
+    // Virtual-cluster rule visible: 7 processors → 6 machines, 2 kernels.
+    assert!(t2.lines().any(|l| {
+        let f: Vec<&str> = l.split_whitespace().collect();
+        f.first() == Some(&"7") && f.get(1) == Some(&"6") && f.get(2) == Some(&"2")
+    }));
+}

@@ -1,0 +1,87 @@
+//! Heterogeneous clusters (the paper's future-work direction): machines of
+//! different platforms in one run, with correct per-machine costing.
+
+use dse::apps::{gauss_seidel, knights};
+use dse::prelude::*;
+
+fn mixed() -> Vec<Platform> {
+    vec![
+        Platform::sunos_sparc(),
+        Platform::linux_pentium2(),
+        Platform::aix_rs6000(),
+        Platform::linux_pentium2(),
+    ]
+}
+
+#[test]
+fn mixed_cluster_computes_correctly() {
+    let program = DseProgram::heterogeneous(mixed());
+    let params = gauss_seidel::GaussSeidelParams::paper(60);
+    let (run, sol) = gauss_seidel::solve_parallel(&program, 4, params);
+    assert!(sol.delta <= params.eps);
+    assert!(run.secs() > 0.0);
+    let sys = gauss_seidel::generate(&params);
+    assert!(gauss_seidel::residual(&sys, &sol.x) < 1e-6);
+
+    let (_, count) = knights::count_parallel(&program, 4, knights::KnightsParams::paper(16));
+    assert_eq!(count, 304);
+}
+
+#[test]
+fn mixed_cluster_sits_between_pure_clusters() {
+    // A statically-partitioned workload on a mixed cluster is gated by its
+    // slowest machine: slower than all-linux, faster than all-sparc.
+    let params = gauss_seidel::GaussSeidelParams::paper(300);
+    let p = 4;
+    let run = |program: DseProgram| gauss_seidel::solve_parallel(&program, p, params).0.secs();
+    let sparc = run(DseProgram::new(Platform::sunos_sparc()));
+    let linux = run(DseProgram::new(Platform::linux_pentium2()));
+    let mixed = run(DseProgram::heterogeneous(vec![
+        Platform::sunos_sparc(),
+        Platform::linux_pentium2(),
+        Platform::sunos_sparc(),
+        Platform::linux_pentium2(),
+    ]));
+    assert!(
+        linux < mixed && mixed <= sparc * 1.05,
+        "expected linux {linux} < mixed {mixed} <= sparc {sparc}"
+    );
+}
+
+#[test]
+fn dynamic_tasking_exploits_fast_machines() {
+    // The Knight's-Tour counter deals jobs dynamically, so faster machines
+    // take more jobs: the mixed cluster beats the all-slow cluster by more
+    // than the static split would.
+    let params = knights::KnightsParams::paper(64);
+    let p = 4;
+    let sparc = knights::count_parallel(&DseProgram::new(Platform::sunos_sparc()), p, params)
+        .0
+        .secs();
+    let mixed = knights::count_parallel(
+        &DseProgram::heterogeneous(vec![
+            Platform::sunos_sparc(),
+            Platform::linux_pentium2(),
+            Platform::sunos_sparc(),
+            Platform::linux_pentium2(),
+        ]),
+        p,
+        params,
+    )
+    .0
+    .secs();
+    assert!(
+        mixed < sparc * 0.75,
+        "dynamic tasking should use the fast machines: mixed {mixed} vs sparc {sparc}"
+    );
+}
+
+#[test]
+fn heterogeneous_runs_are_deterministic() {
+    let run = || {
+        let program = DseProgram::heterogeneous(mixed());
+        let (r, count) = knights::count_parallel(&program, 6, knights::KnightsParams::paper(16));
+        (r.elapsed, r.report.trace_hash, count)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,89 @@
+//! Single-system-image behaviour over live runs of the full runtime.
+
+use dse::prelude::*;
+use dse::ssi::{names, ClusterView, ProcState};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[test]
+fn process_table_is_identical_from_every_node() {
+    let tables: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let t = Arc::clone(&tables);
+    DseProgram::new(Platform::sunos_sparc()).run(5, move |ctx| {
+        ctx.barrier(); // all ranks registered
+        let shared = Arc::clone(ctx.shared());
+        let view = ClusterView::new(&shared);
+        t.lock().unwrap().push(view.ps_text());
+        ctx.barrier();
+    });
+    let tables = tables.lock().unwrap();
+    assert_eq!(tables.len(), 5);
+    for other in tables.iter().skip(1) {
+        assert_eq!(&tables[0], other, "SSI views must agree");
+    }
+    assert_eq!(tables[0].matches("running").count(), 5);
+}
+
+#[test]
+fn exit_states_appear_in_the_table() {
+    let running_mid = Arc::new(AtomicUsize::new(0));
+    let r = Arc::clone(&running_mid);
+    let result = DseProgram::new(Platform::linux_pentium2()).run(4, move |ctx| {
+        ctx.barrier();
+        if ctx.rank() == 0 {
+            let shared = Arc::clone(ctx.shared());
+            let view = ClusterView::new(&shared);
+            let running = view
+                .ps()
+                .iter()
+                .filter(|e| e.state == ProcState::Running)
+                .count();
+            r.store(running, Ordering::SeqCst);
+        }
+        ctx.barrier();
+    });
+    assert_eq!(running_mid.load(Ordering::SeqCst), 4);
+    // After the run the report confirms every rank completed.
+    assert_eq!(
+        result
+            .report
+            .completed
+            .iter()
+            .filter(|n| n.starts_with("rank"))
+            .count(),
+        4
+    );
+}
+
+#[test]
+fn name_service_spans_the_virtual_cluster() {
+    // 9 processes on 6 machines: resolution works across co-located and
+    // remote nodes alike.
+    DseProgram::new(Platform::aix_rs6000()).run(9, |ctx| {
+        let arr = GmArray::<i64>::alloc(ctx, 9, Distribution::Blocked);
+        if ctx.rank() == 0 {
+            assert!(names::bind(ctx, "results", arr.region()));
+        }
+        ctx.barrier();
+        let region = names::lookup(ctx, "results").expect("bound");
+        assert_eq!(region, arr.region());
+        arr.set(ctx, ctx.rank() as usize, ctx.rank() as i64 * 11);
+        ctx.barrier();
+        let all = arr.read(ctx, 0, 9);
+        assert_eq!(all, (0..9).map(|r| r * 11).collect::<Vec<i64>>());
+    });
+}
+
+#[test]
+fn placement_policies_spread_load_as_documented() {
+    let mut rr = Placer::new(PlacementPolicy::RoundRobin);
+    let mut ll = Placer::new(PlacementPolicy::LeastLoaded);
+    // Start from an unbalanced cluster.
+    let loads = vec![3, 0, 1, 0];
+    let rr_picks = rr.place_all(loads.clone(), 4);
+    let ll_picks = ll.place_all(loads, 4);
+    assert_eq!(rr_picks, vec![0, 1, 2, 3]);
+    // Least-loaded fills the empty machines first.
+    assert_eq!(ll_picks[0], 1);
+    assert_eq!(ll_picks[1], 3);
+}
