@@ -14,6 +14,7 @@ use dse_kernel::kernel::{barrier_enter, lock_acquire, lock_release};
 use dse_kernel::netpath::{charge_local, charge_recv, send_msg};
 use dse_kernel::{ClusterShared, Distribution, Party, SimMsg};
 use dse_msg::{GlobalPid, Message, NodeId, RegionId, ReqId, ReqIdGen};
+use dse_obs::{MetricKey, SpanKind};
 use dse_platform::Work;
 use dse_sim::{ProcCtx, SimDuration, SimTime};
 
@@ -166,7 +167,7 @@ impl<'a> DseCtx<'a> {
                 charge_local(me.ctx, &me.shared, me.node, rlen);
                 let data = me.shared.store.read(region, off, rlen).unwrap();
                 result[buf_off..buf_off + rlen].copy_from_slice(&data);
-                me.shared.stats.update(|s| {
+                me.shared.stats.update(me.node, |s| {
                     s.gm_local_reads += 1;
                     s.gm_bytes_read += rlen as u64;
                 });
@@ -181,7 +182,18 @@ impl<'a> DseCtx<'a> {
                 };
                 let kproc = me.shared.kernel_of(home);
                 let reply = me.ctx.id();
-                send_msg(me.ctx, &me.shared, me.node, home, kproc, reply, &msg);
+                let pe = me.node.0 as u32;
+                me.shared.spans.open(
+                    SpanKind::GmRead,
+                    pe,
+                    req.0,
+                    me.ctx.now().as_nanos(),
+                    rlen as u64,
+                );
+                let wire = send_msg(me.ctx, &me.shared, me.node, home, kproc, reply, &msg);
+                me.shared
+                    .spans
+                    .note_wire(SpanKind::GmRead, pe, req.0, wire.as_nanos());
             }
         };
         for (home, off, rlen) in runs {
@@ -227,14 +239,14 @@ impl<'a> DseCtx<'a> {
                     if let Some(data) = self.shared.cache.get(self.node, region, b) {
                         // Hit: a library call plus a block copy, no wire.
                         charge_local(self.ctx, &self.shared, self.node, CACHE_BLOCK);
-                        self.shared.stats.update(|s| s.cache_hits += 1);
+                        self.shared.stats.update(self.node, |s| s.cache_hits += 1);
                         let bo = (b * bsz - offset) as usize;
                         result[bo..bo + CACHE_BLOCK].copy_from_slice(&data);
                         if let Some(f) = cur.take() {
                             fetches.push(f);
                         }
                     } else {
-                        self.shared.stats.update(|s| s.cache_misses += 1);
+                        self.shared.stats.update(self.node, |s| s.cache_misses += 1);
                         add_fetch(&mut cur, b * bsz, (b + 1) * bsz, Some(b));
                     }
                 }
@@ -261,6 +273,17 @@ impl<'a> DseCtx<'a> {
             let (from, msg) = self.recv_runtime();
             match msg {
                 Message::GmReadResp { req, data } => {
+                    let pe = self.node.0 as u32;
+                    if let Some(rec) = self.shared.spans.close(
+                        SpanKind::GmRead,
+                        pe,
+                        req.0,
+                        self.ctx.now().as_nanos(),
+                    ) {
+                        self.shared
+                            .metrics
+                            .record(MetricKey::pe("gm", "remote_read_ns", pe), rec.total_ns());
+                    }
                     let (bo, rl, foff, install) = pending
                         .remove(&req.0)
                         .expect("unmatched GmReadResp correlation id");
@@ -297,7 +320,9 @@ impl<'a> DseCtx<'a> {
         };
         let mut awaiting = 0;
         for h in holders {
-            self.shared.stats.update(|s| s.cache_invalidations += 1);
+            self.shared
+                .stats
+                .update(self.node, |s| s.cache_invalidations += 1);
             let kproc = self.shared.kernel_of(h);
             send_msg(self.ctx, &self.shared, self.node, h, kproc, me, &inv);
             awaiting += 1;
@@ -335,7 +360,7 @@ impl<'a> DseCtx<'a> {
                 }
                 charge_local(self.ctx, &self.shared, self.node, rlen);
                 self.shared.store.write(region, off, chunk).unwrap();
-                self.shared.stats.update(|s| {
+                self.shared.stats.update(self.node, |s| {
                     s.gm_local_writes += 1;
                     s.gm_bytes_written += rlen as u64;
                 });
@@ -350,13 +375,37 @@ impl<'a> DseCtx<'a> {
                 };
                 let kproc = self.shared.kernel_of(home);
                 let me = self.ctx.id();
-                send_msg(self.ctx, &self.shared, self.node, home, kproc, me, &msg);
+                let pe = self.node.0 as u32;
+                self.shared.spans.open(
+                    SpanKind::GmWrite,
+                    pe,
+                    req.0,
+                    self.ctx.now().as_nanos(),
+                    rlen as u64,
+                );
+                let wire = send_msg(self.ctx, &self.shared, self.node, home, kproc, me, &msg);
+                self.shared
+                    .spans
+                    .note_wire(SpanKind::GmWrite, pe, req.0, wire.as_nanos());
             }
         }
         while pending > 0 {
             let (from, msg) = self.recv_runtime();
             match msg {
-                Message::GmWriteAck { .. } => pending -= 1,
+                Message::GmWriteAck { req } => {
+                    let pe = self.node.0 as u32;
+                    if let Some(rec) = self.shared.spans.close(
+                        SpanKind::GmWrite,
+                        pe,
+                        req.0,
+                        self.ctx.now().as_nanos(),
+                    ) {
+                        self.shared
+                            .metrics
+                            .record(MetricKey::pe("gm", "remote_write_ns", pe), rec.total_ns());
+                    }
+                    pending -= 1;
+                }
                 other => self.stash.push_back((from, other)),
             }
         }
@@ -376,7 +425,7 @@ impl<'a> DseCtx<'a> {
                 self.invalidate_for_local_write(region, offset, 8);
             }
             charge_local(self.ctx, &self.shared, self.node, 8);
-            self.shared.stats.update(|s| s.fetch_adds += 1);
+            self.shared.stats.update(self.node, |s| s.fetch_adds += 1);
             return self.shared.store.fetch_add(region, offset, delta).unwrap();
         }
         let req = self.reqs.next();
@@ -388,11 +437,34 @@ impl<'a> DseCtx<'a> {
         };
         let kproc = self.shared.kernel_of(home);
         let me = self.ctx.id();
-        send_msg(self.ctx, &self.shared, self.node, home, kproc, me, &msg);
+        let pe = self.node.0 as u32;
+        self.shared.spans.open(
+            SpanKind::GmFetchAdd,
+            pe,
+            req.0,
+            self.ctx.now().as_nanos(),
+            8,
+        );
+        let wire = send_msg(self.ctx, &self.shared, self.node, home, kproc, me, &msg);
+        self.shared
+            .spans
+            .note_wire(SpanKind::GmFetchAdd, pe, req.0, wire.as_nanos());
         loop {
             let (from, msg) = self.recv_runtime();
             match msg {
-                Message::GmFetchAddResp { req: r, prev } if r == req => return prev,
+                Message::GmFetchAddResp { req: r, prev } if r == req => {
+                    if let Some(rec) = self.shared.spans.close(
+                        SpanKind::GmFetchAdd,
+                        pe,
+                        req.0,
+                        self.ctx.now().as_nanos(),
+                    ) {
+                        self.shared
+                            .metrics
+                            .record(MetricKey::pe("gm", "fetch_add_ns", pe), rec.total_ns());
+                    }
+                    return prev;
+                }
                 other => self.stash.push_back((from, other)),
             }
         }
@@ -421,10 +493,19 @@ impl<'a> DseCtx<'a> {
             reply_to: self.ctx.id(),
             req: ReqId(0),
         };
+        let pe = self.node.0 as u32;
+        self.shared.spans.open(
+            SpanKind::Barrier,
+            pe,
+            id as u64,
+            self.ctx.now().as_nanos(),
+            0,
+        );
         if self.node == NodeId(0) {
             // Own-node path into the coordination state.
             charge_local(self.ctx, &self.shared, self.node, 16);
             if barrier_enter(self.ctx, &self.shared, NodeId(0), id, party).is_some() {
+                self.finish_barrier_span(pe, id);
                 return;
             }
         } else {
@@ -434,14 +515,33 @@ impl<'a> DseCtx<'a> {
             };
             let k0 = self.shared.kernel_of(NodeId(0));
             let me = self.ctx.id();
-            send_msg(self.ctx, &self.shared, self.node, NodeId(0), k0, me, &msg);
+            let wire = send_msg(self.ctx, &self.shared, self.node, NodeId(0), k0, me, &msg);
+            self.shared
+                .spans
+                .note_wire(SpanKind::Barrier, pe, id as u64, wire.as_nanos());
         }
         loop {
             let (from, msg) = self.recv_runtime();
             match msg {
-                Message::BarrierRelease { barrier, .. } if barrier == id => return,
+                Message::BarrierRelease { barrier, .. } if barrier == id => {
+                    self.finish_barrier_span(pe, id);
+                    return;
+                }
                 other => self.stash.push_back((from, other)),
             }
+        }
+    }
+
+    /// Close this rank's span for barrier `id` and record the wait time.
+    fn finish_barrier_span(&mut self, pe: u32, id: u32) {
+        if let Some(rec) =
+            self.shared
+                .spans
+                .close(SpanKind::Barrier, pe, id as u64, self.ctx.now().as_nanos())
+        {
+            self.shared
+                .metrics
+                .record(MetricKey::pe("sync", "barrier_wait_ns", pe), rec.total_ns());
         }
     }
 
@@ -454,6 +554,10 @@ impl<'a> DseCtx<'a> {
             reply_to: self.ctx.id(),
             req,
         };
+        let pe = self.node.0 as u32;
+        self.shared
+            .spans
+            .open(SpanKind::Lock, pe, req.0, self.ctx.now().as_nanos(), 0);
         if self.node == NodeId(0) {
             charge_local(self.ctx, &self.shared, self.node, 16);
             lock_acquire(self.ctx, &self.shared, NodeId(0), id, party);
@@ -465,12 +569,27 @@ impl<'a> DseCtx<'a> {
             };
             let k0 = self.shared.kernel_of(NodeId(0));
             let me = self.ctx.id();
-            send_msg(self.ctx, &self.shared, self.node, NodeId(0), k0, me, &msg);
+            let wire = send_msg(self.ctx, &self.shared, self.node, NodeId(0), k0, me, &msg);
+            self.shared
+                .spans
+                .note_wire(SpanKind::Lock, pe, req.0, wire.as_nanos());
         }
         loop {
             let (from, msg) = self.recv_runtime();
             match msg {
-                Message::LockGrant { req: r, .. } if r == req => return,
+                Message::LockGrant { req: r, .. } if r == req => {
+                    if let Some(rec) = self.shared.spans.close(
+                        SpanKind::Lock,
+                        pe,
+                        req.0,
+                        self.ctx.now().as_nanos(),
+                    ) {
+                        self.shared
+                            .metrics
+                            .record(MetricKey::pe("sync", "lock_wait_ns", pe), rec.total_ns());
+                    }
+                    return;
+                }
                 other => self.stash.push_back((from, other)),
             }
         }

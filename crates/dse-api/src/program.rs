@@ -13,6 +13,9 @@ use dse_kernel::kernel::{kernel_main, AppFactory};
 use dse_kernel::netpath::{charge_recv, send_msg};
 use dse_kernel::{ClusterShared, DseConfig, KernelStats, SimMsg};
 use dse_msg::{Message, NodeId, ReqIdGen};
+use dse_obs::{
+    chrome_trace_json, BusInterval, ChromeTraceInput, MetricKey, MetricsSnapshot, SpanRecord,
+};
 use dse_platform::{ClusterSpec, Platform, PAPER_MACHINES};
 use dse_sim::{ProcCtx, SimDuration, SimReport, Simulator};
 
@@ -37,12 +40,49 @@ pub struct RunResult {
     pub net_collisions: u64,
     /// The engine's report (trace hash, resource usage, completions).
     pub report: SimReport,
+    /// Runtime counters per processor element, indexed by node id.
+    pub per_pe_stats: Vec<KernelStats>,
+    /// Observability metrics: named counters, gauges and latency
+    /// histograms (includes the per-PE kernel-stats rollup).
+    pub metrics: MetricsSnapshot,
+    /// Completed message-level spans (request/response exchanges).
+    pub spans: Vec<SpanRecord>,
+    /// Per-interval shared-bus activity (empty for switched fabrics).
+    pub bus_intervals: Vec<BusInterval>,
 }
 
 impl RunResult {
     /// Execution time in seconds.
     pub fn secs(&self) -> f64 {
         self.elapsed.as_secs_f64()
+    }
+
+    /// The metrics as JSON Lines (see DESIGN.md for the schema).
+    pub fn metrics_jsonl(&self) -> String {
+        self.metrics.to_jsonl()
+    }
+
+    /// The metrics as CSV.
+    pub fn metrics_csv(&self) -> String {
+        self.metrics.to_csv()
+    }
+
+    /// The run as a Chrome trace-event JSON document (load in Perfetto):
+    /// per-process timeline tracks (when tracing was enabled), GM-op span
+    /// tracks, and bus-utilization counter tracks.
+    pub fn chrome_trace_json(&self) -> String {
+        let resource_names: Vec<String> = self
+            .report
+            .resources
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        chrome_trace_json(&ChromeTraceInput {
+            trace: self.report.trace.as_ref(),
+            resource_names: &resource_names,
+            spans: &self.spans,
+            bus: &self.bus_intervals,
+        })
     }
 }
 
@@ -164,14 +204,18 @@ impl DseProgram {
             .elapsed
             .lock()
             .expect("launcher did not complete — parallel program hung");
-        let (net_frames, net_wire_bytes, net_collisions) = {
+        let (net_frames, net_wire_bytes, net_collisions, bus_intervals) = {
             let net = shared.network.lock();
             (
                 net.total_frames(),
                 net.total_wire_bytes(),
                 net.total_collisions(),
+                net.bus_intervals(),
             )
         };
+        let per_pe_stats = shared.stats.per_pe();
+        let mut metrics = shared.metrics.snapshot();
+        metrics.absorb_counters(per_pe_counter_rollup(&shared, &per_pe_stats));
         RunResult {
             elapsed,
             nprocs,
@@ -181,8 +225,38 @@ impl DseProgram {
             net_wire_bytes,
             net_collisions,
             report,
+            per_pe_stats,
+            metrics,
+            spans: shared.spans.records(),
+            bus_intervals,
         }
     }
+}
+
+/// Flatten each PE's [`KernelStats`] into named metric counters (subsystem
+/// `kernel`), tagging every series with the PE's machine.
+fn per_pe_counter_rollup(shared: &ClusterShared, per_pe: &[KernelStats]) -> Vec<(MetricKey, u64)> {
+    let mut out = Vec::new();
+    for (pe, ks) in per_pe.iter().enumerate() {
+        let machine = shared.machine_of(NodeId(pe as u16)) as u32;
+        let key = |name: &'static str| MetricKey::pe("kernel", name, pe as u32).on_machine(machine);
+        out.push((key("gm_local_reads"), ks.gm_local_reads));
+        out.push((key("gm_remote_reads"), ks.gm_remote_reads));
+        out.push((key("gm_local_writes"), ks.gm_local_writes));
+        out.push((key("gm_remote_writes"), ks.gm_remote_writes));
+        out.push((key("gm_bytes_read"), ks.gm_bytes_read));
+        out.push((key("gm_bytes_written"), ks.gm_bytes_written));
+        out.push((key("fetch_adds"), ks.fetch_adds));
+        out.push((key("messages"), ks.messages));
+        out.push((key("message_bytes"), ks.message_bytes));
+        out.push((key("barrier_epochs"), ks.barrier_epochs));
+        out.push((key("lock_grants"), ks.lock_grants));
+        out.push((key("invokes"), ks.invokes));
+        out.push((key("cache_hits"), ks.cache_hits));
+        out.push((key("cache_misses"), ks.cache_misses));
+        out.push((key("cache_invalidations"), ks.cache_invalidations));
+    }
+    out
 }
 
 /// The launcher: invoke every rank, await acknowledgements and exits,

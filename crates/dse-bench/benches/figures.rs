@@ -7,6 +7,7 @@
 //! * `--app gauss|dct|othello|knights|ablations|tables`  restrict scope
 //! * `--platform sunos|aix|linux`                        restrict platform
 //! * `--verbose`          one progress line per simulated run
+//! * `--metrics`          also drop metrics JSONL + Chrome trace per platform
 //!
 //! CSVs land in `bench_results/`.
 
@@ -26,6 +27,7 @@ struct Opts {
     app: Option<String>,
     platform: Option<String>,
     verbose: bool,
+    metrics: bool,
 }
 
 fn parse_opts() -> Opts {
@@ -34,12 +36,14 @@ fn parse_opts() -> Opts {
         app: None,
         platform: None,
         verbose: false,
+        metrics: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
             "--verbose" => opts.verbose = true,
+            "--metrics" => opts.metrics = true,
             "--app" => opts.app = args.next(),
             "--platform" => opts.platform = args.next(),
             _ => {} // cargo bench passes --bench etc.
@@ -136,6 +140,27 @@ fn main() {
         let hetero = ablation_hetero(&cfg);
         emit(&hetero, &dir);
         all_checks.extend(checks::check_hetero(&hetero));
+    }
+
+    if opts.metrics {
+        for platform in &platforms {
+            eprintln!("[probe] observability run on {}", platform.id);
+            let probe = dse_bench::observability_probe(platform, 6);
+            let base = dir.join(format!("obs_gauss_{}", platform.id));
+            if let Err(e) = std::fs::create_dir_all(&dir)
+                .and_then(|()| {
+                    std::fs::write(base.with_extension("metrics.jsonl"), &probe.metrics_jsonl)
+                })
+                .and_then(|()| {
+                    std::fs::write(base.with_extension("metrics.csv"), &probe.metrics_csv)
+                })
+                .and_then(|()| {
+                    std::fs::write(base.with_extension("trace.json"), &probe.chrome_trace)
+                })
+            {
+                eprintln!("warning: could not write observability exports: {e}");
+            }
+        }
     }
 
     let (text, all_pass) = checks::render_checks(&all_checks);

@@ -11,6 +11,7 @@
 
 pub mod ablations;
 pub mod checks;
+pub mod obs;
 pub mod series;
 pub mod sweeps;
 
@@ -19,6 +20,7 @@ pub use ablations::{
     ablation_vcluster,
 };
 pub use checks::{render_checks, Check};
+pub use obs::{observability_probe, ObsProbe};
 pub use series::{speedup_against_base, transpose, Figure, Series};
 pub use sweeps::{
     dct_figures, gauss_figures, knights_figures, othello_figures, table1, table2, SweepCfg,

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dse_msg::{GlobalPid, Message, NodeId, ReqId, ReqIdGen};
+use dse_obs::{MetricKey, SpanKind};
 use dse_sim::{ProcCtx, ProcId};
 
 use crate::cache::blocks_inside;
@@ -41,7 +42,7 @@ pub fn barrier_enter(
     match shared.barriers.enter(barrier, party) {
         BarrierOutcome::Wait => None,
         BarrierOutcome::Complete { epoch, waiters } => {
-            shared.stats.update(|s| s.barrier_epochs += 1);
+            shared.stats.update(acting_node, |s| s.barrier_epochs += 1);
             let release = Message::BarrierRelease { barrier, epoch };
             for w in waiters {
                 send_msg(
@@ -70,7 +71,7 @@ pub fn lock_acquire(
 ) {
     match shared.locks.acquire(lock, party) {
         LockOutcome::Granted => {
-            shared.stats.update(|s| s.lock_grants += 1);
+            shared.stats.update(acting_node, |s| s.lock_grants += 1);
             let grant = Message::LockGrant {
                 req: party.req,
                 lock,
@@ -100,7 +101,7 @@ pub fn lock_release(
     match shared.locks.release(lock, pid) {
         UnlockOutcome::Released => {}
         UnlockOutcome::Granted(next) => {
-            shared.stats.update(|s| s.lock_grants += 1);
+            shared.stats.update(acting_node, |s| s.lock_grants += 1);
             let grant = Message::LockGrant {
                 req: next.req,
                 lock,
@@ -149,7 +150,9 @@ pub fn begin_invalidation(
         len: len as u32,
     };
     for h in &holders {
-        shared.stats.update(|s| s.cache_invalidations += 1);
+        shared
+            .stats
+            .update(acting_node, |s| s.cache_invalidations += 1);
         let kproc = shared.kernel_of(*h);
         let me = ctx.id();
         send_msg(ctx, shared, acting_node, *h, kproc, me, &inv);
@@ -178,6 +181,10 @@ pub fn kernel_main(
         // Async-I/O receive path: signal delivery + protocol processing on
         // this node's CPU (stealing time from the co-resident app).
         charge_recv(ctx, &shared, node, sm.bytes.len());
+        let service_start = ctx.now();
+        // Which requester span (kind, pe, seq) this iteration serviced, if
+        // the message was a remote GM request with an open span.
+        let mut serviced: Option<(SpanKind, u64)> = None;
         match msg {
             Message::GmReadReq {
                 req,
@@ -185,12 +192,13 @@ pub fn kernel_main(
                 offset,
                 len,
             } => {
+                serviced = Some((SpanKind::GmRead, req.0));
                 let data = shared
                     .store
                     .read(region, offset, len as usize)
                     .unwrap_or_else(|e| panic!("kernel {node}: remote read failed: {e}"));
                 ctx.use_resource(shared.cpu_of(node), shared.cost(node).mem_copy(data.len()));
-                shared.stats.update(|s| {
+                shared.stats.update(node, |s| {
                     s.gm_remote_reads += 1;
                     s.gm_bytes_read += data.len() as u64;
                 });
@@ -221,8 +229,9 @@ pub fn kernel_main(
                 offset,
                 data,
             } => {
+                serviced = Some((SpanKind::GmWrite, req.0));
                 ctx.use_resource(shared.cpu_of(node), shared.cost(node).mem_copy(data.len()));
-                shared.stats.update(|s| {
+                shared.stats.update(node, |s| {
                     s.gm_remote_writes += 1;
                     s.gm_bytes_written += data.len() as u64;
                 });
@@ -275,11 +284,12 @@ pub fn kernel_main(
                 offset,
                 delta,
             } => {
+                serviced = Some((SpanKind::GmFetchAdd, req.0));
                 let prev = shared
                     .store
                     .fetch_add(region, offset, delta)
                     .unwrap_or_else(|e| panic!("kernel {node}: remote fetch-add failed: {e}"));
-                shared.stats.update(|s| s.fetch_adds += 1);
+                shared.stats.update(node, |s| s.fetch_adds += 1);
                 let resp = Message::GmFetchAddResp { req, prev };
                 let mut acks_needed = 0;
                 if cache_on {
@@ -324,7 +334,7 @@ pub fn kernel_main(
                 ctx.use_resource(shared.cpu_of(node), shared.cost(node).fork());
                 let pid = GlobalPid::new(node, next_local_pid);
                 next_local_pid += 1;
-                shared.stats.update(|s| s.invokes += 1);
+                shared.stats.update(node, |s| s.invokes += 1);
                 let body = factory(rank, pid);
                 let app_proc = ctx.spawn(&format!("rank{rank}@{node}"), move |pctx| {
                     body(pctx);
@@ -433,6 +443,21 @@ pub fn kernel_main(
                 }
             }
             other => panic!("kernel {node}: unexpected message {other:?}"),
+        }
+        let service_ns = (ctx.now() - service_start).as_nanos();
+        let pe = node.0 as u32;
+        let machine = shared.machine_of(node) as u32;
+        shared
+            .metrics
+            .incr(MetricKey::pe("kernel", "requests_served", pe).on_machine(machine));
+        shared.metrics.record(
+            MetricKey::pe("kernel", "service_ns", pe).on_machine(machine),
+            service_ns,
+        );
+        if let Some((kind, seq)) = serviced {
+            shared
+                .spans
+                .note_service(kind, sm.from_node.0 as u32, seq, service_ns);
         }
     }
 }

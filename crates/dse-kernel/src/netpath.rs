@@ -15,6 +15,7 @@
 //! context switch — the async-I/O interruption the paper describes).
 
 use dse_msg::{Message, NodeId};
+use dse_obs::MetricKey;
 use dse_sim::{ProcCtx, ProcId, SimDuration};
 
 use crate::shared::ClusterShared;
@@ -28,6 +29,9 @@ const LOOPBACK_DELAY: SimDuration = SimDuration::from_micros(5);
 /// on `to_node`. Charges the sender-side software cost, books the wire (or
 /// loopback), and dispatches the envelope. `reply_to` names the simulation
 /// process any response should go to.
+///
+/// Returns the delivery latency so callers can attribute wire time to an
+/// open observability span.
 pub fn send_msg(
     ctx: &mut ProcCtx<SimMsg>,
     shared: &ClusterShared,
@@ -36,9 +40,9 @@ pub fn send_msg(
     to_proc: ProcId,
     reply_to: ProcId,
     msg: &Message,
-) {
+) -> SimDuration {
     let bytes = msg.encode();
-    shared.stats.update(|s| {
+    shared.stats.update(from_node, |s| {
         s.messages += 1;
         s.message_bytes += bytes.len() as u64;
     });
@@ -47,7 +51,12 @@ pub fn send_msg(
         shared.cpu_of(from_node),
         shared.cost(from_node).msg_send(bytes.len()),
     );
+    let pe = from_node.0 as u32;
+    let machine = shared.machine_of(from_node) as u32;
     let latency = if shared.same_machine(from_node, to_node) {
+        shared
+            .metrics
+            .incr(MetricKey::pe("net", "loopback_msgs", pe).on_machine(machine));
         LOOPBACK_DELAY
     } else {
         let now = ctx.now();
@@ -57,7 +66,15 @@ pub fn send_msg(
             shared.machine_of(to_node),
             bytes.len(),
         );
-        timing.delivered_at - now
+        let latency = timing.delivered_at - now;
+        shared
+            .metrics
+            .incr(MetricKey::pe("net", "lan_msgs", pe).on_machine(machine));
+        shared.metrics.record(
+            MetricKey::pe("net", "wire_latency_ns", pe).on_machine(machine),
+            latency.as_nanos(),
+        );
+        latency
     };
     ctx.send(
         to_proc,
@@ -68,6 +85,7 @@ pub fn send_msg(
             bytes,
         },
     );
+    latency
 }
 
 /// Charge the receiver-side software cost for a message of `wire_len`

@@ -43,8 +43,12 @@ pub struct ClusterShared {
     pub locks: LockCenter,
     /// The interconnect timing model.
     pub network: Mutex<Network>,
-    /// Runtime counters.
+    /// Runtime counters, one cell per processor element.
     pub stats: StatsCell,
+    /// Observability: named counters/gauges/latency histograms.
+    pub metrics: dse_obs::Registry,
+    /// Observability: message-level request/response spans.
+    pub spans: dse_obs::SpanTable,
     /// CPU resource of each physical machine, indexed by machine.
     pub cpus: Vec<ResourceId>,
     /// Node → machine placement (from [`ClusterSpec::place`]).
@@ -100,7 +104,9 @@ impl ClusterShared {
             barriers: BarrierCenter::new(spec.processors),
             locks: LockCenter::new(),
             network: Mutex::new(network),
-            stats: StatsCell::new(),
+            stats: StatsCell::new(spec.processors),
+            metrics: dse_obs::Registry::new(),
+            spans: dse_obs::SpanTable::new(),
             cpus,
             placement,
             kernels: Mutex::new(Vec::new()),

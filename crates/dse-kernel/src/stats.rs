@@ -1,5 +1,13 @@
 //! Runtime counters collected across a parallel run.
+//!
+//! Counters accumulate **per processor element** (one cell per node) so
+//! the observability layer can report per-PE traffic, while
+//! [`StatsCell::snapshot`] still rolls everything up into the single
+//! cluster-wide [`KernelStats`] the rest of the system has always
+//! consumed. Per-PE cells also shrink lock contention: each node mostly
+//! touches its own cell.
 
+use dse_msg::NodeId;
 use parking_lot::Mutex;
 
 /// A snapshot of (or live accumulator for) runtime activity.
@@ -37,26 +45,76 @@ pub struct KernelStats {
     pub cache_invalidations: u64,
 }
 
-/// Thread-safe accumulator shared by every simulated entity.
+impl KernelStats {
+    /// Add every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.gm_local_reads += other.gm_local_reads;
+        self.gm_remote_reads += other.gm_remote_reads;
+        self.gm_local_writes += other.gm_local_writes;
+        self.gm_remote_writes += other.gm_remote_writes;
+        self.gm_bytes_read += other.gm_bytes_read;
+        self.gm_bytes_written += other.gm_bytes_written;
+        self.fetch_adds += other.fetch_adds;
+        self.messages += other.messages;
+        self.message_bytes += other.message_bytes;
+        self.barrier_epochs += other.barrier_epochs;
+        self.lock_grants += other.lock_grants;
+        self.invokes += other.invokes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_invalidations += other.cache_invalidations;
+    }
+}
+
+/// Thread-safe accumulator shared by every simulated entity, with one
+/// cell per processor element.
 #[derive(Debug, Default)]
 pub struct StatsCell {
-    inner: Mutex<KernelStats>,
+    cells: Vec<Mutex<KernelStats>>,
 }
 
 impl StatsCell {
-    /// Fresh zeroed counters.
-    pub fn new() -> StatsCell {
-        StatsCell::default()
+    /// Fresh zeroed counters for `npes` processor elements (at least 1).
+    pub fn new(npes: usize) -> StatsCell {
+        StatsCell {
+            cells: (0..npes.max(1)).map(|_| Mutex::default()).collect(),
+        }
     }
 
-    /// Apply a mutation to the counters.
-    pub fn update(&self, f: impl FnOnce(&mut KernelStats)) {
-        f(&mut self.inner.lock());
+    /// Number of per-PE cells.
+    pub fn npes(&self) -> usize {
+        self.cells.len()
     }
 
-    /// Copy the current values out.
+    /// Apply a mutation to the counters of the PE acting as `node`.
+    ///
+    /// An out-of-range node (e.g. a control entity) charges the last
+    /// cell rather than panicking, so rollups never lose counts.
+    pub fn update(&self, node: NodeId, f: impl FnOnce(&mut KernelStats)) {
+        let i = (node.0 as usize).min(self.cells.len() - 1);
+        f(&mut self.cells[i].lock());
+    }
+
+    /// Copy one PE's counters out.
+    pub fn snapshot_pe(&self, pe: usize) -> KernelStats {
+        self.cells
+            .get(pe)
+            .map(|c| c.lock().clone())
+            .unwrap_or_default()
+    }
+
+    /// Copy every PE's counters out, indexed by node id.
+    pub fn per_pe(&self) -> Vec<KernelStats> {
+        self.cells.iter().map(|c| c.lock().clone()).collect()
+    }
+
+    /// Roll all PEs up into the cluster-wide totals.
     pub fn snapshot(&self) -> KernelStats {
-        self.inner.lock().clone()
+        let mut total = KernelStats::default();
+        for c in &self.cells {
+            total.merge(&c.lock());
+        }
+        total
     }
 }
 
@@ -66,9 +124,9 @@ mod tests {
 
     #[test]
     fn update_and_snapshot() {
-        let s = StatsCell::new();
-        s.update(|k| k.messages += 3);
-        s.update(|k| {
+        let s = StatsCell::new(2);
+        s.update(NodeId(0), |k| k.messages += 3);
+        s.update(NodeId(1), |k| {
             k.messages += 1;
             k.gm_bytes_read += 100;
         });
@@ -76,5 +134,33 @@ mod tests {
         assert_eq!(snap.messages, 4);
         assert_eq!(snap.gm_bytes_read, 100);
         assert_eq!(snap.barrier_epochs, 0);
+        assert_eq!(s.snapshot_pe(0).messages, 3);
+        assert_eq!(s.snapshot_pe(1).messages, 1);
+    }
+
+    #[test]
+    fn rollup_equals_sum_of_cells() {
+        let s = StatsCell::new(3);
+        for pe in 0..3u16 {
+            s.update(NodeId(pe), |k| {
+                k.gm_remote_reads += (pe + 1) as u64;
+                k.message_bytes += 10 * (pe + 1) as u64;
+            });
+        }
+        let per = s.per_pe();
+        let mut manual = KernelStats::default();
+        for p in &per {
+            manual.merge(p);
+        }
+        assert_eq!(manual, s.snapshot());
+        assert_eq!(manual.gm_remote_reads, 6);
+    }
+
+    #[test]
+    fn out_of_range_node_charges_last_cell() {
+        let s = StatsCell::new(2);
+        s.update(NodeId(9), |k| k.invokes += 1);
+        assert_eq!(s.snapshot_pe(1).invokes, 1);
+        assert_eq!(s.snapshot().invokes, 1);
     }
 }

@@ -16,6 +16,7 @@ use dse_api::ParallelApi;
 use dse_kernel::gmem::GlobalStore;
 use dse_kernel::Distribution;
 use dse_msg::RegionId;
+use dse_obs::{MetricKey, MetricsSnapshot, Registry};
 use dse_platform::Work;
 
 /// Cluster lock table: held ids plus a condvar for waiters.
@@ -31,6 +32,9 @@ pub struct LiveCluster {
     barriers: Mutex<HashMap<u32, Arc<Barrier>>>,
     locks: LiveLocks,
     allocs: Mutex<Vec<(RegionId, usize)>>,
+    /// Wall-clock observability: the same registry the simulator uses,
+    /// fed with `Instant`-measured nanoseconds instead of virtual time.
+    metrics: Registry,
 }
 
 impl LiveCluster {
@@ -45,6 +49,7 @@ impl LiveCluster {
                 cv: Condvar::new(),
             },
             allocs: Mutex::new(Vec::new()),
+            metrics: Registry::new(),
         }
     }
 
@@ -60,6 +65,11 @@ impl LiveCluster {
     pub fn store(&self) -> &GlobalStore {
         &self.store
     }
+
+    /// The live metrics registry (wall-clock latencies, per-rank counters).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
 }
 
 /// Per-process context of the live engine.
@@ -68,6 +78,20 @@ pub struct LiveCtx {
     cluster: Arc<LiveCluster>,
     barrier_seq: u32,
     alloc_seq: usize,
+}
+
+impl LiveCtx {
+    /// Run `f`, recording its wall-clock duration into this rank's
+    /// `name` histogram (subsystem `gm` or `sync`, nanoseconds).
+    fn timed<R>(&self, subsystem: &'static str, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.cluster.metrics.record(
+            MetricKey::pe(subsystem, name, self.rank),
+            start.elapsed().as_nanos() as u64,
+        );
+        out
+    }
 }
 
 /// Matches [`dse_api::AUTO_BARRIER_BASE`]: auto-sequenced barrier ids live
@@ -103,37 +127,57 @@ impl ParallelApi for LiveCtx {
 
     fn gm_read(&mut self, region: RegionId, offset: u64, len: usize) -> Vec<u8> {
         self.cluster
-            .store
-            .read(region, offset, len)
-            .unwrap_or_else(|e| panic!("live rank {}: gm_read failed: {e}", self.rank))
+            .metrics
+            .incr(MetricKey::pe("gm", "reads", self.rank));
+        self.timed("gm", "read_ns", || {
+            self.cluster
+                .store
+                .read(region, offset, len)
+                .unwrap_or_else(|e| panic!("live rank {}: gm_read failed: {e}", self.rank))
+        })
     }
 
     fn gm_write(&mut self, region: RegionId, offset: u64, data: &[u8]) {
         self.cluster
-            .store
-            .write(region, offset, data)
-            .unwrap_or_else(|e| panic!("live rank {}: gm_write failed: {e}", self.rank))
+            .metrics
+            .incr(MetricKey::pe("gm", "writes", self.rank));
+        self.timed("gm", "write_ns", || {
+            self.cluster
+                .store
+                .write(region, offset, data)
+                .unwrap_or_else(|e| panic!("live rank {}: gm_write failed: {e}", self.rank))
+        })
     }
 
     fn gm_fetch_add(&mut self, region: RegionId, offset: u64, delta: i64) -> i64 {
         self.cluster
-            .store
-            .fetch_add(region, offset, delta)
-            .unwrap_or_else(|e| panic!("live rank {}: fetch_add failed: {e}", self.rank))
+            .metrics
+            .incr(MetricKey::pe("gm", "fetch_adds", self.rank));
+        self.timed("gm", "fetch_add_ns", || {
+            self.cluster
+                .store
+                .fetch_add(region, offset, delta)
+                .unwrap_or_else(|e| panic!("live rank {}: fetch_add failed: {e}", self.rank))
+        })
     }
 
     fn barrier(&mut self) {
         let id = AUTO_BARRIER_BASE + self.barrier_seq;
         self.barrier_seq += 1;
-        self.cluster.barrier_for(id).wait();
+        let barrier = self.cluster.barrier_for(id);
+        self.timed("sync", "barrier_wait_ns", || {
+            barrier.wait();
+        });
     }
 
     fn lock(&mut self, id: u32) {
-        let mut held = self.cluster.locks.held.lock();
-        while held.contains(&id) {
-            self.cluster.locks.cv.wait(&mut held);
-        }
-        held.insert(id);
+        self.timed("sync", "lock_wait_ns", || {
+            let mut held = self.cluster.locks.held.lock();
+            while held.contains(&id) {
+                self.cluster.locks.cv.wait(&mut held);
+            }
+            held.insert(id);
+        });
     }
 
     fn unlock(&mut self, id: u32) {
@@ -151,6 +195,9 @@ pub struct LiveRunResult {
     pub elapsed: Duration,
     /// Threads used.
     pub nprocs: usize,
+    /// Observability snapshot: per-rank GM/sync counters and wall-clock
+    /// latency histograms (same schema as the simulator's).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Run `body` as an SPMD program over `nprocs` real threads.
@@ -189,6 +236,7 @@ where
     LiveRunResult {
         elapsed: start.elapsed(),
         nprocs,
+        metrics: cluster.metrics.snapshot(),
     }
 }
 
@@ -224,6 +272,22 @@ mod tests {
             }
         });
         assert_eq!(total.load(Ordering::Relaxed), (0..100u64).sum());
+    }
+
+    #[test]
+    fn live_metrics_capture_gm_and_sync() {
+        let r = run_live(3, |ctx| {
+            let arr = GmArray::<u64>::alloc(ctx, 3, Distribution::Blocked);
+            arr.set(ctx, ctx.rank() as usize, 1);
+            ctx.barrier();
+            let _ = arr.read(ctx, 0, 3);
+        });
+        assert!(r.metrics.counter("gm", "writes", Some(0)).unwrap_or(0) >= 1);
+        let h = r
+            .metrics
+            .histogram("sync", "barrier_wait_ns", Some(1))
+            .expect("barrier histogram for rank 1");
+        assert!(h.count() >= 1);
     }
 
     #[test]

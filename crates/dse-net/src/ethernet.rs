@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 
+use dse_obs::{BusInterval, BusSampler};
 use dse_sim::{SimDuration, SimRng, SimTime};
 
 /// When one transmission finishes and where another begins.
@@ -51,6 +52,8 @@ pub struct EthernetBus {
     rng: SimRng,
     /// Running statistics.
     pub stats: BusStats,
+    /// Per-interval activity samples (observability).
+    sampler: BusSampler,
 }
 
 /// Classic 10 Mbps Ethernet parameters.
@@ -81,6 +84,7 @@ impl EthernetBus {
             pending_starts: VecDeque::new(),
             rng: SimRng::new(seed),
             stats: BusStats::default(),
+            sampler: BusSampler::default(),
         }
     }
 
@@ -105,19 +109,21 @@ impl EthernetBus {
         }
 
         let frame_time = self.frame_time(wire_bytes);
-        let (start, collisions) = if now >= self.busy_until && self.pending_starts.is_empty() {
-            (now, 0)
-        } else {
-            // Carrier busy: pay one bounded backoff draw whose exponent
-            // grows with the number of stations already contending.
-            let contenders = self.pending_starts.len() as u32;
-            let rounds = (contenders + 1).min(6);
-            let exp = (contenders + 1).min(MAX_BACKOFF_EXP);
-            let slots = self.rng.gen_range(1u64 << exp);
-            let backoff = self.slot * slots;
-            self.stats.backoff += backoff;
-            (self.busy_until.max(now) + backoff, rounds)
-        };
+        let queue_depth = self.pending_starts.len() as u64;
+        let (start, collisions, backoff) =
+            if now >= self.busy_until && self.pending_starts.is_empty() {
+                (now, 0, SimDuration::ZERO)
+            } else {
+                // Carrier busy: pay one bounded backoff draw whose exponent
+                // grows with the number of stations already contending.
+                let contenders = self.pending_starts.len() as u32;
+                let rounds = (contenders + 1).min(6);
+                let exp = (contenders + 1).min(MAX_BACKOFF_EXP);
+                let slots = self.rng.gen_range(1u64 << exp);
+                let backoff = self.slot * slots;
+                self.stats.backoff += backoff;
+                (self.busy_until.max(now) + backoff, rounds, backoff)
+            };
 
         let end = start + frame_time;
         self.busy_until = end + self.ifg;
@@ -126,11 +132,24 @@ impl EthernetBus {
         self.stats.wire_bytes += wire_bytes as u64;
         self.stats.collisions += collisions as u64;
         self.stats.busy += frame_time;
+        self.sampler.record_frame(
+            start.as_nanos(),
+            end.as_nanos(),
+            wire_bytes as u64,
+            collisions as u64,
+            backoff.as_nanos(),
+            queue_depth,
+        );
         TxTiming {
             start,
             end,
             collisions,
         }
+    }
+
+    /// Per-interval activity samples recorded so far.
+    pub fn intervals(&self) -> &[BusInterval] {
+        self.sampler.intervals()
     }
 }
 

@@ -131,6 +131,16 @@ impl Network {
             Fabric::Switched(s) => s.stats.wire_bytes,
         }
     }
+
+    /// Per-interval bus activity samples (utilization, collisions, backoff,
+    /// queue depth). Empty for switched fabrics, whose per-port links don't
+    /// contend.
+    pub fn bus_intervals(&self) -> Vec<dse_obs::BusInterval> {
+        match &self.fabric {
+            Fabric::Bus(b) => b.intervals().to_vec(),
+            Fabric::Switched(_) => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]

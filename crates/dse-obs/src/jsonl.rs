@@ -1,0 +1,165 @@
+//! JSON-Lines / CSV metrics dump.
+//!
+//! One JSON object per line; integers only and key-sorted input, so a
+//! fixed-seed run dumps byte-identical text. Schema (see DESIGN.md):
+//!
+//! ```text
+//! {"type":"counter","subsystem":S,"name":N,"pe":P|null,"machine":M|null,"value":V}
+//! {"type":"gauge",  ...same key fields..., "value":V}
+//! {"type":"histogram", ...same key fields...,
+//!  "count":C,"sum":S,"min":L,"max":H,"p50":A,"p90":B,"p99":D,
+//!  "buckets":[[upper,count],...]}
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::registry::{MetricKey, MetricsSnapshot};
+use crate::util::escape_json_into;
+
+fn key_fields(out: &mut String, k: &MetricKey) {
+    out.push_str("\"subsystem\":\"");
+    escape_json_into(out, k.subsystem);
+    out.push_str("\",\"name\":\"");
+    escape_json_into(out, k.name);
+    out.push_str("\",\"pe\":");
+    match k.pe {
+        Some(pe) => {
+            let _ = write!(out, "{pe}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"machine\":");
+    match k.machine {
+        Some(m) => {
+            let _ = write!(out, "{m}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+/// Render a snapshot as JSON Lines.
+pub fn metrics_jsonl(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (k, v) in &s.counters {
+        out.push_str("{\"type\":\"counter\",");
+        key_fields(&mut out, k);
+        let _ = writeln!(out, ",\"value\":{v}}}");
+    }
+    for (k, v) in &s.gauges {
+        out.push_str("{\"type\":\"gauge\",");
+        key_fields(&mut out, k);
+        let _ = writeln!(out, ",\"value\":{v}}}");
+    }
+    for (k, h) in &s.histograms {
+        out.push_str("{\"type\":\"histogram\",");
+        key_fields(&mut out, k);
+        let _ = write!(
+            out,
+            ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            h.p50(),
+            h.p90(),
+            h.p99()
+        );
+        for (i, (ub, c)) in h.nonzero_buckets().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{ub},{c}]");
+        }
+        out.push_str("]}\n");
+    }
+    out
+}
+
+/// Render a snapshot as CSV (one row per metric; histogram rows carry the
+/// summary statistics, not the raw buckets).
+pub fn metrics_csv(s: &MetricsSnapshot) -> String {
+    let mut out =
+        String::from("kind,subsystem,name,pe,machine,value,count,sum,min,max,p50,p90,p99\n");
+    let key = |out: &mut String, k: &MetricKey| {
+        let _ = write!(out, "{},{},", k.subsystem, k.name);
+        match k.pe {
+            Some(pe) => {
+                let _ = write!(out, "{pe},");
+            }
+            None => out.push(','),
+        }
+        match k.machine {
+            Some(m) => {
+                let _ = write!(out, "{m},");
+            }
+            None => out.push(','),
+        }
+    };
+    for (k, v) in &s.counters {
+        out.push_str("counter,");
+        key(&mut out, k);
+        let _ = writeln!(out, "{v},,,,,,,");
+    }
+    for (k, v) in &s.gauges {
+        out.push_str("gauge,");
+        key(&mut out, k);
+        let _ = writeln!(out, "{v},,,,,,,");
+    }
+    for (k, h) in &s.histograms {
+        out.push_str("histogram,");
+        key(&mut out, k);
+        let _ = writeln!(
+            out,
+            ",{},{},{},{},{},{},{}",
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            h.p50(),
+            h.p90(),
+            h.p99()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn jsonl_lines_parse_by_eye() {
+        let r = Registry::new();
+        r.add(MetricKey::pe("net", "frames", 0).on_machine(0), 7);
+        r.set_gauge(MetricKey::global("net", "queue"), 2);
+        r.record(MetricKey::pe("gm", "read_ns", 1), 500);
+        let text = r.snapshot().to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"counter\",\"subsystem\":\"net\",\"name\":\"frames\",\"pe\":0,\"machine\":0,\"value\":7}"
+        );
+        assert!(lines[1].contains("\"type\":\"gauge\""));
+        assert!(lines[2].contains("\"count\":1"));
+        assert!(lines[2].contains("\"buckets\":[["));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+            assert_eq!(l.matches('{').count(), l.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let r = Registry::new();
+        r.add(MetricKey::global("kernel", "messages"), 3);
+        r.record(MetricKey::pe("gm", "read_ns", 0), 10);
+        let csv = r.snapshot().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("kind,subsystem"));
+        assert!(lines[1].starts_with("counter,kernel,messages,,,3"));
+        assert!(lines[2].starts_with("histogram,gm,read_ns,0,,"));
+    }
+}

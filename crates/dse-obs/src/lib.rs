@@ -1,0 +1,37 @@
+//! Cluster-wide observability for the DSE runtime.
+//!
+//! The paper evaluates its cluster environment with aggregate timings; to
+//! reason about *why* a configuration behaves the way it does, this crate
+//! adds the instrumentation layer the runtime crates hook into:
+//!
+//! * [`Registry`] — named counters, gauges and log-bucketed latency
+//!   [`LogHistogram`]s keyed by PE / machine / subsystem,
+//! * [`SpanTable`] — message-level request/response spans correlated by
+//!   sequence number,
+//! * [`BusSampler`] — per-interval bus utilization / collision / queue
+//!   samples on the engine clock,
+//! * exporters — Chrome trace-event JSON ([`chrome_trace_json`], loadable
+//!   in Perfetto) and JSONL/CSV metric dumps
+//!   ([`MetricsSnapshot::to_jsonl`] / [`MetricsSnapshot::to_csv`]).
+//!
+//! Everything is engine-neutral: values are plain `u64` nanoseconds,
+//! whether they come from the simulator's virtual clock or the live
+//! engine's wall clock. All exports iterate ordered containers so a
+//! fixed-seed simulation produces byte-identical files.
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod hist;
+mod interval;
+mod jsonl;
+mod registry;
+mod span;
+mod util;
+
+pub use chrome::{chrome_trace_json, ChromeTraceInput, PID_NET, PID_PROCS, PID_SPANS};
+pub use hist::LogHistogram;
+pub use interval::{BusInterval, BusSampler, DEFAULT_BIN_NS};
+pub use jsonl::{metrics_csv, metrics_jsonl};
+pub use registry::{MetricKey, MetricsSnapshot, Registry};
+pub use span::{SpanKind, SpanRecord, SpanTable};

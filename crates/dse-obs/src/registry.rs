@@ -1,0 +1,236 @@
+//! Named metrics registry keyed by subsystem / metric name / PE / machine.
+//!
+//! Keys are `Copy` pairs of `&'static str` so hot-path updates never
+//! allocate; storage is `BTreeMap` so snapshots and exports iterate in a
+//! deterministic order regardless of insertion history.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use crate::hist::LogHistogram;
+use crate::jsonl;
+
+/// Identity of one metric series.
+///
+/// `pe`/`machine` are `None` for cluster-global series. Ordering (and thus
+/// export order) is subsystem, then name, then pe, then machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Emitting subsystem, e.g. `"kernel"`, `"net"`, `"gm"`, `"api"`.
+    pub subsystem: &'static str,
+    /// Metric name, e.g. `"remote_read_ns"`.
+    pub name: &'static str,
+    /// Processor element (node id) the series belongs to, if per-PE.
+    pub pe: Option<u32>,
+    /// Machine the PE lives on, if known.
+    pub machine: Option<u32>,
+}
+
+impl MetricKey {
+    /// A cluster-global series.
+    pub fn global(subsystem: &'static str, name: &'static str) -> MetricKey {
+        MetricKey {
+            subsystem,
+            name,
+            pe: None,
+            machine: None,
+        }
+    }
+
+    /// A per-PE series.
+    pub fn pe(subsystem: &'static str, name: &'static str, pe: u32) -> MetricKey {
+        MetricKey {
+            subsystem,
+            name,
+            pe: Some(pe),
+            machine: None,
+        }
+    }
+
+    /// Attach the machine hosting this PE.
+    pub fn on_machine(mut self, machine: u32) -> MetricKey {
+        self.machine = Some(machine);
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, u64>,
+    histograms: BTreeMap<MetricKey, LogHistogram>,
+}
+
+/// Thread-safe metrics registry shared by every kernel/PE in a run.
+///
+/// Works identically under the simulator (virtual-time samples) and the
+/// live engine (wall-clock samples): values are plain `u64`s and the
+/// registry never looks at a clock itself.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Add `delta` to a counter (creating it at zero).
+    pub fn add(&self, key: MetricKey, delta: u64) {
+        let mut inner = self.inner.lock();
+        *inner.counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Increment a counter by one.
+    pub fn incr(&self, key: MetricKey) {
+        self.add(key, 1);
+    }
+
+    /// Set a gauge to `value` (last write wins).
+    pub fn set_gauge(&self, key: MetricKey, value: u64) {
+        let mut inner = self.inner.lock();
+        inner.gauges.insert(key, value);
+    }
+
+    /// Raise a gauge to `value` if it is below it (high-water mark).
+    pub fn gauge_max(&self, key: MetricKey, value: u64) {
+        let mut inner = self.inner.lock();
+        let g = inner.gauges.entry(key).or_insert(0);
+        *g = (*g).max(value);
+    }
+
+    /// Record one sample into a histogram (creating it empty).
+    pub fn record(&self, key: MetricKey, value: u64) {
+        let mut inner = self.inner.lock();
+        inner.histograms.entry(key).or_default().record(value);
+    }
+
+    /// Copy out everything, sorted by key.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, v)| (*k, *v)).collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (*k, *v)).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (*k, h.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// An owned, ordered copy of a [`Registry`] at one point in time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotone counters, sorted by key.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// Point-in-time gauges, sorted by key.
+    pub gauges: Vec<(MetricKey, u64)>,
+    /// Latency/size histograms, sorted by key.
+    pub histograms: Vec<(MetricKey, LogHistogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter.
+    pub fn counter(&self, subsystem: &str, name: &str, pe: Option<u32>) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k.subsystem == subsystem && k.name == name && k.pe == pe)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram.
+    pub fn histogram(&self, subsystem: &str, name: &str, pe: Option<u32>) -> Option<&LogHistogram> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k.subsystem == subsystem && k.name == name && k.pe == pe)
+            .map(|(_, h)| h)
+    }
+
+    /// Sum a counter across all PEs (ignores the global series if present).
+    pub fn counter_sum_over_pes(&self, subsystem: &str, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.subsystem == subsystem && k.name == name && k.pe.is_some())
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Append extra counters (e.g. a per-PE kernel-stats rollup) keeping
+    /// the snapshot sorted and deterministic. Duplicate keys accumulate.
+    pub fn absorb_counters(&mut self, extra: impl IntoIterator<Item = (MetricKey, u64)>) {
+        let mut map: BTreeMap<MetricKey, u64> = self.counters.iter().copied().collect();
+        for (k, v) in extra {
+            *map.entry(k).or_insert(0) += v;
+        }
+        self.counters = map.into_iter().collect();
+    }
+
+    /// Serialize as JSON Lines (one object per metric; see DESIGN.md for
+    /// the schema). Deterministic: ordered by key, integers only.
+    pub fn to_jsonl(&self) -> String {
+        jsonl::metrics_jsonl(self)
+    }
+
+    /// Serialize as CSV (`kind,subsystem,name,pe,machine,value,...`).
+    pub fn to_csv(&self) -> String {
+        jsonl::metrics_csv(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let r = Registry::new();
+        r.add(MetricKey::pe("net", "frames", 1), 2);
+        r.incr(MetricKey::pe("net", "frames", 0));
+        r.add(MetricKey::pe("net", "frames", 1), 3);
+        r.add(MetricKey::global("net", "frames"), 10);
+        let s = r.snapshot();
+        assert_eq!(s.counter("net", "frames", Some(1)), Some(5));
+        assert_eq!(s.counter("net", "frames", Some(0)), Some(1));
+        assert_eq!(s.counter("net", "frames", None), Some(10));
+        assert_eq!(s.counter_sum_over_pes("net", "frames"), 6);
+        // Global (pe=None) sorts before per-PE entries of the same name.
+        let keys: Vec<_> = s.counters.iter().map(|(k, _)| k.pe).collect();
+        assert_eq!(keys, vec![None, Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn gauges_and_histograms() {
+        let r = Registry::new();
+        r.set_gauge(MetricKey::global("net", "queue_depth"), 4);
+        r.gauge_max(MetricKey::global("net", "queue_depth_max"), 2);
+        r.gauge_max(MetricKey::global("net", "queue_depth_max"), 7);
+        r.gauge_max(MetricKey::global("net", "queue_depth_max"), 5);
+        r.record(MetricKey::pe("gm", "remote_read_ns", 0), 100);
+        r.record(MetricKey::pe("gm", "remote_read_ns", 0), 300);
+        let s = r.snapshot();
+        assert_eq!(s.gauges[0].1, 4);
+        assert_eq!(s.gauges[1].1, 7);
+        let h = s.histogram("gm", "remote_read_ns", Some(0)).unwrap();
+        assert_eq!(h.count(), 2);
+        assert!(h.p50() >= 100 && h.p99() <= 300);
+    }
+
+    #[test]
+    fn absorb_counters_merges_sorted() {
+        let r = Registry::new();
+        r.add(MetricKey::pe("kernel", "messages", 1), 1);
+        let mut s = r.snapshot();
+        s.absorb_counters(vec![
+            (MetricKey::pe("kernel", "messages", 0), 4),
+            (MetricKey::pe("kernel", "messages", 1), 2),
+        ]);
+        assert_eq!(s.counter("kernel", "messages", Some(0)), Some(4));
+        assert_eq!(s.counter("kernel", "messages", Some(1)), Some(3));
+        assert!(s.counters.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

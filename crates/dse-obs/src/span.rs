@@ -1,0 +1,212 @@
+//! Message-level spans: correlate a GM request with its response.
+//!
+//! A span opens when the API layer issues a remote request, collects wire
+//! and kernel-service timestamps as the message moves through the system,
+//! and closes when the reply is delivered. Correlation is by
+//! `(kind, pe, seq)` where `seq` is the requesting PE's `ReqId` (unique
+//! per process), so concurrent requests from different PEs never collide.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// What operation a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// Remote global-memory read.
+    GmRead,
+    /// Remote global-memory write.
+    GmWrite,
+    /// Remote fetch-and-add.
+    GmFetchAdd,
+    /// Barrier enter-to-release.
+    Barrier,
+    /// Cluster lock acquire.
+    Lock,
+    /// Remote function invocation.
+    Invoke,
+}
+
+impl SpanKind {
+    /// Stable label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::GmRead => "gm_read",
+            SpanKind::GmWrite => "gm_write",
+            SpanKind::GmFetchAdd => "gm_fetch_add",
+            SpanKind::Barrier => "barrier",
+            SpanKind::Lock => "lock",
+            SpanKind::Invoke => "invoke",
+        }
+    }
+}
+
+/// One completed request/response exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Operation type.
+    pub kind: SpanKind,
+    /// Requesting processor element (node id).
+    pub pe: u32,
+    /// Correlation sequence number (the requester's `ReqId`).
+    pub seq: u64,
+    /// Time the request was issued (ns, engine clock).
+    pub open_ns: u64,
+    /// Time the response was delivered back to the requester (ns).
+    pub close_ns: u64,
+    /// Time the request spent on the wire (request leg; 0 = loopback or
+    /// not recorded).
+    pub wire_ns: u64,
+    /// Time the serving kernel spent handling the request (0 if not
+    /// recorded).
+    pub service_ns: u64,
+    /// Payload bytes moved (request + reply payloads).
+    pub bytes: u64,
+}
+
+impl SpanRecord {
+    /// End-to-end latency.
+    pub fn total_ns(&self) -> u64 {
+        self.close_ns.saturating_sub(self.open_ns)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    open_ns: u64,
+    wire_ns: u64,
+    service_ns: u64,
+    bytes: u64,
+}
+
+/// Table of in-flight and completed spans, shared across all PEs.
+///
+/// Completed spans are appended in close order; under the deterministic
+/// simulator that order is reproducible, so exports built from it are too.
+#[derive(Debug, Default)]
+pub struct SpanTable {
+    open: Mutex<HashMap<(SpanKind, u32, u64), OpenSpan>>,
+    done: Mutex<Vec<SpanRecord>>,
+}
+
+impl SpanTable {
+    /// An empty table.
+    pub fn new() -> SpanTable {
+        SpanTable::default()
+    }
+
+    /// Start a span at `now_ns` carrying `bytes` of request payload.
+    pub fn open(&self, kind: SpanKind, pe: u32, seq: u64, now_ns: u64, bytes: u64) {
+        self.open.lock().insert(
+            (kind, pe, seq),
+            OpenSpan {
+                open_ns: now_ns,
+                wire_ns: 0,
+                service_ns: 0,
+                bytes,
+            },
+        );
+    }
+
+    /// Attribute request-leg wire time to an open span (no-op if absent).
+    pub fn note_wire(&self, kind: SpanKind, pe: u32, seq: u64, wire_ns: u64) {
+        if let Some(s) = self.open.lock().get_mut(&(kind, pe, seq)) {
+            s.wire_ns = s.wire_ns.saturating_add(wire_ns);
+        }
+    }
+
+    /// Attribute kernel service time to an open span (no-op if absent).
+    pub fn note_service(&self, kind: SpanKind, pe: u32, seq: u64, service_ns: u64) {
+        if let Some(s) = self.open.lock().get_mut(&(kind, pe, seq)) {
+            s.service_ns = s.service_ns.saturating_add(service_ns);
+        }
+    }
+
+    /// Add reply payload bytes to an open span (no-op if absent).
+    pub fn note_bytes(&self, kind: SpanKind, pe: u32, seq: u64, bytes: u64) {
+        if let Some(s) = self.open.lock().get_mut(&(kind, pe, seq)) {
+            s.bytes = s.bytes.saturating_add(bytes);
+        }
+    }
+
+    /// Close a span at `now_ns`, moving it to the completed list.
+    /// Returns the record, or `None` if no matching span was open.
+    pub fn close(&self, kind: SpanKind, pe: u32, seq: u64, now_ns: u64) -> Option<SpanRecord> {
+        let open = self.open.lock().remove(&(kind, pe, seq))?;
+        let rec = SpanRecord {
+            kind,
+            pe,
+            seq,
+            open_ns: open.open_ns,
+            close_ns: now_ns.max(open.open_ns),
+            wire_ns: open.wire_ns,
+            service_ns: open.service_ns,
+            bytes: open.bytes,
+        };
+        self.done.lock().push(rec);
+        Some(rec)
+    }
+
+    /// Number of completed spans.
+    pub fn completed(&self) -> usize {
+        self.done.lock().len()
+    }
+
+    /// Number of still-open spans (normally 0 after a run).
+    pub fn in_flight(&self) -> usize {
+        self.open.lock().len()
+    }
+
+    /// Copy out completed spans, sorted by (open time, pe, seq, kind) so
+    /// the result is deterministic even if close order ever races.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        let mut v = self.done.lock().clone();
+        v.sort_by_key(|r| (r.open_ns, r.pe, r.seq, r.kind));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_note_close_roundtrip() {
+        let t = SpanTable::new();
+        t.open(SpanKind::GmRead, 2, 7, 1000, 16);
+        t.note_wire(SpanKind::GmRead, 2, 7, 120);
+        t.note_service(SpanKind::GmRead, 2, 7, 40);
+        t.note_bytes(SpanKind::GmRead, 2, 7, 8);
+        assert_eq!(t.in_flight(), 1);
+        let rec = t.close(SpanKind::GmRead, 2, 7, 1500).unwrap();
+        assert_eq!(rec.total_ns(), 500);
+        assert_eq!(rec.wire_ns, 120);
+        assert_eq!(rec.service_ns, 40);
+        assert_eq!(rec.bytes, 24);
+        assert_eq!(t.in_flight(), 0);
+        assert_eq!(t.completed(), 1);
+    }
+
+    #[test]
+    fn close_without_open_is_none() {
+        let t = SpanTable::new();
+        assert!(t.close(SpanKind::Barrier, 0, 0, 10).is_none());
+        // Same seq from different PEs do not collide.
+        t.open(SpanKind::GmWrite, 0, 1, 5, 0);
+        t.open(SpanKind::GmWrite, 1, 1, 6, 0);
+        assert!(t.close(SpanKind::GmWrite, 1, 1, 9).is_some());
+        assert_eq!(t.in_flight(), 1);
+    }
+
+    #[test]
+    fn records_sorted_by_open_time() {
+        let t = SpanTable::new();
+        t.open(SpanKind::Lock, 1, 1, 300, 0);
+        t.open(SpanKind::Lock, 0, 1, 100, 0);
+        t.close(SpanKind::Lock, 1, 1, 400);
+        t.close(SpanKind::Lock, 0, 1, 900);
+        let recs = t.records();
+        assert_eq!(recs[0].open_ns, 100);
+        assert_eq!(recs[1].open_ns, 300);
+    }
+}

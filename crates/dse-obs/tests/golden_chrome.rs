@@ -1,0 +1,125 @@
+//! Golden-file test for the Chrome trace exporter: a fixed input must
+//! serialize to a byte-identical file, release after release. Any change
+//! to the output format is deliberate — regenerate the golden by running
+//! this test with `UPDATE_GOLDEN=1` and reviewing the diff.
+
+use dse_obs::{chrome_trace_json, BusInterval, ChromeTraceInput, SpanKind, SpanTable};
+use dse_sim::{ProcId, ResourceId, SimTime, TraceEvent, TraceKind, TraceRecords};
+
+fn fixed_input_json() -> String {
+    // A miniature but complete trace: two processes, one CPU, a couple of
+    // GM-op spans and two bus bins — every event shape the exporter emits.
+    let t = |ns| SimTime::from_nanos(ns);
+    let trace = TraceRecords {
+        proc_names: vec!["kernel.n0".into(), "app.n1".into()],
+        events: vec![
+            TraceEvent {
+                proc: ProcId::from_index(0),
+                kind: TraceKind::Start { at: t(0) },
+            },
+            TraceEvent {
+                proc: ProcId::from_index(1),
+                kind: TraceKind::Start { at: t(100) },
+            },
+            TraceEvent {
+                proc: ProcId::from_index(1),
+                kind: TraceKind::ResourceWait {
+                    res: ResourceId::from_index(0),
+                    from: t(100),
+                    until: t(400),
+                },
+            },
+            TraceEvent {
+                proc: ProcId::from_index(1),
+                kind: TraceKind::ResourceHold {
+                    res: ResourceId::from_index(0),
+                    from: t(400),
+                    until: t(2_400),
+                },
+            },
+            TraceEvent {
+                proc: ProcId::from_index(1),
+                kind: TraceKind::Sent {
+                    at: t(2_500),
+                    to: ProcId::from_index(0),
+                },
+            },
+            TraceEvent {
+                proc: ProcId::from_index(0),
+                kind: TraceKind::RecvWait {
+                    from: t(0),
+                    until: t(2_600),
+                },
+            },
+            TraceEvent {
+                proc: ProcId::from_index(1),
+                kind: TraceKind::Sleep {
+                    from: t(2_500),
+                    until: t(5_000),
+                },
+            },
+            TraceEvent {
+                proc: ProcId::from_index(1),
+                kind: TraceKind::Exit { at: t(9_000) },
+            },
+        ],
+    };
+
+    let spans = SpanTable::new();
+    spans.open(SpanKind::GmRead, 1, 7, 2_500, 64);
+    spans.note_wire(SpanKind::GmRead, 1, 7, 900);
+    spans.note_service(SpanKind::GmRead, 1, 7, 300);
+    spans.close(SpanKind::GmRead, 1, 7, 6_800);
+    spans.open(SpanKind::Barrier, 0, 1, 7_000, 0);
+    spans.close(SpanKind::Barrier, 0, 1, 8_500);
+    let spans = spans.records();
+
+    let bus = vec![
+        BusInterval {
+            start_ns: 0,
+            width_ns: 1_000_000,
+            busy_ns: 420_000,
+            frames: 5,
+            wire_bytes: 460,
+            collisions: 2,
+            backoff_ns: 70_000,
+            queue_depth_max: 3,
+        },
+        BusInterval {
+            start_ns: 1_000_000,
+            width_ns: 1_000_000,
+            busy_ns: 80_000,
+            frames: 1,
+            wire_bytes: 92,
+            collisions: 0,
+            backoff_ns: 0,
+            queue_depth_max: 0,
+        },
+    ];
+
+    let resource_names = vec!["cpu0".to_string()];
+    chrome_trace_json(&ChromeTraceInput {
+        trace: Some(&trace),
+        resource_names: &resource_names,
+        spans: &spans,
+        bus: &bus,
+    })
+}
+
+#[test]
+fn chrome_trace_matches_golden_byte_for_byte() {
+    let got = fixed_input_json();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_small.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden file present");
+    assert_eq!(
+        got, want,
+        "Chrome trace output changed; run with UPDATE_GOLDEN=1 and review the diff"
+    );
+}

@@ -1,0 +1,88 @@
+//! Property tests for the log-bucketed histogram: bucket bounds are
+//! monotone, no sample is lost or invented, and every quantile stays
+//! inside the observed value range.
+
+use dse_obs::LogHistogram;
+use proptest::prelude::*;
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    // Mix magnitudes: exact region, mid-range, and huge values.
+    let sample = prop_oneof![
+        (0u64..16).boxed(),
+        (16u64..100_000).boxed(),
+        any::<u64>().boxed(),
+    ];
+    proptest::collection::vec(sample, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn count_is_conserved(samples in arb_samples()) {
+        let mut h = LogHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let bucket_total: u64 = h.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, samples.len() as u64, "buckets must account for every sample");
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone(samples in arb_samples()) {
+        let mut h = LogHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        for w in buckets.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "bounds must strictly increase: {:?}", buckets);
+        }
+        prop_assert!(buckets.last().unwrap().0 >= h.max() || h.max() == u64::MAX,
+            "last bound must cover the max");
+    }
+
+    #[test]
+    fn quantiles_stay_within_min_max(samples in arb_samples(), q in 0.0f64..=1.0) {
+        let mut h = LogHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let quant = h.quantile(q);
+        prop_assert!(quant >= h.min(), "quantile {} below min {}", quant, h.min());
+        prop_assert!(quant <= h.max(), "quantile {} above max {}", quant, h.max());
+        // Quantiles are monotone in q.
+        prop_assert!(h.p50() <= h.p90());
+        prop_assert!(h.p90() <= h.p99());
+        prop_assert!(h.p99() <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn min_max_sum_track_inputs(samples in arb_samples()) {
+        let mut h = LogHistogram::new();
+        let mut sum = 0u64;
+        for &v in &samples {
+            h.record(v);
+            sum = sum.saturating_add(v);
+        }
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        prop_assert_eq!(h.sum(), sum);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording(a in arb_samples(), b in arb_samples()) {
+        let mut ha = LogHistogram::new();
+        let mut hb = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            all.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            all.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha, all);
+    }
+}

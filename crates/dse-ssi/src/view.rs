@@ -40,6 +40,13 @@ pub struct NodeInfo {
     pub kernels_on_machine: usize,
     /// Application processes currently running on this node.
     pub running: usize,
+    /// Runtime messages sent by this node's kernel+API so far.
+    pub messages: u64,
+    /// Global-memory traffic (bytes read + written) issued by this node.
+    pub gm_bytes: u64,
+    /// Remote GM operations (reads + writes) issued by this node — the
+    /// share of its traffic that crossed node boundaries.
+    pub gm_remote_ops: u64,
 }
 
 /// A read-only single-system-image view over a cluster.
@@ -102,6 +109,7 @@ impl<'a> ClusterView<'a> {
             .map(|n| {
                 let node = NodeId(n as u16);
                 let machine = self.shared.machine_of(node);
+                let ks = self.shared.stats.snapshot_pe(n);
                 NodeInfo {
                     node,
                     machine,
@@ -110,6 +118,9 @@ impl<'a> ClusterView<'a> {
                         .iter()
                         .filter(|e| e.node == node && e.state == ProcState::Running)
                         .count(),
+                    messages: ks.messages,
+                    gm_bytes: ks.gm_bytes_read + ks.gm_bytes_written,
+                    gm_remote_ops: ks.gm_remote_reads + ks.gm_remote_writes,
                 }
             })
             .collect()
@@ -125,6 +136,29 @@ impl<'a> ClusterView<'a> {
                     .count()
             })
             .collect()
+    }
+
+    /// Render the node table as text (the user-facing SSI load utility):
+    /// one row per node with its placement and runtime traffic counters.
+    pub fn nodes_text(&self) -> String {
+        let mut out = String::from(
+            "NODE  MACHINE  KERNELS  RUNNING  MSGS      GM-BYTES    REMOTE-OPS
+",
+        );
+        for n in self.nodes() {
+            out.push_str(&format!(
+                "{:<5} {:<8} {:<8} {:<8} {:<9} {:<11} {}
+",
+                n.node.0,
+                n.machine,
+                n.kernels_on_machine,
+                n.running,
+                n.messages,
+                n.gm_bytes,
+                n.gm_remote_ops
+            ));
+        }
+        out
     }
 
     /// Render the `ps` table as text (the user-facing SSI utility).
@@ -194,6 +228,27 @@ mod tests {
         assert_eq!(nodes.len(), 8);
         assert_eq!(nodes[0].kernels_on_machine, 2); // machine 0 hosts n0+n6
         assert_eq!(nodes[2].kernels_on_machine, 1);
+        assert!(nodes.iter().all(|n| n.messages == 0 && n.gm_bytes == 0));
+    }
+
+    #[test]
+    fn node_table_reflects_per_pe_traffic() {
+        let s = shared(3);
+        s.stats.update(NodeId(1), |ks| {
+            ks.messages = 7;
+            ks.gm_bytes_read = 100;
+            ks.gm_bytes_written = 20;
+            ks.gm_remote_reads = 4;
+        });
+        let view = ClusterView::new(&s);
+        let nodes = view.nodes();
+        assert_eq!(nodes[1].messages, 7);
+        assert_eq!(nodes[1].gm_bytes, 120);
+        assert_eq!(nodes[1].gm_remote_ops, 4);
+        assert_eq!(nodes[0].messages, 0);
+        let text = view.nodes_text();
+        assert!(text.contains("GM-BYTES"));
+        assert!(text.contains("120"));
     }
 
     #[test]

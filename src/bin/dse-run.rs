@@ -16,6 +16,7 @@ use dse::net::Protocol;
 use dse::prelude::*;
 use dse_trace::{analyze, gantt};
 
+#[derive(Debug, Clone, PartialEq)]
 struct Args {
     app: String,
     platform: String,
@@ -29,6 +30,9 @@ struct Args {
     cache: bool,
     trace: bool,
     machines: usize,
+    metrics_json: Option<String>,
+    metrics_csv: Option<String>,
+    trace_json: Option<String>,
 }
 
 fn usage() -> ! {
@@ -44,12 +48,18 @@ fn usage() -> ! {
   --organization linked|legacy software organization     (default linked)
   --protocol tcp|udp|raw       protocol stack             (default tcp)
   --cache                      enable the GM cache
-  --trace                      print the execution-time breakdown"
+  --trace                      print the execution-time breakdown
+  --metrics-json PATH          write metrics as JSON Lines
+  --metrics-csv PATH           write metrics as CSV
+  --trace-json PATH            write a Chrome trace (load in Perfetto)"
     );
     std::process::exit(2)
 }
 
-fn parse() -> Args {
+/// Parse a full argument vector (without the program name). Returns a
+/// descriptive error for unknown flags, missing values, or bad numbers so
+/// the caller — and the unit tests — can check rejection behaviour.
+fn parse_from(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         app: String::new(),
         platform: "sunos".into(),
@@ -63,31 +73,55 @@ fn parse() -> Args {
         cache: false,
         trace: false,
         machines: 6,
+        metrics_json: None,
+        metrics_csv: None,
+        trace_json: None,
     };
-    let mut it = std::env::args().skip(1);
-    args.app = it.next().unwrap_or_else(|| usage());
+    let mut it = argv.iter();
+    args.app = it.next().ok_or("missing application name")?.clone();
+    if args.app == "--help" || args.app == "-h" {
+        return Err("help".into());
+    }
     while let Some(flag) = it.next() {
-        let val = |it: &mut dyn Iterator<Item = String>| it.next().unwrap_or_else(|| usage());
+        let mut val = || -> Result<String, String> {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        let num = |flag: &str, v: String| -> Result<usize, String> {
+            v.parse()
+                .map_err(|_| format!("flag {flag}: '{v}' is not a number"))
+        };
         match flag.as_str() {
-            "--platform" => args.platform = val(&mut it),
-            "--procs" => args.procs = val(&mut it).parse().unwrap_or_else(|_| usage()),
-            "--machines" => args.machines = val(&mut it).parse().unwrap_or_else(|_| usage()),
-            "--n" => args.n = val(&mut it).parse().unwrap_or_else(|_| usage()),
-            "--block" => args.block = val(&mut it).parse().unwrap_or_else(|_| usage()),
-            "--depth" => args.depth = val(&mut it).parse().unwrap_or_else(|_| usage()),
-            "--jobs" => args.jobs = val(&mut it).parse().unwrap_or_else(|_| usage()),
-            "--organization" => args.organization = val(&mut it),
-            "--protocol" => args.protocol = val(&mut it),
+            "--platform" => args.platform = val()?,
+            "--procs" => args.procs = num(flag, val()?)?,
+            "--machines" => args.machines = num(flag, val()?)?,
+            "--n" => args.n = num(flag, val()?)?,
+            "--block" => args.block = num(flag, val()?)?,
+            "--depth" => args.depth = num(flag, val()?)? as u32,
+            "--jobs" => args.jobs = num(flag, val()?)?,
+            "--organization" => args.organization = val()?,
+            "--protocol" => args.protocol = val()?,
             "--cache" => args.cache = true,
             "--trace" => args.trace = true,
-            "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown flag {other}");
-                usage()
-            }
+            "--metrics-json" => args.metrics_json = Some(val()?),
+            "--metrics-csv" => args.metrics_csv = Some(val()?),
+            "--trace-json" => args.trace_json = Some(val()?),
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag {other}")),
         }
     }
-    args
+    Ok(args)
+}
+
+fn parse() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    parse_from(&argv).unwrap_or_else(|err| {
+        if err != "help" {
+            eprintln!("{err}");
+        }
+        usage()
+    })
 }
 
 fn main() {
@@ -108,10 +142,13 @@ fn main() {
         "raw" => Protocol::RawEthernet,
         _ => usage(),
     };
+    // A Chrome trace needs the per-process event timeline, so --trace-json
+    // implies tracing even without the printed breakdown.
+    let tracing = args.trace || args.trace_json.is_some();
     let program = DseProgram::new(platform.clone())
         .with_machines(args.machines)
         .with_config(config)
-        .with_tracing(args.trace);
+        .with_tracing(tracing);
 
     println!(
         "# {} on {} ({}), {} processors / {} machines",
@@ -190,5 +227,95 @@ fn main() {
         println!();
         print!("{}", analysis.render());
         println!("{}", gantt(trace, run.report.end_time, 72));
+    }
+    let write = |path: &str, what: &str, data: String| {
+        if let Err(e) = std::fs::write(path, data) {
+            eprintln!("cannot write {what} to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("{what} written to {path}");
+    };
+    if let Some(path) = &args.metrics_json {
+        write(path, "metrics (JSONL)", run.metrics_jsonl());
+    }
+    if let Some(path) = &args.metrics_csv {
+        write(path, "metrics (CSV)", run.metrics_csv());
+    }
+    if let Some(path) = &args.trace_json {
+        write(path, "Chrome trace", run.chrome_trace_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let a = parse_from(&argv("gauss")).unwrap();
+        assert_eq!(a.app, "gauss");
+        assert_eq!(a.platform, "sunos");
+        assert_eq!(a.procs, 4);
+        assert_eq!(a.machines, 6);
+        assert!(!a.cache && !a.trace);
+        assert_eq!(a.metrics_json, None);
+        assert_eq!(a.trace_json, None);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let a = parse_from(&argv(
+            "dct --platform linux --procs 8 --machines 4 --n 128 --block 16              --depth 7 --jobs 32 --organization legacy --protocol udp --cache --trace",
+        ))
+        .unwrap();
+        assert_eq!(a.platform, "linux");
+        assert_eq!(a.procs, 8);
+        assert_eq!(a.machines, 4);
+        assert_eq!(a.n, 128);
+        assert_eq!(a.block, 16);
+        assert_eq!(a.depth, 7);
+        assert_eq!(a.jobs, 32);
+        assert_eq!(a.organization, "legacy");
+        assert_eq!(a.protocol, "udp");
+        assert!(a.cache && a.trace);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let a = parse_from(&argv(
+            "gauss --metrics-json m.jsonl --metrics-csv m.csv --trace-json t.json",
+        ))
+        .unwrap();
+        assert_eq!(a.metrics_json.as_deref(), Some("m.jsonl"));
+        assert_eq!(a.metrics_csv.as_deref(), Some("m.csv"));
+        assert_eq!(a.trace_json.as_deref(), Some("t.json"));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let err = parse_from(&argv("gauss --frobnicate")).unwrap_err();
+        assert!(err.contains("unknown flag --frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let err = parse_from(&argv("gauss --metrics-json")).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let err = parse_from(&argv("gauss --procs many")).unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
+    }
+
+    #[test]
+    fn missing_app_rejected() {
+        let err = parse_from(&[]).unwrap_err();
+        assert!(err.contains("missing application"), "{err}");
     }
 }

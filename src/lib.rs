@@ -43,6 +43,7 @@ pub use dse_kernel as kernel;
 pub use dse_live as live;
 pub use dse_msg as msg;
 pub use dse_net as net;
+pub use dse_obs as obs;
 pub use dse_platform as platform;
 pub use dse_sim as sim;
 pub use dse_ssi as ssi;

@@ -1,0 +1,379 @@
+//! Acceptance tests for the observability subsystem (ISSUE tentpole):
+//! a real Gauss-Seidel run on the paper's SunOS cluster must export
+//! schema-valid metrics JSONL and a Perfetto-loadable Chrome trace, both
+//! byte-identical across runs, and the per-PE stats cells must roll up to
+//! exactly the legacy global [`KernelStats`] totals.
+
+use std::collections::HashMap;
+
+use dse::apps::gauss_seidel;
+use dse::prelude::*;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON parser — enough to validate the exporters without serde.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(HashMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(v) => v,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+    fn as_str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+    fn as_num(&self) -> f64 {
+        match self {
+            Json::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+fn parse_json(s: &str) -> Json {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    let v = p.value();
+    p.ws();
+    assert_eq!(p.i, p.b.len(), "trailing garbage after JSON value");
+    v
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && (self.b[self.i] as char).is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+    fn eat(&mut self, c: u8) {
+        self.ws();
+        assert!(
+            self.i < self.b.len() && self.b[self.i] == c,
+            "expected '{}' at byte {}",
+            c as char,
+            self.i
+        );
+        self.i += 1;
+    }
+    fn peek(&mut self) -> u8 {
+        self.ws();
+        assert!(self.i < self.b.len(), "unexpected end of JSON");
+        self.b[self.i]
+    }
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+    fn lit(&mut self, word: &str, v: Json) -> Json {
+        self.ws();
+        assert!(
+            self.b[self.i..].starts_with(word.as_bytes()),
+            "bad literal at byte {}",
+            self.i
+        );
+        self.i += word.len();
+        v
+    }
+    fn object(&mut self) -> Json {
+        self.eat(b'{');
+        let mut m = HashMap::new();
+        if self.peek() == b'}' {
+            self.i += 1;
+            return Json::Obj(m);
+        }
+        loop {
+            let k = self.string();
+            self.eat(b':');
+            m.insert(k, self.value());
+            match self.peek() {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Json::Obj(m);
+                }
+                c => panic!("expected ',' or '}}', got '{}'", c as char),
+            }
+        }
+    }
+    fn array(&mut self) -> Json {
+        self.eat(b'[');
+        let mut v = Vec::new();
+        if self.peek() == b']' {
+            self.i += 1;
+            return Json::Arr(v);
+        }
+        loop {
+            v.push(self.value());
+            match self.peek() {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Json::Arr(v);
+                }
+                c => panic!("expected ',' or ']', got '{}'", c as char),
+            }
+        }
+    }
+    fn string(&mut self) -> String {
+        self.eat(b'"');
+        let mut s = String::new();
+        loop {
+            let c = self.b[self.i];
+            self.i += 1;
+            match c {
+                b'"' => return s,
+                b'\\' => {
+                    let e = self.b[self.i];
+                    self.i += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(&self.b[self.i..self.i + 4]).unwrap();
+                            let cp = u32::from_str_radix(hex, 16).unwrap();
+                            s.push(char::from_u32(cp).unwrap());
+                            self.i += 4;
+                        }
+                        other => panic!("bad escape \\{}", other as char),
+                    }
+                }
+                other => s.push(other as char),
+            }
+        }
+    }
+    fn number(&mut self) -> Json {
+        self.ws();
+        let start = self.i;
+        while self.i < self.b.len()
+            && matches!(
+                self.b[self.i],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        Json::Num(
+            text.parse()
+                .unwrap_or_else(|_| panic!("bad number '{text}'")),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The reference run: gauss --platform sunos --procs 6 (paper setup).
+// ---------------------------------------------------------------------------
+
+fn reference_run() -> RunResult {
+    let program = DseProgram::new(Platform::sunos_sparc()).with_tracing(true);
+    let params = gauss_seidel::GaussSeidelParams::paper(120);
+    let (run, sol) = gauss_seidel::solve_parallel(&program, 6, params);
+    assert!(sol.delta <= params.eps, "solver must converge");
+    run
+}
+
+#[test]
+fn per_pe_rollup_equals_legacy_global_stats() {
+    let run = reference_run();
+    assert_eq!(run.per_pe_stats.len(), 6);
+    let mut rolled = dse::kernel::KernelStats::default();
+    for ks in &run.per_pe_stats {
+        rolled.merge(ks);
+    }
+    assert_eq!(
+        rolled, run.stats,
+        "per-PE cells must roll up to the global snapshot"
+    );
+    // The work actually spread: more than one PE moved traffic.
+    let active = run.per_pe_stats.iter().filter(|s| s.messages > 0).count();
+    assert!(active > 1, "expected multiple active PEs, saw {active}");
+}
+
+#[test]
+fn metrics_jsonl_schema_and_content() {
+    let run = reference_run();
+    let jsonl = run.metrics_jsonl();
+    let mut counters = 0usize;
+    let mut per_pe_kernel_counters = 0usize;
+    let mut remote_read_hist = None;
+    for line in jsonl.lines() {
+        let v = parse_json(line);
+        let ty = v.get("type").expect("every metric has a type").as_str();
+        for key in ["subsystem", "name", "pe", "machine"] {
+            assert!(v.get(key).is_some(), "metric line missing '{key}': {line}");
+        }
+        match ty {
+            "counter" => {
+                counters += 1;
+                if v.get("subsystem").unwrap().as_str() == "kernel"
+                    && v.get("pe") != Some(&Json::Null)
+                {
+                    per_pe_kernel_counters += 1;
+                    assert!(
+                        v.get("machine") != Some(&Json::Null),
+                        "per-PE kernel counters carry their machine: {line}"
+                    );
+                }
+            }
+            "gauge" => {}
+            "histogram" => {
+                for key in ["count", "sum", "min", "max", "p50", "p90", "p99", "buckets"] {
+                    assert!(v.get(key).is_some(), "histogram missing '{key}': {line}");
+                }
+                let count = v.get("count").unwrap().as_num() as u64;
+                let bucket_total: u64 = v
+                    .get("buckets")
+                    .unwrap()
+                    .as_arr()
+                    .iter()
+                    .map(|b| b.as_arr()[1].as_num() as u64)
+                    .sum();
+                assert_eq!(bucket_total, count, "bucket counts must sum to count");
+                if v.get("subsystem").unwrap().as_str() == "gm"
+                    && v.get("name").unwrap().as_str() == "remote_read_ns"
+                    && remote_read_hist.is_none()
+                {
+                    remote_read_hist = Some(v.clone());
+                }
+            }
+            other => panic!("unknown metric type '{other}'"),
+        }
+    }
+    assert!(counters > 0, "expected counters in the export");
+    assert!(
+        per_pe_kernel_counters >= 6 * 10,
+        "expected the per-PE kernel-stats rollup, saw {per_pe_kernel_counters}"
+    );
+    let h = remote_read_hist.expect("remote GM read latency histogram must be exported");
+    let p50 = h.get("p50").unwrap().as_num();
+    let p99 = h.get("p99").unwrap().as_num();
+    let min = h.get("min").unwrap().as_num();
+    let max = h.get("max").unwrap().as_num();
+    assert!(h.get("count").unwrap().as_num() > 0.0);
+    assert!(min <= p50 && p50 <= p99 && p99 <= max, "quantile ordering");
+}
+
+#[test]
+fn chrome_trace_has_per_process_and_bus_tracks() {
+    let run = reference_run();
+    let trace = run.chrome_trace_json();
+    let doc = parse_json(&trace);
+    let events = doc.get("traceEvents").expect("traceEvents").as_arr();
+    assert!(!events.is_empty());
+
+    // One named thread track under pid 0 per simulated process.
+    let nprocs_in_trace = run.report.trace.as_ref().unwrap().proc_names.len();
+    let proc_tracks = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").map(Json::as_str) == Some("M")
+                && e.get("name").map(Json::as_str) == Some("thread_name")
+                && e.get("pid").map(Json::as_num) == Some(0.0)
+        })
+        .count();
+    assert_eq!(
+        proc_tracks, nprocs_in_trace,
+        "one track per simulated process"
+    );
+
+    // A bus-utilization counter track under the network pid.
+    let bus_samples = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").map(Json::as_str) == Some("C")
+                && e.get("name").map(Json::as_str) == Some("bus_utilization")
+        })
+        .count();
+    assert!(bus_samples > 0, "expected bus_utilization counter samples");
+    assert_eq!(bus_samples, run.bus_intervals.len());
+
+    // GM-op span slices under pid 1, at least one per active PE.
+    let span_slices = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").map(Json::as_str) == Some("X")
+                && e.get("pid").map(Json::as_num) == Some(1.0)
+        })
+        .count();
+    assert_eq!(span_slices, run.spans.len());
+    assert!(span_slices > 0, "expected completed GM-op spans");
+}
+
+#[test]
+fn exports_are_deterministic_across_runs() {
+    let a = reference_run();
+    let b = reference_run();
+    assert_eq!(
+        a.metrics_jsonl(),
+        b.metrics_jsonl(),
+        "metrics JSONL must be byte-identical"
+    );
+    assert_eq!(
+        a.metrics_csv(),
+        b.metrics_csv(),
+        "metrics CSV must be byte-identical"
+    );
+    assert_eq!(
+        a.chrome_trace_json(),
+        b.chrome_trace_json(),
+        "Chrome trace must be byte-identical"
+    );
+}
+
+#[test]
+fn spans_are_consistent_with_stats() {
+    let run = reference_run();
+    for s in &run.spans {
+        assert!(s.close_ns >= s.open_ns, "span must close after opening");
+        assert!(
+            s.wire_ns + s.service_ns <= s.total_ns(),
+            "wire + service cannot exceed the span: {s:?}"
+        );
+    }
+    // Every remote read span corresponds to a counted remote read.
+    let remote_reads: u64 = run.per_pe_stats.iter().map(|s| s.gm_remote_reads).sum();
+    let read_spans = run
+        .spans
+        .iter()
+        .filter(|s| s.kind == dse::obs::SpanKind::GmRead)
+        .count() as u64;
+    assert_eq!(read_spans, remote_reads, "one GmRead span per remote read");
+}
