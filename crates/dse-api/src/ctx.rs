@@ -283,6 +283,7 @@ impl<'a> DseCtx<'a> {
                         self.shared
                             .metrics
                             .record(MetricKey::pe("gm", "remote_read_ns", pe), rec.total_ns());
+                        self.shared.flight.span(&rec);
                     }
                     let (bo, rl, foff, install) = pending
                         .remove(&req.0)
@@ -403,6 +404,7 @@ impl<'a> DseCtx<'a> {
                         self.shared
                             .metrics
                             .record(MetricKey::pe("gm", "remote_write_ns", pe), rec.total_ns());
+                        self.shared.flight.span(&rec);
                     }
                     pending -= 1;
                 }
@@ -462,6 +464,7 @@ impl<'a> DseCtx<'a> {
                         self.shared
                             .metrics
                             .record(MetricKey::pe("gm", "fetch_add_ns", pe), rec.total_ns());
+                        self.shared.flight.span(&rec);
                     }
                     return prev;
                 }
@@ -542,6 +545,7 @@ impl<'a> DseCtx<'a> {
             self.shared
                 .metrics
                 .record(MetricKey::pe("sync", "barrier_wait_ns", pe), rec.total_ns());
+            self.shared.flight.span(&rec);
         }
     }
 
@@ -587,6 +591,7 @@ impl<'a> DseCtx<'a> {
                         self.shared
                             .metrics
                             .record(MetricKey::pe("sync", "lock_wait_ns", pe), rec.total_ns());
+                        self.shared.flight.span(&rec);
                     }
                     return;
                 }

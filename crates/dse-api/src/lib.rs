@@ -33,11 +33,13 @@ mod region;
 
 pub use api::ParallelApi;
 pub use ctx::{DseCtx, UserMsg, AUTO_BARRIER_BASE};
-pub use program::{DseProgram, RunResult};
+pub use program::{DseProgram, RunResult, TelemetrySummary};
 pub use region::{GmArray, GmCounter, GmElem};
 
 // Re-export the vocabulary callers need alongside the API.
-pub use dse_kernel::{Distribution, DseConfig, KernelStats, NetworkChoice, Organization};
+pub use dse_kernel::{
+    Distribution, DseConfig, KernelStats, NetworkChoice, Organization, StallReport, TelemetryConfig,
+};
 pub use dse_msg::{GlobalPid, NodeId, RegionId};
 pub use dse_platform::{ClusterSpec, Platform, Work};
 pub use dse_sim::{SimDuration, SimTime};

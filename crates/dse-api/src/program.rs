@@ -11,15 +11,35 @@ use std::sync::Arc;
 
 use dse_kernel::kernel::{kernel_main, AppFactory};
 use dse_kernel::netpath::{charge_recv, send_msg};
-use dse_kernel::{ClusterShared, DseConfig, KernelStats, SimMsg};
+use dse_kernel::{ClusterShared, DseConfig, KernelStats, SimMsg, StallReport, TelemetryHook};
 use dse_msg::{Message, NodeId, ReqIdGen};
 use dse_obs::{
-    chrome_trace_json, BusInterval, ChromeTraceInput, MetricKey, MetricsSnapshot, SpanRecord,
+    chrome_trace_json, BusInterval, ChromeTraceInput, ClusterAggregator, MetricKey,
+    MetricsSnapshot, NodeStatus, SpanRecord,
 };
 use dse_platform::{ClusterSpec, Platform, PAPER_MACHINES};
 use dse_sim::{ProcCtx, SimDuration, SimReport, Simulator};
 
 use crate::ctx::DseCtx;
+
+/// Telemetry-plane results of a run (present when `DseConfig::telemetry`
+/// was enabled).
+#[derive(Debug, Clone)]
+pub struct TelemetrySummary {
+    /// The cluster rollup node 0's kernel rebuilt purely from in-band
+    /// `Telemetry` deltas. On a clean shutdown it matches
+    /// [`RunResult::metrics`] byte-for-byte.
+    pub rollup: MetricsSnapshot,
+    /// Aggregator-side health of every emitting PE (sequence numbers,
+    /// gaps, stale drops, last-heard time).
+    pub nodes: Vec<NodeStatus>,
+    /// GM requests the stall watchdog flagged (empty on a healthy run).
+    pub stalls: Vec<StallReport>,
+    /// Flight-recorder JSONL dump: the ring captured when the watchdog
+    /// first tripped (post-mortem), or the ring at shutdown on a clean
+    /// run.
+    pub flight_jsonl: Option<String>,
+}
 
 /// Everything a completed run reports.
 #[derive(Debug, Clone)]
@@ -49,6 +69,9 @@ pub struct RunResult {
     pub spans: Vec<SpanRecord>,
     /// Per-interval shared-bus activity (empty for switched fabrics).
     pub bus_intervals: Vec<BusInterval>,
+    /// Telemetry-plane results (`None` unless `DseConfig::telemetry` was
+    /// enabled).
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl RunResult {
@@ -87,13 +110,30 @@ impl RunResult {
 }
 
 /// A configured DSE program ready to run workloads.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct DseProgram {
     platform: Platform,
     machines: usize,
     machine_platforms: Option<Vec<Platform>>,
     config: DseConfig,
     tracing: bool,
+    telemetry_hook: Option<TelemetryHook>,
+}
+
+impl std::fmt::Debug for DseProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DseProgram")
+            .field("platform", &self.platform)
+            .field("machines", &self.machines)
+            .field("machine_platforms", &self.machine_platforms)
+            .field("config", &self.config)
+            .field("tracing", &self.tracing)
+            .field(
+                "telemetry_hook",
+                &self.telemetry_hook.as_ref().map(|_| "fn"),
+            )
+            .finish()
+    }
 }
 
 impl DseProgram {
@@ -106,6 +146,7 @@ impl DseProgram {
             machine_platforms: None,
             config: DseConfig::default(),
             tracing: false,
+            telemetry_hook: None,
         }
     }
 
@@ -120,6 +161,7 @@ impl DseProgram {
             machine_platforms: Some(platforms),
             config: DseConfig::default(),
             tracing: false,
+            telemetry_hook: None,
         }
     }
 
@@ -140,6 +182,19 @@ impl DseProgram {
     /// Override the runtime configuration.
     pub fn with_config(mut self, config: DseConfig) -> DseProgram {
         self.config = config;
+        self
+    }
+
+    /// Install a live-view hook, invoked on node 0's kernel each time a
+    /// telemetry aggregation epoch completes (node 0's own loopback delta
+    /// has been applied). Only fires when `DseConfig::telemetry` is
+    /// enabled. The hook receives the aggregator and the virtual clock in
+    /// nanoseconds.
+    pub fn with_epoch_hook<F>(mut self, hook: F) -> DseProgram
+    where
+        F: Fn(&ClusterAggregator, u64) + Send + Sync + 'static,
+    {
+        self.telemetry_hook = Some(Arc::new(hook));
         self
     }
 
@@ -167,6 +222,9 @@ impl DseProgram {
             .map(|m| sim.add_resource(&format!("cpu{m}")))
             .collect();
         let shared = Arc::new(ClusterShared::new(spec, self.config.clone(), cpus));
+        if let Some(hook) = &self.telemetry_hook {
+            shared.set_epoch_hook(Arc::clone(hook));
+        }
 
         let body = Arc::new(body);
         let factory: AppFactory = {
@@ -216,6 +274,19 @@ impl DseProgram {
         let per_pe_stats = shared.stats.per_pe();
         let mut metrics = shared.metrics.snapshot();
         metrics.absorb_counters(per_pe_counter_rollup(&shared, &per_pe_stats));
+        let telemetry = shared.config.telemetry.as_ref().map(|_| {
+            let agg = shared.aggregator.lock();
+            TelemetrySummary {
+                rollup: agg.rollup(),
+                nodes: agg.nodes().to_vec(),
+                stalls: shared.stalls.lock().clone(),
+                flight_jsonl: shared
+                    .flight_dump
+                    .lock()
+                    .clone()
+                    .or_else(|| Some(shared.flight.to_jsonl())),
+            }
+        });
         RunResult {
             elapsed,
             nprocs,
@@ -229,32 +300,20 @@ impl DseProgram {
             metrics,
             spans: shared.spans.records(),
             bus_intervals,
+            telemetry,
         }
     }
 }
 
 /// Flatten each PE's [`KernelStats`] into named metric counters (subsystem
-/// `kernel`), tagging every series with the PE's machine.
+/// `kernel`), tagging every series with the PE's machine. Delegates to
+/// [`KernelStats::as_metric_counters`] — the same mapping the telemetry
+/// plane ships in-band, which is what makes the two rollups identical.
 fn per_pe_counter_rollup(shared: &ClusterShared, per_pe: &[KernelStats]) -> Vec<(MetricKey, u64)> {
     let mut out = Vec::new();
     for (pe, ks) in per_pe.iter().enumerate() {
         let machine = shared.machine_of(NodeId(pe as u16)) as u32;
-        let key = |name: &'static str| MetricKey::pe("kernel", name, pe as u32).on_machine(machine);
-        out.push((key("gm_local_reads"), ks.gm_local_reads));
-        out.push((key("gm_remote_reads"), ks.gm_remote_reads));
-        out.push((key("gm_local_writes"), ks.gm_local_writes));
-        out.push((key("gm_remote_writes"), ks.gm_remote_writes));
-        out.push((key("gm_bytes_read"), ks.gm_bytes_read));
-        out.push((key("gm_bytes_written"), ks.gm_bytes_written));
-        out.push((key("fetch_adds"), ks.fetch_adds));
-        out.push((key("messages"), ks.messages));
-        out.push((key("message_bytes"), ks.message_bytes));
-        out.push((key("barrier_epochs"), ks.barrier_epochs));
-        out.push((key("lock_grants"), ks.lock_grants));
-        out.push((key("invokes"), ks.invokes));
-        out.push((key("cache_hits"), ks.cache_hits));
-        out.push((key("cache_misses"), ks.cache_misses));
-        out.push((key("cache_invalidations"), ks.cache_invalidations));
+        out.extend(ks.as_metric_counters(pe as u32, machine));
     }
     out
 }

@@ -29,6 +29,60 @@ pub enum NetworkChoice {
     Switched(f64, SimDuration),
 }
 
+/// Telemetry-plane configuration (see `DseConfig::telemetry`).
+///
+/// When enabled, every kernel periodically ships its metric deltas in-band
+/// (as `Message::Telemetry` traffic) to the aggregating kernel on node 0,
+/// node 0 runs a stall watchdog over the open request spans, and a flight
+/// recorder keeps the most recent bus/span events for post-mortem dumps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// How often each kernel emits a metric delta.
+    pub interval: SimDuration,
+    /// A GM request with no response for longer than this trips the stall
+    /// watchdog on node 0.
+    pub watchdog_deadline: SimDuration,
+    /// Flight-recorder ring capacity in events (0 disables the recorder).
+    pub flight_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    /// 200 ms emission interval, 250 ms watchdog deadline, 256-event ring.
+    ///
+    /// The interval keeps the telemetry plane's cost (wire bytes plus
+    /// per-message protocol CPU on the paper-era platforms) under 3 % of
+    /// execution time up to 8 PEs on the 10 Mbps shared bus — measured by
+    /// `examples/telemetry_overhead.rs`. Interactive watching can shorten
+    /// it (`dse-run --watch-ms`); the cost is paid in virtual time.
+    fn default() -> Self {
+        TelemetryConfig {
+            interval: SimDuration::from_millis(200),
+            watchdog_deadline: SimDuration::from_millis(250),
+            flight_capacity: 256,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Builder-style: set the emission interval.
+    pub fn with_interval(mut self, interval: SimDuration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Builder-style: set the stall-watchdog deadline.
+    pub fn with_watchdog_deadline(mut self, deadline: SimDuration) -> Self {
+        self.watchdog_deadline = deadline;
+        self
+    }
+
+    /// Builder-style: set the flight-recorder capacity.
+    pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight_capacity = capacity;
+        self
+    }
+}
+
 /// Full DSE runtime configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DseConfig {
@@ -43,11 +97,14 @@ pub struct DseConfig {
     pub gm_cache: bool,
     /// Seed for all model randomness (Ethernet backoff).
     pub seed: u64,
+    /// In-band telemetry plane (`None` = off; the default, so telemetry
+    /// traffic never perturbs experiments that did not ask for it).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for DseConfig {
     /// The paper's configuration: linked-library organization, TCP/IP over
-    /// 10 Mbps shared-bus Ethernet, no GM cache.
+    /// 10 Mbps shared-bus Ethernet, no GM cache, telemetry off.
     fn default() -> Self {
         DseConfig {
             organization: Organization::LinkedLibrary,
@@ -55,6 +112,7 @@ impl Default for DseConfig {
             network: NetworkChoice::SharedBus(10_000_000.0),
             gm_cache: false,
             seed: 0x05E_1999,
+            telemetry: None,
         }
     }
 }
@@ -96,6 +154,12 @@ impl DseConfig {
         self.gm_cache = on;
         self
     }
+
+    /// Builder-style: enable the in-band telemetry plane.
+    pub fn with_telemetry(mut self, t: TelemetryConfig) -> Self {
+        self.telemetry = Some(t);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +191,20 @@ mod tests {
         let l = DseConfig::legacy();
         assert_eq!(l.organization, Organization::SeparateProcess);
         assert_eq!(l.protocol, DseConfig::default().protocol);
+    }
+
+    #[test]
+    fn telemetry_defaults_off_and_composes() {
+        assert!(DseConfig::default().telemetry.is_none());
+        let t = TelemetryConfig::default()
+            .with_interval(SimDuration::from_millis(5))
+            .with_watchdog_deadline(SimDuration::from_millis(20))
+            .with_flight_capacity(64);
+        let c = DseConfig::paper().with_telemetry(t.clone());
+        assert_eq!(c.telemetry, Some(t));
+        assert_eq!(
+            TelemetryConfig::default().interval,
+            SimDuration::from_millis(200)
+        );
     }
 }

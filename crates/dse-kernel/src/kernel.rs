@@ -11,14 +11,15 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dse_msg::{GlobalPid, Message, NodeId, ReqId, ReqIdGen};
-use dse_obs::{MetricKey, SpanKind};
-use dse_sim::{ProcCtx, ProcId};
+use dse_obs::{DeltaTracker, FlightEventKind, MetricKey, SpanKind, TelemetryDelta};
+use dse_sim::{ProcCtx, ProcId, RecvResult};
 
 use crate::cache::blocks_inside;
 use crate::netpath::{charge_recv, send_msg};
 use crate::shared::ClusterShared;
 use crate::simmsg::SimMsg;
 use crate::sync::{BarrierOutcome, LockOutcome, Party, UnlockOutcome};
+use crate::watchdog::StallWatchdog;
 
 /// A ready-to-run application process body (built by the API layer).
 pub type AppBody = Box<dyn FnOnce(&mut ProcCtx<SimMsg>) + Send>;
@@ -172,10 +173,50 @@ pub fn kernel_main(
     let cache_on = shared.config.gm_cache;
     let mut txn_ids = ReqIdGen::new();
     let mut pending: HashMap<u64, PendingTxn> = HashMap::new();
-    while let Some(env) = ctx.recv() {
+    // Telemetry plane (all `None` when `config.telemetry` is off, leaving
+    // the classic blocking-recv loop and zero extra traffic).
+    let telemetry = shared.config.telemetry.clone();
+    let mut tracker = telemetry
+        .as_ref()
+        .map(|_| DeltaTracker::new(node.0 as u32, node == NodeId(0)));
+    let mut watchdog = if node == NodeId(0) {
+        telemetry
+            .as_ref()
+            .map(|t| StallWatchdog::new(t.watchdog_deadline.as_nanos()))
+    } else {
+        None
+    };
+    let mut next_emit = telemetry.as_ref().map(|t| ctx.now() + t.interval);
+    loop {
+        let env = match next_emit {
+            Some(at) => match ctx.recv_deadline(at) {
+                RecvResult::Msg(env) => env,
+                RecvResult::Timeout => {
+                    // Idle tick: ship this PE's metric delta in-band and
+                    // (on node 0) poll the stall watchdog.
+                    emit_delta(ctx, &shared, node, tracker.as_mut().unwrap());
+                    if let Some(wd) = watchdog.as_mut() {
+                        poll_watchdog(&shared, wd, ctx.now().as_nanos());
+                    }
+                    next_emit = Some(ctx.now() + telemetry.as_ref().unwrap().interval);
+                    continue;
+                }
+                RecvResult::Shutdown => break,
+            },
+            None => match ctx.recv() {
+                Some(env) => env,
+                None => break,
+            },
+        };
         let sm = env.msg;
         let msg = Message::decode(&sm.bytes).expect("kernel received undecodable message");
         if matches!(msg, Message::KernelShutdown) {
+            // Ship the final absolute state before exiting, so the cluster
+            // rollup at the aggregator matches the direct end-of-run rollup
+            // exactly even if incremental deltas were still in flight.
+            if let Some(tr) = tracker.as_mut() {
+                final_flush(ctx.now().as_nanos(), &shared, node, tr);
+            }
             break;
         }
         // Async-I/O receive path: signal delivery + protocol processing on
@@ -185,7 +226,43 @@ pub fn kernel_main(
         // Which requester span (kind, pe, seq) this iteration serviced, if
         // the message was a remote GM request with an open span.
         let mut serviced: Option<(SpanKind, u64)> = None;
+        // Telemetry deltas are control-plane traffic: they pay the receive
+        // cost like any message but are not "requests served".
+        let mut in_band_telemetry = false;
         match msg {
+            Message::Telemetry {
+                pe: from_pe,
+                seq,
+                payload,
+            } => {
+                debug_assert_eq!(node, NodeId(0), "telemetry must reach the aggregating node");
+                in_band_telemetry = true;
+                let delta = TelemetryDelta::decode(&payload)
+                    .unwrap_or_else(|e| panic!("kernel {node}: bad telemetry payload: {e:?}"));
+                let now_ns = ctx.now().as_nanos();
+                shared.flight.record(
+                    now_ns,
+                    from_pe,
+                    FlightEventKind::Telemetry {
+                        seq,
+                        absolute: delta.absolute,
+                    },
+                );
+                shared.aggregator.lock().apply(from_pe, seq, now_ns, &delta);
+                shared.metrics.incr(
+                    MetricKey::pe("kernel", "telemetry_in", node.0 as u32)
+                        .on_machine(shared.machine_of(node) as u32),
+                );
+                // Node 0's own loopback delta closes an aggregation epoch:
+                // it was emitted last in the round, so every older delta
+                // has been applied — tell the live view.
+                if from_pe == node.0 as u32 {
+                    if let Some(hook) = shared.epoch_hook() {
+                        let agg = shared.aggregator.lock();
+                        hook(&agg, now_ns);
+                    }
+                }
+            }
             Message::GmReadReq {
                 req,
                 region,
@@ -444,20 +521,123 @@ pub fn kernel_main(
             }
             other => panic!("kernel {node}: unexpected message {other:?}"),
         }
-        let service_ns = (ctx.now() - service_start).as_nanos();
-        let pe = node.0 as u32;
-        let machine = shared.machine_of(node) as u32;
-        shared
-            .metrics
-            .incr(MetricKey::pe("kernel", "requests_served", pe).on_machine(machine));
-        shared.metrics.record(
-            MetricKey::pe("kernel", "service_ns", pe).on_machine(machine),
-            service_ns,
-        );
-        if let Some((kind, seq)) = serviced {
+        if !in_band_telemetry {
+            let service_ns = (ctx.now() - service_start).as_nanos();
+            let pe = node.0 as u32;
+            let machine = shared.machine_of(node) as u32;
             shared
-                .spans
-                .note_service(kind, sm.from_node.0 as u32, seq, service_ns);
+                .metrics
+                .incr(MetricKey::pe("kernel", "requests_served", pe).on_machine(machine));
+            shared.metrics.record(
+                MetricKey::pe("kernel", "service_ns", pe).on_machine(machine),
+                service_ns,
+            );
+            if let Some((kind, seq)) = serviced {
+                shared
+                    .spans
+                    .note_service(kind, sm.from_node.0 as u32, seq, service_ns);
+            }
+        }
+        // Catch-up emission: the recv timeout only fires when the mailbox
+        // is idle, so a busy kernel checks the emission clock after each
+        // serviced message.
+        if let (Some(t), Some(at)) = (telemetry.as_ref(), next_emit) {
+            if ctx.now() >= at {
+                emit_delta(ctx, &shared, node, tracker.as_mut().unwrap());
+                if let Some(wd) = watchdog.as_mut() {
+                    poll_watchdog(&shared, wd, ctx.now().as_nanos());
+                }
+                next_emit = Some(ctx.now() + t.interval);
+            }
         }
     }
+}
+
+/// This node's synthesized extra counters: its kernel-stats cell flattened
+/// into metric series (the part of the per-PE rollup not kept in the
+/// registry).
+fn synth_counters(shared: &ClusterShared, node: NodeId) -> Vec<(MetricKey, u64)> {
+    shared
+        .stats
+        .snapshot_pe(node.index())
+        .as_metric_counters(node.0 as u32, shared.machine_of(node) as u32)
+}
+
+/// Periodic telemetry emission: ship this PE's incremental metric delta
+/// in-band to node 0's kernel. Node 0 forces an emission even when nothing
+/// changed — its own loopback delta is the heartbeat that closes each
+/// aggregation epoch for the live view.
+fn emit_delta(
+    ctx: &mut ProcCtx<SimMsg>,
+    shared: &ClusterShared,
+    node: NodeId,
+    tracker: &mut DeltaTracker,
+) {
+    let snap = shared.metrics.snapshot();
+    let extra = synth_counters(shared, node);
+    let force = node == NodeId(0);
+    if let Some((seq, d)) = tracker.delta(&snap, &extra, force) {
+        let msg = Message::Telemetry {
+            pe: tracker.pe(),
+            seq,
+            payload: d.encode(),
+        };
+        let kproc = shared.kernel_of(NodeId(0));
+        let me = ctx.id();
+        send_msg(ctx, shared, node, NodeId(0), kproc, me, &msg);
+    }
+}
+
+/// Shutdown flush: apply this PE's absolute state straight to the
+/// aggregator. The wire cannot carry it (the aggregating kernel exits on
+/// the same shutdown wave and late messages would be dropped), but it still
+/// crosses the exact encode/decode path the wire uses, so the rollup stays
+/// a pure product of the in-band codec.
+fn final_flush(now_ns: u64, shared: &ClusterShared, node: NodeId, tracker: &mut DeltaTracker) {
+    let snap = shared.metrics.snapshot();
+    let extra = synth_counters(shared, node);
+    let (seq, d) = tracker.absolute(&snap, &extra);
+    let back = TelemetryDelta::decode(&d.encode()).expect("telemetry self-roundtrip");
+    shared.flight.record(
+        now_ns,
+        node.0 as u32,
+        FlightEventKind::Telemetry {
+            seq,
+            absolute: true,
+        },
+    );
+    shared
+        .aggregator
+        .lock()
+        .apply(node.0 as u32, seq, now_ns, &back);
+}
+
+/// Node 0's watchdog poll: flag GM requests stuck past the deadline, count
+/// them, append them to the shared stall report, and capture a one-shot
+/// flight-recorder dump on the first trip.
+fn poll_watchdog(shared: &ClusterShared, wd: &mut StallWatchdog, now_ns: u64) {
+    let reports = wd.check(now_ns, &shared.spans);
+    if reports.is_empty() {
+        return;
+    }
+    for r in &reports {
+        shared
+            .metrics
+            .incr(MetricKey::pe("kernel", "gm_stalls", r.pe));
+        shared.flight.record(
+            now_ns,
+            r.pe,
+            FlightEventKind::Stall {
+                kind: r.kind,
+                seq: r.seq,
+                waited_ns: r.waited_ns(),
+            },
+        );
+    }
+    let mut dump = shared.flight_dump.lock();
+    if dump.is_none() {
+        *dump = Some(shared.flight.to_jsonl());
+    }
+    drop(dump);
+    shared.stalls.lock().extend(reports);
 }

@@ -32,13 +32,15 @@ pub mod shared;
 pub mod simmsg;
 pub mod stats;
 pub mod sync;
+pub mod watchdog;
 
 pub use cache::{CacheStore, CACHE_BLOCK};
-pub use config::{DseConfig, NetworkChoice, Organization};
+pub use config::{DseConfig, NetworkChoice, Organization, TelemetryConfig};
 pub use cost::CostModel;
 pub use gmem::{Distribution, GlobalStore, GmError};
 pub use kernel::{kernel_main, AppBody, AppFactory};
-pub use shared::ClusterShared;
+pub use shared::{ClusterShared, TelemetryHook};
 pub use simmsg::SimMsg;
 pub use stats::{KernelStats, StatsCell};
 pub use sync::{BarrierCenter, BarrierOutcome, LockCenter, LockOutcome, Party, UnlockOutcome};
+pub use watchdog::{StallReport, StallWatchdog};

@@ -46,6 +46,15 @@ pub fn send_msg(
         s.messages += 1;
         s.message_bytes += bytes.len() as u64;
     });
+    shared.flight.record(
+        ctx.now().as_nanos(),
+        from_node.0 as u32,
+        dse_obs::FlightEventKind::Bus {
+            label: msg.label(),
+            to_pe: to_node.0 as u32,
+            bytes: bytes.len() as u64,
+        },
+    );
     // Sender software path (syscall + protocol + copy), on the sender CPU.
     ctx.use_resource(
         shared.cpu_of(from_node),

@@ -7,6 +7,7 @@
 //! serve the live engine, which shares this type.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -21,6 +22,13 @@ use crate::cost::CostModel;
 use crate::gmem::GlobalStore;
 use crate::stats::StatsCell;
 use crate::sync::{BarrierCenter, LockCenter};
+use crate::watchdog::StallReport;
+
+/// Callback invoked on the aggregating kernel each time a full telemetry
+/// epoch lands (its own loopback delta has been applied, meaning every
+/// older delta from other PEs has too). Receives the aggregator and the
+/// engine clock in nanoseconds. Used by `--watch`-style live views.
+pub type TelemetryHook = Arc<dyn Fn(&dse_obs::ClusterAggregator, u64) + Send + Sync>;
 
 /// Shared state of one cluster run.
 pub struct ClusterShared {
@@ -49,6 +57,19 @@ pub struct ClusterShared {
     pub metrics: dse_obs::Registry,
     /// Observability: message-level request/response spans.
     pub spans: dse_obs::SpanTable,
+    /// Telemetry: the cluster rollup node 0's kernel maintains from in-band
+    /// `Telemetry` messages (empty when telemetry is off).
+    pub aggregator: Mutex<dse_obs::ClusterAggregator>,
+    /// Telemetry: ring of recent bus/span events (disabled ring when
+    /// telemetry is off — every record is then a no-op).
+    pub flight: dse_obs::FlightRecorder,
+    /// Telemetry: stall reports collected by node 0's watchdog.
+    pub stalls: Mutex<Vec<StallReport>>,
+    /// Telemetry: flight-recorder JSONL dump captured when the watchdog
+    /// first tripped (post-mortem bundle).
+    pub flight_dump: Mutex<Option<String>>,
+    /// Telemetry: live-view hook invoked per aggregation epoch.
+    epoch_hook: Mutex<Option<TelemetryHook>>,
     /// CPU resource of each physical machine, indexed by machine.
     pub cpus: Vec<ResourceId>,
     /// Node → machine placement (from [`ClusterSpec::place`]).
@@ -98,6 +119,10 @@ impl ClusterShared {
             }
         };
         let placement = spec.place();
+        let flight = match &config.telemetry {
+            Some(t) => dse_obs::FlightRecorder::with_capacity(t.flight_capacity),
+            None => dse_obs::FlightRecorder::disabled(),
+        };
         ClusterShared {
             store: GlobalStore::new(spec.processors),
             cache: CacheStore::new(spec.processors),
@@ -107,6 +132,11 @@ impl ClusterShared {
             stats: StatsCell::new(spec.processors),
             metrics: dse_obs::Registry::new(),
             spans: dse_obs::SpanTable::new(),
+            aggregator: Mutex::new(dse_obs::ClusterAggregator::new(spec.processors)),
+            flight,
+            stalls: Mutex::new(Vec::new()),
+            flight_dump: Mutex::new(None),
+            epoch_hook: Mutex::new(None),
             cpus,
             placement,
             kernels: Mutex::new(Vec::new()),
@@ -222,6 +252,17 @@ impl ClusterShared {
     /// Look up a cluster-wide symbolic name.
     pub fn lookup_name(&self, name: &str) -> Option<dse_msg::RegionId> {
         self.names.lock().get(name).copied()
+    }
+
+    /// Install the telemetry epoch hook (harness setup; replaces any
+    /// previous hook).
+    pub fn set_epoch_hook(&self, hook: TelemetryHook) {
+        *self.epoch_hook.lock() = Some(hook);
+    }
+
+    /// The installed telemetry epoch hook, if any.
+    pub fn epoch_hook(&self) -> Option<TelemetryHook> {
+        self.epoch_hook.lock().clone()
     }
 
     /// Resolve the `seq`-th collective allocation: the first caller runs

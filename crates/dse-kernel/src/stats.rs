@@ -8,6 +8,7 @@
 //! touches its own cell.
 
 use dse_msg::NodeId;
+use dse_obs::MetricKey;
 use parking_lot::Mutex;
 
 /// A snapshot of (or live accumulator for) runtime activity.
@@ -63,6 +64,33 @@ impl KernelStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_invalidations += other.cache_invalidations;
+    }
+
+    /// Flatten these counters into named metric series (subsystem `kernel`)
+    /// for the given PE and machine. This is the canonical stats-to-metrics
+    /// mapping: the end-of-run rollup and the in-band telemetry plane both
+    /// use it, so a telemetry-built rollup reproduces the direct one
+    /// byte-for-byte. Every field is emitted — including zero-valued ones —
+    /// in declaration order.
+    pub fn as_metric_counters(&self, pe: u32, machine: u32) -> Vec<(MetricKey, u64)> {
+        let key = |name: &'static str| MetricKey::pe("kernel", name, pe).on_machine(machine);
+        vec![
+            (key("gm_local_reads"), self.gm_local_reads),
+            (key("gm_remote_reads"), self.gm_remote_reads),
+            (key("gm_local_writes"), self.gm_local_writes),
+            (key("gm_remote_writes"), self.gm_remote_writes),
+            (key("gm_bytes_read"), self.gm_bytes_read),
+            (key("gm_bytes_written"), self.gm_bytes_written),
+            (key("fetch_adds"), self.fetch_adds),
+            (key("messages"), self.messages),
+            (key("message_bytes"), self.message_bytes),
+            (key("barrier_epochs"), self.barrier_epochs),
+            (key("lock_grants"), self.lock_grants),
+            (key("invokes"), self.invokes),
+            (key("cache_hits"), self.cache_hits),
+            (key("cache_misses"), self.cache_misses),
+            (key("cache_invalidations"), self.cache_invalidations),
+        ]
     }
 }
 
@@ -154,6 +182,27 @@ mod tests {
         }
         assert_eq!(manual, s.snapshot());
         assert_eq!(manual.gm_remote_reads, 6);
+    }
+
+    #[test]
+    fn metric_counters_cover_every_field_in_order() {
+        let ks = KernelStats {
+            gm_local_reads: 1,
+            cache_invalidations: 9,
+            ..KernelStats::default()
+        };
+        let counters = ks.as_metric_counters(2, 1);
+        assert_eq!(counters.len(), 15);
+        assert_eq!(
+            counters[0].0,
+            MetricKey::pe("kernel", "gm_local_reads", 2).on_machine(1)
+        );
+        assert_eq!(counters[0].1, 1);
+        // Zero-valued fields are still present (required so an absolute
+        // telemetry snapshot matches the direct rollup exactly).
+        assert_eq!(counters[1].1, 0);
+        assert_eq!(counters[14].0.name, "cache_invalidations");
+        assert_eq!(counters[14].1, 9);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Stall watchdog: flags GM requests with no response past a deadline.
+//!
+//! The watchdog runs on the aggregating kernel (node 0) as part of the
+//! telemetry plane. Each telemetry tick it polls the [`SpanTable`]'s open
+//! spans and flags any global-memory request (read / write / fetch-add)
+//! that has been open longer than the configured deadline. A span is
+//! flagged at most once: the watchdog remembers `(kind, pe, seq)` keys it
+//! has already reported, so a stuck request produces exactly one
+//! [`StallReport`] even though the watchdog keeps polling.
+//!
+//! Barrier and lock spans are deliberately *not* watched: they legitimately
+//! stay open for as long as the application makes them (a barrier waits for
+//! the slowest PE), so a deadline on them would only produce noise. GM
+//! requests, by contrast, are bounded by kernel service plus wire time —
+//! one still open past a quarter second of cluster time means a lost
+//! response or a wedged kernel.
+
+use std::collections::HashSet;
+
+use dse_obs::{SpanKind, SpanTable};
+
+/// One flagged GM request: open past the watchdog deadline with no response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallReport {
+    /// Request kind (always one of the GM kinds).
+    pub kind: SpanKind,
+    /// PE that issued the request.
+    pub pe: u32,
+    /// Request sequence number (correlates with the span table / traces).
+    pub seq: u64,
+    /// When the request was issued (engine clock, ns).
+    pub open_ns: u64,
+    /// When the watchdog flagged it (engine clock, ns).
+    pub flagged_ns: u64,
+}
+
+impl StallReport {
+    /// How long the request had been waiting when flagged.
+    pub fn waited_ns(&self) -> u64 {
+        self.flagged_ns.saturating_sub(self.open_ns)
+    }
+}
+
+/// Polls open spans and reports GM requests stuck past a deadline.
+#[derive(Debug)]
+pub struct StallWatchdog {
+    deadline_ns: u64,
+    flagged: HashSet<(SpanKind, u32, u64)>,
+}
+
+impl StallWatchdog {
+    /// Watchdog with the given deadline in engine-clock nanoseconds.
+    pub fn new(deadline_ns: u64) -> StallWatchdog {
+        StallWatchdog {
+            deadline_ns,
+            flagged: HashSet::new(),
+        }
+    }
+
+    /// The configured deadline in nanoseconds.
+    pub fn deadline_ns(&self) -> u64 {
+        self.deadline_ns
+    }
+
+    /// Poll the span table at time `now_ns`; returns newly flagged stalls
+    /// (deterministic order: by open time, then PE, then sequence number,
+    /// inherited from [`SpanTable::open_spans`]).
+    pub fn check(&mut self, now_ns: u64, spans: &SpanTable) -> Vec<StallReport> {
+        let mut out = Vec::new();
+        for open in spans.open_spans() {
+            if !matches!(
+                open.kind,
+                SpanKind::GmRead | SpanKind::GmWrite | SpanKind::GmFetchAdd
+            ) {
+                continue;
+            }
+            if now_ns.saturating_sub(open.open_ns) <= self.deadline_ns {
+                continue;
+            }
+            if self.flagged.insert((open.kind, open.pe, open.seq)) {
+                out.push(StallReport {
+                    kind: open.kind,
+                    pe: open.pe,
+                    seq: open.seq,
+                    open_ns: open.open_ns,
+                    flagged_ns: now_ns,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_overdue_gm_requests_once() {
+        let spans = SpanTable::new();
+        spans.open(SpanKind::GmRead, 2, 7, 1_000, 64);
+        spans.open(SpanKind::GmWrite, 1, 9, 500, 64);
+        let mut wd = StallWatchdog::new(10_000);
+
+        // Nothing overdue yet.
+        assert!(wd.check(5_000, &spans).is_empty());
+
+        // Only the older request is past deadline at t=11_000.
+        let first = wd.check(11_000, &spans);
+        assert_eq!(first.len(), 1);
+        assert_eq!(
+            (first[0].kind, first[0].pe, first[0].seq),
+            (SpanKind::GmWrite, 1, 9)
+        );
+        assert_eq!(first[0].waited_ns(), 10_500);
+
+        // Next poll flags the read but never re-reports the write.
+        let second = wd.check(20_000, &spans);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].kind, SpanKind::GmRead);
+        assert!(wd.check(30_000, &spans).is_empty());
+    }
+
+    #[test]
+    fn sync_spans_are_not_watched() {
+        let spans = SpanTable::new();
+        spans.open(SpanKind::Barrier, 0, 1, 0, 0);
+        spans.open(SpanKind::Lock, 3, 2, 0, 0);
+        let mut wd = StallWatchdog::new(100);
+        assert!(wd.check(1_000_000, &spans).is_empty());
+    }
+
+    #[test]
+    fn closed_spans_stop_being_candidates() {
+        let spans = SpanTable::new();
+        spans.open(SpanKind::GmFetchAdd, 0, 3, 0, 16);
+        spans.close(SpanKind::GmFetchAdd, 0, 3, 50);
+        let mut wd = StallWatchdog::new(10);
+        assert!(wd.check(1_000, &spans).is_empty());
+    }
+}

@@ -7,6 +7,7 @@
 //! application body, two engines: the portability the paper argues for.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -16,7 +17,9 @@ use dse_api::ParallelApi;
 use dse_kernel::gmem::GlobalStore;
 use dse_kernel::Distribution;
 use dse_msg::RegionId;
-use dse_obs::{MetricKey, MetricsSnapshot, Registry};
+use dse_obs::{
+    ClusterAggregator, DeltaTracker, MetricKey, MetricsSnapshot, Registry, TelemetryDelta,
+};
 use dse_platform::Work;
 
 /// Cluster lock table: held ids plus a condvar for waiters.
@@ -198,6 +201,10 @@ pub struct LiveRunResult {
     /// Observability snapshot: per-rank GM/sync counters and wall-clock
     /// latency histograms (same schema as the simulator's).
     pub metrics: MetricsSnapshot,
+    /// The rollup the telemetry sampler rebuilt through the in-band delta
+    /// codec (`Some` only for [`run_live_watched`] runs; matches `metrics`
+    /// after a clean run).
+    pub telemetry_rollup: Option<MetricsSnapshot>,
 }
 
 /// Run `body` as an SPMD program over `nprocs` real threads.
@@ -215,13 +222,45 @@ pub fn run_live<F>(nprocs: usize, body: F) -> LiveRunResult
 where
     F: Fn(&mut LiveCtx) + Send + Sync,
 {
+    run_live_inner(nprocs, None, body)
+}
+
+/// Watched variant of [`run_live`]: a sampler thread wakes every
+/// `interval`, drives one telemetry round — each rank's [`DeltaTracker`]
+/// through the same encode/decode codec the simulator ships over the wire,
+/// into a [`ClusterAggregator`] — and invokes `hook` with the aggregator
+/// and the elapsed wall clock in nanoseconds. The hook signature matches
+/// the simulator's epoch hook, so one rendering function (e.g.
+/// `dse_ssi::view::render_top`) serves both engines. When every rank has
+/// finished, a final absolute round runs, the hook fires once more, and
+/// the resulting rollup lands in [`LiveRunResult::telemetry_rollup`].
+pub fn run_live_watched<F, H>(nprocs: usize, interval: Duration, hook: H, body: F) -> LiveRunResult
+where
+    F: Fn(&mut LiveCtx) + Send + Sync,
+    H: Fn(&ClusterAggregator, u64) + Send + Sync,
+{
+    run_live_inner(nprocs, Some((interval, &hook)), body)
+}
+
+type WatchSpec<'h> = (
+    Duration,
+    &'h (dyn Fn(&ClusterAggregator, u64) + Send + Sync),
+);
+
+fn run_live_inner<F>(nprocs: usize, watch: Option<WatchSpec<'_>>, body: F) -> LiveRunResult
+where
+    F: Fn(&mut LiveCtx) + Send + Sync,
+{
     assert!(nprocs > 0);
     let cluster = Arc::new(LiveCluster::new(nprocs));
+    let done = AtomicUsize::new(0);
+    let rollup_cell: Mutex<Option<MetricsSnapshot>> = Mutex::new(None);
     let start = Instant::now();
     std::thread::scope(|scope| {
         for rank in 0..nprocs {
             let cluster = Arc::clone(&cluster);
             let body = &body;
+            let done = &done;
             scope.spawn(move || {
                 let mut ctx = LiveCtx {
                     rank: rank as u32,
@@ -230,6 +269,44 @@ where
                     alloc_seq: 0,
                 };
                 body(&mut ctx);
+                done.fetch_add(1, Ordering::Release);
+            });
+        }
+        if let Some((interval, hook)) = watch {
+            let cluster = Arc::clone(&cluster);
+            let done = &done;
+            let rollup_cell = &rollup_cell;
+            scope.spawn(move || {
+                let mut trackers: Vec<DeltaTracker> = (0..nprocs)
+                    .map(|r| DeltaTracker::new(r as u32, r == 0))
+                    .collect();
+                let mut agg = ClusterAggregator::new(nprocs);
+                loop {
+                    // Read the completion flag *before* the snapshot: if all
+                    // ranks were done by then, the snapshot is final and the
+                    // closing absolute round reproduces it exactly.
+                    let finished = done.load(Ordering::Acquire) == nprocs;
+                    let snap = cluster.metrics.snapshot();
+                    let now_ns = start.elapsed().as_nanos() as u64;
+                    for t in trackers.iter_mut() {
+                        let emitted = if finished {
+                            Some(t.absolute(&snap, &[]))
+                        } else {
+                            t.delta(&snap, &[], t.pe() == 0)
+                        };
+                        if let Some((seq, d)) = emitted {
+                            let back = TelemetryDelta::decode(&d.encode())
+                                .expect("telemetry self-roundtrip");
+                            agg.apply(t.pe(), seq, now_ns, &back);
+                        }
+                    }
+                    hook(&agg, now_ns);
+                    if finished {
+                        break;
+                    }
+                    std::thread::sleep(interval);
+                }
+                *rollup_cell.lock() = Some(agg.rollup());
             });
         }
     });
@@ -237,6 +314,7 @@ where
         elapsed: start.elapsed(),
         nprocs,
         metrics: cluster.metrics.snapshot(),
+        telemetry_rollup: rollup_cell.into_inner(),
     }
 }
 
@@ -288,6 +366,37 @@ mod tests {
             .histogram("sync", "barrier_wait_ns", Some(1))
             .expect("barrier histogram for rank 1");
         assert!(h.count() >= 1);
+    }
+
+    #[test]
+    fn watched_rollup_matches_direct_snapshot() {
+        let epochs = AtomicU64::new(0);
+        let r = run_live_watched(
+            3,
+            Duration::from_millis(1),
+            |_agg, _now_ns| {
+                epochs.fetch_add(1, Ordering::SeqCst);
+            },
+            |ctx| {
+                let arr = GmArray::<u64>::alloc(ctx, 3, Distribution::Blocked);
+                arr.set(ctx, ctx.rank() as usize, 7);
+                ctx.barrier();
+                let _ = arr.read(ctx, 0, 3);
+            },
+        );
+        assert!(epochs.load(Ordering::SeqCst) >= 1, "hook never fired");
+        let rollup = r.telemetry_rollup.expect("watched run produces a rollup");
+        assert_eq!(
+            rollup.to_jsonl(),
+            r.metrics.to_jsonl(),
+            "in-band rollup must reproduce the wall-clock registry exactly"
+        );
+    }
+
+    #[test]
+    fn unwatched_run_has_no_rollup() {
+        let r = run_live(2, |ctx| ctx.barrier());
+        assert!(r.telemetry_rollup.is_none());
     }
 
     #[test]

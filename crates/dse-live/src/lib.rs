@@ -10,4 +10,4 @@
 
 mod engine;
 
-pub use engine::{run_live, LiveCluster, LiveCtx, LiveRunResult};
+pub use engine::{run_live, run_live_watched, LiveCluster, LiveCtx, LiveRunResult};

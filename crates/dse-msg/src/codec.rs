@@ -94,6 +94,21 @@ impl Writer {
         self.buf.extend_from_slice(v);
     }
 
+    /// Append an unsigned LEB128 varint (1 byte for values < 128, up to
+    /// 10 bytes for the full u64 range). Used by size-sensitive payloads
+    /// like telemetry deltas where most values are small.
+    pub fn uvar(&mut self, mut v: u64) {
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(b);
+                return;
+            }
+            self.buf.push(b | 0x80);
+        }
+    }
+
     /// Consume the writer, yielding the buffer.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -169,6 +184,27 @@ impl<'a> Reader<'a> {
         Ok(self.take(len)?.to_vec())
     }
 
+    /// Read an unsigned LEB128 varint written by [`Writer::uvar`].
+    pub fn uvar(&mut self) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift == 63 && b > 1 {
+                // The 10th byte may only contribute the final bit.
+                return Err(CodecError::BadLength(u64::from(b)));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(CodecError::BadLength(v));
+            }
+        }
+    }
+
     /// Number of unread bytes.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
@@ -215,6 +251,39 @@ mod tests {
         assert_eq!(r.bytes().unwrap(), b"hello");
         assert_eq!(r.bytes().unwrap(), b"");
         r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn uvar_roundtrip_and_width() {
+        let cases = [
+            (0u64, 1usize),
+            (1, 1),
+            (127, 1),
+            (128, 2),
+            (16_383, 2),
+            (16_384, 3),
+            (u64::from(u32::MAX), 5),
+            (u64::MAX, 10),
+        ];
+        for (v, width) in cases {
+            let mut w = Writer::new();
+            w.uvar(v);
+            let buf = w.finish();
+            assert_eq!(buf.len(), width, "width of {v}");
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.uvar().unwrap(), v);
+            r.expect_end().unwrap();
+        }
+    }
+
+    #[test]
+    fn uvar_rejects_truncation_and_overflow() {
+        let mut r = Reader::new(&[0x80]);
+        assert!(matches!(r.uvar(), Err(CodecError::Truncated { .. })));
+        // 11 continuation bytes: more than a u64 can hold.
+        let overlong = [0xffu8; 11];
+        let mut r = Reader::new(&overlong);
+        assert!(matches!(r.uvar(), Err(CodecError::BadLength(_))));
     }
 
     #[test]

@@ -179,6 +179,20 @@ pub enum Message {
         /// Payload bytes.
         data: Vec<u8>,
     },
+    /// In-band telemetry: a compact batch of per-PE metric deltas shipped
+    /// periodically from every kernel to the aggregating kernel on node 0.
+    /// The payload is opaque at this layer (encoded/decoded by the
+    /// observability crate's `aggregate` module) so the message set stays
+    /// independent of the metric schema.
+    Telemetry {
+        /// Emitting processor element (node id).
+        pe: u32,
+        /// Per-PE emission sequence number (lets the aggregator detect
+        /// dropped or reordered deltas).
+        seq: u32,
+        /// Encoded metric-delta payload.
+        payload: Vec<u8>,
+    },
     /// Ask a kernel's main loop to exit (orderly shutdown).
     KernelShutdown,
 }
@@ -202,6 +216,7 @@ const TAG_LOCK_REQ: u8 = 0x22;
 const TAG_LOCK_GRANT: u8 = 0x23;
 const TAG_UNLOCK_REQ: u8 = 0x24;
 const TAG_USER_DATA: u8 = 0x30;
+const TAG_TELEMETRY: u8 = 0x40;
 const TAG_KERNEL_SHUTDOWN: u8 = 0x7F;
 
 impl Message {
@@ -332,6 +347,12 @@ impl Message {
                 w.u32(*tag);
                 w.bytes(data);
             }
+            Message::Telemetry { pe, seq, payload } => {
+                w.u8(TAG_TELEMETRY);
+                w.u32(*pe);
+                w.u32(*seq);
+                w.bytes(payload);
+            }
             Message::KernelShutdown => {
                 w.u8(TAG_KERNEL_SHUTDOWN);
             }
@@ -362,6 +383,7 @@ impl Message {
             Message::LockGrant { .. } => 8 + 4,
             Message::UnlockReq { .. } => 4 + 4,
             Message::UserData { data, .. } => 4 + 4 + 4 + data.len(),
+            Message::Telemetry { payload, .. } => 4 + 4 + 4 + payload.len(),
             Message::KernelShutdown => 0,
         }
     }
@@ -455,6 +477,11 @@ impl Message {
                 tag: r.u32()?,
                 data: r.bytes()?,
             },
+            TAG_TELEMETRY => Message::Telemetry {
+                pe: r.u32()?,
+                seq: r.u32()?,
+                payload: r.bytes()?,
+            },
             TAG_KERNEL_SHUTDOWN => Message::KernelShutdown,
             other => return Err(CodecError::BadTag(other)),
         };
@@ -473,6 +500,34 @@ impl Message {
                 | Message::TerminateReq { .. }
                 | Message::LockReq { .. }
         )
+    }
+
+    /// Stable short label naming the message kind (used by trace and
+    /// flight-recorder exports; never includes payload contents).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Message::GmReadReq { .. } => "gm_read_req",
+            Message::GmReadResp { .. } => "gm_read_resp",
+            Message::GmWriteReq { .. } => "gm_write_req",
+            Message::GmWriteAck { .. } => "gm_write_ack",
+            Message::GmFetchAddReq { .. } => "gm_fetch_add_req",
+            Message::GmFetchAddResp { .. } => "gm_fetch_add_resp",
+            Message::GmInvalidate { .. } => "gm_invalidate",
+            Message::GmInvalidateAck { .. } => "gm_invalidate_ack",
+            Message::InvokeReq { .. } => "invoke_req",
+            Message::InvokeAck { .. } => "invoke_ack",
+            Message::ExitNotice { .. } => "exit_notice",
+            Message::TerminateReq { .. } => "terminate_req",
+            Message::TerminateAck { .. } => "terminate_ack",
+            Message::BarrierEnter { .. } => "barrier_enter",
+            Message::BarrierRelease { .. } => "barrier_release",
+            Message::LockReq { .. } => "lock_req",
+            Message::LockGrant { .. } => "lock_grant",
+            Message::UnlockReq { .. } => "unlock_req",
+            Message::UserData { .. } => "user_data",
+            Message::Telemetry { .. } => "telemetry",
+            Message::KernelShutdown => "kernel_shutdown",
+        }
     }
 
     /// The correlation id, if this message carries one.
@@ -581,6 +636,11 @@ mod tests {
                 tag: 99,
                 data: vec![7; 1500],
             },
+            Message::Telemetry {
+                pe: 3,
+                seq: 42,
+                payload: vec![0xAB; 60],
+            },
             Message::KernelShutdown,
         ]
     }
@@ -633,6 +693,26 @@ mod tests {
             .req_id(),
             None
         );
+    }
+
+    #[test]
+    fn telemetry_is_not_a_request_and_has_no_req_id() {
+        let msg = Message::Telemetry {
+            pe: 1,
+            seq: 7,
+            payload: vec![1, 2, 3],
+        };
+        assert!(!msg.is_request());
+        assert_eq!(msg.req_id(), None);
+        assert_eq!(msg.label(), "telemetry");
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for msg in samples() {
+            assert!(seen.insert(msg.label()), "duplicate label {}", msg.label());
+        }
     }
 
     #[test]

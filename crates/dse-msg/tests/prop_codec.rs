@@ -83,10 +83,15 @@ fn arb_message() -> impl Strategy<Value = Message> {
             lock: l
         }),
         (any::<u32>(), arb_pid()).prop_map(|(l, p)| Message::UnlockReq { lock: l, pid: p }),
-        (arb_pid(), any::<u32>(), data).prop_map(|(f, t, d)| Message::UserData {
+        (arb_pid(), any::<u32>(), data.clone()).prop_map(|(f, t, d)| Message::UserData {
             from: f,
             tag: t,
             data: d
+        }),
+        (any::<u32>(), any::<u32>(), data).prop_map(|(pe, s, p)| Message::Telemetry {
+            pe,
+            seq: s,
+            payload: p
         }),
         Just(Message::KernelShutdown),
     ]

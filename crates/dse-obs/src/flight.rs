@@ -1,0 +1,271 @@
+//! Flight recorder: a fixed-size ring of the most recent runtime events.
+//!
+//! Unlike the full span/trace exports (which keep everything), the flight
+//! recorder keeps only the last `capacity` events and is meant to be
+//! dumped *post mortem* — when the stall watchdog trips, the ring holds
+//! the messages and span closures leading up to the stall, exactly the
+//! context needed to diagnose a lost response or a protocol deadlock.
+//!
+//! Recording is cheap (one ring push under a mutex) and a recorder built
+//! with [`FlightRecorder::disabled`] is a no-op, so the hooks can stay in
+//! the hot paths unconditionally.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::span::{SpanKind, SpanRecord};
+use crate::util;
+
+/// What happened, at the granularity useful for post-mortem debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightEventKind {
+    /// A runtime message left a PE.
+    Bus {
+        /// Message kind label (`Message::label`).
+        label: &'static str,
+        /// Destination PE.
+        to_pe: u32,
+        /// Encoded size in bytes.
+        bytes: u64,
+    },
+    /// A request/response span completed.
+    SpanClose {
+        /// Operation kind.
+        kind: SpanKind,
+        /// Correlation sequence number.
+        seq: u64,
+        /// End-to-end latency.
+        total_ns: u64,
+    },
+    /// The stall watchdog flagged an open request past its deadline.
+    Stall {
+        /// Operation kind of the stalled request.
+        kind: SpanKind,
+        /// Correlation sequence number.
+        seq: u64,
+        /// How long the request had been open when flagged.
+        waited_ns: u64,
+    },
+    /// A telemetry delta was applied at the aggregator.
+    Telemetry {
+        /// Emission sequence number.
+        seq: u32,
+        /// Whether it was an absolute (shutdown) delta.
+        absolute: bool,
+    },
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Engine clock (ns) when the event happened.
+    pub t_ns: u64,
+    /// PE the event is attributed to (sender / requester / emitter).
+    pub pe: u32,
+    /// The event itself.
+    pub kind: FlightEventKind,
+}
+
+/// Fixed-capacity ring buffer of recent [`FlightEvent`]s.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<FlightEvent>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (0 disables it).
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+        }
+    }
+
+    /// A disabled recorder: every hook is a no-op.
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder::with_capacity(0)
+    }
+
+    /// True when events are being kept.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Record one event, evicting the oldest when full.
+    pub fn record(&self, t_ns: u64, pe: u32, kind: FlightEventKind) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(FlightEvent { t_ns, pe, kind });
+    }
+
+    /// Convenience hook: record a completed span.
+    pub fn span(&self, rec: &SpanRecord) {
+        self.record(
+            rec.close_ns,
+            rec.pe,
+            FlightEventKind::SpanClose {
+                kind: rec.kind,
+                seq: rec.seq,
+                total_ns: rec.total_ns(),
+            },
+        );
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// True when nothing has been recorded (or the recorder is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out the ring, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.ring.lock().iter().copied().collect()
+    }
+
+    /// Dump the ring as JSONL, oldest first: one object per event with a
+    /// `"type"` discriminator (`bus`/`span_close`/`stall`/`telemetry`).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&format!("{{\"t_ns\":{},\"pe\":{},", e.t_ns, e.pe));
+            match e.kind {
+                FlightEventKind::Bus {
+                    label,
+                    to_pe,
+                    bytes,
+                } => {
+                    out.push_str(&format!(
+                        "\"type\":\"bus\",\"msg\":{},\"to_pe\":{to_pe},\"bytes\":{bytes}",
+                        util::json_str(label)
+                    ));
+                }
+                FlightEventKind::SpanClose {
+                    kind,
+                    seq,
+                    total_ns,
+                } => {
+                    out.push_str(&format!(
+                        "\"type\":\"span_close\",\"kind\":{},\"seq\":{seq},\"total_ns\":{total_ns}",
+                        util::json_str(kind.label())
+                    ));
+                }
+                FlightEventKind::Stall {
+                    kind,
+                    seq,
+                    waited_ns,
+                } => {
+                    out.push_str(&format!(
+                        "\"type\":\"stall\",\"kind\":{},\"seq\":{seq},\"waited_ns\":{waited_ns}",
+                        util::json_str(kind.label())
+                    ));
+                }
+                FlightEventKind::Telemetry { seq, absolute } => {
+                    out.push_str(&format!(
+                        "\"type\":\"telemetry\",\"seq\":{seq},\"absolute\":{absolute}"
+                    ));
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let f = FlightRecorder::with_capacity(3);
+        for i in 0..5u64 {
+            f.record(
+                i * 10,
+                0,
+                FlightEventKind::Bus {
+                    label: "gm_read_req",
+                    to_pe: 1,
+                    bytes: i,
+                },
+            );
+        }
+        let ev = f.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].t_ns, 20, "oldest two evicted");
+        assert_eq!(ev[2].t_ns, 40);
+    }
+
+    #[test]
+    fn disabled_recorder_is_noop() {
+        let f = FlightRecorder::disabled();
+        assert!(!f.enabled());
+        f.record(
+            1,
+            0,
+            FlightEventKind::Telemetry {
+                seq: 1,
+                absolute: false,
+            },
+        );
+        assert!(f.is_empty());
+        assert_eq!(f.to_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_covers_every_event_type() {
+        let f = FlightRecorder::with_capacity(8);
+        f.record(
+            5,
+            1,
+            FlightEventKind::Bus {
+                label: "telemetry",
+                to_pe: 0,
+                bytes: 33,
+            },
+        );
+        f.span(&SpanRecord {
+            kind: SpanKind::GmRead,
+            pe: 2,
+            seq: 9,
+            open_ns: 100,
+            close_ns: 450,
+            wire_ns: 80,
+            service_ns: 20,
+            bytes: 64,
+        });
+        f.record(
+            900,
+            2,
+            FlightEventKind::Stall {
+                kind: SpanKind::GmWrite,
+                seq: 11,
+                waited_ns: 800,
+            },
+        );
+        f.record(
+            950,
+            0,
+            FlightEventKind::Telemetry {
+                seq: 3,
+                absolute: true,
+            },
+        );
+        let dump = f.to_jsonl();
+        assert_eq!(dump.lines().count(), 4);
+        assert!(dump.contains("\"type\":\"bus\""));
+        assert!(dump.contains("\"total_ns\":350"));
+        assert!(dump.contains("\"type\":\"stall\""));
+        assert!(dump.contains("\"absolute\":true"));
+    }
+}

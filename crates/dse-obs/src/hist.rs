@@ -171,6 +171,49 @@ impl LogHistogram {
             .map(|(i, &c)| (bucket_upper(i), c))
             .collect()
     }
+
+    // -- raw-bucket access for the telemetry delta codec (crate-internal) --
+    //
+    // The aggregate module ships histograms between PEs as *bucket-index*
+    // deltas, so it needs to see and rebuild the internal `counts` layout.
+    // The invariant preserved by all of these: `counts` never has trailing
+    // zero entries (its length is exactly `max nonzero index + 1`), which is
+    // what `record` produces and what `PartialEq` compares.
+
+    /// Raw bucket counts, indexed by internal bucket index.
+    pub(crate) fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Add `delta` samples' worth of count to bucket `index` (grows the
+    /// bucket vector as `record` would). Callers must keep `count`/`sum`
+    /// consistent via [`Self::add_totals_raw`].
+    pub(crate) fn add_bucket_raw(&mut self, index: usize, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        if index >= self.counts.len() {
+            self.counts.resize(index + 1, 0);
+        }
+        self.counts[index] += delta;
+    }
+
+    /// Fold shipped totals into this histogram: `count`/`sum` accumulate,
+    /// `min`/`max` are absolute over the emitting series' whole history so
+    /// they replace (per-PE series have a single writer).
+    pub(crate) fn add_totals_raw(&mut self, count: u64, sum: u64, min: u64, max: u64) {
+        self.count += count;
+        self.sum = self.sum.saturating_add(sum);
+        if self.count > 0 {
+            self.min = min;
+            self.max = max;
+        }
+    }
+
+    /// Totals as shipped on the wire: `(count, sum, min, max)`.
+    pub(crate) fn totals_raw(&self) -> (u64, u64, u64, u64) {
+        (self.count, self.sum, self.min, self.max)
+    }
 }
 
 #[cfg(test)]

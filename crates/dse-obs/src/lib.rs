@@ -12,7 +12,12 @@
 //!   samples on the engine clock,
 //! * exporters — Chrome trace-event JSON ([`chrome_trace_json`], loadable
 //!   in Perfetto) and JSONL/CSV metric dumps
-//!   ([`MetricsSnapshot::to_jsonl`] / [`MetricsSnapshot::to_csv`]).
+//!   ([`MetricsSnapshot::to_jsonl`] / [`MetricsSnapshot::to_csv`]),
+//! * the telemetry plane — [`DeltaTracker`] / [`TelemetryDelta`] /
+//!   [`ClusterAggregator`] ship per-PE metric deltas in-band over the DSE
+//!   message layer and rebuild the cluster rollup at PE0,
+//! * [`FlightRecorder`] — a fixed-size ring of recent bus/span events
+//!   dumped post-mortem when the stall watchdog trips.
 //!
 //! Everything is engine-neutral: values are plain `u64` nanoseconds,
 //! whether they come from the simulator's virtual clock or the live
@@ -21,7 +26,9 @@
 
 #![warn(missing_docs)]
 
+mod aggregate;
 mod chrome;
+mod flight;
 mod hist;
 mod interval;
 mod jsonl;
@@ -29,9 +36,11 @@ mod registry;
 mod span;
 mod util;
 
+pub use aggregate::{ClusterAggregator, DeltaTracker, HistDelta, NodeStatus, TelemetryDelta};
 pub use chrome::{chrome_trace_json, ChromeTraceInput, PID_NET, PID_PROCS, PID_SPANS};
+pub use flight::{FlightEvent, FlightEventKind, FlightRecorder};
 pub use hist::LogHistogram;
 pub use interval::{BusInterval, BusSampler, DEFAULT_BIN_NS};
 pub use jsonl::{metrics_csv, metrics_jsonl};
 pub use registry::{MetricKey, MetricsSnapshot, Registry};
-pub use span::{SpanKind, SpanRecord, SpanTable};
+pub use span::{OpenSpanInfo, SpanKind, SpanRecord, SpanTable};

@@ -5,8 +5,27 @@
 //! and closes when the reply is delivered. Correlation is by
 //! `(kind, pe, seq)` where `seq` is the requesting PE's `ReqId` (unique
 //! per process), so concurrent requests from different PEs never collide.
+//!
+//! # Edge-case semantics
+//!
+//! The table is tolerant of protocol anomalies so instrumentation can
+//! never take down a run; each anomaly is counted instead:
+//!
+//! * **Orphan responses** — closing a key with no open span returns
+//!   `None`, records nothing, and increments [`SpanTable::orphan_closes`].
+//! * **Duplicate sequence numbers** — opening a key that is already open
+//!   *replaces* the earlier open span (the retry wins; the superseded
+//!   request can no longer be correlated) and increments
+//!   [`SpanTable::reopened`]. The discarded span never reaches the
+//!   completed list.
+//! * **Requests still open at shutdown** — spans never closed stay in the
+//!   in-flight set: they are visible to [`SpanTable::in_flight`] and
+//!   [`SpanTable::open_spans`] (which the stall watchdog polls) but are
+//!   excluded from [`SpanTable::records`], so exports only ever contain
+//!   completed exchanges.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -87,6 +106,22 @@ struct OpenSpan {
 pub struct SpanTable {
     open: Mutex<HashMap<(SpanKind, u32, u64), OpenSpan>>,
     done: Mutex<Vec<SpanRecord>>,
+    orphan_closes: AtomicU64,
+    reopened: AtomicU64,
+}
+
+/// A still-open span as seen by [`SpanTable::open_spans`] — the stall
+/// watchdog's view of requests that have not yet been answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenSpanInfo {
+    /// Operation type.
+    pub kind: SpanKind,
+    /// Requesting processor element.
+    pub pe: u32,
+    /// Correlation sequence number.
+    pub seq: u64,
+    /// Time the request was issued (ns, engine clock).
+    pub open_ns: u64,
 }
 
 impl SpanTable {
@@ -96,8 +131,12 @@ impl SpanTable {
     }
 
     /// Start a span at `now_ns` carrying `bytes` of request payload.
+    ///
+    /// If the key is already open, the earlier span is replaced (and
+    /// counted in [`Self::reopened`]) — see the module docs on duplicate
+    /// sequence numbers.
     pub fn open(&self, kind: SpanKind, pe: u32, seq: u64, now_ns: u64, bytes: u64) {
-        self.open.lock().insert(
+        let prev = self.open.lock().insert(
             (kind, pe, seq),
             OpenSpan {
                 open_ns: now_ns,
@@ -106,6 +145,9 @@ impl SpanTable {
                 bytes,
             },
         );
+        if prev.is_some() {
+            self.reopened.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Attribute request-leg wire time to an open span (no-op if absent).
@@ -130,9 +172,14 @@ impl SpanTable {
     }
 
     /// Close a span at `now_ns`, moving it to the completed list.
-    /// Returns the record, or `None` if no matching span was open.
+    /// Returns the record, or `None` for an orphan response (no matching
+    /// span was open; counted in [`Self::orphan_closes`]).
     pub fn close(&self, kind: SpanKind, pe: u32, seq: u64, now_ns: u64) -> Option<SpanRecord> {
-        let open = self.open.lock().remove(&(kind, pe, seq))?;
+        let removed = self.open.lock().remove(&(kind, pe, seq));
+        let Some(open) = removed else {
+            self.orphan_closes.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
         let rec = SpanRecord {
             kind,
             pe,
@@ -155,6 +202,35 @@ impl SpanTable {
     /// Number of still-open spans (normally 0 after a run).
     pub fn in_flight(&self) -> usize {
         self.open.lock().len()
+    }
+
+    /// Responses that arrived with no matching open span.
+    pub fn orphan_closes(&self) -> u64 {
+        self.orphan_closes.load(Ordering::Relaxed)
+    }
+
+    /// Opens that replaced an already-open span with the same key.
+    pub fn reopened(&self) -> u64 {
+        self.reopened.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the still-open spans, sorted by (open time, pe, seq, kind)
+    /// so iteration order is deterministic. This is what the stall
+    /// watchdog polls for requests past their deadline.
+    pub fn open_spans(&self) -> Vec<OpenSpanInfo> {
+        let mut v: Vec<OpenSpanInfo> = self
+            .open
+            .lock()
+            .iter()
+            .map(|(&(kind, pe, seq), s)| OpenSpanInfo {
+                kind,
+                pe,
+                seq,
+                open_ns: s.open_ns,
+            })
+            .collect();
+        v.sort_by_key(|o| (o.open_ns, o.pe, o.seq, o.kind));
+        v
     }
 
     /// Copy out completed spans, sorted by (open time, pe, seq, kind) so
@@ -196,6 +272,66 @@ mod tests {
         t.open(SpanKind::GmWrite, 1, 1, 6, 0);
         assert!(t.close(SpanKind::GmWrite, 1, 1, 9).is_some());
         assert_eq!(t.in_flight(), 1);
+    }
+
+    #[test]
+    fn orphan_responses_are_counted_not_recorded() {
+        let t = SpanTable::new();
+        assert!(t.close(SpanKind::GmRead, 0, 99, 10).is_none());
+        assert!(t.close(SpanKind::GmRead, 0, 99, 20).is_none());
+        assert_eq!(t.orphan_closes(), 2);
+        assert_eq!(t.completed(), 0, "orphans never reach the record list");
+        // Notes against a missing span are silent no-ops, not orphans.
+        t.note_wire(SpanKind::GmRead, 0, 99, 5);
+        assert_eq!(t.orphan_closes(), 2);
+    }
+
+    #[test]
+    fn duplicate_seq_replaces_and_is_counted() {
+        let t = SpanTable::new();
+        t.open(SpanKind::GmRead, 1, 7, 100, 8);
+        t.note_wire(SpanKind::GmRead, 1, 7, 30);
+        // Same key opens again (e.g. a retry): the retry wins.
+        t.open(SpanKind::GmRead, 1, 7, 500, 16);
+        assert_eq!(t.reopened(), 1);
+        assert_eq!(t.in_flight(), 1, "replaced span is discarded");
+        let rec = t.close(SpanKind::GmRead, 1, 7, 900).unwrap();
+        assert_eq!(rec.open_ns, 500, "record reflects the replacing open");
+        assert_eq!(rec.wire_ns, 0, "earlier span's annotations are gone");
+        assert_eq!(rec.bytes, 16);
+        assert_eq!(t.completed(), 1, "only one record for the duplicate key");
+    }
+
+    #[test]
+    fn open_at_shutdown_stays_in_flight_and_out_of_records() {
+        let t = SpanTable::new();
+        t.open(SpanKind::GmRead, 0, 1, 100, 0);
+        t.open(SpanKind::GmWrite, 2, 5, 50, 0);
+        t.open(SpanKind::Lock, 1, 3, 75, 0);
+        t.close(SpanKind::Lock, 1, 3, 80);
+        // "Shutdown": no further closes. The unanswered requests remain
+        // observable but never contaminate the completed exports.
+        assert_eq!(t.in_flight(), 2);
+        assert_eq!(t.records().len(), 1);
+        let open = t.open_spans();
+        assert_eq!(
+            open,
+            vec![
+                OpenSpanInfo {
+                    kind: SpanKind::GmWrite,
+                    pe: 2,
+                    seq: 5,
+                    open_ns: 50
+                },
+                OpenSpanInfo {
+                    kind: SpanKind::GmRead,
+                    pe: 0,
+                    seq: 1,
+                    open_ns: 100
+                },
+            ],
+            "open spans sorted by open time"
+        );
     }
 
     #[test]

@@ -19,6 +19,15 @@ pub(crate) fn escape_json_into(out: &mut String, s: &str) {
     }
 }
 
+/// Quote and escape `s` as a complete JSON string literal.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_json_into(&mut out, s);
+    out.push('"');
+    out
+}
+
 /// Format nanoseconds as a microsecond JSON number with exactly three
 /// decimal places (`1234567` -> `"1234.567"`). Pure integer math, so the
 /// output is byte-stable across platforms — required for golden files.

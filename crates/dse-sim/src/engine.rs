@@ -708,6 +708,13 @@ impl<M: Send + 'static> ProcCtx<M> {
         }
     }
 
+    /// Block until a message arrives or `d` elapses from now (relative form
+    /// of [`ProcCtx::recv_deadline`]).
+    pub fn recv_timeout(&mut self, d: SimDuration) -> RecvResult<M> {
+        let deadline = self.now + d;
+        self.recv_deadline(deadline)
+    }
+
     /// Spawn a new process starting at the current time; returns its id.
     pub fn spawn<F>(&mut self, name: &str, f: F) -> ProcId
     where
@@ -803,6 +810,22 @@ mod tests {
         });
         sim.run();
         assert_eq!(out.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn recv_timeout_is_relative_to_now() {
+        let mut sim: Simulator<()> = Simulator::new();
+        let out = Arc::new(AtomicU64::new(0));
+        let o = out.clone();
+        sim.spawn("t", move |ctx| {
+            ctx.sleep(SimDuration::from_nanos(250));
+            match ctx.recv_timeout(SimDuration::from_nanos(1000)) {
+                RecvResult::Timeout => o.store(ctx.now().as_nanos(), Ordering::SeqCst),
+                _ => panic!("expected timeout"),
+            }
+        });
+        sim.run();
+        assert_eq!(out.load(Ordering::SeqCst), 1250);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //!   global-memory regions ("unified access to resources");
 //! * [`Placer`]/[`PlacementPolicy`] — transparent process placement
 //!   (round-robin reproduces the paper's Table 2 virtual-cluster rule;
-//!   least-loaded and packed are the obvious alternatives).
+//!   least-loaded and packed are the obvious alternatives);
+//! * [`top_rows`]/[`render_top`] — the live `dse-top` cluster view fed by
+//!   the in-band telemetry aggregated at PE0 (traffic, GM cache hit rate,
+//!   request-latency percentiles, per-node telemetry health).
 
 #![warn(missing_docs)]
 
@@ -18,4 +21,4 @@ mod placement;
 mod view;
 
 pub use placement::{PlacementPolicy, Placer};
-pub use view::{ClusterView, NodeInfo, ProcState, ProcessEntry};
+pub use view::{render_top, top_rows, ClusterView, NodeInfo, ProcState, ProcessEntry, TopRow};

@@ -3,6 +3,7 @@
 
 use dse_kernel::ClusterShared;
 use dse_msg::{GlobalPid, NodeId};
+use dse_obs::{ClusterAggregator, LogHistogram};
 
 /// Lifecycle state of a DSE process in the cluster-wide table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +180,138 @@ impl<'a> ClusterView<'a> {
     }
 }
 
+/// One row of the live cluster-top table, derived purely from the in-band
+/// telemetry aggregated at PE0 (no direct access to any remote kernel's
+/// registry — exactly what the aggregator heard over the bus).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopRow {
+    /// The emitting PE (node).
+    pub pe: u32,
+    /// Physical machine tag carried on that PE's kernel counters, if any
+    /// counter has been heard yet.
+    pub machine: Option<u32>,
+    /// Runtime messages sent by this node so far.
+    pub messages: u64,
+    /// Global-memory traffic (bytes read + written).
+    pub gm_bytes: u64,
+    /// GM cache hits on this node.
+    pub cache_hits: u64,
+    /// GM cache misses on this node.
+    pub cache_misses: u64,
+    /// p50 of remote GM request latency (read/write/fetch-add merged),
+    /// `None` until a remote request completed.
+    pub p50_ns: Option<u64>,
+    /// p99 of the same merged latency distribution.
+    pub p99_ns: Option<u64>,
+    /// Last telemetry sequence number heard from this PE.
+    pub last_seq: u32,
+    /// Sequence gaps observed (lost telemetry deltas).
+    pub gaps: u64,
+    /// Nanoseconds since the PE was last heard from; `None` before its
+    /// first emission.
+    pub age_ns: Option<u64>,
+}
+
+impl TopRow {
+    /// GM cache hit rate in percent, `None` when no lookups happened yet.
+    pub fn hit_pct(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 * 100.0 / total as f64)
+        }
+    }
+}
+
+/// Build the live top table from a telemetry aggregator: one row per PE,
+/// every column sourced from the aggregator's rollup and node-health
+/// records. `now_ns` is the observer's clock (virtual or wall) used for
+/// the staleness column.
+pub fn top_rows(agg: &ClusterAggregator, now_ns: u64) -> Vec<TopRow> {
+    let snap = agg.rollup();
+    agg.nodes()
+        .iter()
+        .map(|ns| {
+            let pe = ns.pe;
+            let machine = snap
+                .counters
+                .iter()
+                .find(|(k, _)| k.subsystem == "kernel" && k.pe == Some(pe) && k.machine.is_some())
+                .and_then(|(k, _)| k.machine);
+            let c = |name: &str| snap.counter("kernel", name, Some(pe)).unwrap_or(0);
+            let mut lat = LogHistogram::new();
+            for name in ["remote_read_ns", "remote_write_ns", "fetch_add_ns"] {
+                if let Some(h) = snap.histogram("gm", name, Some(pe)) {
+                    lat.merge(h);
+                }
+            }
+            let (p50_ns, p99_ns) = if lat.count() > 0 {
+                (Some(lat.p50()), Some(lat.p99()))
+            } else {
+                (None, None)
+            };
+            TopRow {
+                pe,
+                machine,
+                messages: c("messages"),
+                gm_bytes: c("gm_bytes_read") + c("gm_bytes_written"),
+                cache_hits: c("cache_hits"),
+                cache_misses: c("cache_misses"),
+                p50_ns,
+                p99_ns,
+                last_seq: ns.last_seq,
+                gaps: ns.gaps,
+                age_ns: ns.last_heard_ns.map(|t| now_ns.saturating_sub(t)),
+            }
+        })
+        .collect()
+}
+
+fn fmt_us(v: Option<u64>) -> String {
+    match v {
+        Some(ns) => format!("{:.1}", ns as f64 / 1e3),
+        None => "-".to_string(),
+    }
+}
+
+/// Render the live top table as text (the `dse-top` view behind
+/// `dse-run --watch`): one row per PE with traffic, GM cache hit rate,
+/// request-latency percentiles and telemetry health.
+pub fn render_top(agg: &ClusterAggregator, now_ns: u64) -> String {
+    let mut out = String::from(
+        "NODE  MACHINE  MSGS      GM-BYTES    HIT%   P50(us)   P99(us)   SEQ    GAPS  AGE(ms)\n",
+    );
+    for r in top_rows(agg, now_ns) {
+        let machine = r
+            .machine
+            .map(|m| m.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let hit = r
+            .hit_pct()
+            .map(|p| format!("{p:.1}"))
+            .unwrap_or_else(|| "-".to_string());
+        let age = r
+            .age_ns
+            .map(|a| format!("{:.1}", a as f64 / 1e6))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "{:<5} {:<8} {:<9} {:<11} {:<6} {:<9} {:<9} {:<6} {:<5} {}\n",
+            r.pe,
+            machine,
+            r.messages,
+            r.gm_bytes,
+            hit,
+            fmt_us(r.p50_ns),
+            fmt_us(r.p99_ns),
+            r.last_seq,
+            r.gaps,
+            age
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,5 +405,86 @@ mod tests {
         let text = view.ps_text();
         assert!(text.contains("PID"));
         assert!(text.contains("running"));
+    }
+
+    use dse_obs::{DeltaTracker, MetricKey, Registry};
+
+    /// Feed an aggregator exactly the way the kernels do: per-PE registries
+    /// sampled through per-PE delta trackers.
+    fn aggregated() -> ClusterAggregator {
+        let mut agg = ClusterAggregator::new(2);
+        let reg0 = Registry::new();
+        reg0.add(MetricKey::pe("kernel", "messages", 0).on_machine(0), 12);
+        reg0.add(
+            MetricKey::pe("kernel", "gm_bytes_read", 0).on_machine(0),
+            96,
+        );
+        reg0.add(
+            MetricKey::pe("kernel", "gm_bytes_written", 0).on_machine(0),
+            32,
+        );
+        reg0.add(MetricKey::pe("kernel", "cache_hits", 0).on_machine(0), 3);
+        reg0.add(MetricKey::pe("kernel", "cache_misses", 0).on_machine(0), 1);
+        reg0.record(MetricKey::pe("gm", "remote_read_ns", 0), 10_000);
+        reg0.record(MetricKey::pe("gm", "remote_write_ns", 0), 30_000);
+        let mut t0 = DeltaTracker::new(0, true);
+        let (seq, d) = t0.delta(&reg0.snapshot(), &[], true).unwrap();
+        agg.apply(0, seq, 1_000_000, &d);
+
+        let reg1 = Registry::new();
+        reg1.add(MetricKey::pe("kernel", "messages", 1).on_machine(1), 5);
+        let mut t1 = DeltaTracker::new(1, false);
+        let (seq, d) = t1.delta(&reg1.snapshot(), &[], true).unwrap();
+        agg.apply(1, seq, 4_000_000, &d);
+        agg
+    }
+
+    #[test]
+    fn top_rows_source_from_aggregator_only() {
+        let agg = aggregated();
+        let rows = top_rows(&agg, 5_000_000);
+        assert_eq!(rows.len(), 2);
+        let r0 = &rows[0];
+        assert_eq!(r0.pe, 0);
+        assert_eq!(r0.machine, Some(0));
+        assert_eq!(r0.messages, 12);
+        assert_eq!(r0.gm_bytes, 128);
+        assert_eq!(r0.hit_pct(), Some(75.0));
+        // Merged latency distribution spans both recorded samples.
+        assert!(r0.p50_ns.is_some() && r0.p99_ns.is_some());
+        assert!(r0.p99_ns.unwrap() >= r0.p50_ns.unwrap());
+        assert!(r0.p99_ns.unwrap() >= 30_000);
+        assert_eq!(r0.age_ns, Some(4_000_000));
+        let r1 = &rows[1];
+        assert_eq!(r1.machine, Some(1));
+        assert_eq!(r1.messages, 5);
+        assert_eq!(r1.hit_pct(), None);
+        assert_eq!(r1.p50_ns, None);
+        assert_eq!(r1.age_ns, Some(1_000_000));
+        assert!(rows.iter().all(|r| r.last_seq == 1 && r.gaps == 0));
+    }
+
+    #[test]
+    fn top_rows_before_first_emission_are_blank() {
+        let agg = ClusterAggregator::new(3);
+        let rows = top_rows(&agg, 1_000);
+        assert_eq!(rows.len(), 3);
+        assert!(rows
+            .iter()
+            .all(|r| r.age_ns.is_none() && r.machine.is_none() && r.messages == 0));
+    }
+
+    #[test]
+    fn render_top_formats_table() {
+        let agg = aggregated();
+        let text = render_top(&agg, 5_000_000);
+        assert!(text.starts_with("NODE"));
+        assert!(text.contains("HIT%"));
+        assert!(text.contains("75.0"));
+        assert!(text.contains("128"));
+        // PE1 never saw a GM request: latency renders as "-".
+        let line1 = text.lines().nth(2).unwrap();
+        assert!(line1.contains('-'));
+        assert_eq!(text.lines().count(), 3);
     }
 }

@@ -1,0 +1,57 @@
+//! Telemetry overhead measurement: simulated execution time of a fixed
+//! Gauss-Seidel solve with and without the in-band telemetry plane, at
+//! 2, 4 and 8 PEs.
+//!
+//! The telemetry plane ships metric deltas over the same simulated bus as
+//! application traffic, so its cost shows up directly in the virtual
+//! clock. The budget is < 3 % added execution time at the default
+//! emission interval; the example asserts it and prints the JSON document
+//! committed as `bench_results/telemetry_overhead.json`:
+//!
+//! ```sh
+//! cargo run --release --example telemetry_overhead > bench_results/telemetry_overhead.json
+//! ```
+
+use dse::apps::gauss_seidel::{self, GaussSeidelParams};
+use dse::prelude::*;
+
+fn elapsed_ns(procs: usize, telemetry: bool) -> u64 {
+    let mut config = DseConfig::paper();
+    if telemetry {
+        config = config.with_telemetry(TelemetryConfig::default());
+    }
+    let program = DseProgram::new(Platform::sunos_sparc()).with_config(config);
+    let (run, _) = gauss_seidel::solve_parallel(&program, procs, GaussSeidelParams::paper(120));
+    run.elapsed.as_nanos()
+}
+
+fn main() {
+    let budget_pct = 3.0;
+    let interval_ms = TelemetryConfig::default().interval.as_nanos() / 1_000_000;
+    println!("{{");
+    println!("  \"workload\": \"gauss-seidel N=120, SunOS/SPARC, 6 machines\",");
+    println!("  \"telemetry_interval_ms\": {interval_ms},");
+    println!("  \"budget_pct\": {budget_pct},");
+    println!("  \"results\": [");
+    let mut overheads = Vec::new();
+    let procs_list = [2usize, 4, 8];
+    for (i, procs) in procs_list.iter().enumerate() {
+        let base = elapsed_ns(*procs, false);
+        let tel = elapsed_ns(*procs, true);
+        let pct = (tel as f64 - base as f64) * 100.0 / base as f64;
+        overheads.push((*procs, pct));
+        let comma = if i + 1 < procs_list.len() { "," } else { "" };
+        println!(
+            "    {{\"procs\": {procs}, \"base_ns\": {base}, \"telemetry_ns\": {tel}, \
+             \"overhead_pct\": {pct:.4}}}{comma}"
+        );
+    }
+    println!("  ]");
+    println!("}}");
+    for (procs, pct) in overheads {
+        assert!(
+            pct < budget_pct,
+            "telemetry overhead at {procs} PEs is {pct:.2}%, budget is {budget_pct}%"
+        );
+    }
+}

@@ -33,6 +33,10 @@ struct Args {
     metrics_json: Option<String>,
     metrics_csv: Option<String>,
     trace_json: Option<String>,
+    watch: bool,
+    watch_ms: u64,
+    watchdog_ms: u64,
+    flight_json: Option<String>,
 }
 
 fn usage() -> ! {
@@ -51,7 +55,11 @@ fn usage() -> ! {
   --trace                      print the execution-time breakdown
   --metrics-json PATH          write metrics as JSON Lines
   --metrics-csv PATH           write metrics as CSV
-  --trace-json PATH            write a Chrome trace (load in Perfetto)"
+  --trace-json PATH            write a Chrome trace (load in Perfetto)
+  --watch                      print the live cluster top view each epoch
+  --watch-ms MS                telemetry emission interval    (default 50)
+  --watchdog-ms MS             GM stall watchdog deadline     (default 250)
+  --flight-json PATH           write the flight-recorder ring (JSONL)"
     );
     std::process::exit(2)
 }
@@ -76,6 +84,10 @@ fn parse_from(argv: &[String]) -> Result<Args, String> {
         metrics_json: None,
         metrics_csv: None,
         trace_json: None,
+        watch: false,
+        watch_ms: 50,
+        watchdog_ms: 250,
+        flight_json: None,
     };
     let mut it = argv.iter();
     args.app = it.next().ok_or("missing application name")?.clone();
@@ -107,11 +119,38 @@ fn parse_from(argv: &[String]) -> Result<Args, String> {
             "--metrics-json" => args.metrics_json = Some(val()?),
             "--metrics-csv" => args.metrics_csv = Some(val()?),
             "--trace-json" => args.trace_json = Some(val()?),
+            "--watch" => args.watch = true,
+            "--watch-ms" => args.watch_ms = num(flag, val()?)? as u64,
+            "--watchdog-ms" => args.watchdog_ms = num(flag, val()?)? as u64,
+            "--flight-json" => args.flight_json = Some(val()?),
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(args)
+}
+
+/// Probe every requested output path for writability *before* the run, so
+/// a typo'd directory fails in milliseconds instead of after minutes of
+/// simulation. The probe opens in append mode: an existing file is left
+/// intact until the real (truncating) write at the end of the run.
+fn validate_out_paths(args: &Args) -> Result<(), String> {
+    let outs = [
+        (&args.metrics_json, "metrics (JSONL)"),
+        (&args.metrics_csv, "metrics (CSV)"),
+        (&args.trace_json, "Chrome trace"),
+        (&args.flight_json, "flight recorder"),
+    ];
+    for (path, what) in outs {
+        if let Some(path) = path {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("cannot write {what} to {path}: {e}"))?;
+        }
+    }
+    Ok(())
 }
 
 fn parse() -> Args {
@@ -142,13 +181,31 @@ fn main() {
         "raw" => Protocol::RawEthernet,
         _ => usage(),
     };
+    if let Err(e) = validate_out_paths(&args) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+    // --watch and --flight-json both need the in-band telemetry plane.
+    if args.watch || args.flight_json.is_some() {
+        config.telemetry = Some(
+            TelemetryConfig::default()
+                .with_interval(SimDuration::from_millis(args.watch_ms))
+                .with_watchdog_deadline(SimDuration::from_millis(args.watchdog_ms)),
+        );
+    }
     // A Chrome trace needs the per-process event timeline, so --trace-json
     // implies tracing even without the printed breakdown.
     let tracing = args.trace || args.trace_json.is_some();
-    let program = DseProgram::new(platform.clone())
+    let mut program = DseProgram::new(platform.clone())
         .with_machines(args.machines)
         .with_config(config)
         .with_tracing(tracing);
+    if args.watch {
+        program = program.with_epoch_hook(|agg, now_ns| {
+            println!("-- t={:.1}ms", now_ns as f64 / 1e6);
+            print!("{}", dse::ssi::render_top(agg, now_ns));
+        });
+    }
 
     println!(
         "# {} on {} ({}), {} processors / {} machines",
@@ -244,6 +301,25 @@ fn main() {
     if let Some(path) = &args.trace_json {
         write(path, "Chrome trace", run.chrome_trace_json());
     }
+    if let Some(tel) = &run.telemetry {
+        for s in &tel.stalls {
+            println!(
+                "STALL: {:?} from pe {} seq {} waited {:.1}ms past the {}ms deadline",
+                s.kind,
+                s.pe,
+                s.seq,
+                s.waited_ns() as f64 / 1e6,
+                args.watchdog_ms
+            );
+        }
+        if let Some(path) = &args.flight_json {
+            write(
+                path,
+                "flight recorder",
+                tel.flight_jsonl.clone().unwrap_or_default(),
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +369,51 @@ mod tests {
         assert_eq!(a.metrics_json.as_deref(), Some("m.jsonl"));
         assert_eq!(a.metrics_csv.as_deref(), Some("m.csv"));
         assert_eq!(a.trace_json.as_deref(), Some("t.json"));
+    }
+
+    #[test]
+    fn watch_flags_parse_with_defaults() {
+        let a = parse_from(&argv("gauss")).unwrap();
+        assert!(!a.watch);
+        assert_eq!(a.watch_ms, 50);
+        assert_eq!(a.watchdog_ms, 250);
+        assert_eq!(a.flight_json, None);
+        let a = parse_from(&argv(
+            "gauss --watch --watch-ms 5 --watchdog-ms 40 --flight-json f.jsonl",
+        ))
+        .unwrap();
+        assert!(a.watch);
+        assert_eq!(a.watch_ms, 5);
+        assert_eq!(a.watchdog_ms, 40);
+        assert_eq!(a.flight_json.as_deref(), Some("f.jsonl"));
+    }
+
+    #[test]
+    fn out_path_validation_probes_before_the_run() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("target")
+            .join("dse-run-validate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut a = parse_from(&argv("gauss")).unwrap();
+        assert!(validate_out_paths(&a).is_ok(), "no paths: nothing to probe");
+        a.metrics_json = Some(dir.join("m.jsonl").to_string_lossy().into_owned());
+        assert!(validate_out_paths(&a).is_ok());
+        // The probe must not clobber existing content before the run.
+        let existing = dir.join("keep.csv");
+        std::fs::write(&existing, "old").unwrap();
+        a.metrics_csv = Some(existing.to_string_lossy().into_owned());
+        assert!(validate_out_paths(&a).is_ok());
+        assert_eq!(std::fs::read_to_string(&existing).unwrap(), "old");
+        // A missing parent directory is rejected with a clear message.
+        a.flight_json = Some(
+            dir.join("no-such-dir")
+                .join("f.jsonl")
+                .to_string_lossy()
+                .into_owned(),
+        );
+        let err = validate_out_paths(&a).unwrap_err();
+        assert!(err.contains("cannot write flight recorder"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -52,8 +52,9 @@ pub use dse_ssi as ssi;
 pub mod prelude {
     pub use dse_api::{
         collective, Distribution, DseConfig, DseCtx, DseProgram, GmArray, GmCounter, NetworkChoice,
-        Organization, ParallelApi, Platform, RunResult, Work,
+        Organization, ParallelApi, Platform, RunResult, SimDuration, StallReport, TelemetryConfig,
+        TelemetrySummary, Work,
     };
-    pub use dse_live::run_live;
-    pub use dse_ssi::{ClusterView, PlacementPolicy, Placer};
+    pub use dse_live::{run_live, run_live_watched};
+    pub use dse_ssi::{render_top, top_rows, ClusterView, PlacementPolicy, Placer};
 }
