@@ -19,7 +19,12 @@ pub fn broadcast<T: GmElem>(ctx: &mut impl ParallelApi, data: &[T]) -> Vec<T> {
         scratch.write(ctx, 0, data);
     }
     ctx.barrier();
-    let out = scratch.read(ctx, 0, data.len());
+    // Split-phase get: issue, then redeem. On the simulated engine this
+    // rides the request pipeline, so a caller interleaving other
+    // non-blocking operations gets them coalesced onto the same wire trip.
+    let h = ctx.gm_read_nb(scratch.region(), 0, data.len() * T::SIZE);
+    let bytes = ctx.gm_wait(h).expect("broadcast read carries data");
+    let out = bytes.chunks_exact(T::SIZE).map(|c| T::read_le(c)).collect();
     ctx.barrier();
     out
 }
@@ -29,9 +34,16 @@ pub fn broadcast<T: GmElem>(ctx: &mut impl ParallelApi, data: &[T]) -> Vec<T> {
 pub fn all_gather<T: GmElem>(ctx: &mut impl ParallelApi, value: T) -> Vec<T> {
     let n = ctx.nprocs();
     let slots = GmArray::<T>::alloc(ctx, n, Distribution::OnNode(NodeId(0)));
-    slots.set(ctx, ctx.rank() as usize, value);
+    // The contribution is a split-phase put; the barrier below fences it,
+    // so visibility for the gathering reads is unchanged.
+    let mut buf = vec![0u8; T::SIZE];
+    value.write_le(&mut buf);
+    let h = ctx.gm_write_nb(slots.region(), (ctx.rank() as usize * T::SIZE) as u64, &buf);
+    ctx.gm_wait(h);
     ctx.barrier();
-    let out = slots.read(ctx, 0, n);
+    let h = ctx.gm_read_nb(slots.region(), 0, n * T::SIZE);
+    let bytes = ctx.gm_wait(h).expect("all_gather read carries data");
+    let out = bytes.chunks_exact(T::SIZE).map(|c| T::read_le(c)).collect();
     ctx.barrier();
     out
 }

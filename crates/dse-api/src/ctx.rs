@@ -13,7 +13,7 @@ use dse_kernel::cache::{blocks_inside, CACHE_BLOCK};
 use dse_kernel::kernel::{barrier_enter, lock_acquire, lock_release};
 use dse_kernel::netpath::{charge_local, charge_recv, send_msg};
 use dse_kernel::{ClusterShared, Distribution, Party, SimMsg};
-use dse_msg::{GlobalPid, Message, NodeId, RegionId, ReqId, ReqIdGen};
+use dse_msg::{GlobalPid, GmOp, Message, NodeId, RegionId, ReqId, ReqIdGen};
 use dse_obs::{MetricKey, SpanKind};
 use dse_platform::Work;
 use dse_sim::{ProcCtx, SimDuration, SimTime};
@@ -21,6 +21,96 @@ use dse_sim::{ProcCtx, SimDuration, SimTime};
 /// Barrier ids above this are reserved for the auto-sequenced
 /// [`DseCtx::barrier`]; named barriers must stay below.
 pub const AUTO_BARRIER_BASE: u32 = 0x4000_0000;
+
+/// Handle to a split-phase global-memory operation.
+///
+/// Returned by `gm_read_nb`/`gm_write_nb`; redeem it with `gm_wait` (which
+/// consumes the handle, so a double wait is impossible at compile time).
+/// Reads yield `Some(bytes)`, writes yield `None`.
+#[derive(Debug)]
+pub struct GmHandle(pub(crate) HandleInner);
+
+#[derive(Debug)]
+pub(crate) enum HandleInner {
+    /// Queued in a `DseCtx`'s staging machinery under this id.
+    Queued(u64),
+    /// Completed at issue time (local fast path, cache hit, or an engine
+    /// without split-phase pipelining).
+    Ready(Option<Vec<u8>>),
+}
+
+impl GmHandle {
+    /// A handle that is already complete (engines without real pipelining
+    /// return these from the non-blocking entry points).
+    pub fn ready(data: Option<Vec<u8>>) -> GmHandle {
+        GmHandle(HandleInner::Ready(data))
+    }
+}
+
+/// Where a completed read segment's bytes land: `len` bytes at absolute
+/// region offset `abs_off` copy into `handle`'s buffer at `buf_off`.
+#[derive(Clone, Copy)]
+struct ReadDest {
+    handle: u64,
+    buf_off: usize,
+    abs_off: u64,
+    len: usize,
+}
+
+/// Bookkeeping for one read request on the wire (plain or inside a batch).
+struct ReadCtl {
+    region: RegionId,
+    offset: u64,
+    len: usize,
+    /// Cache blocks (absolute ids) to install from the response.
+    install: Vec<u64>,
+    dests: Vec<ReadDest>,
+}
+
+/// Bookkeeping for one write request on the wire: the handles it completes.
+struct WriteCtl {
+    writers: Vec<u64>,
+}
+
+/// One staged (not yet sent) split-phase segment.
+struct StagedSeg {
+    home: NodeId,
+    region: RegionId,
+    offset: u64,
+    kind: SegKind,
+}
+
+enum SegKind {
+    Read {
+        len: usize,
+        install: Vec<u64>,
+        dests: Vec<ReadDest>,
+    },
+    Write {
+        data: Vec<u8>,
+        writers: Vec<u64>,
+    },
+}
+
+/// An issued request awaiting its response, keyed by correlation id.
+enum InflightReq {
+    Read(ReadCtl),
+    Write(WriteCtl),
+    Batch(Vec<InflightOp>),
+}
+
+enum InflightOp {
+    Read(ReadCtl),
+    Write(WriteCtl),
+}
+
+/// A split-phase handle's outstanding work.
+struct HandleState {
+    /// Segments (staged or in flight) still owed to this handle.
+    remaining: usize,
+    /// Read destination buffer (`None` for writes).
+    buf: Option<Vec<u8>>,
+}
 
 /// A received user message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +135,15 @@ pub struct DseCtx<'a> {
     alloc_seq: usize,
     /// Messages that arrived while awaiting something else (user data).
     stash: VecDeque<(NodeId, Message)>,
+    /// Split-phase machinery: handle ids, outstanding handles, redeemed
+    /// results, staged (coalescable) segments, and requests on the wire.
+    next_handle: u64,
+    handles: HashMap<u64, HandleState>,
+    completed: HashMap<u64, Option<Vec<u8>>>,
+    staged: Vec<StagedSeg>,
+    inflight: HashMap<u64, InflightReq>,
+    /// Reusable scratch for element-wise `GmArray` accessors.
+    scratch: Vec<u8>,
 }
 
 impl<'a> DseCtx<'a> {
@@ -66,6 +165,12 @@ impl<'a> DseCtx<'a> {
             barrier_seq: 0,
             alloc_seq: 0,
             stash: VecDeque::new(),
+            next_handle: 0,
+            handles: HashMap::new(),
+            completed: HashMap::new(),
+            staged: Vec::new(),
+            inflight: HashMap::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -134,6 +239,7 @@ impl<'a> DseCtx<'a> {
     /// Collectively allocate a zero-initialized global-memory region. Every
     /// rank must call with identical arguments and in the same order.
     pub fn gm_alloc(&mut self, len: usize, dist: Distribution) -> RegionId {
+        self.gm_fence();
         let seq = self.alloc_seq;
         self.alloc_seq += 1;
         charge_local(self.ctx, &self.shared, self.node, 0);
@@ -145,60 +251,101 @@ impl<'a> DseCtx<'a> {
     /// Read `len` bytes at `offset` from a region. Own-node ranges take the
     /// linked-library fast path; remote ranges become pipelined
     /// request/response exchanges with the home kernels.
+    ///
+    /// Implemented as issue-plus-wait over the split-phase machinery (see
+    /// [`DseCtx::gm_read_nb`]), so the blocking and non-blocking paths share
+    /// one code path and produce identical bytes.
     pub fn gm_read(&mut self, region: RegionId, offset: u64, len: usize) -> Vec<u8> {
+        let h = self.issue_read(region, offset, len, true);
+        self.gm_wait(h).expect("gm_read handle carries data")
+    }
+
+    /// Read `out.len()` bytes at `offset` straight into a caller-provided
+    /// buffer. An entirely own-node range copies without any intermediate
+    /// allocation; anything else falls back to [`DseCtx::gm_read`].
+    pub fn gm_read_into(&mut self, region: RegionId, offset: u64, out: &mut [u8]) {
+        let runs = self
+            .shared
+            .store
+            .split_by_home(region, offset, out.len())
+            .unwrap_or_else(|e| panic!("rank {}: gm_read failed: {e}", self.rank));
+        if runs.len() == 1 && runs[0].0 == self.node {
+            charge_local(self.ctx, &self.shared, self.node, out.len());
+            self.shared.store.read_into(region, offset, out).unwrap();
+            self.shared.stats.update(self.node, |s| {
+                s.gm_local_reads += 1;
+                s.gm_bytes_read += out.len() as u64;
+            });
+            return;
+        }
+        let data = self.gm_read(region, offset, out.len());
+        out.copy_from_slice(&data);
+    }
+
+    /// Begin a split-phase read: returns immediately with a [`GmHandle`];
+    /// redeem it with [`DseCtx::gm_wait`]. Remote segments are *staged*, and
+    /// adjacent or overlapping stages to the same home coalesce into one
+    /// request; staged work reaches the wire when the pipelining window
+    /// fills, a handle is waited on, or a synchronization point fences.
+    pub fn gm_read_nb(&mut self, region: RegionId, offset: u64, len: usize) -> GmHandle {
+        self.issue_read(region, offset, len, false)
+    }
+
+    /// Take the context's reusable scratch buffer (element accessors use
+    /// this to avoid a per-call allocation). Return it with
+    /// [`DseCtx::put_scratch`].
+    pub fn take_scratch(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.scratch)
+    }
+
+    /// Return the scratch buffer taken with [`DseCtx::take_scratch`].
+    pub fn put_scratch(&mut self, buf: Vec<u8>) {
+        self.scratch = buf;
+    }
+
+    /// Issue a read. `eager` sends every staged segment as soon as it is
+    /// staged — the blocking compatibility mode, which keeps the wire
+    /// schedule identical to the historical blocking implementation.
+    ///
+    /// The handle is registered (buffer included) *before* any segment is
+    /// staged, because window backpressure may drain completions for this
+    /// very handle mid-issue; an issuance token in `remaining` keeps it
+    /// from completing until every segment is staged.
+    fn issue_read(&mut self, region: RegionId, offset: u64, len: usize, eager: bool) -> GmHandle {
         let runs = self
             .shared
             .store
             .split_by_home(region, offset, len)
             .unwrap_or_else(|e| panic!("rank {}: gm_read failed: {e}", self.rank));
         let cache_on = self.shared.config.gm_cache;
-        let mut result = vec![0u8; len];
-        // req id -> (result offset, length, fetch offset, blocks to install)
-        let mut pending: HashMap<u64, (usize, usize, u64, Vec<u64>)> = HashMap::new();
-        let issue = |me: &mut Self,
-                     result: &mut Vec<u8>,
-                     pending: &mut HashMap<u64, (usize, usize, u64, Vec<u64>)>,
-                     home: NodeId,
-                     off: u64,
-                     rlen: usize,
-                     install: Vec<u64>| {
+        let handle = self.new_handle();
+        self.handles.insert(
+            handle,
+            HandleState {
+                remaining: 1, // issuance token, released below
+                buf: Some(vec![0u8; len]),
+            },
+        );
+        for (home, off, rlen) in runs {
             let buf_off = (off - offset) as usize;
-            if home == me.node {
-                charge_local(me.ctx, &me.shared, me.node, rlen);
-                let data = me.shared.store.read(region, off, rlen).unwrap();
-                result[buf_off..buf_off + rlen].copy_from_slice(&data);
-                me.shared.stats.update(me.node, |s| {
+            if home == self.node {
+                charge_local(self.ctx, &self.shared, self.node, rlen);
+                {
+                    let buf = self.handles.get_mut(&handle).unwrap().buf.as_mut().unwrap();
+                    self.shared
+                        .store
+                        .read_into(region, off, &mut buf[buf_off..buf_off + rlen])
+                        .unwrap();
+                }
+                self.shared.stats.update(self.node, |s| {
                     s.gm_local_reads += 1;
                     s.gm_bytes_read += rlen as u64;
                 });
-            } else {
-                let req = me.reqs.next();
-                pending.insert(req.0, (buf_off, rlen, off, install));
-                let msg = Message::GmReadReq {
-                    req,
-                    region,
-                    offset: off,
-                    len: rlen as u32,
-                };
-                let kproc = me.shared.kernel_of(home);
-                let reply = me.ctx.id();
-                let pe = me.node.0 as u32;
-                me.shared.spans.open(
-                    SpanKind::GmRead,
-                    pe,
-                    req.0,
-                    me.ctx.now().as_nanos(),
-                    rlen as u64,
-                );
-                let wire = send_msg(me.ctx, &me.shared, me.node, home, kproc, reply, &msg);
-                me.shared
-                    .spans
-                    .note_wire(SpanKind::GmRead, pe, req.0, wire.as_nanos());
+                continue;
             }
-        };
-        for (home, off, rlen) in runs {
-            if home == self.node || !cache_on {
-                issue(self, &mut result, &mut pending, home, off, rlen, Vec::new());
+            if !cache_on {
+                self.handles.get_mut(&handle).unwrap().remaining += 1;
+                self.stage_read(home, region, off, rlen, Vec::new(), handle, buf_off, eager);
                 continue;
             }
             // Cached remote read: serve full blocks from the local cache
@@ -241,7 +388,8 @@ impl<'a> DseCtx<'a> {
                         charge_local(self.ctx, &self.shared, self.node, CACHE_BLOCK);
                         self.shared.stats.update(self.node, |s| s.cache_hits += 1);
                         let bo = (b * bsz - offset) as usize;
-                        result[bo..bo + CACHE_BLOCK].copy_from_slice(&data);
+                        let buf = self.handles.get_mut(&handle).unwrap().buf.as_mut().unwrap();
+                        buf[bo..bo + CACHE_BLOCK].copy_from_slice(&data);
                         if let Some(f) = cur.take() {
                             fetches.push(f);
                         }
@@ -258,48 +406,94 @@ impl<'a> DseCtx<'a> {
                 fetches.push(f);
             }
             for f in fetches {
-                issue(
-                    self,
-                    &mut result,
-                    &mut pending,
-                    home,
-                    f.off,
-                    f.len,
-                    f.install,
-                );
+                self.handles.get_mut(&handle).unwrap().remaining += 1;
+                let bo = (f.off - offset) as usize;
+                self.stage_read(home, region, f.off, f.len, f.install, handle, bo, eager);
             }
         }
-        while !pending.is_empty() {
-            let (from, msg) = self.recv_runtime();
-            match msg {
-                Message::GmReadResp { req, data } => {
-                    let pe = self.node.0 as u32;
-                    if let Some(rec) = self.shared.spans.close(
-                        SpanKind::GmRead,
-                        pe,
-                        req.0,
-                        self.ctx.now().as_nanos(),
-                    ) {
-                        self.shared
-                            .metrics
-                            .record(MetricKey::pe("gm", "remote_read_ns", pe), rec.total_ns());
-                        self.shared.flight.span(&rec);
-                    }
-                    let (bo, rl, foff, install) = pending
-                        .remove(&req.0)
-                        .expect("unmatched GmReadResp correlation id");
-                    assert_eq!(data.len(), rl, "short remote read");
-                    result[bo..bo + rl].copy_from_slice(&data);
-                    for b in install {
-                        let lo = (b * CACHE_BLOCK as u64 - foff) as usize;
-                        let chunk = data[lo..lo + CACHE_BLOCK].to_vec();
-                        self.shared.cache.install(self.node, region, b, chunk);
+        self.release_issuance_token(handle)
+    }
+
+    /// Release the token [`DseCtx::issue_read`]/[`DseCtx::issue_write`]
+    /// hold while staging: if every segment already completed (or none was
+    /// needed), the handle is born ready.
+    fn release_issuance_token(&mut self, handle: u64) -> GmHandle {
+        let st = self.handles.get_mut(&handle).unwrap();
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            let st = self.handles.remove(&handle).unwrap();
+            GmHandle(HandleInner::Ready(st.buf))
+        } else {
+            GmHandle(HandleInner::Queued(handle))
+        }
+    }
+
+    /// Stage one remote read segment, coalescing with the most recently
+    /// staged segment when both target the same home and region and their
+    /// ranges touch or overlap (so a merged segment is always contiguous and
+    /// program order among staged operations is preserved).
+    #[allow(clippy::too_many_arguments)]
+    fn stage_read(
+        &mut self,
+        home: NodeId,
+        region: RegionId,
+        off: u64,
+        len: usize,
+        install: Vec<u64>,
+        handle: u64,
+        buf_off: usize,
+        eager: bool,
+    ) {
+        let end = off + len as u64;
+        let dest = ReadDest {
+            handle,
+            buf_off,
+            abs_off: off,
+            len,
+        };
+        let mut merged = false;
+        if let Some(seg) = self.staged.last_mut() {
+            if seg.home == home && seg.region == region {
+                if let SegKind::Read {
+                    len: slen,
+                    install: sinstall,
+                    dests,
+                } = &mut seg.kind
+                {
+                    let seg_end = seg.offset + *slen as u64;
+                    if off <= seg_end && end >= seg.offset {
+                        let new_start = seg.offset.min(off);
+                        let new_end = seg_end.max(end);
+                        seg.offset = new_start;
+                        *slen = (new_end - new_start) as usize;
+                        for &b in &install {
+                            if !sinstall.contains(&b) {
+                                sinstall.push(b);
+                            }
+                        }
+                        dests.push(dest);
+                        merged = true;
                     }
                 }
-                other => self.stash.push_back((from, other)),
             }
         }
-        result
+        if merged {
+            self.shared.stats.update(self.node, |s| s.gm_coalesced += 1);
+        } else {
+            self.staged.push(StagedSeg {
+                home,
+                region,
+                offset: off,
+                kind: SegKind::Read {
+                    len,
+                    install,
+                    dests: vec![dest],
+                },
+            });
+        }
+        if eager {
+            self.flush_staged();
+        }
     }
 
     /// Invalidate every other node's cached copies of a range and wait for
@@ -338,7 +532,23 @@ impl<'a> DseCtx<'a> {
     }
 
     /// Write bytes at `offset` into a region (pipelined per home node).
+    ///
+    /// Like [`DseCtx::gm_read`], this is issue-plus-wait over the
+    /// split-phase machinery shared with [`DseCtx::gm_write_nb`].
     pub fn gm_write(&mut self, region: RegionId, offset: u64, data: &[u8]) {
+        let h = self.issue_write(region, offset, data, true);
+        self.gm_wait(h);
+    }
+
+    /// Begin a split-phase write: returns immediately with a [`GmHandle`].
+    /// Staged writes to touching or overlapping ranges of the same home
+    /// coalesce into one request (later bytes win on overlap), and staged
+    /// operations bound for the same home travel as one batched message.
+    pub fn gm_write_nb(&mut self, region: RegionId, offset: u64, data: &[u8]) -> GmHandle {
+        self.issue_write(region, offset, data, false)
+    }
+
+    fn issue_write(&mut self, region: RegionId, offset: u64, data: &[u8], eager: bool) -> GmHandle {
         let runs = self
             .shared
             .store
@@ -351,7 +561,14 @@ impl<'a> DseCtx<'a> {
                 .cache
                 .drop_range(self.node, region, offset, data.len());
         }
-        let mut pending = 0usize;
+        let handle = self.new_handle();
+        self.handles.insert(
+            handle,
+            HandleState {
+                remaining: 1, // issuance token, released below
+                buf: None,
+            },
+        );
         for (home, off, rlen) in runs {
             let buf_off = (off - offset) as usize;
             let chunk = &data[buf_off..buf_off + rlen];
@@ -366,49 +583,395 @@ impl<'a> DseCtx<'a> {
                     s.gm_bytes_written += rlen as u64;
                 });
             } else {
-                let req = self.reqs.next();
-                pending += 1;
-                let msg = Message::GmWriteReq {
-                    req,
-                    region,
-                    offset: off,
-                    data: chunk.to_vec(),
-                };
-                let kproc = self.shared.kernel_of(home);
-                let me = self.ctx.id();
-                let pe = self.node.0 as u32;
-                self.shared.spans.open(
-                    SpanKind::GmWrite,
-                    pe,
-                    req.0,
-                    self.ctx.now().as_nanos(),
-                    rlen as u64,
-                );
-                let wire = send_msg(self.ctx, &self.shared, self.node, home, kproc, me, &msg);
-                self.shared
-                    .spans
-                    .note_wire(SpanKind::GmWrite, pe, req.0, wire.as_nanos());
+                self.handles.get_mut(&handle).unwrap().remaining += 1;
+                self.stage_write(home, region, off, chunk.to_vec(), handle, eager);
             }
         }
-        while pending > 0 {
+        self.release_issuance_token(handle)
+    }
+
+    /// Stage one remote write segment; coalesces with the most recently
+    /// staged segment under the same conditions as [`DseCtx::stage_read`].
+    /// On overlap the later write's bytes win, preserving program order.
+    fn stage_write(
+        &mut self,
+        home: NodeId,
+        region: RegionId,
+        off: u64,
+        data: Vec<u8>,
+        handle: u64,
+        eager: bool,
+    ) {
+        let end = off + data.len() as u64;
+        let mut merged = false;
+        if let Some(seg) = self.staged.last_mut() {
+            if seg.home == home && seg.region == region {
+                if let SegKind::Write {
+                    data: sdata,
+                    writers,
+                } = &mut seg.kind
+                {
+                    let seg_end = seg.offset + sdata.len() as u64;
+                    if off <= seg_end && end >= seg.offset {
+                        let new_start = seg.offset.min(off);
+                        let new_end = seg_end.max(end);
+                        let mut union = vec![0u8; (new_end - new_start) as usize];
+                        let old_at = (seg.offset - new_start) as usize;
+                        union[old_at..old_at + sdata.len()].copy_from_slice(sdata);
+                        let new_at = (off - new_start) as usize;
+                        union[new_at..new_at + data.len()].copy_from_slice(&data);
+                        *sdata = union;
+                        seg.offset = new_start;
+                        writers.push(handle);
+                        merged = true;
+                    }
+                }
+            }
+        }
+        if merged {
+            self.shared.stats.update(self.node, |s| s.gm_coalesced += 1);
+        } else {
+            self.staged.push(StagedSeg {
+                home,
+                region,
+                offset: off,
+                kind: SegKind::Write {
+                    data,
+                    writers: vec![handle],
+                },
+            });
+        }
+        if eager {
+            self.flush_staged();
+        }
+    }
+
+    /// Redeem a split-phase handle: flushes any staged work, then drains
+    /// responses until this handle's operation completes. Reads return
+    /// `Some(bytes)`, writes `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle whose result was already discarded by
+    /// [`DseCtx::gm_wait_all`].
+    pub fn gm_wait(&mut self, handle: GmHandle) -> Option<Vec<u8>> {
+        let id = match handle.0 {
+            HandleInner::Ready(data) => return data,
+            HandleInner::Queued(id) => id,
+        };
+        if let Some(data) = self.completed.remove(&id) {
+            return data;
+        }
+        assert!(
+            self.handles.contains_key(&id),
+            "rank {}: gm_wait on a stale handle (result discarded by gm_wait_all)",
+            self.rank
+        );
+        self.flush_staged();
+        while !self.completed.contains_key(&id) {
+            self.drain_one();
+        }
+        self.completed.remove(&id).unwrap()
+    }
+
+    /// Complete every outstanding split-phase operation and *discard* any
+    /// results not yet claimed with [`DseCtx::gm_wait`] (a later `gm_wait`
+    /// on such a handle panics). Use it as a fence after a burst of
+    /// `gm_write_nb` calls whose handles are not individually interesting.
+    pub fn gm_wait_all(&mut self) {
+        self.gm_fence();
+        self.completed.clear();
+    }
+
+    /// Complete all staged and in-flight split-phase work, keeping redeemed
+    /// results claimable. Every blocking synchronization or communication
+    /// primitive fences first, so split-phase operations are always ordered
+    /// before barriers, locks, atomics and sends; with nothing outstanding
+    /// this is free.
+    fn gm_fence(&mut self) {
+        self.flush_staged();
+        while !self.inflight.is_empty() {
+            self.drain_one();
+        }
+    }
+
+    fn new_handle(&mut self) -> u64 {
+        self.next_handle += 1;
+        self.next_handle
+    }
+
+    /// Send every staged segment: one plain request per singleton home
+    /// group, one batched request per multi-segment home group (preserving
+    /// staging order within the batch).
+    fn flush_staged(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let staged = std::mem::take(&mut self.staged);
+        // Group by home node, preserving first-appearance order.
+        let mut groups: Vec<(NodeId, Vec<StagedSeg>)> = Vec::new();
+        for seg in staged {
+            match groups.iter_mut().find(|(h, _)| *h == seg.home) {
+                Some((_, v)) => v.push(seg),
+                None => groups.push((seg.home, vec![seg])),
+            }
+        }
+        for (home, mut segs) in groups {
+            if segs.len() == 1 {
+                self.send_plain(home, segs.pop().unwrap());
+            } else {
+                self.send_batch(home, segs);
+            }
+        }
+    }
+
+    fn send_plain(&mut self, home: NodeId, seg: StagedSeg) {
+        self.window_backpressure();
+        let req = self.reqs.next();
+        let (msg, kind, bytes, ctl) = match seg.kind {
+            SegKind::Read {
+                len,
+                install,
+                dests,
+            } => (
+                Message::GmReadReq {
+                    req,
+                    region: seg.region,
+                    offset: seg.offset,
+                    len: len as u32,
+                },
+                SpanKind::GmRead,
+                len as u64,
+                InflightReq::Read(ReadCtl {
+                    region: seg.region,
+                    offset: seg.offset,
+                    len,
+                    install,
+                    dests,
+                }),
+            ),
+            SegKind::Write { data, writers } => {
+                let blen = data.len() as u64;
+                (
+                    Message::GmWriteReq {
+                        req,
+                        region: seg.region,
+                        offset: seg.offset,
+                        data,
+                    },
+                    SpanKind::GmWrite,
+                    blen,
+                    InflightReq::Write(WriteCtl { writers }),
+                )
+            }
+        };
+        self.dispatch(home, req, msg, kind, bytes, ctl);
+    }
+
+    fn send_batch(&mut self, home: NodeId, segs: Vec<StagedSeg>) {
+        self.window_backpressure();
+        let req = self.reqs.next();
+        let mut ops = Vec::with_capacity(segs.len());
+        let mut ctls = Vec::with_capacity(segs.len());
+        let mut bytes = 0u64;
+        for seg in segs {
+            match seg.kind {
+                SegKind::Read {
+                    len,
+                    install,
+                    dests,
+                } => {
+                    bytes += len as u64;
+                    ops.push(GmOp::Read {
+                        region: seg.region,
+                        offset: seg.offset,
+                        len: len as u32,
+                    });
+                    ctls.push(InflightOp::Read(ReadCtl {
+                        region: seg.region,
+                        offset: seg.offset,
+                        len,
+                        install,
+                        dests,
+                    }));
+                }
+                SegKind::Write { data, writers } => {
+                    bytes += data.len() as u64;
+                    ctls.push(InflightOp::Write(WriteCtl { writers }));
+                    ops.push(GmOp::Write {
+                        region: seg.region,
+                        offset: seg.offset,
+                        data,
+                    });
+                }
+            }
+        }
+        let msg = Message::GmBatchReq { req, ops };
+        self.dispatch(
+            home,
+            req,
+            msg,
+            SpanKind::GmBatch,
+            bytes,
+            InflightReq::Batch(ctls),
+        );
+    }
+
+    /// Open the span, send the request, and account for it in the in-flight
+    /// window (`kernel/gm_request_msgs` counter, `kernel/gm_inflight`
+    /// high-water gauge).
+    fn dispatch(
+        &mut self,
+        home: NodeId,
+        req: ReqId,
+        msg: Message,
+        kind: SpanKind,
+        bytes: u64,
+        ctl: InflightReq,
+    ) {
+        let pe = self.node.0 as u32;
+        let kproc = self.shared.kernel_of(home);
+        let reply = self.ctx.id();
+        self.shared
+            .spans
+            .open(kind, pe, req.0, self.ctx.now().as_nanos(), bytes);
+        let wire = send_msg(self.ctx, &self.shared, self.node, home, kproc, reply, &msg);
+        self.shared
+            .spans
+            .note_wire(kind, pe, req.0, wire.as_nanos());
+        self.shared
+            .stats
+            .update(self.node, |s| s.gm_request_msgs += 1);
+        self.inflight.insert(req.0, ctl);
+        let machine = self.shared.machine_of(self.node) as u32;
+        self.shared.metrics.gauge_max(
+            MetricKey::pe("kernel", "gm_inflight", pe).on_machine(machine),
+            self.inflight.len() as u64,
+        );
+    }
+
+    /// Block until another request would fit in the pipelining window.
+    fn window_backpressure(&mut self) {
+        while self.inflight.len() >= self.shared.config.gm_window {
+            self.drain_one();
+        }
+    }
+
+    /// Consume exactly one GM completion — from the stash if an earlier
+    /// drain parked one there, otherwise from the wire (stashing unrelated
+    /// messages for their own waiters).
+    fn drain_one(&mut self) {
+        if let Some(idx) = self.stash.iter().position(|(_, m)| {
+            matches!(
+                m,
+                Message::GmReadResp { .. }
+                    | Message::GmWriteAck { .. }
+                    | Message::GmBatchResp { .. }
+            )
+        }) {
+            let (_, msg) = self.stash.remove(idx).unwrap();
+            self.process_completion(msg);
+            return;
+        }
+        loop {
             let (from, msg) = self.recv_runtime();
             match msg {
-                Message::GmWriteAck { req } => {
-                    let pe = self.node.0 as u32;
-                    if let Some(rec) = self.shared.spans.close(
-                        SpanKind::GmWrite,
-                        pe,
-                        req.0,
-                        self.ctx.now().as_nanos(),
-                    ) {
-                        self.shared
-                            .metrics
-                            .record(MetricKey::pe("gm", "remote_write_ns", pe), rec.total_ns());
-                        self.shared.flight.span(&rec);
-                    }
-                    pending -= 1;
+                Message::GmReadResp { .. }
+                | Message::GmWriteAck { .. }
+                | Message::GmBatchResp { .. } => {
+                    self.process_completion(msg);
+                    return;
                 }
                 other => self.stash.push_back((from, other)),
+            }
+        }
+    }
+
+    fn process_completion(&mut self, msg: Message) {
+        let pe = self.node.0 as u32;
+        let now = self.ctx.now().as_nanos();
+        match msg {
+            Message::GmReadResp { req, data } => {
+                self.close_gm_span(SpanKind::GmRead, pe, req.0, now, "remote_read_ns");
+                let ctl = match self.inflight.remove(&req.0) {
+                    Some(InflightReq::Read(c)) => c,
+                    _ => panic!("unmatched GmReadResp correlation id"),
+                };
+                self.complete_read(ctl, &data);
+            }
+            Message::GmWriteAck { req } => {
+                self.close_gm_span(SpanKind::GmWrite, pe, req.0, now, "remote_write_ns");
+                let ctl = match self.inflight.remove(&req.0) {
+                    Some(InflightReq::Write(c)) => c,
+                    _ => panic!("unmatched GmWriteAck correlation id"),
+                };
+                self.complete_write(ctl);
+            }
+            Message::GmBatchResp { req, reads } => {
+                self.close_gm_span(SpanKind::GmBatch, pe, req.0, now, "batch_ns");
+                let ops = match self.inflight.remove(&req.0) {
+                    Some(InflightReq::Batch(o)) => o,
+                    _ => panic!("unmatched GmBatchResp correlation id"),
+                };
+                let mut it = reads.into_iter();
+                for op in ops {
+                    match op {
+                        InflightOp::Read(c) => {
+                            let data = it.next().expect("missing batched read result");
+                            self.complete_read(c, &data);
+                        }
+                        InflightOp::Write(c) => self.complete_write(c),
+                    }
+                }
+            }
+            _ => unreachable!("process_completion on a non-GM message"),
+        }
+    }
+
+    fn close_gm_span(&mut self, kind: SpanKind, pe: u32, seq: u64, now: u64, metric: &'static str) {
+        if let Some(rec) = self.shared.spans.close(kind, pe, seq, now) {
+            self.shared
+                .metrics
+                .record(MetricKey::pe("gm", metric, pe), rec.total_ns());
+            self.shared.flight.span(&rec);
+        }
+    }
+
+    /// Distribute one completed read request's bytes to every destination
+    /// handle, installing any cache blocks the request fetched.
+    fn complete_read(&mut self, ctl: ReadCtl, data: &[u8]) {
+        assert_eq!(data.len(), ctl.len, "short remote read");
+        for &b in &ctl.install {
+            let lo = (b * CACHE_BLOCK as u64 - ctl.offset) as usize;
+            let chunk = data[lo..lo + CACHE_BLOCK].to_vec();
+            self.shared.cache.install(self.node, ctl.region, b, chunk);
+        }
+        for d in ctl.dests {
+            let h = self
+                .handles
+                .get_mut(&d.handle)
+                .expect("read completion for an unknown handle");
+            let buf = h.buf.as_mut().expect("read handle without a buffer");
+            let src = (d.abs_off - ctl.offset) as usize;
+            buf[d.buf_off..d.buf_off + d.len].copy_from_slice(&data[src..src + d.len]);
+            h.remaining -= 1;
+            if h.remaining == 0 {
+                let st = self.handles.remove(&d.handle).unwrap();
+                self.completed.insert(d.handle, st.buf);
+            }
+        }
+    }
+
+    fn complete_write(&mut self, ctl: WriteCtl) {
+        for w in ctl.writers {
+            let h = self
+                .handles
+                .get_mut(&w)
+                .expect("write completion for an unknown handle");
+            h.remaining -= 1;
+            if h.remaining == 0 {
+                self.handles.remove(&w);
+                self.completed.insert(w, None);
             }
         }
     }
@@ -416,6 +979,7 @@ impl<'a> DseCtx<'a> {
     /// Atomic fetch-and-add on an aligned 8-byte cell; returns the previous
     /// value. The cell's home kernel serializes concurrent updates.
     pub fn gm_fetch_add(&mut self, region: RegionId, offset: u64, delta: i64) -> i64 {
+        self.gm_fence();
         let home = self
             .shared
             .store
@@ -490,6 +1054,7 @@ impl<'a> DseCtx<'a> {
     }
 
     fn barrier_at(&mut self, id: u32) {
+        self.gm_fence();
         let party = Party {
             pid: self.pid,
             node: self.node,
@@ -551,6 +1116,7 @@ impl<'a> DseCtx<'a> {
 
     /// Acquire a cluster-wide lock (FIFO).
     pub fn lock(&mut self, id: u32) {
+        self.gm_fence();
         let req = self.reqs.next();
         let party = Party {
             pid: self.pid,
@@ -602,6 +1168,7 @@ impl<'a> DseCtx<'a> {
 
     /// Release a cluster-wide lock this process holds.
     pub fn unlock(&mut self, id: u32) {
+        self.gm_fence();
         if self.node == NodeId(0) {
             charge_local(self.ctx, &self.shared, self.node, 16);
             lock_release(self.ctx, &self.shared, NodeId(0), id, self.pid);
@@ -621,6 +1188,7 @@ impl<'a> DseCtx<'a> {
     /// kernel processes the request (checked at the target's convenience,
     /// like a UNIX signal). Blocks until the kernel acknowledges.
     pub fn terminate(&mut self, pid: GlobalPid) {
+        self.gm_fence();
         let req = self.reqs.next();
         let msg = Message::TerminateReq { req, pid };
         let target = pid.node();
@@ -640,6 +1208,7 @@ impl<'a> DseCtx<'a> {
 
     /// Send tagged bytes to another rank's process.
     pub fn send_to(&mut self, to: GlobalPid, tag: u32, data: Vec<u8>) {
+        self.gm_fence();
         let dest = self
             .shared
             .app_proc(to)
@@ -692,6 +1261,7 @@ impl<'a> DseCtx<'a> {
 
     /// Called by the harness after the body returns: notify the launcher.
     pub fn finish(&mut self) {
+        self.gm_fence();
         self.shared.mark_exited(self.pid);
         let msg = Message::ExitNotice {
             pid: self.pid,

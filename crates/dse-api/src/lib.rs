@@ -32,7 +32,7 @@ mod program;
 mod region;
 
 pub use api::ParallelApi;
-pub use ctx::{DseCtx, UserMsg, AUTO_BARRIER_BASE};
+pub use ctx::{DseCtx, GmHandle, UserMsg, AUTO_BARRIER_BASE};
 pub use program::{DseProgram, RunResult, TelemetrySummary};
 pub use region::{GmArray, GmCounter, GmElem};
 

@@ -165,14 +165,17 @@ impl DseProgram {
         }
     }
 
-    /// Record an execution trace during runs; retrieve it from
-    /// `RunResult::report.trace` (analyze with the `dse-trace` crate).
+    /// Record an execution trace during runs.
+    #[doc(hidden)]
+    #[deprecated(note = "use DseConfig::with_tracing (the config is the one builder surface)")]
     pub fn with_tracing(mut self, on: bool) -> DseProgram {
         self.tracing = on;
         self
     }
 
     /// Override the number of physical machines.
+    #[doc(hidden)]
+    #[deprecated(note = "use DseConfig::with_machines (the config is the one builder surface)")]
     pub fn with_machines(mut self, machines: usize) -> DseProgram {
         assert!(machines > 0);
         self.machines = machines;
@@ -212,10 +215,19 @@ impl DseProgram {
     {
         assert!(nprocs > 0, "need at least one processor");
         assert!(nprocs <= u16::MAX as usize, "too many processors");
-        let mut spec = ClusterSpec::with_machines(self.platform.clone(), self.machines, nprocs);
+        // `DseConfig` is the canonical builder surface; the deprecated
+        // program-level knobs remain as fallbacks for old callers.
+        let machines = match self.config.machines {
+            Some(m) => {
+                assert!(m > 0, "machine count must be positive");
+                m
+            }
+            None => self.machines,
+        };
+        let mut spec = ClusterSpec::with_machines(self.platform.clone(), machines, nprocs);
         spec.machine_platforms = self.machine_platforms.clone();
         let mut sim: Simulator<SimMsg> = Simulator::new();
-        if self.tracing {
+        if self.tracing || self.config.tracing {
             sim.enable_tracing();
         }
         let cpus = (0..spec.machines_used())

@@ -101,6 +101,20 @@ impl<T: GmElem> GmArray<T> {
         bytes.chunks_exact(T::SIZE).map(|c| T::read_le(c)).collect()
     }
 
+    /// Read elements starting at `start` into a caller-provided slice,
+    /// avoiding the intermediate `Vec` allocations of [`GmArray::read`].
+    pub fn read_into(&self, ctx: &mut impl ParallelApi, start: usize, out: &mut [T]) {
+        assert!(start + out.len() <= self.len, "GmArray read out of bounds");
+        let mut buf = ctx.take_scratch();
+        buf.clear();
+        buf.resize(out.len() * T::SIZE, 0);
+        ctx.gm_read_into(self.region, (start * T::SIZE) as u64, &mut buf);
+        for (o, c) in out.iter_mut().zip(buf.chunks_exact(T::SIZE)) {
+            *o = T::read_le(c);
+        }
+        ctx.put_scratch(buf);
+    }
+
     /// Write elements starting at `start`.
     pub fn write(&self, ctx: &mut impl ParallelApi, start: usize, items: &[T]) {
         assert!(
@@ -114,14 +128,28 @@ impl<T: GmElem> GmArray<T> {
         ctx.gm_write(self.region, (start * T::SIZE) as u64, &bytes);
     }
 
-    /// Read one element.
+    /// Read one element (through the context's scratch buffer, so the hot
+    /// element-wise access pattern allocates nothing after warm-up).
     pub fn get(&self, ctx: &mut impl ParallelApi, idx: usize) -> T {
-        self.read(ctx, idx, 1)[0]
+        assert!(idx < self.len, "GmArray get out of bounds");
+        let mut buf = ctx.take_scratch();
+        buf.clear();
+        buf.resize(T::SIZE, 0);
+        ctx.gm_read_into(self.region, (idx * T::SIZE) as u64, &mut buf);
+        let v = T::read_le(&buf[..T::SIZE]);
+        ctx.put_scratch(buf);
+        v
     }
 
-    /// Write one element.
+    /// Write one element (scratch-buffered like [`GmArray::get`]).
     pub fn set(&self, ctx: &mut impl ParallelApi, idx: usize, value: T) {
-        self.write(ctx, idx, &[value]);
+        assert!(idx < self.len, "GmArray set out of bounds");
+        let mut buf = ctx.take_scratch();
+        buf.clear();
+        buf.resize(T::SIZE, 0);
+        value.write_le(&mut buf[..T::SIZE]);
+        ctx.gm_write(self.region, (idx * T::SIZE) as u64, &buf[..T::SIZE]);
+        ctx.put_scratch(buf);
     }
 }
 

@@ -15,7 +15,7 @@
 //! generated systems are strongly diagonally dominant so convergence is
 //! fast and essentially iteration-count-identical across `p`.
 
-use dse_api::{Distribution, DseProgram, GmArray, NodeId, ParallelApi, RunResult, Work};
+use dse_api::{Distribution, DseProgram, GmArray, GmHandle, NodeId, ParallelApi, RunResult, Work};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -158,9 +158,37 @@ fn row_work(n: usize) -> Work {
 /// reduction, standard practice for stationary iterations).
 pub const CHECK_EVERY: usize = 4;
 
+/// How each rank refreshes the shared solution vector at the top of a
+/// sweep. Every mode reads exactly the same values — solutions are
+/// bit-identical — but the GM traffic they generate differs, which is what
+/// the split-phase benchmark measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshMode {
+    /// One bulk `gm_read` of the whole vector (the original body).
+    Bulk,
+    /// Row-at-a-time blocking reads of every remote element: the
+    /// fine-grain request/response pattern the paper's plain GM semantics
+    /// force (one request message per remote row).
+    RowBlocking,
+    /// The same row-at-a-time reads issued split-phase: all rows are
+    /// requested with `gm_read_nb` before the first `gm_wait`, so the
+    /// runtime coalesces adjacent rows with the same home into one
+    /// batched request and pipelines the rest.
+    RowPipelined,
+}
+
 /// The engine-independent SPMD body: every rank executes this; rank 0
-/// returns the solution.
+/// returns the solution. Equivalent to [`body_with`] in [`RefreshMode::Bulk`].
 pub fn body<A: ParallelApi>(ctx: &mut A, params: &GaussSeidelParams) -> Option<Solution> {
+    body_with(ctx, params, RefreshMode::Bulk)
+}
+
+/// [`body`] with an explicit vector-refresh strategy.
+pub fn body_with<A: ParallelApi>(
+    ctx: &mut A,
+    params: &GaussSeidelParams,
+    mode: RefreshMode,
+) -> Option<Solution> {
     let sys = generate(params);
     let n = sys.n;
     let p = ctx.nprocs();
@@ -182,8 +210,33 @@ pub fn body<A: ParallelApi>(ctx: &mut A, params: &GaussSeidelParams) -> Option<S
     while iters < params.max_iters && delta > params.eps {
         // Refresh the full vector: own slice is a local read, every other
         // slice is a request to its home node.
-        let fresh = gx.read(ctx, 0, n);
-        x.copy_from_slice(&fresh);
+        match mode {
+            RefreshMode::Bulk => {
+                let fresh = gx.read(ctx, 0, n);
+                x.copy_from_slice(&fresh);
+            }
+            RefreshMode::RowBlocking => {
+                if hi > lo {
+                    gx.read_into(ctx, lo, &mut x[lo..hi]);
+                }
+                for i in (0..lo).chain(hi..n) {
+                    gx.read_into(ctx, i, &mut x[i..i + 1]);
+                }
+            }
+            RefreshMode::RowPipelined => {
+                if hi > lo {
+                    gx.read_into(ctx, lo, &mut x[lo..hi]);
+                }
+                let mut pending: Vec<(usize, GmHandle)> = Vec::with_capacity(n - (hi - lo));
+                for i in (0..lo).chain(hi..n) {
+                    pending.push((i, ctx.gm_read_nb(gx.region(), (i * 8) as u64, 8)));
+                }
+                for (i, h) in pending {
+                    let bytes = ctx.gm_wait(h).expect("split-phase read carries data");
+                    x[i] = f64::from_le_bytes(bytes.as_slice().try_into().unwrap());
+                }
+            }
+        }
         // Everyone must finish reading iteration k before anyone writes
         // iteration k+1 (BSP discipline: engine-independent results).
         ctx.barrier();
@@ -227,10 +280,20 @@ pub fn solve_parallel(
     nprocs: usize,
     params: GaussSeidelParams,
 ) -> (RunResult, Solution) {
+    solve_parallel_with(program, nprocs, params, RefreshMode::Bulk)
+}
+
+/// [`solve_parallel`] with an explicit vector-refresh strategy.
+pub fn solve_parallel_with(
+    program: &DseProgram,
+    nprocs: usize,
+    params: GaussSeidelParams,
+    mode: RefreshMode,
+) -> (RunResult, Solution) {
     let capture: Capture<Solution> = Capture::new();
     let cap = capture.clone();
     let result = program.run(nprocs, move |ctx| {
-        if let Some(sol) = body(ctx, &params) {
+        if let Some(sol) = body_with(ctx, &params, mode) {
             cap.set(sol);
         }
     });
@@ -286,6 +349,28 @@ mod tests {
         assert!(sol.delta <= params.eps);
         let sys = generate(&params);
         assert!(residual(&sys, &sol.x) < 1e-6, "parallel residual too large");
+    }
+
+    #[test]
+    fn refresh_modes_are_bit_identical() {
+        // All three refresh strategies read the same values, so the
+        // solutions must match to the last bit — only the GM traffic (and
+        // hence the simulated time) may differ.
+        let params = GaussSeidelParams::paper(48);
+        let program = DseProgram::new(Platform::linux_pentium2());
+        let (bulk_run, bulk) = solve_parallel_with(&program, 3, params, RefreshMode::Bulk);
+        let (block_run, blocking) =
+            solve_parallel_with(&program, 3, params, RefreshMode::RowBlocking);
+        let (pipe_run, pipelined) =
+            solve_parallel_with(&program, 3, params, RefreshMode::RowPipelined);
+        assert_eq!(bulk.x, blocking.x);
+        assert_eq!(bulk.x, pipelined.x);
+        assert_eq!(bulk.iters, blocking.iters);
+        assert_eq!(bulk.iters, pipelined.iters);
+        // Row-wise blocking pays one request per remote row; split-phase
+        // coalescing must claw most of that back.
+        assert!(pipe_run.secs() < block_run.secs());
+        assert!(bulk_run.secs() > 0.0);
     }
 
     #[test]

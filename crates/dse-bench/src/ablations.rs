@@ -238,7 +238,8 @@ pub fn ablation_vcluster(platform: &Platform, cfg: &SweepCfg) -> Figure {
     let (reference, _) = knights::count_sequential(5);
     let mut series = Vec::new();
     for machines in [6usize, 12] {
-        let program = DseProgram::new(platform.clone()).with_machines(machines);
+        let program = DseProgram::new(platform.clone())
+            .with_config(DseConfig::paper().with_machines(machines));
         let pts = cfg
             .procs
             .iter()

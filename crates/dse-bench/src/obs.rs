@@ -6,7 +6,7 @@
 //! leaves behind not just the curves but a drill-down artifact for one
 //! representative run per platform.
 
-use dse_api::{DseProgram, Platform};
+use dse_api::{DseConfig, DseProgram, Platform};
 use dse_apps::gauss_seidel;
 
 /// The export bundle of one instrumented run.
@@ -22,7 +22,8 @@ pub struct ObsProbe {
 /// Run the paper's Gauss-Seidel workload (N=200) on `procs` processors of
 /// `platform` with tracing enabled and return all observability exports.
 pub fn observability_probe(platform: &Platform, procs: usize) -> ObsProbe {
-    let program = DseProgram::new(platform.clone()).with_tracing(true);
+    let program =
+        DseProgram::new(platform.clone()).with_config(DseConfig::paper().with_tracing(true));
     let params = gauss_seidel::GaussSeidelParams::paper(200);
     let (run, _) = gauss_seidel::solve_parallel(&program, procs, params);
     ObsProbe {

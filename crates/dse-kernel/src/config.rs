@@ -100,6 +100,15 @@ pub struct DseConfig {
     /// In-band telemetry plane (`None` = off; the default, so telemetry
     /// traffic never perturbs experiments that did not ask for it).
     pub telemetry: Option<TelemetryConfig>,
+    /// Maximum split-phase GM requests a PE may have in flight before a
+    /// further issue blocks until one completes (the pipelining window).
+    pub gm_window: usize,
+    /// Record message-level spans and bus activity during the run (the
+    /// canonical home of what `DseProgram::with_tracing` used to toggle).
+    pub tracing: bool,
+    /// Physical machines backing the cluster (`None` = the paper's
+    /// machine count; the canonical home of `DseProgram::with_machines`).
+    pub machines: Option<usize>,
 }
 
 impl Default for DseConfig {
@@ -113,9 +122,17 @@ impl Default for DseConfig {
             gm_cache: false,
             seed: 0x05E_1999,
             telemetry: None,
+            gm_window: DEFAULT_GM_WINDOW,
+            tracing: false,
+            machines: None,
         }
     }
 }
+
+/// Default bound on in-flight split-phase GM requests per PE. Large enough
+/// that the blocking `gm_read`/`gm_write` compatibility path (at most one
+/// request per home node in flight) never trips backpressure.
+pub const DEFAULT_GM_WINDOW: usize = 32;
 
 impl DseConfig {
     /// The paper's configuration (alias of `Default`).
@@ -160,6 +177,24 @@ impl DseConfig {
         self.telemetry = Some(t);
         self
     }
+
+    /// Builder-style: set the split-phase GM pipelining window (minimum 1).
+    pub fn with_gm_window(mut self, window: usize) -> Self {
+        self.gm_window = window.max(1);
+        self
+    }
+
+    /// Builder-style: record message spans and bus activity.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Builder-style: set the physical machine count backing the cluster.
+    pub fn with_machines(mut self, machines: usize) -> Self {
+        self.machines = Some(machines);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -180,10 +215,24 @@ mod tests {
         let c = DseConfig::paper()
             .with_protocol(Protocol::RawEthernet)
             .with_seed(42)
-            .with_gm_cache(true);
+            .with_gm_cache(true)
+            .with_gm_window(4)
+            .with_tracing(true)
+            .with_machines(3);
         assert_eq!(c.protocol, Protocol::RawEthernet);
         assert_eq!(c.seed, 42);
         assert!(c.gm_cache);
+        assert_eq!(c.gm_window, 4);
+        assert!(c.tracing);
+        assert_eq!(c.machines, Some(3));
+    }
+
+    #[test]
+    fn gm_window_defaults_and_clamps() {
+        assert_eq!(DseConfig::default().gm_window, DEFAULT_GM_WINDOW);
+        assert!(!DseConfig::default().tracing);
+        assert_eq!(DseConfig::default().machines, None);
+        assert_eq!(DseConfig::paper().with_gm_window(0).gm_window, 1);
     }
 
     #[test]

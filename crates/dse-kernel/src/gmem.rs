@@ -181,9 +181,18 @@ impl GlobalStore {
 
     /// Copy `len` bytes out of a region.
     pub fn read(&self, region: RegionId, offset: u64, len: usize) -> Result<Vec<u8>, GmError> {
+        let mut out = vec![0u8; len];
+        self.read_into(region, offset, &mut out)?;
+        Ok(out)
+    }
+
+    /// Copy `out.len()` bytes out of a region into a caller-owned buffer
+    /// (the allocation-free path behind `read`).
+    pub fn read_into(&self, region: RegionId, offset: u64, out: &mut [u8]) -> Result<(), GmError> {
         let regions = self.regions.lock();
-        let r = Self::check(&regions, region, offset, len)?;
-        Ok(r.data[offset as usize..offset as usize + len].to_vec())
+        let r = Self::check(&regions, region, offset, out.len())?;
+        out.copy_from_slice(&r.data[offset as usize..offset as usize + out.len()]);
+        Ok(())
     }
 
     /// Write bytes into a region.
@@ -308,6 +317,21 @@ mod tests {
         gs.write(r, 10, &[1, 2, 3]).unwrap();
         assert_eq!(gs.read(r, 10, 3).unwrap(), vec![1, 2, 3]);
         assert_eq!(gs.read(r, 9, 1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn read_into_matches_read() {
+        let gs = GlobalStore::new(2);
+        let r = gs.alloc(32, Distribution::Blocked);
+        gs.write(r, 4, &[9, 8, 7, 6]).unwrap();
+        let mut buf = [0u8; 6];
+        gs.read_into(r, 3, &mut buf).unwrap();
+        assert_eq!(buf.to_vec(), gs.read(r, 3, 6).unwrap());
+        let mut over = [0u8; 4];
+        assert!(matches!(
+            gs.read_into(r, 30, &mut over),
+            Err(GmError::OutOfBounds { .. })
+        ));
     }
 
     #[test]

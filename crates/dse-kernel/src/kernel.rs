@@ -120,9 +120,10 @@ pub fn lock_release(
     }
 }
 
-/// A coherence transaction awaiting invalidation acknowledgements before
-/// its response can be released.
-struct PendingTxn {
+/// A response gated on outstanding invalidation acknowledgements. A plain
+/// write or fetch-add gates on one invalidation round; a coalesced batch
+/// gates its single response on every round its merged writes started.
+struct ResponseGate {
     remaining: usize,
     response: Message,
     to_node: NodeId,
@@ -144,6 +145,13 @@ pub fn begin_invalidation(
     exclude: NodeId,
 ) -> usize {
     let holders = shared.cache.take_holders(region, offset, len, exclude);
+    if !holders.is_empty() {
+        // One round per merged request: a coalesced write that absorbed
+        // several `gm_write_nb` calls still counts a single round here.
+        shared
+            .stats
+            .update(acting_node, |s| s.invalidation_rounds += 1);
+    }
     let inv = Message::GmInvalidate {
         req: txn,
         region,
@@ -172,7 +180,8 @@ pub fn kernel_main(
     let mut next_local_pid: u16 = 1;
     let cache_on = shared.config.gm_cache;
     let mut txn_ids = ReqIdGen::new();
-    let mut pending: HashMap<u64, PendingTxn> = HashMap::new();
+    let mut gates: HashMap<u64, ResponseGate> = HashMap::new();
+    let mut txn_to_gate: HashMap<u64, u64> = HashMap::new();
     // Telemetry plane (all `None` when `config.telemetry` is off, leaving
     // the classic blocking-recv loop and zero extra traffic).
     let telemetry = shared.config.telemetry.clone();
@@ -332,9 +341,10 @@ pub fn kernel_main(
                         sm.from_node,
                     );
                     if acks_needed > 0 {
-                        pending.insert(
+                        txn_to_gate.insert(txn.0, txn.0);
+                        gates.insert(
                             txn.0,
-                            PendingTxn {
+                            ResponseGate {
                                 remaining: acks_needed,
                                 response: resp.clone(),
                                 to_node: sm.from_node,
@@ -382,9 +392,10 @@ pub fn kernel_main(
                         sm.from_node,
                     );
                     if acks_needed > 0 {
-                        pending.insert(
+                        txn_to_gate.insert(txn.0, txn.0);
+                        gates.insert(
                             txn.0,
-                            PendingTxn {
+                            ResponseGate {
                                 remaining: acks_needed,
                                 response: resp.clone(),
                                 to_node: sm.from_node,
@@ -394,6 +405,116 @@ pub fn kernel_main(
                     }
                 }
                 if acks_needed == 0 {
+                    send_msg(
+                        ctx,
+                        &shared,
+                        node,
+                        sm.from_node,
+                        sm.reply_to,
+                        ctx.id(),
+                        &resp,
+                    );
+                }
+            }
+            Message::GmBatchReq { req, ops } => {
+                serviced = Some((SpanKind::GmBatch, req.0));
+                // Execute in issue order so a read after a coalesced write
+                // inside the same batch observes the written data.
+                let mut reads = Vec::new();
+                let mut acks_needed = 0;
+                let mut txns = Vec::new();
+                for op in ops {
+                    match op {
+                        dse_msg::GmOp::Read {
+                            region,
+                            offset,
+                            len,
+                        } => {
+                            let data = shared
+                                .store
+                                .read(region, offset, len as usize)
+                                .unwrap_or_else(|e| {
+                                    panic!("kernel {node}: batched read failed: {e}")
+                                });
+                            ctx.use_resource(
+                                shared.cpu_of(node),
+                                shared.cost(node).mem_copy(data.len()),
+                            );
+                            shared.stats.update(node, |s| {
+                                s.gm_remote_reads += 1;
+                                s.gm_bytes_read += data.len() as u64;
+                            });
+                            if cache_on {
+                                for b in blocks_inside(offset, len as usize) {
+                                    let lo =
+                                        (b as usize * crate::cache::CACHE_BLOCK) as u64 - offset;
+                                    let chunk = data
+                                        [lo as usize..lo as usize + crate::cache::CACHE_BLOCK]
+                                        .to_vec();
+                                    shared.cache.install(sm.from_node, region, b, chunk);
+                                }
+                            }
+                            reads.push(data);
+                        }
+                        dse_msg::GmOp::Write {
+                            region,
+                            offset,
+                            data,
+                        } => {
+                            ctx.use_resource(
+                                shared.cpu_of(node),
+                                shared.cost(node).mem_copy(data.len()),
+                            );
+                            shared.stats.update(node, |s| {
+                                s.gm_remote_writes += 1;
+                                s.gm_bytes_written += data.len() as u64;
+                            });
+                            let len = data.len();
+                            shared
+                                .store
+                                .write(region, offset, &data)
+                                .unwrap_or_else(|e| {
+                                    panic!("kernel {node}: batched write failed: {e}")
+                                });
+                            if cache_on {
+                                let txn = txn_ids.next();
+                                let acks = begin_invalidation(
+                                    ctx,
+                                    &shared,
+                                    node,
+                                    txn,
+                                    region,
+                                    offset,
+                                    len,
+                                    sm.from_node,
+                                );
+                                if acks > 0 {
+                                    acks_needed += acks;
+                                    txns.push(txn.0);
+                                }
+                            }
+                        }
+                    }
+                }
+                let resp = Message::GmBatchResp { req, reads };
+                if acks_needed > 0 {
+                    // One gate for the whole batch: the single response is
+                    // released only after every merged write's invalidation
+                    // round has completed.
+                    let gate_id = txn_ids.next().0;
+                    for t in txns {
+                        txn_to_gate.insert(t, gate_id);
+                    }
+                    gates.insert(
+                        gate_id,
+                        ResponseGate {
+                            remaining: acks_needed,
+                            response: resp,
+                            to_node: sm.from_node,
+                            to_proc: sm.reply_to,
+                        },
+                    );
+                } else {
                     send_msg(
                         ctx,
                         &shared,
@@ -499,23 +620,25 @@ pub fn kernel_main(
                 );
             }
             Message::GmInvalidateAck { req } => {
+                let gate_id = *txn_to_gate
+                    .get(&req.0)
+                    .unwrap_or_else(|| panic!("kernel {node}: stray invalidate ack {req:?}"));
                 let done = {
-                    let txn = pending
-                        .get_mut(&req.0)
-                        .unwrap_or_else(|| panic!("kernel {node}: stray invalidate ack {req:?}"));
-                    txn.remaining -= 1;
-                    txn.remaining == 0
+                    let gate = gates.get_mut(&gate_id).expect("gate for pending txn");
+                    gate.remaining -= 1;
+                    gate.remaining == 0
                 };
                 if done {
-                    let txn = pending.remove(&req.0).unwrap();
+                    txn_to_gate.retain(|_, g| *g != gate_id);
+                    let gate = gates.remove(&gate_id).unwrap();
                     send_msg(
                         ctx,
                         &shared,
                         node,
-                        txn.to_node,
-                        txn.to_proc,
+                        gate.to_node,
+                        gate.to_proc,
                         ctx.id(),
-                        &txn.response,
+                        &gate.response,
                     );
                 }
             }

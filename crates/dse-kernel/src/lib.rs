@@ -35,7 +35,7 @@ pub mod sync;
 pub mod watchdog;
 
 pub use cache::{CacheStore, CACHE_BLOCK};
-pub use config::{DseConfig, NetworkChoice, Organization, TelemetryConfig};
+pub use config::{DseConfig, NetworkChoice, Organization, TelemetryConfig, DEFAULT_GM_WINDOW};
 pub use cost::CostModel;
 pub use gmem::{Distribution, GlobalStore, GmError};
 pub use kernel::{kernel_main, AppBody, AppFactory};

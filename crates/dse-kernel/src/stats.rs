@@ -44,6 +44,18 @@ pub struct KernelStats {
     pub cache_misses: u64,
     /// Invalidation messages sent by the optional GM cache.
     pub cache_invalidations: u64,
+    /// GM request messages actually put on the netpath (plain requests and
+    /// coalesced batches each count once — the split-phase pipeline's
+    /// denominator for the coalesce ratio).
+    pub gm_request_msgs: u64,
+    /// Split-phase GM operations merged into an already-pending request
+    /// instead of becoming their own message (the coalesce ratio's
+    /// numerator, charged to the issuing PE).
+    pub gm_coalesced: u64,
+    /// Invalidation rounds started by cache-coherent writes: one per
+    /// *merged* request, not one per original `gm_write_nb` call (a batch
+    /// write that absorbed three coalesced writes is a single round).
+    pub invalidation_rounds: u64,
 }
 
 impl KernelStats {
@@ -64,6 +76,9 @@ impl KernelStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_invalidations += other.cache_invalidations;
+        self.gm_request_msgs += other.gm_request_msgs;
+        self.gm_coalesced += other.gm_coalesced;
+        self.invalidation_rounds += other.invalidation_rounds;
     }
 
     /// Flatten these counters into named metric series (subsystem `kernel`)
@@ -90,6 +105,9 @@ impl KernelStats {
             (key("cache_hits"), self.cache_hits),
             (key("cache_misses"), self.cache_misses),
             (key("cache_invalidations"), self.cache_invalidations),
+            (key("gm_request_msgs"), self.gm_request_msgs),
+            (key("gm_coalesced"), self.gm_coalesced),
+            (key("invalidation_rounds"), self.invalidation_rounds),
         ]
     }
 }
@@ -192,7 +210,7 @@ mod tests {
             ..KernelStats::default()
         };
         let counters = ks.as_metric_counters(2, 1);
-        assert_eq!(counters.len(), 15);
+        assert_eq!(counters.len(), 18);
         assert_eq!(
             counters[0].0,
             MetricKey::pe("kernel", "gm_local_reads", 2).on_machine(1)
@@ -203,6 +221,8 @@ mod tests {
         assert_eq!(counters[1].1, 0);
         assert_eq!(counters[14].0.name, "cache_invalidations");
         assert_eq!(counters[14].1, 9);
+        assert_eq!(counters[15].0.name, "gm_request_msgs");
+        assert_eq!(counters[17].0.name, "invalidation_rounds");
     }
 
     #[test]

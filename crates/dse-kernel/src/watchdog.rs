@@ -70,7 +70,7 @@ impl StallWatchdog {
         for open in spans.open_spans() {
             if !matches!(
                 open.kind,
-                SpanKind::GmRead | SpanKind::GmWrite | SpanKind::GmFetchAdd
+                SpanKind::GmRead | SpanKind::GmWrite | SpanKind::GmFetchAdd | SpanKind::GmBatch
             ) {
                 continue;
             }

@@ -81,6 +81,8 @@ pub struct LiveCtx {
     cluster: Arc<LiveCluster>,
     barrier_seq: u32,
     alloc_seq: usize,
+    /// Reusable scratch for element-wise `GmArray` accessors.
+    scratch: Vec<u8>,
 }
 
 impl LiveCtx {
@@ -150,6 +152,26 @@ impl ParallelApi for LiveCtx {
                 .write(region, offset, data)
                 .unwrap_or_else(|e| panic!("live rank {}: gm_write failed: {e}", self.rank))
         })
+    }
+
+    fn gm_read_into(&mut self, region: RegionId, offset: u64, out: &mut [u8]) {
+        self.cluster
+            .metrics
+            .incr(MetricKey::pe("gm", "reads", self.rank));
+        self.timed("gm", "read_ns", || {
+            self.cluster
+                .store
+                .read_into(region, offset, out)
+                .unwrap_or_else(|e| panic!("live rank {}: gm_read failed: {e}", self.rank))
+        })
+    }
+
+    fn take_scratch(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.scratch)
+    }
+
+    fn put_scratch(&mut self, buf: Vec<u8>) {
+        self.scratch = buf;
     }
 
     fn gm_fetch_add(&mut self, region: RegionId, offset: u64, delta: i64) -> i64 {
@@ -267,6 +289,7 @@ where
                     cluster,
                     barrier_seq: 0,
                     alloc_seq: 0,
+                    scratch: Vec::new(),
                 };
                 body(&mut ctx);
                 done.fetch_add(1, Ordering::Release);

@@ -21,4 +21,4 @@ mod message;
 
 pub use codec::{CodecError, Reader, Writer, MAX_PAYLOAD};
 pub use ids::{GlobalPid, NodeId, RegionId, ReqId, ReqIdGen};
-pub use message::Message;
+pub use message::{GmOp, Message};

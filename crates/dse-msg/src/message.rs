@@ -80,6 +80,25 @@ pub enum Message {
         /// Value of the cell before the increment.
         prev: i64,
     },
+    /// Several pipelined global-memory operations for one home node,
+    /// coalesced into a single request message by the split-phase API.
+    /// Operations are executed by the serving kernel strictly in order;
+    /// one [`Message::GmBatchResp`] answers the whole batch.
+    GmBatchReq {
+        /// Correlation id (covers the whole batch).
+        req: ReqId,
+        /// The operations, in program-issue order.
+        ops: Vec<GmOp>,
+    },
+    /// Response to a [`Message::GmBatchReq`]: one data payload per read
+    /// operation, in batch order. Writes are acknowledged implicitly by
+    /// the response's arrival (all invalidations have completed).
+    GmBatchResp {
+        /// Correlation id of the batch.
+        req: ReqId,
+        /// Read results, in the order the reads appeared in the batch.
+        reads: Vec<Vec<u8>>,
+    },
     /// Invalidate any cached copies of a region range (cache-coherence
     /// traffic when the optional global-memory cache is enabled).
     GmInvalidate {
@@ -197,6 +216,45 @@ pub enum Message {
     KernelShutdown,
 }
 
+/// One operation inside a [`Message::GmBatchReq`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GmOp {
+    /// Read `len` bytes at `offset` of `region`.
+    Read {
+        /// Target region.
+        region: RegionId,
+        /// Byte offset within the region.
+        offset: u64,
+        /// Byte length to read.
+        len: u32,
+    },
+    /// Write `data` at `offset` of `region`.
+    Write {
+        /// Target region.
+        region: RegionId,
+        /// Byte offset within the region.
+        offset: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+}
+
+impl GmOp {
+    /// Encoded size of this operation inside a batch.
+    fn wire_len(&self) -> usize {
+        // kind byte + region + offset, then len (read) or 4-byte-prefixed data.
+        1 + 4
+            + 8
+            + match self {
+                GmOp::Read { .. } => 4,
+                GmOp::Write { data, .. } => 4 + data.len(),
+            }
+    }
+}
+
+const GM_OP_READ: u8 = 0;
+const GM_OP_WRITE: u8 = 1;
+
 const TAG_GM_READ_REQ: u8 = 0x01;
 const TAG_GM_READ_RESP: u8 = 0x02;
 const TAG_GM_WRITE_REQ: u8 = 0x03;
@@ -205,6 +263,8 @@ const TAG_GM_FADD_REQ: u8 = 0x05;
 const TAG_GM_FADD_RESP: u8 = 0x06;
 const TAG_GM_INVALIDATE: u8 = 0x07;
 const TAG_GM_INVALIDATE_ACK: u8 = 0x08;
+const TAG_GM_BATCH_REQ: u8 = 0x09;
+const TAG_GM_BATCH_RESP: u8 = 0x0A;
 const TAG_INVOKE_REQ: u8 = 0x10;
 const TAG_INVOKE_ACK: u8 = 0x11;
 const TAG_EXIT_NOTICE: u8 = 0x12;
@@ -273,6 +333,43 @@ impl Message {
                 w.u8(TAG_GM_FADD_RESP);
                 w.u64(req.0);
                 w.i64(*prev);
+            }
+            Message::GmBatchReq { req, ops } => {
+                w.u8(TAG_GM_BATCH_REQ);
+                w.u64(req.0);
+                w.u32(ops.len() as u32);
+                for op in ops {
+                    match op {
+                        GmOp::Read {
+                            region,
+                            offset,
+                            len,
+                        } => {
+                            w.u8(GM_OP_READ);
+                            w.u32(region.0);
+                            w.u64(*offset);
+                            w.u32(*len);
+                        }
+                        GmOp::Write {
+                            region,
+                            offset,
+                            data,
+                        } => {
+                            w.u8(GM_OP_WRITE);
+                            w.u32(region.0);
+                            w.u64(*offset);
+                            w.bytes(data);
+                        }
+                    }
+                }
+            }
+            Message::GmBatchResp { req, reads } => {
+                w.u8(TAG_GM_BATCH_RESP);
+                w.u64(req.0);
+                w.u32(reads.len() as u32);
+                for data in reads {
+                    w.bytes(data);
+                }
             }
             Message::GmInvalidate {
                 req,
@@ -370,6 +467,12 @@ impl Message {
             Message::GmWriteAck { .. } => 8,
             Message::GmFetchAddReq { .. } => 8 + 4 + 8 + 8,
             Message::GmFetchAddResp { .. } => 8 + 8,
+            Message::GmBatchReq { ops, .. } => {
+                8 + 4 + ops.iter().map(GmOp::wire_len).sum::<usize>()
+            }
+            Message::GmBatchResp { reads, .. } => {
+                8 + 4 + reads.iter().map(|d| 4 + d.len()).sum::<usize>()
+            }
             Message::GmInvalidate { .. } => 8 + 4 + 8 + 4,
             Message::GmInvalidateAck { .. } => 8,
             Message::InvokeReq { args, .. } => 8 + 4 + 4 + args.len(),
@@ -422,6 +525,39 @@ impl Message {
                 req: ReqId(r.u64()?),
                 prev: r.i64()?,
             },
+            TAG_GM_BATCH_REQ => {
+                let req = ReqId(r.u64()?);
+                let n = r.u32()?;
+                let mut ops = Vec::with_capacity((n as usize).min(1024));
+                for _ in 0..n {
+                    let kind = r.u8()?;
+                    let region = RegionId(r.u32()?);
+                    let offset = r.u64()?;
+                    ops.push(match kind {
+                        GM_OP_READ => GmOp::Read {
+                            region,
+                            offset,
+                            len: r.u32()?,
+                        },
+                        GM_OP_WRITE => GmOp::Write {
+                            region,
+                            offset,
+                            data: r.bytes()?,
+                        },
+                        other => return Err(CodecError::BadTag(other)),
+                    });
+                }
+                Message::GmBatchReq { req, ops }
+            }
+            TAG_GM_BATCH_RESP => {
+                let req = ReqId(r.u64()?);
+                let n = r.u32()?;
+                let mut reads = Vec::with_capacity((n as usize).min(1024));
+                for _ in 0..n {
+                    reads.push(r.bytes()?);
+                }
+                Message::GmBatchResp { req, reads }
+            }
             TAG_GM_INVALIDATE => Message::GmInvalidate {
                 req: ReqId(r.u64()?),
                 region: RegionId(r.u32()?),
@@ -495,6 +631,7 @@ impl Message {
             self,
             Message::GmReadReq { .. }
                 | Message::GmWriteReq { .. }
+                | Message::GmBatchReq { .. }
                 | Message::GmFetchAddReq { .. }
                 | Message::InvokeReq { .. }
                 | Message::TerminateReq { .. }
@@ -512,6 +649,8 @@ impl Message {
             Message::GmWriteAck { .. } => "gm_write_ack",
             Message::GmFetchAddReq { .. } => "gm_fetch_add_req",
             Message::GmFetchAddResp { .. } => "gm_fetch_add_resp",
+            Message::GmBatchReq { .. } => "gm_batch_req",
+            Message::GmBatchResp { .. } => "gm_batch_resp",
             Message::GmInvalidate { .. } => "gm_invalidate",
             Message::GmInvalidateAck { .. } => "gm_invalidate_ack",
             Message::InvokeReq { .. } => "invoke_req",
@@ -537,6 +676,8 @@ impl Message {
             | Message::GmReadResp { req, .. }
             | Message::GmWriteReq { req, .. }
             | Message::GmWriteAck { req }
+            | Message::GmBatchReq { req, .. }
+            | Message::GmBatchResp { req, .. }
             | Message::GmFetchAddReq { req, .. }
             | Message::GmFetchAddResp { req, .. }
             | Message::InvokeReq { req, .. }
@@ -592,6 +733,30 @@ mod tests {
                 len: 128,
             },
             Message::GmInvalidateAck { req: ReqId(21) },
+            Message::GmBatchReq {
+                req: ReqId(30),
+                ops: vec![
+                    GmOp::Write {
+                        region: RegionId(1),
+                        offset: 0,
+                        data: vec![5; 24],
+                    },
+                    GmOp::Read {
+                        region: RegionId(1),
+                        offset: 8,
+                        len: 16,
+                    },
+                    GmOp::Write {
+                        region: RegionId(2),
+                        offset: 512,
+                        data: vec![],
+                    },
+                ],
+            },
+            Message::GmBatchResp {
+                req: ReqId(30),
+                reads: vec![vec![9; 16]],
+            },
             Message::InvokeReq {
                 req: ReqId(11),
                 rank: 4,
@@ -713,6 +878,36 @@ mod tests {
         for msg in samples() {
             assert!(seen.insert(msg.label()), "duplicate label {}", msg.label());
         }
+    }
+
+    #[test]
+    fn batch_req_bad_op_kind_rejected() {
+        let msg = Message::GmBatchReq {
+            req: ReqId(1),
+            ops: vec![GmOp::Read {
+                region: RegionId(0),
+                offset: 0,
+                len: 8,
+            }],
+        };
+        let mut buf = msg.encode();
+        buf[13] = 0x5A; // corrupt the op-kind byte
+        assert_eq!(Message::decode(&buf), Err(CodecError::BadTag(0x5A)));
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let msg = Message::GmBatchReq {
+            req: ReqId(2),
+            ops: vec![],
+        };
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        let resp = Message::GmBatchResp {
+            req: ReqId(2),
+            reads: vec![],
+        };
+        assert_eq!(Message::decode(&resp.encode()).unwrap(), resp);
+        assert!(msg.is_request() && !resp.is_request());
     }
 
     #[test]

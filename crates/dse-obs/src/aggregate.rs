@@ -83,6 +83,12 @@ const STATIC_NAMES: &[&str] = &[
     // synchronization waits
     "barrier_wait_ns",
     "lock_wait_ns",
+    // split-phase GM pipeline (KernelStats declaration order continued)
+    "gm_request_msgs",
+    "gm_coalesced",
+    "invalidation_rounds",
+    "gm_inflight",
+    "batch_ns",
 ];
 
 /// Intern a decoded metric-name string so it can live in a

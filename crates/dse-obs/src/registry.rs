@@ -143,6 +143,14 @@ impl MetricsSnapshot {
             .map(|(_, v)| *v)
     }
 
+    /// Look up a gauge.
+    pub fn gauge(&self, subsystem: &str, name: &str, pe: Option<u32>) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|(k, _)| k.subsystem == subsystem && k.name == name && k.pe == pe)
+            .map(|(_, v)| *v)
+    }
+
     /// Look up a histogram.
     pub fn histogram(&self, subsystem: &str, name: &str, pe: Option<u32>) -> Option<&LogHistogram> {
         self.histograms

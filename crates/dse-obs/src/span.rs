@@ -38,6 +38,9 @@ pub enum SpanKind {
     GmWrite,
     /// Remote fetch-and-add.
     GmFetchAdd,
+    /// Coalesced batch of split-phase GM operations (one request message,
+    /// one response for the whole batch).
+    GmBatch,
     /// Barrier enter-to-release.
     Barrier,
     /// Cluster lock acquire.
@@ -53,6 +56,7 @@ impl SpanKind {
             SpanKind::GmRead => "gm_read",
             SpanKind::GmWrite => "gm_write",
             SpanKind::GmFetchAdd => "gm_fetch_add",
+            SpanKind::GmBatch => "gm_batch",
             SpanKind::Barrier => "barrier",
             SpanKind::Lock => "lock",
             SpanKind::Invoke => "invoke",

@@ -198,8 +198,12 @@ pub struct TopRow {
     pub cache_hits: u64,
     /// GM cache misses on this node.
     pub cache_misses: u64,
-    /// p50 of remote GM request latency (read/write/fetch-add merged),
-    /// `None` until a remote request completed.
+    /// High-water mark of split-phase GM requests this PE had in flight.
+    pub gm_inflight: u64,
+    /// GM operations coalesced into an already-staged request on this PE.
+    pub gm_coalesced: u64,
+    /// p50 of remote GM request latency (read/write/fetch-add/batch
+    /// merged), `None` until a remote request completed.
     pub p50_ns: Option<u64>,
     /// p99 of the same merged latency distribution.
     pub p99_ns: Option<u64>,
@@ -241,7 +245,12 @@ pub fn top_rows(agg: &ClusterAggregator, now_ns: u64) -> Vec<TopRow> {
                 .and_then(|(k, _)| k.machine);
             let c = |name: &str| snap.counter("kernel", name, Some(pe)).unwrap_or(0);
             let mut lat = LogHistogram::new();
-            for name in ["remote_read_ns", "remote_write_ns", "fetch_add_ns"] {
+            for name in [
+                "remote_read_ns",
+                "remote_write_ns",
+                "fetch_add_ns",
+                "batch_ns",
+            ] {
                 if let Some(h) = snap.histogram("gm", name, Some(pe)) {
                     lat.merge(h);
                 }
@@ -258,6 +267,8 @@ pub fn top_rows(agg: &ClusterAggregator, now_ns: u64) -> Vec<TopRow> {
                 gm_bytes: c("gm_bytes_read") + c("gm_bytes_written"),
                 cache_hits: c("cache_hits"),
                 cache_misses: c("cache_misses"),
+                gm_inflight: snap.gauge("kernel", "gm_inflight", Some(pe)).unwrap_or(0),
+                gm_coalesced: c("gm_coalesced"),
                 p50_ns,
                 p99_ns,
                 last_seq: ns.last_seq,
@@ -280,7 +291,7 @@ fn fmt_us(v: Option<u64>) -> String {
 /// request-latency percentiles and telemetry health.
 pub fn render_top(agg: &ClusterAggregator, now_ns: u64) -> String {
     let mut out = String::from(
-        "NODE  MACHINE  MSGS      GM-BYTES    HIT%   P50(us)   P99(us)   SEQ    GAPS  AGE(ms)\n",
+        "NODE  MACHINE  MSGS      GM-BYTES    HIT%   INFLT  COAL   P50(us)   P99(us)   SEQ    GAPS  AGE(ms)\n",
     );
     for r in top_rows(agg, now_ns) {
         let machine = r
@@ -296,12 +307,14 @@ pub fn render_top(agg: &ClusterAggregator, now_ns: u64) -> String {
             .map(|a| format!("{:.1}", a as f64 / 1e6))
             .unwrap_or_else(|| "-".to_string());
         out.push_str(&format!(
-            "{:<5} {:<8} {:<9} {:<11} {:<6} {:<9} {:<9} {:<6} {:<5} {}\n",
+            "{:<5} {:<8} {:<9} {:<11} {:<6} {:<6} {:<6} {:<9} {:<9} {:<6} {:<5} {}\n",
             r.pe,
             machine,
             r.messages,
             r.gm_bytes,
             hit,
+            r.gm_inflight,
+            r.gm_coalesced,
             fmt_us(r.p50_ns),
             fmt_us(r.p99_ns),
             r.last_seq,
@@ -425,8 +438,11 @@ mod tests {
         );
         reg0.add(MetricKey::pe("kernel", "cache_hits", 0).on_machine(0), 3);
         reg0.add(MetricKey::pe("kernel", "cache_misses", 0).on_machine(0), 1);
+        reg0.add(MetricKey::pe("kernel", "gm_coalesced", 0).on_machine(0), 7);
+        reg0.gauge_max(MetricKey::pe("kernel", "gm_inflight", 0).on_machine(0), 4);
         reg0.record(MetricKey::pe("gm", "remote_read_ns", 0), 10_000);
         reg0.record(MetricKey::pe("gm", "remote_write_ns", 0), 30_000);
+        reg0.record(MetricKey::pe("gm", "batch_ns", 0), 50_000);
         let mut t0 = DeltaTracker::new(0, true);
         let (seq, d) = t0.delta(&reg0.snapshot(), &[], true).unwrap();
         agg.apply(0, seq, 1_000_000, &d);
@@ -450,15 +466,20 @@ mod tests {
         assert_eq!(r0.messages, 12);
         assert_eq!(r0.gm_bytes, 128);
         assert_eq!(r0.hit_pct(), Some(75.0));
-        // Merged latency distribution spans both recorded samples.
+        assert_eq!(r0.gm_inflight, 4);
+        assert_eq!(r0.gm_coalesced, 7);
+        // Merged latency distribution spans all recorded samples (plain
+        // reads/writes and split-phase batches alike).
         assert!(r0.p50_ns.is_some() && r0.p99_ns.is_some());
         assert!(r0.p99_ns.unwrap() >= r0.p50_ns.unwrap());
-        assert!(r0.p99_ns.unwrap() >= 30_000);
+        assert!(r0.p99_ns.unwrap() >= 50_000);
         assert_eq!(r0.age_ns, Some(4_000_000));
         let r1 = &rows[1];
         assert_eq!(r1.machine, Some(1));
         assert_eq!(r1.messages, 5);
         assert_eq!(r1.hit_pct(), None);
+        assert_eq!(r1.gm_inflight, 0);
+        assert_eq!(r1.gm_coalesced, 0);
         assert_eq!(r1.p50_ns, None);
         assert_eq!(r1.age_ns, Some(1_000_000));
         assert!(rows.iter().all(|r| r.last_seq == 1 && r.gaps == 0));
@@ -480,6 +501,8 @@ mod tests {
         let text = render_top(&agg, 5_000_000);
         assert!(text.starts_with("NODE"));
         assert!(text.contains("HIT%"));
+        assert!(text.contains("INFLT"));
+        assert!(text.contains("COAL"));
         assert!(text.contains("75.0"));
         assert!(text.contains("128"));
         // PE1 never saw a GM request: latency renders as "-".

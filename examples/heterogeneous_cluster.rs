@@ -29,12 +29,14 @@ fn main() {
     for (label, program) in [
         (
             "all-sparc   ",
-            DseProgram::new(Platform::sunos_sparc()).with_machines(4),
+            DseProgram::new(Platform::sunos_sparc())
+                .with_config(DseConfig::paper().with_machines(4)),
         ),
         ("mixed       ", DseProgram::heterogeneous(mixed())),
         (
             "all-pentium2",
-            DseProgram::new(Platform::linux_pentium2()).with_machines(4),
+            DseProgram::new(Platform::linux_pentium2())
+                .with_config(DseConfig::paper().with_machines(4)),
         ),
     ] {
         let (run, sol) = gauss_seidel::solve_parallel(&program, 4, params);
@@ -50,12 +52,14 @@ fn main() {
     for (label, program) in [
         (
             "all-sparc   ",
-            DseProgram::new(Platform::sunos_sparc()).with_machines(4),
+            DseProgram::new(Platform::sunos_sparc())
+                .with_config(DseConfig::paper().with_machines(4)),
         ),
         ("mixed       ", DseProgram::heterogeneous(mixed())),
         (
             "all-pentium2",
-            DseProgram::new(Platform::linux_pentium2()).with_machines(4),
+            DseProgram::new(Platform::linux_pentium2())
+                .with_config(DseConfig::paper().with_machines(4)),
         ),
     ] {
         let (run, count) = knights::count_parallel(&program, 4, knights::KnightsParams::paper(64));

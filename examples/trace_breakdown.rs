@@ -20,7 +20,8 @@ fn show(block: usize) {
         keep: 0.25,
         seed: 7,
     };
-    let program = DseProgram::new(Platform::sunos_sparc()).with_tracing(true);
+    let program =
+        DseProgram::new(Platform::sunos_sparc()).with_config(DseConfig::paper().with_tracing(true));
     let (run, _) = compress_parallel(&program, 4, params);
     let trace = run.report.trace.as_ref().expect("tracing enabled");
     let analysis = analyze(trace, run.report.end_time);

@@ -196,10 +196,8 @@ fn main() {
     // A Chrome trace needs the per-process event timeline, so --trace-json
     // implies tracing even without the printed breakdown.
     let tracing = args.trace || args.trace_json.is_some();
-    let mut program = DseProgram::new(platform.clone())
-        .with_machines(args.machines)
-        .with_config(config)
-        .with_tracing(tracing);
+    config = config.with_machines(args.machines).with_tracing(tracing);
+    let mut program = DseProgram::new(platform.clone()).with_config(config);
     if args.watch {
         program = program.with_epoch_hook(|agg, now_ns| {
             println!("-- t={:.1}ms", now_ns as f64 / 1e6);

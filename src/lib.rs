@@ -36,6 +36,27 @@
 //! });
 //! println!("simulated execution time: {}", result.elapsed);
 //! ```
+//!
+//! Global-memory accesses can also be issued split-phase — start several
+//! transfers, let the runtime coalesce and pipeline them, redeem the
+//! handles when the data is needed:
+//!
+//! ```
+//! use dse::prelude::*;
+//!
+//! DseProgram::new(Platform::sunos_sparc()).run(4, |ctx| {
+//!     let table = GmArray::<u64>::alloc(ctx, 8, Distribution::Blocked);
+//!     table.set(ctx, ctx.rank() as usize, 10 + ctx.rank() as u64);
+//!     ctx.barrier();
+//!     let handles: Vec<GmHandle> = (0..4)
+//!         .map(|i| ctx.gm_read_nb(table.region(), i * 8, 8))
+//!         .collect();
+//!     for (i, h) in handles.into_iter().enumerate() {
+//!         let bytes = ctx.gm_wait(h).expect("reads carry data");
+//!         assert_eq!(u64::from_le_bytes(bytes.try_into().unwrap()), 10 + i as u64);
+//!     }
+//! });
+//! ```
 
 pub use dse_api as api;
 pub use dse_apps as apps;
@@ -51,9 +72,9 @@ pub use dse_ssi as ssi;
 /// The names most programs need.
 pub mod prelude {
     pub use dse_api::{
-        collective, Distribution, DseConfig, DseCtx, DseProgram, GmArray, GmCounter, NetworkChoice,
-        Organization, ParallelApi, Platform, RunResult, SimDuration, StallReport, TelemetryConfig,
-        TelemetrySummary, Work,
+        collective, Distribution, DseConfig, DseCtx, DseProgram, GmArray, GmCounter, GmHandle,
+        NetworkChoice, Organization, ParallelApi, Platform, RunResult, SimDuration, StallReport,
+        TelemetryConfig, TelemetrySummary, Work,
     };
     pub use dse_live::{run_live, run_live_watched};
     pub use dse_ssi::{render_top, top_rows, ClusterView, PlacementPolicy, Placer};

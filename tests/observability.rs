@@ -203,7 +203,8 @@ impl<'a> Parser<'a> {
 // ---------------------------------------------------------------------------
 
 fn reference_run() -> RunResult {
-    let program = DseProgram::new(Platform::sunos_sparc()).with_tracing(true);
+    let program =
+        DseProgram::new(Platform::sunos_sparc()).with_config(DseConfig::paper().with_tracing(true));
     let params = gauss_seidel::GaussSeidelParams::paper(120);
     let (run, sol) = gauss_seidel::solve_parallel(&program, 6, params);
     assert!(sol.delta <= params.eps, "solver must converge");
