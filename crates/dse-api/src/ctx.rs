@@ -45,6 +45,31 @@ impl GmHandle {
     pub fn ready(data: Option<Vec<u8>>) -> GmHandle {
         GmHandle(HandleInner::Ready(data))
     }
+
+    /// A handle referring to operation `id` queued in the issuing engine.
+    /// For engines (like the live message-passing engine) that implement
+    /// their own split-phase staging outside `DseCtx`.
+    pub fn queued(id: u64) -> GmHandle {
+        GmHandle(HandleInner::Queued(id))
+    }
+
+    /// The queued operation id, or `None` if the handle was born ready.
+    pub fn queued_id(&self) -> Option<u64> {
+        match self.0 {
+            HandleInner::Queued(id) => Some(id),
+            HandleInner::Ready(_) => None,
+        }
+    }
+
+    /// Consume a ready handle, yielding its data (`Some` for reads, `None`
+    /// for writes). Panics on a queued handle — the owning engine must
+    /// resolve those through its own wait path.
+    pub fn into_ready(self) -> Option<Vec<u8>> {
+        match self.0 {
+            HandleInner::Ready(data) => data,
+            HandleInner::Queued(id) => panic!("handle {id} is still queued, not ready"),
+        }
+    }
 }
 
 /// Where a completed read segment's bytes land: `len` bytes at absolute

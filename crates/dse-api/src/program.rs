@@ -116,7 +116,6 @@ pub struct DseProgram {
     machines: usize,
     machine_platforms: Option<Vec<Platform>>,
     config: DseConfig,
-    tracing: bool,
     telemetry_hook: Option<TelemetryHook>,
 }
 
@@ -127,7 +126,6 @@ impl std::fmt::Debug for DseProgram {
             .field("machines", &self.machines)
             .field("machine_platforms", &self.machine_platforms)
             .field("config", &self.config)
-            .field("tracing", &self.tracing)
             .field(
                 "telemetry_hook",
                 &self.telemetry_hook.as_ref().map(|_| "fn"),
@@ -145,7 +143,6 @@ impl DseProgram {
             machines: PAPER_MACHINES,
             machine_platforms: None,
             config: DseConfig::default(),
-            tracing: false,
             telemetry_hook: None,
         }
     }
@@ -160,26 +157,8 @@ impl DseProgram {
             machines: platforms.len(),
             machine_platforms: Some(platforms),
             config: DseConfig::default(),
-            tracing: false,
             telemetry_hook: None,
         }
-    }
-
-    /// Record an execution trace during runs.
-    #[doc(hidden)]
-    #[deprecated(note = "use DseConfig::with_tracing (the config is the one builder surface)")]
-    pub fn with_tracing(mut self, on: bool) -> DseProgram {
-        self.tracing = on;
-        self
-    }
-
-    /// Override the number of physical machines.
-    #[doc(hidden)]
-    #[deprecated(note = "use DseConfig::with_machines (the config is the one builder surface)")]
-    pub fn with_machines(mut self, machines: usize) -> DseProgram {
-        assert!(machines > 0);
-        self.machines = machines;
-        self
     }
 
     /// Override the runtime configuration.
@@ -215,8 +194,9 @@ impl DseProgram {
     {
         assert!(nprocs > 0, "need at least one processor");
         assert!(nprocs <= u16::MAX as usize, "too many processors");
-        // `DseConfig` is the canonical builder surface; the deprecated
-        // program-level knobs remain as fallbacks for old callers.
+        // `DseConfig` is the sole builder surface; the program-level count
+        // only supplies the constructor defaults (paper cluster /
+        // heterogeneous platform list).
         let machines = match self.config.machines {
             Some(m) => {
                 assert!(m > 0, "machine count must be positive");
@@ -227,7 +207,7 @@ impl DseProgram {
         let mut spec = ClusterSpec::with_machines(self.platform.clone(), machines, nprocs);
         spec.machine_platforms = self.machine_platforms.clone();
         let mut sim: Simulator<SimMsg> = Simulator::new();
-        if self.tracing || self.config.tracing {
+        if self.config.tracing {
             sim.enable_tracing();
         }
         let cpus = (0..spec.machines_used())

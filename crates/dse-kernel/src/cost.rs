@@ -19,6 +19,10 @@ const FORK_CTX_SWITCHES: f64 = 60.0;
 /// linked kernel library plus queue bookkeeping), in microseconds.
 const LOCAL_CALL_US: f64 = 2.0;
 
+/// Queueing delay of a loopback (same-machine) delivery, in microseconds.
+/// The software costs dominate; this only keeps event ordering sane.
+const LOOPBACK_DELAY_US: u64 = 5;
+
 /// Prices runtime actions on one platform under one protocol/organization.
 #[derive(Debug, Clone)]
 pub struct CostModel {
@@ -79,6 +83,13 @@ impl CostModel {
     /// Memory traffic of servicing a GM request (copy in/out of the store).
     pub fn mem_copy(&self, bytes: usize) -> SimDuration {
         SimDuration::from_secs_f64(bytes as f64 / (self.platform.cpu.mem_mb_s * 1e6))
+    }
+
+    /// Queueing delay of a loopback (same-machine) delivery — the network
+    /// path's non-LAN branch. Part of the cost model rather than a network
+    /// constant so organization/platform variants can reprice it.
+    pub fn loopback_delay(&self) -> SimDuration {
+        SimDuration::from_micros(LOOPBACK_DELAY_US)
     }
 
     /// Cost of creating one DSE parallel process on this node.

@@ -16,6 +16,7 @@ use dse_sim::{ProcCtx, ProcId, RecvResult};
 
 use crate::cache::blocks_inside;
 use crate::netpath::{charge_recv, send_msg};
+use crate::service::{serve_gm, GmServiceHooks, Served};
 use crate::shared::ClusterShared;
 use crate::simmsg::SimMsg;
 use crate::sync::{BarrierOutcome, LockOutcome, Party, UnlockOutcome};
@@ -116,6 +117,103 @@ pub fn lock_release(
                 ctx.id(),
                 &grant,
             );
+        }
+    }
+}
+
+/// The span identity of a GM request message (kind, correlation seq).
+fn gm_span_of(msg: &Message) -> (SpanKind, u64) {
+    match msg {
+        Message::GmReadReq { req, .. } => (SpanKind::GmRead, req.0),
+        Message::GmWriteReq { req, .. } => (SpanKind::GmWrite, req.0),
+        Message::GmFetchAddReq { req, .. } => (SpanKind::GmFetchAdd, req.0),
+        Message::GmBatchReq { req, .. } => (SpanKind::GmBatch, req.0),
+        other => unreachable!("not a GM request: {other:?}"),
+    }
+}
+
+/// The simulator's accounting around the engine-neutral GM service: every
+/// executed operation charges the serving node's CPU, updates the kernel
+/// stats cell, installs cache blocks for the requester, and starts
+/// write-invalidate rounds whose acks gate the response.
+struct SimGmHooks<'a> {
+    ctx: &'a mut ProcCtx<SimMsg>,
+    shared: &'a ClusterShared,
+    node: NodeId,
+    cache_on: bool,
+    requester: NodeId,
+    txn_ids: &'a mut ReqIdGen,
+    acks_needed: usize,
+    txns: Vec<u64>,
+}
+
+impl GmServiceHooks for SimGmHooks<'_> {
+    fn read_executed(&mut self, region: dse_msg::RegionId, offset: u64, data: &[u8]) {
+        self.ctx.use_resource(
+            self.shared.cpu_of(self.node),
+            self.shared.cost(self.node).mem_copy(data.len()),
+        );
+        self.shared.stats.update(self.node, |s| {
+            s.gm_remote_reads += 1;
+            s.gm_bytes_read += data.len() as u64;
+        });
+        if self.cache_on {
+            // The reader will install every block fully inside the
+            // response; record it as a holder of exactly those.
+            for b in blocks_inside(offset, data.len()) {
+                let lo = (b as usize * crate::cache::CACHE_BLOCK) as u64 - offset;
+                let chunk = data[lo as usize..lo as usize + crate::cache::CACHE_BLOCK].to_vec();
+                self.shared.cache.install(self.requester, region, b, chunk);
+            }
+        }
+    }
+
+    fn write_executed(&mut self, region: dse_msg::RegionId, offset: u64, len: usize) {
+        self.ctx.use_resource(
+            self.shared.cpu_of(self.node),
+            self.shared.cost(self.node).mem_copy(len),
+        );
+        self.shared.stats.update(self.node, |s| {
+            s.gm_remote_writes += 1;
+            s.gm_bytes_written += len as u64;
+        });
+        if self.cache_on {
+            let txn = self.txn_ids.next();
+            let acks = begin_invalidation(
+                self.ctx,
+                self.shared,
+                self.node,
+                txn,
+                region,
+                offset,
+                len,
+                self.requester,
+            );
+            if acks > 0 {
+                self.acks_needed += acks;
+                self.txns.push(txn.0);
+            }
+        }
+    }
+
+    fn fetch_add_executed(&mut self, region: dse_msg::RegionId, offset: u64) {
+        self.shared.stats.update(self.node, |s| s.fetch_adds += 1);
+        if self.cache_on {
+            let txn = self.txn_ids.next();
+            let acks = begin_invalidation(
+                self.ctx,
+                self.shared,
+                self.node,
+                txn,
+                region,
+                offset,
+                8,
+                self.requester,
+            );
+            if acks > 0 {
+                self.acks_needed += acks;
+                self.txns.push(txn.0);
+            }
         }
     }
 }
@@ -272,236 +370,38 @@ pub fn kernel_main(
                     }
                 }
             }
-            Message::GmReadReq {
-                req,
-                region,
-                offset,
-                len,
-            } => {
-                serviced = Some((SpanKind::GmRead, req.0));
-                let data = shared
-                    .store
-                    .read(region, offset, len as usize)
-                    .unwrap_or_else(|e| panic!("kernel {node}: remote read failed: {e}"));
-                ctx.use_resource(shared.cpu_of(node), shared.cost(node).mem_copy(data.len()));
-                shared.stats.update(node, |s| {
-                    s.gm_remote_reads += 1;
-                    s.gm_bytes_read += data.len() as u64;
-                });
-                if cache_on {
-                    // The reader will install every block fully inside the
-                    // response; record it as a holder of exactly those.
-                    for b in blocks_inside(offset, len as usize) {
-                        let lo = (b as usize * crate::cache::CACHE_BLOCK) as u64 - offset;
-                        let chunk =
-                            data[lo as usize..lo as usize + crate::cache::CACHE_BLOCK].to_vec();
-                        shared.cache.install(sm.from_node, region, b, chunk);
-                    }
-                }
-                let resp = Message::GmReadResp { req, data };
-                send_msg(
+            msg @ (Message::GmReadReq { .. }
+            | Message::GmWriteReq { .. }
+            | Message::GmFetchAddReq { .. }
+            | Message::GmBatchReq { .. }) => {
+                serviced = Some(gm_span_of(&msg));
+                let is_batch = matches!(msg, Message::GmBatchReq { .. });
+                // The engine-neutral service executes the store operations;
+                // these hooks layer the simulator's accounting on top: CPU
+                // charges, kernel stats, cache installs, and invalidation
+                // rounds for the mutated ranges.
+                let mut hooks = SimGmHooks {
                     ctx,
-                    &shared,
+                    shared: &shared,
                     node,
-                    sm.from_node,
-                    sm.reply_to,
-                    ctx.id(),
-                    &resp,
-                );
-            }
-            Message::GmWriteReq {
-                req,
-                region,
-                offset,
-                data,
-            } => {
-                serviced = Some((SpanKind::GmWrite, req.0));
-                ctx.use_resource(shared.cpu_of(node), shared.cost(node).mem_copy(data.len()));
-                shared.stats.update(node, |s| {
-                    s.gm_remote_writes += 1;
-                    s.gm_bytes_written += data.len() as u64;
-                });
-                let len = data.len();
-                shared
-                    .store
-                    .write(region, offset, &data)
-                    .unwrap_or_else(|e| panic!("kernel {node}: remote write failed: {e}"));
-                let resp = Message::GmWriteAck { req };
-                let mut acks_needed = 0;
-                if cache_on {
-                    let txn = txn_ids.next();
-                    acks_needed = begin_invalidation(
-                        ctx,
-                        &shared,
-                        node,
-                        txn,
-                        region,
-                        offset,
-                        len,
-                        sm.from_node,
-                    );
-                    if acks_needed > 0 {
-                        txn_to_gate.insert(txn.0, txn.0);
-                        gates.insert(
-                            txn.0,
-                            ResponseGate {
-                                remaining: acks_needed,
-                                response: resp.clone(),
-                                to_node: sm.from_node,
-                                to_proc: sm.reply_to,
-                            },
-                        );
-                    }
-                }
-                if acks_needed == 0 {
-                    send_msg(
-                        ctx,
-                        &shared,
-                        node,
-                        sm.from_node,
-                        sm.reply_to,
-                        ctx.id(),
-                        &resp,
-                    );
-                }
-            }
-            Message::GmFetchAddReq {
-                req,
-                region,
-                offset,
-                delta,
-            } => {
-                serviced = Some((SpanKind::GmFetchAdd, req.0));
-                let prev = shared
-                    .store
-                    .fetch_add(region, offset, delta)
-                    .unwrap_or_else(|e| panic!("kernel {node}: remote fetch-add failed: {e}"));
-                shared.stats.update(node, |s| s.fetch_adds += 1);
-                let resp = Message::GmFetchAddResp { req, prev };
-                let mut acks_needed = 0;
-                if cache_on {
-                    let txn = txn_ids.next();
-                    acks_needed = begin_invalidation(
-                        ctx,
-                        &shared,
-                        node,
-                        txn,
-                        region,
-                        offset,
-                        8,
-                        sm.from_node,
-                    );
-                    if acks_needed > 0 {
-                        txn_to_gate.insert(txn.0, txn.0);
-                        gates.insert(
-                            txn.0,
-                            ResponseGate {
-                                remaining: acks_needed,
-                                response: resp.clone(),
-                                to_node: sm.from_node,
-                                to_proc: sm.reply_to,
-                            },
-                        );
-                    }
-                }
-                if acks_needed == 0 {
-                    send_msg(
-                        ctx,
-                        &shared,
-                        node,
-                        sm.from_node,
-                        sm.reply_to,
-                        ctx.id(),
-                        &resp,
-                    );
-                }
-            }
-            Message::GmBatchReq { req, ops } => {
-                serviced = Some((SpanKind::GmBatch, req.0));
-                // Execute in issue order so a read after a coalesced write
-                // inside the same batch observes the written data.
-                let mut reads = Vec::new();
-                let mut acks_needed = 0;
-                let mut txns = Vec::new();
-                for op in ops {
-                    match op {
-                        dse_msg::GmOp::Read {
-                            region,
-                            offset,
-                            len,
-                        } => {
-                            let data = shared
-                                .store
-                                .read(region, offset, len as usize)
-                                .unwrap_or_else(|e| {
-                                    panic!("kernel {node}: batched read failed: {e}")
-                                });
-                            ctx.use_resource(
-                                shared.cpu_of(node),
-                                shared.cost(node).mem_copy(data.len()),
-                            );
-                            shared.stats.update(node, |s| {
-                                s.gm_remote_reads += 1;
-                                s.gm_bytes_read += data.len() as u64;
-                            });
-                            if cache_on {
-                                for b in blocks_inside(offset, len as usize) {
-                                    let lo =
-                                        (b as usize * crate::cache::CACHE_BLOCK) as u64 - offset;
-                                    let chunk = data
-                                        [lo as usize..lo as usize + crate::cache::CACHE_BLOCK]
-                                        .to_vec();
-                                    shared.cache.install(sm.from_node, region, b, chunk);
-                                }
-                            }
-                            reads.push(data);
-                        }
-                        dse_msg::GmOp::Write {
-                            region,
-                            offset,
-                            data,
-                        } => {
-                            ctx.use_resource(
-                                shared.cpu_of(node),
-                                shared.cost(node).mem_copy(data.len()),
-                            );
-                            shared.stats.update(node, |s| {
-                                s.gm_remote_writes += 1;
-                                s.gm_bytes_written += data.len() as u64;
-                            });
-                            let len = data.len();
-                            shared
-                                .store
-                                .write(region, offset, &data)
-                                .unwrap_or_else(|e| {
-                                    panic!("kernel {node}: batched write failed: {e}")
-                                });
-                            if cache_on {
-                                let txn = txn_ids.next();
-                                let acks = begin_invalidation(
-                                    ctx,
-                                    &shared,
-                                    node,
-                                    txn,
-                                    region,
-                                    offset,
-                                    len,
-                                    sm.from_node,
-                                );
-                                if acks > 0 {
-                                    acks_needed += acks;
-                                    txns.push(txn.0);
-                                }
-                            }
-                        }
-                    }
-                }
-                let resp = Message::GmBatchResp { req, reads };
+                    cache_on,
+                    requester: sm.from_node,
+                    txn_ids: &mut txn_ids,
+                    acks_needed: 0,
+                    txns: Vec::new(),
+                };
+                let resp = match serve_gm(&shared.store, msg, &mut hooks) {
+                    Served::Response(r) => r,
+                    Served::NotGm(_) => unreachable!("matched GM request arm"),
+                };
+                let acks_needed = hooks.acks_needed;
+                let txns = std::mem::take(&mut hooks.txns);
+                drop(hooks);
                 if acks_needed > 0 {
-                    // One gate for the whole batch: the single response is
-                    // released only after every merged write's invalidation
-                    // round has completed.
-                    let gate_id = txn_ids.next().0;
+                    // Gate the response on the invalidation rounds. A plain
+                    // write/fetch-add reuses its single txn id as the gate;
+                    // a batch gets one gate covering every merged write.
+                    let gate_id = if is_batch { txn_ids.next().0 } else { txns[0] };
                     for t in txns {
                         txn_to_gate.insert(t, gate_id);
                     }

@@ -28,6 +28,7 @@ pub mod cost;
 pub mod gmem;
 pub mod kernel;
 pub mod netpath;
+pub mod service;
 pub mod shared;
 pub mod simmsg;
 pub mod stats;
@@ -39,6 +40,7 @@ pub use config::{DseConfig, NetworkChoice, Organization, TelemetryConfig, DEFAUL
 pub use cost::CostModel;
 pub use gmem::{Distribution, GlobalStore, GmError};
 pub use kernel::{kernel_main, AppBody, AppFactory};
+pub use service::{serve_gm, GmServiceHooks, NoHooks, Served};
 pub use shared::{ClusterShared, TelemetryHook};
 pub use simmsg::SimMsg;
 pub use stats::{KernelStats, StatsCell};

@@ -21,10 +21,6 @@ use dse_sim::{ProcCtx, ProcId, SimDuration};
 use crate::shared::ClusterShared;
 use crate::simmsg::SimMsg;
 
-/// Queueing delay of a loopback (same-machine) delivery. The software costs
-/// dominate; this only keeps event ordering sane.
-const LOOPBACK_DELAY: SimDuration = SimDuration::from_micros(5);
-
 /// Send `msg` from `from_node` to the simulation process `to_proc` living
 /// on `to_node`. Charges the sender-side software cost, books the wire (or
 /// loopback), and dispatches the envelope. `reply_to` names the simulation
@@ -66,7 +62,7 @@ pub fn send_msg(
         shared
             .metrics
             .incr(MetricKey::pe("net", "loopback_msgs", pe).on_machine(machine));
-        LOOPBACK_DELAY
+        shared.cost(from_node).loopback_delay()
     } else {
         let now = ctx.now();
         let timing = shared.network.lock().send_message(

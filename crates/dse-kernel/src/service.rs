@@ -1,0 +1,220 @@
+//! Engine-neutral execution of global-memory request messages.
+//!
+//! The paper's kernel has one job on the serving side: take a decoded
+//! request, touch the home partition of global memory, and produce the
+//! response message. That data plane is identical whether the kernel is a
+//! simulated process (charging virtual CPU time, maintaining the coherence
+//! directory) or a live thread answering sockets — so it lives here, once.
+//! Engine-specific accounting (cost charging, cache installs, invalidation
+//! rounds, metrics) hangs off the [`GmServiceHooks`] callbacks, which fire
+//! *after* the store operation they describe, in request order.
+
+use dse_msg::{GmOp, Message, RegionId};
+
+use crate::gmem::GlobalStore;
+
+/// Engine-specific side effects of serving a GM request.
+pub trait GmServiceHooks {
+    /// A read of `data.len()` bytes at (`region`, `offset`) was executed.
+    fn read_executed(&mut self, region: RegionId, offset: u64, data: &[u8]);
+    /// A write of `len` bytes at (`region`, `offset`) was executed.
+    fn write_executed(&mut self, region: RegionId, offset: u64, len: usize);
+    /// A fetch-add on the cell at (`region`, `offset`) was executed.
+    fn fetch_add_executed(&mut self, region: RegionId, offset: u64);
+}
+
+/// Hooks that do nothing; for callers with no engine accounting.
+pub struct NoHooks;
+
+impl GmServiceHooks for NoHooks {
+    fn read_executed(&mut self, _: RegionId, _: u64, _: &[u8]) {}
+    fn write_executed(&mut self, _: RegionId, _: u64, _: usize) {}
+    fn fetch_add_executed(&mut self, _: RegionId, _: u64) {}
+}
+
+/// Outcome of offering a message to the GM service.
+pub enum Served {
+    /// The message was a GM request; here is the response to send back.
+    Response(Message),
+    /// Not a GM request — handed back untouched for the caller's dispatch.
+    NotGm(Message),
+}
+
+/// Execute one GM request against `store`. Batch operations run in issue
+/// order, so a read following a coalesced write inside the same batch
+/// observes the written data. Panics on a malformed request (out-of-range
+/// access): the requester and home disagree about the address space, which
+/// is unrecoverable.
+pub fn serve_gm(store: &GlobalStore, msg: Message, hooks: &mut impl GmServiceHooks) -> Served {
+    match msg {
+        Message::GmReadReq {
+            req,
+            region,
+            offset,
+            len,
+        } => {
+            let data = store
+                .read(region, offset, len as usize)
+                .unwrap_or_else(|e| panic!("gm service: remote read failed: {e}"));
+            hooks.read_executed(region, offset, &data);
+            Served::Response(Message::GmReadResp { req, data })
+        }
+        Message::GmWriteReq {
+            req,
+            region,
+            offset,
+            data,
+        } => {
+            store
+                .write(region, offset, &data)
+                .unwrap_or_else(|e| panic!("gm service: remote write failed: {e}"));
+            hooks.write_executed(region, offset, data.len());
+            Served::Response(Message::GmWriteAck { req })
+        }
+        Message::GmFetchAddReq {
+            req,
+            region,
+            offset,
+            delta,
+        } => {
+            let prev = store
+                .fetch_add(region, offset, delta)
+                .unwrap_or_else(|e| panic!("gm service: remote fetch-add failed: {e}"));
+            hooks.fetch_add_executed(region, offset);
+            Served::Response(Message::GmFetchAddResp { req, prev })
+        }
+        Message::GmBatchReq { req, ops } => {
+            let mut reads = Vec::new();
+            for op in ops {
+                match op {
+                    GmOp::Read {
+                        region,
+                        offset,
+                        len,
+                    } => {
+                        let data = store
+                            .read(region, offset, len as usize)
+                            .unwrap_or_else(|e| panic!("gm service: batched read failed: {e}"));
+                        hooks.read_executed(region, offset, &data);
+                        reads.push(data);
+                    }
+                    GmOp::Write {
+                        region,
+                        offset,
+                        data,
+                    } => {
+                        store
+                            .write(region, offset, &data)
+                            .unwrap_or_else(|e| panic!("gm service: batched write failed: {e}"));
+                        hooks.write_executed(region, offset, data.len());
+                    }
+                }
+            }
+            Served::Response(Message::GmBatchResp { req, reads })
+        }
+        other => Served::NotGm(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_msg::ReqId;
+
+    #[derive(Default)]
+    struct CountingHooks {
+        reads: usize,
+        writes: usize,
+        fadds: usize,
+    }
+
+    impl GmServiceHooks for CountingHooks {
+        fn read_executed(&mut self, _: RegionId, _: u64, _: &[u8]) {
+            self.reads += 1;
+        }
+        fn write_executed(&mut self, _: RegionId, _: u64, _: usize) {
+            self.writes += 1;
+        }
+        fn fetch_add_executed(&mut self, _: RegionId, _: u64) {
+            self.fadds += 1;
+        }
+    }
+
+    fn store_with_region(bytes: usize) -> (GlobalStore, RegionId) {
+        let store = GlobalStore::new(1);
+        let r = store.alloc(bytes, crate::gmem::Distribution::Blocked);
+        (store, r)
+    }
+
+    #[test]
+    fn read_write_roundtrip_through_service() {
+        let (store, r) = store_with_region(64);
+        let mut hooks = CountingHooks::default();
+        let w = Message::GmWriteReq {
+            req: ReqId(1),
+            region: r,
+            offset: 8,
+            data: vec![5u8; 16],
+        };
+        match serve_gm(&store, w, &mut hooks) {
+            Served::Response(Message::GmWriteAck { req: ReqId(1) }) => {}
+            _ => panic!("expected write ack"),
+        }
+        let rd = Message::GmReadReq {
+            req: ReqId(2),
+            region: r,
+            offset: 8,
+            len: 16,
+        };
+        match serve_gm(&store, rd, &mut hooks) {
+            Served::Response(Message::GmReadResp {
+                req: ReqId(2),
+                data,
+            }) => {
+                assert_eq!(data, vec![5u8; 16]);
+            }
+            _ => panic!("expected read resp"),
+        }
+        assert_eq!((hooks.reads, hooks.writes), (1, 1));
+    }
+
+    #[test]
+    fn batch_executes_in_issue_order() {
+        let (store, r) = store_with_region(32);
+        let mut hooks = CountingHooks::default();
+        let batch = Message::GmBatchReq {
+            req: ReqId(3),
+            ops: vec![
+                GmOp::Write {
+                    region: r,
+                    offset: 0,
+                    data: vec![9u8; 8],
+                },
+                GmOp::Read {
+                    region: r,
+                    offset: 0,
+                    len: 8,
+                },
+            ],
+        };
+        match serve_gm(&store, batch, &mut hooks) {
+            Served::Response(Message::GmBatchResp {
+                req: ReqId(3),
+                reads,
+            }) => {
+                assert_eq!(reads, vec![vec![9u8; 8]]);
+            }
+            _ => panic!("expected batch resp"),
+        }
+        assert_eq!((hooks.reads, hooks.writes, hooks.fadds), (1, 1, 0));
+    }
+
+    #[test]
+    fn non_gm_messages_are_handed_back() {
+        let (store, _) = store_with_region(8);
+        match serve_gm(&store, Message::KernelShutdown, &mut NoHooks) {
+            Served::NotGm(Message::KernelShutdown) => {}
+            _ => panic!("expected message back"),
+        }
+    }
+}

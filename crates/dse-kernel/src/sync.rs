@@ -15,21 +15,26 @@ use dse_msg::{GlobalPid, NodeId, ReqId};
 use dse_sim::ProcId;
 
 /// A party registered with the coordinator (where to send its wakeup).
+///
+/// Generic over the reply token `R`: the simulator addresses wakeups to a
+/// simulation process ([`ProcId`], the default), while the live engine
+/// addresses them to a PE rank (`u32`) on its transport. The coordination
+/// state machines are identical either way.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Party {
+pub struct Party<R = ProcId> {
     /// Cluster-wide pid.
     pub pid: GlobalPid,
     /// Node the process runs on (selects local vs LAN reply path).
     pub node: NodeId,
-    /// Simulation process to deliver the wakeup to.
-    pub reply_to: ProcId,
+    /// Where to deliver the wakeup (engine-specific address).
+    pub reply_to: R,
     /// Correlation id for request/grant pairs (unused by barriers).
     pub req: ReqId,
 }
 
 /// Result of entering a barrier.
 #[derive(Debug)]
-pub enum BarrierOutcome {
+pub enum BarrierOutcome<R = ProcId> {
     /// Not everyone is here yet; the enterer must wait for a release.
     Wait,
     /// The enterer was last: it (or the coordinating kernel) must now send
@@ -38,24 +43,24 @@ pub enum BarrierOutcome {
         /// The epoch that just completed.
         epoch: u32,
         /// Everyone who was waiting (the last enterer is *not* included).
-        waiters: Vec<Party>,
+        waiters: Vec<Party<R>>,
     },
 }
 
-struct BarrierState {
+struct BarrierState<R> {
     epoch: u32,
-    waiters: Vec<Party>,
+    waiters: Vec<Party<R>>,
 }
 
 /// Barrier coordination state (lives on node 0).
-pub struct BarrierCenter {
+pub struct BarrierCenter<R = ProcId> {
     nprocs: usize,
-    inner: Mutex<HashMap<u32, BarrierState>>,
+    inner: Mutex<HashMap<u32, BarrierState<R>>>,
 }
 
-impl BarrierCenter {
+impl<R> BarrierCenter<R> {
     /// A center synchronizing `nprocs` parallel processes.
-    pub fn new(nprocs: usize) -> BarrierCenter {
+    pub fn new(nprocs: usize) -> BarrierCenter<R> {
         assert!(nprocs > 0);
         BarrierCenter {
             nprocs,
@@ -64,7 +69,7 @@ impl BarrierCenter {
     }
 
     /// Record `party` entering `barrier`.
-    pub fn enter(&self, barrier: u32, party: Party) -> BarrierOutcome {
+    pub fn enter(&self, barrier: u32, party: Party<R>) -> BarrierOutcome<R> {
         let mut inner = self.inner.lock();
         let st = inner.entry(barrier).or_insert(BarrierState {
             epoch: 0,
@@ -104,39 +109,39 @@ pub enum LockOutcome {
 
 /// Result of a lock release.
 #[derive(Debug)]
-pub enum UnlockOutcome {
+pub enum UnlockOutcome<R = ProcId> {
     /// No one was waiting; the lock is now free.
     Released,
     /// Ownership passes to this queued party; send it a `LockGrant`.
-    Granted(Party),
+    Granted(Party<R>),
 }
 
-struct LockState {
+struct LockState<R> {
     holder: Option<GlobalPid>,
-    queue: VecDeque<Party>,
+    queue: VecDeque<Party<R>>,
 }
 
 /// Lock coordination state (lives on node 0).
-pub struct LockCenter {
-    inner: Mutex<HashMap<u32, LockState>>,
+pub struct LockCenter<R = ProcId> {
+    inner: Mutex<HashMap<u32, LockState<R>>>,
 }
 
-impl Default for LockCenter {
+impl<R> Default for LockCenter<R> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl LockCenter {
+impl<R> LockCenter<R> {
     /// An empty lock table.
-    pub fn new() -> LockCenter {
+    pub fn new() -> LockCenter<R> {
         LockCenter {
             inner: Mutex::new(HashMap::new()),
         }
     }
 
     /// Try to acquire `lock` for `party`.
-    pub fn acquire(&self, lock: u32, party: Party) -> LockOutcome {
+    pub fn acquire(&self, lock: u32, party: Party<R>) -> LockOutcome {
         let mut inner = self.inner.lock();
         let st = inner.entry(lock).or_insert(LockState {
             holder: None,
@@ -156,7 +161,7 @@ impl LockCenter {
     }
 
     /// Release `lock`, which `pid` must hold.
-    pub fn release(&self, lock: u32, pid: GlobalPid) -> UnlockOutcome {
+    pub fn release(&self, lock: u32, pid: GlobalPid) -> UnlockOutcome<R> {
         let mut inner = self.inner.lock();
         let st = inner
             .get_mut(&lock)

@@ -1,39 +1,109 @@
-//! The live execution engine: the same Parallel API on real OS threads.
+//! The live execution engine: the same Parallel API, driven by real wire
+//! messages over a pluggable [`Transport`].
 //!
 //! Where the simulator answers "how long would this have taken on a 1999
-//! cluster", the live engine simply *runs* the program — one thread per DSE
-//! process, the global memory backed by the same `GlobalStore`, barriers
-//! and locks by real synchronization primitives, wall-clock timing. One
-//! application body, two engines: the portability the paper argues for.
+//! cluster", the live engine *runs* the program — and it runs it the way
+//! the paper's Fig. 3 describes. Each processor element hosts two threads:
+//!
+//! * an **application thread** executing the rank's body through
+//!   [`LiveCtx`], whose global-memory accesses take the own-node fast path
+//!   when the range is homed locally and otherwise become encoded
+//!   `GmReadReq`/`GmWriteReq`/`GmBatchReq` request messages to the home
+//!   PE's kernel;
+//! * a **kernel thread** — the linked-library DSE kernel's message loop —
+//!   the sole consumer of the PE's transport endpoint. It services incoming
+//!   GM requests against the global store, forwards responses to its own
+//!   application thread, and (on PE 0) runs the cluster coordinator:
+//!   barriers, locks, exit collection, and the telemetry aggregator behind
+//!   `--watch`.
+//!
+//! The transport is chosen per run ([`TransportKind`]): an in-process
+//! channel mesh, a framed TCP-over-loopback mesh, or Unix domain sockets —
+//! identical program results on all of them, which is the portability claim
+//! made mechanical.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
-use dse_api::ParallelApi;
+use dse_api::{GmHandle, ParallelApi};
 use dse_kernel::gmem::GlobalStore;
-use dse_kernel::Distribution;
-use dse_msg::RegionId;
+use dse_kernel::{
+    serve_gm, BarrierCenter, BarrierOutcome, Distribution, GmServiceHooks, LockCenter, LockOutcome,
+    Party, Served, UnlockOutcome,
+};
+use dse_msg::{GlobalPid, GmOp, Message, NodeId, RegionId, ReqId, ReqIdGen};
 use dse_obs::{
     ClusterAggregator, DeltaTracker, MetricKey, MetricsSnapshot, Registry, TelemetryDelta,
 };
 use dse_platform::Work;
+use dse_transport::{ChannelTransport, SocketTransport, Transport, TransportError};
 
-/// Cluster lock table: held ids plus a condvar for waiters.
-struct LiveLocks {
-    held: Mutex<std::collections::HashSet<u32>>,
-    cv: Condvar,
+/// Which wire carries the live engine's messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process MPSC channel mesh (frames still encoded/decoded).
+    Channel,
+    /// Framed TCP over loopback, one connection per PE pair.
+    Tcp,
+    /// Framed Unix domain sockets (Unix only).
+    Uds,
 }
 
-/// Shared state of a live run.
+impl TransportKind {
+    /// Stable lowercase name (matches the `--transport` CLI flag values).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportKind::Channel => "channel",
+            TransportKind::Tcp => "tcp",
+            TransportKind::Uds => "uds",
+        }
+    }
+}
+
+/// Distinguishes concurrent UDS meshes within one process.
+static UDS_RUN: AtomicU64 = AtomicU64::new(0);
+
+fn build_transports(kind: TransportKind, nprocs: usize) -> Vec<Arc<dyn Transport>> {
+    let n = nprocs as u32;
+    match kind {
+        TransportKind::Channel => ChannelTransport::cluster(n)
+            .into_iter()
+            .map(|t| Arc::new(t) as Arc<dyn Transport>)
+            .collect(),
+        TransportKind::Tcp => SocketTransport::tcp_cluster(n)
+            .unwrap_or_else(|e| panic!("live engine: TCP mesh construction failed: {e}"))
+            .into_iter()
+            .map(|t| Arc::new(t) as Arc<dyn Transport>)
+            .collect(),
+        TransportKind::Uds => {
+            let dir = std::env::temp_dir().join(format!(
+                "dse-live-{}-{}",
+                std::process::id(),
+                UDS_RUN.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| panic!("live engine: cannot create socket dir: {e}"));
+            let cluster = SocketTransport::uds_cluster(n, &dir)
+                .unwrap_or_else(|e| panic!("live engine: UDS mesh construction failed: {e}"));
+            cluster
+                .into_iter()
+                .map(|t| Arc::new(t) as Arc<dyn Transport>)
+                .collect()
+        }
+    }
+}
+
+/// Shared state of a live run: the home-partitioned global store and the
+/// wall-clock metrics registry. Partition ownership is enforced by routing
+/// — a rank only touches bytes homed elsewhere through request messages to
+/// the home PE's kernel thread, never directly.
 pub struct LiveCluster {
     nprocs: usize,
     store: GlobalStore,
-    barriers: Mutex<HashMap<u32, Arc<Barrier>>>,
-    locks: LiveLocks,
     allocs: Mutex<Vec<(RegionId, usize)>>,
     /// Wall-clock observability: the same registry the simulator uses,
     /// fed with `Instant`-measured nanoseconds instead of virtual time.
@@ -41,27 +111,14 @@ pub struct LiveCluster {
 }
 
 impl LiveCluster {
-    /// Shared state for `nprocs` processes.
+    /// Shared state for `nprocs` processing elements.
     pub fn new(nprocs: usize) -> LiveCluster {
         LiveCluster {
             nprocs,
             store: GlobalStore::new(nprocs),
-            barriers: Mutex::new(HashMap::new()),
-            locks: LiveLocks {
-                held: Mutex::new(std::collections::HashSet::new()),
-                cv: Condvar::new(),
-            },
             allocs: Mutex::new(Vec::new()),
             metrics: Registry::new(),
         }
-    }
-
-    fn barrier_for(&self, id: u32) -> Arc<Barrier> {
-        let mut map = self.barriers.lock();
-        Arc::clone(
-            map.entry(id)
-                .or_insert_with(|| Arc::new(Barrier::new(self.nprocs))),
-        )
     }
 
     /// The backing global store (for post-run inspection).
@@ -75,33 +132,796 @@ impl LiveCluster {
     }
 }
 
-/// Per-process context of the live engine.
+/// Matches [`dse_api::AUTO_BARRIER_BASE`]: auto-sequenced barrier ids live
+/// above this bound on both engines.
+const AUTO_BARRIER_BASE: u32 = 0x4000_0000;
+
+// ---------------------------------------------------------------------------
+// Kernel thread: the per-PE message loop.
+// ---------------------------------------------------------------------------
+
+type WatchHook<'h> = &'h (dyn Fn(&ClusterAggregator, u64) + Send + Sync);
+type WatchSpec<'h> = (Duration, WatchHook<'h>);
+
+/// Kernel-side GM service accounting, using the same metric names the
+/// simulator's kernel emits so one `dse-top` view serves both engines.
+struct LiveGmHooks<'a> {
+    metrics: &'a Registry,
+    pe: u32,
+}
+
+impl GmServiceHooks for LiveGmHooks<'_> {
+    fn read_executed(&mut self, _region: dse_msg::RegionId, _offset: u64, data: &[u8]) {
+        self.metrics.add(
+            MetricKey::pe("kernel", "gm_bytes_read", self.pe),
+            data.len() as u64,
+        );
+    }
+    fn write_executed(&mut self, _region: dse_msg::RegionId, _offset: u64, len: usize) {
+        self.metrics.add(
+            MetricKey::pe("kernel", "gm_bytes_written", self.pe),
+            len as u64,
+        );
+    }
+    fn fetch_add_executed(&mut self, _region: dse_msg::RegionId, _offset: u64) {}
+}
+
+/// What the app thread can receive from its kernel: responses to its own
+/// requests and coordination wakeups, forwarded off the transport.
+fn is_app_bound(msg: &Message) -> bool {
+    matches!(
+        msg,
+        Message::GmReadResp { .. }
+            | Message::GmWriteAck { .. }
+            | Message::GmBatchResp { .. }
+            | Message::GmFetchAddResp { .. }
+            | Message::BarrierRelease { .. }
+            | Message::LockGrant { .. }
+    )
+}
+
+/// One PE's kernel loop: the single consumer of this PE's transport.
+///
+/// Serves GM requests against the store (responses go back on the wire),
+/// forwards app-bound messages to the co-resident application thread, and
+/// on PE 0 additionally coordinates barriers, locks, exit collection and
+/// telemetry aggregation. Returns this PE's delta tracker (for the final
+/// absolute telemetry round) and, on a watched PE 0, the aggregator.
+fn live_kernel(
+    pe: u32,
+    cluster: &LiveCluster,
+    transport: &Arc<dyn Transport>,
+    app_tx: mpsc::Sender<Message>,
+    watch: Option<WatchSpec<'_>>,
+    start: Instant,
+) -> (DeltaTracker, Option<ClusterAggregator>) {
+    let nprocs = cluster.nprocs;
+    let mut tracker = DeltaTracker::new(pe, pe == 0);
+    let mut agg = (pe == 0 && watch.is_some()).then(|| ClusterAggregator::new(nprocs));
+    // Coordination state lives on PE 0 (reply tokens are PE ranks).
+    let barriers: BarrierCenter<u32> = BarrierCenter::new(nprocs);
+    let locks: LockCenter<u32> = LockCenter::new();
+    let mut exited = 0usize;
+    let mut last_emit = Instant::now();
+    let send = |to: u32, msg: &Message| {
+        transport
+            .send(to, msg)
+            .unwrap_or_else(|e| panic!("live kernel PE {pe}: send to {to} failed: {e}"));
+    };
+    loop {
+        let timeout = watch
+            .as_ref()
+            .map(|(iv, _)| iv.saturating_sub(last_emit.elapsed()));
+        let env = match transport.recv(timeout) {
+            Ok(env) => env,
+            Err(TransportError::Closed) => break,
+            Err(e) => panic!("live kernel PE {pe}: transport receive failed: {e}"),
+        };
+        let mut shutdown = false;
+        if let Some(env) = env {
+            let from = env.from;
+            let t0 = Instant::now();
+            cluster
+                .metrics
+                .incr(MetricKey::pe("kernel", "messages", pe));
+            let mut hooks = LiveGmHooks {
+                metrics: &cluster.metrics,
+                pe,
+            };
+            match serve_gm(&cluster.store, env.msg, &mut hooks) {
+                Served::Response(resp) => {
+                    cluster
+                        .metrics
+                        .incr(MetricKey::pe("kernel", "requests_served", pe));
+                    cluster.metrics.record(
+                        MetricKey::pe("kernel", "service_ns", pe),
+                        t0.elapsed().as_nanos() as u64,
+                    );
+                    send(from, &resp);
+                }
+                Served::NotGm(msg) if is_app_bound(&msg) => {
+                    // Response or wakeup addressed to our application
+                    // thread; it may have exited already if the program is
+                    // erroneous, so delivery is best-effort.
+                    let _ = app_tx.send(msg);
+                }
+                Served::NotGm(msg) => match msg {
+                    Message::BarrierEnter { barrier, pid } => {
+                        let party = Party {
+                            pid,
+                            node: NodeId(from as u16),
+                            reply_to: from,
+                            req: ReqId(0),
+                        };
+                        if let BarrierOutcome::Complete { epoch, waiters } =
+                            barriers.enter(barrier, party)
+                        {
+                            let release = Message::BarrierRelease { barrier, epoch };
+                            for w in waiters {
+                                send(w.reply_to, &release);
+                            }
+                            send(from, &release);
+                        }
+                    }
+                    Message::LockReq { req, lock, pid } => {
+                        let party = Party {
+                            pid,
+                            node: NodeId(from as u16),
+                            reply_to: from,
+                            req,
+                        };
+                        if let LockOutcome::Granted = locks.acquire(lock, party) {
+                            send(from, &Message::LockGrant { req, lock });
+                        }
+                    }
+                    Message::UnlockReq { lock, pid } => {
+                        if let UnlockOutcome::Granted(next) = locks.release(lock, pid) {
+                            send(
+                                next.reply_to,
+                                &Message::LockGrant {
+                                    req: next.req,
+                                    lock,
+                                },
+                            );
+                        }
+                    }
+                    Message::ExitNotice { .. } => {
+                        exited += 1;
+                        if exited == nprocs {
+                            for q in 0..nprocs as u32 {
+                                send(q, &Message::KernelShutdown);
+                            }
+                        }
+                    }
+                    Message::Telemetry {
+                        pe: src,
+                        seq,
+                        payload,
+                    } => {
+                        if let Some(agg) = agg.as_mut() {
+                            let delta = TelemetryDelta::decode(&payload)
+                                .expect("live telemetry delta decode");
+                            agg.apply(src, seq, start.elapsed().as_nanos() as u64, &delta);
+                        }
+                    }
+                    Message::KernelShutdown => shutdown = true,
+                    other => panic!("live kernel PE {pe}: unexpected message {other:?}"),
+                },
+            }
+        }
+        if let Some((interval, hook)) = watch.as_ref() {
+            if last_emit.elapsed() >= *interval {
+                last_emit = Instant::now();
+                let snap = cluster.metrics.snapshot();
+                // PE 0 forces an empty heartbeat so the aggregator's
+                // staleness clock keeps advancing on an idle cluster.
+                if let Some((seq, d)) = tracker.delta(&snap, &[], pe == 0) {
+                    // The aggregating PE may already be gone during
+                    // shutdown; a lost delta is healed by the final
+                    // absolute round.
+                    let _ = transport.send(
+                        0,
+                        &Message::Telemetry {
+                            pe,
+                            seq,
+                            payload: d.encode(),
+                        },
+                    );
+                }
+                if let Some(agg) = agg.as_ref() {
+                    hook(agg, start.elapsed().as_nanos() as u64);
+                }
+            }
+        }
+        if shutdown {
+            break;
+        }
+    }
+    transport.shutdown();
+    (tracker, agg)
+}
+
+// ---------------------------------------------------------------------------
+// Application thread: LiveCtx, the ParallelApi over the wire.
+// ---------------------------------------------------------------------------
+
+/// Where a completed read segment's bytes land.
+#[derive(Clone, Copy)]
+struct ReadDest {
+    handle: u64,
+    buf_off: usize,
+    abs_off: u64,
+    len: usize,
+}
+
+/// Bookkeeping for one read request on the wire (plain or batched).
+struct ReadCtl {
+    offset: u64,
+    len: usize,
+    dests: Vec<ReadDest>,
+}
+
+/// Bookkeeping for one write request on the wire: the handles it completes.
+struct WriteCtl {
+    writers: Vec<u64>,
+}
+
+/// One staged (not yet sent) split-phase segment.
+struct StagedSeg {
+    home: u32,
+    region: RegionId,
+    offset: u64,
+    kind: SegKind,
+}
+
+enum SegKind {
+    Read { len: usize, dests: Vec<ReadDest> },
+    Write { data: Vec<u8>, writers: Vec<u64> },
+}
+
+/// An issued request awaiting its response, keyed by correlation id.
+enum InflightReq {
+    Read(ReadCtl),
+    Write(WriteCtl),
+    Batch(Vec<InflightOp>),
+}
+
+enum InflightOp {
+    Read(ReadCtl),
+    Write(WriteCtl),
+}
+
+/// A split-phase handle's outstanding work.
+struct HandleState {
+    /// Segments (staged or in flight) still owed to this handle.
+    remaining: usize,
+    /// Read destination buffer (`None` for writes).
+    buf: Option<Vec<u8>>,
+    /// Issue time, for the completion latency histogram.
+    started: Instant,
+    is_read: bool,
+    /// Whether any segment left the node (decides the latency histogram:
+    /// `remote_*_ns` vs `local_*_ns`, matching the simulator's names).
+    remote: bool,
+}
+
+/// Per-process context of the live engine: implements [`ParallelApi`] by
+/// splitting each access across home nodes — own-node ranges go straight to
+/// the store (the linked-library fast path), remote ranges become staged
+/// request messages that coalesce per home and travel as real wire traffic.
 pub struct LiveCtx {
     rank: u32,
+    pid: GlobalPid,
     cluster: Arc<LiveCluster>,
+    transport: Arc<dyn Transport>,
+    app_rx: mpsc::Receiver<Message>,
+    reqs: ReqIdGen,
     barrier_seq: u32,
     alloc_seq: usize,
+    /// Messages that arrived while awaiting something else.
+    stash: VecDeque<Message>,
+    /// Split-phase machinery (mirrors the simulator's `DseCtx`).
+    next_handle: u64,
+    handles: HashMap<u64, HandleState>,
+    completed: HashMap<u64, Option<Vec<u8>>>,
+    staged: Vec<StagedSeg>,
+    inflight: HashMap<u64, InflightReq>,
     /// Reusable scratch for element-wise `GmArray` accessors.
     scratch: Vec<u8>,
 }
 
 impl LiveCtx {
-    /// Run `f`, recording its wall-clock duration into this rank's
-    /// `name` histogram (subsystem `gm` or `sync`, nanoseconds).
-    fn timed<R>(&self, subsystem: &'static str, name: &'static str, f: impl FnOnce() -> R) -> R {
-        let start = Instant::now();
-        let out = f();
-        self.cluster.metrics.record(
-            MetricKey::pe(subsystem, name, self.rank),
-            start.elapsed().as_nanos() as u64,
+    fn new(
+        rank: u32,
+        cluster: Arc<LiveCluster>,
+        transport: Arc<dyn Transport>,
+        app_rx: mpsc::Receiver<Message>,
+    ) -> LiveCtx {
+        LiveCtx {
+            rank,
+            pid: GlobalPid::new(NodeId(rank as u16), 1),
+            cluster,
+            transport,
+            app_rx,
+            reqs: ReqIdGen::new(),
+            barrier_seq: 0,
+            alloc_seq: 0,
+            stash: VecDeque::new(),
+            next_handle: 0,
+            handles: HashMap::new(),
+            completed: HashMap::new(),
+            staged: Vec::new(),
+            inflight: HashMap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn metrics(&self) -> &Registry {
+        &self.cluster.metrics
+    }
+
+    fn send(&self, to: u32, msg: &Message) {
+        self.transport
+            .send(to, msg)
+            .unwrap_or_else(|e| panic!("live rank {}: send to {to} failed: {e}", self.rank));
+    }
+
+    /// Receive the next message forwarded by our kernel thread.
+    fn recv(&mut self) -> Message {
+        self.app_rx
+            .recv()
+            .unwrap_or_else(|_| panic!("live rank {}: kernel thread went away", self.rank))
+    }
+
+    fn new_handle(&mut self) -> u64 {
+        self.next_handle += 1;
+        self.next_handle
+    }
+
+    fn home_of(&self, region: RegionId, offset: u64) -> u32 {
+        self.cluster
+            .store
+            .home_of(region, offset)
+            .unwrap_or_else(|e| panic!("live rank {}: bad GM address: {e}", self.rank))
+            .0 as u32
+    }
+
+    // ----- split-phase issue/stage/flush -----------------------------------
+
+    fn issue_read(&mut self, region: RegionId, offset: u64, len: usize, eager: bool) -> GmHandle {
+        self.metrics().incr(MetricKey::pe("gm", "reads", self.rank));
+        let runs = self
+            .cluster
+            .store
+            .split_by_home(region, offset, len)
+            .unwrap_or_else(|e| panic!("live rank {}: gm_read failed: {e}", self.rank));
+        let handle = self.new_handle();
+        self.handles.insert(
+            handle,
+            HandleState {
+                remaining: 1, // issuance token, released below
+                buf: Some(vec![0u8; len]),
+                started: Instant::now(),
+                is_read: true,
+                remote: false,
+            },
         );
-        out
+        for (home, off, rlen) in runs {
+            let buf_off = (off - offset) as usize;
+            if home.0 as u32 == self.rank {
+                // Own-node fast path: straight into the store.
+                let buf = self.handles.get_mut(&handle).unwrap().buf.as_mut().unwrap();
+                self.cluster
+                    .store
+                    .read_into(region, off, &mut buf[buf_off..buf_off + rlen])
+                    .unwrap();
+                continue;
+            }
+            let st = self.handles.get_mut(&handle).unwrap();
+            st.remaining += 1;
+            st.remote = true;
+            self.stage_read(home.0 as u32, region, off, rlen, handle, buf_off, eager);
+        }
+        self.release_issuance_token(handle)
+    }
+
+    fn issue_write(&mut self, region: RegionId, offset: u64, data: &[u8], eager: bool) -> GmHandle {
+        self.metrics()
+            .incr(MetricKey::pe("gm", "writes", self.rank));
+        let runs = self
+            .cluster
+            .store
+            .split_by_home(region, offset, data.len())
+            .unwrap_or_else(|e| panic!("live rank {}: gm_write failed: {e}", self.rank));
+        let handle = self.new_handle();
+        self.handles.insert(
+            handle,
+            HandleState {
+                remaining: 1, // issuance token, released below
+                buf: None,
+                started: Instant::now(),
+                is_read: false,
+                remote: false,
+            },
+        );
+        for (home, off, rlen) in runs {
+            let buf_off = (off - offset) as usize;
+            let chunk = &data[buf_off..buf_off + rlen];
+            if home.0 as u32 == self.rank {
+                self.cluster.store.write(region, off, chunk).unwrap();
+                continue;
+            }
+            let st = self.handles.get_mut(&handle).unwrap();
+            st.remaining += 1;
+            st.remote = true;
+            self.stage_write(home.0 as u32, region, off, chunk.to_vec(), handle, eager);
+        }
+        self.release_issuance_token(handle)
+    }
+
+    /// Release the issuance token: if every segment was served locally, the
+    /// handle is born ready (and its latency recorded now).
+    fn release_issuance_token(&mut self, handle: u64) -> GmHandle {
+        let st = self.handles.get_mut(&handle).unwrap();
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            let st = self.handles.remove(&handle).unwrap();
+            self.record_handle_latency(&st);
+            GmHandle::ready(st.buf)
+        } else {
+            GmHandle::queued(handle)
+        }
+    }
+
+    fn record_handle_latency(&self, st: &HandleState) {
+        let name = match (st.is_read, st.remote) {
+            (true, true) => "remote_read_ns",
+            (true, false) => "local_read_ns",
+            (false, true) => "remote_write_ns",
+            (false, false) => "local_write_ns",
+        };
+        self.metrics().record(
+            MetricKey::pe("gm", name, self.rank),
+            st.started.elapsed().as_nanos() as u64,
+        );
+    }
+
+    /// Stage one remote read segment, coalescing with the most recently
+    /// staged segment when both target the same home and region and their
+    /// ranges touch or overlap.
+    #[allow(clippy::too_many_arguments)]
+    fn stage_read(
+        &mut self,
+        home: u32,
+        region: RegionId,
+        off: u64,
+        len: usize,
+        handle: u64,
+        buf_off: usize,
+        eager: bool,
+    ) {
+        let end = off + len as u64;
+        let dest = ReadDest {
+            handle,
+            buf_off,
+            abs_off: off,
+            len,
+        };
+        let mut merged = false;
+        if let Some(seg) = self.staged.last_mut() {
+            if seg.home == home && seg.region == region {
+                if let SegKind::Read { len: slen, dests } = &mut seg.kind {
+                    let seg_end = seg.offset + *slen as u64;
+                    if off <= seg_end && end >= seg.offset {
+                        let new_start = seg.offset.min(off);
+                        let new_end = seg_end.max(end);
+                        seg.offset = new_start;
+                        *slen = (new_end - new_start) as usize;
+                        dests.push(dest);
+                        merged = true;
+                        self.cluster.metrics.incr(MetricKey::pe(
+                            "kernel",
+                            "gm_coalesced",
+                            self.rank,
+                        ));
+                    }
+                }
+            }
+        }
+        if !merged {
+            self.staged.push(StagedSeg {
+                home,
+                region,
+                offset: off,
+                kind: SegKind::Read {
+                    len,
+                    dests: vec![dest],
+                },
+            });
+        }
+        if eager {
+            self.flush_staged();
+        }
+    }
+
+    /// Stage one remote write segment; on overlap the later write's bytes
+    /// win, preserving program order.
+    fn stage_write(
+        &mut self,
+        home: u32,
+        region: RegionId,
+        off: u64,
+        data: Vec<u8>,
+        handle: u64,
+        eager: bool,
+    ) {
+        let end = off + data.len() as u64;
+        let mut merged = false;
+        if let Some(seg) = self.staged.last_mut() {
+            if seg.home == home && seg.region == region {
+                if let SegKind::Write {
+                    data: sdata,
+                    writers,
+                } = &mut seg.kind
+                {
+                    let seg_end = seg.offset + sdata.len() as u64;
+                    if off <= seg_end && end >= seg.offset {
+                        let new_start = seg.offset.min(off);
+                        let new_end = seg_end.max(end);
+                        let mut union = vec![0u8; (new_end - new_start) as usize];
+                        let old_at = (seg.offset - new_start) as usize;
+                        union[old_at..old_at + sdata.len()].copy_from_slice(sdata);
+                        let new_at = (off - new_start) as usize;
+                        union[new_at..new_at + data.len()].copy_from_slice(&data);
+                        *sdata = union;
+                        seg.offset = new_start;
+                        writers.push(handle);
+                        merged = true;
+                        self.cluster.metrics.incr(MetricKey::pe(
+                            "kernel",
+                            "gm_coalesced",
+                            self.rank,
+                        ));
+                    }
+                }
+            }
+        }
+        if !merged {
+            self.staged.push(StagedSeg {
+                home,
+                region,
+                offset: off,
+                kind: SegKind::Write {
+                    data,
+                    writers: vec![handle],
+                },
+            });
+        }
+        if eager {
+            self.flush_staged();
+        }
+    }
+
+    /// Send every staged segment: one plain request per singleton home
+    /// group, one batched request per multi-segment home group.
+    fn flush_staged(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let staged = std::mem::take(&mut self.staged);
+        let mut groups: Vec<(u32, Vec<StagedSeg>)> = Vec::new();
+        for seg in staged {
+            match groups.iter_mut().find(|(h, _)| *h == seg.home) {
+                Some((_, v)) => v.push(seg),
+                None => groups.push((seg.home, vec![seg])),
+            }
+        }
+        for (home, mut segs) in groups {
+            if segs.len() == 1 {
+                self.send_plain(home, segs.pop().unwrap());
+            } else {
+                self.send_batch(home, segs);
+            }
+        }
+    }
+
+    fn send_plain(&mut self, home: u32, seg: StagedSeg) {
+        let req = self.reqs.next();
+        let (msg, ctl) = match seg.kind {
+            SegKind::Read { len, dests } => (
+                Message::GmReadReq {
+                    req,
+                    region: seg.region,
+                    offset: seg.offset,
+                    len: len as u32,
+                },
+                InflightReq::Read(ReadCtl {
+                    offset: seg.offset,
+                    len,
+                    dests,
+                }),
+            ),
+            SegKind::Write { data, writers } => (
+                Message::GmWriteReq {
+                    req,
+                    region: seg.region,
+                    offset: seg.offset,
+                    data,
+                },
+                InflightReq::Write(WriteCtl { writers }),
+            ),
+        };
+        self.dispatch(home, req, msg, ctl);
+    }
+
+    fn send_batch(&mut self, home: u32, segs: Vec<StagedSeg>) {
+        let req = self.reqs.next();
+        let mut ops = Vec::with_capacity(segs.len());
+        let mut ctls = Vec::with_capacity(segs.len());
+        for seg in segs {
+            match seg.kind {
+                SegKind::Read { len, dests } => {
+                    ops.push(GmOp::Read {
+                        region: seg.region,
+                        offset: seg.offset,
+                        len: len as u32,
+                    });
+                    ctls.push(InflightOp::Read(ReadCtl {
+                        offset: seg.offset,
+                        len,
+                        dests,
+                    }));
+                }
+                SegKind::Write { data, writers } => {
+                    ctls.push(InflightOp::Write(WriteCtl { writers }));
+                    ops.push(GmOp::Write {
+                        region: seg.region,
+                        offset: seg.offset,
+                        data,
+                    });
+                }
+            }
+        }
+        let msg = Message::GmBatchReq { req, ops };
+        self.dispatch(home, req, msg, InflightReq::Batch(ctls));
+    }
+
+    fn dispatch(&mut self, home: u32, req: ReqId, msg: Message, ctl: InflightReq) {
+        self.metrics()
+            .incr(MetricKey::pe("kernel", "gm_request_msgs", self.rank));
+        self.send(home, &msg);
+        self.inflight.insert(req.0, ctl);
+        self.metrics().gauge_max(
+            MetricKey::pe("kernel", "gm_inflight", self.rank),
+            self.inflight.len() as u64,
+        );
+    }
+
+    // ----- completion ------------------------------------------------------
+
+    /// Consume exactly one GM completion — from the stash if an earlier
+    /// drain parked one there, otherwise off the kernel's forwarding
+    /// channel.
+    fn drain_one(&mut self) {
+        if let Some(idx) = self.stash.iter().position(|m| {
+            matches!(
+                m,
+                Message::GmReadResp { .. }
+                    | Message::GmWriteAck { .. }
+                    | Message::GmBatchResp { .. }
+            )
+        }) {
+            let msg = self.stash.remove(idx).unwrap();
+            self.process_completion(msg);
+            return;
+        }
+        loop {
+            let msg = self.recv();
+            match msg {
+                Message::GmReadResp { .. }
+                | Message::GmWriteAck { .. }
+                | Message::GmBatchResp { .. } => {
+                    self.process_completion(msg);
+                    return;
+                }
+                other => self.stash.push_back(other),
+            }
+        }
+    }
+
+    fn process_completion(&mut self, msg: Message) {
+        match msg {
+            Message::GmReadResp { req, data } => {
+                let ctl = match self.inflight.remove(&req.0) {
+                    Some(InflightReq::Read(c)) => c,
+                    _ => panic!("live rank {}: unmatched GmReadResp", self.rank),
+                };
+                self.complete_read(ctl, &data);
+            }
+            Message::GmWriteAck { req } => {
+                let ctl = match self.inflight.remove(&req.0) {
+                    Some(InflightReq::Write(c)) => c,
+                    _ => panic!("live rank {}: unmatched GmWriteAck", self.rank),
+                };
+                self.complete_write(ctl);
+            }
+            Message::GmBatchResp { req, reads } => {
+                let ops = match self.inflight.remove(&req.0) {
+                    Some(InflightReq::Batch(o)) => o,
+                    _ => panic!("live rank {}: unmatched GmBatchResp", self.rank),
+                };
+                let mut it = reads.into_iter();
+                for op in ops {
+                    match op {
+                        InflightOp::Read(c) => {
+                            let data = it.next().expect("missing batched read result");
+                            self.complete_read(c, &data);
+                        }
+                        InflightOp::Write(c) => self.complete_write(c),
+                    }
+                }
+            }
+            _ => unreachable!("process_completion on a non-GM message"),
+        }
+    }
+
+    fn complete_read(&mut self, ctl: ReadCtl, data: &[u8]) {
+        assert_eq!(data.len(), ctl.len, "short remote read");
+        for d in ctl.dests {
+            let h = self
+                .handles
+                .get_mut(&d.handle)
+                .expect("read completion for an unknown handle");
+            let buf = h.buf.as_mut().expect("read handle without a buffer");
+            let src = (d.abs_off - ctl.offset) as usize;
+            buf[d.buf_off..d.buf_off + d.len].copy_from_slice(&data[src..src + d.len]);
+            h.remaining -= 1;
+            if h.remaining == 0 {
+                let st = self.handles.remove(&d.handle).unwrap();
+                self.record_handle_latency(&st);
+                self.completed.insert(d.handle, st.buf);
+            }
+        }
+    }
+
+    fn complete_write(&mut self, ctl: WriteCtl) {
+        for w in ctl.writers {
+            let h = self
+                .handles
+                .get_mut(&w)
+                .expect("write completion for an unknown handle");
+            h.remaining -= 1;
+            if h.remaining == 0 {
+                let st = self.handles.remove(&w).unwrap();
+                self.record_handle_latency(&st);
+                self.completed.insert(w, None);
+            }
+        }
+    }
+
+    /// Complete all staged and in-flight split-phase work. Every blocking
+    /// synchronization primitive fences first, so split-phase operations are
+    /// always ordered before barriers, locks and atomics.
+    fn gm_fence(&mut self) {
+        self.flush_staged();
+        while !self.inflight.is_empty() {
+            self.drain_one();
+        }
+    }
+
+    /// Called by the harness after the body returns: fence, then notify the
+    /// coordinator so it can shut the kernels down once everyone is out.
+    fn finish(&mut self) {
+        self.gm_fence();
+        self.send(
+            0,
+            &Message::ExitNotice {
+                pid: self.pid,
+                status: 0,
+            },
+        );
     }
 }
-
-/// Matches [`dse_api::AUTO_BARRIER_BASE`]: auto-sequenced barrier ids live
-/// above this bound on both engines.
-const AUTO_BARRIER_BASE: u32 = 0x4000_0000;
 
 impl ParallelApi for LiveCtx {
     fn rank(&self) -> u32 {
@@ -117,6 +937,7 @@ impl ParallelApi for LiveCtx {
     }
 
     fn gm_alloc(&mut self, len: usize, dist: Distribution) -> RegionId {
+        self.gm_fence();
         let seq = self.alloc_seq;
         self.alloc_seq += 1;
         let mut table = self.cluster.allocs.lock();
@@ -131,39 +952,51 @@ impl ParallelApi for LiveCtx {
     }
 
     fn gm_read(&mut self, region: RegionId, offset: u64, len: usize) -> Vec<u8> {
-        self.cluster
-            .metrics
-            .incr(MetricKey::pe("gm", "reads", self.rank));
-        self.timed("gm", "read_ns", || {
-            self.cluster
-                .store
-                .read(region, offset, len)
-                .unwrap_or_else(|e| panic!("live rank {}: gm_read failed: {e}", self.rank))
-        })
+        let h = self.issue_read(region, offset, len, true);
+        self.gm_wait(h).expect("gm_read handle carries data")
     }
 
     fn gm_write(&mut self, region: RegionId, offset: u64, data: &[u8]) {
-        self.cluster
-            .metrics
-            .incr(MetricKey::pe("gm", "writes", self.rank));
-        self.timed("gm", "write_ns", || {
-            self.cluster
-                .store
-                .write(region, offset, data)
-                .unwrap_or_else(|e| panic!("live rank {}: gm_write failed: {e}", self.rank))
-        })
+        let h = self.issue_write(region, offset, data, true);
+        self.gm_wait(h);
     }
 
     fn gm_read_into(&mut self, region: RegionId, offset: u64, out: &mut [u8]) {
-        self.cluster
-            .metrics
-            .incr(MetricKey::pe("gm", "reads", self.rank));
-        self.timed("gm", "read_ns", || {
-            self.cluster
-                .store
-                .read_into(region, offset, out)
-                .unwrap_or_else(|e| panic!("live rank {}: gm_read failed: {e}", self.rank))
-        })
+        let data = self.gm_read(region, offset, out.len());
+        out.copy_from_slice(&data);
+    }
+
+    fn gm_read_nb(&mut self, region: RegionId, offset: u64, len: usize) -> GmHandle {
+        self.issue_read(region, offset, len, false)
+    }
+
+    fn gm_write_nb(&mut self, region: RegionId, offset: u64, data: &[u8]) -> GmHandle {
+        self.issue_write(region, offset, data, false)
+    }
+
+    fn gm_wait(&mut self, handle: GmHandle) -> Option<Vec<u8>> {
+        let id = match handle.queued_id() {
+            None => return handle.into_ready(),
+            Some(id) => id,
+        };
+        if let Some(data) = self.completed.remove(&id) {
+            return data;
+        }
+        assert!(
+            self.handles.contains_key(&id),
+            "live rank {}: gm_wait on a stale handle (result discarded by gm_wait_all)",
+            self.rank
+        );
+        self.flush_staged();
+        while !self.completed.contains_key(&id) {
+            self.drain_one();
+        }
+        self.completed.remove(&id).unwrap()
+    }
+
+    fn gm_wait_all(&mut self) {
+        self.gm_fence();
+        self.completed.clear();
     }
 
     fn take_scratch(&mut self) -> Vec<u8> {
@@ -175,61 +1008,131 @@ impl ParallelApi for LiveCtx {
     }
 
     fn gm_fetch_add(&mut self, region: RegionId, offset: u64, delta: i64) -> i64 {
-        self.cluster
-            .metrics
+        self.gm_fence();
+        self.metrics()
             .incr(MetricKey::pe("gm", "fetch_adds", self.rank));
-        self.timed("gm", "fetch_add_ns", || {
+        let start = Instant::now();
+        let home = self.home_of(region, offset);
+        let prev = if home == self.rank {
             self.cluster
                 .store
                 .fetch_add(region, offset, delta)
                 .unwrap_or_else(|e| panic!("live rank {}: fetch_add failed: {e}", self.rank))
-        })
+        } else {
+            let req = self.reqs.next();
+            self.metrics()
+                .incr(MetricKey::pe("kernel", "gm_request_msgs", self.rank));
+            self.send(
+                home,
+                &Message::GmFetchAddReq {
+                    req,
+                    region,
+                    offset,
+                    delta,
+                },
+            );
+            loop {
+                let msg = self.recv();
+                match msg {
+                    Message::GmFetchAddResp { req: r, prev } if r == req => break prev,
+                    other => self.stash.push_back(other),
+                }
+            }
+        };
+        self.metrics().record(
+            MetricKey::pe("gm", "fetch_add_ns", self.rank),
+            start.elapsed().as_nanos() as u64,
+        );
+        prev
     }
 
     fn barrier(&mut self) {
         let id = AUTO_BARRIER_BASE + self.barrier_seq;
         self.barrier_seq += 1;
-        let barrier = self.cluster.barrier_for(id);
-        self.timed("sync", "barrier_wait_ns", || {
-            barrier.wait();
-        });
+        self.gm_fence();
+        let start = Instant::now();
+        self.send(
+            0,
+            &Message::BarrierEnter {
+                barrier: id,
+                pid: self.pid,
+            },
+        );
+        loop {
+            let msg = self.recv();
+            match msg {
+                Message::BarrierRelease { barrier, .. } if barrier == id => break,
+                other => self.stash.push_back(other),
+            }
+        }
+        self.metrics().record(
+            MetricKey::pe("sync", "barrier_wait_ns", self.rank),
+            start.elapsed().as_nanos() as u64,
+        );
     }
 
     fn lock(&mut self, id: u32) {
-        self.timed("sync", "lock_wait_ns", || {
-            let mut held = self.cluster.locks.held.lock();
-            while held.contains(&id) {
-                self.cluster.locks.cv.wait(&mut held);
+        self.gm_fence();
+        let start = Instant::now();
+        let req = self.reqs.next();
+        self.send(
+            0,
+            &Message::LockReq {
+                req,
+                lock: id,
+                pid: self.pid,
+            },
+        );
+        loop {
+            let msg = self.recv();
+            match msg {
+                Message::LockGrant { req: r, .. } if r == req => break,
+                other => self.stash.push_back(other),
             }
-            held.insert(id);
-        });
+        }
+        self.metrics().record(
+            MetricKey::pe("sync", "lock_wait_ns", self.rank),
+            start.elapsed().as_nanos() as u64,
+        );
     }
 
     fn unlock(&mut self, id: u32) {
-        let mut held = self.cluster.locks.held.lock();
-        assert!(held.remove(&id), "unlock of lock {id} not held");
-        drop(held);
-        self.cluster.locks.cv.notify_all();
+        self.gm_fence();
+        self.send(
+            0,
+            &Message::UnlockReq {
+                lock: id,
+                pid: self.pid,
+            },
+        );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Harness.
+// ---------------------------------------------------------------------------
 
 /// Result of a live run.
 #[derive(Debug, Clone)]
 pub struct LiveRunResult {
     /// Wall-clock execution time.
     pub elapsed: Duration,
-    /// Threads used.
+    /// Processing elements used.
     pub nprocs: usize,
-    /// Observability snapshot: per-rank GM/sync counters and wall-clock
-    /// latency histograms (same schema as the simulator's).
+    /// Which transport carried the run's messages.
+    pub transport: TransportKind,
+    /// Observability snapshot: per-rank GM/sync counters, kernel service
+    /// stats, and wall-clock latency histograms (same schema as the
+    /// simulator's).
     pub metrics: MetricsSnapshot,
-    /// The rollup the telemetry sampler rebuilt through the in-band delta
-    /// codec (`Some` only for [`run_live_watched`] runs; matches `metrics`
+    /// The rollup the telemetry plane rebuilt from the deltas that rode the
+    /// transport to PE 0 (`Some` only for watched runs; matches `metrics`
     /// after a clean run).
     pub telemetry_rollup: Option<MetricsSnapshot>,
 }
 
-/// Run `body` as an SPMD program over `nprocs` real threads.
+/// Run `body` as an SPMD program over `nprocs` PEs on the in-process
+/// channel transport.
 ///
 /// ```
 /// use dse_api::{collective, ParallelApi};
@@ -244,100 +1147,118 @@ pub fn run_live<F>(nprocs: usize, body: F) -> LiveRunResult
 where
     F: Fn(&mut LiveCtx) + Send + Sync,
 {
-    run_live_inner(nprocs, None, body)
+    run_live_inner(TransportKind::Channel, nprocs, None, body)
 }
 
-/// Watched variant of [`run_live`]: a sampler thread wakes every
-/// `interval`, drives one telemetry round — each rank's [`DeltaTracker`]
-/// through the same encode/decode codec the simulator ships over the wire,
-/// into a [`ClusterAggregator`] — and invokes `hook` with the aggregator
-/// and the elapsed wall clock in nanoseconds. The hook signature matches
-/// the simulator's epoch hook, so one rendering function (e.g.
-/// `dse_ssi::view::render_top`) serves both engines. When every rank has
-/// finished, a final absolute round runs, the hook fires once more, and
-/// the resulting rollup lands in [`LiveRunResult::telemetry_rollup`].
+/// [`run_live`] on an explicitly chosen transport.
+pub fn run_live_on<F>(kind: TransportKind, nprocs: usize, body: F) -> LiveRunResult
+where
+    F: Fn(&mut LiveCtx) + Send + Sync,
+{
+    run_live_inner(kind, nprocs, None, body)
+}
+
+/// Watched variant of [`run_live`]: each PE's kernel thread ships
+/// incremental telemetry deltas *over the transport* to PE 0 every
+/// `interval`; PE 0's kernel applies them to a [`ClusterAggregator`] and
+/// invokes `hook` with the aggregator and the elapsed wall clock in
+/// nanoseconds on each of its own ticks. The hook signature matches the
+/// simulator's epoch hook, so one rendering function (e.g.
+/// `dse_ssi::view::render_top`) serves both engines. After the kernels shut
+/// down, a final absolute round heals any deltas lost in the shutdown race
+/// and the resulting rollup lands in [`LiveRunResult::telemetry_rollup`].
 pub fn run_live_watched<F, H>(nprocs: usize, interval: Duration, hook: H, body: F) -> LiveRunResult
 where
     F: Fn(&mut LiveCtx) + Send + Sync,
     H: Fn(&ClusterAggregator, u64) + Send + Sync,
 {
-    run_live_inner(nprocs, Some((interval, &hook)), body)
+    run_live_inner(
+        TransportKind::Channel,
+        nprocs,
+        Some((interval, &hook)),
+        body,
+    )
 }
 
-type WatchSpec<'h> = (
-    Duration,
-    &'h (dyn Fn(&ClusterAggregator, u64) + Send + Sync),
-);
+/// [`run_live_watched`] on an explicitly chosen transport.
+pub fn run_live_watched_on<F, H>(
+    kind: TransportKind,
+    nprocs: usize,
+    interval: Duration,
+    hook: H,
+    body: F,
+) -> LiveRunResult
+where
+    F: Fn(&mut LiveCtx) + Send + Sync,
+    H: Fn(&ClusterAggregator, u64) + Send + Sync,
+{
+    run_live_inner(kind, nprocs, Some((interval, &hook)), body)
+}
 
-fn run_live_inner<F>(nprocs: usize, watch: Option<WatchSpec<'_>>, body: F) -> LiveRunResult
+fn run_live_inner<F>(
+    kind: TransportKind,
+    nprocs: usize,
+    watch: Option<WatchSpec<'_>>,
+    body: F,
+) -> LiveRunResult
 where
     F: Fn(&mut LiveCtx) + Send + Sync,
 {
     assert!(nprocs > 0);
     let cluster = Arc::new(LiveCluster::new(nprocs));
-    let done = AtomicUsize::new(0);
-    let rollup_cell: Mutex<Option<MetricsSnapshot>> = Mutex::new(None);
+    let transports = build_transports(kind, nprocs);
     let start = Instant::now();
-    std::thread::scope(|scope| {
-        for rank in 0..nprocs {
-            let cluster = Arc::clone(&cluster);
+    let rollup = std::thread::scope(|scope| {
+        let mut kernel_handles = Vec::with_capacity(nprocs);
+        for (pe, transport) in transports.iter().enumerate() {
+            let kernel_cluster = Arc::clone(&cluster);
+            let app_cluster = Arc::clone(&cluster);
+            let app_transport = Arc::clone(transport);
+            let (app_tx, app_rx) = mpsc::channel();
+            kernel_handles.push(scope.spawn(move || {
+                live_kernel(pe as u32, &kernel_cluster, transport, app_tx, watch, start)
+            }));
             let body = &body;
-            let done = &done;
             scope.spawn(move || {
-                let mut ctx = LiveCtx {
-                    rank: rank as u32,
-                    cluster,
-                    barrier_seq: 0,
-                    alloc_seq: 0,
-                    scratch: Vec::new(),
-                };
+                let mut ctx = LiveCtx::new(pe as u32, app_cluster, app_transport, app_rx);
                 body(&mut ctx);
-                done.fetch_add(1, Ordering::Release);
+                ctx.finish();
             });
         }
-        if let Some((interval, hook)) = watch {
-            let cluster = Arc::clone(&cluster);
-            let done = &done;
-            let rollup_cell = &rollup_cell;
-            scope.spawn(move || {
-                let mut trackers: Vec<DeltaTracker> = (0..nprocs)
-                    .map(|r| DeltaTracker::new(r as u32, r == 0))
-                    .collect();
-                let mut agg = ClusterAggregator::new(nprocs);
-                loop {
-                    // Read the completion flag *before* the snapshot: if all
-                    // ranks were done by then, the snapshot is final and the
-                    // closing absolute round reproduces it exactly.
-                    let finished = done.load(Ordering::Acquire) == nprocs;
-                    let snap = cluster.metrics.snapshot();
-                    let now_ns = start.elapsed().as_nanos() as u64;
-                    for t in trackers.iter_mut() {
-                        let emitted = if finished {
-                            Some(t.absolute(&snap, &[]))
-                        } else {
-                            t.delta(&snap, &[], t.pe() == 0)
-                        };
-                        if let Some((seq, d)) = emitted {
-                            let back = TelemetryDelta::decode(&d.encode())
-                                .expect("telemetry self-roundtrip");
-                            agg.apply(t.pe(), seq, now_ns, &back);
-                        }
-                    }
-                    hook(&agg, now_ns);
-                    if finished {
-                        break;
-                    }
-                    std::thread::sleep(interval);
-                }
-                *rollup_cell.lock() = Some(agg.rollup());
-            });
+        // Joining the kernels also waits out the apps: kernels only shut
+        // down after every rank's ExitNotice reached the coordinator.
+        let mut trackers = Vec::with_capacity(nprocs);
+        let mut agg = None;
+        for h in kernel_handles {
+            let (tracker, a) = match h.join() {
+                Ok(out) => out,
+                Err(p) => std::panic::resume_unwind(p),
+            };
+            trackers.push(tracker);
+            agg = agg.or(a);
         }
+        // Final absolute telemetry round: reproduce the registry exactly
+        // through the same encode/decode codec the wire used, healing any
+        // deltas the shutdown race dropped.
+        watch.map(|(_, hook)| {
+            let mut agg = agg.expect("watched run must produce an aggregator");
+            let snap = cluster.metrics.snapshot();
+            let now_ns = start.elapsed().as_nanos() as u64;
+            for t in trackers.iter_mut() {
+                let (seq, d) = t.absolute(&snap, &[]);
+                let back = TelemetryDelta::decode(&d.encode()).expect("telemetry self-roundtrip");
+                agg.apply(t.pe(), seq, now_ns, &back);
+            }
+            hook(&agg, now_ns);
+            agg.rollup()
+        })
     });
     LiveRunResult {
         elapsed: start.elapsed(),
         nprocs,
+        transport: kind,
         metrics: cluster.metrics.snapshot(),
-        telemetry_rollup: rollup_cell.into_inner(),
+        telemetry_rollup: rollup,
     }
 }
 
@@ -389,6 +1310,26 @@ mod tests {
             .histogram("sync", "barrier_wait_ns", Some(1))
             .expect("barrier histogram for rank 1");
         assert!(h.count() >= 1);
+    }
+
+    #[test]
+    fn live_run_exchanges_wire_messages() {
+        // The acceptance gate for the message-passing engine: a multi-PE
+        // run must put real GM request messages on the transport.
+        let r = run_live(2, |ctx| {
+            let arr = GmArray::<u64>::alloc(ctx, 8, Distribution::Blocked);
+            arr.set(ctx, (ctx.rank() as usize + 5) % 8, 1);
+            ctx.barrier();
+            let _ = arr.read(ctx, 0, 8);
+        });
+        assert!(
+            r.metrics.counter_sum_over_pes("kernel", "gm_request_msgs") > 0,
+            "no GM request messages crossed the transport"
+        );
+        assert!(
+            r.metrics.counter_sum_over_pes("kernel", "requests_served") > 0,
+            "no kernel served a GM request"
+        );
     }
 
     #[test]
@@ -447,10 +1388,60 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "a scoped thread panicked")]
+    #[should_panic(expected = "release of unknown lock 9")]
     fn live_unlock_unheld_panics() {
         run_live(1, |ctx| {
             ctx.unlock(9);
         });
+    }
+
+    #[test]
+    fn live_on_tcp_roundtrip() {
+        let r = run_live_on(TransportKind::Tcp, 3, |ctx| {
+            let arr = GmArray::<u64>::alloc(ctx, 3, Distribution::Blocked);
+            arr.set(ctx, ctx.rank() as usize, ctx.rank() as u64 + 1);
+            ctx.barrier();
+            let all = arr.read(ctx, 0, 3);
+            assert_eq!(all, vec![1, 2, 3]);
+        });
+        assert_eq!(r.transport, TransportKind::Tcp);
+        assert!(r.metrics.counter_sum_over_pes("kernel", "gm_request_msgs") > 0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn live_on_uds_roundtrip() {
+        run_live_on(TransportKind::Uds, 2, |ctx| {
+            let c = GmCounter::alloc(ctx);
+            ctx.barrier();
+            let mine = c.next(ctx);
+            assert!(mine < 2);
+        });
+    }
+
+    #[test]
+    fn split_phase_batches_on_the_wire() {
+        // Two non-adjacent writes to the same remote home must coalesce
+        // into one GmBatchReq: exactly one request message for both.
+        let r = run_live(2, |ctx| {
+            let arr = GmArray::<u64>::alloc(ctx, 16, Distribution::Blocked);
+            if ctx.rank() == 0 {
+                // Elements 8..16 are homed on rank 1.
+                let h1 = ctx.gm_write_nb(arr.region(), 8 * 8, &7u64.to_le_bytes());
+                let h2 = ctx.gm_write_nb(arr.region(), 10 * 8, &9u64.to_le_bytes());
+                ctx.gm_wait(h1);
+                ctx.gm_wait(h2);
+            }
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                assert_eq!(arr.get(ctx, 8), 7);
+                assert_eq!(arr.get(ctx, 10), 9);
+            }
+        });
+        assert_eq!(
+            r.metrics.counter("kernel", "gm_request_msgs", Some(0)),
+            Some(1),
+            "two staged writes to one home must travel as one batch"
+        );
     }
 }

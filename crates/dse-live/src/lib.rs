@@ -10,4 +10,7 @@
 
 mod engine;
 
-pub use engine::{run_live, run_live_watched, LiveCluster, LiveCtx, LiveRunResult};
+pub use engine::{
+    run_live, run_live_on, run_live_watched, run_live_watched_on, LiveCluster, LiveCtx,
+    LiveRunResult, TransportKind,
+};

@@ -210,6 +210,11 @@ impl<'a> Reader<'a> {
         self.buf.len() - self.pos
     }
 
+    /// Number of bytes consumed so far (the read cursor).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
     /// Error unless the buffer is fully consumed.
     pub fn expect_end(&self) -> Result<(), CodecError> {
         if self.remaining() != 0 {

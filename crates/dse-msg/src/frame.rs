@@ -1,0 +1,256 @@
+//! Length-prefixed framing for stream transports.
+//!
+//! The simulator delivers one encoded [`Message`] per simulated packet, so
+//! message boundaries are implicit. A byte stream (TCP, Unix socket, or an
+//! in-process pipe that models one) has no boundaries, so the live engine
+//! wraps every message in a small frame:
+//!
+//! ```text
+//! [u32 payload_len][u8 kind][u64 seq][payload: payload_len bytes]
+//! ```
+//!
+//! * `payload_len` — length of the payload that follows the fixed header
+//!   (little-endian, bounded by [`MAX_PAYLOAD`]);
+//! * `kind` — [`FRAME_MSG`] for an encoded [`Message`], [`FRAME_BYE`] for
+//!   the clean-shutdown handshake (empty payload). A peer that closes its
+//!   stream *without* sending `Bye` is treated as dropped;
+//! * `seq` — per-(sender → receiver) sequence number starting at 0 and
+//!   incrementing by one per frame. Receivers verify continuity so a
+//!   reordered or half-duplicated stream is caught immediately instead of
+//!   corrupting global memory silently.
+//!
+//! [`FrameDecoder`] is the incremental counterpart: bytes arrive in
+//! whatever chunks the kernel hands us and frames are reassembled across
+//! chunk boundaries — concatenated frames in one read and a frame split
+//! over many reads both decode to the same event stream.
+
+use crate::codec::{CodecError, Reader, Writer, MAX_PAYLOAD};
+use crate::message::Message;
+
+/// Frame kind byte: the payload is one encoded [`Message`].
+pub const FRAME_MSG: u8 = 0;
+/// Frame kind byte: clean-shutdown handshake, empty payload.
+pub const FRAME_BYE: u8 = 1;
+
+/// Fixed bytes before the payload: u32 length + u8 kind + u64 seq.
+pub const FRAME_HEADER_LEN: usize = 4 + 1 + 8;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A message frame.
+    Msg {
+        /// Per-stream sequence number.
+        seq: u64,
+        /// The decoded message.
+        msg: Message,
+    },
+    /// The peer announced a clean shutdown.
+    Bye {
+        /// Per-stream sequence number.
+        seq: u64,
+    },
+}
+
+/// Encode `msg` as one message frame with sequence number `seq`.
+pub fn encode_frame(seq: u64, msg: &Message) -> Vec<u8> {
+    let payload = msg.encode();
+    let mut w = Writer::with_capacity(FRAME_HEADER_LEN + payload.len());
+    w.u32(payload.len() as u32);
+    w.u8(FRAME_MSG);
+    w.u64(seq);
+    let mut buf = w.finish();
+    buf.extend_from_slice(&payload);
+    buf
+}
+
+/// Encode a `Bye` (clean shutdown) frame with sequence number `seq`.
+pub fn encode_bye(seq: u64) -> Vec<u8> {
+    let mut w = Writer::with_capacity(FRAME_HEADER_LEN);
+    w.u32(0);
+    w.u8(FRAME_BYE);
+    w.u64(seq);
+    w.finish()
+}
+
+/// Incremental frame reassembler for one receive direction of a stream.
+///
+/// Feed raw bytes with [`push`](FrameDecoder::push) as they arrive, then
+/// drain complete frames with [`next_frame`](FrameDecoder::next_frame) until it
+/// returns `Ok(None)` (meaning: need more bytes).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// Fresh decoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append newly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix before growing, so long-lived streams
+        // don't accumulate dead bytes.
+        if self.start > 0 && (self.start >= 4096 || self.start == self.buf.len()) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True if a partial frame is sitting in the buffer — used to tell a
+    /// clean EOF from a connection cut mid-frame.
+    pub fn has_partial(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Try to decode the next complete frame. `Ok(None)` means more bytes
+    /// are needed; errors are fatal for the stream (corrupt framing).
+    pub fn next_frame(&mut self) -> Result<Option<FrameEvent>, CodecError> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let mut r = Reader::new(pending);
+        let payload_len = r.u32()? as usize;
+        if payload_len > MAX_PAYLOAD {
+            return Err(CodecError::BadLength(payload_len as u64));
+        }
+        let kind = r.u8()?;
+        let seq = r.u64()?;
+        if pending.len() < FRAME_HEADER_LEN + payload_len {
+            return Ok(None);
+        }
+        let payload = &pending[FRAME_HEADER_LEN..FRAME_HEADER_LEN + payload_len];
+        let event = match kind {
+            FRAME_MSG => FrameEvent::Msg {
+                seq,
+                msg: Message::decode(payload)?,
+            },
+            FRAME_BYE => {
+                if payload_len != 0 {
+                    return Err(CodecError::BadLength(payload_len as u64));
+                }
+                FrameEvent::Bye { seq }
+            }
+            other => return Err(CodecError::BadTag(other)),
+        };
+        self.start += FRAME_HEADER_LEN + payload_len;
+        Ok(Some(event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{RegionId, ReqId};
+
+    fn sample_msg(i: u64) -> Message {
+        Message::GmReadReq {
+            req: ReqId(i),
+            region: RegionId(7),
+            offset: i * 8,
+            len: 64,
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_single() {
+        let msg = sample_msg(1);
+        let buf = encode_frame(42, &msg);
+        let mut d = FrameDecoder::new();
+        d.push(&buf);
+        assert_eq!(
+            d.next_frame().unwrap(),
+            Some(FrameEvent::Msg { seq: 42, msg })
+        );
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert!(!d.has_partial());
+    }
+
+    #[test]
+    fn concatenated_frames_decode_in_order() {
+        let mut buf = Vec::new();
+        for i in 0..5u64 {
+            buf.extend_from_slice(&encode_frame(i, &sample_msg(i)));
+        }
+        let mut d = FrameDecoder::new();
+        d.push(&buf);
+        for i in 0..5u64 {
+            match d.next_frame().unwrap() {
+                Some(FrameEvent::Msg { seq, msg }) => {
+                    assert_eq!(seq, i);
+                    assert_eq!(msg, sample_msg(i));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(d.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn split_delivery_reassembles() {
+        let frame = encode_frame(0, &sample_msg(9));
+        let mut d = FrameDecoder::new();
+        // Byte-at-a-time delivery: no frame until the last byte lands.
+        for (i, b) in frame.iter().enumerate() {
+            d.push(std::slice::from_ref(b));
+            if i + 1 < frame.len() {
+                assert_eq!(d.next_frame().unwrap(), None, "premature frame at byte {i}");
+            }
+        }
+        assert!(matches!(
+            d.next_frame().unwrap(),
+            Some(FrameEvent::Msg { seq: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn bye_frame_roundtrip() {
+        let mut d = FrameDecoder::new();
+        d.push(&encode_bye(3));
+        assert_eq!(d.next_frame().unwrap(), Some(FrameEvent::Bye { seq: 3 }));
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut raw = encode_bye(0);
+        raw[4] = 0x77; // corrupt the kind byte
+        let mut d = FrameDecoder::new();
+        d.push(&raw);
+        assert_eq!(d.next_frame(), Err(CodecError::BadTag(0x77)));
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        w.u8(FRAME_MSG);
+        w.u64(0);
+        let mut d = FrameDecoder::new();
+        d.push(&w.finish());
+        assert!(matches!(d.next_frame(), Err(CodecError::BadLength(_))));
+    }
+
+    #[test]
+    fn buffer_compaction_does_not_lose_frames() {
+        let mut d = FrameDecoder::new();
+        // Enough frames to force the drain path several times over.
+        for round in 0..200u64 {
+            d.push(&encode_frame(round, &sample_msg(round)));
+            match d.next_frame().unwrap() {
+                Some(FrameEvent::Msg { seq, .. }) => assert_eq!(seq, round),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(!d.has_partial());
+    }
+}

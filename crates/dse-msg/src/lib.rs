@@ -11,14 +11,21 @@
 //!   little-endian encoding whose size is exactly what the network model
 //!   charges for;
 //! * identifier types ([`NodeId`], [`GlobalPid`], [`RegionId`], [`ReqId`])
-//!   shared by every layer.
+//!   shared by every layer;
+//! * stream framing ([`encode_frame`], [`FrameDecoder`]) so the same
+//!   messages travel over byte streams (TCP/Unix sockets) with explicit
+//!   boundaries, per-peer sequence numbers, and a clean-shutdown frame.
 
 #![warn(missing_docs)]
 
 mod codec;
+mod frame;
 mod ids;
 mod message;
 
 pub use codec::{CodecError, Reader, Writer, MAX_PAYLOAD};
+pub use frame::{
+    encode_bye, encode_frame, FrameDecoder, FrameEvent, FRAME_BYE, FRAME_HEADER_LEN, FRAME_MSG,
+};
 pub use ids::{GlobalPid, NodeId, RegionId, ReqId, ReqIdGen};
 pub use message::{GmOp, Message};

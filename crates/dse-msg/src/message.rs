@@ -491,9 +491,28 @@ impl Message {
         }
     }
 
-    /// Decode a message from a complete buffer.
+    /// Decode a message from a complete buffer. The buffer must contain
+    /// exactly one message; trailing bytes are an error. Transports that
+    /// carry several concatenated messages in one buffer should use
+    /// [`Message::decode_prefix`] instead.
     pub fn decode(buf: &[u8]) -> Result<Message, CodecError> {
         let mut r = Reader::new(buf);
+        let msg = Self::decode_inner(&mut r)?;
+        r.expect_end()?;
+        Ok(msg)
+    }
+
+    /// Decode one message from the front of `buf`, returning the message
+    /// and the number of bytes it occupied. Unlike [`Message::decode`],
+    /// trailing bytes are not an error — they are the next message. This
+    /// is the frame-cursor entry point used by streaming transports.
+    pub fn decode_prefix(buf: &[u8]) -> Result<(Message, usize), CodecError> {
+        let mut r = Reader::new(buf);
+        let msg = Self::decode_inner(&mut r)?;
+        Ok((msg, r.position()))
+    }
+
+    fn decode_inner(r: &mut Reader<'_>) -> Result<Message, CodecError> {
         let tag = r.u8()?;
         let msg = match tag {
             TAG_GM_READ_REQ => Message::GmReadReq {
@@ -621,7 +640,6 @@ impl Message {
             TAG_KERNEL_SHUTDOWN => Message::KernelShutdown,
             other => return Err(CodecError::BadTag(other)),
         };
-        r.expect_end()?;
         Ok(msg)
     }
 

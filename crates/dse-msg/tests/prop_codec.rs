@@ -1,16 +1,42 @@
 //! Property tests: any structurally valid message survives an encode/decode
 //! roundtrip, and arbitrary byte soup never panics the decoder.
 
-use dse_msg::{GlobalPid, Message, NodeId, RegionId, ReqId};
+use dse_msg::{
+    encode_bye, encode_frame, FrameDecoder, FrameEvent, GlobalPid, GmOp, Message, NodeId, RegionId,
+    ReqId,
+};
 use proptest::prelude::*;
 
 fn arb_pid() -> impl Strategy<Value = GlobalPid> {
     (any::<u16>(), any::<u16>()).prop_map(|(n, l)| GlobalPid::new(NodeId(n), l))
 }
 
+fn arb_gm_op() -> impl Strategy<Value = GmOp> {
+    let data = proptest::collection::vec(any::<u8>(), 0..256);
+    prop_oneof![
+        (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(g, o, l)| GmOp::Read {
+            region: RegionId(g),
+            offset: o,
+            len: l,
+        }),
+        (any::<u32>(), any::<u64>(), data).prop_map(|(g, o, d)| GmOp::Write {
+            region: RegionId(g),
+            offset: o,
+            data: d,
+        }),
+    ]
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     let data = proptest::collection::vec(any::<u8>(), 0..2048);
+    let ops = proptest::collection::vec(arb_gm_op(), 0..8);
+    let reads = proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..256), 0..8);
     prop_oneof![
+        (any::<u64>(), ops).prop_map(|(r, ops)| Message::GmBatchReq { req: ReqId(r), ops }),
+        (any::<u64>(), reads).prop_map(|(r, reads)| Message::GmBatchResp {
+            req: ReqId(r),
+            reads
+        }),
         (any::<u64>(), any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(r, g, o, l)| {
             Message::GmReadReq {
                 req: ReqId(r),
@@ -122,5 +148,50 @@ proptest! {
                 prop_assert_ne!(back.encode(), buf);
             }
         }
+    }
+
+    #[test]
+    fn decode_prefix_walks_concatenated_messages(
+        msgs in proptest::collection::vec(arb_message(), 1..6)
+    ) {
+        let mut buf = Vec::new();
+        for m in &msgs {
+            buf.extend_from_slice(&m.encode());
+        }
+        let mut at = 0usize;
+        for m in &msgs {
+            let (back, used) = Message::decode_prefix(&buf[at..]).unwrap();
+            prop_assert_eq!(&back, m);
+            prop_assert_eq!(used, m.wire_len());
+            at += used;
+        }
+        prop_assert_eq!(at, buf.len());
+    }
+
+    #[test]
+    fn framed_stream_survives_arbitrary_chunking(
+        msgs in proptest::collection::vec(arb_message(), 1..6),
+        chunk in 1usize..64
+    ) {
+        let mut stream = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            stream.extend_from_slice(&encode_frame(i as u64, m));
+        }
+        stream.extend_from_slice(&encode_bye(msgs.len() as u64));
+
+        let mut dec = FrameDecoder::new();
+        let mut events = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.push(piece);
+            while let Some(ev) = dec.next_frame().unwrap() {
+                events.push(ev);
+            }
+        }
+        prop_assert_eq!(events.len(), msgs.len() + 1);
+        for (i, m) in msgs.iter().enumerate() {
+            prop_assert_eq!(&events[i], &FrameEvent::Msg { seq: i as u64, msg: m.clone() });
+        }
+        prop_assert_eq!(&events[msgs.len()], &FrameEvent::Bye { seq: msgs.len() as u64 });
+        prop_assert!(!dec.has_partial());
     }
 }

@@ -4,7 +4,7 @@
 //! is high", "the machine load increases in proportion to the number of
 //! kernels", "small computation granularity" — and this crate makes those
 //! narratives measurable: enable tracing on a run
-//! (`DseProgram::with_tracing(true)`), then
+//! (`DseConfig::paper().with_tracing(true)`), then
 //!
 //! * [`analyze`] classifies every process's time into compute / CPU
 //!   queueing / communication wait / sleep ([`ProcBreakdown`]);

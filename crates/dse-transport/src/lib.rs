@@ -1,0 +1,82 @@
+//! # dse-transport — the pluggable message-exchange substrate
+//!
+//! The paper's kernels talk to each other through a *message exchange
+//! mechanism*: a request/response path over the LAN plus an own-node fast
+//! path. This crate is that layer made pluggable. Everything above it —
+//! the live engine's kernel loops, the Parallel API's request create /
+//! response analyze modules, the telemetry plane — speaks [`Message`]s to
+//! a [`Transport`] and never cares what carries the bytes.
+//!
+//! Three backends ship here:
+//!
+//! * [`ChannelTransport`] — in-process queues carrying *encoded frames*.
+//!   Even between threads of one process, every message is encoded, framed,
+//!   sequence-checked, and decoded, so the wire path is always exercised.
+//! * [`SocketTransport`] — real byte streams: framed TCP or Unix-domain
+//!   sockets with connect retry under bounded exponential backoff, per-peer
+//!   reader threads, and a `Bye` clean-shutdown handshake (an EOF without
+//!   `Bye` is reported as a dropped peer).
+//! * [`SimBusTransport`] — the paper's shared-bus Ethernet in miniature: a
+//!   single mutex serializes the medium (one frame in flight at a time)
+//!   and own-node sends bypass the bus entirely, mirroring the
+//!   loopback/LAN split of the simulator's network path.
+//!
+//! All backends share frame format and discipline (see `dse_msg::frame`):
+//! length-prefixed frames, per-(sender → receiver) sequence numbers
+//! verified on receipt, streaming reassembly via `FrameDecoder`.
+
+#![warn(missing_docs)]
+
+mod channel;
+mod error;
+mod mux;
+mod simbus;
+mod socket;
+
+use std::time::Duration;
+
+use dse_msg::Message;
+
+pub use channel::ChannelTransport;
+pub use error::TransportError;
+pub use simbus::{BusParams, BusStats, SimBusTransport};
+pub use socket::{RetryPolicy, SocketTransport};
+
+/// One received message with its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending PE.
+    pub from: u32,
+    /// Per-(sender → receiver) sequence number of the carrying frame.
+    pub seq: u64,
+    /// The decoded message.
+    pub msg: Message,
+}
+
+/// A reliable, ordered, peer-addressed message carrier.
+///
+/// Implementations are internally synchronized: `send` may be called from
+/// several threads (the kernel loop and the application thread both send),
+/// while `recv` assumes a single consumer — the PE's kernel loop.
+pub trait Transport: Send + Sync {
+    /// This endpoint's PE rank.
+    fn pe(&self) -> u32;
+
+    /// Number of PEs in the cluster.
+    fn npes(&self) -> u32;
+
+    /// Send `msg` to PE `to` (sending to self is allowed and loops back).
+    fn send(&self, to: u32, msg: &Message) -> Result<(), TransportError>;
+
+    /// Receive the next message. `None` timeout blocks indefinitely;
+    /// `Ok(None)` means the timeout elapsed with nothing to deliver.
+    fn recv(&self, timeout: Option<Duration>) -> Result<Option<Envelope>, TransportError>;
+
+    /// Announce clean shutdown to all peers (`Bye` handshake) and release
+    /// the endpoint. After this, `recv` drains already-delivered messages
+    /// and then reports [`TransportError::Closed`].
+    fn shutdown(&self);
+
+    /// Short backend name for diagnostics ("channel", "tcp", "uds", "bus").
+    fn kind(&self) -> &'static str;
+}

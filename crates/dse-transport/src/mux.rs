@@ -1,0 +1,258 @@
+//! Shared plumbing for the in-process backends: a blocking frame queue per
+//! PE and a demultiplexer that reassembles/sequence-checks frames from each
+//! sender. Both [`crate::ChannelTransport`] and [`crate::SimBusTransport`]
+//! deliver *encoded frame bytes* into these queues, so the wire codec is
+//! exercised even when no socket is involved.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use dse_msg::{encode_bye, encode_frame, FrameDecoder, FrameEvent, Message};
+
+use crate::{Envelope, TransportError};
+
+/// Outcome of a timed pop.
+pub enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed.
+    TimedOut,
+    /// The queue is closed and drained.
+    Closed,
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// An unbounded MPSC queue with timed blocking pop. Items already queued
+/// remain poppable after `close` (drain-then-closed semantics), so a clean
+/// shutdown never discards delivered frames.
+pub struct BlockingQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    cv: Condvar,
+}
+
+impl<T> Default for BlockingQueue<T> {
+    fn default() -> Self {
+        BlockingQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl<T> BlockingQueue<T> {
+    /// Enqueue an item. Returns `false` (dropping the item) if closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if g.closed {
+            return false;
+        }
+        g.items.push_back(item);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Dequeue with an optional timeout (`None` blocks indefinitely).
+    pub fn pop(&self, timeout: Option<Duration>) -> Pop<T> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if g.closed {
+                return Pop::Closed;
+            }
+            match deadline {
+                None => {
+                    g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Pop::TimedOut;
+                    }
+                    let (ng, _) = self
+                        .cv
+                        .wait_timeout(g, d - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    g = ng;
+                }
+            }
+        }
+    }
+
+    /// Close the queue, waking all waiters.
+    pub fn close(&self) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.closed = true;
+        self.cv.notify_all();
+    }
+}
+
+struct PeerRx {
+    dec: FrameDecoder,
+    next_seq: u64,
+    bye: bool,
+}
+
+/// Receive-side demux: per-sender frame reassembly and sequence checking
+/// over a single inbox of `(from, frame-bytes)` deliveries, plus the
+/// per-destination send sequence counters.
+pub struct FrameMux {
+    pe: u32,
+    npes: u32,
+    tx_seq: Mutex<Vec<u64>>,
+    rx: Mutex<Vec<PeerRx>>,
+    ready: Mutex<VecDeque<Envelope>>,
+}
+
+impl FrameMux {
+    pub fn new(pe: u32, npes: u32) -> Self {
+        FrameMux {
+            pe,
+            npes,
+            tx_seq: Mutex::new(vec![0; npes as usize]),
+            rx: Mutex::new(
+                (0..npes)
+                    .map(|_| PeerRx {
+                        dec: FrameDecoder::new(),
+                        next_seq: 0,
+                        bye: false,
+                    })
+                    .collect(),
+            ),
+            ready: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn pe(&self) -> u32 {
+        self.pe
+    }
+
+    pub fn npes(&self) -> u32 {
+        self.npes
+    }
+
+    /// Encode `msg` as the next frame for destination `to` and hand it to
+    /// `deliver` (returning `false` means the destination dropped it). The
+    /// sequence allocator stays locked across delivery: an endpoint may be
+    /// shared by several sending threads, and allocating the number in one
+    /// step but delivering in another would let two frames reach the same
+    /// destination out of sequence order.
+    pub fn send_frame(
+        &self,
+        to: u32,
+        msg: &Message,
+        deliver: impl FnOnce(Vec<u8>) -> bool,
+    ) -> Result<(), TransportError> {
+        if to >= self.npes {
+            return Err(TransportError::NoSuchPeer { peer: to });
+        }
+        let mut seqs = self.tx_seq.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = seqs[to as usize];
+        if !deliver(encode_frame(seq, msg)) {
+            return Err(TransportError::PeerDropped { peer: to });
+        }
+        seqs[to as usize] += 1;
+        Ok(())
+    }
+
+    /// Encode the `Bye` frame for destination `to` and hand it to `deliver`
+    /// (same locking discipline as [`FrameMux::send_frame`]).
+    pub fn send_bye(&self, to: u32, deliver: impl FnOnce(Vec<u8>) -> bool) {
+        let mut seqs = self.tx_seq.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = seqs[to as usize];
+        if deliver(encode_bye(seq)) {
+            seqs[to as usize] += 1;
+        }
+    }
+
+    /// Feed raw frame bytes received from `from`; decoded messages land in
+    /// the ready queue.
+    pub fn ingest(&self, from: u32, bytes: &[u8]) -> Result<(), TransportError> {
+        let mut rx = self.rx.lock().unwrap_or_else(|e| e.into_inner());
+        let pr = &mut rx[from as usize];
+        pr.dec.push(bytes);
+        loop {
+            match pr.dec.next_frame()? {
+                None => break,
+                Some(FrameEvent::Bye { seq }) => {
+                    Self::check_seq(from, &mut pr.next_seq, seq)?;
+                    pr.bye = true;
+                }
+                Some(FrameEvent::Msg { seq, msg }) => {
+                    Self::check_seq(from, &mut pr.next_seq, seq)?;
+                    self.ready
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push_back(Envelope { from, seq, msg });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_seq(from: u32, next: &mut u64, got: u64) -> Result<(), TransportError> {
+        if got != *next {
+            return Err(TransportError::SequenceGap {
+                peer: from,
+                expected: *next,
+                got,
+            });
+        }
+        *next += 1;
+        Ok(())
+    }
+
+    /// Pop one decoded envelope, if any.
+    pub fn take_ready(&self) -> Option<Envelope> {
+        self.ready
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// Drive the inbox until an envelope is ready or the timeout elapses.
+    pub fn recv_via(
+        &self,
+        inbox: &BlockingQueue<(u32, Vec<u8>)>,
+        timeout: Option<Duration>,
+    ) -> Result<Option<Envelope>, TransportError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            if let Some(env) = self.take_ready() {
+                return Ok(Some(env));
+            }
+            let remaining = match deadline {
+                None => None,
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Ok(None);
+                    }
+                    Some(d - now)
+                }
+            };
+            match inbox.pop(remaining) {
+                Pop::Item((from, bytes)) => self.ingest(from, &bytes)?,
+                Pop::TimedOut => return Ok(None),
+                Pop::Closed => {
+                    // Drain anything decoded between the check above and
+                    // the close, then report closure.
+                    return match self.take_ready() {
+                        Some(env) => Ok(Some(env)),
+                        None => Err(TransportError::Closed),
+                    };
+                }
+            }
+        }
+    }
+}

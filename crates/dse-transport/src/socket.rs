@@ -1,0 +1,633 @@
+//! Framed socket backend: real byte streams between PEs, over TCP or Unix
+//! domain sockets.
+//!
+//! Mesh construction: every PE binds a listener; PE `p` dials every peer
+//! `q < p` (with retry under bounded exponential backoff, since peers come
+//! up in arbitrary order) and accepts connections from every `q > p`. The
+//! dialer identifies itself with a 4-byte little-endian hello carrying its
+//! rank. One reader thread per connection reassembles frames with
+//! `FrameDecoder` and feeds a single event queue.
+//!
+//! Shutdown is a handshake: `shutdown` sends a `Bye` frame on every
+//! connection and closes the write half. A reader that sees `Bye` (or EOF
+//! after we initiated shutdown) ends quietly; an EOF *without* `Bye` is
+//! reported to the consumer as [`TransportError::PeerDropped`], and a cut
+//! mid-frame is just as visible — the partial frame never decodes.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use dse_msg::{encode_bye, encode_frame, FrameDecoder, FrameEvent, Message};
+
+use crate::mux::{BlockingQueue, Pop};
+use crate::{Envelope, Transport, TransportError};
+
+/// Bounded exponential backoff for mesh dialing.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum connection attempts before giving up.
+    pub max_attempts: u32,
+    /// Delay after the first failed attempt.
+    pub base_delay: Duration,
+    /// Ceiling on the per-attempt delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 20,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(200),
+        }
+    }
+}
+
+/// A duplex stream, TCP or Unix.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.try_clone().map(Conn::Uds),
+        }
+    }
+
+    fn shutdown_both(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Conn::Uds(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// Half-close: FIN the write side but keep reading, so a polite
+    /// shutdown still drains whatever the peer has in flight (its reader
+    /// thread exits on the peer's own `Bye`). A full close here could turn
+    /// a late-arriving frame into a connection reset that destroys our
+    /// already-queued `Bye` before the peer reads it.
+    fn shutdown_write(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Write);
+            }
+            #[cfg(unix)]
+            Conn::Uds(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Write);
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.flush(),
+        }
+    }
+}
+
+struct PeerTx {
+    conn: Conn,
+    next_seq: u64,
+}
+
+/// Socket-backed transport endpoint. Build whole in-process clusters with
+/// [`SocketTransport::tcp_cluster`] / [`SocketTransport::uds_cluster`].
+pub struct SocketTransport {
+    pe: u32,
+    npes: u32,
+    kind: &'static str,
+    // Writer side per peer; None at our own index.
+    peers: Vec<Mutex<Option<PeerTx>>>,
+    // Loopback: self-sends decode locally, same discipline as the wire.
+    self_rx: Mutex<(FrameDecoder, u64)>,
+    events: Arc<BlockingQueue<Result<Envelope, TransportError>>>,
+    closing: Arc<AtomicBool>,
+}
+
+fn dial_tcp(addr: SocketAddr, peer: u32, retry: &RetryPolicy) -> Result<TcpStream, TransportError> {
+    let mut delay = retry.base_delay;
+    let mut last = String::new();
+    for attempt in 0..retry.max_attempts {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = e.to_string(),
+        }
+        if attempt + 1 < retry.max_attempts {
+            thread::sleep(delay);
+            delay = (delay * 2).min(retry.max_delay);
+        }
+    }
+    Err(TransportError::ConnectFailed {
+        peer,
+        attempts: retry.max_attempts,
+        last,
+    })
+}
+
+#[cfg(unix)]
+fn dial_uds(path: &Path, peer: u32, retry: &RetryPolicy) -> Result<UnixStream, TransportError> {
+    let mut delay = retry.base_delay;
+    let mut last = String::new();
+    for attempt in 0..retry.max_attempts {
+        match UnixStream::connect(path) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = e.to_string(),
+        }
+        if attempt + 1 < retry.max_attempts {
+            thread::sleep(delay);
+            delay = (delay * 2).min(retry.max_delay);
+        }
+    }
+    Err(TransportError::ConnectFailed {
+        peer,
+        attempts: retry.max_attempts,
+        last,
+    })
+}
+
+fn read_hello(conn: &mut Conn) -> Result<u32, TransportError> {
+    let mut b = [0u8; 4];
+    conn.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn write_hello(conn: &mut Conn, pe: u32) -> Result<(), TransportError> {
+    conn.write_all(&pe.to_le_bytes())?;
+    Ok(())
+}
+
+impl SocketTransport {
+    /// Build an `npes`-endpoint TCP mesh over loopback, using ephemeral
+    /// ports. Endpoint `i` belongs to PE `i`.
+    pub fn tcp_cluster(npes: u32) -> Result<Vec<SocketTransport>, TransportError> {
+        let listeners: Vec<TcpListener> = (0..npes)
+            .map(|_| TcpListener::bind("127.0.0.1:0"))
+            .collect::<Result<_, _>>()?;
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(TcpListener::local_addr)
+            .collect::<Result<_, _>>()?;
+        let retry = RetryPolicy::default();
+        Self::build_mesh(npes, "tcp", listeners, move |pe, listener| {
+            Self::tcp_mesh_one(pe, listener, &addrs, &retry)
+        })
+    }
+
+    /// Build an `npes`-endpoint Unix-domain-socket mesh with socket files
+    /// under `dir`.
+    #[cfg(unix)]
+    pub fn uds_cluster(npes: u32, dir: &Path) -> Result<Vec<SocketTransport>, TransportError> {
+        let paths: Vec<PathBuf> = (0..npes)
+            .map(|i| dir.join(format!("pe-{i}.sock")))
+            .collect();
+        let listeners: Vec<UnixListener> = paths
+            .iter()
+            .map(|p| {
+                let _ = std::fs::remove_file(p);
+                UnixListener::bind(p)
+            })
+            .collect::<Result<_, _>>()?;
+        let retry = RetryPolicy::default();
+        Self::build_mesh(npes, "uds", listeners, move |pe, listener| {
+            Self::uds_mesh_one(pe, listener, &paths, &retry)
+        })
+    }
+
+    fn build_mesh<L: Send + 'static>(
+        npes: u32,
+        kind: &'static str,
+        listeners: Vec<L>,
+        connect: impl Fn(u32, L) -> Result<Vec<(u32, Conn)>, TransportError> + Sync,
+    ) -> Result<Vec<SocketTransport>, TransportError> {
+        let results: Vec<Result<Vec<(u32, Conn)>, TransportError>> = thread::scope(|s| {
+            let connect = &connect;
+            let handles: Vec<_> = listeners
+                .into_iter()
+                .enumerate()
+                .map(|(pe, listener)| s.spawn(move || connect(pe as u32, listener)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(pe, conns)| Self::from_conns(pe as u32, npes, kind, conns?))
+            .collect()
+    }
+
+    fn tcp_mesh_one(
+        pe: u32,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+        retry: &RetryPolicy,
+    ) -> Result<Vec<(u32, Conn)>, TransportError> {
+        let npes = addrs.len() as u32;
+        let mut conns = Vec::new();
+        // Dial lower ranks, identifying ourselves.
+        for q in 0..pe {
+            let mut conn = Conn::Tcp(dial_tcp(addrs[q as usize], q, retry)?);
+            write_hello(&mut conn, pe)?;
+            conns.push((q, conn));
+        }
+        // Accept higher ranks; they say hello.
+        for _ in pe + 1..npes {
+            let (stream, _) = listener.accept()?;
+            let mut conn = Conn::Tcp(stream);
+            let q = read_hello(&mut conn)?;
+            conns.push((q, conn));
+        }
+        Ok(conns)
+    }
+
+    #[cfg(unix)]
+    fn uds_mesh_one(
+        pe: u32,
+        listener: UnixListener,
+        paths: &[PathBuf],
+        retry: &RetryPolicy,
+    ) -> Result<Vec<(u32, Conn)>, TransportError> {
+        let npes = paths.len() as u32;
+        let mut conns = Vec::new();
+        for q in 0..pe {
+            let mut conn = Conn::Uds(dial_uds(&paths[q as usize], q, retry)?);
+            write_hello(&mut conn, pe)?;
+            conns.push((q, conn));
+        }
+        for _ in pe + 1..npes {
+            let (stream, _) = listener.accept()?;
+            let mut conn = Conn::Uds(stream);
+            let q = read_hello(&mut conn)?;
+            conns.push((q, conn));
+        }
+        Ok(conns)
+    }
+
+    fn from_conns(
+        pe: u32,
+        npes: u32,
+        kind: &'static str,
+        conns: Vec<(u32, Conn)>,
+    ) -> Result<SocketTransport, TransportError> {
+        let events: Arc<BlockingQueue<Result<Envelope, TransportError>>> =
+            Arc::new(BlockingQueue::default());
+        let closing = Arc::new(AtomicBool::new(false));
+        let mut peers: Vec<Mutex<Option<PeerTx>>> = (0..npes).map(|_| Mutex::new(None)).collect();
+        for (q, conn) in conns {
+            let reader = conn.try_clone()?;
+            *peers[q as usize].get_mut().unwrap() = Some(PeerTx { conn, next_seq: 0 });
+            let events = Arc::clone(&events);
+            let closing = Arc::clone(&closing);
+            thread::Builder::new()
+                .name(format!("dse-rx-{pe}<-{q}"))
+                .spawn(move || reader_loop(q, reader, events, closing))
+                .expect("spawn reader thread");
+        }
+        Ok(SocketTransport {
+            pe,
+            npes,
+            kind,
+            peers,
+            self_rx: Mutex::new((FrameDecoder::new(), 0)),
+            events,
+            closing,
+        })
+    }
+}
+
+fn reader_loop(
+    from: u32,
+    mut conn: Conn,
+    events: Arc<BlockingQueue<Result<Envelope, TransportError>>>,
+    closing: Arc<AtomicBool>,
+) {
+    let mut dec = FrameDecoder::new();
+    let mut next_seq = 0u64;
+    let mut buf = [0u8; 64 * 1024];
+    let mut clean = false;
+    'io: loop {
+        let n = match conn.read(&mut buf) {
+            Ok(0) => break 'io,
+            Ok(n) => n,
+            Err(_) if closing.load(Ordering::SeqCst) => return,
+            Err(e) => {
+                events.push(Err(TransportError::Io(e.to_string())));
+                return;
+            }
+        };
+        dec.push(&buf[..n]);
+        loop {
+            match dec.next_frame() {
+                Ok(None) => break,
+                Ok(Some(FrameEvent::Bye { .. })) => {
+                    clean = true;
+                    break 'io;
+                }
+                Ok(Some(FrameEvent::Msg { seq, msg })) => {
+                    if seq != next_seq {
+                        events.push(Err(TransportError::SequenceGap {
+                            peer: from,
+                            expected: next_seq,
+                            got: seq,
+                        }));
+                        return;
+                    }
+                    next_seq += 1;
+                    events.push(Ok(Envelope { from, seq, msg }));
+                }
+                Err(e) => {
+                    events.push(Err(TransportError::Codec(e)));
+                    return;
+                }
+            }
+        }
+    }
+    // EOF. Clean if the peer said Bye (or we initiated shutdown ourselves);
+    // a cut mid-frame or a silent close is a dropped peer.
+    if !clean && !closing.load(Ordering::SeqCst) {
+        events.push(Err(TransportError::PeerDropped { peer: from }));
+    }
+}
+
+impl Transport for SocketTransport {
+    fn pe(&self) -> u32 {
+        self.pe
+    }
+
+    fn npes(&self) -> u32 {
+        self.npes
+    }
+
+    fn send(&self, to: u32, msg: &Message) -> Result<(), TransportError> {
+        if to >= self.npes {
+            return Err(TransportError::NoSuchPeer { peer: to });
+        }
+        if to == self.pe {
+            // Own-node fast path still runs the frame codec end to end.
+            let mut g = self.self_rx.lock().unwrap_or_else(|e| e.into_inner());
+            let (dec, seq) = &mut *g;
+            dec.push(&encode_frame(*seq, msg));
+            *seq += 1;
+            while let Some(ev) = dec.next_frame()? {
+                if let FrameEvent::Msg { seq, msg } = ev {
+                    self.events.push(Ok(Envelope {
+                        from: self.pe,
+                        seq,
+                        msg,
+                    }));
+                }
+            }
+            return Ok(());
+        }
+        let mut g = self.peers[to as usize]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let peer = g.as_mut().ok_or(TransportError::PeerDropped { peer: to })?;
+        let frame = encode_frame(peer.next_seq, msg);
+        peer.next_seq += 1;
+        if let Err(e) = peer.conn.write_all(&frame) {
+            peer.conn.shutdown_both();
+            *g = None;
+            return Err(TransportError::Io(e.to_string()));
+        }
+        Ok(())
+    }
+
+    fn recv(&self, timeout: Option<Duration>) -> Result<Option<Envelope>, TransportError> {
+        match self.events.pop(timeout) {
+            Pop::Item(Ok(env)) => Ok(Some(env)),
+            Pop::Item(Err(e)) => Err(e),
+            Pop::TimedOut => Ok(None),
+            Pop::Closed => Err(TransportError::Closed),
+        }
+    }
+
+    fn shutdown(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        for (q, peer) in self.peers.iter().enumerate() {
+            if q as u32 == self.pe {
+                continue;
+            }
+            let mut g = peer.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(p) = g.as_mut() {
+                let _ = p.conn.write_all(&encode_bye(p.next_seq));
+                let _ = p.conn.flush();
+                p.conn.shutdown_write();
+            }
+            *g = None;
+        }
+        self.events.close();
+    }
+
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+}
+
+impl SocketTransport {
+    /// Kill every connection *without* the `Bye` handshake — as if the
+    /// process died. Peers observe [`TransportError::PeerDropped`]. This is
+    /// the fault-injection entry point used by transport fault tests.
+    pub fn abort(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        for peer in &self.peers {
+            let mut g = peer.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(p) = g.as_mut() {
+                p.conn.shutdown_both();
+            }
+            *g = None;
+        }
+        self.events.close();
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        if !self.closing.load(Ordering::SeqCst) {
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_msg::{RegionId, ReqId};
+    use std::sync::atomic::AtomicU64;
+    use std::time::Instant;
+
+    fn msg(i: u64) -> Message {
+        Message::GmReadReq {
+            req: ReqId(i),
+            region: RegionId(2),
+            offset: i,
+            len: 16,
+        }
+    }
+
+    #[test]
+    fn tcp_mesh_roundtrip_ring() {
+        let cluster = SocketTransport::tcp_cluster(3).unwrap();
+        for (pe, t) in cluster.iter().enumerate() {
+            let to = ((pe + 1) % 3) as u32;
+            t.send(to, &msg(pe as u64)).unwrap();
+        }
+        for (pe, t) in cluster.iter().enumerate() {
+            let expect_from = ((pe + 2) % 3) as u32;
+            let env = t.recv(Some(Duration::from_secs(5))).unwrap().unwrap();
+            assert_eq!(env.from, expect_from);
+            assert_eq!(env.msg, msg(expect_from as u64));
+        }
+    }
+
+    #[test]
+    fn large_message_reassembles_across_reads() {
+        // 1 MiB payload: many 64 KiB reads per frame, so the reader must
+        // reassemble partial frames.
+        let cluster = SocketTransport::tcp_cluster(2).unwrap();
+        let big = Message::GmWriteReq {
+            req: ReqId(1),
+            region: RegionId(0),
+            offset: 0,
+            data: (0..1_048_576u32).map(|i| i as u8).collect(),
+        };
+        cluster[0].send(1, &big).unwrap();
+        let env = cluster[1]
+            .recv(Some(Duration::from_secs(10)))
+            .unwrap()
+            .unwrap();
+        assert_eq!(env.msg, big);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_mesh_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("dse-uds-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cluster = SocketTransport::uds_cluster(2, &dir).unwrap();
+        cluster[1].send(0, &msg(5)).unwrap();
+        let env = cluster[0]
+            .recv(Some(Duration::from_secs(5)))
+            .unwrap()
+            .unwrap();
+        assert_eq!(env.from, 1);
+        assert_eq!(env.msg, msg(5));
+        drop(cluster);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peer_drop_without_bye_is_reported() {
+        let mut cluster = SocketTransport::tcp_cluster(2).unwrap();
+        let b = cluster.pop().unwrap();
+        let a = cluster.pop().unwrap();
+        b.abort(); // dies without the handshake
+        match a.recv(Some(Duration::from_secs(5))) {
+            Err(TransportError::PeerDropped { peer: 1 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_shutdown_is_silent() {
+        let mut cluster = SocketTransport::tcp_cluster(2).unwrap();
+        let b = cluster.pop().unwrap();
+        let a = cluster.pop().unwrap();
+        b.send(0, &msg(1)).unwrap();
+        b.shutdown(); // polite exit: Bye precedes the close
+        let env = a.recv(Some(Duration::from_secs(5))).unwrap().unwrap();
+        assert_eq!(env.msg, msg(1));
+        // After the Bye, quiet — not an error.
+        assert!(a.recv(Some(Duration::from_millis(100))).unwrap().is_none());
+    }
+
+    #[test]
+    fn dial_retries_until_listener_appears() {
+        // Reserve a port, free it, and only rebind it after a delay: the
+        // first attempts fail and backoff carries the dialer to success.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let retry = RetryPolicy {
+            max_attempts: 50,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(40),
+        };
+        let accepted = Arc::new(AtomicU64::new(0));
+        let acc = Arc::clone(&accepted);
+        let server = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(80));
+            let l = TcpListener::bind(addr).unwrap();
+            let _ = l.accept().unwrap();
+            acc.store(1, Ordering::SeqCst);
+        });
+        let t0 = Instant::now();
+        let stream = dial_tcp(addr, 0, &retry).unwrap();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(40),
+            "no backoff happened"
+        );
+        drop(stream);
+        server.join().unwrap();
+        assert_eq!(accepted.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn dial_gives_up_after_bounded_attempts() {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe); // nothing ever listens here again
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+        };
+        match dial_tcp(addr, 7, &retry) {
+            Err(TransportError::ConnectFailed {
+                peer: 7,
+                attempts: 3,
+                ..
+            }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -10,8 +10,20 @@
 //! dse-run knights --platform sunos --procs 12 --jobs 16 --organization legacy
 //! dse-run gauss-mp --procs 4 --n 400          # message-passing variant
 //! ```
+//!
+//! Or run the same workload for real on the live engine, where each PE is
+//! an OS thread and remote global-memory accesses are wire messages:
+//!
+//! ```sh
+//! dse-run gauss --engine live --procs 4 --n 200
+//! dse-run dct   --engine live --transport tcp --watch
+//! ```
+
+use std::sync::Mutex;
+use std::time::Duration;
 
 use dse::apps::{dct, gauss_seidel, gauss_seidel_mp, knights, matmul, othello};
+use dse::live::{run_live_on, run_live_watched_on, LiveCtx, LiveRunResult, TransportKind};
 use dse::net::Protocol;
 use dse::prelude::*;
 use dse_trace::{analyze, gantt};
@@ -19,6 +31,8 @@ use dse_trace::{analyze, gantt};
 #[derive(Debug, Clone, PartialEq)]
 struct Args {
     app: String,
+    engine: String,
+    transport: String,
     platform: String,
     procs: usize,
     n: usize,
@@ -37,11 +51,16 @@ struct Args {
     watch_ms: u64,
     watchdog_ms: u64,
     flight_json: Option<String>,
+    /// Flags the user actually typed, for meaningless-combination checks
+    /// (a default value is fine; an explicit contradiction is an error).
+    explicit: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dse-run <gauss|gauss-mp|dct|othello|knights|matmul> [options]
+  --engine sim|live            execution engine           (default sim)
+  --transport channel|tcp|uds  live engine wire           (default channel)
   --platform sunos|aix|linux   simulated platform        (default sunos)
   --procs N                    processors 1..12           (default 4)
   --machines N                 physical machines          (default 6)
@@ -70,6 +89,8 @@ fn usage() -> ! {
 fn parse_from(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         app: String::new(),
+        engine: "sim".into(),
+        transport: "channel".into(),
         platform: "sunos".into(),
         procs: 4,
         n: 400,
@@ -88,6 +109,7 @@ fn parse_from(argv: &[String]) -> Result<Args, String> {
         watch_ms: 50,
         watchdog_ms: 250,
         flight_json: None,
+        explicit: Vec::new(),
     };
     let mut it = argv.iter();
     args.app = it.next().ok_or("missing application name")?.clone();
@@ -95,6 +117,7 @@ fn parse_from(argv: &[String]) -> Result<Args, String> {
         return Err("help".into());
     }
     while let Some(flag) = it.next() {
+        args.explicit.push(flag.clone());
         let mut val = || -> Result<String, String> {
             it.next()
                 .map(|s| s.to_string())
@@ -105,6 +128,8 @@ fn parse_from(argv: &[String]) -> Result<Args, String> {
                 .map_err(|_| format!("flag {flag}: '{v}' is not a number"))
         };
         match flag.as_str() {
+            "--engine" => args.engine = val()?,
+            "--transport" => args.transport = val()?,
             "--platform" => args.platform = val()?,
             "--procs" => args.procs = num(flag, val()?)?,
             "--machines" => args.machines = num(flag, val()?)?,
@@ -128,6 +153,67 @@ fn parse_from(argv: &[String]) -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Reject argument combinations that silently mean nothing. Defaults are
+/// always fine; only flags the user explicitly typed can contradict the
+/// chosen engine.
+fn validate_engine_combos(args: &Args) -> Result<(), String> {
+    match args.engine.as_str() {
+        "sim" | "live" => {}
+        other => return Err(format!("--engine: '{other}' is not sim or live")),
+    }
+    match args.transport.as_str() {
+        "channel" | "tcp" => {}
+        "uds" => {
+            if !cfg!(unix) {
+                return Err("--transport uds: Unix domain sockets need a Unix platform".into());
+            }
+        }
+        other => return Err(format!("--transport: '{other}' is not channel, tcp or uds")),
+    }
+    let explicit = |f: &str| args.explicit.iter().any(|e| e == f);
+    if args.engine == "sim" && explicit("--transport") {
+        return Err(
+            "--transport chooses the live engine's wire; it has no effect with --engine sim \
+             (add --engine live)"
+                .into(),
+        );
+    }
+    if args.engine == "live" {
+        if args.app == "gauss-mp" {
+            return Err(
+                "gauss-mp is the explicit message-passing variant built on the simulator's \
+                 user-message mailboxes; it does not run on the live engine (use gauss)"
+                    .into(),
+            );
+        }
+        // Everything that parameterizes the simulated 1999 cluster model is
+        // meaningless when the program runs for real on host threads.
+        const SIM_ONLY: &[&str] = &[
+            "--platform",
+            "--machines",
+            "--organization",
+            "--protocol",
+            "--cache",
+            "--trace",
+            "--trace-json",
+            "--watchdog-ms",
+            "--flight-json",
+        ];
+        for f in SIM_ONLY {
+            if explicit(f) {
+                return Err(format!(
+                    "{f} configures the simulated cluster model and has no meaning with \
+                     --engine live"
+                ));
+            }
+        }
+        if args.procs == 0 {
+            return Err("--procs: the live engine needs at least one processor".into());
+        }
+    }
+    Ok(())
 }
 
 /// Probe every requested output path for writability *before* the run, so
@@ -165,6 +251,136 @@ fn parse() -> Args {
 
 fn main() {
     let args = parse();
+    if let Err(e) = validate_engine_combos(&args) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    if let Err(e) = validate_out_paths(&args) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+    if args.engine == "live" {
+        run_live_cli(&args);
+    } else {
+        run_sim_cli(&args);
+    }
+}
+
+/// Run the selected workload on the live engine: real threads, the chosen
+/// transport carrying every remote GM access, results printed exactly like
+/// the simulator's so the two engines are directly comparable.
+fn run_live_cli(args: &Args) {
+    let kind = match args.transport.as_str() {
+        "tcp" => TransportKind::Tcp,
+        "uds" => TransportKind::Uds,
+        _ => TransportKind::Channel,
+    };
+    println!(
+        "# {} on the live engine ({} transport), {} processors",
+        args.app, args.transport, args.procs
+    );
+    let run = match args.app.as_str() {
+        "gauss" => {
+            let params = gauss_seidel::GaussSeidelParams::paper(args.n);
+            let (run, sol) = live_app(args, kind, |ctx| gauss_seidel::body(ctx, &params));
+            println!(
+                "solved N={} in {} sweeps, final delta {:.2e}",
+                args.n, sol.iters, sol.delta
+            );
+            run
+        }
+        "dct" => {
+            let params = dct::DctParams::paper(args.block);
+            let (run, out) = live_app(args, kind, |ctx| dct::body(ctx, &params));
+            println!(
+                "compressed {}x{} image, {} coefficients kept",
+                params.size,
+                params.size,
+                out.coeffs.len()
+            );
+            run
+        }
+        "othello" => {
+            let params = othello::OthelloParams::paper(args.depth);
+            let (run, (mv, score)) = live_app(args, kind, |ctx| othello::body(ctx, &params));
+            println!(
+                "depth {}: best move {}{} score {:+}",
+                args.depth,
+                (b'a' + mv % 8) as char,
+                mv / 8 + 1,
+                score
+            );
+            run
+        }
+        "matmul" => {
+            let params = matmul::MatmulParams::single(args.n.min(256));
+            let (run, c) = live_app(args, kind, |ctx| matmul::body(ctx, &params));
+            println!("multiplied {0}x{0} matrices, C[0]={1:.4}", params.n, c[0]);
+            run
+        }
+        "knights" => {
+            let params = knights::KnightsParams::paper(args.jobs);
+            let (run, count) = live_app(args, kind, |ctx| knights::body(ctx, &params));
+            println!("counted {count} tours ({} jobs)", args.jobs);
+            run
+        }
+        _ => usage(),
+    };
+    println!(
+        "wall time: {:?}   gm request messages: {}   requests served: {}",
+        run.elapsed,
+        run.metrics
+            .counter_sum_over_pes("kernel", "gm_request_msgs"),
+        run.metrics
+            .counter_sum_over_pes("kernel", "requests_served"),
+    );
+    let write = |path: &str, what: &str, data: String| {
+        if let Err(e) = std::fs::write(path, data) {
+            eprintln!("cannot write {what} to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("{what} written to {path}");
+    };
+    if let Some(path) = &args.metrics_json {
+        write(path, "metrics (JSONL)", run.metrics.to_jsonl());
+    }
+    if let Some(path) = &args.metrics_csv {
+        write(path, "metrics (CSV)", run.metrics.to_csv());
+    }
+}
+
+/// Execute one SPMD body on the live engine (watched if `--watch`) and
+/// return the run alongside rank 0's result.
+fn live_app<T: Send>(
+    args: &Args,
+    kind: TransportKind,
+    body: impl Fn(&mut LiveCtx) -> Option<T> + Send + Sync,
+) -> (LiveRunResult, T) {
+    let slot: Mutex<Option<T>> = Mutex::new(None);
+    let capture = |ctx: &mut LiveCtx| {
+        if let Some(v) = body(ctx) {
+            *slot.lock().unwrap() = Some(v);
+        }
+    };
+    let run = if args.watch {
+        run_live_watched_on(
+            kind,
+            args.procs,
+            Duration::from_millis(args.watch_ms),
+            |agg, now_ns| {
+                println!("-- t={:.1}ms", now_ns as f64 / 1e6);
+                print!("{}", dse::ssi::render_top(agg, now_ns));
+            },
+            capture,
+        )
+    } else {
+        run_live_on(kind, args.procs, capture)
+    };
+    let result = slot.into_inner().unwrap().expect("rank 0 result");
+    (run, result)
+}
+
+fn run_sim_cli(args: &Args) {
     let platform = Platform::by_id(&args.platform).unwrap_or_else(|| {
         eprintln!("unknown platform '{}'", args.platform);
         usage()
@@ -181,10 +397,6 @@ fn main() {
         "raw" => Protocol::RawEthernet,
         _ => usage(),
     };
-    if let Err(e) = validate_out_paths(&args) {
-        eprintln!("{e}");
-        std::process::exit(1);
-    }
     // --watch and --flight-json both need the in-band telemetry plane.
     if args.watch || args.flight_json.is_some() {
         config.telemetry = Some(
@@ -412,6 +624,74 @@ mod tests {
         let err = validate_out_paths(&a).unwrap_err();
         assert!(err.contains("cannot write flight recorder"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn engine_and_transport_flags_parse() {
+        let a = parse_from(&argv("gauss")).unwrap();
+        assert_eq!(a.engine, "sim");
+        assert_eq!(a.transport, "channel");
+        let a = parse_from(&argv("gauss --engine live --transport tcp")).unwrap();
+        assert_eq!(a.engine, "live");
+        assert_eq!(a.transport, "tcp");
+        assert!(validate_engine_combos(&a).is_ok());
+    }
+
+    #[test]
+    fn bad_engine_or_transport_rejected() {
+        let a = parse_from(&argv("gauss --engine warp")).unwrap();
+        let err = validate_engine_combos(&a).unwrap_err();
+        assert!(err.contains("not sim or live"), "{err}");
+        let a = parse_from(&argv("gauss --engine live --transport pigeon")).unwrap();
+        let err = validate_engine_combos(&a).unwrap_err();
+        assert!(err.contains("not channel, tcp or uds"), "{err}");
+    }
+
+    #[test]
+    fn transport_with_sim_engine_rejected() {
+        let a = parse_from(&argv("gauss --transport tcp")).unwrap();
+        let err = validate_engine_combos(&a).unwrap_err();
+        assert!(err.contains("no effect with --engine sim"), "{err}");
+        // The default transport value is fine — only the explicit flag errs.
+        let a = parse_from(&argv("gauss")).unwrap();
+        assert!(validate_engine_combos(&a).is_ok());
+    }
+
+    #[test]
+    fn sim_model_flags_with_live_engine_rejected() {
+        for flags in [
+            "--platform linux",
+            "--machines 4",
+            "--organization legacy",
+            "--protocol udp",
+            "--cache",
+            "--trace",
+            "--trace-json t.json",
+            "--watchdog-ms 10",
+            "--flight-json f.jsonl",
+        ] {
+            let a = parse_from(&argv(&format!("gauss --engine live {flags}"))).unwrap();
+            let err = validate_engine_combos(&a).unwrap_err();
+            assert!(
+                err.contains("no meaning with --engine live"),
+                "{flags}: {err}"
+            );
+        }
+        // Observability outputs and the watch view do work on the live engine.
+        let a = parse_from(&argv(
+            "gauss --engine live --watch --watch-ms 10 --metrics-json m.jsonl --metrics-csv m.csv",
+        ))
+        .unwrap();
+        assert!(validate_engine_combos(&a).is_ok());
+    }
+
+    #[test]
+    fn gauss_mp_on_live_engine_rejected() {
+        let a = parse_from(&argv("gauss-mp --engine live")).unwrap();
+        let err = validate_engine_combos(&a).unwrap_err();
+        assert!(err.contains("does not run on the live engine"), "{err}");
+        let a = parse_from(&argv("gauss-mp")).unwrap();
+        assert!(validate_engine_combos(&a).is_ok());
     }
 
     #[test]

@@ -1,24 +1,35 @@
 //! Portability, mechanically: each workload's single SPMD body produces
 //! identical results on the deterministic simulated cluster and on the
-//! real-thread live engine.
+//! real-thread live engine — and on the live engine the answer is the same
+//! whichever wire carries the messages (in-process channel or framed TCP
+//! over loopback), which is the paper's portability claim for the
+//! transport layer.
 
 use dse::apps::{dct, gauss_seidel, knights, othello};
-use dse::live::run_live;
+use dse::live::{run_live_on, TransportKind};
 use dse::prelude::*;
 use std::sync::Mutex;
 
-/// Run a body on the live engine and capture rank 0's result.
-fn live_capture<T: Send + 'static>(
+/// Run a body on the live engine over `kind` and capture rank 0's result.
+fn live_capture_on<T: Send + 'static>(
+    kind: TransportKind,
     nprocs: usize,
     body: impl Fn(&mut dse::live::LiveCtx) -> Option<T> + Send + Sync,
 ) -> T {
     let slot: Mutex<Option<T>> = Mutex::new(None);
-    run_live(nprocs, |ctx| {
+    run_live_on(kind, nprocs, |ctx| {
         if let Some(v) = body(ctx) {
             *slot.lock().unwrap() = Some(v);
         }
     });
     slot.into_inner().unwrap().expect("rank 0 result")
+}
+
+fn live_capture<T: Send + 'static>(
+    nprocs: usize,
+    body: impl Fn(&mut dse::live::LiveCtx) -> Option<T> + Send + Sync,
+) -> T {
+    live_capture_on(TransportKind::Channel, nprocs, body)
 }
 
 #[test]
@@ -31,6 +42,11 @@ fn gauss_seidel_same_on_both_engines() {
     // so results agree exactly.
     assert_eq!(sim_sol.iters, live_sol.iters);
     assert_eq!(sim_sol.x, live_sol.x);
+    let tcp_sol = live_capture_on(TransportKind::Tcp, 3, |ctx| {
+        gauss_seidel::body(ctx, &params)
+    });
+    assert_eq!(sim_sol.iters, tcp_sol.iters);
+    assert_eq!(sim_sol.x, tcp_sol.x);
 }
 
 #[test]
@@ -46,6 +62,8 @@ fn dct_same_on_both_engines() {
     let live_out = live_capture(4, |ctx| dct::body(ctx, &params));
     assert_eq!(sim_out, live_out);
     assert_eq!(sim_out, dct::compress_sequential(&params));
+    let tcp_out = live_capture_on(TransportKind::Tcp, 4, |ctx| dct::body(ctx, &params));
+    assert_eq!(sim_out, tcp_out);
 }
 
 #[test]
@@ -57,6 +75,8 @@ fn othello_same_on_both_engines() {
     assert_eq!(sim_best, live_best);
     let (mv, v, _) = othello::search_sequential(&params);
     assert_eq!(sim_best, (mv, v));
+    let tcp_best = live_capture_on(TransportKind::Tcp, 3, |ctx| othello::body(ctx, &params));
+    assert_eq!(sim_best, tcp_best);
 }
 
 #[test]
@@ -67,6 +87,8 @@ fn knights_same_on_both_engines() {
     let live_count = live_capture(4, |ctx| knights::body(ctx, &params));
     assert_eq!(sim_count, live_count);
     assert_eq!(sim_count, 304);
+    let tcp_count = live_capture_on(TransportKind::Tcp, 4, |ctx| knights::body(ctx, &params));
+    assert_eq!(sim_count, tcp_count);
 }
 
 #[test]
@@ -78,4 +100,18 @@ fn matmul_same_on_both_engines() {
     let live_c = live_capture(3, |ctx| matmul::body(ctx, &params));
     assert_eq!(sim_c, live_c);
     assert_eq!(sim_c, matmul::multiply_sequential(&params));
+    let tcp_c = live_capture_on(TransportKind::Tcp, 3, |ctx| matmul::body(ctx, &params));
+    assert_eq!(sim_c, tcp_c);
+}
+
+#[cfg(unix)]
+#[test]
+fn gauss_seidel_same_on_unix_sockets() {
+    let params = gauss_seidel::GaussSeidelParams::paper(40);
+    let channel_sol = live_capture(2, |ctx| gauss_seidel::body(ctx, &params));
+    let uds_sol = live_capture_on(TransportKind::Uds, 2, |ctx| {
+        gauss_seidel::body(ctx, &params)
+    });
+    assert_eq!(channel_sol.iters, uds_sol.iters);
+    assert_eq!(channel_sol.x, uds_sol.x);
 }
