@@ -44,6 +44,10 @@ pub struct TelemetryConfig {
     pub watchdog_deadline: SimDuration,
     /// Flight-recorder ring capacity in events (0 disables the recorder).
     pub flight_capacity: usize,
+    /// Escalate after this many distinct stalls have been flagged over the
+    /// run: the kernel records a `kernel/stall_escalations` metric and
+    /// captures the flight-recorder dump. `None` leaves escalation off.
+    pub escalate_after: Option<u32>,
 }
 
 impl Default for TelemetryConfig {
@@ -59,6 +63,7 @@ impl Default for TelemetryConfig {
             interval: SimDuration::from_millis(200),
             watchdog_deadline: SimDuration::from_millis(250),
             flight_capacity: 256,
+            escalate_after: None,
         }
     }
 }
@@ -79,6 +84,12 @@ impl TelemetryConfig {
     /// Builder-style: set the flight-recorder capacity.
     pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
         self.flight_capacity = capacity;
+        self
+    }
+
+    /// Builder-style: arm stall escalation at `after` distinct stalls.
+    pub fn with_escalation(mut self, after: Option<u32>) -> Self {
+        self.escalate_after = after;
         self
     }
 }

@@ -287,9 +287,9 @@ pub fn kernel_main(
         .as_ref()
         .map(|_| DeltaTracker::new(node.0 as u32, node == NodeId(0)));
     let mut watchdog = if node == NodeId(0) {
-        telemetry
-            .as_ref()
-            .map(|t| StallWatchdog::new(t.watchdog_deadline.as_nanos()))
+        telemetry.as_ref().map(|t| {
+            StallWatchdog::new(t.watchdog_deadline.as_nanos()).with_escalation(t.escalate_after)
+        })
     } else {
         None
     };
@@ -663,4 +663,12 @@ fn poll_watchdog(shared: &ClusterShared, wd: &mut StallWatchdog, now_ns: u64) {
     }
     drop(dump);
     shared.stalls.lock().extend(reports);
+    // Escalation hook: past the configured stall budget, record the trip
+    // (and refresh the post-mortem dump so it covers the escalating stall).
+    if wd.take_escalation() {
+        shared
+            .metrics
+            .incr(MetricKey::global("kernel", "stall_escalations"));
+        *shared.flight_dump.lock() = Some(shared.flight.to_jsonl());
+    }
 }

@@ -46,6 +46,9 @@ impl StallReport {
 pub struct StallWatchdog {
     deadline_ns: u64,
     flagged: HashSet<(SpanKind, u32, u64)>,
+    total_flagged: u64,
+    escalate_after: Option<u32>,
+    escalated: bool,
 }
 
 impl StallWatchdog {
@@ -54,7 +57,18 @@ impl StallWatchdog {
         StallWatchdog {
             deadline_ns,
             flagged: HashSet::new(),
+            total_flagged: 0,
+            escalate_after: None,
+            escalated: false,
         }
+    }
+
+    /// Arm escalation: once `after` distinct stalls have been flagged over
+    /// the run, [`StallWatchdog::take_escalation`] fires (once). `None`
+    /// leaves escalation off.
+    pub fn with_escalation(mut self, after: Option<u32>) -> StallWatchdog {
+        self.escalate_after = after;
+        self
     }
 
     /// The configured deadline in nanoseconds.
@@ -62,12 +76,46 @@ impl StallWatchdog {
         self.deadline_ns
     }
 
+    /// Distinct stalls flagged over the whole run (pruning does not forget
+    /// them).
+    pub fn total_flagged(&self) -> u64 {
+        self.total_flagged
+    }
+
+    /// Currently remembered flag keys — spans flagged and still open.
+    /// Bounded by the number of open GM spans, not run length.
+    pub fn flagged_backlog(&self) -> usize {
+        self.flagged.len()
+    }
+
+    /// True exactly once: when the run's distinct-stall count crosses the
+    /// escalation threshold. The caller decides what escalation means
+    /// (metric, flight dump, abort).
+    pub fn take_escalation(&mut self) -> bool {
+        match self.escalate_after {
+            Some(n) if !self.escalated && self.total_flagged >= u64::from(n) => {
+                self.escalated = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Poll the span table at time `now_ns`; returns newly flagged stalls
     /// (deterministic order: by open time, then PE, then sequence number,
     /// inherited from [`SpanTable::open_spans`]).
     pub fn check(&mut self, now_ns: u64, spans: &SpanTable) -> Vec<StallReport> {
+        let opens = spans.open_spans();
+        // Prune memory of spans that have since closed: sequence numbers
+        // are never reused, so a closed span can't be re-flagged, and
+        // keeping its key would grow the set without bound on long runs.
+        if !self.flagged.is_empty() {
+            let still_open: HashSet<(SpanKind, u32, u64)> =
+                opens.iter().map(|o| (o.kind, o.pe, o.seq)).collect();
+            self.flagged.retain(|k| still_open.contains(k));
+        }
         let mut out = Vec::new();
-        for open in spans.open_spans() {
+        for open in opens {
             if !matches!(
                 open.kind,
                 SpanKind::GmRead | SpanKind::GmWrite | SpanKind::GmFetchAdd | SpanKind::GmBatch
@@ -78,6 +126,7 @@ impl StallWatchdog {
                 continue;
             }
             if self.flagged.insert((open.kind, open.pe, open.seq)) {
+                self.total_flagged += 1;
                 out.push(StallReport {
                     kind: open.kind,
                     pe: open.pe,
@@ -137,5 +186,40 @@ mod tests {
         spans.close(SpanKind::GmFetchAdd, 0, 3, 50);
         let mut wd = StallWatchdog::new(10);
         assert!(wd.check(1_000, &spans).is_empty());
+    }
+
+    #[test]
+    fn flag_memory_is_pruned_when_spans_close() {
+        let spans = SpanTable::new();
+        let mut wd = StallWatchdog::new(10);
+        // A long run of slow requests, each eventually answered: the flag
+        // set must not accumulate one entry per request forever.
+        for seq in 0..100u64 {
+            spans.open(SpanKind::GmRead, 1, seq, seq * 1_000, 64);
+            let flagged = wd.check(seq * 1_000 + 500_000, &spans);
+            assert_eq!(flagged.len(), 1, "request {seq} should flag once");
+            spans.close(SpanKind::GmRead, 1, seq, seq * 1_000 + 600_000);
+        }
+        assert_eq!(wd.total_flagged(), 100);
+        // One more poll prunes the last closed span's key.
+        assert!(wd.check(200_000_000, &spans).is_empty());
+        assert_eq!(wd.flagged_backlog(), 0, "closed spans must be pruned");
+    }
+
+    #[test]
+    fn escalation_fires_once_at_threshold() {
+        let spans = SpanTable::new();
+        let mut wd = StallWatchdog::new(10).with_escalation(Some(2));
+        spans.open(SpanKind::GmRead, 0, 1, 0, 64);
+        wd.check(1_000, &spans);
+        assert!(!wd.take_escalation(), "below threshold");
+        spans.open(SpanKind::GmWrite, 1, 2, 0, 64);
+        wd.check(2_000, &spans);
+        assert!(wd.take_escalation(), "threshold crossed");
+        assert!(!wd.take_escalation(), "fires only once");
+        // Unarmed watchdogs never escalate.
+        let mut off = StallWatchdog::new(10);
+        off.check(1_000, &spans);
+        assert!(!off.take_escalation());
     }
 }

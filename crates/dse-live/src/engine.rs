@@ -23,7 +23,9 @@
 //! made mechanical.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -37,10 +39,16 @@ use dse_kernel::{
 };
 use dse_msg::{GlobalPid, GmOp, Message, NodeId, RegionId, ReqId, ReqIdGen};
 use dse_obs::{
-    ClusterAggregator, DeltaTracker, MetricKey, MetricsSnapshot, Registry, TelemetryDelta,
+    ClusterAggregator, DeltaTracker, FlightEventKind, FlightRecorder, MetricKey, MetricsSnapshot,
+    Registry, SpanKind, TelemetryDelta,
 };
 use dse_platform::Work;
-use dse_transport::{ChannelTransport, SocketTransport, Transport, TransportError};
+use dse_transport::{
+    ChannelTransport, FaultPlan, FaultyTransport, RetryPolicy, SocketTransport, Transport,
+    TransportError,
+};
+
+use crate::error::{abort_code, FailureKind, FailureRole, PeFailure, RunError};
 
 /// Which wire carries the live engine's messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,34 +75,115 @@ impl TransportKind {
 /// Distinguishes concurrent UDS meshes within one process.
 static UDS_RUN: AtomicU64 = AtomicU64::new(0);
 
-fn build_transports(kind: TransportKind, nprocs: usize) -> Vec<Arc<dyn Transport>> {
+/// Retry/deadline defaults for outstanding GM requests. Distinct from the
+/// connection-establishment defaults in `dse-transport`: requests are
+/// idempotent on the wire (the serving kernel dedups retransmits by
+/// `(from, req)`), so retrying is always safe, but a wedged home PE should
+/// fail the run in well under a second.
+fn default_gm_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 5,
+        base_delay: Duration::from_millis(50),
+        max_delay: Duration::from_millis(400),
+    }
+}
+
+/// Everything configurable about a live run beyond `nprocs` and the body.
+#[derive(Debug, Clone)]
+pub struct LiveRunConfig {
+    /// Which wire carries the run's messages.
+    pub kind: TransportKind,
+    /// Deterministic fault injection applied to every endpoint (`None`
+    /// runs on a clean mesh).
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry/deadline budget for outstanding GM requests.
+    pub gm_retry: RetryPolicy,
+    /// Flight-recorder ring size (0 disables post-mortem capture).
+    pub flight_capacity: usize,
+}
+
+impl Default for LiveRunConfig {
+    fn default() -> LiveRunConfig {
+        LiveRunConfig {
+            kind: TransportKind::Channel,
+            fault_plan: None,
+            gm_retry: default_gm_retry(),
+            flight_capacity: 256,
+        }
+    }
+}
+
+impl LiveRunConfig {
+    /// Default configuration on an explicit transport.
+    pub fn on(kind: TransportKind) -> LiveRunConfig {
+        LiveRunConfig {
+            kind,
+            ..LiveRunConfig::default()
+        }
+    }
+}
+
+/// Removes the UDS socket directory when the run unwinds — normally or
+/// otherwise — so aborted runs do not leak socket files into the temp dir.
+struct SocketDirGuard(PathBuf);
+
+impl Drop for SocketDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+type BuiltMesh = (Vec<Arc<dyn Transport>>, Option<SocketDirGuard>);
+
+fn build_transports(
+    kind: TransportKind,
+    nprocs: usize,
+    plan: Option<&FaultPlan>,
+) -> Result<BuiltMesh, TransportError> {
     let n = nprocs as u32;
-    match kind {
-        TransportKind::Channel => ChannelTransport::cluster(n)
-            .into_iter()
-            .map(|t| Arc::new(t) as Arc<dyn Transport>)
-            .collect(),
-        TransportKind::Tcp => SocketTransport::tcp_cluster(n)
-            .unwrap_or_else(|e| panic!("live engine: TCP mesh construction failed: {e}"))
-            .into_iter()
-            .map(|t| Arc::new(t) as Arc<dyn Transport>)
-            .collect(),
+    let (raw, guard): BuiltMesh = match kind {
+        TransportKind::Channel => (
+            ChannelTransport::cluster(n)
+                .into_iter()
+                .map(|t| Arc::new(t) as Arc<dyn Transport>)
+                .collect(),
+            None,
+        ),
+        TransportKind::Tcp => (
+            SocketTransport::tcp_cluster(n)?
+                .into_iter()
+                .map(|t| Arc::new(t) as Arc<dyn Transport>)
+                .collect(),
+            None,
+        ),
         TransportKind::Uds => {
             let dir = std::env::temp_dir().join(format!(
                 "dse-live-{}-{}",
                 std::process::id(),
                 UDS_RUN.fetch_add(1, Ordering::Relaxed)
             ));
-            std::fs::create_dir_all(&dir)
-                .unwrap_or_else(|e| panic!("live engine: cannot create socket dir: {e}"));
-            let cluster = SocketTransport::uds_cluster(n, &dir)
-                .unwrap_or_else(|e| panic!("live engine: UDS mesh construction failed: {e}"));
-            cluster
-                .into_iter()
-                .map(|t| Arc::new(t) as Arc<dyn Transport>)
-                .collect()
+            std::fs::create_dir_all(&dir).map_err(|e| TransportError::Io(e.to_string()))?;
+            // Armed before the mesh build: a half-constructed mesh must
+            // not leak the directory either.
+            let guard = SocketDirGuard(dir.clone());
+            let cluster = SocketTransport::uds_cluster(n, &dir)?;
+            (
+                cluster
+                    .into_iter()
+                    .map(|t| Arc::new(t) as Arc<dyn Transport>)
+                    .collect(),
+                Some(guard),
+            )
         }
-    }
+    };
+    let endpoints = match plan {
+        Some(p) => raw
+            .into_iter()
+            .map(|t| Arc::new(FaultyTransport::new(t, p.clone())) as Arc<dyn Transport>)
+            .collect(),
+        None => raw,
+    };
+    Ok((endpoints, guard))
 }
 
 /// Shared state of a live run: the home-partitioned global store and the
@@ -108,16 +197,36 @@ pub struct LiveCluster {
     /// Wall-clock observability: the same registry the simulator uses,
     /// fed with `Instant`-measured nanoseconds instead of virtual time.
     metrics: Registry,
+    /// Post-mortem ring of recent wire sends and stalls.
+    flight: FlightRecorder,
+    /// First-hand failure observations, in discovery order.
+    failures: Mutex<Vec<PeFailure>>,
+    /// Cluster-wide abort latch: once set, kernel loops drain out and app
+    /// threads unwind at their next blocking point.
+    abort: AtomicBool,
+    /// Retry/deadline budget for the app side's outstanding GM requests.
+    retry: RetryPolicy,
+    /// Engine clock origin for flight-recorder timestamps.
+    t0: Instant,
 }
 
 impl LiveCluster {
     /// Shared state for `nprocs` processing elements.
     pub fn new(nprocs: usize) -> LiveCluster {
+        LiveCluster::with_config(nprocs, default_gm_retry(), 256)
+    }
+
+    fn with_config(nprocs: usize, retry: RetryPolicy, flight_capacity: usize) -> LiveCluster {
         LiveCluster {
             nprocs,
             store: GlobalStore::new(nprocs),
             allocs: Mutex::new(Vec::new()),
             metrics: Registry::new(),
+            flight: FlightRecorder::with_capacity(flight_capacity),
+            failures: Mutex::new(Vec::new()),
+            abort: AtomicBool::new(false),
+            retry,
+            t0: Instant::now(),
         }
     }
 
@@ -129,6 +238,44 @@ impl LiveCluster {
     /// The live metrics registry (wall-clock latencies, per-rank counters).
     pub fn metrics(&self) -> &Registry {
         &self.metrics
+    }
+
+    /// The flight recorder ring (post-run / post-mortem inspection).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.t0.elapsed().as_nanos() as u64
+    }
+
+    fn aborting(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    /// Record a kernel thread's first-hand failure and latch the abort.
+    /// Kernels always record: on a mesh-wide event (a TCP peer dying)
+    /// every surviving kernel's observation belongs in the report.
+    fn note_kernel_failure(&self, pe: u32, kind: FailureKind) {
+        self.abort.store(true, Ordering::Release);
+        self.failures.lock().push(PeFailure {
+            pe,
+            role: FailureRole::Kernel,
+            kind,
+        });
+    }
+
+    /// Record an app thread's failure only if it is the *first*
+    /// observation: once the cluster is already aborting, an app dying at
+    /// its next blocking point is a casualty of the abort, not a cause.
+    fn note_app_failure(&self, pe: u32, kind: FailureKind) {
+        if !self.abort.swap(true, Ordering::AcqRel) {
+            self.failures.lock().push(PeFailure {
+                pe,
+                role: FailureRole::App,
+                kind,
+            });
+        }
     }
 }
 
@@ -180,6 +327,67 @@ fn is_app_bound(msg: &Message) -> bool {
     )
 }
 
+/// Bound on any single blocking receive in the kernel loop: even an
+/// unwatched, idle kernel wakes this often to notice the cluster abort
+/// latch (or a silently dead peer) instead of blocking forever.
+const IDLE_TICK: Duration = Duration::from_millis(50);
+
+/// Serving-side GM request dedup capacity (per kernel, across all peers).
+const DEDUP_CAP: usize = 64;
+
+/// Why the kernel loop stopped (without a first-hand failure).
+enum KernelExit {
+    /// Normal shutdown: every rank's ExitNotice reached the coordinator
+    /// and `KernelShutdown` came back.
+    Clean,
+    /// The run is aborting; the payload is the `Abort` frame to relay
+    /// (PE 0 re-broadcasts it to the cluster).
+    Aborted(Message),
+}
+
+/// Bounded memory of recently served GM requests keyed by `(from, req)`:
+/// a retransmit of an already-served request replays the cached response
+/// instead of re-executing it, which is what makes app-side retries safe
+/// for non-idempotent operations (overlapping writes, fetch-add).
+struct DedupCache {
+    map: HashMap<(u32, u64), Message>,
+    order: VecDeque<(u32, u64)>,
+}
+
+impl DedupCache {
+    fn new() -> DedupCache {
+        DedupCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, key: (u32, u64)) -> Option<&Message> {
+        self.map.get(&key)
+    }
+
+    fn insert(&mut self, key: (u32, u64), resp: Message) {
+        if self.map.insert(key, resp).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > DEDUP_CAP {
+                let evict = self.order.pop_front().unwrap();
+                self.map.remove(&evict);
+            }
+        }
+    }
+}
+
+/// Dedup key for the GM request kinds subject to retransmission.
+fn dedup_key(msg: &Message, from: u32) -> Option<(u32, u64)> {
+    match msg {
+        Message::GmReadReq { req, .. }
+        | Message::GmWriteReq { req, .. }
+        | Message::GmFetchAddReq { req, .. }
+        | Message::GmBatchReq { req, .. } => Some((from, req.0)),
+        _ => None,
+    }
+}
+
 /// One PE's kernel loop: the single consumer of this PE's transport.
 ///
 /// Serves GM requests against the store (responses go back on the wire),
@@ -187,6 +395,11 @@ fn is_app_bound(msg: &Message) -> bool {
 /// on PE 0 additionally coordinates barriers, locks, exit collection and
 /// telemetry aggregation. Returns this PE's delta tracker (for the final
 /// absolute telemetry round) and, on a watched PE 0, the aggregator.
+///
+/// Failure handling wraps [`kernel_loop`]: a first-hand transport failure
+/// is recorded against the cluster, turned into an [`Message::Abort`]
+/// frame (non-zero PEs report to PE 0, PE 0 broadcasts), and forwarded to
+/// the co-resident app thread so it unwinds instead of blocking forever.
 fn live_kernel(
     pe: u32,
     cluster: &LiveCluster,
@@ -195,27 +408,103 @@ fn live_kernel(
     watch: Option<WatchSpec<'_>>,
     start: Instant,
 ) -> (DeltaTracker, Option<ClusterAggregator>) {
-    let nprocs = cluster.nprocs;
     let mut tracker = DeltaTracker::new(pe, pe == 0);
-    let mut agg = (pe == 0 && watch.is_some()).then(|| ClusterAggregator::new(nprocs));
+    let mut agg = (pe == 0 && watch.is_some()).then(|| ClusterAggregator::new(cluster.nprocs));
+    let exit = kernel_loop(
+        pe,
+        cluster,
+        transport,
+        &app_tx,
+        watch,
+        start,
+        &mut tracker,
+        &mut agg,
+    );
+    let relay = match exit {
+        Ok(KernelExit::Clean) => None,
+        Ok(KernelExit::Aborted(frame)) => Some(frame),
+        Err(kind) => {
+            let code = match &kind {
+                FailureKind::Transport(_) => abort_code::TRANSPORT,
+                _ => abort_code::GENERIC,
+            };
+            let frame = Message::Abort {
+                source: pe,
+                code,
+                detail: kind.to_string().into_bytes(),
+            };
+            cluster.note_kernel_failure(pe, kind);
+            // Best-effort wire propagation: non-zero PEs report to the
+            // coordinator, which re-broadcasts below. The shared abort
+            // latch is the in-process backstop when our endpoint is dead.
+            if pe != 0 {
+                let _ = transport.send(0, &frame);
+            }
+            Some(frame)
+        }
+    };
+    if let Some(frame) = relay {
+        if pe == 0 {
+            for q in 1..cluster.nprocs as u32 {
+                let _ = transport.send(q, &frame);
+            }
+        }
+        // Wake our own app thread so it unwinds at its next receive.
+        let _ = app_tx.send(frame);
+    }
+    transport.shutdown();
+    (tracker, agg)
+}
+
+/// The receive/serve/coordinate loop of [`live_kernel`]. Every blocking
+/// receive is bounded by [`IDLE_TICK`] so a silently dead peer or the
+/// cluster abort latch is noticed promptly; transport errors surface as
+/// `Err` instead of panicking the thread.
+#[allow(clippy::too_many_arguments)]
+fn kernel_loop(
+    pe: u32,
+    cluster: &LiveCluster,
+    transport: &Arc<dyn Transport>,
+    app_tx: &mpsc::Sender<Message>,
+    watch: Option<WatchSpec<'_>>,
+    start: Instant,
+    tracker: &mut DeltaTracker,
+    agg: &mut Option<ClusterAggregator>,
+) -> Result<KernelExit, FailureKind> {
+    let nprocs = cluster.nprocs;
     // Coordination state lives on PE 0 (reply tokens are PE ranks).
     let barriers: BarrierCenter<u32> = BarrierCenter::new(nprocs);
     let locks: LockCenter<u32> = LockCenter::new();
+    let mut served_cache = DedupCache::new();
     let mut exited = 0usize;
     let mut last_emit = Instant::now();
-    let send = |to: u32, msg: &Message| {
-        transport
-            .send(to, msg)
-            .unwrap_or_else(|e| panic!("live kernel PE {pe}: send to {to} failed: {e}"));
+    let send = |to: u32, msg: &Message| -> Result<(), FailureKind> {
+        cluster.flight.record(
+            cluster.now_ns(),
+            pe,
+            FlightEventKind::Bus {
+                label: msg.label(),
+                to_pe: to,
+                bytes: msg.wire_len() as u64,
+            },
+        );
+        transport.send(to, msg).map_err(FailureKind::Transport)
     };
     loop {
+        if cluster.aborting() {
+            return Ok(KernelExit::Aborted(Message::Abort {
+                source: pe,
+                code: abort_code::GENERIC,
+                detail: b"cluster abort latch".to_vec(),
+            }));
+        }
         let timeout = watch
             .as_ref()
-            .map(|(iv, _)| iv.saturating_sub(last_emit.elapsed()));
-        let env = match transport.recv(timeout) {
+            .map(|(iv, _)| iv.saturating_sub(last_emit.elapsed()).min(IDLE_TICK))
+            .unwrap_or(IDLE_TICK);
+        let env = match transport.recv(Some(timeout)) {
             Ok(env) => env,
-            Err(TransportError::Closed) => break,
-            Err(e) => panic!("live kernel PE {pe}: transport receive failed: {e}"),
+            Err(e) => return Err(FailureKind::Transport(e)),
         };
         let mut shutdown = false;
         if let Some(env) = env {
@@ -224,6 +513,21 @@ fn live_kernel(
             cluster
                 .metrics
                 .incr(MetricKey::pe("kernel", "messages", pe));
+            let key = dedup_key(&env.msg, from);
+            if let Some(key) = key {
+                if let Some(resp) = served_cache.get(key) {
+                    // Retransmit of a request we already served: replay
+                    // the cached response rather than re-executing it
+                    // (a second fetch-add would change the answer). Not a
+                    // fresh serve, so `requests_served` stays put.
+                    let resp = resp.clone();
+                    cluster
+                        .metrics
+                        .incr(MetricKey::pe("kernel", "gm_dup_requests", pe));
+                    send(from, &resp)?;
+                    continue;
+                }
+            }
             let mut hooks = LiveGmHooks {
                 metrics: &cluster.metrics,
                 pe,
@@ -237,7 +541,10 @@ fn live_kernel(
                         MetricKey::pe("kernel", "service_ns", pe),
                         t0.elapsed().as_nanos() as u64,
                     );
-                    send(from, &resp);
+                    send(from, &resp)?;
+                    if let Some(key) = key {
+                        served_cache.insert(key, resp);
+                    }
                 }
                 Served::NotGm(msg) if is_app_bound(&msg) => {
                     // Response or wakeup addressed to our application
@@ -258,9 +565,9 @@ fn live_kernel(
                         {
                             let release = Message::BarrierRelease { barrier, epoch };
                             for w in waiters {
-                                send(w.reply_to, &release);
+                                send(w.reply_to, &release)?;
                             }
-                            send(from, &release);
+                            send(from, &release)?;
                         }
                     }
                     Message::LockReq { req, lock, pid } => {
@@ -271,7 +578,7 @@ fn live_kernel(
                             req,
                         };
                         if let LockOutcome::Granted = locks.acquire(lock, party) {
-                            send(from, &Message::LockGrant { req, lock });
+                            send(from, &Message::LockGrant { req, lock })?;
                         }
                     }
                     Message::UnlockReq { lock, pid } => {
@@ -282,14 +589,14 @@ fn live_kernel(
                                     req: next.req,
                                     lock,
                                 },
-                            );
+                            )?;
                         }
                     }
                     Message::ExitNotice { .. } => {
                         exited += 1;
                         if exited == nprocs {
                             for q in 0..nprocs as u32 {
-                                send(q, &Message::KernelShutdown);
+                                send(q, &Message::KernelShutdown)?;
                             }
                         }
                     }
@@ -299,10 +606,38 @@ fn live_kernel(
                         payload,
                     } => {
                         if let Some(agg) = agg.as_mut() {
-                            let delta = TelemetryDelta::decode(&payload)
-                                .expect("live telemetry delta decode");
-                            agg.apply(src, seq, start.elapsed().as_nanos() as u64, &delta);
+                            let now_ns = start.elapsed().as_nanos() as u64;
+                            match TelemetryDelta::decode(&payload) {
+                                Ok(delta) => agg.apply(src, seq, now_ns, &delta),
+                                Err(e) => {
+                                    // A corrupt delta is dropped and
+                                    // accounted as a sequence gap — the
+                                    // telemetry plane degrades, the run
+                                    // does not.
+                                    eprintln!(
+                                        "live kernel PE {pe}: dropping corrupt telemetry \
+                                         delta from PE {src} (seq {seq}): {e}"
+                                    );
+                                    cluster.metrics.incr(MetricKey::pe(
+                                        "kernel",
+                                        "telemetry_corrupt",
+                                        pe,
+                                    ));
+                                    agg.note_corrupt(src, seq, now_ns);
+                                }
+                            }
                         }
+                    }
+                    Message::Abort {
+                        source,
+                        code,
+                        detail,
+                    } => {
+                        return Ok(KernelExit::Aborted(Message::Abort {
+                            source,
+                            code,
+                            detail,
+                        }));
                     }
                     Message::KernelShutdown => shutdown = true,
                     other => panic!("live kernel PE {pe}: unexpected message {other:?}"),
@@ -334,11 +669,9 @@ fn live_kernel(
             }
         }
         if shutdown {
-            break;
+            return Ok(KernelExit::Clean);
         }
     }
-    transport.shutdown();
-    (tracker, agg)
 }
 
 // ---------------------------------------------------------------------------
@@ -377,6 +710,38 @@ struct StagedSeg {
 enum SegKind {
     Read { len: usize, dests: Vec<ReadDest> },
     Write { data: Vec<u8>, writers: Vec<u64> },
+}
+
+/// Unwind payload of an app thread stopped by the cluster abort: carried
+/// via `resume_unwind` (so the panic hook stays silent) and swallowed by
+/// the harness when joining, unlike a genuine application panic.
+struct AbortUnwind;
+
+/// Retransmission bookkeeping for one outstanding GM request.
+struct RetryState {
+    /// Home PE the request is addressed to.
+    home: u32,
+    /// The encoded-identical request, kept for retransmission.
+    msg: Message,
+    /// Send attempts so far (initial send counts as the first).
+    attempts: u32,
+    /// Current backoff step (doubles per retry, capped by the policy).
+    backoff: Duration,
+    /// When the next retransmit is due.
+    next_retry: Instant,
+    /// When the original send happened (for the deadline report).
+    sent_at: Instant,
+}
+
+/// The span kind a retransmitted request would have opened (for the
+/// flight-recorder stall event on a deadline trip).
+fn span_kind_of(msg: &Message) -> SpanKind {
+    match msg {
+        Message::GmWriteReq { .. } => SpanKind::GmWrite,
+        Message::GmFetchAddReq { .. } => SpanKind::GmFetchAdd,
+        Message::GmBatchReq { .. } => SpanKind::GmBatch,
+        _ => SpanKind::GmRead,
+    }
 }
 
 /// An issued request awaiting its response, keyed by correlation id.
@@ -426,6 +791,9 @@ pub struct LiveCtx {
     completed: HashMap<u64, Option<Vec<u8>>>,
     staged: Vec<StagedSeg>,
     inflight: HashMap<u64, InflightReq>,
+    /// Retransmission state for outstanding requests, keyed like
+    /// `inflight`; entries are dropped when the response arrives.
+    retry: HashMap<u64, RetryState>,
     /// Reusable scratch for element-wise `GmArray` accessors.
     scratch: Vec<u8>,
 }
@@ -452,6 +820,7 @@ impl LiveCtx {
             completed: HashMap::new(),
             staged: Vec::new(),
             inflight: HashMap::new(),
+            retry: HashMap::new(),
             scratch: Vec::new(),
         }
     }
@@ -460,17 +829,148 @@ impl LiveCtx {
         &self.cluster.metrics
     }
 
+    /// Record a first-hand app failure (if it is the first observation),
+    /// latch the cluster abort, and unwind this app thread without
+    /// tripping the panic hook.
+    fn die(&self, kind: FailureKind) -> ! {
+        self.cluster.note_app_failure(self.rank, kind);
+        resume_unwind(Box::new(AbortUnwind))
+    }
+
     fn send(&self, to: u32, msg: &Message) {
-        self.transport
-            .send(to, msg)
-            .unwrap_or_else(|e| panic!("live rank {}: send to {to} failed: {e}", self.rank));
+        self.cluster.flight.record(
+            self.cluster.now_ns(),
+            self.rank,
+            FlightEventKind::Bus {
+                label: msg.label(),
+                to_pe: to,
+                bytes: msg.wire_len() as u64,
+            },
+        );
+        if let Err(e) = self.transport.send(to, msg) {
+            self.die(FailureKind::Transport(e));
+        }
     }
 
     /// Receive the next message forwarded by our kernel thread.
-    fn recv(&mut self) -> Message {
-        self.app_rx
-            .recv()
-            .unwrap_or_else(|_| panic!("live rank {}: kernel thread went away", self.rank))
+    ///
+    /// A `None` timeout blocks until a message arrives — safe only where
+    /// an eventual wakeup is guaranteed (the kernel forwards the `Abort`
+    /// frame and then drops the channel when the run dies). A `Some`
+    /// timeout returns `None` on expiry so the caller can service
+    /// retransmission deadlines.
+    fn recv_app(&mut self, timeout: Option<Duration>) -> Option<Message> {
+        let got = match timeout {
+            Some(t) => match self.app_rx.recv_timeout(t) {
+                Ok(m) => m,
+                Err(mpsc::RecvTimeoutError::Timeout) => return None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => self.die(FailureKind::KernelGone),
+            },
+            None => match self.app_rx.recv() {
+                Ok(m) => m,
+                Err(_) => self.die(FailureKind::KernelGone),
+            },
+        };
+        if matches!(got, Message::Abort { .. }) {
+            // The run is aborting; this thread is a casualty, not a
+            // cause — unwind without recording a failure.
+            resume_unwind(Box::new(AbortUnwind));
+        }
+        Some(got)
+    }
+
+    /// How long a completion wait may block before retransmission
+    /// deadlines need servicing.
+    fn retry_tick(&self) -> Duration {
+        let now = Instant::now();
+        self.retry
+            .values()
+            .map(|s| s.next_retry.saturating_duration_since(now))
+            .min()
+            .unwrap_or(Duration::from_millis(100))
+            .clamp(Duration::from_millis(1), Duration::from_millis(100))
+    }
+
+    /// Retransmit overdue GM requests; trip the deadline once one has
+    /// exhausted its attempt budget. Called whenever a completion wait
+    /// times out.
+    fn service_retries(&mut self) {
+        if self.retry.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let due: Vec<u64> = self
+            .retry
+            .iter()
+            .filter(|(_, s)| s.next_retry <= now)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in due {
+            let policy = self.cluster.retry;
+            let (home, attempts, kind, waited_ns, msg) = {
+                let st = self.retry.get_mut(&key).unwrap();
+                let waited_ns = st.sent_at.elapsed().as_nanos() as u64;
+                if st.attempts >= policy.max_attempts {
+                    (st.home, st.attempts, span_kind_of(&st.msg), waited_ns, None)
+                } else {
+                    st.attempts += 1;
+                    st.backoff = (st.backoff * 2).min(policy.max_delay);
+                    st.next_retry = now + st.backoff;
+                    (
+                        st.home,
+                        st.attempts,
+                        span_kind_of(&st.msg),
+                        waited_ns,
+                        Some(st.msg.clone()),
+                    )
+                }
+            };
+            match msg {
+                Some(msg) => {
+                    // A retransmit, not a new request: `gm_request_msgs`
+                    // stays put (wire accounting keeps its exact counts);
+                    // the retry shows up under its own metric.
+                    self.metrics()
+                        .incr(MetricKey::pe("kernel", "gm_retries", self.rank));
+                    self.send(home, &msg);
+                }
+                None => {
+                    self.metrics()
+                        .incr(MetricKey::pe("kernel", "gm_deadline_trips", self.rank));
+                    self.cluster.flight.record(
+                        self.cluster.now_ns(),
+                        self.rank,
+                        FlightEventKind::Stall {
+                            kind,
+                            seq: key,
+                            waited_ns,
+                        },
+                    );
+                    self.die(FailureKind::GmDeadline {
+                        req: key,
+                        home,
+                        attempts,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Arm retransmission for a just-sent request.
+    fn arm_retry(&mut self, req: ReqId, home: u32, msg: Message) {
+        let policy = self.cluster.retry;
+        let now = Instant::now();
+        self.retry.insert(
+            req.0,
+            RetryState {
+                home,
+                msg,
+                attempts: 1,
+                backoff: policy.base_delay,
+                next_retry: now + policy.base_delay,
+                sent_at: now,
+            },
+        );
     }
 
     fn new_handle(&mut self) -> u64 {
@@ -790,6 +1290,7 @@ impl LiveCtx {
         self.metrics()
             .incr(MetricKey::pe("kernel", "gm_request_msgs", self.rank));
         self.send(home, &msg);
+        self.arm_retry(req, home, msg);
         self.inflight.insert(req.0, ctl);
         self.metrics().gauge_max(
             MetricKey::pe("kernel", "gm_inflight", self.rank),
@@ -816,51 +1317,67 @@ impl LiveCtx {
             return;
         }
         loop {
-            let msg = self.recv();
-            match msg {
-                Message::GmReadResp { .. }
-                | Message::GmWriteAck { .. }
-                | Message::GmBatchResp { .. } => {
+            match self.recv_app(Some(self.retry_tick())) {
+                None => self.service_retries(),
+                Some(
+                    msg @ (Message::GmReadResp { .. }
+                    | Message::GmWriteAck { .. }
+                    | Message::GmBatchResp { .. }),
+                ) => {
                     self.process_completion(msg);
                     return;
                 }
-                other => self.stash.push_back(other),
+                Some(other) => self.stash.push_back(other),
             }
         }
     }
 
+    /// Apply one GM completion. A response whose correlation id is no
+    /// longer in flight is a duplicate delivery (fault injection or a
+    /// retransmit crossing the original response on the wire) and is
+    /// dropped; a response of the *wrong kind* for a live id is a protocol
+    /// bug and still panics.
     fn process_completion(&mut self, msg: Message) {
         match msg {
-            Message::GmReadResp { req, data } => {
-                let ctl = match self.inflight.remove(&req.0) {
-                    Some(InflightReq::Read(c)) => c,
-                    _ => panic!("live rank {}: unmatched GmReadResp", self.rank),
-                };
-                self.complete_read(ctl, &data);
-            }
-            Message::GmWriteAck { req } => {
-                let ctl = match self.inflight.remove(&req.0) {
-                    Some(InflightReq::Write(c)) => c,
-                    _ => panic!("live rank {}: unmatched GmWriteAck", self.rank),
-                };
-                self.complete_write(ctl);
-            }
-            Message::GmBatchResp { req, reads } => {
-                let ops = match self.inflight.remove(&req.0) {
-                    Some(InflightReq::Batch(o)) => o,
-                    _ => panic!("live rank {}: unmatched GmBatchResp", self.rank),
-                };
-                let mut it = reads.into_iter();
-                for op in ops {
-                    match op {
-                        InflightOp::Read(c) => {
-                            let data = it.next().expect("missing batched read result");
-                            self.complete_read(c, &data);
+            Message::GmReadResp { req, data } => match self.inflight.remove(&req.0) {
+                Some(InflightReq::Read(c)) => {
+                    self.retry.remove(&req.0);
+                    self.complete_read(c, &data);
+                }
+                Some(_) => panic!("live rank {}: GmReadResp for a non-read request", self.rank),
+                None => {}
+            },
+            Message::GmWriteAck { req } => match self.inflight.remove(&req.0) {
+                Some(InflightReq::Write(c)) => {
+                    self.retry.remove(&req.0);
+                    self.complete_write(c);
+                }
+                Some(_) => panic!(
+                    "live rank {}: GmWriteAck for a non-write request",
+                    self.rank
+                ),
+                None => {}
+            },
+            Message::GmBatchResp { req, reads } => match self.inflight.remove(&req.0) {
+                Some(InflightReq::Batch(ops)) => {
+                    self.retry.remove(&req.0);
+                    let mut it = reads.into_iter();
+                    for op in ops {
+                        match op {
+                            InflightOp::Read(c) => {
+                                let data = it.next().expect("missing batched read result");
+                                self.complete_read(c, &data);
+                            }
+                            InflightOp::Write(c) => self.complete_write(c),
                         }
-                        InflightOp::Write(c) => self.complete_write(c),
                     }
                 }
-            }
+                Some(_) => panic!(
+                    "live rank {}: GmBatchResp for a non-batch request",
+                    self.rank
+                ),
+                None => {}
+            },
             _ => unreachable!("process_completion on a non-GM message"),
         }
     }
@@ -1022,20 +1539,22 @@ impl ParallelApi for LiveCtx {
             let req = self.reqs.next();
             self.metrics()
                 .incr(MetricKey::pe("kernel", "gm_request_msgs", self.rank));
-            self.send(
-                home,
-                &Message::GmFetchAddReq {
-                    req,
-                    region,
-                    offset,
-                    delta,
-                },
-            );
+            let msg = Message::GmFetchAddReq {
+                req,
+                region,
+                offset,
+                delta,
+            };
+            self.send(home, &msg);
+            self.arm_retry(req, home, msg);
             loop {
-                let msg = self.recv();
-                match msg {
-                    Message::GmFetchAddResp { req: r, prev } if r == req => break prev,
-                    other => self.stash.push_back(other),
+                match self.recv_app(Some(self.retry_tick())) {
+                    None => self.service_retries(),
+                    Some(Message::GmFetchAddResp { req: r, prev }) if r == req => {
+                        self.retry.remove(&req.0);
+                        break prev;
+                    }
+                    Some(other) => self.stash.push_back(other),
                 }
             }
         };
@@ -1059,8 +1578,10 @@ impl ParallelApi for LiveCtx {
             },
         );
         loop {
-            let msg = self.recv();
-            match msg {
+            // Barrier traffic is never retried (it is not idempotent and
+            // the fault plan leaves control messages unharmed), so this
+            // wait may block: an abort wakes it via the forwarded frame.
+            match self.recv_app(None).unwrap() {
                 Message::BarrierRelease { barrier, .. } if barrier == id => break,
                 other => self.stash.push_back(other),
             }
@@ -1084,8 +1605,7 @@ impl ParallelApi for LiveCtx {
             },
         );
         loop {
-            let msg = self.recv();
-            match msg {
+            match self.recv_app(None).unwrap() {
                 Message::LockGrant { req: r, .. } if r == req => break,
                 other => self.stash.push_back(other),
             }
@@ -1129,6 +1649,10 @@ pub struct LiveRunResult {
     /// transport to PE 0 (`Some` only for watched runs; matches `metrics`
     /// after a clean run).
     pub telemetry_rollup: Option<MetricsSnapshot>,
+    /// Flight-recorder dump at run end (JSONL, oldest event first): the
+    /// last `flight_capacity` wire sends and stalls. On an aborted run the
+    /// equivalent post-mortem dump rides in [`RunError`] instead.
+    pub flight_jsonl: String,
 }
 
 /// Run `body` as an SPMD program over `nprocs` PEs on the in-process
@@ -1147,7 +1671,8 @@ pub fn run_live<F>(nprocs: usize, body: F) -> LiveRunResult
 where
     F: Fn(&mut LiveCtx) + Send + Sync,
 {
-    run_live_inner(TransportKind::Channel, nprocs, None, body)
+    try_run_live(LiveRunConfig::default(), nprocs, body)
+        .unwrap_or_else(|e| panic!("live run failed:\n{e}"))
 }
 
 /// [`run_live`] on an explicitly chosen transport.
@@ -1155,7 +1680,24 @@ pub fn run_live_on<F>(kind: TransportKind, nprocs: usize, body: F) -> LiveRunRes
 where
     F: Fn(&mut LiveCtx) + Send + Sync,
 {
-    run_live_inner(kind, nprocs, None, body)
+    try_run_live(LiveRunConfig::on(kind), nprocs, body)
+        .unwrap_or_else(|e| panic!("live run failed:\n{e}"))
+}
+
+/// [`run_live`] with full configuration and structured failure reporting:
+/// a run that hits a transport fault, a GM deadline, or a dead kernel
+/// aborts cluster-wide (every thread joins) and returns a [`RunError`]
+/// carrying the per-PE failure report and the flight-recorder post-mortem
+/// instead of panicking.
+pub fn try_run_live<F>(
+    cfg: LiveRunConfig,
+    nprocs: usize,
+    body: F,
+) -> Result<LiveRunResult, RunError>
+where
+    F: Fn(&mut LiveCtx) + Send + Sync,
+{
+    run_live_inner(cfg, nprocs, None, body)
 }
 
 /// Watched variant of [`run_live`]: each PE's kernel thread ships
@@ -1172,12 +1714,8 @@ where
     F: Fn(&mut LiveCtx) + Send + Sync,
     H: Fn(&ClusterAggregator, u64) + Send + Sync,
 {
-    run_live_inner(
-        TransportKind::Channel,
-        nprocs,
-        Some((interval, &hook)),
-        body,
-    )
+    try_run_live_watched(LiveRunConfig::default(), nprocs, interval, hook, body)
+        .unwrap_or_else(|e| panic!("live run failed:\n{e}"))
 }
 
 /// [`run_live_watched`] on an explicitly chosen transport.
@@ -1192,24 +1730,62 @@ where
     F: Fn(&mut LiveCtx) + Send + Sync,
     H: Fn(&ClusterAggregator, u64) + Send + Sync,
 {
-    run_live_inner(kind, nprocs, Some((interval, &hook)), body)
+    try_run_live_watched(LiveRunConfig::on(kind), nprocs, interval, hook, body)
+        .unwrap_or_else(|e| panic!("live run failed:\n{e}"))
+}
+
+/// [`run_live_watched`] with full configuration and structured failure
+/// reporting (see [`try_run_live`]).
+pub fn try_run_live_watched<F, H>(
+    cfg: LiveRunConfig,
+    nprocs: usize,
+    interval: Duration,
+    hook: H,
+    body: F,
+) -> Result<LiveRunResult, RunError>
+where
+    F: Fn(&mut LiveCtx) + Send + Sync,
+    H: Fn(&ClusterAggregator, u64) + Send + Sync,
+{
+    run_live_inner(cfg, nprocs, Some((interval, &hook)), body)
 }
 
 fn run_live_inner<F>(
-    kind: TransportKind,
+    cfg: LiveRunConfig,
     nprocs: usize,
     watch: Option<WatchSpec<'_>>,
     body: F,
-) -> LiveRunResult
+) -> Result<LiveRunResult, RunError>
 where
     F: Fn(&mut LiveCtx) + Send + Sync,
 {
     assert!(nprocs > 0);
-    let cluster = Arc::new(LiveCluster::new(nprocs));
-    let transports = build_transports(kind, nprocs);
+    let cluster = Arc::new(LiveCluster::with_config(
+        nprocs,
+        cfg.gm_retry,
+        cfg.flight_capacity,
+    ));
     let start = Instant::now();
+    // The guard outlives the scope below: socket files are removed however
+    // the run ends, including an unwinding abort.
+    let (transports, _socket_dir) =
+        match build_transports(cfg.kind, nprocs, cfg.fault_plan.as_ref()) {
+            Ok(built) => built,
+            Err(e) => {
+                return Err(RunError {
+                    failures: vec![PeFailure {
+                        pe: 0,
+                        role: FailureRole::Kernel,
+                        kind: FailureKind::Mesh(e),
+                    }],
+                    flight_jsonl: cluster.flight.to_jsonl(),
+                    elapsed: start.elapsed(),
+                })
+            }
+        };
     let rollup = std::thread::scope(|scope| {
         let mut kernel_handles = Vec::with_capacity(nprocs);
+        let mut app_handles = Vec::with_capacity(nprocs);
         for (pe, transport) in transports.iter().enumerate() {
             let kernel_cluster = Arc::clone(&cluster);
             let app_cluster = Arc::clone(&cluster);
@@ -1219,23 +1795,59 @@ where
                 live_kernel(pe as u32, &kernel_cluster, transport, app_tx, watch, start)
             }));
             let body = &body;
-            scope.spawn(move || {
+            app_handles.push(scope.spawn(move || {
                 let mut ctx = LiveCtx::new(pe as u32, app_cluster, app_transport, app_rx);
-                body(&mut ctx);
-                ctx.finish();
-            });
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    body(&mut ctx);
+                    ctx.finish();
+                }));
+                if let Err(p) = out {
+                    // A genuine app panic aborts the cluster so the
+                    // kernels drain out instead of waiting for an
+                    // ExitNotice that will never come; the payload still
+                    // propagates through the harness join below.
+                    if !p.is::<AbortUnwind>() {
+                        ctx.cluster.abort.store(true, Ordering::Release);
+                    }
+                    resume_unwind(p);
+                }
+            }));
         }
-        // Joining the kernels also waits out the apps: kernels only shut
-        // down after every rank's ExitNotice reached the coordinator.
+        // Kernels first: they stop only after a clean shutdown handshake
+        // or a cluster abort, either of which also unblocks the apps.
         let mut trackers = Vec::with_capacity(nprocs);
         let mut agg = None;
+        let mut propagate = None;
         for h in kernel_handles {
-            let (tracker, a) = match h.join() {
-                Ok(out) => out,
-                Err(p) => std::panic::resume_unwind(p),
-            };
-            trackers.push(tracker);
-            agg = agg.or(a);
+            match h.join() {
+                Ok((tracker, a)) => {
+                    trackers.push(tracker);
+                    agg = agg.or(a);
+                }
+                Err(p) => {
+                    // A kernel *bug* (transport failures return structured
+                    // errors, they never unwind): latch the abort so the
+                    // rest of the cluster drains, re-panic once every
+                    // thread is down.
+                    cluster.abort.store(true, Ordering::Release);
+                    propagate.get_or_insert(p);
+                }
+            }
+        }
+        for h in app_handles {
+            if let Err(p) = h.join() {
+                if !p.is::<AbortUnwind>() {
+                    propagate.get_or_insert(p);
+                }
+            }
+        }
+        if let Some(p) = propagate {
+            resume_unwind(p);
+        }
+        if cluster.aborting() {
+            // No rollup for an aborted run: the registry is mid-flight
+            // and the caller gets the failure report instead.
+            return None;
         }
         // Final absolute telemetry round: reproduce the registry exactly
         // through the same encode/decode codec the wire used, healing any
@@ -1253,13 +1865,23 @@ where
             agg.rollup()
         })
     });
-    LiveRunResult {
+    let failures = std::mem::take(&mut *cluster.failures.lock());
+    let flight_jsonl = cluster.flight.to_jsonl();
+    if !failures.is_empty() {
+        return Err(RunError {
+            failures,
+            flight_jsonl,
+            elapsed: start.elapsed(),
+        });
+    }
+    Ok(LiveRunResult {
         elapsed: start.elapsed(),
         nprocs,
-        transport: kind,
+        transport: cfg.kind,
         metrics: cluster.metrics.snapshot(),
         telemetry_rollup: rollup,
-    }
+        flight_jsonl,
+    })
 }
 
 #[cfg(test)]
@@ -1417,6 +2039,83 @@ mod tests {
             let mine = c.next(ctx);
             assert!(mine < 2);
         });
+    }
+
+    #[test]
+    fn transient_drops_are_absorbed_by_retry() {
+        // Deterministically drop and duplicate some GM traffic: the retry
+        // layer (app retransmits, kernel dedups) must still produce the
+        // exact fault-free answer.
+        let cfg = LiveRunConfig {
+            fault_plan: Some(FaultPlan::parse("seed=11,drop=150,dup=80").unwrap()),
+            ..LiveRunConfig::default()
+        };
+        let r = try_run_live(cfg, 3, |ctx| {
+            let arr = GmArray::<u64>::alloc(ctx, 12, Distribution::Blocked);
+            for i in 0..12 {
+                if i % 3 == ctx.rank() as usize {
+                    arr.set(ctx, i, (i * 7) as u64);
+                }
+            }
+            ctx.barrier();
+            let all = arr.read(ctx, 0, 12);
+            assert_eq!(all, (0..12u64).map(|i| i * 7).collect::<Vec<_>>());
+        })
+        .expect("drops and dups are recoverable faults");
+        assert_eq!(r.nprocs, 3);
+    }
+
+    #[test]
+    fn injected_disconnect_yields_structured_error() {
+        // Kill PE 1's endpoint mid-run: the run must abort cluster-wide
+        // with a structured report instead of panicking or hanging.
+        let cfg = LiveRunConfig {
+            fault_plan: Some(FaultPlan::parse("seed=3,disconnect=1:8").unwrap()),
+            ..LiveRunConfig::default()
+        };
+        let err = try_run_live(cfg, 3, |ctx| {
+            let arr = GmArray::<u64>::alloc(ctx, 64, Distribution::Blocked);
+            for round in 0..200 {
+                arr.set(ctx, (ctx.rank() as usize * 13 + round) % 64, round as u64);
+                ctx.barrier();
+            }
+        })
+        .expect_err("a dead endpoint must fail the run");
+        assert!(!err.failures.is_empty(), "report must name an observer");
+        assert!(
+            err.report().contains("first-hand failure"),
+            "report must render"
+        );
+    }
+
+    #[test]
+    fn gm_deadline_trips_when_home_pe_never_answers() {
+        // Drop *everything* recoverable: every GM request vanishes, so the
+        // issuing app must exhaust its retries and trip the deadline.
+        let cfg = LiveRunConfig {
+            fault_plan: Some(FaultPlan::parse("seed=1,drop=1000").unwrap()),
+            gm_retry: RetryPolicy {
+                max_attempts: 3,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(20),
+            },
+            ..LiveRunConfig::default()
+        };
+        let err = try_run_live(cfg, 2, |ctx| {
+            let arr = GmArray::<u64>::alloc(ctx, 8, Distribution::Blocked);
+            // Rank 0 writes into rank 1's half: always a wire request.
+            if ctx.rank() == 0 {
+                arr.set(ctx, 7, 42);
+            }
+            ctx.barrier();
+        })
+        .expect_err("an unanswerable GM request must trip the deadline");
+        assert!(
+            err.failures
+                .iter()
+                .any(|f| matches!(f.kind, FailureKind::GmDeadline { attempts: 3, .. })),
+            "deadline trip must be first-hand: {err}"
+        );
     }
 
     #[test]

@@ -9,8 +9,11 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod error;
 
+pub use dse_transport::{FaultPlan, RetryPolicy};
 pub use engine::{
-    run_live, run_live_on, run_live_watched, run_live_watched_on, LiveCluster, LiveCtx,
-    LiveRunResult, TransportKind,
+    run_live, run_live_on, run_live_watched, run_live_watched_on, try_run_live,
+    try_run_live_watched, LiveCluster, LiveCtx, LiveRunConfig, LiveRunResult, TransportKind,
 };
+pub use error::{FailureKind, FailureRole, PeFailure, RunError};

@@ -212,6 +212,19 @@ pub enum Message {
         /// Encoded metric-delta payload.
         payload: Vec<u8>,
     },
+    /// Cluster-wide failure notification: a PE observed an unrecoverable
+    /// fault (dead peer, exhausted retries). Non-zero PEs report to PE 0,
+    /// which broadcasts the abort so every kernel and application thread
+    /// unwinds instead of hanging on a peer that will never answer.
+    Abort {
+        /// The PE that first observed the failure.
+        source: u32,
+        /// Machine-readable failure class (see the live engine's
+        /// `FailureKind`); 0 means unspecified.
+        code: u32,
+        /// Human-readable detail (UTF-8, best effort).
+        detail: Vec<u8>,
+    },
     /// Ask a kernel's main loop to exit (orderly shutdown).
     KernelShutdown,
 }
@@ -277,6 +290,7 @@ const TAG_LOCK_GRANT: u8 = 0x23;
 const TAG_UNLOCK_REQ: u8 = 0x24;
 const TAG_USER_DATA: u8 = 0x30;
 const TAG_TELEMETRY: u8 = 0x40;
+const TAG_ABORT: u8 = 0x50;
 const TAG_KERNEL_SHUTDOWN: u8 = 0x7F;
 
 impl Message {
@@ -450,6 +464,16 @@ impl Message {
                 w.u32(*seq);
                 w.bytes(payload);
             }
+            Message::Abort {
+                source,
+                code,
+                detail,
+            } => {
+                w.u8(TAG_ABORT);
+                w.u32(*source);
+                w.u32(*code);
+                w.bytes(detail);
+            }
             Message::KernelShutdown => {
                 w.u8(TAG_KERNEL_SHUTDOWN);
             }
@@ -487,6 +511,7 @@ impl Message {
             Message::UnlockReq { .. } => 4 + 4,
             Message::UserData { data, .. } => 4 + 4 + 4 + data.len(),
             Message::Telemetry { payload, .. } => 4 + 4 + 4 + payload.len(),
+            Message::Abort { detail, .. } => 4 + 4 + 4 + detail.len(),
             Message::KernelShutdown => 0,
         }
     }
@@ -637,6 +662,11 @@ impl Message {
                 seq: r.u32()?,
                 payload: r.bytes()?,
             },
+            TAG_ABORT => Message::Abort {
+                source: r.u32()?,
+                code: r.u32()?,
+                detail: r.bytes()?,
+            },
             TAG_KERNEL_SHUTDOWN => Message::KernelShutdown,
             other => return Err(CodecError::BadTag(other)),
         };
@@ -683,6 +713,7 @@ impl Message {
             Message::UnlockReq { .. } => "unlock_req",
             Message::UserData { .. } => "user_data",
             Message::Telemetry { .. } => "telemetry",
+            Message::Abort { .. } => "abort",
             Message::KernelShutdown => "kernel_shutdown",
         }
     }
@@ -824,6 +855,11 @@ mod tests {
                 seq: 42,
                 payload: vec![0xAB; 60],
             },
+            Message::Abort {
+                source: 2,
+                code: 1,
+                detail: b"peer 3 dropped".to_vec(),
+            },
             Message::KernelShutdown,
         ]
     }
@@ -888,6 +924,18 @@ mod tests {
         assert!(!msg.is_request());
         assert_eq!(msg.req_id(), None);
         assert_eq!(msg.label(), "telemetry");
+    }
+
+    #[test]
+    fn abort_is_not_a_request_and_has_no_req_id() {
+        let msg = Message::Abort {
+            source: 1,
+            code: 2,
+            detail: vec![],
+        };
+        assert!(!msg.is_request());
+        assert_eq!(msg.req_id(), None);
+        assert_eq!(msg.label(), "abort");
     }
 
     #[test]

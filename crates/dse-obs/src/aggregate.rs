@@ -89,6 +89,13 @@ const STATIC_NAMES: &[&str] = &[
     "invalidation_rounds",
     "gm_inflight",
     "batch_ns",
+    // failure-domain hardening: GM request retry/deadline and corrupt-frame
+    // accounting on the live wire path
+    "gm_retries",
+    "gm_deadline_trips",
+    "gm_dup_requests",
+    "telemetry_corrupt",
+    "stall_escalations",
 ];
 
 /// Intern a decoded metric-name string so it can live in a
@@ -614,6 +621,28 @@ impl ClusterAggregator {
         }
     }
 
+    /// Record a telemetry frame from `pe` at sequence `seq` that arrived
+    /// but could not be decoded (corrupt or truncated payload). The
+    /// emission is lost exactly like a dropped delta, so it counts as a
+    /// sequence gap — and it consumes its sequence number, so the next
+    /// intact delta does not re-count it. A later delta or the final
+    /// absolute flush covers the missing state.
+    pub fn note_corrupt(&mut self, pe: u32, seq: u32, now_ns: u64) {
+        if pe as usize >= self.nodes.len() {
+            let have = self.nodes.len() as u32;
+            self.nodes.extend((have..=pe).map(NodeStatus::new));
+        }
+        let ns = &mut self.nodes[pe as usize];
+        if seq <= ns.last_seq {
+            // Duplicate of an already-accounted emission: nothing new lost.
+            return;
+        }
+        // Skipped emissions before this one, plus the undecodable one.
+        ns.gaps += u64::from(seq - ns.last_seq);
+        ns.last_seq = seq;
+        ns.last_heard_ns = Some(now_ns);
+    }
+
     /// The reconstructed cluster-wide state as an ordinary snapshot,
     /// ordered like a direct [`Registry`](crate::Registry) snapshot.
     pub fn rollup(&self) -> MetricsSnapshot {
@@ -772,6 +801,32 @@ mod tests {
             Some(2),
             "stale delta must not be applied"
         );
+    }
+
+    #[test]
+    fn corrupt_frames_count_as_gaps_without_double_counting() {
+        let mut agg = ClusterAggregator::new(2);
+        let d = TelemetryDelta {
+            absolute: false,
+            counters: vec![(MetricKey::pe("net", "lan_msgs", 1), 1)],
+            gauges: vec![],
+            hists: vec![],
+        };
+        agg.apply(1, 1, 100, &d);
+        // Emission 2 arrives undecodable: one gap, sequence consumed.
+        agg.note_corrupt(1, 2, 150);
+        assert_eq!(agg.nodes()[1].gaps, 1);
+        assert_eq!(agg.nodes()[1].last_heard_ns, Some(150));
+        // The next intact delta is in sequence — no re-count.
+        agg.apply(1, 3, 200, &d);
+        assert_eq!(agg.nodes()[1].gaps, 1);
+        assert_eq!(agg.nodes()[1].stale_drops, 0);
+        // A duplicated corrupt frame adds nothing new.
+        agg.note_corrupt(1, 2, 250);
+        assert_eq!(agg.nodes()[1].gaps, 1);
+        // A corrupt frame that also skips emissions counts them all.
+        agg.note_corrupt(1, 6, 300);
+        assert_eq!(agg.nodes()[1].gaps, 4);
     }
 
     #[test]

@@ -202,6 +202,11 @@ pub struct TopRow {
     pub gm_inflight: u64,
     /// GM operations coalesced into an already-staged request on this PE.
     pub gm_coalesced: u64,
+    /// GM request retransmissions issued by this PE (live engine's
+    /// failure-domain hardening; always 0 on a healthy wire).
+    pub gm_retries: u64,
+    /// GM requests abandoned after exhausting the retry budget.
+    pub gm_deadline_trips: u64,
     /// p50 of remote GM request latency (read/write/fetch-add/batch
     /// merged), `None` until a remote request completed.
     pub p50_ns: Option<u64>,
@@ -269,6 +274,8 @@ pub fn top_rows(agg: &ClusterAggregator, now_ns: u64) -> Vec<TopRow> {
                 cache_misses: c("cache_misses"),
                 gm_inflight: snap.gauge("kernel", "gm_inflight", Some(pe)).unwrap_or(0),
                 gm_coalesced: c("gm_coalesced"),
+                gm_retries: c("gm_retries"),
+                gm_deadline_trips: c("gm_deadline_trips"),
                 p50_ns,
                 p99_ns,
                 last_seq: ns.last_seq,
@@ -291,7 +298,7 @@ fn fmt_us(v: Option<u64>) -> String {
 /// request-latency percentiles and telemetry health.
 pub fn render_top(agg: &ClusterAggregator, now_ns: u64) -> String {
     let mut out = String::from(
-        "NODE  MACHINE  MSGS      GM-BYTES    HIT%   INFLT  COAL   P50(us)   P99(us)   SEQ    GAPS  AGE(ms)\n",
+        "NODE  MACHINE  MSGS      GM-BYTES    HIT%   INFLT  COAL   RETRY  TRIPS  P50(us)   P99(us)   SEQ    GAPS  AGE(ms)\n",
     );
     for r in top_rows(agg, now_ns) {
         let machine = r
@@ -307,7 +314,7 @@ pub fn render_top(agg: &ClusterAggregator, now_ns: u64) -> String {
             .map(|a| format!("{:.1}", a as f64 / 1e6))
             .unwrap_or_else(|| "-".to_string());
         out.push_str(&format!(
-            "{:<5} {:<8} {:<9} {:<11} {:<6} {:<6} {:<6} {:<9} {:<9} {:<6} {:<5} {}\n",
+            "{:<5} {:<8} {:<9} {:<11} {:<6} {:<6} {:<6} {:<6} {:<6} {:<9} {:<9} {:<6} {:<5} {}\n",
             r.pe,
             machine,
             r.messages,
@@ -315,6 +322,8 @@ pub fn render_top(agg: &ClusterAggregator, now_ns: u64) -> String {
             hit,
             r.gm_inflight,
             r.gm_coalesced,
+            r.gm_retries,
+            r.gm_deadline_trips,
             fmt_us(r.p50_ns),
             fmt_us(r.p99_ns),
             r.last_seq,
@@ -439,6 +448,11 @@ mod tests {
         reg0.add(MetricKey::pe("kernel", "cache_hits", 0).on_machine(0), 3);
         reg0.add(MetricKey::pe("kernel", "cache_misses", 0).on_machine(0), 1);
         reg0.add(MetricKey::pe("kernel", "gm_coalesced", 0).on_machine(0), 7);
+        reg0.add(MetricKey::pe("kernel", "gm_retries", 0).on_machine(0), 2);
+        reg0.add(
+            MetricKey::pe("kernel", "gm_deadline_trips", 0).on_machine(0),
+            1,
+        );
         reg0.gauge_max(MetricKey::pe("kernel", "gm_inflight", 0).on_machine(0), 4);
         reg0.record(MetricKey::pe("gm", "remote_read_ns", 0), 10_000);
         reg0.record(MetricKey::pe("gm", "remote_write_ns", 0), 30_000);
@@ -468,6 +482,8 @@ mod tests {
         assert_eq!(r0.hit_pct(), Some(75.0));
         assert_eq!(r0.gm_inflight, 4);
         assert_eq!(r0.gm_coalesced, 7);
+        assert_eq!(r0.gm_retries, 2);
+        assert_eq!(r0.gm_deadline_trips, 1);
         // Merged latency distribution spans all recorded samples (plain
         // reads/writes and split-phase batches alike).
         assert!(r0.p50_ns.is_some() && r0.p99_ns.is_some());
@@ -480,6 +496,8 @@ mod tests {
         assert_eq!(r1.hit_pct(), None);
         assert_eq!(r1.gm_inflight, 0);
         assert_eq!(r1.gm_coalesced, 0);
+        assert_eq!(r1.gm_retries, 0);
+        assert_eq!(r1.gm_deadline_trips, 0);
         assert_eq!(r1.p50_ns, None);
         assert_eq!(r1.age_ns, Some(1_000_000));
         assert!(rows.iter().all(|r| r.last_seq == 1 && r.gaps == 0));
@@ -503,6 +521,8 @@ mod tests {
         assert!(text.contains("HIT%"));
         assert!(text.contains("INFLT"));
         assert!(text.contains("COAL"));
+        assert!(text.contains("RETRY"));
+        assert!(text.contains("TRIPS"));
         assert!(text.contains("75.0"));
         assert!(text.contains("128"));
         // PE1 never saw a GM request: latency renders as "-".

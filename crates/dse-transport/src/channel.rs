@@ -2,6 +2,7 @@
 //! as encoded bytes. The cheapest backend that still exercises the full
 //! encode → frame → sequence-check → decode wire path.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -18,6 +19,7 @@ type Inbox = Arc<BlockingQueue<(u32, Vec<u8>)>>;
 pub struct ChannelTransport {
     mux: FrameMux,
     inboxes: Arc<Vec<Inbox>>,
+    aborted: AtomicBool,
 }
 
 impl ChannelTransport {
@@ -32,6 +34,7 @@ impl ChannelTransport {
             .map(|pe| ChannelTransport {
                 mux: FrameMux::new(pe, npes),
                 inboxes: Arc::clone(&inboxes),
+                aborted: AtomicBool::new(false),
             })
             .collect()
     }
@@ -51,6 +54,9 @@ impl Transport for ChannelTransport {
     }
 
     fn send(&self, to: u32, msg: &Message) -> Result<(), TransportError> {
+        if self.aborted.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
         self.mux.send_frame(to, msg, |frame| {
             self.inboxes[to as usize].push((self.mux.pe(), frame))
         })
@@ -70,6 +76,14 @@ impl Transport for ChannelTransport {
                 });
             }
         }
+        self.inbox().close();
+    }
+
+    fn abort(&self) {
+        // Die without the Bye handshake: close our inbox (local recv drains
+        // then reports `Closed`) and refuse further sends. Peers discover
+        // the death when their next send to us returns `PeerDropped`.
+        self.aborted.store(true, Ordering::Release);
         self.inbox().close();
     }
 
@@ -156,6 +170,23 @@ mod tests {
         assert_eq!(a.recv(None), Err(TransportError::Closed));
         // Peer sees our Bye as a normal control frame (no envelope), and a
         // send to the closed endpoint reports the drop.
+        assert!(b.recv(Some(Duration::from_millis(20))).unwrap().is_none());
+        assert_eq!(
+            b.send(0, &msg(2)),
+            Err(TransportError::PeerDropped { peer: 0 })
+        );
+    }
+
+    #[test]
+    fn abort_skips_bye_and_refuses_sends() {
+        let mut cluster = ChannelTransport::cluster(2);
+        let b = cluster.pop().unwrap();
+        let a = cluster.pop().unwrap();
+        a.abort();
+        // The dead endpoint refuses its own sends and reports closure.
+        assert_eq!(a.send(1, &msg(1)), Err(TransportError::Closed));
+        assert_eq!(a.recv(None), Err(TransportError::Closed));
+        // No Bye was delivered; the peer only learns on its next send.
         assert!(b.recv(Some(Duration::from_millis(20))).unwrap().is_none());
         assert_eq!(
             b.send(0, &msg(2)),

@@ -1,0 +1,425 @@
+//! Deterministic fault injection for any [`Transport`] backend.
+//!
+//! [`FaultyTransport`] wraps an endpoint and perturbs its *send* path
+//! according to a seeded [`FaultPlan`]: drop, duplicate, delay, corrupt
+//! telemetry payloads, or kill the endpoint outright at its N-th send.
+//! Decisions come from a stateless hash of (seed, edge, per-edge send
+//! counter, fault kind), so a plan is reproducible and independent of
+//! wall-clock timing.
+//!
+//! Faults are scoped to traffic the runtime is expected to recover from:
+//! global-memory requests/responses (covered by the live engine's retry
+//! and request-dedup machinery) and telemetry deltas (covered by sequence
+//! gap accounting and the final absolute rollup). Control traffic —
+//! barrier, lock, exit, shutdown, abort — passes through unharmed; the
+//! failure model treats it as reliable, and the `disconnect` fault is the
+//! way to break it (the whole endpoint dies, which peers observe).
+//!
+//! Injection happens *above* the wire framing, so a dropped message never
+//! shows up as a frame sequence gap: the fault models a lost request, not
+//! a corrupted stream.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dse_msg::Message;
+
+use crate::{Envelope, Transport, TransportError};
+
+/// A seeded, per-send fault schedule. Probabilities are in permille
+/// (units of 0.1%), so plans stay integral and hashable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into every decision hash.
+    pub seed: u64,
+    /// Probability (permille) of silently dropping a faultable message.
+    pub drop_permille: u16,
+    /// Probability (permille) of sending a faultable message twice.
+    pub dup_permille: u16,
+    /// Probability (permille) of corrupting a telemetry payload.
+    pub corrupt_permille: u16,
+    /// Probability (permille) and duration of an added send delay.
+    pub delay: Option<(u16, Duration)>,
+    /// Kill endpoint `pe` (no Bye) once it has issued `frame` sends.
+    pub disconnect: Option<(u32, u64)>,
+}
+
+impl FaultPlan {
+    /// Parse a plan from the `dse-run --fault-plan` spec: comma-separated
+    /// `key=value` terms, e.g.
+    /// `seed=7,drop=10,dup=5,corrupt=3,delay=20:2,disconnect=2:40`
+    /// (drop/dup/corrupt in permille; `delay=permille:millis`;
+    /// `disconnect=pe:frame`).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for term in spec.split(',').filter(|t| !t.is_empty()) {
+            let (key, val) = term
+                .split_once('=')
+                .ok_or_else(|| format!("fault term `{term}` is not key=value"))?;
+            let permille = |v: &str| -> Result<u16, String> {
+                let p: u16 = v
+                    .parse()
+                    .map_err(|_| format!("`{key}={v}`: expected an integer permille"))?;
+                if p > 1000 {
+                    return Err(format!("`{key}={v}`: permille must be 0..=1000"));
+                }
+                Ok(p)
+            };
+            match key {
+                "seed" => {
+                    plan.seed = val
+                        .parse()
+                        .map_err(|_| format!("`seed={val}`: expected an integer"))?
+                }
+                "drop" => plan.drop_permille = permille(val)?,
+                "dup" => plan.dup_permille = permille(val)?,
+                "corrupt" => plan.corrupt_permille = permille(val)?,
+                "delay" => {
+                    let (p, ms) = val
+                        .split_once(':')
+                        .ok_or_else(|| format!("`delay={val}`: expected permille:millis"))?;
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|_| format!("`delay={val}`: bad millis"))?;
+                    plan.delay = Some((permille(p)?, Duration::from_millis(ms)));
+                }
+                "disconnect" => {
+                    let (pe, frame) = val
+                        .split_once(':')
+                        .ok_or_else(|| format!("`disconnect={val}`: expected pe:frame"))?;
+                    let pe: u32 = pe
+                        .parse()
+                        .map_err(|_| format!("`disconnect={val}`: bad pe"))?;
+                    let frame: u64 = frame
+                        .parse()
+                        .map_err(|_| format!("`disconnect={val}`: bad frame count"))?;
+                    plan.disconnect = Some((pe, frame));
+                }
+                other => return Err(format!("unknown fault term `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Roll a permille decision for send number `n` on edge `from → to`.
+    fn roll(&self, salt: u64, from: u32, to: u32, n: u64, permille: u16) -> bool {
+        if permille == 0 {
+            return false;
+        }
+        let edge = (u64::from(from) << 32) | u64::from(to);
+        let h = splitmix(
+            self.seed
+                ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ edge.wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+                ^ n.wrapping_mul(0x1656_67b1_9e37_79f9),
+        );
+        (h % 1000) < u64::from(permille)
+    }
+}
+
+/// splitmix64 finalizer: cheap, well-mixed, stateless.
+fn splitmix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+const SALT_DROP: u64 = 1;
+const SALT_DUP: u64 = 2;
+const SALT_CORRUPT: u64 = 3;
+const SALT_DELAY: u64 = 4;
+
+/// Is this a message the runtime can recover if it goes missing?
+fn recoverable(msg: &Message) -> bool {
+    matches!(
+        msg,
+        Message::GmReadReq { .. }
+            | Message::GmWriteReq { .. }
+            | Message::GmBatchReq { .. }
+            | Message::GmFetchAddReq { .. }
+            | Message::GmReadResp { .. }
+            | Message::GmWriteAck { .. }
+            | Message::GmBatchResp { .. }
+            | Message::GmFetchAddResp { .. }
+            | Message::Telemetry { .. }
+    )
+}
+
+/// A [`Transport`] wrapper that injects the faults of a [`FaultPlan`].
+/// Wrap every endpoint of a cluster with the same plan; only the endpoint
+/// named by `disconnect` dies, and probabilistic faults are rolled per
+/// (edge, send-counter) so each endpoint misbehaves independently.
+pub struct FaultyTransport {
+    inner: Arc<dyn Transport>,
+    plan: FaultPlan,
+    /// Per-destination send counters feeding the decision hash.
+    edge_sends: Vec<AtomicU64>,
+    /// Total sends issued by this endpoint (the disconnect trigger).
+    total_sends: AtomicU64,
+    dead: AtomicBool,
+}
+
+impl FaultyTransport {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: Arc<dyn Transport>, plan: FaultPlan) -> FaultyTransport {
+        let npes = inner.npes();
+        FaultyTransport {
+            inner,
+            plan,
+            edge_sends: (0..npes).map(|_| AtomicU64::new(0)).collect(),
+            total_sends: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// The wrapped endpoint.
+    pub fn inner(&self) -> &Arc<dyn Transport> {
+        &self.inner
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn pe(&self) -> u32 {
+        self.inner.pe()
+    }
+
+    fn npes(&self) -> u32 {
+        self.inner.npes()
+    }
+
+    fn send(&self, to: u32, msg: &Message) -> Result<(), TransportError> {
+        if self.dead.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        let total = self.total_sends.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some((pe, at)) = self.plan.disconnect {
+            if pe == self.inner.pe() && total >= at {
+                // The endpoint "crashes": connections die without Bye and
+                // every later operation here reports closure.
+                self.dead.store(true, Ordering::Release);
+                self.inner.abort();
+                return Err(TransportError::Closed);
+            }
+        }
+        if to >= self.edge_sends.len() as u32 {
+            return Err(TransportError::NoSuchPeer { peer: to });
+        }
+        let from = self.inner.pe();
+        let n = self.edge_sends[to as usize].fetch_add(1, Ordering::Relaxed);
+        if let Some((p, d)) = self.plan.delay {
+            if self.plan.roll(SALT_DELAY, from, to, n, p) {
+                std::thread::sleep(d);
+            }
+        }
+        if recoverable(msg) {
+            if self
+                .plan
+                .roll(SALT_DROP, from, to, n, self.plan.drop_permille)
+            {
+                // Lost in flight: the caller sees success, nothing arrives.
+                return Ok(());
+            }
+            if let Message::Telemetry { pe, seq, payload } = msg {
+                if !payload.is_empty()
+                    && self
+                        .plan
+                        .roll(SALT_CORRUPT, from, to, n, self.plan.corrupt_permille)
+                {
+                    // Flip the format-version byte so the delta is
+                    // undecodable rather than silently wrong.
+                    let mut bad = payload.clone();
+                    bad[0] ^= 0xFF;
+                    return self.inner.send(
+                        to,
+                        &Message::Telemetry {
+                            pe: *pe,
+                            seq: *seq,
+                            payload: bad,
+                        },
+                    );
+                }
+            }
+            if self
+                .plan
+                .roll(SALT_DUP, from, to, n, self.plan.dup_permille)
+            {
+                self.inner.send(to, msg)?;
+            }
+        }
+        self.inner.send(to, msg)
+    }
+
+    fn recv(&self, timeout: Option<Duration>) -> Result<Option<Envelope>, TransportError> {
+        self.inner.recv(timeout)
+    }
+
+    fn shutdown(&self) {
+        self.inner.shutdown();
+    }
+
+    fn abort(&self) {
+        self.inner.abort();
+    }
+
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChannelTransport;
+    use dse_msg::{RegionId, ReqId};
+
+    fn gm(i: u64) -> Message {
+        Message::GmReadReq {
+            req: ReqId(i),
+            region: RegionId(1),
+            offset: i,
+            len: 4,
+        }
+    }
+
+    fn wrap(npes: u32, plan: &FaultPlan) -> Vec<FaultyTransport> {
+        ChannelTransport::cluster(npes)
+            .into_iter()
+            .map(|t| FaultyTransport::new(Arc::new(t), plan.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let plan =
+            FaultPlan::parse("seed=7,drop=10,dup=5,corrupt=3,delay=20:2,disconnect=2:40").unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.drop_permille, 10);
+        assert_eq!(plan.dup_permille, 5);
+        assert_eq!(plan.corrupt_permille, 3);
+        assert_eq!(plan.delay, Some((20, Duration::from_millis(2))));
+        assert_eq!(plan.disconnect, Some((2, 40)));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("drop").is_err());
+        assert!(FaultPlan::parse("drop=1001").is_err());
+        assert!(FaultPlan::parse("warp=1").is_err());
+        assert!(FaultPlan::parse("disconnect=2").is_err());
+        assert!(FaultPlan::parse("delay=5").is_err());
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan {
+            seed: 42,
+            drop_permille: 300,
+            ..FaultPlan::default()
+        };
+        let a: Vec<bool> = (0..64)
+            .map(|n| plan.roll(SALT_DROP, 0, 1, n, plan.drop_permille))
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|n| plan.roll(SALT_DROP, 0, 1, n, plan.drop_permille))
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x), "300 permille never fired in 64 rolls");
+        assert!(!a.iter().all(|&x| x), "300 permille always fired");
+    }
+
+    #[test]
+    fn drop_loses_gm_but_never_control() {
+        let plan = FaultPlan {
+            seed: 1,
+            drop_permille: 1000, // drop everything faultable
+            ..FaultPlan::default()
+        };
+        let cluster = wrap(2, &plan);
+        cluster[0].send(1, &gm(1)).unwrap();
+        assert!(
+            cluster[1]
+                .recv(Some(Duration::from_millis(30)))
+                .unwrap()
+                .is_none(),
+            "dropped GM request arrived"
+        );
+        // Control traffic is exempt from probabilistic faults.
+        let ctrl = Message::BarrierRelease {
+            barrier: 1,
+            epoch: 2,
+        };
+        cluster[0].send(1, &ctrl).unwrap();
+        let env = cluster[1].recv(Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(env.unwrap().msg, ctrl);
+    }
+
+    #[test]
+    fn dup_delivers_twice() {
+        let plan = FaultPlan {
+            seed: 9,
+            dup_permille: 1000,
+            ..FaultPlan::default()
+        };
+        let cluster = wrap(2, &plan);
+        cluster[0].send(1, &gm(4)).unwrap();
+        let one = cluster[1].recv(Some(Duration::from_secs(1))).unwrap();
+        let two = cluster[1].recv(Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(one.unwrap().msg, gm(4));
+        assert_eq!(two.unwrap().msg, gm(4));
+    }
+
+    #[test]
+    fn corrupt_flips_telemetry_version_byte() {
+        let plan = FaultPlan {
+            seed: 3,
+            corrupt_permille: 1000,
+            ..FaultPlan::default()
+        };
+        let cluster = wrap(2, &plan);
+        let t = Message::Telemetry {
+            pe: 0,
+            seq: 1,
+            payload: vec![2, 0, 0, 0],
+        };
+        cluster[0].send(1, &t).unwrap();
+        let env = cluster[1]
+            .recv(Some(Duration::from_secs(1)))
+            .unwrap()
+            .unwrap();
+        match env.msg {
+            Message::Telemetry { payload, .. } => assert_eq!(payload[0], 2 ^ 0xFF),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnect_kills_only_the_named_endpoint() {
+        let plan = FaultPlan {
+            seed: 5,
+            disconnect: Some((0, 3)),
+            ..FaultPlan::default()
+        };
+        let cluster = wrap(2, &plan);
+        cluster[0].send(1, &gm(1)).unwrap();
+        cluster[0].send(1, &gm(2)).unwrap();
+        // Third send trips the disconnect: nothing is delivered and the
+        // endpoint reports closure from then on.
+        assert_eq!(cluster[0].send(1, &gm(3)), Err(TransportError::Closed));
+        assert_eq!(cluster[0].send(1, &gm(4)), Err(TransportError::Closed));
+        assert_eq!(cluster[0].recv(None), Err(TransportError::Closed));
+        // The survivor got the first two messages, then silence — and its
+        // next send to the dead peer reports the drop.
+        for i in 1..=2 {
+            let env = cluster[1].recv(Some(Duration::from_secs(1))).unwrap();
+            assert_eq!(env.unwrap().msg, gm(i));
+        }
+        assert_eq!(
+            cluster[1].send(0, &gm(9)),
+            Err(TransportError::PeerDropped { peer: 0 })
+        );
+    }
+}

@@ -29,6 +29,7 @@
 
 mod channel;
 mod error;
+mod fault;
 mod mux;
 mod simbus;
 mod socket;
@@ -39,6 +40,7 @@ use dse_msg::Message;
 
 pub use channel::ChannelTransport;
 pub use error::TransportError;
+pub use fault::{FaultPlan, FaultyTransport};
 pub use simbus::{BusParams, BusStats, SimBusTransport};
 pub use socket::{RetryPolicy, SocketTransport};
 
@@ -76,6 +78,15 @@ pub trait Transport: Send + Sync {
     /// the endpoint. After this, `recv` drains already-delivered messages
     /// and then reports [`TransportError::Closed`].
     fn shutdown(&self);
+
+    /// Kill the endpoint *without* the clean-shutdown handshake, as if the
+    /// process died mid-run: no `Bye` is sent, local `recv` reports
+    /// [`TransportError::Closed`] once drained, and peers observe the
+    /// failure on their next interaction ([`TransportError::PeerDropped`]).
+    /// Backends without a distinct abrupt path fall back to `shutdown`.
+    fn abort(&self) {
+        self.shutdown();
+    }
 
     /// Short backend name for diagnostics ("channel", "tcp", "uds", "bus").
     fn kind(&self) -> &'static str;

@@ -31,7 +31,7 @@ use crate::mux::{BlockingQueue, Pop};
 use crate::{Envelope, Transport, TransportError};
 
 /// Bounded exponential backoff for mesh dialing.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
     /// Maximum connection attempts before giving up.
     pub max_attempts: u32,
@@ -458,16 +458,10 @@ impl Transport for SocketTransport {
         self.events.close();
     }
 
-    fn kind(&self) -> &'static str {
-        self.kind
-    }
-}
-
-impl SocketTransport {
     /// Kill every connection *without* the `Bye` handshake — as if the
     /// process died. Peers observe [`TransportError::PeerDropped`]. This is
     /// the fault-injection entry point used by transport fault tests.
-    pub fn abort(&self) {
+    fn abort(&self) {
         self.closing.store(true, Ordering::SeqCst);
         for peer in &self.peers {
             let mut g = peer.lock().unwrap_or_else(|e| e.into_inner());
@@ -477,6 +471,10 @@ impl SocketTransport {
             *g = None;
         }
         self.events.close();
+    }
+
+    fn kind(&self) -> &'static str {
+        self.kind
     }
 }
 

@@ -23,7 +23,10 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use dse::apps::{dct, gauss_seidel, gauss_seidel_mp, knights, matmul, othello};
-use dse::live::{run_live_on, run_live_watched_on, LiveCtx, LiveRunResult, TransportKind};
+use dse::live::{
+    try_run_live, try_run_live_watched, FaultPlan, LiveCtx, LiveRunConfig, LiveRunResult,
+    TransportKind,
+};
 use dse::net::Protocol;
 use dse::prelude::*;
 use dse_trace::{analyze, gantt};
@@ -51,6 +54,7 @@ struct Args {
     watch_ms: u64,
     watchdog_ms: u64,
     flight_json: Option<String>,
+    fault_plan: Option<String>,
     /// Flags the user actually typed, for meaningless-combination checks
     /// (a default value is fine; an explicit contradiction is an error).
     explicit: Vec<String>,
@@ -78,7 +82,9 @@ fn usage() -> ! {
   --watch                      print the live cluster top view each epoch
   --watch-ms MS                telemetry emission interval    (default 50)
   --watchdog-ms MS             GM stall watchdog deadline     (default 250)
-  --flight-json PATH           write the flight-recorder ring (JSONL)"
+  --flight-json PATH           write the flight-recorder ring (JSONL)
+  --fault-plan SPEC            inject deterministic transport faults (live engine)
+                               e.g. seed=7,drop=10,dup=5,corrupt=3,delay=20:2,disconnect=2:40"
     );
     std::process::exit(2)
 }
@@ -109,6 +115,7 @@ fn parse_from(argv: &[String]) -> Result<Args, String> {
         watch_ms: 50,
         watchdog_ms: 250,
         flight_json: None,
+        fault_plan: None,
         explicit: Vec::new(),
     };
     let mut it = argv.iter();
@@ -148,6 +155,7 @@ fn parse_from(argv: &[String]) -> Result<Args, String> {
             "--watch-ms" => args.watch_ms = num(flag, val()?)? as u64,
             "--watchdog-ms" => args.watchdog_ms = num(flag, val()?)? as u64,
             "--flight-json" => args.flight_json = Some(val()?),
+            "--fault-plan" => args.fault_plan = Some(val()?),
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -180,6 +188,16 @@ fn validate_engine_combos(args: &Args) -> Result<(), String> {
                 .into(),
         );
     }
+    if args.engine == "sim" && explicit("--fault-plan") {
+        return Err(
+            "--fault-plan injects faults into the live engine's transport; it has no effect \
+             with --engine sim (add --engine live)"
+                .into(),
+        );
+    }
+    if let Some(spec) = &args.fault_plan {
+        FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+    }
     if args.engine == "live" {
         if args.app == "gauss-mp" {
             return Err(
@@ -199,7 +217,6 @@ fn validate_engine_combos(args: &Args) -> Result<(), String> {
             "--trace",
             "--trace-json",
             "--watchdog-ms",
-            "--flight-json",
         ];
         for f in SIM_ONLY {
             if explicit(f) {
@@ -275,14 +292,25 @@ fn run_live_cli(args: &Args) {
         "uds" => TransportKind::Uds,
         _ => TransportKind::Channel,
     };
+    let cfg = LiveRunConfig {
+        kind,
+        fault_plan: args
+            .fault_plan
+            .as_deref()
+            .map(|s| FaultPlan::parse(s).expect("spec validated at startup")),
+        ..LiveRunConfig::default()
+    };
     println!(
         "# {} on the live engine ({} transport), {} processors",
         args.app, args.transport, args.procs
     );
+    if let Some(spec) = &args.fault_plan {
+        println!("# fault plan: {spec}");
+    }
     let run = match args.app.as_str() {
         "gauss" => {
             let params = gauss_seidel::GaussSeidelParams::paper(args.n);
-            let (run, sol) = live_app(args, kind, |ctx| gauss_seidel::body(ctx, &params));
+            let (run, sol) = live_app(args, &cfg, |ctx| gauss_seidel::body(ctx, &params));
             println!(
                 "solved N={} in {} sweeps, final delta {:.2e}",
                 args.n, sol.iters, sol.delta
@@ -291,7 +319,7 @@ fn run_live_cli(args: &Args) {
         }
         "dct" => {
             let params = dct::DctParams::paper(args.block);
-            let (run, out) = live_app(args, kind, |ctx| dct::body(ctx, &params));
+            let (run, out) = live_app(args, &cfg, |ctx| dct::body(ctx, &params));
             println!(
                 "compressed {}x{} image, {} coefficients kept",
                 params.size,
@@ -302,7 +330,7 @@ fn run_live_cli(args: &Args) {
         }
         "othello" => {
             let params = othello::OthelloParams::paper(args.depth);
-            let (run, (mv, score)) = live_app(args, kind, |ctx| othello::body(ctx, &params));
+            let (run, (mv, score)) = live_app(args, &cfg, |ctx| othello::body(ctx, &params));
             println!(
                 "depth {}: best move {}{} score {:+}",
                 args.depth,
@@ -314,13 +342,13 @@ fn run_live_cli(args: &Args) {
         }
         "matmul" => {
             let params = matmul::MatmulParams::single(args.n.min(256));
-            let (run, c) = live_app(args, kind, |ctx| matmul::body(ctx, &params));
+            let (run, c) = live_app(args, &cfg, |ctx| matmul::body(ctx, &params));
             println!("multiplied {0}x{0} matrices, C[0]={1:.4}", params.n, c[0]);
             run
         }
         "knights" => {
             let params = knights::KnightsParams::paper(args.jobs);
-            let (run, count) = live_app(args, kind, |ctx| knights::body(ctx, &params));
+            let (run, count) = live_app(args, &cfg, |ctx| knights::body(ctx, &params));
             println!("counted {count} tours ({} jobs)", args.jobs);
             run
         }
@@ -347,13 +375,18 @@ fn run_live_cli(args: &Args) {
     if let Some(path) = &args.metrics_csv {
         write(path, "metrics (CSV)", run.metrics.to_csv());
     }
+    if let Some(path) = &args.flight_json {
+        write(path, "flight recorder", run.flight_jsonl.clone());
+    }
 }
 
 /// Execute one SPMD body on the live engine (watched if `--watch`) and
-/// return the run alongside rank 0's result.
+/// return the run alongside rank 0's result. An aborted run prints the
+/// per-PE failure report, writes the flight-recorder post-mortem if
+/// `--flight-json` asked for one, and exits with status 1.
 fn live_app<T: Send>(
     args: &Args,
-    kind: TransportKind,
+    cfg: &LiveRunConfig,
     body: impl Fn(&mut LiveCtx) -> Option<T> + Send + Sync,
 ) -> (LiveRunResult, T) {
     let slot: Mutex<Option<T>> = Mutex::new(None);
@@ -363,8 +396,8 @@ fn live_app<T: Send>(
         }
     };
     let run = if args.watch {
-        run_live_watched_on(
-            kind,
+        try_run_live_watched(
+            cfg.clone(),
             args.procs,
             Duration::from_millis(args.watch_ms),
             |agg, now_ns| {
@@ -374,8 +407,18 @@ fn live_app<T: Send>(
             capture,
         )
     } else {
-        run_live_on(kind, args.procs, capture)
+        try_run_live(cfg.clone(), args.procs, capture)
     };
+    let run = run.unwrap_or_else(|err| {
+        eprint!("{}", err.report());
+        if let Some(path) = &args.flight_json {
+            match std::fs::write(path, &err.flight_jsonl) {
+                Ok(()) => eprintln!("flight recorder post-mortem written to {path}"),
+                Err(e) => eprintln!("cannot write flight recorder to {path}: {e}"),
+            }
+        }
+        std::process::exit(1);
+    });
     let result = slot.into_inner().unwrap().expect("rank 0 result");
     (run, result)
 }
@@ -668,7 +711,6 @@ mod tests {
             "--trace",
             "--trace-json t.json",
             "--watchdog-ms 10",
-            "--flight-json f.jsonl",
         ] {
             let a = parse_from(&argv(&format!("gauss --engine live {flags}"))).unwrap();
             let err = validate_engine_combos(&a).unwrap_err();
@@ -677,12 +719,31 @@ mod tests {
                 "{flags}: {err}"
             );
         }
-        // Observability outputs and the watch view do work on the live engine.
+        // Observability outputs, the watch view, and the flight recorder all
+        // work on the live engine.
         let a = parse_from(&argv(
-            "gauss --engine live --watch --watch-ms 10 --metrics-json m.jsonl --metrics-csv m.csv",
+            "gauss --engine live --watch --watch-ms 10 --metrics-json m.jsonl --metrics-csv m.csv \
+             --flight-json f.jsonl",
         ))
         .unwrap();
         assert!(validate_engine_combos(&a).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_parses_and_requires_live_engine() {
+        let a = parse_from(&argv("gauss --engine live --fault-plan seed=7,drop=10")).unwrap();
+        assert_eq!(a.fault_plan.as_deref(), Some("seed=7,drop=10"));
+        assert!(validate_engine_combos(&a).is_ok());
+        let a = parse_from(&argv("gauss --fault-plan seed=7,drop=10")).unwrap();
+        let err = validate_engine_combos(&a).unwrap_err();
+        assert!(err.contains("no effect with --engine sim"), "{err}");
+    }
+
+    #[test]
+    fn bad_fault_plan_spec_rejected() {
+        let a = parse_from(&argv("gauss --engine live --fault-plan frob=1")).unwrap();
+        let err = validate_engine_combos(&a).unwrap_err();
+        assert!(err.starts_with("--fault-plan:"), "{err}");
     }
 
     #[test]
