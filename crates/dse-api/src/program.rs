@@ -266,10 +266,20 @@ impl DseProgram {
         let per_pe_stats = shared.stats.per_pe();
         let mut metrics = shared.metrics.snapshot();
         metrics.absorb_counters(per_pe_counter_rollup(&shared, &per_pe_stats));
+        // The event-loop total lives host-side in the simulator, outside any
+        // PE's delta tracker, so it is absorbed into both the direct snapshot
+        // and the telemetry rollup — keeping the two byte-identical.
+        let engine_counters = [(
+            MetricKey::global("sim", "events_processed"),
+            report.stats.events,
+        )];
+        metrics.absorb_counters(engine_counters.iter().cloned());
         let telemetry = shared.config.telemetry.as_ref().map(|_| {
             let agg = shared.aggregator.lock();
+            let mut rollup = agg.rollup();
+            rollup.absorb_counters(engine_counters.iter().cloned());
             TelemetrySummary {
-                rollup: agg.rollup(),
+                rollup,
                 nodes: agg.nodes().to_vec(),
                 stalls: shared.stalls.lock().clone(),
                 flight_jsonl: shared

@@ -990,6 +990,8 @@ impl LiveCtx {
 
     fn issue_read(&mut self, region: RegionId, offset: u64, len: usize, eager: bool) -> GmHandle {
         self.metrics().incr(MetricKey::pe("gm", "reads", self.rank));
+        self.metrics()
+            .incr(MetricKey::pe("kernel", "gm_ops", self.rank));
         let runs = self
             .cluster
             .store
@@ -1028,6 +1030,8 @@ impl LiveCtx {
     fn issue_write(&mut self, region: RegionId, offset: u64, data: &[u8], eager: bool) -> GmHandle {
         self.metrics()
             .incr(MetricKey::pe("gm", "writes", self.rank));
+        self.metrics()
+            .incr(MetricKey::pe("kernel", "gm_ops", self.rank));
         let runs = self
             .cluster
             .store
@@ -1528,6 +1532,8 @@ impl ParallelApi for LiveCtx {
         self.gm_fence();
         self.metrics()
             .incr(MetricKey::pe("gm", "fetch_adds", self.rank));
+        self.metrics()
+            .incr(MetricKey::pe("kernel", "gm_ops", self.rank));
         let start = Instant::now();
         let home = self.home_of(region, offset);
         let prev = if home == self.rank {

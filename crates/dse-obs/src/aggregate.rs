@@ -39,8 +39,18 @@ use crate::registry::{MetricKey, MetricsSnapshot};
 /// Version 2 is the compact encoding: LEB128 varints for every integer
 /// and a static string table for the built-in metric names, so the
 /// telemetry plane's bus footprint stays a small fraction of the paper's
-/// 10 Mbps shared Ethernet.
-const FORMAT_VERSION: u8 = 2;
+/// 10 Mbps shared Ethernet. Version 3 extends the static name table with
+/// the sweep-harness throughput counters (`sim/events_processed`,
+/// `kernel/gm_ops`); the wire layout is unchanged and the table is
+/// append-only, so v2 payloads decode under a v3 reader — only the new
+/// indices are out of reach for a v2-era reader, which is why the version
+/// byte moves.
+const FORMAT_VERSION: u8 = 3;
+
+/// Oldest payload version this reader still accepts. Every version in
+/// `MIN_DECODE_VERSION..=FORMAT_VERSION` shares the wire layout; newer
+/// versions only append static-name indices.
+const MIN_DECODE_VERSION: u8 = 2;
 
 /// Metric names known at build time ship as a one-byte table index; names
 /// outside the table fall back to an inline string (index 0 escape). The
@@ -96,6 +106,10 @@ const STATIC_NAMES: &[&str] = &[
     "gm_dup_requests",
     "telemetry_corrupt",
     "stall_escalations",
+    // sweep-harness throughput counters (format v3)
+    "sim",
+    "events_processed",
+    "gm_ops",
 ];
 
 /// Intern a decoded metric-name string so it can live in a
@@ -250,7 +264,7 @@ impl TelemetryDelta {
     pub fn decode(buf: &[u8]) -> Result<TelemetryDelta, CodecError> {
         let mut r = Reader::new(buf);
         let version = r.u8()?;
-        if version != FORMAT_VERSION {
+        if !(MIN_DECODE_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(CodecError::BadTag(version));
         }
         let absolute = r.u8()? != 0;
@@ -707,6 +721,48 @@ mod tests {
         let mut buf = d.encode();
         buf[0] = 9;
         assert_eq!(TelemetryDelta::decode(&buf), Err(CodecError::BadTag(9)));
+    }
+
+    #[test]
+    fn previous_version_still_decodes() {
+        // A v2 payload only ever references the pre-v3 prefix of the static
+        // name table, so rewriting the version byte of a delta built from
+        // v2-era names is exactly the wire bytes a v2 writer would emit.
+        let reg = sample_registry();
+        let mut t = DeltaTracker::new(0, true);
+        let (_, d) = t.delta(&reg.snapshot(), &[], false).unwrap();
+        let mut buf = d.encode();
+        assert_eq!(buf[0], FORMAT_VERSION);
+        buf[0] = 2;
+        let back = TelemetryDelta::decode(&buf).expect("v2 payload must decode");
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn v3_names_resolve_via_static_table() {
+        // The new counters must ride the string table (index form), not the
+        // inline-string escape, and round-trip exactly.
+        let d = TelemetryDelta {
+            absolute: false,
+            counters: vec![
+                (MetricKey::global("sim", "events_processed"), 41),
+                (MetricKey::pe("kernel", "gm_ops", 2), 17),
+            ],
+            gauges: Vec::new(),
+            hists: Vec::new(),
+        };
+        let wire = d.encode();
+        let back = TelemetryDelta::decode(&wire).unwrap();
+        assert_eq!(back, d);
+        // Inline strings are escaped with a 0 index then length+bytes; the
+        // table hit encodes as a single nonzero varint. None of the new
+        // names should appear as raw bytes in the payload.
+        for name in ["events_processed", "gm_ops"] {
+            assert!(
+                !wire.windows(name.len()).any(|w| w == name.as_bytes()),
+                "{name} was inline-encoded instead of using the static table"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,479 @@
+//! Aggregation: fold per-run rows into per-cell summaries, render the
+//! text table, write/read the canonical `BENCH_sweep.json` trajectory
+//! file, and diff a sweep against a committed baseline for the CI gate.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Value};
+use crate::run::{RunRecord, RunStatus};
+
+/// Per-cell summary across that cell's seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// Cell id (all axes except the seed).
+    pub cell: String,
+    /// Total runs of the cell.
+    pub runs: usize,
+    /// Runs that completed normally.
+    pub ok: usize,
+    /// Live-engine aborts.
+    pub aborts: usize,
+    /// Runs killed at the deadline.
+    pub timeouts: usize,
+    /// Harness-level failures.
+    pub errors: usize,
+    /// GM retransmits, summed over all runs.
+    pub retries: u64,
+    /// Mean wall-clock nanoseconds over ok runs.
+    pub wall_ns: f64,
+    /// Mean virtual nanoseconds over ok sim runs (0 for live cells).
+    pub virtual_ns: f64,
+    /// Mean simulator events per wall-clock second (sim cells).
+    pub events_per_sec: f64,
+    /// Mean GM operations per wall-clock second.
+    pub gm_ops_per_sec: f64,
+    /// Mean merged GM latency p50 (ns).
+    pub p50_ns: f64,
+    /// Mean merged GM latency p99 (ns).
+    pub p99_ns: f64,
+}
+
+/// Group rows by cell id and fold each group into its summary, sorted by
+/// cell id. Rate metrics are per-run rates averaged over the cell's ok
+/// runs (not totals divided by total time), so one slow seed cannot hide
+/// behind a fast one.
+pub fn aggregate(rows: &[RunRecord]) -> Vec<CellSummary> {
+    let mut groups: BTreeMap<&str, Vec<&RunRecord>> = BTreeMap::new();
+    for row in rows {
+        groups.entry(row.cell.as_str()).or_default().push(row);
+    }
+    groups
+        .into_iter()
+        .map(|(cell, rows)| {
+            let ok: Vec<&&RunRecord> = rows.iter().filter(|r| r.status == RunStatus::Ok).collect();
+            let mean = |f: &dyn Fn(&RunRecord) -> f64| -> f64 {
+                if ok.is_empty() {
+                    0.0
+                } else {
+                    ok.iter().map(|r| f(r)).sum::<f64>() / ok.len() as f64
+                }
+            };
+            let rate = |count: &dyn Fn(&RunRecord) -> u64| -> f64 {
+                mean(&|r| {
+                    let secs = r.wall_ns as f64 / 1e9;
+                    if secs > 0.0 {
+                        count(r) as f64 / secs
+                    } else {
+                        0.0
+                    }
+                })
+            };
+            CellSummary {
+                cell: cell.to_string(),
+                runs: rows.len(),
+                ok: ok.len(),
+                aborts: rows.iter().filter(|r| r.status == RunStatus::Abort).count(),
+                timeouts: rows
+                    .iter()
+                    .filter(|r| r.status == RunStatus::Timeout)
+                    .count(),
+                errors: rows.iter().filter(|r| r.status == RunStatus::Error).count(),
+                retries: rows.iter().map(|r| r.retries).sum(),
+                wall_ns: mean(&|r| r.wall_ns as f64),
+                virtual_ns: mean(&|r| r.virtual_ns as f64),
+                events_per_sec: rate(&|r| r.events),
+                gm_ops_per_sec: rate(&|r| r.gm_ops),
+                p50_ns: mean(&|r| r.p50_ns as f64),
+                p99_ns: mean(&|r| r.p99_ns as f64),
+            }
+        })
+        .collect()
+}
+
+fn human_rate(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+fn human_ms(ns: f64) -> String {
+    format!("{:.1}", ns / 1e6)
+}
+
+/// Render the aggregate table.
+pub fn render_table(cells: &[CellSummary]) -> String {
+    let header = [
+        "cell", "runs", "ok", "ev/s", "gmop/s", "wall ms", "p50 us", "p99 us", "retry", "bad",
+    ];
+    let mut table: Vec<[String; 10]> = vec![header.map(String::from)];
+    for c in cells {
+        let bad = c.aborts + c.timeouts + c.errors;
+        table.push([
+            c.cell.clone(),
+            c.runs.to_string(),
+            c.ok.to_string(),
+            human_rate(c.events_per_sec),
+            human_rate(c.gm_ops_per_sec),
+            human_ms(c.wall_ns),
+            format!("{:.1}", c.p50_ns / 1e3),
+            format!("{:.1}", c.p99_ns / 1e3),
+            c.retries.to_string(),
+            if bad == 0 {
+                "-".into()
+            } else {
+                bad.to_string()
+            },
+        ]);
+    }
+    let mut widths = [0usize; 10];
+    for row in &table {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in table.iter().enumerate() {
+        let mut line = String::new();
+        for (j, (cell, w)) in row.iter().zip(widths).enumerate() {
+            if j == 0 {
+                line.push_str(&format!("{cell:<w$}"));
+            } else {
+                line.push_str(&format!("  {cell:>w$}"));
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if i == 0 {
+            let total = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Current `BENCH_sweep.json` schema tag.
+pub const BENCH_SCHEMA: &str = "dse-sweep/v1";
+
+/// Serialize summaries into the canonical trajectory file: one cell per
+/// line so baseline diffs stay reviewable.
+pub fn to_bench_json(sweep: &str, cells: &[CellSummary]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{}\",\n", BENCH_SCHEMA));
+    out.push_str(&format!("  \"sweep\": \"{}\",\n", json::escape(sweep)));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"cell\": \"{}\", \"runs\": {}, \"ok\": {}, \"aborts\": {}, \
+             \"timeouts\": {}, \"errors\": {}, \"retries\": {}, \"wall_ns\": {}, \
+             \"virtual_ns\": {}, \"events_per_sec\": {}, \"gm_ops_per_sec\": {}, \
+             \"p50_ns\": {}, \"p99_ns\": {}}}{sep}\n",
+            json::escape(&c.cell),
+            c.runs,
+            c.ok,
+            c.aborts,
+            c.timeouts,
+            c.errors,
+            c.retries,
+            json::num(c.wall_ns.round()),
+            json::num(c.virtual_ns.round()),
+            json::num((c.events_per_sec * 10.0).round() / 10.0),
+            json::num((c.gm_ops_per_sec * 10.0).round() / 10.0),
+            json::num(c.p50_ns.round()),
+            json::num(c.p99_ns.round()),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse a trajectory file back into summaries.
+pub fn parse_bench_json(src: &str) -> Result<Vec<CellSummary>, String> {
+    let doc = json::parse(src)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("baseline missing 'schema'")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!("baseline schema '{schema}' is not {BENCH_SCHEMA}"));
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(Value::as_array)
+        .ok_or("baseline missing 'cells'")?;
+    cells
+        .iter()
+        .map(|c| {
+            let s = |key: &str| -> Result<String, String> {
+                c.get(key)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline cell missing '{key}'"))
+            };
+            let n = |key: &str| -> Result<f64, String> {
+                c.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("baseline cell missing '{key}'"))
+            };
+            Ok(CellSummary {
+                cell: s("cell")?,
+                runs: n("runs")? as usize,
+                ok: n("ok")? as usize,
+                aborts: n("aborts")? as usize,
+                timeouts: n("timeouts")? as usize,
+                errors: n("errors")? as usize,
+                retries: n("retries")? as u64,
+                wall_ns: n("wall_ns")?,
+                virtual_ns: n("virtual_ns")?,
+                events_per_sec: n("events_per_sec")?,
+                gm_ops_per_sec: n("gm_ops_per_sec")?,
+                p50_ns: n("p50_ns")?,
+                p99_ns: n("p99_ns")?,
+            })
+        })
+        .collect()
+}
+
+/// Outcome of diffing a sweep against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Human-readable per-cell delta lines.
+    pub lines: Vec<String>,
+    /// Cells that regressed past the gate threshold (empty = gate passes).
+    pub regressions: Vec<String>,
+    /// Cells present now but absent from the baseline (not gated).
+    pub new_cells: usize,
+    /// Baseline cells the sweep no longer runs (not gated).
+    pub missing_cells: usize,
+}
+
+impl DiffReport {
+    /// Render the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if self.new_cells > 0 {
+            out.push_str(&format!(
+                "{} cell(s) have no baseline yet\n",
+                self.new_cells
+            ));
+        }
+        if self.missing_cells > 0 {
+            out.push_str(&format!(
+                "{} baseline cell(s) were not run this sweep\n",
+                self.missing_cells
+            ));
+        }
+        if self.regressions.is_empty() {
+            out.push_str("gate: PASS\n");
+        } else {
+            out.push_str(&format!(
+                "gate: FAIL — {} regressed cell(s)\n",
+                self.regressions.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Compare a sweep against a baseline. A cell regresses when a
+/// throughput metric (`events_per_sec`, `gm_ops_per_sec`) falls more
+/// than `gate_pct` percent below its baseline value, or when a cell that
+/// was fully healthy in the baseline now has failed runs. Cells without
+/// a baseline counterpart are reported but never gated.
+pub fn diff(current: &[CellSummary], baseline: &[CellSummary], gate_pct: f64) -> DiffReport {
+    let base: BTreeMap<&str, &CellSummary> =
+        baseline.iter().map(|c| (c.cell.as_str(), c)).collect();
+    let cur: BTreeMap<&str, &CellSummary> = current.iter().map(|c| (c.cell.as_str(), c)).collect();
+    let mut report = DiffReport {
+        missing_cells: baseline
+            .iter()
+            .filter(|b| !cur.contains_key(b.cell.as_str()))
+            .count(),
+        ..DiffReport::default()
+    };
+    for c in current {
+        let Some(b) = base.get(c.cell.as_str()) else {
+            report.new_cells += 1;
+            continue;
+        };
+        let mut worst: Option<(String, f64)> = None;
+        for (metric, now, then) in [
+            ("events_per_sec", c.events_per_sec, b.events_per_sec),
+            ("gm_ops_per_sec", c.gm_ops_per_sec, b.gm_ops_per_sec),
+        ] {
+            if then <= 0.0 {
+                continue;
+            }
+            let delta_pct = (now - then) / then * 100.0;
+            if worst.as_ref().is_none_or(|(_, w)| delta_pct < *w) {
+                worst = Some((metric.to_string(), delta_pct));
+            }
+            if delta_pct < -gate_pct {
+                report
+                    .regressions
+                    .push(format!("{}: {metric} {delta_pct:+.1}%", c.cell));
+            }
+        }
+        let newly_failing = b.ok == b.runs && c.ok < c.runs;
+        if newly_failing {
+            report.regressions.push(format!(
+                "{}: {} of {} runs failed (baseline was clean)",
+                c.cell,
+                c.runs - c.ok,
+                c.runs
+            ));
+        }
+        let (metric, delta) = worst.unwrap_or_else(|| ("events_per_sec".into(), 0.0));
+        report.lines.push(format!(
+            "{:<40} {metric} {delta:+7.1}%{}",
+            c.cell,
+            if newly_failing {
+                "  [newly failing]"
+            } else {
+                ""
+            }
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{expand, parse_spec};
+
+    /// Hand-built fixture: two cells x two seeds, fully deterministic.
+    fn fixture_rows() -> Vec<RunRecord> {
+        let spec = parse_spec(
+            "[sweep]\nseeds = [1, 2]\n[[scenario]]\nname = \"fx\"\napp = [\"gauss\", \"dct\"]\nprocs = [2]\n",
+        )
+        .unwrap();
+        expand(&spec)
+            .iter()
+            .map(|rs| {
+                let mut rec = RunRecord::failed(rs, RunStatus::Ok, "");
+                rec.wall_ns = 2_000_000_000; // 2s
+                rec.virtual_ns = 1_000_000_000;
+                rec.events = 1000 * (rs.idx as u64 + 1);
+                rec.gm_ops = 500;
+                rec.p50_ns = 1000;
+                rec.p99_ns = 9000;
+                rec
+            })
+            .collect()
+    }
+
+    #[test]
+    fn aggregate_folds_seeds_per_cell() {
+        let rows = fixture_rows();
+        let cells = aggregate(&rows);
+        assert_eq!(cells.len(), 2, "two apps -> two cells");
+        let gauss = cells.iter().find(|c| c.cell.contains("gauss")).unwrap();
+        assert_eq!(gauss.runs, 2);
+        assert_eq!(gauss.ok, 2);
+        // gauss rows are idx 0 and 1: (1000 + 2000)/2 events over 2s each.
+        assert!((gauss.events_per_sec - 750.0).abs() < 1e-9);
+        assert!((gauss.gm_ops_per_sec - 250.0).abs() < 1e-9);
+        assert!((gauss.wall_ns - 2e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failed_runs_are_counted_not_averaged() {
+        let mut rows = fixture_rows();
+        rows[1].status = RunStatus::Timeout;
+        rows[1].events = 0;
+        rows[1].wall_ns = 0;
+        let cells = aggregate(&rows);
+        let gauss = cells.iter().find(|c| c.cell.contains("gauss")).unwrap();
+        assert_eq!(gauss.ok, 1);
+        assert_eq!(gauss.timeouts, 1);
+        // The rate is the mean over ok runs only.
+        assert!((gauss.events_per_sec - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bench_json_roundtrips() {
+        let cells = aggregate(&fixture_rows());
+        let text = to_bench_json("fixture", &cells);
+        let back = parse_bench_json(&text).unwrap();
+        assert_eq!(back.len(), cells.len());
+        for (a, b) in back.iter().zip(&cells) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.runs, b.runs);
+            assert!((a.events_per_sec - b.events_per_sec).abs() < 0.1);
+        }
+        assert!(parse_bench_json("{\"schema\": \"other/v9\", \"cells\": []}").is_err());
+    }
+
+    #[test]
+    fn gate_trips_on_throughput_regression() {
+        let cells = aggregate(&fixture_rows());
+        // Baseline claims 2x the throughput: a 50% regression.
+        let mut baseline = cells.clone();
+        for b in &mut baseline {
+            b.events_per_sec *= 2.0;
+        }
+        let report = diff(&cells, &baseline, 15.0);
+        assert_eq!(report.regressions.len(), 2, "{:?}", report.regressions);
+        assert!(report.render().contains("gate: FAIL"));
+        // Identical data passes any gate.
+        let report = diff(&cells, &cells, 15.0);
+        assert!(report.regressions.is_empty());
+        assert!(report.render().contains("gate: PASS"));
+        // Small noise below the threshold passes.
+        let mut wobble = cells.clone();
+        for c in &mut wobble {
+            c.events_per_sec *= 0.95;
+        }
+        let report = diff(&wobble, &cells, 15.0);
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn gate_trips_on_newly_failing_cell() {
+        let baseline = aggregate(&fixture_rows());
+        let mut rows = fixture_rows();
+        rows[0].status = RunStatus::Abort;
+        let current = aggregate(&rows);
+        let report = diff(&current, &baseline, 15.0);
+        assert!(
+            report
+                .regressions
+                .iter()
+                .any(|r| r.contains("newly failing") || r.contains("runs failed")),
+            "{:?}",
+            report.regressions
+        );
+    }
+
+    #[test]
+    fn unknown_cells_are_reported_not_gated() {
+        let cells = aggregate(&fixture_rows());
+        let report = diff(&cells, &[], 15.0);
+        assert_eq!(report.new_cells, 2);
+        assert!(report.regressions.is_empty());
+        let report = diff(&[], &cells, 15.0);
+        assert_eq!(report.missing_cells, 2);
+        assert!(report.regressions.is_empty());
+    }
+
+    #[test]
+    fn table_renders_every_cell() {
+        let cells = aggregate(&fixture_rows());
+        let table = render_table(&cells);
+        assert!(table.contains("ev/s"));
+        for c in &cells {
+            assert!(table.contains(&c.cell));
+        }
+    }
+}

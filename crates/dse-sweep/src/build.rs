@@ -1,0 +1,346 @@
+//! Shared run-construction logic for `dse-run` and `dse-sweep`.
+//!
+//! Both binaries turn the same user-facing vocabulary (app, engine,
+//! transport, platform, organization, protocol, GM options) into engine
+//! configurations, and both probe output paths before spending minutes of
+//! compute. Keeping the mapping here means a new axis value lands in the
+//! CLI and the sweep harness at the same time — they cannot drift.
+
+use dse_kernel::{DseConfig, Organization, TelemetryConfig};
+use dse_live::{FaultPlan, LiveRunConfig, TransportKind};
+use dse_net::Protocol;
+use dse_platform::Platform;
+use dse_sim::SimDuration;
+
+/// The runnable applications, by CLI/spec name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    Gauss,
+    GaussMp,
+    Dct,
+    Othello,
+    Matmul,
+    Knights,
+}
+
+impl AppKind {
+    /// Every app, in canonical (usage-string) order.
+    pub const ALL: &'static [AppKind] = &[
+        AppKind::Gauss,
+        AppKind::GaussMp,
+        AppKind::Dct,
+        AppKind::Othello,
+        AppKind::Matmul,
+        AppKind::Knights,
+    ];
+
+    /// Parse a CLI/spec app name.
+    pub fn parse(name: &str) -> Result<AppKind, String> {
+        match name {
+            "gauss" => Ok(AppKind::Gauss),
+            "gauss-mp" => Ok(AppKind::GaussMp),
+            "dct" => Ok(AppKind::Dct),
+            "othello" => Ok(AppKind::Othello),
+            "matmul" => Ok(AppKind::Matmul),
+            "knights" => Ok(AppKind::Knights),
+            other => Err(format!(
+                "unknown app '{other}' (expected gauss, gauss-mp, dct, othello, matmul or knights)"
+            )),
+        }
+    }
+
+    /// The canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppKind::Gauss => "gauss",
+            AppKind::GaussMp => "gauss-mp",
+            AppKind::Dct => "dct",
+            AppKind::Othello => "othello",
+            AppKind::Matmul => "matmul",
+            AppKind::Knights => "knights",
+        }
+    }
+
+    /// Whether the app runs on the live engine. `gauss-mp` is the explicit
+    /// message-passing variant built on the simulator's user-message
+    /// mailboxes and is sim-only.
+    pub fn live_ok(&self) -> bool {
+        !matches!(self, AppKind::GaussMp)
+    }
+}
+
+/// Application parameters shared by both binaries. Fields that an app
+/// does not use are simply ignored by its dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppParams {
+    /// Gauss-Seidel system dimension / matmul matrix dimension.
+    pub n: usize,
+    /// DCT block size.
+    pub block: usize,
+    /// DCT image size override (`0` keeps the paper's 512).
+    pub size: usize,
+    /// Othello search depth.
+    pub depth: u32,
+    /// Knight's-Tour job count.
+    pub jobs: usize,
+}
+
+impl Default for AppParams {
+    fn default() -> AppParams {
+        AppParams {
+            n: 400,
+            block: 8,
+            size: 0,
+            depth: 5,
+            jobs: 16,
+        }
+    }
+}
+
+/// Validate an organization name.
+pub fn check_organization(name: &str) -> Result<Organization, String> {
+    match name {
+        "linked" => Ok(Organization::LinkedLibrary),
+        "legacy" => Ok(Organization::SeparateProcess),
+        other => Err(format!("organization '{other}' is not linked or legacy")),
+    }
+}
+
+/// Validate a protocol-stack name.
+pub fn check_protocol(name: &str) -> Result<Protocol, String> {
+    match name {
+        "tcp" => Ok(Protocol::TcpIp),
+        "udp" => Ok(Protocol::Udp),
+        "raw" => Ok(Protocol::RawEthernet),
+        other => Err(format!("protocol '{other}' is not tcp, udp or raw")),
+    }
+}
+
+/// Resolve a platform preset id.
+pub fn platform_by_id(id: &str) -> Result<Platform, String> {
+    Platform::by_id(id).ok_or_else(|| format!("unknown platform '{id}'"))
+}
+
+/// Map a transport name to its kind, enforcing host support.
+pub fn transport_kind(name: &str) -> Result<TransportKind, String> {
+    match name {
+        "channel" => Ok(TransportKind::Channel),
+        "tcp" => Ok(TransportKind::Tcp),
+        "uds" => {
+            if cfg!(unix) {
+                Ok(TransportKind::Uds)
+            } else {
+                Err("transport uds: Unix domain sockets need a Unix platform".into())
+            }
+        }
+        other => Err(format!("transport '{other}' is not channel, tcp or uds")),
+    }
+}
+
+/// Validate a fault-plan spec without building the live config.
+pub fn check_fault_plan(spec: &str) -> Result<FaultPlan, String> {
+    FaultPlan::parse(spec)
+}
+
+/// Everything needed to build a simulated-run configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimSettings {
+    /// Platform preset id (`sunos` | `aix` | `linux`).
+    pub platform: String,
+    /// Software organization name.
+    pub organization: String,
+    /// Protocol-stack name.
+    pub protocol: String,
+    /// Enable the GM cache.
+    pub cache: bool,
+    /// Physical machine count.
+    pub machines: usize,
+    /// Record the execution trace.
+    pub tracing: bool,
+    /// Enable the in-band telemetry plane: `(interval_ms, watchdog_ms)`.
+    pub telemetry_ms: Option<(u64, u64)>,
+    /// Deterministic seed override.
+    pub seed: Option<u64>,
+    /// GM pipeline window (`0` keeps the engine default).
+    pub gm_window: usize,
+}
+
+impl Default for SimSettings {
+    fn default() -> SimSettings {
+        SimSettings {
+            platform: "sunos".into(),
+            organization: "linked".into(),
+            protocol: "tcp".into(),
+            cache: false,
+            machines: 6,
+            tracing: false,
+            telemetry_ms: None,
+            seed: None,
+            gm_window: 0,
+        }
+    }
+}
+
+/// Build the platform and [`DseConfig`] for a simulated run.
+pub fn build_sim(settings: &SimSettings) -> Result<(Platform, DseConfig), String> {
+    let platform = platform_by_id(&settings.platform)?;
+    let mut config = DseConfig::paper().with_gm_cache(settings.cache);
+    config.organization = check_organization(&settings.organization)?;
+    config.protocol = check_protocol(&settings.protocol)?;
+    if let Some((interval_ms, watchdog_ms)) = settings.telemetry_ms {
+        config.telemetry = Some(
+            TelemetryConfig::default()
+                .with_interval(SimDuration::from_millis(interval_ms))
+                .with_watchdog_deadline(SimDuration::from_millis(watchdog_ms)),
+        );
+    }
+    if let Some(seed) = settings.seed {
+        config = config.with_seed(seed);
+    }
+    if settings.gm_window != 0 {
+        config = config.with_gm_window(settings.gm_window);
+    }
+    config = config
+        .with_machines(settings.machines)
+        .with_tracing(settings.tracing);
+    Ok((platform, config))
+}
+
+/// Build the [`LiveRunConfig`] for a live run. When `seed` is given and
+/// the fault plan does not pin its own seed, the run seed becomes the
+/// plan seed — that is how sweep repetitions vary a faulty mesh.
+pub fn build_live(
+    transport: &str,
+    fault_plan: Option<&str>,
+    seed: Option<u64>,
+) -> Result<LiveRunConfig, String> {
+    let kind = transport_kind(transport)?;
+    let fault_plan = match fault_plan.filter(|s| !s.is_empty()) {
+        None => None,
+        Some(spec) => {
+            let effective = match seed {
+                Some(seed) if !spec.split(',').any(|t| t.trim_start().starts_with("seed=")) => {
+                    format!("seed={seed},{spec}")
+                }
+                _ => spec.to_string(),
+            };
+            Some(FaultPlan::parse(&effective).map_err(|e| format!("fault plan: {e}"))?)
+        }
+    };
+    Ok(LiveRunConfig {
+        kind,
+        fault_plan,
+        ..LiveRunConfig::default()
+    })
+}
+
+/// Probe every requested output path for writability *before* the run, so
+/// a typo'd directory fails in milliseconds instead of after minutes of
+/// compute. The probe opens in append mode: an existing file is left
+/// intact until the real (truncating) write at the end of the run.
+pub fn validate_out_paths<'a>(
+    outs: impl IntoIterator<Item = (&'a str, &'a str)>,
+) -> Result<(), String> {
+    for (path, what) in outs {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot write {what} to {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_names_roundtrip() {
+        for app in AppKind::ALL {
+            assert_eq!(AppKind::parse(app.name()).unwrap(), *app);
+        }
+        assert!(AppKind::parse("warp").is_err());
+        assert!(!AppKind::GaussMp.live_ok());
+        assert!(AppKind::Gauss.live_ok());
+    }
+
+    #[test]
+    fn sim_settings_build_a_config() {
+        let (platform, config) = build_sim(&SimSettings {
+            platform: "linux".into(),
+            organization: "legacy".into(),
+            protocol: "udp".into(),
+            cache: true,
+            machines: 4,
+            tracing: true,
+            telemetry_ms: Some((10, 100)),
+            seed: Some(42),
+            gm_window: 8,
+        })
+        .unwrap();
+        assert_eq!(platform.id, "linux");
+        assert_eq!(config.organization, Organization::SeparateProcess);
+        assert_eq!(config.protocol, Protocol::Udp);
+        assert!(config.gm_cache && config.tracing);
+        assert_eq!(config.machines, Some(4));
+        assert_eq!(config.seed, 42);
+        assert_eq!(config.gm_window, 8);
+        assert!(config.telemetry.is_some());
+    }
+
+    #[test]
+    fn bad_settings_rejected() {
+        let s = SimSettings {
+            platform: "amiga".into(),
+            ..SimSettings::default()
+        };
+        assert!(build_sim(&s).unwrap_err().contains("unknown platform"));
+        let s = SimSettings {
+            organization: "flat".into(),
+            ..SimSettings::default()
+        };
+        assert!(build_sim(&s).unwrap_err().contains("not linked or legacy"));
+        let s = SimSettings {
+            protocol: "ipx".into(),
+            ..SimSettings::default()
+        };
+        assert!(build_sim(&s).unwrap_err().contains("not tcp, udp or raw"));
+        assert!(transport_kind("pigeon").is_err());
+    }
+
+    #[test]
+    fn live_seed_injected_only_when_plan_has_none() {
+        let cfg = build_live("channel", Some("drop=10"), Some(7)).unwrap();
+        let with_seed = FaultPlan::parse("seed=7,drop=10").unwrap();
+        assert_eq!(cfg.fault_plan, Some(with_seed));
+        let cfg = build_live("channel", Some("seed=3,drop=10"), Some(7)).unwrap();
+        assert_eq!(
+            cfg.fault_plan,
+            Some(FaultPlan::parse("seed=3,drop=10").unwrap())
+        );
+        let cfg = build_live("channel", None, Some(7)).unwrap();
+        assert!(cfg.fault_plan.is_none());
+        let cfg = build_live("tcp", Some(""), None).unwrap();
+        assert!(cfg.fault_plan.is_none());
+        assert_eq!(cfg.kind, TransportKind::Tcp);
+    }
+
+    #[test]
+    fn out_path_probe_is_non_clobbering() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("target")
+            .join("sweep-validate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let keep = dir.join("keep.csv");
+        std::fs::write(&keep, "old").unwrap();
+        let keep_s = keep.to_string_lossy().into_owned();
+        validate_out_paths([(keep_s.as_str(), "metrics (CSV)")]).unwrap();
+        assert_eq!(std::fs::read_to_string(&keep).unwrap(), "old");
+        let missing = dir.join("no-such-dir").join("f.jsonl");
+        let missing_s = missing.to_string_lossy().into_owned();
+        let err = validate_out_paths([(missing_s.as_str(), "flight recorder")]).unwrap_err();
+        assert!(err.contains("cannot write flight recorder"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

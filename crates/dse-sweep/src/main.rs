@@ -1,0 +1,231 @@
+//! `dse-sweep` — run a scenario-spec matrix in parallel, aggregate the
+//! per-run metrics, and optionally gate on a committed baseline.
+//!
+//! ```sh
+//! dse-sweep --spec bench_results/sweep_smoke.toml --out target/sweep
+//! dse-sweep --spec spec.toml --out out --jobs 4 \
+//!     --baseline bench_results/BENCH_sweep.json --gate 15
+//! dse-sweep --spec spec.toml --list            # print the matrix, run nothing
+//! ```
+//!
+//! The hidden `run-one` mode is the child-process entry the executor
+//! uses: it re-derives one `RunSpec` from `(spec file, index)`, executes
+//! it in-process, and prints the row as a single JSON line.
+
+use std::path::{Path, PathBuf};
+
+use dse_sweep::{agg, build, exec, execute_run, expand, parse_spec, RunStatus};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dse-sweep --spec FILE --out DIR [options]
+  --spec FILE       TOML scenario spec (required)
+  --out DIR         output directory for rows + aggregates (required unless --list)
+  --jobs N          concurrent runs                  (default: one per core)
+  --baseline FILE   BENCH_sweep.json to diff against
+  --gate PCT        exit 1 when a cell's throughput regresses more than
+                    PCT percent below the baseline (requires --baseline)
+  --list            print the expanded run matrix and exit"
+    );
+    std::process::exit(2)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dse-sweep: {msg}");
+    std::process::exit(2)
+}
+
+struct Args {
+    spec: PathBuf,
+    out: Option<PathBuf>,
+    jobs: usize,
+    baseline: Option<PathBuf>,
+    gate: Option<f64>,
+    list: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        spec: PathBuf::new(),
+        out: None,
+        jobs: 0,
+        baseline: None,
+        gate: None,
+        list: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || -> Result<&String, String> {
+            it.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--spec" => args.spec = PathBuf::from(val()?),
+            "--out" => args.out = Some(PathBuf::from(val()?)),
+            "--jobs" => {
+                args.jobs = val()?
+                    .parse()
+                    .map_err(|_| "--jobs: not a number".to_string())?
+            }
+            "--baseline" => args.baseline = Some(PathBuf::from(val()?)),
+            "--gate" => {
+                let pct: f64 = val()?
+                    .parse()
+                    .map_err(|_| "--gate: not a number".to_string())?;
+                if !(0.0..=100.0).contains(&pct) {
+                    return Err("--gate: percent must be in 0..=100".into());
+                }
+                args.gate = Some(pct);
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.spec.as_os_str().is_empty() {
+        return Err("--spec is required".into());
+    }
+    if args.gate.is_some() && args.baseline.is_none() {
+        return Err("--gate requires --baseline".into());
+    }
+    if args.out.is_none() && !args.list {
+        return Err("--out is required".into());
+    }
+    Ok(args)
+}
+
+fn load_spec(path: &Path) -> dse_sweep::SweepSpec {
+    let src = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    parse_spec(&src).unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())))
+}
+
+/// Hidden child mode: `dse-sweep run-one --spec FILE --index I`.
+fn run_one(argv: &[String]) -> ! {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut index: Option<usize> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match (flag.as_str(), it.next()) {
+            ("--spec", Some(v)) => spec_path = Some(PathBuf::from(v)),
+            ("--index", Some(v)) => index = v.parse().ok(),
+            _ => fail("run-one: expected --spec FILE --index I"),
+        }
+    }
+    let (Some(spec_path), Some(index)) = (spec_path, index) else {
+        fail("run-one: expected --spec FILE --index I");
+    };
+    let spec = load_spec(&spec_path);
+    let runs = expand(&spec);
+    let Some(run_spec) = runs.get(index) else {
+        fail(&format!(
+            "run-one: index {index} out of range ({} runs)",
+            runs.len()
+        ));
+    };
+    let record = execute_run(run_spec);
+    println!("{}", record.to_json_line());
+    std::process::exit(if record.status == RunStatus::Ok { 0 } else { 1 })
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("run-one") {
+        run_one(&argv[1..]);
+    }
+    let args = parse_args(&argv).unwrap_or_else(|err| {
+        if err != "help" {
+            eprintln!("{err}");
+        }
+        usage()
+    });
+    let spec = load_spec(&args.spec);
+    let runs = expand(&spec);
+    if runs.is_empty() {
+        fail("the spec expands to zero runs");
+    }
+    if args.list {
+        for r in &runs {
+            println!("{:>4}  {}  seed={}", r.idx, r.cell_id(), r.seed);
+        }
+        println!("{} runs", runs.len());
+        return;
+    }
+    let out_dir = args.out.expect("validated");
+    std::fs::create_dir_all(&out_dir)
+        .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", out_dir.display())));
+    let out_path = |name: &str| out_dir.join(name);
+    let outs = [
+        ("runs.jsonl", "per-run rows (JSONL)"),
+        ("runs.csv", "per-run rows (CSV)"),
+        ("summary.txt", "aggregate table"),
+        ("BENCH_sweep.json", "trajectory file"),
+    ];
+    let paths: Vec<(String, &str)> = outs
+        .iter()
+        .map(|(name, what)| (out_path(name).to_string_lossy().into_owned(), *what))
+        .collect();
+    build::validate_out_paths(paths.iter().map(|(p, w)| (p.as_str(), *w)))
+        .unwrap_or_else(|e| fail(&e));
+
+    let exe = std::env::current_exe()
+        .unwrap_or_else(|e| fail(&format!("cannot locate own executable: {e}")));
+    let total = runs.len();
+    eprintln!(
+        "# sweep '{}': {} runs, {} concurrent",
+        spec.name,
+        total,
+        if args.jobs == 0 {
+            exec::default_jobs()
+        } else {
+            args.jobs
+        }
+    );
+    let mut done = 0usize;
+    let rows = exec::run_matrix(&exe, &args.spec, &runs, args.jobs, |rec| {
+        done += 1;
+        eprintln!(
+            "[{done}/{total}] {} seed={} {} {:.0}ms",
+            rec.cell,
+            rec.seed,
+            rec.status.name(),
+            rec.wall_ns as f64 / 1e6
+        );
+    });
+
+    let jsonl: String = rows.iter().map(|r| r.to_json_line() + "\n").collect();
+    let csv: String = std::iter::once(dse_sweep::run::CSV_HEADER.to_string())
+        .chain(rows.iter().map(|r| r.to_csv_line()))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    let cells = agg::aggregate(&rows);
+    let table = agg::render_table(&cells);
+    let bench = agg::to_bench_json(&spec.name, &cells);
+    let write = |name: &str, data: &str| {
+        let path = out_path(name);
+        std::fs::write(&path, data)
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+    };
+    write("runs.jsonl", &jsonl);
+    write("runs.csv", &csv);
+    write("summary.txt", &table);
+    write("BENCH_sweep.json", &bench);
+    println!("{table}");
+
+    let mut exit = 0;
+    if let Some(baseline_path) = &args.baseline {
+        let src = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", baseline_path.display())));
+        let baseline = agg::parse_bench_json(&src)
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", baseline_path.display())));
+        let gate_pct = args.gate.unwrap_or(f64::INFINITY);
+        let report = agg::diff(&cells, &baseline, gate_pct);
+        print!("{}", report.render());
+        if args.gate.is_some() && !report.regressions.is_empty() {
+            exit = 1;
+        }
+    }
+    println!("rows: {}  outputs: {}", rows.len(), out_dir.display());
+    std::process::exit(exit);
+}

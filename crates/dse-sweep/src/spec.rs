@@ -1,0 +1,685 @@
+//! Scenario specs: the TOML sweep description, its normalized in-memory
+//! form, and the expansion into a flat, deterministic run matrix.
+//!
+//! A spec is a `[sweep]` header plus one or more `[[scenario]]` blocks.
+//! Every scenario field that names an axis (`app`, `engine`, `transport`,
+//! `platform`, `procs`, `gm_window`, `cache`, `fault_plan`) accepts either
+//! a scalar or an array; scalars are normalized to one-element arrays.
+//! Expansion is the Cartesian product of the axes with the seed list,
+//! ordered exactly as written — the run index is stable, which is what
+//! lets a subprocess re-derive its own `RunSpec` from `(spec file, index)`.
+//!
+//! Engine-specific axes follow the same rules `dse-run` enforces on flags:
+//! `transport`/`fault_plan` only vary live runs, `platform`/`gm_window`/
+//! `cache` only vary simulated runs. An axis that does not apply to the
+//! engine being expanded is pinned to its neutral value rather than
+//! multiplied, so a mixed `engine = ["sim", "live"]` scenario produces no
+//! meaningless duplicate cells.
+
+use crate::build::{self, AppKind, AppParams};
+use crate::toml::{self, Table, Value};
+
+/// Default per-run hard timeout.
+pub const DEFAULT_TIMEOUT_MS: u64 = 60_000;
+
+/// A parsed, normalized sweep spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Sweep name (labels output files and the aggregate table).
+    pub name: String,
+    /// Per-run hard timeout in milliseconds.
+    pub timeout_ms: u64,
+    /// Seed list applied to every scenario that has no override.
+    pub seeds: Vec<u64>,
+    /// Scenario blocks in file order.
+    pub scenarios: Vec<Scenario>,
+}
+
+/// One `[[scenario]]` block, fully normalized (every axis an array, every
+/// scalar filled with its default).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Scenario name; the leading component of every cell id.
+    pub name: String,
+    /// Applications to run (axis).
+    pub apps: Vec<String>,
+    /// Engines: `sim` and/or `live` (axis).
+    pub engines: Vec<String>,
+    /// Live-engine wire transports (axis; ignored for sim runs).
+    pub transports: Vec<String>,
+    /// Simulated platform presets (axis; ignored for live runs).
+    pub platforms: Vec<String>,
+    /// PE counts (axis).
+    pub procs: Vec<usize>,
+    /// GM pipeline windows; `0` means the engine default (axis, sim only).
+    pub gm_windows: Vec<usize>,
+    /// GM cache on/off (axis, sim only).
+    pub caches: Vec<bool>,
+    /// Fault-plan specs; `""` means a clean mesh (axis, live only).
+    pub fault_plans: Vec<String>,
+    /// Seed override; empty uses the sweep-level list.
+    pub seeds: Vec<u64>,
+    /// Simulated machine count.
+    pub machines: usize,
+    /// Simulated software organization (`linked` | `legacy`).
+    pub organization: String,
+    /// Simulated protocol stack (`tcp` | `udp` | `raw`).
+    pub protocol: String,
+    /// Per-run timeout override; `0` uses the sweep-level value.
+    pub timeout_ms: u64,
+    /// Application parameters (shared by every run of the scenario).
+    pub params: AppParams,
+}
+
+impl Default for Scenario {
+    fn default() -> Scenario {
+        Scenario {
+            name: "scenario".into(),
+            apps: vec!["gauss".into()],
+            engines: vec!["sim".into()],
+            transports: vec!["channel".into()],
+            platforms: vec!["sunos".into()],
+            procs: vec![4],
+            gm_windows: vec![0],
+            caches: vec![false],
+            fault_plans: vec![String::new()],
+            seeds: Vec::new(),
+            machines: 6,
+            organization: "linked".into(),
+            protocol: "tcp".into(),
+            timeout_ms: 0,
+            params: AppParams::default(),
+        }
+    }
+}
+
+/// One fully-resolved run: a single cell instance at a single seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Index in the expanded matrix (stable across re-parses of the spec).
+    pub idx: usize,
+    /// Owning scenario name.
+    pub scenario: String,
+    /// Application name.
+    pub app: String,
+    /// `sim` or `live`.
+    pub engine: String,
+    /// Live transport (`""` on sim runs).
+    pub transport: String,
+    /// Simulated platform id (`""` on live runs).
+    pub platform: String,
+    /// PE count.
+    pub procs: usize,
+    /// Simulated machine count.
+    pub machines: usize,
+    /// Simulated software organization.
+    pub organization: String,
+    /// Simulated protocol stack.
+    pub protocol: String,
+    /// GM pipeline window (`0` = engine default).
+    pub gm_window: usize,
+    /// GM cache enabled (sim only).
+    pub cache: bool,
+    /// Fault-plan spec (`""` = clean mesh; live only).
+    pub fault_plan: String,
+    /// Seed for this run.
+    pub seed: u64,
+    /// Application parameters.
+    pub params: AppParams,
+    /// Hard wall-clock timeout for this run.
+    pub timeout_ms: u64,
+}
+
+impl RunSpec {
+    /// The cell id: every axis except the seed, joined into a stable
+    /// dotted key. Runs of one cell differ only by seed; aggregation and
+    /// baseline diffing group by this id.
+    pub fn cell_id(&self) -> String {
+        let variant = if self.engine == "sim" {
+            let mut v = format!(
+                "{}.w{}.c{}",
+                self.platform,
+                self.gm_window,
+                u8::from(self.cache)
+            );
+            if self.organization != "linked" {
+                v.push_str(&format!(".{}", self.organization));
+            }
+            if self.protocol != "tcp" {
+                v.push_str(&format!(".{}", self.protocol));
+            }
+            v
+        } else if self.fault_plan.is_empty() {
+            self.transport.clone()
+        } else {
+            format!("{}.f-{}", self.transport, sanitize(&self.fault_plan))
+        };
+        format!(
+            "{}.{}.{}.{}.p{}",
+            self.scenario, self.app, self.engine, variant, self.procs
+        )
+    }
+}
+
+/// Fold an arbitrary axis value (e.g. a fault-plan spec) into a cell-id
+/// component: alphanumerics pass through, everything else becomes `-`.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+
+fn want_str(t: &Table, key: &str) -> Result<Option<String>, String> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("{key}: expected a string")),
+    }
+}
+
+fn want_u64(t: &Table, key: &str) -> Result<Option<u64>, String> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => match v.as_int() {
+            Some(n) if n >= 0 => Ok(Some(n as u64)),
+            _ => Err(format!("{key}: expected a non-negative integer")),
+        },
+    }
+}
+
+fn want_usize(t: &Table, key: &str) -> Result<Option<usize>, String> {
+    Ok(want_u64(t, key)?.map(|n| n as usize))
+}
+
+fn str_list(t: &Table, key: &str) -> Result<Option<Vec<String>>, String> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let items: Option<Vec<String>> = v
+                .as_list()
+                .into_iter()
+                .map(|e| e.as_str().map(str::to_string))
+                .collect();
+            let items = items.ok_or_else(|| format!("{key}: expected string(s)"))?;
+            if items.is_empty() {
+                return Err(format!("{key}: axis must not be empty"));
+            }
+            Ok(Some(items))
+        }
+    }
+}
+
+fn usize_list(t: &Table, key: &str) -> Result<Option<Vec<usize>>, String> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let items: Option<Vec<usize>> = v
+                .as_list()
+                .into_iter()
+                .map(|e| e.as_int().filter(|n| *n >= 0).map(|n| n as usize))
+                .collect();
+            let items = items.ok_or_else(|| format!("{key}: expected non-negative integer(s)"))?;
+            if items.is_empty() {
+                return Err(format!("{key}: axis must not be empty"));
+            }
+            Ok(Some(items))
+        }
+    }
+}
+
+fn u64_list(t: &Table, key: &str) -> Result<Option<Vec<u64>>, String> {
+    Ok(usize_list(t, key)?.map(|v| v.into_iter().map(|n| n as u64).collect()))
+}
+
+fn bool_list(t: &Table, key: &str) -> Result<Option<Vec<bool>>, String> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let items: Option<Vec<bool>> = v.as_list().into_iter().map(Value::as_bool).collect();
+            let items = items.ok_or_else(|| format!("{key}: expected boolean(s)"))?;
+            if items.is_empty() {
+                return Err(format!("{key}: axis must not be empty"));
+            }
+            Ok(Some(items))
+        }
+    }
+}
+
+const SWEEP_KEYS: &[&str] = &["name", "timeout_ms", "seeds"];
+const SCENARIO_KEYS: &[&str] = &[
+    "name",
+    "app",
+    "engine",
+    "transport",
+    "platform",
+    "procs",
+    "gm_window",
+    "cache",
+    "fault_plan",
+    "seeds",
+    "machines",
+    "organization",
+    "protocol",
+    "timeout_ms",
+    "n",
+    "block",
+    "size",
+    "depth",
+    "jobs",
+];
+
+fn reject_unknown(t: &Table, allowed: &[&str], what: &str) -> Result<(), String> {
+    for key in t.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("{what}: unknown key '{key}'"));
+        }
+    }
+    Ok(())
+}
+
+/// Parse a sweep spec from TOML source. All fields are validated here —
+/// unknown keys, unknown apps/engines/transports/platforms, and empty
+/// axes are errors — so expansion cannot fail later.
+pub fn parse_spec(src: &str) -> Result<SweepSpec, String> {
+    let doc = toml::parse(src)?;
+    if let Some(root) = doc.tables.get("") {
+        if !root.is_empty() {
+            return Err(format!(
+                "top-level keys must live under [sweep]: '{}'",
+                root.keys().next().unwrap()
+            ));
+        }
+    }
+    for name in doc.tables.keys() {
+        if !name.is_empty() && name != "sweep" {
+            return Err(format!("unknown table [{name}]"));
+        }
+    }
+    for name in doc.arrays.keys() {
+        if name != "scenario" {
+            return Err(format!("unknown table array [[{name}]]"));
+        }
+    }
+    let sweep = doc.table("sweep");
+    reject_unknown(&sweep, SWEEP_KEYS, "[sweep]")?;
+    let mut spec = SweepSpec {
+        name: want_str(&sweep, "name")?.unwrap_or_else(|| "sweep".into()),
+        timeout_ms: want_u64(&sweep, "timeout_ms")?.unwrap_or(DEFAULT_TIMEOUT_MS),
+        seeds: u64_list(&sweep, "seeds")?.unwrap_or_else(|| vec![1]),
+        scenarios: Vec::new(),
+    };
+    if spec.timeout_ms == 0 {
+        return Err("[sweep] timeout_ms: must be positive".into());
+    }
+    let blocks = doc
+        .arrays
+        .get("scenario")
+        .ok_or("spec has no [[scenario]] blocks")?;
+    for (i, t) in blocks.iter().enumerate() {
+        let what = format!("[[scenario]] #{}", i + 1);
+        reject_unknown(t, SCENARIO_KEYS, &what)?;
+        let d = Scenario::default();
+        let sc = Scenario {
+            name: want_str(t, "name")?.unwrap_or_else(|| format!("s{}", i + 1)),
+            apps: str_list(t, "app")?.unwrap_or(d.apps),
+            engines: str_list(t, "engine")?.unwrap_or(d.engines),
+            transports: str_list(t, "transport")?.unwrap_or(d.transports),
+            platforms: str_list(t, "platform")?.unwrap_or(d.platforms),
+            procs: usize_list(t, "procs")?.unwrap_or(d.procs),
+            gm_windows: usize_list(t, "gm_window")?.unwrap_or(d.gm_windows),
+            caches: bool_list(t, "cache")?.unwrap_or(d.caches),
+            fault_plans: str_list(t, "fault_plan")?.unwrap_or(d.fault_plans),
+            seeds: u64_list(t, "seeds")?.unwrap_or_default(),
+            machines: want_usize(t, "machines")?.unwrap_or(d.machines),
+            organization: want_str(t, "organization")?.unwrap_or(d.organization),
+            protocol: want_str(t, "protocol")?.unwrap_or(d.protocol),
+            timeout_ms: want_u64(t, "timeout_ms")?.unwrap_or(0),
+            params: AppParams {
+                n: want_usize(t, "n")?.unwrap_or(AppParams::default().n),
+                block: want_usize(t, "block")?.unwrap_or(AppParams::default().block),
+                size: want_usize(t, "size")?.unwrap_or(0),
+                depth: want_usize(t, "depth")?.unwrap_or(AppParams::default().depth as usize)
+                    as u32,
+                jobs: want_usize(t, "jobs")?.unwrap_or(AppParams::default().jobs),
+            },
+        };
+        if sc.name.is_empty() || sc.name.contains('.') || sc.name.contains(char::is_whitespace) {
+            return Err(format!("{what}: bad scenario name '{}'", sc.name));
+        }
+        validate_scenario(&what, &sc)?;
+        spec.scenarios.push(sc);
+    }
+    Ok(spec)
+}
+
+fn validate_scenario(what: &str, sc: &Scenario) -> Result<(), String> {
+    for app in &sc.apps {
+        let kind = AppKind::parse(app).map_err(|e| format!("{what}: {e}"))?;
+        if sc.engines.iter().any(|e| e == "live") && !kind.live_ok() {
+            return Err(format!(
+                "{what}: app '{app}' does not run on the live engine"
+            ));
+        }
+    }
+    for engine in &sc.engines {
+        if engine != "sim" && engine != "live" {
+            return Err(format!("{what}: engine '{engine}' is not sim or live"));
+        }
+    }
+    for tr in &sc.transports {
+        build::transport_kind(tr).map_err(|e| format!("{what}: {e}"))?;
+    }
+    for p in &sc.platforms {
+        build::platform_by_id(p).map_err(|e| format!("{what}: {e}"))?;
+    }
+    for plan in &sc.fault_plans {
+        if !plan.is_empty() {
+            build::check_fault_plan(plan).map_err(|e| format!("{what}: fault_plan: {e}"))?;
+        }
+    }
+    build::check_organization(&sc.organization).map_err(|e| format!("{what}: {e}"))?;
+    build::check_protocol(&sc.protocol).map_err(|e| format!("{what}: {e}"))?;
+    if sc.procs.contains(&0) {
+        return Err(format!("{what}: procs must be positive"));
+    }
+    if sc.machines == 0 {
+        return Err(format!("{what}: machines must be positive"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// expansion
+
+/// Expand a spec into its flat run matrix. The order is deterministic:
+/// scenarios in file order, then app, engine, the engine's variant axes,
+/// procs, and seeds, each innermost-last.
+pub fn expand(spec: &SweepSpec) -> Vec<RunSpec> {
+    let mut runs = Vec::new();
+    for sc in &spec.scenarios {
+        let seeds = if sc.seeds.is_empty() {
+            &spec.seeds
+        } else {
+            &sc.seeds
+        };
+        let timeout_ms = if sc.timeout_ms == 0 {
+            spec.timeout_ms
+        } else {
+            sc.timeout_ms
+        };
+        let push = |app: &str,
+                    engine: &str,
+                    transport: &str,
+                    platform: &str,
+                    gm_window: usize,
+                    cache: bool,
+                    fault_plan: &str,
+                    procs: usize,
+                    seed: u64,
+                    runs: &mut Vec<RunSpec>| {
+            runs.push(RunSpec {
+                idx: runs.len(),
+                scenario: sc.name.clone(),
+                app: app.to_string(),
+                engine: engine.to_string(),
+                transport: transport.to_string(),
+                platform: platform.to_string(),
+                procs,
+                machines: sc.machines,
+                organization: sc.organization.clone(),
+                protocol: sc.protocol.clone(),
+                gm_window,
+                cache,
+                fault_plan: fault_plan.to_string(),
+                seed,
+                params: sc.params,
+                timeout_ms,
+            });
+        };
+        for app in &sc.apps {
+            for engine in &sc.engines {
+                if engine == "sim" {
+                    for platform in &sc.platforms {
+                        for window in &sc.gm_windows {
+                            for cache in &sc.caches {
+                                for procs in &sc.procs {
+                                    for seed in seeds {
+                                        push(
+                                            app, engine, "", platform, *window, *cache, "", *procs,
+                                            *seed, &mut runs,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    for transport in &sc.transports {
+                        for plan in &sc.fault_plans {
+                            for procs in &sc.procs {
+                                for seed in seeds {
+                                    push(
+                                        app, engine, transport, "", 0, false, plan, *procs, *seed,
+                                        &mut runs,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    runs
+}
+
+// ---------------------------------------------------------------------------
+// re-serialization
+
+fn toml_str_array(items: &[String]) -> String {
+    let inner: Vec<String> = items
+        .iter()
+        .map(|s| Value::Str(s.clone()).to_toml())
+        .collect();
+    format!("[{}]", inner.join(", "))
+}
+
+impl SweepSpec {
+    /// Serialize back to TOML in fully-normalized form: every axis is an
+    /// explicit array and every default is written out, so
+    /// `parse_spec(spec.to_toml()) == *spec` exactly.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str("[sweep]\n");
+        out.push_str(&format!(
+            "name = {}\n",
+            Value::Str(self.name.clone()).to_toml()
+        ));
+        out.push_str(&format!("timeout_ms = {}\n", self.timeout_ms));
+        let seeds: Vec<usize> = self.seeds.iter().map(|s| *s as usize).collect();
+        out.push_str(&format!("seeds = {}\n", toml_usize_array(&seeds)));
+        for sc in &self.scenarios {
+            out.push_str("\n[[scenario]]\n");
+            out.push_str(&format!(
+                "name = {}\n",
+                Value::Str(sc.name.clone()).to_toml()
+            ));
+            out.push_str(&format!("app = {}\n", toml_str_array(&sc.apps)));
+            out.push_str(&format!("engine = {}\n", toml_str_array(&sc.engines)));
+            out.push_str(&format!("transport = {}\n", toml_str_array(&sc.transports)));
+            out.push_str(&format!("platform = {}\n", toml_str_array(&sc.platforms)));
+            out.push_str(&format!("procs = {}\n", toml_usize_array(&sc.procs)));
+            out.push_str(&format!(
+                "gm_window = {}\n",
+                toml_usize_array(&sc.gm_windows)
+            ));
+            let caches: Vec<String> = sc.caches.iter().map(|b| b.to_string()).collect();
+            out.push_str(&format!("cache = [{}]\n", caches.join(", ")));
+            out.push_str(&format!(
+                "fault_plan = {}\n",
+                toml_str_array(&sc.fault_plans)
+            ));
+            if !sc.seeds.is_empty() {
+                let seeds: Vec<usize> = sc.seeds.iter().map(|s| *s as usize).collect();
+                out.push_str(&format!("seeds = {}\n", toml_usize_array(&seeds)));
+            }
+            out.push_str(&format!("machines = {}\n", sc.machines));
+            out.push_str(&format!(
+                "organization = {}\n",
+                Value::Str(sc.organization.clone()).to_toml()
+            ));
+            out.push_str(&format!(
+                "protocol = {}\n",
+                Value::Str(sc.protocol.clone()).to_toml()
+            ));
+            if sc.timeout_ms != 0 {
+                out.push_str(&format!("timeout_ms = {}\n", sc.timeout_ms));
+            }
+            let p = &sc.params;
+            out.push_str(&format!("n = {}\n", p.n));
+            out.push_str(&format!("block = {}\n", p.block));
+            if p.size != 0 {
+                out.push_str(&format!("size = {}\n", p.size));
+            }
+            out.push_str(&format!("depth = {}\n", p.depth));
+            out.push_str(&format!("jobs = {}\n", p.jobs));
+        }
+        out
+    }
+}
+
+fn toml_usize_array(items: &[usize]) -> String {
+    let inner: Vec<String> = items.iter().map(|n| n.to_string()).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"
+[sweep]
+name = "demo"
+timeout_ms = 5000
+seeds = [1, 2]
+
+[[scenario]]
+name = "gs"
+app = "gauss"
+engine = ["sim", "live"]
+transport = ["channel", "tcp"]
+platform = ["sunos", "linux"]
+procs = [2, 4]
+n = 64
+"#;
+
+    #[test]
+    fn parse_fills_defaults_and_normalizes() {
+        let spec = parse_spec(SPEC).unwrap();
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.timeout_ms, 5000);
+        assert_eq!(spec.seeds, vec![1, 2]);
+        let sc = &spec.scenarios[0];
+        assert_eq!(sc.apps, vec!["gauss"]);
+        assert_eq!(sc.engines, vec!["sim", "live"]);
+        assert_eq!(sc.gm_windows, vec![0]);
+        assert_eq!(sc.caches, vec![false]);
+        assert_eq!(sc.params.n, 64);
+        assert_eq!(sc.machines, 6);
+    }
+
+    #[test]
+    fn expansion_multiplies_only_applicable_axes() {
+        let spec = parse_spec(SPEC).unwrap();
+        let runs = expand(&spec);
+        // sim: 2 platforms x 2 procs x 2 seeds = 8; live: 2 transports x
+        // 2 procs x 2 seeds = 8.
+        assert_eq!(runs.len(), 16);
+        let sim: Vec<_> = runs.iter().filter(|r| r.engine == "sim").collect();
+        let live: Vec<_> = runs.iter().filter(|r| r.engine == "live").collect();
+        assert_eq!(sim.len(), 8);
+        assert_eq!(live.len(), 8);
+        assert!(sim
+            .iter()
+            .all(|r| r.transport.is_empty() && !r.platform.is_empty()));
+        assert!(live
+            .iter()
+            .all(|r| r.platform.is_empty() && !r.transport.is_empty()));
+        // Indices are dense and ordered.
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.idx, i);
+        }
+    }
+
+    #[test]
+    fn cell_ids_group_seeds() {
+        let spec = parse_spec(SPEC).unwrap();
+        let runs = expand(&spec);
+        let mut cells: Vec<String> = runs.iter().map(RunSpec::cell_id).collect();
+        cells.dedup();
+        // 16 runs at 2 seeds each -> 8 distinct cells, adjacent in order.
+        assert_eq!(cells.len(), 8);
+        assert!(cells.contains(&"gs.gauss.sim.sunos.w0.c0.p2".to_string()));
+        assert!(cells.contains(&"gs.gauss.live.tcp.p4".to_string()));
+    }
+
+    #[test]
+    fn roundtrip_through_toml_is_exact() {
+        let spec = parse_spec(SPEC).unwrap();
+        let back = parse_spec(&spec.to_toml()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn unknown_keys_and_values_rejected() {
+        assert!(parse_spec("[[scenario]]\nfrobnicate = 1")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(parse_spec("[[scenario]]\napp = \"warp\"")
+            .unwrap_err()
+            .contains("warp"));
+        assert!(parse_spec("[[scenario]]\nengine = \"warp\"")
+            .unwrap_err()
+            .contains("not sim or live"));
+        assert!(parse_spec("[[scenario]]\nprocs = [0]")
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_spec("[sweep]\nseeds = []\n[[scenario]]\n")
+            .unwrap_err()
+            .contains("empty"));
+        assert!(parse_spec("").unwrap_err().contains("no [[scenario]]"));
+        assert!(parse_spec("[typo]\n[[scenario]]\n")
+            .unwrap_err()
+            .contains("unknown table"));
+    }
+
+    #[test]
+    fn gauss_mp_with_live_engine_rejected() {
+        let err = parse_spec("[[scenario]]\napp = \"gauss-mp\"\nengine = [\"sim\", \"live\"]")
+            .unwrap_err();
+        assert!(err.contains("does not run on the live engine"), "{err}");
+    }
+
+    #[test]
+    fn fault_plan_axis_validated_and_in_cell_id() {
+        let err =
+            parse_spec("[[scenario]]\nengine = \"live\"\nfault_plan = \"frob=1\"").unwrap_err();
+        assert!(err.contains("fault_plan"), "{err}");
+        let spec = parse_spec(
+            "[[scenario]]\nname = \"f\"\nengine = \"live\"\nfault_plan = [\"\", \"seed=7,drop=10\"]",
+        )
+        .unwrap();
+        let runs = expand(&spec);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].cell_id(), "f.gauss.live.channel.p4");
+        assert_eq!(
+            runs[1].cell_id(),
+            "f.gauss.live.channel.f-seed-7-drop-10.p4"
+        );
+    }
+}

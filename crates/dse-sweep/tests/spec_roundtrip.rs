@@ -1,0 +1,164 @@
+//! Property tests for the scenario-spec layer: a normalized spec
+//! survives `to_toml` → `parse_spec` exactly, expansion is deterministic
+//! with dense indices and a predictable cardinality, and the cell id is
+//! a function of every axis except the seed.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use dse_sweep::spec::Scenario;
+use dse_sweep::{expand, parse_spec, AppParams, SweepSpec};
+
+/// Non-empty subset of `items`, chosen by bitmask so the result is
+/// duplicate-free and keeps the source order.
+fn subset(items: &'static [&'static str]) -> impl Strategy<Value = Vec<String>> {
+    let n = items.len();
+    (1u64..(1 << n)).prop_map(move |mask| {
+        (0..n)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(|i| items[i].to_string())
+            .collect()
+    })
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    let axes = (
+        subset(&["gauss", "gauss-mp", "dct", "othello", "matmul", "knights"]),
+        subset(&["sim", "live"]),
+        subset(&["channel", "tcp"]),
+        subset(&["sunos", "aix", "linux"]),
+        vec(1usize..9, 1..3),
+        vec(0usize..8, 1..3),
+    );
+    let variants = (
+        prop_oneof![Just(vec![false]), Just(vec![true]), Just(vec![false, true]),],
+        prop_oneof![
+            Just(vec![String::new()]),
+            Just(vec![String::new(), "seed=7,drop=10".to_string()]),
+        ],
+        prop_oneof![Just(Vec::<u64>::new()), vec(1u64..100, 1..3)],
+        1usize..8,
+        prop_oneof![Just("linked".to_string()), Just("legacy".to_string())],
+        prop_oneof![
+            Just("tcp".to_string()),
+            Just("udp".to_string()),
+            Just("raw".to_string()),
+        ],
+    );
+    let extras = (
+        prop_oneof![Just(0u64), 1u64..5000],
+        1usize..300,
+        1usize..16,
+        prop_oneof![Just(0usize), 16usize..64],
+        1usize..6,
+        1usize..20,
+    );
+    (any::<u64>(), axes, variants, extras).prop_map(|(tag, axes, variants, extras)| {
+        let (mut apps, engines, transports, platforms, procs, gm_windows) = axes;
+        let (caches, fault_plans, seeds, machines, organization, protocol) = variants;
+        let (timeout_ms, n, block, size, depth, jobs) = extras;
+        // gauss-mp is sim-only; keep the generated spec valid.
+        if engines.iter().any(|e| e == "live") {
+            apps.retain(|a| a != "gauss-mp");
+            if apps.is_empty() {
+                apps.push("gauss".into());
+            }
+        }
+        Scenario {
+            name: format!("sc{}", tag % 1000),
+            apps,
+            engines,
+            transports,
+            platforms,
+            procs,
+            gm_windows,
+            caches,
+            fault_plans,
+            seeds,
+            machines,
+            organization,
+            protocol,
+            timeout_ms,
+            params: AppParams {
+                n,
+                block,
+                size,
+                depth: depth as u32,
+                jobs,
+            },
+        }
+    })
+}
+
+fn sweep_spec() -> impl Strategy<Value = SweepSpec> {
+    (
+        any::<u64>(),
+        1u64..120_000,
+        vec(1u64..1000, 1..4),
+        vec(scenario(), 1..4),
+    )
+        .prop_map(|(tag, timeout_ms, seeds, scenarios)| SweepSpec {
+            name: format!("sweep{}", tag % 100),
+            timeout_ms,
+            seeds,
+            scenarios,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn toml_roundtrip_is_exact(spec in sweep_spec()) {
+        let toml = spec.to_toml();
+        let back = parse_spec(&toml).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(&back, &spec, "spec did not survive round-trip:\n{}", toml);
+        // Re-serialization is a fixpoint: normalized in, normalized out.
+        prop_assert_eq!(back.to_toml(), toml);
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_dense(spec in sweep_spec()) {
+        let runs = expand(&spec);
+        prop_assert_eq!(&runs, &expand(&spec));
+        // The matrix survives a serialize/parse cycle untouched — this is
+        // what lets a child process re-derive its RunSpec from (file, idx).
+        let reparsed = parse_spec(&spec.to_toml()).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(&runs, &expand(&reparsed));
+        for (i, r) in runs.iter().enumerate() {
+            prop_assert_eq!(r.idx, i);
+        }
+        // Cardinality: per scenario, sim multiplies platform x window x
+        // cache while live multiplies transport x fault plan; both then
+        // multiply apps x procs x seeds.
+        let mut want = 0usize;
+        for sc in &spec.scenarios {
+            let seeds = if sc.seeds.is_empty() { spec.seeds.len() } else { sc.seeds.len() };
+            for engine in &sc.engines {
+                let variants = if engine == "sim" {
+                    sc.platforms.len() * sc.gm_windows.len() * sc.caches.len()
+                } else {
+                    sc.transports.len() * sc.fault_plans.len()
+                };
+                want += sc.apps.len() * variants * sc.procs.len() * seeds;
+            }
+        }
+        prop_assert_eq!(runs.len(), want);
+    }
+
+    #[test]
+    fn cell_id_excludes_exactly_the_seed(spec in sweep_spec()) {
+        let runs = expand(&spec);
+        for r in &runs {
+            let id = r.cell_id();
+            let mut reseeded = r.clone();
+            reseeded.seed ^= 1;
+            prop_assert_eq!(&reseeded.cell_id(), &id);
+            prop_assert!(id.ends_with(&format!(".p{}", r.procs)), "{}", id);
+            prop_assert!(
+                id.starts_with(&format!("{}.{}.{}.", r.scenario, r.app, r.engine)),
+                "{}", id
+            );
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! End-to-end tests that drive the real `dse-sweep` binary: outputs,
+//! cross-process determinism of the per-run rows, the regression gate's
+//! exit codes, and the hard per-run timeout.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use dse_sweep::agg;
+use dse_sweep::run::RunRecord;
+
+const BIN: &str = env!("CARGO_BIN_EXE_dse-sweep");
+
+const SPEC: &str = r#"
+[sweep]
+name = "e2e"
+timeout_ms = 60000
+seeds = [1, 2]
+
+[[scenario]]
+name = "m"
+app = "matmul"
+engine = "sim"
+platform = "sunos"
+procs = [2]
+n = 12
+"#;
+
+/// Fresh scratch directory, unique per test so the suite can run with
+/// any test-thread count.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dse-sweep-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sweep(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn dse-sweep")
+}
+
+fn write_spec(dir: &Path, body: &str) -> PathBuf {
+    let path = dir.join("spec.toml");
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+fn read_rows(out_dir: &Path) -> Vec<RunRecord> {
+    let jsonl = std::fs::read_to_string(out_dir.join("runs.jsonl")).unwrap();
+    jsonl
+        .lines()
+        .map(|l| RunRecord::from_json_line(l).unwrap())
+        .collect()
+}
+
+#[test]
+fn end_to_end_outputs_and_cross_process_determinism() {
+    let dir = scratch("outputs");
+    let spec = write_spec(&dir, SPEC);
+    let out_a = dir.join("a");
+    let out_b = dir.join("b");
+
+    for out in [&out_a, &out_b] {
+        let res = sweep(&[
+            "--spec",
+            spec.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]);
+        assert!(
+            res.status.success(),
+            "sweep failed: {}",
+            String::from_utf8_lossy(&res.stderr)
+        );
+    }
+
+    for name in ["runs.jsonl", "runs.csv", "summary.txt", "BENCH_sweep.json"] {
+        assert!(out_a.join(name).exists(), "missing output {name}");
+    }
+    let csv = std::fs::read_to_string(out_a.join("runs.csv")).unwrap();
+    assert_eq!(csv.lines().count(), 3, "header + one row per run");
+
+    let rows_a = read_rows(&out_a);
+    assert_eq!(rows_a.len(), 2);
+    for row in &rows_a {
+        assert_eq!(row.status.name(), "ok", "note: {}", row.note);
+        assert_eq!(row.cell, "m.matmul.sim.sunos.w0.c0.p2");
+        assert!(row.events > 0, "sim run recorded no events");
+        assert!(row.gm_ops > 0, "sim run recorded no GM ops");
+        assert!(row.virtual_ns > 0);
+    }
+
+    // Same spec + seed => byte-identical rows modulo wall-clock, even
+    // across separate parent processes.
+    let canon = |rows: &[RunRecord]| -> Vec<String> {
+        rows.iter().map(RunRecord::canonical_line).collect()
+    };
+    assert_eq!(canon(&rows_a), canon(&read_rows(&out_b)));
+
+    // The aggregate trajectory file parses and covers exactly one cell.
+    let bench = std::fs::read_to_string(out_a.join("BENCH_sweep.json")).unwrap();
+    let cells = agg::parse_bench_json(&bench).unwrap();
+    assert_eq!(cells.len(), 1);
+    assert_eq!(cells[0].cell, "m.matmul.sim.sunos.w0.c0.p2");
+    assert_eq!(cells[0].runs, 2);
+    assert_eq!(cells[0].ok, 2);
+}
+
+#[test]
+fn gate_exit_codes_follow_the_baseline() {
+    let dir = scratch("gate");
+    let spec = write_spec(&dir, SPEC);
+    let out = dir.join("out");
+    let res = sweep(&[
+        "--spec",
+        spec.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(res.status.success());
+
+    let bench = std::fs::read_to_string(out.join("BENCH_sweep.json")).unwrap();
+    let cells = agg::parse_bench_json(&bench).unwrap();
+
+    // Baseline doctored 100x faster than reality: every cell regresses
+    // far past any gate, so --gate must exit 1.
+    let mut inflated = cells.clone();
+    for c in &mut inflated {
+        c.events_per_sec *= 100.0;
+        c.gm_ops_per_sec *= 100.0;
+    }
+    let fast = dir.join("baseline_fast.json");
+    std::fs::write(&fast, agg::to_bench_json("e2e", &inflated)).unwrap();
+    let res = sweep(&[
+        "--spec",
+        spec.to_str().unwrap(),
+        "--out",
+        dir.join("gate_fail").to_str().unwrap(),
+        "--baseline",
+        fast.to_str().unwrap(),
+        "--gate",
+        "15",
+    ]);
+    assert_eq!(
+        res.status.code(),
+        Some(1),
+        "inflated baseline must trip the gate: {}",
+        String::from_utf8_lossy(&res.stdout)
+    );
+    let report = String::from_utf8_lossy(&res.stdout);
+    assert!(report.contains("gate: FAIL"), "{report}");
+
+    // Baseline doctored 100x slower: no regression is possible, exit 0.
+    let mut deflated = cells;
+    for c in &mut deflated {
+        c.events_per_sec /= 100.0;
+        c.gm_ops_per_sec /= 100.0;
+    }
+    let slow = dir.join("baseline_slow.json");
+    std::fs::write(&slow, agg::to_bench_json("e2e", &deflated)).unwrap();
+    let res = sweep(&[
+        "--spec",
+        spec.to_str().unwrap(),
+        "--out",
+        dir.join("gate_pass").to_str().unwrap(),
+        "--baseline",
+        slow.to_str().unwrap(),
+        "--gate",
+        "15",
+    ]);
+    assert_eq!(
+        res.status.code(),
+        Some(0),
+        "slow baseline must pass the gate: {}",
+        String::from_utf8_lossy(&res.stdout)
+    );
+    assert!(String::from_utf8_lossy(&res.stdout).contains("gate: PASS"));
+}
+
+#[test]
+fn per_run_timeout_kills_the_child() {
+    let dir = scratch("timeout");
+    // 1 ms is shorter than child-process startup, so the run can only
+    // ever end as a timeout — no flakiness on slow machines.
+    let spec = write_spec(
+        &dir,
+        r#"
+[sweep]
+name = "slow"
+timeout_ms = 1
+seeds = [1]
+
+[[scenario]]
+name = "g"
+app = "gauss"
+engine = "sim"
+procs = [4]
+n = 400
+"#,
+    );
+    let out = dir.join("out");
+    let res = sweep(&[
+        "--spec",
+        spec.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(
+        res.status.success(),
+        "timeouts are recorded, not fatal: {}",
+        String::from_utf8_lossy(&res.stderr)
+    );
+    let rows = read_rows(&out);
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].status.name(), "timeout");
+    let bench = std::fs::read_to_string(out.join("BENCH_sweep.json")).unwrap();
+    let cells = agg::parse_bench_json(&bench).unwrap();
+    assert_eq!(cells[0].timeouts, 1);
+    assert_eq!(cells[0].ok, 0);
+}
+
+#[test]
+fn list_mode_prints_the_matrix_without_running() {
+    let dir = scratch("list");
+    let spec = write_spec(&dir, SPEC);
+    let res = sweep(&["--spec", spec.to_str().unwrap(), "--list"]);
+    assert!(res.status.success());
+    let stdout = String::from_utf8_lossy(&res.stdout);
+    assert!(stdout.contains("m.matmul.sim.sunos.w0.c0.p2"), "{stdout}");
+    assert!(stdout.contains("2 runs"), "{stdout}");
+}

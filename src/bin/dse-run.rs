@@ -23,12 +23,10 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use dse::apps::{dct, gauss_seidel, gauss_seidel_mp, knights, matmul, othello};
-use dse::live::{
-    try_run_live, try_run_live_watched, FaultPlan, LiveCtx, LiveRunConfig, LiveRunResult,
-    TransportKind,
-};
-use dse::net::Protocol;
+use dse::live::{try_run_live, try_run_live_watched, LiveCtx, LiveRunConfig, LiveRunResult};
 use dse::prelude::*;
+use dse_sweep::build;
+use dse_sweep::run::RunStatus;
 use dse_trace::{analyze, gantt};
 
 #[derive(Debug, Clone, PartialEq)]
@@ -84,7 +82,11 @@ fn usage() -> ! {
   --watchdog-ms MS             GM stall watchdog deadline     (default 250)
   --flight-json PATH           write the flight-recorder ring (JSONL)
   --fault-plan SPEC            inject deterministic transport faults (live engine)
-                               e.g. seed=7,drop=10,dup=5,corrupt=3,delay=20:2,disconnect=2:40"
+                               e.g. seed=7,drop=10,dup=5,corrupt=3,delay=20:2,disconnect=2:40
+
+or run one cell of a sweep scenario spec (see dse-sweep):
+  dse-run --scenario FILE            list the spec's cells
+  dse-run --scenario FILE --cell ID  run every seed of that cell"
     );
     std::process::exit(2)
 }
@@ -171,15 +173,7 @@ fn validate_engine_combos(args: &Args) -> Result<(), String> {
         "sim" | "live" => {}
         other => return Err(format!("--engine: '{other}' is not sim or live")),
     }
-    match args.transport.as_str() {
-        "channel" | "tcp" => {}
-        "uds" => {
-            if !cfg!(unix) {
-                return Err("--transport uds: Unix domain sockets need a Unix platform".into());
-            }
-        }
-        other => return Err(format!("--transport: '{other}' is not channel, tcp or uds")),
-    }
+    build::transport_kind(&args.transport).map_err(|e| format!("--{e}"))?;
     let explicit = |f: &str| args.explicit.iter().any(|e| e == f);
     if args.engine == "sim" && explicit("--transport") {
         return Err(
@@ -196,7 +190,7 @@ fn validate_engine_combos(args: &Args) -> Result<(), String> {
         );
     }
     if let Some(spec) = &args.fault_plan {
-        FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+        build::check_fault_plan(spec).map_err(|e| format!("--fault-plan: {e}"))?;
     }
     if args.engine == "live" {
         if args.app == "gauss-mp" {
@@ -233,10 +227,8 @@ fn validate_engine_combos(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Probe every requested output path for writability *before* the run, so
-/// a typo'd directory fails in milliseconds instead of after minutes of
-/// simulation. The probe opens in append mode: an existing file is left
-/// intact until the real (truncating) write at the end of the run.
+/// Probe every requested output path for writability *before* the run
+/// (shared with `dse-sweep`; see [`build::validate_out_paths`]).
 fn validate_out_paths(args: &Args) -> Result<(), String> {
     let outs = [
         (&args.metrics_json, "metrics (JSONL)"),
@@ -244,16 +236,10 @@ fn validate_out_paths(args: &Args) -> Result<(), String> {
         (&args.trace_json, "Chrome trace"),
         (&args.flight_json, "flight recorder"),
     ];
-    for (path, what) in outs {
-        if let Some(path) = path {
-            std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
-                .map_err(|e| format!("cannot write {what} to {path}: {e}"))?;
-        }
-    }
-    Ok(())
+    build::validate_out_paths(
+        outs.iter()
+            .filter_map(|(path, what)| path.as_deref().map(|p| (p, *what))),
+    )
 }
 
 fn parse() -> Args {
@@ -266,7 +252,62 @@ fn parse() -> Args {
     })
 }
 
+/// `dse-run --scenario FILE [--cell ID]`: run one named cell of a sweep
+/// spec in-process — every seed of the cell, sequentially — printing the
+/// same per-run rows `dse-sweep` collects. Without `--cell`, list the
+/// spec's cells. Exits 1 if any run fails.
+fn run_scenario_cli(argv: &[String]) -> ! {
+    let mut file: Option<String> = None;
+    let mut cell: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match (flag.as_str(), it.next()) {
+            ("--scenario", Some(v)) => file = Some(v.clone()),
+            ("--cell", Some(v)) => cell = Some(v.clone()),
+            _ => {
+                eprintln!("usage: dse-run --scenario FILE [--cell ID]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let file = file.expect("dispatched on --scenario");
+    let src = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        std::process::exit(2);
+    });
+    let spec = dse_sweep::parse_spec(&src).unwrap_or_else(|e| {
+        eprintln!("{file}: {e}");
+        std::process::exit(2);
+    });
+    let runs = dse_sweep::expand(&spec);
+    let Some(cell) = cell else {
+        let mut cells: Vec<String> = runs.iter().map(|r| r.cell_id()).collect();
+        cells.dedup();
+        for c in &cells {
+            println!("{c}");
+        }
+        println!("{} cells, {} runs", cells.len(), runs.len());
+        std::process::exit(0);
+    };
+    let selected: Vec<_> = runs.iter().filter(|r| r.cell_id() == cell).collect();
+    if selected.is_empty() {
+        eprintln!("no cell '{cell}' in {file} (try --scenario {file} to list)");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for rs in selected {
+        let rec = dse_sweep::execute_run(rs);
+        println!("{}", rec.to_json_line());
+        failed |= rec.status != RunStatus::Ok;
+    }
+    std::process::exit(i32::from(failed))
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("--scenario") {
+        run_scenario_cli(&argv);
+    }
     let args = parse();
     if let Err(e) = validate_engine_combos(&args) {
         eprintln!("{e}");
@@ -287,19 +328,8 @@ fn main() {
 /// transport carrying every remote GM access, results printed exactly like
 /// the simulator's so the two engines are directly comparable.
 fn run_live_cli(args: &Args) {
-    let kind = match args.transport.as_str() {
-        "tcp" => TransportKind::Tcp,
-        "uds" => TransportKind::Uds,
-        _ => TransportKind::Channel,
-    };
-    let cfg = LiveRunConfig {
-        kind,
-        fault_plan: args
-            .fault_plan
-            .as_deref()
-            .map(|s| FaultPlan::parse(s).expect("spec validated at startup")),
-        ..LiveRunConfig::default()
-    };
+    let cfg = build::build_live(&args.transport, args.fault_plan.as_deref(), None)
+        .expect("transport and fault plan validated at startup");
     println!(
         "# {} on the live engine ({} transport), {} processors",
         args.app, args.transport, args.procs
@@ -424,34 +454,25 @@ fn live_app<T: Send>(
 }
 
 fn run_sim_cli(args: &Args) {
-    let platform = Platform::by_id(&args.platform).unwrap_or_else(|| {
-        eprintln!("unknown platform '{}'", args.platform);
+    let settings = build::SimSettings {
+        platform: args.platform.clone(),
+        organization: args.organization.clone(),
+        protocol: args.protocol.clone(),
+        cache: args.cache,
+        machines: args.machines,
+        // A Chrome trace needs the per-process event timeline, so
+        // --trace-json implies tracing even without the printed breakdown.
+        tracing: args.trace || args.trace_json.is_some(),
+        // --watch and --flight-json both need the in-band telemetry plane.
+        telemetry_ms: (args.watch || args.flight_json.is_some())
+            .then_some((args.watch_ms, args.watchdog_ms)),
+        seed: None,
+        gm_window: 0,
+    };
+    let (platform, config) = build::build_sim(&settings).unwrap_or_else(|e| {
+        eprintln!("{e}");
         usage()
     });
-    let mut config = DseConfig::paper().with_gm_cache(args.cache);
-    config.organization = match args.organization.as_str() {
-        "linked" => Organization::LinkedLibrary,
-        "legacy" => Organization::SeparateProcess,
-        _ => usage(),
-    };
-    config.protocol = match args.protocol.as_str() {
-        "tcp" => Protocol::TcpIp,
-        "udp" => Protocol::Udp,
-        "raw" => Protocol::RawEthernet,
-        _ => usage(),
-    };
-    // --watch and --flight-json both need the in-band telemetry plane.
-    if args.watch || args.flight_json.is_some() {
-        config.telemetry = Some(
-            TelemetryConfig::default()
-                .with_interval(SimDuration::from_millis(args.watch_ms))
-                .with_watchdog_deadline(SimDuration::from_millis(args.watchdog_ms)),
-        );
-    }
-    // A Chrome trace needs the per-process event timeline, so --trace-json
-    // implies tracing even without the printed breakdown.
-    let tracing = args.trace || args.trace_json.is_some();
-    config = config.with_machines(args.machines).with_tracing(tracing);
     let mut program = DseProgram::new(platform.clone()).with_config(config);
     if args.watch {
         program = program.with_epoch_hook(|agg, now_ns| {
