@@ -1,0 +1,146 @@
+//! Serving-side GM request dedup: bounded memory of recently served
+//! requests keyed by `(from, req)`.
+//!
+//! A retransmit of an already-served request replays the cached response
+//! instead of re-executing it, which is what makes requester-side retries
+//! safe for non-idempotent operations (overlapping writes, fetch-add).
+//! The cache also counts how many times each entry replayed: the causal
+//! trace derives a distinct serve-span id per replay from that index, so
+//! a retransmitted request shows up in the assembled cluster trace as one
+//! fresh serve plus N dedup-replay serves, all linked to the same parent.
+
+use std::collections::{HashMap, VecDeque};
+
+use dse_msg::Message;
+
+/// Bounded FIFO cache of served GM responses keyed by `(from, req)`.
+#[derive(Debug, Default)]
+pub struct DedupCache {
+    map: HashMap<(u32, u64), CacheEntry>,
+    order: VecDeque<(u32, u64)>,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    resp: Message,
+    replays: u32,
+}
+
+impl DedupCache {
+    /// A cache remembering the last `cap` served responses.
+    pub fn new(cap: usize) -> DedupCache {
+        DedupCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Look up a retransmitted request. On a hit, counts the replay and
+    /// returns the cached response together with the replay index (1 for
+    /// the first replay, 2 for the second, ...).
+    pub fn replay(&mut self, key: (u32, u64)) -> Option<(Message, u32)> {
+        let e = self.map.get_mut(&key)?;
+        e.replays += 1;
+        Some((e.resp.clone(), e.replays))
+    }
+
+    /// Remember the response to a freshly served request, evicting the
+    /// oldest entry once past capacity.
+    pub fn insert(&mut self, key: (u32, u64), resp: Message) {
+        if self
+            .map
+            .insert(key, CacheEntry { resp, replays: 0 })
+            .is_none()
+        {
+            self.order.push_back(key);
+            if self.order.len() > self.cap {
+                let evict = self.order.pop_front().unwrap();
+                self.map.remove(&evict);
+            }
+        }
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Dedup key for the GM request kinds subject to retransmission.
+pub fn dedup_key(msg: &Message, from: u32) -> Option<(u32, u64)> {
+    match msg {
+        Message::GmReadReq { req, .. }
+        | Message::GmWriteReq { req, .. }
+        | Message::GmFetchAddReq { req, .. }
+        | Message::GmBatchReq { req, .. } => Some((from, req.0)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_msg::ReqId;
+
+    fn ack(req: u64) -> Message {
+        Message::GmWriteAck { req: ReqId(req) }
+    }
+
+    #[test]
+    fn replay_counts_and_returns_cached_response() {
+        let mut c = DedupCache::new(4);
+        assert!(c.replay((1, 7)).is_none(), "miss before insert");
+        c.insert((1, 7), ack(7));
+        let (resp, idx) = c.replay((1, 7)).unwrap();
+        assert_eq!(resp, ack(7));
+        assert_eq!(idx, 1);
+        let (_, idx) = c.replay((1, 7)).unwrap();
+        assert_eq!(idx, 2, "replay index advances per hit");
+    }
+
+    #[test]
+    fn evicts_oldest_past_capacity() {
+        let mut c = DedupCache::new(2);
+        c.insert((0, 1), ack(1));
+        c.insert((0, 2), ack(2));
+        c.insert((0, 3), ack(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.replay((0, 1)).is_none(), "oldest entry evicted");
+        assert!(c.replay((0, 3)).is_some());
+    }
+
+    #[test]
+    fn key_covers_exactly_the_retriable_requests() {
+        let from = 5;
+        assert_eq!(
+            dedup_key(
+                &Message::GmFetchAddReq {
+                    req: ReqId(9),
+                    region: dse_msg::RegionId(0),
+                    offset: 0,
+                    delta: 1,
+                },
+                from
+            ),
+            Some((5, 9))
+        );
+        assert_eq!(dedup_key(&Message::KernelShutdown, from), None);
+        assert_eq!(
+            dedup_key(
+                &Message::BarrierEnter {
+                    barrier: 1,
+                    pid: dse_msg::GlobalPid::new(dse_msg::NodeId(0), 1),
+                },
+                from
+            ),
+            None
+        );
+    }
+}

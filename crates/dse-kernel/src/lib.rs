@@ -25,6 +25,7 @@
 pub mod cache;
 pub mod config;
 pub mod cost;
+pub mod dedup;
 pub mod gmem;
 pub mod kernel;
 pub mod netpath;
@@ -38,6 +39,7 @@ pub mod watchdog;
 pub use cache::{CacheStore, CACHE_BLOCK};
 pub use config::{DseConfig, NetworkChoice, Organization, TelemetryConfig, DEFAULT_GM_WINDOW};
 pub use cost::CostModel;
+pub use dedup::{dedup_key, DedupCache};
 pub use gmem::{Distribution, GlobalStore, GmError};
 pub use kernel::{kernel_main, AppBody, AppFactory};
 pub use service::{serve_gm, GmServiceHooks, NoHooks, Served};

@@ -34,13 +34,14 @@ use parking_lot::Mutex;
 use dse_api::{GmHandle, ParallelApi};
 use dse_kernel::gmem::GlobalStore;
 use dse_kernel::{
-    serve_gm, BarrierCenter, BarrierOutcome, Distribution, GmServiceHooks, LockCenter, LockOutcome,
-    Party, Served, UnlockOutcome,
+    dedup_key, serve_gm, BarrierCenter, BarrierOutcome, DedupCache, Distribution, GmServiceHooks,
+    LockCenter, LockOutcome, Party, Served, UnlockOutcome,
 };
-use dse_msg::{GlobalPid, GmOp, Message, NodeId, RegionId, ReqId, ReqIdGen};
+use dse_msg::{GlobalPid, GmOp, Message, NodeId, RegionId, ReqId, ReqIdGen, TraceCtx};
 use dse_obs::{
-    ClusterAggregator, DeltaTracker, FlightEventKind, FlightRecorder, MetricKey, MetricsSnapshot,
-    Registry, SpanKind, TelemetryDelta,
+    derived_span_id, ClusterAggregator, DeltaTracker, FlightEventKind, FlightRecorder, MetricKey,
+    MetricsSnapshot, Registry, SpanKind, TelemetryDelta, TraceRecorder, TraceRole, TraceSpanKind,
+    TraceSpanRec,
 };
 use dse_platform::Work;
 use dse_transport::{
@@ -100,6 +101,11 @@ pub struct LiveRunConfig {
     pub gm_retry: RetryPolicy,
     /// Flight-recorder ring size (0 disables post-mortem capture).
     pub flight_capacity: usize,
+    /// Causal tracing: when set, every causal hop (GM request → serve →
+    /// redemption, barrier and lock rounds) emits trace spans and trace
+    /// context rides the wire frames; when clear, the wire format and the
+    /// hot paths are exactly the untraced ones.
+    pub tracing: bool,
 }
 
 impl Default for LiveRunConfig {
@@ -109,6 +115,7 @@ impl Default for LiveRunConfig {
             fault_plan: None,
             gm_retry: default_gm_retry(),
             flight_capacity: 256,
+            tracing: false,
         }
     }
 }
@@ -208,15 +215,26 @@ pub struct LiveCluster {
     retry: RetryPolicy,
     /// Engine clock origin for flight-recorder timestamps.
     t0: Instant,
+    /// Whether causal tracing is on for this run.
+    tracing: bool,
+    /// Per-thread causal span streams, flushed here at thread end (also on
+    /// abort, so the post-mortem trace is complete). Entries are
+    /// `(pe, role, spans)` with role 0 = app thread, 1 = kernel thread.
+    trace_sink: Mutex<Vec<(u32, u8, Vec<TraceSpanRec>)>>,
 }
 
 impl LiveCluster {
     /// Shared state for `nprocs` processing elements.
     pub fn new(nprocs: usize) -> LiveCluster {
-        LiveCluster::with_config(nprocs, default_gm_retry(), 256)
+        LiveCluster::with_config(nprocs, default_gm_retry(), 256, false)
     }
 
-    fn with_config(nprocs: usize, retry: RetryPolicy, flight_capacity: usize) -> LiveCluster {
+    fn with_config(
+        nprocs: usize,
+        retry: RetryPolicy,
+        flight_capacity: usize,
+        tracing: bool,
+    ) -> LiveCluster {
         LiveCluster {
             nprocs,
             store: GlobalStore::new(nprocs),
@@ -227,6 +245,15 @@ impl LiveCluster {
             abort: AtomicBool::new(false),
             retry,
             t0: Instant::now(),
+            tracing,
+            trace_sink: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Park one thread's causal spans in the cluster sink.
+    fn flush_trace(&self, pe: u32, role: u8, spans: Vec<TraceSpanRec>) {
+        if !spans.is_empty() {
+            self.trace_sink.lock().push((pe, role, spans));
         }
     }
 
@@ -282,6 +309,68 @@ impl LiveCluster {
 /// Matches [`dse_api::AUTO_BARRIER_BASE`]: auto-sequenced barrier ids live
 /// above this bound on both engines.
 const AUTO_BARRIER_BASE: u32 = 0x4000_0000;
+
+// ---------------------------------------------------------------------------
+// Deterministic derived span ids.
+//
+// Spans whose ids both wire endpoints (or two runs of the same seed) must
+// agree on are never minted from a counter — they are derived by hashing
+// ids the endpoints already share. The salt keeps the three derivation
+// families disjoint.
+// ---------------------------------------------------------------------------
+
+/// Serve span for the `replay`-th answer (0 = fresh) to the request whose
+/// root span is `parent`: requester and home compute the same id.
+fn serve_span_id(parent: u64, replay: u32) -> u64 {
+    derived_span_id(parent, 1 | ((replay as u64) << 8))
+}
+
+/// Barrier-release span for one `(barrier, epoch)` round.
+fn barrier_span_id(barrier: u32, epoch: u32) -> u64 {
+    derived_span_id(((barrier as u64) << 24) ^ epoch as u64, 2)
+}
+
+/// Lock-grant span for the request `req` issued by PE `owner`.
+fn lock_span_id(owner: u32, req: u64) -> u64 {
+    derived_span_id(((owner as u64) << 40) ^ req, 3)
+}
+
+/// Wire context and half-built grant span for a lock grant to `owner`
+/// (the caller stamps `end_ns` and `pe`). `start_ns` is when the request
+/// arrived at the coordinator, so the span covers the coordinator-side
+/// queueing time.
+fn lock_grant_trace(
+    ctx: Option<TraceCtx>,
+    owner: u32,
+    req: u64,
+    _lock: u32,
+    start_ns: u64,
+) -> (Option<TraceCtx>, Option<TraceSpanRec>) {
+    match ctx {
+        Some(c) => {
+            let span_id = lock_span_id(owner, req);
+            let mut span = TraceSpanRec::new(
+                TraceSpanKind::LockGrant,
+                c.trace,
+                span_id,
+                c.parent,
+                0,
+                start_ns,
+                start_ns,
+            );
+            span.peer = owner;
+            span.seq = req;
+            (
+                Some(TraceCtx {
+                    trace: c.trace,
+                    parent: span_id,
+                }),
+                Some(span),
+            )
+        }
+        None => (None, None),
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Kernel thread: the per-PE message loop.
@@ -345,49 +434,6 @@ enum KernelExit {
     Aborted(Message),
 }
 
-/// Bounded memory of recently served GM requests keyed by `(from, req)`:
-/// a retransmit of an already-served request replays the cached response
-/// instead of re-executing it, which is what makes app-side retries safe
-/// for non-idempotent operations (overlapping writes, fetch-add).
-struct DedupCache {
-    map: HashMap<(u32, u64), Message>,
-    order: VecDeque<(u32, u64)>,
-}
-
-impl DedupCache {
-    fn new() -> DedupCache {
-        DedupCache {
-            map: HashMap::new(),
-            order: VecDeque::new(),
-        }
-    }
-
-    fn get(&self, key: (u32, u64)) -> Option<&Message> {
-        self.map.get(&key)
-    }
-
-    fn insert(&mut self, key: (u32, u64), resp: Message) {
-        if self.map.insert(key, resp).is_none() {
-            self.order.push_back(key);
-            if self.order.len() > DEDUP_CAP {
-                let evict = self.order.pop_front().unwrap();
-                self.map.remove(&evict);
-            }
-        }
-    }
-}
-
-/// Dedup key for the GM request kinds subject to retransmission.
-fn dedup_key(msg: &Message, from: u32) -> Option<(u32, u64)> {
-    match msg {
-        Message::GmReadReq { req, .. }
-        | Message::GmWriteReq { req, .. }
-        | Message::GmFetchAddReq { req, .. }
-        | Message::GmBatchReq { req, .. } => Some((from, req.0)),
-        _ => None,
-    }
-}
-
 /// One PE's kernel loop: the single consumer of this PE's transport.
 ///
 /// Serves GM requests against the store (responses go back on the wire),
@@ -404,12 +450,17 @@ fn live_kernel(
     pe: u32,
     cluster: &LiveCluster,
     transport: &Arc<dyn Transport>,
-    app_tx: mpsc::Sender<Message>,
+    app_tx: mpsc::Sender<(Message, Option<TraceCtx>)>,
     watch: Option<WatchSpec<'_>>,
     start: Instant,
 ) -> (DeltaTracker, Option<ClusterAggregator>) {
     let mut tracker = DeltaTracker::new(pe, pe == 0);
     let mut agg = (pe == 0 && watch.is_some()).then(|| ClusterAggregator::new(cluster.nprocs));
+    let mut rec = if cluster.tracing {
+        TraceRecorder::new(pe, TraceRole::Kernel)
+    } else {
+        TraceRecorder::disabled(pe, TraceRole::Kernel)
+    };
     let exit = kernel_loop(
         pe,
         cluster,
@@ -419,7 +470,11 @@ fn live_kernel(
         start,
         &mut tracker,
         &mut agg,
+        &mut rec,
     );
+    // Flush this kernel's causal spans whatever the exit path — an aborted
+    // run's post-mortem trace is where they matter most.
+    cluster.flush_trace(pe, 1, rec.take());
     let relay = match exit {
         Ok(KernelExit::Clean) => None,
         Ok(KernelExit::Aborted(frame)) => Some(frame),
@@ -450,7 +505,7 @@ fn live_kernel(
             }
         }
         // Wake our own app thread so it unwinds at its next receive.
-        let _ = app_tx.send(frame);
+        let _ = app_tx.send((frame, None));
     }
     transport.shutdown();
     (tracker, agg)
@@ -465,20 +520,26 @@ fn kernel_loop(
     pe: u32,
     cluster: &LiveCluster,
     transport: &Arc<dyn Transport>,
-    app_tx: &mpsc::Sender<Message>,
+    app_tx: &mpsc::Sender<(Message, Option<TraceCtx>)>,
     watch: Option<WatchSpec<'_>>,
     start: Instant,
     tracker: &mut DeltaTracker,
     agg: &mut Option<ClusterAggregator>,
+    rec: &mut TraceRecorder,
 ) -> Result<KernelExit, FailureKind> {
     let nprocs = cluster.nprocs;
     // Coordination state lives on PE 0 (reply tokens are PE ranks).
     let barriers: BarrierCenter<u32> = BarrierCenter::new(nprocs);
     let locks: LockCenter<u32> = LockCenter::new();
-    let mut served_cache = DedupCache::new();
+    let mut served_cache = DedupCache::new(DEDUP_CAP);
+    // Trace context and arrival time of coordination requests still
+    // pending an answer: barrier rounds keyed by barrier id (first-enter
+    // time), lock requests keyed by (requester, req).
+    let mut barrier_open: HashMap<u32, u64> = HashMap::new();
+    let mut lock_pend: HashMap<(u32, u64), (Option<TraceCtx>, u64)> = HashMap::new();
     let mut exited = 0usize;
     let mut last_emit = Instant::now();
-    let send = |to: u32, msg: &Message| -> Result<(), FailureKind> {
+    let send = |to: u32, msg: &Message, ctx: Option<TraceCtx>| -> Result<(), FailureKind> {
         cluster.flight.record(
             cluster.now_ns(),
             pe,
@@ -488,7 +549,11 @@ fn kernel_loop(
                 bytes: msg.wire_len() as u64,
             },
         );
-        transport.send(to, msg).map_err(FailureKind::Transport)
+        match ctx {
+            Some(c) => transport.send_ctx(to, msg, c),
+            None => transport.send(to, msg),
+        }
+        .map_err(FailureKind::Transport)
     };
     loop {
         if cluster.aborting() {
@@ -510,21 +575,43 @@ fn kernel_loop(
         if let Some(env) = env {
             let from = env.from;
             let t0 = Instant::now();
+            let t_in_ns = cluster.now_ns();
             cluster
                 .metrics
                 .incr(MetricKey::pe("kernel", "messages", pe));
             let key = dedup_key(&env.msg, from);
             if let Some(key) = key {
-                if let Some(resp) = served_cache.get(key) {
+                if let Some((resp, replay)) = served_cache.replay(key) {
                     // Retransmit of a request we already served: replay
                     // the cached response rather than re-executing it
                     // (a second fetch-add would change the answer). Not a
                     // fresh serve, so `requests_served` stays put.
-                    let resp = resp.clone();
                     cluster
                         .metrics
                         .incr(MetricKey::pe("kernel", "gm_dup_requests", pe));
-                    send(from, &resp)?;
+                    // The replay is its own serve span (dedup-flagged),
+                    // derived from the same root as the original serve.
+                    let resp_ctx = env.ctx.map(|c| TraceCtx {
+                        trace: c.trace,
+                        parent: serve_span_id(c.parent, replay),
+                    });
+                    send(from, &resp, resp_ctx)?;
+                    if let Some(c) = env.ctx {
+                        let mut span = TraceSpanRec::new(
+                            TraceSpanKind::Serve,
+                            c.trace,
+                            serve_span_id(c.parent, replay),
+                            c.parent,
+                            pe,
+                            t_in_ns,
+                            cluster.now_ns(),
+                        );
+                        span.peer = from;
+                        span.bytes = resp.wire_len() as u64;
+                        span.seq = key.1;
+                        span.dedup = true;
+                        rec.push(span);
+                    }
                     continue;
                 }
             }
@@ -532,6 +619,7 @@ fn kernel_loop(
                 metrics: &cluster.metrics,
                 pe,
             };
+            let gm_ctx = env.ctx;
             match serve_gm(&cluster.store, env.msg, &mut hooks) {
                 Served::Response(resp) => {
                     cluster
@@ -541,7 +629,29 @@ fn kernel_loop(
                         MetricKey::pe("kernel", "service_ns", pe),
                         t0.elapsed().as_nanos() as u64,
                     );
-                    send(from, &resp)?;
+                    // Fresh serve: child of the requester's root span, and
+                    // the response carries the serve span as the parent so
+                    // the requester's redemption links back to it.
+                    let resp_ctx = gm_ctx.map(|c| TraceCtx {
+                        trace: c.trace,
+                        parent: serve_span_id(c.parent, 0),
+                    });
+                    send(from, &resp, resp_ctx)?;
+                    if let Some(c) = gm_ctx {
+                        let mut span = TraceSpanRec::new(
+                            TraceSpanKind::Serve,
+                            c.trace,
+                            serve_span_id(c.parent, 0),
+                            c.parent,
+                            pe,
+                            t_in_ns,
+                            cluster.now_ns(),
+                        );
+                        span.peer = from;
+                        span.bytes = resp.wire_len() as u64;
+                        span.seq = key.map(|k| k.1).unwrap_or(0);
+                        rec.push(span);
+                    }
                     if let Some(key) = key {
                         served_cache.insert(key, resp);
                     }
@@ -549,8 +659,10 @@ fn kernel_loop(
                 Served::NotGm(msg) if is_app_bound(&msg) => {
                     // Response or wakeup addressed to our application
                     // thread; it may have exited already if the program is
-                    // erroneous, so delivery is best-effort.
-                    let _ = app_tx.send(msg);
+                    // erroneous, so delivery is best-effort. The wire trace
+                    // context travels along so the app thread can link its
+                    // redemption span to the remote serve.
+                    let _ = app_tx.send((msg, gm_ctx));
                 }
                 Served::NotGm(msg) => match msg {
                     Message::BarrierEnter { barrier, pid } => {
@@ -560,14 +672,42 @@ fn kernel_loop(
                             reply_to: from,
                             req: ReqId(0),
                         };
+                        barrier_open.entry(barrier).or_insert(t_in_ns);
                         if let BarrierOutcome::Complete { epoch, waiters } =
                             barriers.enter(barrier, party)
                         {
                             let release = Message::BarrierRelease { barrier, epoch };
+                            // One release span covers the whole round,
+                            // first enter to completion; its id is derived
+                            // from (barrier, epoch) so both runs of a seed
+                            // agree. Parent: the completing enter's wait
+                            // span (the enter that made the round whole).
+                            let span_id = barrier_span_id(barrier, epoch);
+                            let release_ctx = gm_ctx.map(|c| TraceCtx {
+                                trace: c.trace,
+                                parent: span_id,
+                            });
                             for w in waiters {
-                                send(w.reply_to, &release)?;
+                                send(w.reply_to, &release, release_ctx)?;
                             }
-                            send(from, &release)?;
+                            send(from, &release, release_ctx)?;
+                            if let Some(c) = gm_ctx {
+                                let opened = barrier_open.remove(&barrier).unwrap_or(t_in_ns);
+                                let mut span = TraceSpanRec::new(
+                                    TraceSpanKind::BarrierRelease,
+                                    c.trace,
+                                    span_id,
+                                    c.parent,
+                                    pe,
+                                    opened,
+                                    cluster.now_ns(),
+                                );
+                                span.peer = from;
+                                span.seq = barrier as u64;
+                                rec.push(span);
+                            } else {
+                                barrier_open.remove(&barrier);
+                            }
                         }
                     }
                     Message::LockReq { req, lock, pid } => {
@@ -577,26 +717,54 @@ fn kernel_loop(
                             reply_to: from,
                             req,
                         };
-                        if let LockOutcome::Granted = locks.acquire(lock, party) {
-                            send(from, &Message::LockGrant { req, lock })?;
+                        match locks.acquire(lock, party) {
+                            LockOutcome::Granted => {
+                                let (ctx, grant) =
+                                    lock_grant_trace(gm_ctx, from, req.0, lock, t_in_ns);
+                                send(from, &Message::LockGrant { req, lock }, ctx)?;
+                                if let Some(mut span) = grant {
+                                    span.end_ns = cluster.now_ns();
+                                    span.pe = pe;
+                                    rec.push(span);
+                                }
+                            }
+                            LockOutcome::Queued => {
+                                lock_pend.insert((from, req.0), (gm_ctx, t_in_ns));
+                            }
                         }
                     }
                     Message::UnlockReq { lock, pid } => {
                         if let UnlockOutcome::Granted(next) = locks.release(lock, pid) {
+                            let (pend_ctx, queued_at) = lock_pend
+                                .remove(&(next.reply_to, next.req.0))
+                                .unwrap_or((None, t_in_ns));
+                            let (ctx, grant) = lock_grant_trace(
+                                pend_ctx,
+                                next.reply_to,
+                                next.req.0,
+                                lock,
+                                queued_at,
+                            );
                             send(
                                 next.reply_to,
                                 &Message::LockGrant {
                                     req: next.req,
                                     lock,
                                 },
+                                ctx,
                             )?;
+                            if let Some(mut span) = grant {
+                                span.end_ns = cluster.now_ns();
+                                span.pe = pe;
+                                rec.push(span);
+                            }
                         }
                     }
                     Message::ExitNotice { .. } => {
                         exited += 1;
                         if exited == nprocs {
                             for q in 0..nprocs as u32 {
-                                send(q, &Message::KernelShutdown)?;
+                                send(q, &Message::KernelShutdown, None)?;
                             }
                         }
                     }
@@ -731,6 +899,22 @@ struct RetryState {
     next_retry: Instant,
     /// When the original send happened (for the deadline report).
     sent_at: Instant,
+    /// Trace context of the original send; retransmits carry the same one
+    /// so the home kernel's dedup replay stays in the same causal chain.
+    ctx: Option<TraceCtx>,
+}
+
+/// Requester-side trace bookkeeping for one outstanding GM request: the
+/// root `gm_req` span opened at dispatch and closed at completion.
+struct ReqSpan {
+    /// The root span id (the wire ctx's `parent`).
+    span: u64,
+    /// Dispatch time on the engine clock.
+    start_ns: u64,
+    /// Home PE the request went to.
+    home: u32,
+    /// Retransmits sent so far.
+    retries: u32,
 }
 
 /// The span kind a retransmitted request would have opened (for the
@@ -779,12 +963,13 @@ pub struct LiveCtx {
     pid: GlobalPid,
     cluster: Arc<LiveCluster>,
     transport: Arc<dyn Transport>,
-    app_rx: mpsc::Receiver<Message>,
+    app_rx: mpsc::Receiver<(Message, Option<TraceCtx>)>,
     reqs: ReqIdGen,
     barrier_seq: u32,
     alloc_seq: usize,
-    /// Messages that arrived while awaiting something else.
-    stash: VecDeque<Message>,
+    /// Messages (with their wire trace context) that arrived while
+    /// awaiting something else.
+    stash: VecDeque<(Message, Option<TraceCtx>)>,
     /// Split-phase machinery (mirrors the simulator's `DseCtx`).
     next_handle: u64,
     handles: HashMap<u64, HandleState>,
@@ -796,6 +981,16 @@ pub struct LiveCtx {
     retry: HashMap<u64, RetryState>,
     /// Reusable scratch for element-wise `GmArray` accessors.
     scratch: Vec<u8>,
+    /// Causal span recorder for this app thread.
+    rec: TraceRecorder,
+    /// This PE's trace id (= the app root span's id).
+    trace: u64,
+    /// The app root span every top-level span parents to.
+    app_span: u64,
+    /// When the app thread started, engine clock.
+    app_start_ns: u64,
+    /// Open `gm_req` root spans keyed by request id.
+    req_spans: HashMap<u64, ReqSpan>,
 }
 
 impl LiveCtx {
@@ -803,8 +998,17 @@ impl LiveCtx {
         rank: u32,
         cluster: Arc<LiveCluster>,
         transport: Arc<dyn Transport>,
-        app_rx: mpsc::Receiver<Message>,
+        app_rx: mpsc::Receiver<(Message, Option<TraceCtx>)>,
     ) -> LiveCtx {
+        let mut rec = if cluster.tracing {
+            TraceRecorder::new(rank, TraceRole::App)
+        } else {
+            TraceRecorder::disabled(rank, TraceRole::App)
+        };
+        // The app root span doubles as this PE's trace id: every causal
+        // chain the PE originates shares it.
+        let app_span = rec.next_id();
+        let app_start_ns = cluster.now_ns();
         LiveCtx {
             rank,
             pid: GlobalPid::new(NodeId(rank as u16), 1),
@@ -822,6 +1026,33 @@ impl LiveCtx {
             inflight: HashMap::new(),
             retry: HashMap::new(),
             scratch: Vec::new(),
+            rec,
+            trace: app_span,
+            app_span,
+            app_start_ns,
+            req_spans: HashMap::new(),
+        }
+    }
+
+    /// True when this run records causal spans.
+    fn tracing(&self) -> bool {
+        self.cluster.tracing
+    }
+
+    /// Close the app root span (called once, when the body is done or the
+    /// thread is unwinding) so the blame table has the PE's wall clock.
+    fn close_app_span(&mut self) {
+        if self.tracing() {
+            let span = TraceSpanRec::new(
+                TraceSpanKind::App,
+                self.trace,
+                self.app_span,
+                0,
+                self.rank,
+                self.app_start_ns,
+                self.cluster.now_ns(),
+            );
+            self.rec.push(span);
         }
     }
 
@@ -838,6 +1069,10 @@ impl LiveCtx {
     }
 
     fn send(&self, to: u32, msg: &Message) {
+        self.send_traced(to, msg, None);
+    }
+
+    fn send_traced(&self, to: u32, msg: &Message, ctx: Option<TraceCtx>) {
         self.cluster.flight.record(
             self.cluster.now_ns(),
             self.rank,
@@ -847,7 +1082,11 @@ impl LiveCtx {
                 bytes: msg.wire_len() as u64,
             },
         );
-        if let Err(e) = self.transport.send(to, msg) {
+        let sent = match ctx {
+            Some(c) => self.transport.send_ctx(to, msg, c),
+            None => self.transport.send(to, msg),
+        };
+        if let Err(e) = sent {
             self.die(FailureKind::Transport(e));
         }
     }
@@ -859,7 +1098,7 @@ impl LiveCtx {
     /// frame and then drops the channel when the run dies). A `Some`
     /// timeout returns `None` on expiry so the caller can service
     /// retransmission deadlines.
-    fn recv_app(&mut self, timeout: Option<Duration>) -> Option<Message> {
+    fn recv_app(&mut self, timeout: Option<Duration>) -> Option<(Message, Option<TraceCtx>)> {
         let got = match timeout {
             Some(t) => match self.app_rx.recv_timeout(t) {
                 Ok(m) => m,
@@ -871,7 +1110,7 @@ impl LiveCtx {
                 Err(_) => self.die(FailureKind::KernelGone),
             },
         };
-        if matches!(got, Message::Abort { .. }) {
+        if matches!(got.0, Message::Abort { .. }) {
             // The run is aborting; this thread is a casualty, not a
             // cause — unwind without recording a failure.
             resume_unwind(Box::new(AbortUnwind));
@@ -907,12 +1146,21 @@ impl LiveCtx {
             .collect();
         for key in due {
             let policy = self.cluster.retry;
-            let (home, attempts, kind, waited_ns, msg) = {
+            let (home, attempts, kind, waited_ns, elapsed_backoff, ctx, msg) = {
                 let st = self.retry.get_mut(&key).unwrap();
                 let waited_ns = st.sent_at.elapsed().as_nanos() as u64;
                 if st.attempts >= policy.max_attempts {
-                    (st.home, st.attempts, span_kind_of(&st.msg), waited_ns, None)
+                    (
+                        st.home,
+                        st.attempts,
+                        span_kind_of(&st.msg),
+                        waited_ns,
+                        st.backoff,
+                        st.ctx,
+                        None,
+                    )
                 } else {
+                    let elapsed_backoff = st.backoff;
                     st.attempts += 1;
                     st.backoff = (st.backoff * 2).min(policy.max_delay);
                     st.next_retry = now + st.backoff;
@@ -921,6 +1169,8 @@ impl LiveCtx {
                         st.attempts,
                         span_kind_of(&st.msg),
                         waited_ns,
+                        elapsed_backoff,
+                        st.ctx,
                         Some(st.msg.clone()),
                     )
                 }
@@ -929,17 +1179,44 @@ impl LiveCtx {
                 Some(msg) => {
                     // A retransmit, not a new request: `gm_request_msgs`
                     // stays put (wire accounting keeps its exact counts);
-                    // the retry shows up under its own metric.
+                    // the retry shows up under its own metric. The same
+                    // trace context rides again so the home's dedup replay
+                    // stays in the original causal chain.
                     self.metrics()
                         .incr(MetricKey::pe("kernel", "gm_retries", self.rank));
-                    self.send(home, &msg);
+                    if let Some(rs) = self.req_spans.get_mut(&key) {
+                        rs.retries += 1;
+                        // The backoff that just elapsed is attributable
+                        // dead time inside the request's wall clock.
+                        let end = self.cluster.now_ns();
+                        let mut span = TraceSpanRec::new(
+                            TraceSpanKind::RetryBackoff,
+                            self.trace,
+                            self.rec.next_id(),
+                            rs.span,
+                            self.rank,
+                            end.saturating_sub(elapsed_backoff.as_nanos() as u64),
+                            end,
+                        );
+                        span.peer = home;
+                        span.seq = key;
+                        self.rec.push(span);
+                    }
+                    self.send_traced(home, &msg, ctx);
                 }
                 None => {
                     self.metrics()
                         .incr(MetricKey::pe("kernel", "gm_deadline_trips", self.rank));
-                    self.cluster.flight.record(
+                    let (trace, span) = self
+                        .req_spans
+                        .get(&key)
+                        .map(|rs| (self.trace, rs.span))
+                        .unwrap_or((0, 0));
+                    self.cluster.flight.record_traced(
                         self.cluster.now_ns(),
                         self.rank,
+                        trace,
+                        span,
                         FlightEventKind::Stall {
                             kind,
                             seq: key,
@@ -957,7 +1234,7 @@ impl LiveCtx {
     }
 
     /// Arm retransmission for a just-sent request.
-    fn arm_retry(&mut self, req: ReqId, home: u32, msg: Message) {
+    fn arm_retry(&mut self, req: ReqId, home: u32, msg: Message, ctx: Option<TraceCtx>) {
         let policy = self.cluster.retry;
         let now = Instant::now();
         self.retry.insert(
@@ -969,8 +1246,73 @@ impl LiveCtx {
                 backoff: policy.base_delay,
                 next_retry: now + policy.base_delay,
                 sent_at: now,
+                ctx,
             },
         );
+    }
+
+    /// Open the root `gm_req` span for a request about to go to `home`,
+    /// returning the wire trace context to send with it.
+    fn open_req_span(&mut self, req: ReqId, home: u32) -> Option<TraceCtx> {
+        if !self.tracing() {
+            return None;
+        }
+        let span = self.rec.next_id();
+        self.req_spans.insert(
+            req.0,
+            ReqSpan {
+                span,
+                start_ns: self.cluster.now_ns(),
+                home,
+                retries: 0,
+            },
+        );
+        Some(TraceCtx {
+            trace: self.trace,
+            parent: span,
+        })
+    }
+
+    /// Close the root `gm_req` span for a completed request and emit the
+    /// redemption span linking this PE back to the home kernel's serve
+    /// (when the response carried trace context).
+    fn close_req_span(&mut self, req: u64, resp_ctx: Option<TraceCtx>, bytes: u64, t_in_ns: u64) {
+        let Some(rs) = self.req_spans.remove(&req) else {
+            return;
+        };
+        let end = self.cluster.now_ns();
+        let mut root = TraceSpanRec::new(
+            TraceSpanKind::GmReq,
+            self.trace,
+            rs.span,
+            self.app_span,
+            self.rank,
+            rs.start_ns,
+            end,
+        );
+        root.peer = rs.home;
+        root.bytes = bytes;
+        root.seq = req;
+        root.retries = rs.retries;
+        self.rec.push(root);
+        if let Some(c) = resp_ctx {
+            // Parent = the serve span id the home kernel stamped on the
+            // response: the cross-PE link that makes the chain
+            // requester → home → requester.
+            let mut redeem = TraceSpanRec::new(
+                TraceSpanKind::Redeem,
+                self.trace,
+                self.rec.next_id(),
+                c.parent,
+                self.rank,
+                t_in_ns,
+                end,
+            );
+            redeem.peer = rs.home;
+            redeem.bytes = bytes;
+            redeem.seq = req;
+            self.rec.push(redeem);
+        }
     }
 
     fn new_handle(&mut self) -> u64 {
@@ -1293,8 +1635,9 @@ impl LiveCtx {
     fn dispatch(&mut self, home: u32, req: ReqId, msg: Message, ctl: InflightReq) {
         self.metrics()
             .incr(MetricKey::pe("kernel", "gm_request_msgs", self.rank));
-        self.send(home, &msg);
-        self.arm_retry(req, home, msg);
+        let ctx = self.open_req_span(req, home);
+        self.send_traced(home, &msg, ctx);
+        self.arm_retry(req, home, msg, ctx);
         self.inflight.insert(req.0, ctl);
         self.metrics().gauge_max(
             MetricKey::pe("kernel", "gm_inflight", self.rank),
@@ -1308,7 +1651,7 @@ impl LiveCtx {
     /// drain parked one there, otherwise off the kernel's forwarding
     /// channel.
     fn drain_one(&mut self) {
-        if let Some(idx) = self.stash.iter().position(|m| {
+        if let Some(idx) = self.stash.iter().position(|(m, _)| {
             matches!(
                 m,
                 Message::GmReadResp { .. }
@@ -1316,19 +1659,20 @@ impl LiveCtx {
                     | Message::GmBatchResp { .. }
             )
         }) {
-            let msg = self.stash.remove(idx).unwrap();
-            self.process_completion(msg);
+            let (msg, ctx) = self.stash.remove(idx).unwrap();
+            self.process_completion(msg, ctx);
             return;
         }
         loop {
             match self.recv_app(Some(self.retry_tick())) {
                 None => self.service_retries(),
-                Some(
+                Some((
                     msg @ (Message::GmReadResp { .. }
                     | Message::GmWriteAck { .. }
                     | Message::GmBatchResp { .. }),
-                ) => {
-                    self.process_completion(msg);
+                    ctx,
+                )) => {
+                    self.process_completion(msg, ctx);
                     return;
                 }
                 Some(other) => self.stash.push_back(other),
@@ -1341,12 +1685,15 @@ impl LiveCtx {
     /// retransmit crossing the original response on the wire) and is
     /// dropped; a response of the *wrong kind* for a live id is a protocol
     /// bug and still panics.
-    fn process_completion(&mut self, msg: Message) {
+    fn process_completion(&mut self, msg: Message, ctx: Option<TraceCtx>) {
+        let t_in_ns = self.cluster.now_ns();
+        let bytes = msg.wire_len() as u64;
         match msg {
             Message::GmReadResp { req, data } => match self.inflight.remove(&req.0) {
                 Some(InflightReq::Read(c)) => {
                     self.retry.remove(&req.0);
                     self.complete_read(c, &data);
+                    self.close_req_span(req.0, ctx, bytes, t_in_ns);
                 }
                 Some(_) => panic!("live rank {}: GmReadResp for a non-read request", self.rank),
                 None => {}
@@ -1355,6 +1702,7 @@ impl LiveCtx {
                 Some(InflightReq::Write(c)) => {
                     self.retry.remove(&req.0);
                     self.complete_write(c);
+                    self.close_req_span(req.0, ctx, bytes, t_in_ns);
                 }
                 Some(_) => panic!(
                     "live rank {}: GmWriteAck for a non-write request",
@@ -1375,6 +1723,7 @@ impl LiveCtx {
                             InflightOp::Write(c) => self.complete_write(c),
                         }
                     }
+                    self.close_req_span(req.0, ctx, bytes, t_in_ns);
                 }
                 Some(_) => panic!(
                     "live rank {}: GmBatchResp for a non-batch request",
@@ -1420,14 +1769,37 @@ impl LiveCtx {
         }
     }
 
+    /// Emit a `gm_block` span covering a completed blocking wait on GM
+    /// completions (`seq` = the request or handle waited on, 0 = fence).
+    fn push_block_span(&mut self, start_ns: u64, seq: u64) {
+        if self.tracing() {
+            let mut span = TraceSpanRec::new(
+                TraceSpanKind::GmBlock,
+                self.trace,
+                self.rec.next_id(),
+                self.app_span,
+                self.rank,
+                start_ns,
+                self.cluster.now_ns(),
+            );
+            span.seq = seq;
+            self.rec.push(span);
+        }
+    }
+
     /// Complete all staged and in-flight split-phase work. Every blocking
     /// synchronization primitive fences first, so split-phase operations are
     /// always ordered before barriers, locks and atomics.
     fn gm_fence(&mut self) {
         self.flush_staged();
+        if self.inflight.is_empty() {
+            return;
+        }
+        let t0 = self.cluster.now_ns();
         while !self.inflight.is_empty() {
             self.drain_one();
         }
+        self.push_block_span(t0, 0);
     }
 
     /// Called by the harness after the body returns: fence, then notify the
@@ -1509,8 +1881,12 @@ impl ParallelApi for LiveCtx {
             self.rank
         );
         self.flush_staged();
-        while !self.completed.contains_key(&id) {
-            self.drain_one();
+        if !self.completed.contains_key(&id) {
+            let t0 = self.cluster.now_ns();
+            while !self.completed.contains_key(&id) {
+                self.drain_one();
+            }
+            self.push_block_span(t0, id);
         }
         self.completed.remove(&id).unwrap()
     }
@@ -1551,18 +1927,24 @@ impl ParallelApi for LiveCtx {
                 offset,
                 delta,
             };
-            self.send(home, &msg);
-            self.arm_retry(req, home, msg);
-            loop {
+            let ctx = self.open_req_span(req, home);
+            self.send_traced(home, &msg, ctx);
+            self.arm_retry(req, home, msg, ctx);
+            let t_block = self.cluster.now_ns();
+            let prev = loop {
                 match self.recv_app(Some(self.retry_tick())) {
                     None => self.service_retries(),
-                    Some(Message::GmFetchAddResp { req: r, prev }) if r == req => {
+                    Some((Message::GmFetchAddResp { req: r, prev }, rctx)) if r == req => {
                         self.retry.remove(&req.0);
+                        let bytes = Message::GmFetchAddResp { req: r, prev }.wire_len() as u64;
+                        self.close_req_span(req.0, rctx, bytes, self.cluster.now_ns());
                         break prev;
                     }
                     Some(other) => self.stash.push_back(other),
                 }
-            }
+            };
+            self.push_block_span(t_block, req.0);
+            prev
         };
         self.metrics().record(
             MetricKey::pe("gm", "fetch_add_ns", self.rank),
@@ -1576,21 +1958,42 @@ impl ParallelApi for LiveCtx {
         self.barrier_seq += 1;
         self.gm_fence();
         let start = Instant::now();
-        self.send(
+        let t0 = self.cluster.now_ns();
+        let wait_span = self.rec.next_id();
+        let ctx = self.tracing().then_some(TraceCtx {
+            trace: self.trace,
+            parent: wait_span,
+        });
+        self.send_traced(
             0,
             &Message::BarrierEnter {
                 barrier: id,
                 pid: self.pid,
             },
+            ctx,
         );
         loop {
             // Barrier traffic is never retried (it is not idempotent and
             // the fault plan leaves control messages unharmed), so this
             // wait may block: an abort wakes it via the forwarded frame.
             match self.recv_app(None).unwrap() {
-                Message::BarrierRelease { barrier, .. } if barrier == id => break,
+                (Message::BarrierRelease { barrier, .. }, _) if barrier == id => break,
                 other => self.stash.push_back(other),
             }
+        }
+        if self.tracing() {
+            let mut s = TraceSpanRec::new(
+                TraceSpanKind::BarrierWait,
+                self.trace,
+                wait_span,
+                self.app_span,
+                self.rank,
+                t0,
+                self.cluster.now_ns(),
+            );
+            s.peer = 0;
+            s.seq = id as u64;
+            self.rec.push(s);
         }
         self.metrics().record(
             MetricKey::pe("sync", "barrier_wait_ns", self.rank),
@@ -1601,20 +2004,41 @@ impl ParallelApi for LiveCtx {
     fn lock(&mut self, id: u32) {
         self.gm_fence();
         let start = Instant::now();
+        let t0 = self.cluster.now_ns();
         let req = self.reqs.next();
-        self.send(
+        let wait_span = self.rec.next_id();
+        let ctx = self.tracing().then_some(TraceCtx {
+            trace: self.trace,
+            parent: wait_span,
+        });
+        self.send_traced(
             0,
             &Message::LockReq {
                 req,
                 lock: id,
                 pid: self.pid,
             },
+            ctx,
         );
         loop {
             match self.recv_app(None).unwrap() {
-                Message::LockGrant { req: r, .. } if r == req => break,
+                (Message::LockGrant { req: r, .. }, _) if r == req => break,
                 other => self.stash.push_back(other),
             }
+        }
+        if self.tracing() {
+            let mut s = TraceSpanRec::new(
+                TraceSpanKind::LockWait,
+                self.trace,
+                wait_span,
+                self.app_span,
+                self.rank,
+                t0,
+                self.cluster.now_ns(),
+            );
+            s.peer = 0;
+            s.seq = req.0;
+            self.rec.push(s);
         }
         self.metrics().record(
             MetricKey::pe("sync", "lock_wait_ns", self.rank),
@@ -1659,6 +2083,11 @@ pub struct LiveRunResult {
     /// last `flight_capacity` wire sends and stalls. On an aborted run the
     /// equivalent post-mortem dump rides in [`RunError`] instead.
     pub flight_jsonl: String,
+    /// Per-PE causal spans recorded when [`LiveRunConfig::tracing`] is on
+    /// (empty otherwise): `trace_spans[pe]` holds that PE's app-thread
+    /// spans followed by its kernel-thread spans, ready for the
+    /// `dse-trace` assembler.
+    pub trace_spans: Vec<Vec<TraceSpanRec>>,
 }
 
 /// Run `body` as an SPMD program over `nprocs` PEs on the in-process
@@ -1770,6 +2199,7 @@ where
         nprocs,
         cfg.gm_retry,
         cfg.flight_capacity,
+        cfg.tracing,
     ));
     let start = Instant::now();
     // The guard outlives the scope below: socket files are removed however
@@ -1807,6 +2237,11 @@ where
                     body(&mut ctx);
                     ctx.finish();
                 }));
+                // Flush this PE's app-side spans however the body ended:
+                // an aborted run still yields a usable partial trace.
+                ctx.close_app_span();
+                let spans = ctx.rec.take();
+                ctx.cluster.flush_trace(pe as u32, 0, spans);
                 if let Err(p) = out {
                     // A genuine app panic aborts the cluster so the
                     // kernels drain out instead of waiting for an
@@ -1880,6 +2315,12 @@ where
             elapsed: start.elapsed(),
         });
     }
+    let mut sink = std::mem::take(&mut *cluster.trace_sink.lock());
+    sink.sort_by_key(|(pe, role, _)| (*pe, *role));
+    let mut trace_spans = vec![Vec::new(); nprocs];
+    for (pe, _, spans) in sink {
+        trace_spans[pe as usize].extend(spans);
+    }
     Ok(LiveRunResult {
         elapsed: start.elapsed(),
         nprocs,
@@ -1887,6 +2328,7 @@ where
         metrics: cluster.metrics.snapshot(),
         telemetry_rollup: rollup,
         flight_jsonl,
+        trace_spans,
     })
 }
 
@@ -2148,5 +2590,80 @@ mod tests {
             Some(1),
             "two staged writes to one home must travel as one batch"
         );
+    }
+
+    #[test]
+    fn tracing_links_requester_serve_and_redeem_spans() {
+        use dse_obs::TraceSpanKind;
+        let cfg = LiveRunConfig {
+            tracing: true,
+            ..LiveRunConfig::default()
+        };
+        let r = try_run_live(cfg, 2, |ctx| {
+            let arr = GmArray::<u64>::alloc(ctx, 8, Distribution::Blocked);
+            arr.set(ctx, ctx.rank() as usize, ctx.rank() as u64 + 1);
+            ctx.barrier();
+            let all = arr.read(ctx, 0, 8);
+            assert_eq!(all[0], 1);
+            assert_eq!(all[1], 2);
+        })
+        .unwrap();
+        assert_eq!(r.trace_spans.len(), 2);
+        let all: Vec<_> = r.trace_spans.iter().flatten().collect();
+        // Every PE closes exactly one root app span.
+        assert_eq!(
+            all.iter()
+                .filter(|s| s.kind == TraceSpanKind::App && s.parent == 0)
+                .count(),
+            2
+        );
+        // Each GM request span must chain requester -> home serve ->
+        // requester redeem: the serve span's id is derived from the
+        // request span id on both endpoints independently.
+        let reqs: Vec<_> = all
+            .iter()
+            .filter(|s| s.kind == TraceSpanKind::GmReq)
+            .collect();
+        assert!(!reqs.is_empty(), "remote reads must open request spans");
+        for rq in &reqs {
+            let serve_id = serve_span_id(rq.span, 0);
+            let serve = all
+                .iter()
+                .find(|s| s.kind == TraceSpanKind::Serve && s.span == serve_id)
+                .unwrap_or_else(|| panic!("request span {} has no serve span", rq.span));
+            assert_ne!(serve.pe, rq.pe, "serve happens at the home PE");
+            assert!(
+                all.iter()
+                    .any(|s| s.kind == TraceSpanKind::Redeem && s.parent == serve_id),
+                "serve span {serve_id} never redeemed at the requester"
+            );
+            assert_eq!(serve.trace, rq.trace, "one trace id end to end");
+        }
+        // Barrier rounds: each PE's wait span links to a release span
+        // carrying the same barrier id in `seq`.
+        let waits: Vec<_> = all
+            .iter()
+            .filter(|s| s.kind == TraceSpanKind::BarrierWait)
+            .collect();
+        assert!(!waits.is_empty(), "barrier rounds must record wait spans");
+        assert_eq!(waits.len() % 2, 0, "every round blocks both PEs");
+        for w in &waits {
+            assert!(
+                all.iter()
+                    .any(|s| s.kind == TraceSpanKind::BarrierRelease && s.seq == w.seq),
+                "barrier wait {} has no matching release",
+                w.seq
+            );
+        }
+    }
+
+    #[test]
+    fn tracing_off_records_nothing() {
+        let r = run_live(2, |ctx| {
+            let arr = GmArray::<u64>::alloc(ctx, 4, Distribution::Blocked);
+            arr.set(ctx, ctx.rank() as usize, 1);
+            ctx.barrier();
+        });
+        assert!(r.trace_spans.iter().all(|v| v.is_empty()));
     }
 }

@@ -19,6 +19,23 @@
 //!   reordered or half-duplicated stream is caught immediately instead of
 //!   corrupting global memory silently.
 //!
+//! When causal tracing is on, a message travels as a [`FRAME_MSG_TRACED`]
+//! frame instead: the payload is prefixed with a small self-describing
+//! trace-context extension —
+//!
+//! ```text
+//! [u8 ext_len][u8 version=1][u64 trace_id][u64 parent_span][message payload]
+//! ```
+//!
+//! The extension is *advisory*: a receiver that does not understand the
+//! version (or finds the extension malformed) skips `ext_len` bytes, drops
+//! the context, bumps [`dropped_trace_ctx`](FrameDecoder::dropped_trace_ctx)
+//! and still decodes the message — a corrupt or future-version extension
+//! never poisons the message it rides on. When tracing is off the plain
+//! [`FRAME_MSG`] framing is byte-identical to the pre-extension format, so
+//! the feature costs nothing on the wire for untraced runs and old frames
+//! decode unchanged.
+//!
 //! [`FrameDecoder`] is the incremental counterpart: bytes arrive in
 //! whatever chunks the kernel hands us and frames are reassembled across
 //! chunk boundaries — concatenated frames in one read and a frame split
@@ -31,9 +48,26 @@ use crate::message::Message;
 pub const FRAME_MSG: u8 = 0;
 /// Frame kind byte: clean-shutdown handshake, empty payload.
 pub const FRAME_BYE: u8 = 1;
+/// Frame kind byte: a trace-context extension followed by one encoded
+/// [`Message`].
+pub const FRAME_MSG_TRACED: u8 = 2;
 
 /// Fixed bytes before the payload: u32 length + u8 kind + u64 seq.
 pub const FRAME_HEADER_LEN: usize = 4 + 1 + 8;
+
+/// Trace-context extension version this codec emits.
+pub const TRACE_EXT_VERSION: u8 = 1;
+/// Byte length of a v1 trace-context extension: version + two span ids.
+pub const TRACE_EXT_LEN: usize = 1 + 8 + 8;
+
+/// Causal trace context carried alongside a message on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace this message belongs to (the root span's id).
+    pub trace: u64,
+    /// Span that caused this message (the receiver's parent span).
+    pub parent: u64,
+}
 
 /// One decoded frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +78,8 @@ pub enum FrameEvent {
         seq: u64,
         /// The decoded message.
         msg: Message,
+        /// Trace context, if the sender attached one and it survived.
+        ctx: Option<TraceCtx>,
     },
     /// The peer announced a clean shutdown.
     Bye {
@@ -59,6 +95,28 @@ pub fn encode_frame(seq: u64, msg: &Message) -> Vec<u8> {
     w.u32(payload.len() as u32);
     w.u8(FRAME_MSG);
     w.u64(seq);
+    let mut buf = w.finish();
+    buf.extend_from_slice(&payload);
+    buf
+}
+
+/// Encode `msg` as one frame, attaching `ctx` when present. With
+/// `ctx == None` this is exactly [`encode_frame`] — untraced runs pay
+/// nothing on the wire.
+pub fn encode_frame_ctx(seq: u64, msg: &Message, ctx: Option<TraceCtx>) -> Vec<u8> {
+    let Some(ctx) = ctx else {
+        return encode_frame(seq, msg);
+    };
+    let payload = msg.encode();
+    let total = 1 + TRACE_EXT_LEN + payload.len();
+    let mut w = Writer::with_capacity(FRAME_HEADER_LEN + total);
+    w.u32(total as u32);
+    w.u8(FRAME_MSG_TRACED);
+    w.u64(seq);
+    w.u8(TRACE_EXT_LEN as u8);
+    w.u8(TRACE_EXT_VERSION);
+    w.u64(ctx.trace);
+    w.u64(ctx.parent);
     let mut buf = w.finish();
     buf.extend_from_slice(&payload);
     buf
@@ -82,12 +140,20 @@ pub fn encode_bye(seq: u64) -> Vec<u8> {
 pub struct FrameDecoder {
     buf: Vec<u8>,
     start: usize,
+    dropped_trace_ctx: u64,
 }
 
 impl FrameDecoder {
     /// Fresh decoder with an empty buffer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Trace-context extensions this stream dropped because they were
+    /// malformed or of an unknown version. The messages themselves were
+    /// decoded normally.
+    pub fn dropped_trace_ctx(&self) -> u64 {
+        self.dropped_trace_ctx
     }
 
     /// Append newly received bytes.
@@ -134,7 +200,36 @@ impl FrameDecoder {
             FRAME_MSG => FrameEvent::Msg {
                 seq,
                 msg: Message::decode(payload)?,
+                ctx: None,
             },
+            FRAME_MSG_TRACED => {
+                // [u8 ext_len][ext][message]. A truncated ext_len makes the
+                // message boundary unrecoverable — that is fatal framing
+                // corruption. A well-delimited but unintelligible extension
+                // (wrong version, wrong size) is merely dropped.
+                if payload_len == 0 {
+                    return Err(CodecError::BadLength(0));
+                }
+                let ext_len = payload[0] as usize;
+                if 1 + ext_len > payload_len {
+                    return Err(CodecError::BadLength(ext_len as u64));
+                }
+                let ext = &payload[1..1 + ext_len];
+                let ctx = if ext_len == TRACE_EXT_LEN && ext[0] == TRACE_EXT_VERSION {
+                    let mut r = Reader::new(&ext[1..]);
+                    let trace = r.u64()?;
+                    let parent = r.u64()?;
+                    Some(TraceCtx { trace, parent })
+                } else {
+                    self.dropped_trace_ctx += 1;
+                    None
+                };
+                FrameEvent::Msg {
+                    seq,
+                    msg: Message::decode(&payload[1 + ext_len..])?,
+                    ctx,
+                }
+            }
             FRAME_BYE => {
                 if payload_len != 0 {
                     return Err(CodecError::BadLength(payload_len as u64));
@@ -170,7 +265,11 @@ mod tests {
         d.push(&buf);
         assert_eq!(
             d.next_frame().unwrap(),
-            Some(FrameEvent::Msg { seq: 42, msg })
+            Some(FrameEvent::Msg {
+                seq: 42,
+                msg,
+                ctx: None
+            })
         );
         assert_eq!(d.next_frame().unwrap(), None);
         assert!(!d.has_partial());
@@ -186,9 +285,10 @@ mod tests {
         d.push(&buf);
         for i in 0..5u64 {
             match d.next_frame().unwrap() {
-                Some(FrameEvent::Msg { seq, msg }) => {
+                Some(FrameEvent::Msg { seq, msg, ctx }) => {
                     assert_eq!(seq, i);
                     assert_eq!(msg, sample_msg(i));
+                    assert_eq!(ctx, None);
                 }
                 other => panic!("unexpected {other:?}"),
             }
@@ -252,5 +352,129 @@ mod tests {
             }
         }
         assert!(!d.has_partial());
+    }
+
+    // --- Trace-context extension (back-compat + degradation). -------------
+
+    /// Byte image of the pre-extension format: `encode_frame` must still
+    /// produce exactly `[len][kind=0][seq][payload]`, so frames written by
+    /// an un-upgraded peer decode unchanged.
+    #[test]
+    fn pre_extension_frames_still_decode() {
+        let msg = sample_msg(5);
+        let payload = msg.encode();
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        legacy.push(FRAME_MSG);
+        legacy.extend_from_slice(&11u64.to_le_bytes());
+        legacy.extend_from_slice(&payload);
+        assert_eq!(legacy, encode_frame(11, &msg));
+        let mut d = FrameDecoder::new();
+        d.push(&legacy);
+        assert_eq!(
+            d.next_frame().unwrap(),
+            Some(FrameEvent::Msg {
+                seq: 11,
+                msg,
+                ctx: None
+            })
+        );
+        assert_eq!(d.dropped_trace_ctx(), 0);
+    }
+
+    #[test]
+    fn encode_frame_ctx_without_ctx_is_plain_framing() {
+        let msg = sample_msg(2);
+        assert_eq!(encode_frame_ctx(7, &msg, None), encode_frame(7, &msg));
+    }
+
+    #[test]
+    fn traced_frame_roundtrips() {
+        let msg = sample_msg(3);
+        let ctx = TraceCtx {
+            trace: 0xDEAD_BEEF_0001,
+            parent: 0xFACE_0002,
+        };
+        let buf = encode_frame_ctx(9, &msg, Some(ctx));
+        let mut d = FrameDecoder::new();
+        d.push(&buf);
+        assert_eq!(
+            d.next_frame().unwrap(),
+            Some(FrameEvent::Msg {
+                seq: 9,
+                msg,
+                ctx: Some(ctx)
+            })
+        );
+        assert_eq!(d.dropped_trace_ctx(), 0);
+    }
+
+    #[test]
+    fn corrupt_trace_ext_version_drops_ctx_not_message() {
+        let msg = sample_msg(4);
+        let ctx = TraceCtx {
+            trace: 1,
+            parent: 2,
+        };
+        let mut raw = encode_frame_ctx(0, &msg, Some(ctx));
+        raw[FRAME_HEADER_LEN + 1] = 0x7F; // flip the ext version byte
+        let mut d = FrameDecoder::new();
+        d.push(&raw);
+        assert_eq!(
+            d.next_frame().unwrap(),
+            Some(FrameEvent::Msg {
+                seq: 0,
+                msg,
+                ctx: None
+            })
+        );
+        assert_eq!(d.dropped_trace_ctx(), 1);
+    }
+
+    /// A future, longer extension we don't understand: skipped by length,
+    /// counted, message intact.
+    #[test]
+    fn unknown_longer_ext_is_skipped_by_length() {
+        let msg = sample_msg(6);
+        let payload = msg.encode();
+        let ext = [0u8; 24]; // version 0, 24 bytes — not ours
+        let mut w = Writer::new();
+        w.u32((1 + ext.len() + payload.len()) as u32);
+        w.u8(FRAME_MSG_TRACED);
+        w.u64(4);
+        w.u8(ext.len() as u8);
+        let mut raw = w.finish();
+        raw.extend_from_slice(&ext);
+        raw.extend_from_slice(&payload);
+        let mut d = FrameDecoder::new();
+        d.push(&raw);
+        assert_eq!(
+            d.next_frame().unwrap(),
+            Some(FrameEvent::Msg {
+                seq: 4,
+                msg,
+                ctx: None
+            })
+        );
+        assert_eq!(d.dropped_trace_ctx(), 1);
+    }
+
+    /// An ext_len pointing past the payload leaves no recoverable message
+    /// boundary — that is fatal framing corruption, like a bad kind byte.
+    #[test]
+    fn trace_ext_len_past_payload_is_fatal() {
+        let msg = sample_msg(8);
+        let mut raw = encode_frame_ctx(
+            0,
+            &msg,
+            Some(TraceCtx {
+                trace: 3,
+                parent: 4,
+            }),
+        );
+        raw[FRAME_HEADER_LEN] = 0xFF; // ext_len far beyond the payload
+        let mut d = FrameDecoder::new();
+        d.push(&raw);
+        assert!(matches!(d.next_frame(), Err(CodecError::BadLength(_))));
     }
 }

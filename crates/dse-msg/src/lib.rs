@@ -25,7 +25,8 @@ mod message;
 
 pub use codec::{CodecError, Reader, Writer, MAX_PAYLOAD};
 pub use frame::{
-    encode_bye, encode_frame, FrameDecoder, FrameEvent, FRAME_BYE, FRAME_HEADER_LEN, FRAME_MSG,
+    encode_bye, encode_frame, encode_frame_ctx, FrameDecoder, FrameEvent, TraceCtx, FRAME_BYE,
+    FRAME_HEADER_LEN, FRAME_MSG, FRAME_MSG_TRACED, TRACE_EXT_LEN, TRACE_EXT_VERSION,
 };
 pub use ids::{GlobalPid, NodeId, RegionId, ReqId, ReqIdGen};
 pub use message::{GmOp, Message};

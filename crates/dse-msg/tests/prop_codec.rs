@@ -2,8 +2,8 @@
 //! roundtrip, and arbitrary byte soup never panics the decoder.
 
 use dse_msg::{
-    encode_bye, encode_frame, FrameDecoder, FrameEvent, GlobalPid, GmOp, Message, NodeId, RegionId,
-    ReqId,
+    encode_bye, encode_frame, encode_frame_ctx, FrameDecoder, FrameEvent, GlobalPid, GmOp, Message,
+    NodeId, RegionId, ReqId, TraceCtx,
 };
 use proptest::prelude::*;
 
@@ -189,9 +189,52 @@ proptest! {
         }
         prop_assert_eq!(events.len(), msgs.len() + 1);
         for (i, m) in msgs.iter().enumerate() {
-            prop_assert_eq!(&events[i], &FrameEvent::Msg { seq: i as u64, msg: m.clone() });
+            prop_assert_eq!(
+                &events[i],
+                &FrameEvent::Msg { seq: i as u64, msg: m.clone(), ctx: None }
+            );
         }
         prop_assert_eq!(&events[msgs.len()], &FrameEvent::Bye { seq: msgs.len() as u64 });
+        prop_assert!(!dec.has_partial());
+    }
+
+    /// Traced frames round-trip the context for any message and any id
+    /// pair, under arbitrary stream chunking, interleaved with untraced
+    /// frames — and an untraced frame never grows a context.
+    #[test]
+    fn traced_frames_roundtrip_ctx_under_chunking(
+        msgs in proptest::collection::vec(
+            (arb_message(), any::<bool>(), any::<u64>(), any::<u64>()),
+            1..6
+        ),
+        chunk in 1usize..64
+    ) {
+        let msgs: Vec<(Message, Option<(u64, u64)>)> = msgs
+            .into_iter()
+            .map(|(m, traced, t, p)| (m, traced.then_some((t, p))))
+            .collect();
+        let mut stream = Vec::new();
+        for (i, (m, ctx)) in msgs.iter().enumerate() {
+            let ctx = ctx.map(|(trace, parent)| TraceCtx { trace, parent });
+            stream.extend_from_slice(&encode_frame_ctx(i as u64, m, ctx));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut events = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.push(piece);
+            while let Some(ev) = dec.next_frame().unwrap() {
+                events.push(ev);
+            }
+        }
+        prop_assert_eq!(events.len(), msgs.len());
+        for (i, (m, ctx)) in msgs.iter().enumerate() {
+            let want_ctx = ctx.map(|(trace, parent)| TraceCtx { trace, parent });
+            prop_assert_eq!(
+                &events[i],
+                &FrameEvent::Msg { seq: i as u64, msg: m.clone(), ctx: want_ctx }
+            );
+        }
+        prop_assert_eq!(dec.dropped_trace_ctx(), 0);
         prop_assert!(!dec.has_partial());
     }
 }

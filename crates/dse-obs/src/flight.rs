@@ -63,6 +63,10 @@ pub struct FlightEvent {
     pub t_ns: u64,
     /// PE the event is attributed to (sender / requester / emitter).
     pub pe: u32,
+    /// Causal trace id of the in-flight operation (0 = not traced).
+    pub trace: u64,
+    /// Causal span id of the in-flight operation (0 = not traced).
+    pub span: u64,
     /// The event itself.
     pub kind: FlightEventKind,
 }
@@ -95,6 +99,13 @@ impl FlightRecorder {
 
     /// Record one event, evicting the oldest when full.
     pub fn record(&self, t_ns: u64, pe: u32, kind: FlightEventKind) {
+        self.record_traced(t_ns, pe, 0, 0, kind);
+    }
+
+    /// Record one event tagged with the causal trace/span ids of the
+    /// operation in flight (0/0 when the operation is untraced), so a
+    /// post-mortem dump can be joined against the assembled cluster trace.
+    pub fn record_traced(&self, t_ns: u64, pe: u32, trace: u64, span: u64, kind: FlightEventKind) {
         if self.capacity == 0 {
             return;
         }
@@ -102,7 +113,13 @@ impl FlightRecorder {
         if ring.len() == self.capacity {
             ring.pop_front();
         }
-        ring.push_back(FlightEvent { t_ns, pe, kind });
+        ring.push_back(FlightEvent {
+            t_ns,
+            pe,
+            trace,
+            span,
+            kind,
+        });
     }
 
     /// Convenience hook: record a completed span.
@@ -135,10 +152,14 @@ impl FlightRecorder {
 
     /// Dump the ring as JSONL, oldest first: one object per event with a
     /// `"type"` discriminator (`bus`/`span_close`/`stall`/`telemetry`).
+    /// Events recorded with causal ids carry `"trace"`/`"span"` fields.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for e in self.events() {
             out.push_str(&format!("{{\"t_ns\":{},\"pe\":{},", e.t_ns, e.pe));
+            if e.trace != 0 {
+                out.push_str(&format!("\"trace\":{},\"span\":{},", e.trace, e.span));
+            }
             match e.kind {
                 FlightEventKind::Bus {
                     label,
@@ -220,6 +241,43 @@ mod tests {
         );
         assert!(f.is_empty());
         assert_eq!(f.to_jsonl(), "");
+    }
+
+    #[test]
+    fn traced_events_carry_causal_ids_in_jsonl() {
+        let f = FlightRecorder::with_capacity(4);
+        f.record_traced(
+            100,
+            1,
+            0xabc,
+            0xdef,
+            FlightEventKind::Stall {
+                kind: SpanKind::GmRead,
+                seq: 7,
+                waited_ns: 90,
+            },
+        );
+        f.record(
+            200,
+            1,
+            FlightEventKind::Telemetry {
+                seq: 1,
+                absolute: false,
+            },
+        );
+        let dump = f.to_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].contains("\"trace\":2748,\"span\":3567,"),
+            "traced event carries ids: {}",
+            lines[0]
+        );
+        assert!(
+            !lines[1].contains("\"trace\""),
+            "untraced event stays id-free: {}",
+            lines[1]
+        );
     }
 
     #[test]

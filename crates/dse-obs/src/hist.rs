@@ -161,6 +161,11 @@ impl LogHistogram {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile — the tail the serving-SLO story is written in.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Non-empty buckets as `(inclusive upper bound, count)`, in increasing
     /// bound order. Bounds are monotone and counts sum to [`Self::count`].
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
@@ -262,6 +267,9 @@ mod tests {
         assert!((450..=600).contains(&p50), "p50 was {p50}");
         let p99 = h.p99();
         assert!((950..=1000).contains(&p99), "p99 was {p99}");
+        let p999 = h.p999();
+        assert!((990..=1000).contains(&p999), "p999 was {p999}");
+        assert!(p99 <= p999);
         assert!(h.quantile(1.0) <= 1000);
     }
 

@@ -7,7 +7,7 @@
 //! {"type":"counter","subsystem":S,"name":N,"pe":P|null,"machine":M|null,"value":V}
 //! {"type":"gauge",  ...same key fields..., "value":V}
 //! {"type":"histogram", ...same key fields...,
-//!  "count":C,"sum":S,"min":L,"max":H,"p50":A,"p90":B,"p99":D,
+//!  "count":C,"sum":S,"min":L,"max":H,"p50":A,"p90":B,"p99":D,"p999":E,
 //!  "buckets":[[upper,count],...]}
 //! ```
 
@@ -55,14 +55,15 @@ pub fn metrics_jsonl(s: &MetricsSnapshot) -> String {
         key_fields(&mut out, k);
         let _ = write!(
             out,
-            ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+            ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"buckets\":[",
             h.count(),
             h.sum(),
             h.min(),
             h.max(),
             h.p50(),
             h.p90(),
-            h.p99()
+            h.p99(),
+            h.p999()
         );
         for (i, (ub, c)) in h.nonzero_buckets().iter().enumerate() {
             if i > 0 {
@@ -79,7 +80,7 @@ pub fn metrics_jsonl(s: &MetricsSnapshot) -> String {
 /// summary statistics, not the raw buckets).
 pub fn metrics_csv(s: &MetricsSnapshot) -> String {
     let mut out =
-        String::from("kind,subsystem,name,pe,machine,value,count,sum,min,max,p50,p90,p99\n");
+        String::from("kind,subsystem,name,pe,machine,value,count,sum,min,max,p50,p90,p99,p999\n");
     let key = |out: &mut String, k: &MetricKey| {
         let _ = write!(out, "{},{},", k.subsystem, k.name);
         match k.pe {
@@ -98,26 +99,27 @@ pub fn metrics_csv(s: &MetricsSnapshot) -> String {
     for (k, v) in &s.counters {
         out.push_str("counter,");
         key(&mut out, k);
-        let _ = writeln!(out, "{v},,,,,,,");
+        let _ = writeln!(out, "{v},,,,,,,,");
     }
     for (k, v) in &s.gauges {
         out.push_str("gauge,");
         key(&mut out, k);
-        let _ = writeln!(out, "{v},,,,,,,");
+        let _ = writeln!(out, "{v},,,,,,,,");
     }
     for (k, h) in &s.histograms {
         out.push_str("histogram,");
         key(&mut out, k);
         let _ = writeln!(
             out,
-            ",{},{},{},{},{},{},{}",
+            ",{},{},{},{},{},{},{},{}",
             h.count(),
             h.sum(),
             h.min(),
             h.max(),
             h.p50(),
             h.p90(),
-            h.p99()
+            h.p99(),
+            h.p999()
         );
     }
     out
@@ -143,6 +145,7 @@ mod tests {
         );
         assert!(lines[1].contains("\"type\":\"gauge\""));
         assert!(lines[2].contains("\"count\":1"));
+        assert!(lines[2].contains("\"p999\":"));
         assert!(lines[2].contains("\"buckets\":[["));
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'));

@@ -17,7 +17,12 @@
 //!   [`ClusterAggregator`] ship per-PE metric deltas in-band over the DSE
 //!   message layer and rebuild the cluster rollup at PE0,
 //! * [`FlightRecorder`] — a fixed-size ring of recent bus/span events
-//!   dumped post-mortem when the stall watchdog trips.
+//!   dumped post-mortem when the stall watchdog trips,
+//! * the causal-trace plane — [`TraceRecorder`] / [`TraceSpanRec`] record
+//!   per-PE causal spans (request → serve → redeem, barrier and lock
+//!   rounds) whose ids travel in the wire trace-context extension; the
+//!   `dse-trace` assembler rebuilds the cluster-wide trace from the
+//!   per-PE JSONL streams.
 //!
 //! Everything is engine-neutral: values are plain `u64` nanoseconds,
 //! whether they come from the simulator's virtual clock or the live
@@ -34,6 +39,7 @@ mod interval;
 mod jsonl;
 mod registry;
 mod span;
+mod trace;
 mod util;
 
 pub use aggregate::{ClusterAggregator, DeltaTracker, HistDelta, NodeStatus, TelemetryDelta};
@@ -44,3 +50,7 @@ pub use interval::{BusInterval, BusSampler, DEFAULT_BIN_NS};
 pub use jsonl::{metrics_csv, metrics_jsonl};
 pub use registry::{MetricKey, MetricsSnapshot, Registry};
 pub use span::{OpenSpanInfo, SpanKind, SpanRecord, SpanTable};
+pub use trace::{
+    derived_span_id, parse_trace_jsonl, TraceRecorder, TraceRole, TraceSpanKind, TraceSpanRec,
+    NO_PEER,
+};

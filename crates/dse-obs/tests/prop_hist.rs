@@ -53,7 +53,8 @@ proptest! {
         // Quantiles are monotone in q.
         prop_assert!(h.p50() <= h.p90());
         prop_assert!(h.p90() <= h.p99());
-        prop_assert!(h.p99() <= h.quantile(1.0));
+        prop_assert!(h.p99() <= h.p999());
+        prop_assert!(h.p999() <= h.quantile(1.0));
     }
 
     #[test]

@@ -212,6 +212,8 @@ pub struct TopRow {
     pub p50_ns: Option<u64>,
     /// p99 of the same merged latency distribution.
     pub p99_ns: Option<u64>,
+    /// p99.9 of the same merged latency distribution (the SLO tail).
+    pub p999_ns: Option<u64>,
     /// Last telemetry sequence number heard from this PE.
     pub last_seq: u32,
     /// Sequence gaps observed (lost telemetry deltas).
@@ -260,10 +262,10 @@ pub fn top_rows(agg: &ClusterAggregator, now_ns: u64) -> Vec<TopRow> {
                     lat.merge(h);
                 }
             }
-            let (p50_ns, p99_ns) = if lat.count() > 0 {
-                (Some(lat.p50()), Some(lat.p99()))
+            let (p50_ns, p99_ns, p999_ns) = if lat.count() > 0 {
+                (Some(lat.p50()), Some(lat.p99()), Some(lat.p999()))
             } else {
-                (None, None)
+                (None, None, None)
             };
             TopRow {
                 pe,
@@ -278,6 +280,7 @@ pub fn top_rows(agg: &ClusterAggregator, now_ns: u64) -> Vec<TopRow> {
                 gm_deadline_trips: c("gm_deadline_trips"),
                 p50_ns,
                 p99_ns,
+                p999_ns,
                 last_seq: ns.last_seq,
                 gaps: ns.gaps,
                 age_ns: ns.last_heard_ns.map(|t| now_ns.saturating_sub(t)),
@@ -298,7 +301,7 @@ fn fmt_us(v: Option<u64>) -> String {
 /// request-latency percentiles and telemetry health.
 pub fn render_top(agg: &ClusterAggregator, now_ns: u64) -> String {
     let mut out = String::from(
-        "NODE  MACHINE  MSGS      GM-BYTES    HIT%   INFLT  COAL   RETRY  TRIPS  P50(us)   P99(us)   SEQ    GAPS  AGE(ms)\n",
+        "NODE  MACHINE  MSGS      GM-BYTES    HIT%   INFLT  COAL   RETRY  TRIPS  P50(us)   P99(us)   P999(us)  SEQ    GAPS  AGE(ms)\n",
     );
     for r in top_rows(agg, now_ns) {
         let machine = r
@@ -314,7 +317,7 @@ pub fn render_top(agg: &ClusterAggregator, now_ns: u64) -> String {
             .map(|a| format!("{:.1}", a as f64 / 1e6))
             .unwrap_or_else(|| "-".to_string());
         out.push_str(&format!(
-            "{:<5} {:<8} {:<9} {:<11} {:<6} {:<6} {:<6} {:<6} {:<6} {:<9} {:<9} {:<6} {:<5} {}\n",
+            "{:<5} {:<8} {:<9} {:<11} {:<6} {:<6} {:<6} {:<6} {:<6} {:<9} {:<9} {:<9} {:<6} {:<5} {}\n",
             r.pe,
             machine,
             r.messages,
@@ -326,6 +329,7 @@ pub fn render_top(agg: &ClusterAggregator, now_ns: u64) -> String {
             r.gm_deadline_trips,
             fmt_us(r.p50_ns),
             fmt_us(r.p99_ns),
+            fmt_us(r.p999_ns),
             r.last_seq,
             r.gaps,
             age
@@ -486,8 +490,9 @@ mod tests {
         assert_eq!(r0.gm_deadline_trips, 1);
         // Merged latency distribution spans all recorded samples (plain
         // reads/writes and split-phase batches alike).
-        assert!(r0.p50_ns.is_some() && r0.p99_ns.is_some());
+        assert!(r0.p50_ns.is_some() && r0.p99_ns.is_some() && r0.p999_ns.is_some());
         assert!(r0.p99_ns.unwrap() >= r0.p50_ns.unwrap());
+        assert!(r0.p999_ns.unwrap() >= r0.p99_ns.unwrap());
         assert!(r0.p99_ns.unwrap() >= 50_000);
         assert_eq!(r0.age_ns, Some(4_000_000));
         let r1 = &rows[1];
@@ -499,6 +504,7 @@ mod tests {
         assert_eq!(r1.gm_retries, 0);
         assert_eq!(r1.gm_deadline_trips, 0);
         assert_eq!(r1.p50_ns, None);
+        assert_eq!(r1.p999_ns, None);
         assert_eq!(r1.age_ns, Some(1_000_000));
         assert!(rows.iter().all(|r| r.last_seq == 1 && r.gaps == 0));
     }
@@ -518,6 +524,7 @@ mod tests {
         let agg = aggregated();
         let text = render_top(&agg, 5_000_000);
         assert!(text.starts_with("NODE"));
+        assert!(text.contains("P999(us)"));
         assert!(text.contains("HIT%"));
         assert!(text.contains("INFLT"));
         assert!(text.contains("COAL"));

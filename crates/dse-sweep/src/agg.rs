@@ -36,6 +36,8 @@ pub struct CellSummary {
     pub p50_ns: f64,
     /// Mean merged GM latency p99 (ns).
     pub p99_ns: f64,
+    /// Mean merged GM latency p99.9 (ns) — the SLO tail.
+    pub p999_ns: f64,
 }
 
 /// Group rows by cell id and fold each group into its summary, sorted by
@@ -85,6 +87,7 @@ pub fn aggregate(rows: &[RunRecord]) -> Vec<CellSummary> {
                 gm_ops_per_sec: rate(&|r| r.gm_ops),
                 p50_ns: mean(&|r| r.p50_ns as f64),
                 p99_ns: mean(&|r| r.p99_ns as f64),
+                p999_ns: mean(&|r| r.p999_ns as f64),
             }
         })
         .collect()
@@ -107,9 +110,10 @@ fn human_ms(ns: f64) -> String {
 /// Render the aggregate table.
 pub fn render_table(cells: &[CellSummary]) -> String {
     let header = [
-        "cell", "runs", "ok", "ev/s", "gmop/s", "wall ms", "p50 us", "p99 us", "retry", "bad",
+        "cell", "runs", "ok", "ev/s", "gmop/s", "wall ms", "p50 us", "p99 us", "p999 us", "retry",
+        "bad",
     ];
-    let mut table: Vec<[String; 10]> = vec![header.map(String::from)];
+    let mut table: Vec<[String; 11]> = vec![header.map(String::from)];
     for c in cells {
         let bad = c.aborts + c.timeouts + c.errors;
         table.push([
@@ -121,6 +125,7 @@ pub fn render_table(cells: &[CellSummary]) -> String {
             human_ms(c.wall_ns),
             format!("{:.1}", c.p50_ns / 1e3),
             format!("{:.1}", c.p99_ns / 1e3),
+            format!("{:.1}", c.p999_ns / 1e3),
             c.retries.to_string(),
             if bad == 0 {
                 "-".into()
@@ -129,7 +134,7 @@ pub fn render_table(cells: &[CellSummary]) -> String {
             },
         ]);
     }
-    let mut widths = [0usize; 10];
+    let mut widths = [0usize; 11];
     for row in &table {
         for (w, cell) in widths.iter_mut().zip(row) {
             *w = (*w).max(cell.len());
@@ -173,7 +178,7 @@ pub fn to_bench_json(sweep: &str, cells: &[CellSummary]) -> String {
             "    {{\"cell\": \"{}\", \"runs\": {}, \"ok\": {}, \"aborts\": {}, \
              \"timeouts\": {}, \"errors\": {}, \"retries\": {}, \"wall_ns\": {}, \
              \"virtual_ns\": {}, \"events_per_sec\": {}, \"gm_ops_per_sec\": {}, \
-             \"p50_ns\": {}, \"p99_ns\": {}}}{sep}\n",
+             \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}{sep}\n",
             json::escape(&c.cell),
             c.runs,
             c.ok,
@@ -187,6 +192,7 @@ pub fn to_bench_json(sweep: &str, cells: &[CellSummary]) -> String {
             json::num((c.gm_ops_per_sec * 10.0).round() / 10.0),
             json::num(c.p50_ns.round()),
             json::num(c.p99_ns.round()),
+            json::num(c.p999_ns.round()),
         ));
     }
     out.push_str("  ]\n}\n");
@@ -235,6 +241,9 @@ pub fn parse_bench_json(src: &str) -> Result<Vec<CellSummary>, String> {
                 gm_ops_per_sec: n("gm_ops_per_sec")?,
                 p50_ns: n("p50_ns")?,
                 p99_ns: n("p99_ns")?,
+                // Absent in pre-p999 baselines; tolerate so committed
+                // trajectory files stay readable.
+                p999_ns: c.get("p999_ns").and_then(Value::as_f64).unwrap_or(0.0),
             })
         })
         .collect()
@@ -368,6 +377,7 @@ mod tests {
                 rec.gm_ops = 500;
                 rec.p50_ns = 1000;
                 rec.p99_ns = 9000;
+                rec.p999_ns = 12000;
                 rec
             })
             .collect()
@@ -411,8 +421,13 @@ mod tests {
             assert_eq!(a.cell, b.cell);
             assert_eq!(a.runs, b.runs);
             assert!((a.events_per_sec - b.events_per_sec).abs() < 0.1);
+            assert!((a.p999_ns - b.p999_ns).abs() < 1.0);
         }
         assert!(parse_bench_json("{\"schema\": \"other/v9\", \"cells\": []}").is_err());
+        // Pre-p999 baselines (no p999_ns key) still parse, defaulting to 0.
+        let legacy = text.replace(", \"p999_ns\": 12000", "");
+        let back = parse_bench_json(&legacy).unwrap();
+        assert!(back.iter().all(|c| c.p999_ns == 0.0));
     }
 
     #[test]

@@ -88,12 +88,26 @@ pub struct RunRecord {
     pub p50_ns: u64,
     /// Merged GM latency p99 across PEs (ns; virtual on sim runs).
     pub p99_ns: u64,
+    /// Merged GM latency p99.9 across PEs (ns; virtual on sim runs).
+    pub p999_ns: u64,
+    /// Causal-blame decomposition of the run's wall clock, summed over
+    /// PEs (live runs only; 0 on sim rows). The six columns partition
+    /// each PE's app-span wall time, so
+    /// `compute + serve + net + retry + barrier + lock` equals the sum
+    /// of per-PE app-span durations.
+    pub blame_compute_ns: u64,
+    pub blame_serve_ns: u64,
+    pub blame_net_ns: u64,
+    pub blame_retry_ns: u64,
+    pub blame_barrier_ns: u64,
+    pub blame_lock_ns: u64,
 }
 
 /// CSV header matching [`RunRecord::to_csv_line`].
 pub const CSV_HEADER: &str = "idx,cell,scenario,app,engine,transport,platform,procs,gm_window,\
 cache,fault_plan,seed,status,note,wall_ns,virtual_ns,events,gm_ops,gm_request_msgs,retries,\
-p50_ns,p99_ns";
+p50_ns,p99_ns,p999_ns,blame_compute_ns,blame_serve_ns,blame_net_ns,blame_retry_ns,\
+blame_barrier_ns,blame_lock_ns";
 
 impl RunRecord {
     /// A failure row for a run that produced no metrics.
@@ -121,6 +135,13 @@ impl RunRecord {
             retries: 0,
             p50_ns: 0,
             p99_ns: 0,
+            p999_ns: 0,
+            blame_compute_ns: 0,
+            blame_serve_ns: 0,
+            blame_net_ns: 0,
+            blame_retry_ns: 0,
+            blame_barrier_ns: 0,
+            blame_lock_ns: 0,
         }
     }
 
@@ -133,7 +154,9 @@ impl RunRecord {
                 "\"gm_window\":{},\"cache\":{},\"fault_plan\":\"{}\",\"seed\":{},",
                 "\"status\":\"{}\",\"note\":\"{}\",\"wall_ns\":{},\"virtual_ns\":{},",
                 "\"events\":{},\"gm_ops\":{},\"gm_request_msgs\":{},\"retries\":{},",
-                "\"p50_ns\":{},\"p99_ns\":{}}}"
+                "\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},",
+                "\"blame_compute_ns\":{},\"blame_serve_ns\":{},\"blame_net_ns\":{},",
+                "\"blame_retry_ns\":{},\"blame_barrier_ns\":{},\"blame_lock_ns\":{}}}"
             ),
             self.idx,
             json::escape(&self.cell),
@@ -157,6 +180,13 @@ impl RunRecord {
             self.retries,
             self.p50_ns,
             self.p99_ns,
+            self.p999_ns,
+            self.blame_compute_ns,
+            self.blame_serve_ns,
+            self.blame_net_ns,
+            self.blame_retry_ns,
+            self.blame_barrier_ns,
+            self.blame_lock_ns,
         )
     }
 
@@ -164,13 +194,20 @@ impl RunRecord {
     /// zeroed. Two runs of the same sim spec and seed must produce
     /// byte-identical canonical lines (the determinism test relies on
     /// this); live rows additionally zero their wall-clock latency
-    /// quantiles.
+    /// quantiles and blame columns.
     pub fn canonical_line(&self) -> String {
         let mut c = self.clone();
         c.wall_ns = 0;
         if c.engine == "live" {
             c.p50_ns = 0;
             c.p99_ns = 0;
+            c.p999_ns = 0;
+            c.blame_compute_ns = 0;
+            c.blame_serve_ns = 0;
+            c.blame_net_ns = 0;
+            c.blame_retry_ns = 0;
+            c.blame_barrier_ns = 0;
+            c.blame_lock_ns = 0;
         }
         c.to_json_line()
     }
@@ -185,7 +222,7 @@ impl RunRecord {
             }
         };
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.idx,
             csv(&self.cell),
             csv(&self.scenario),
@@ -208,6 +245,13 @@ impl RunRecord {
             self.retries,
             self.p50_ns,
             self.p99_ns,
+            self.p999_ns,
+            self.blame_compute_ns,
+            self.blame_serve_ns,
+            self.blame_net_ns,
+            self.blame_retry_ns,
+            self.blame_barrier_ns,
+            self.blame_lock_ns,
         )
     }
 
@@ -253,13 +297,20 @@ impl RunRecord {
             retries: n("retries")?,
             p50_ns: n("p50_ns")?,
             p99_ns: n("p99_ns")?,
+            p999_ns: n("p999_ns")?,
+            blame_compute_ns: n("blame_compute_ns")?,
+            blame_serve_ns: n("blame_serve_ns")?,
+            blame_net_ns: n("blame_net_ns")?,
+            blame_retry_ns: n("blame_retry_ns")?,
+            blame_barrier_ns: n("blame_barrier_ns")?,
+            blame_lock_ns: n("blame_lock_ns")?,
         })
     }
 }
 
 /// Merge every `gm/*_ns` latency histogram across PEs and return
-/// `(p50, p99)` — the latency columns of the row.
-fn gm_latency_quantiles(metrics: &MetricsSnapshot) -> (u64, u64) {
+/// `(p50, p99, p99.9)` — the latency columns of the row.
+fn gm_latency_quantiles(metrics: &MetricsSnapshot) -> (u64, u64, u64) {
     let mut merged = LogHistogram::new();
     for (key, hist) in &metrics.histograms {
         if key.subsystem == "gm" && key.name.ends_with("_ns") {
@@ -267,9 +318,9 @@ fn gm_latency_quantiles(metrics: &MetricsSnapshot) -> (u64, u64) {
         }
     }
     if merged.count() == 0 {
-        (0, 0)
+        (0, 0, 0)
     } else {
-        (merged.p50(), merged.p99())
+        (merged.p50(), merged.p99(), merged.p999())
     }
 }
 
@@ -353,7 +404,7 @@ fn execute_sim(spec: &RunSpec, app: AppKind) -> RunRecord {
         }
     };
     let wall_ns = started.elapsed().as_nanos() as u64;
-    let (p50_ns, p99_ns) = gm_latency_quantiles(&run.metrics);
+    let (p50_ns, p99_ns, p999_ns) = gm_latency_quantiles(&run.metrics);
     RunRecord {
         wall_ns,
         virtual_ns: run.report.end_time.as_nanos(),
@@ -368,6 +419,7 @@ fn execute_sim(spec: &RunSpec, app: AppKind) -> RunRecord {
         retries: run.metrics.counter_sum_over_pes("kernel", "gm_retries"),
         p50_ns,
         p99_ns,
+        p999_ns,
         status: RunStatus::Ok,
         note: String::new(),
         ..RunRecord::failed(spec, RunStatus::Ok, "")
@@ -382,7 +434,7 @@ fn execute_live(spec: &RunSpec, app: AppKind) -> RunRecord {
             format!("app '{}' does not run on the live engine", spec.app),
         );
     }
-    let cfg = match build::build_live(
+    let mut cfg = match build::build_live(
         &spec.transport,
         Some(spec.fault_plan.as_str()),
         Some(spec.seed),
@@ -390,6 +442,9 @@ fn execute_live(spec: &RunSpec, app: AppKind) -> RunRecord {
         Ok(cfg) => cfg,
         Err(e) => return RunRecord::failed(spec, RunStatus::Error, e),
     };
+    // Always trace live cells: the row's blame columns decompose the
+    // run's wall clock, so every sweep shows *where* a cell's time went.
+    cfg.tracing = true;
     let p = spec.params;
     let procs = spec.procs;
     let started = Instant::now();
@@ -432,7 +487,8 @@ fn execute_live(spec: &RunSpec, app: AppKind) -> RunRecord {
     let wall_ns = started.elapsed().as_nanos() as u64;
     match outcome {
         Ok(run) => {
-            let (p50_ns, p99_ns) = gm_latency_quantiles(&run.metrics);
+            let (p50_ns, p99_ns, p999_ns) = gm_latency_quantiles(&run.metrics);
+            let blame = dse_trace::blame(&dse_trace::assemble(&run.trace_spans)).total();
             RunRecord {
                 wall_ns,
                 events: 0,
@@ -443,6 +499,13 @@ fn execute_live(spec: &RunSpec, app: AppKind) -> RunRecord {
                 retries: run.metrics.counter_sum_over_pes("kernel", "gm_retries"),
                 p50_ns,
                 p99_ns,
+                p999_ns,
+                blame_compute_ns: blame.compute_ns,
+                blame_serve_ns: blame.serve_ns,
+                blame_net_ns: blame.net_ns,
+                blame_retry_ns: blame.retry_ns,
+                blame_barrier_ns: blame.barrier_ns,
+                blame_lock_ns: blame.lock_ns,
                 status: RunStatus::Ok,
                 note: String::new(),
                 ..RunRecord::failed(spec, RunStatus::Ok, "")
@@ -498,6 +561,17 @@ mod tests {
             "kernel/gm_ops must be counted on the live path"
         );
         assert_eq!(row.virtual_ns, 0);
+        // Live cells always trace, so the blame decomposition is
+        // populated and partitions the PEs' app-span wall time.
+        let parts = row.blame_compute_ns
+            + row.blame_serve_ns
+            + row.blame_net_ns
+            + row.blame_retry_ns
+            + row.blame_barrier_ns
+            + row.blame_lock_ns;
+        assert!(parts > 0, "blame columns must be populated on live rows");
+        assert!(row.blame_compute_ns > 0);
+        assert!(row.p999_ns >= row.p99_ns);
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! Wall-clock attribution over an assembled cluster trace: the blame
+//! table and the cross-PE critical path.
+//!
+//! The blame table answers "where did each PE's wall clock go" with an
+//! accounting that sums to exactly 100% by construction: every app
+//! nanosecond is compute unless a recorded wait span covers it, and every
+//! GM-wait nanosecond is net transit unless the home's serve span or the
+//! requester's retry backoff claims it. The critical path answers "which
+//! chain of spans actually bounded the run": starting from the
+//! last-finishing PE it walks backwards through wait spans, hopping PEs
+//! at barriers (to the straggler that held the round) and at GM waits
+//! (through the home kernel's serve span). Both analyses are pure
+//! functions of the trace, so the CI determinism smoke can diff their
+//! rendered output byte-for-byte.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use dse_obs::TraceSpanKind;
+
+use crate::cluster::ClusterTrace;
+
+/// Where one PE's wall clock went, in nanoseconds.
+///
+/// Invariant: `compute + serve + net + retry + barrier + lock == wall`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlameRow {
+    /// PE the row describes.
+    pub pe: u32,
+    /// App-thread lifetime (the root span's duration).
+    pub wall_ns: u64,
+    /// Time not covered by any wait span.
+    pub compute_ns: u64,
+    /// GM-wait time covered by home-kernel serve spans for this PE.
+    pub serve_ns: u64,
+    /// GM-wait time in flight on the wire (the unexplained remainder).
+    pub net_ns: u64,
+    /// GM-wait time spent in retransmit backoff.
+    pub retry_ns: u64,
+    /// Time blocked in barrier rounds.
+    pub barrier_ns: u64,
+    /// Time blocked waiting for cluster locks.
+    pub lock_ns: u64,
+}
+
+impl BlameRow {
+    /// Total GM-wait time (serve + net + retry).
+    pub fn gm_wait_ns(&self) -> u64 {
+        self.serve_ns + self.net_ns + self.retry_ns
+    }
+}
+
+/// Per-PE blame rows plus the cluster total.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlameTable {
+    /// One row per PE, ascending.
+    pub rows: Vec<BlameRow>,
+}
+
+impl BlameTable {
+    /// Sum of all rows (the cluster-wide attribution).
+    pub fn total(&self) -> BlameRow {
+        let mut t = BlameRow::default();
+        for r in &self.rows {
+            t.wall_ns += r.wall_ns;
+            t.compute_ns += r.compute_ns;
+            t.serve_ns += r.serve_ns;
+            t.net_ns += r.net_ns;
+            t.retry_ns += r.retry_ns;
+            t.barrier_ns += r.barrier_ns;
+            t.lock_ns += r.lock_ns;
+        }
+        t
+    }
+
+    /// Render as a fixed-width ASCII table (percentages of each row's
+    /// wall clock; deterministic bytes for deterministic inputs).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "pe    wall_us   compute%    serve%      net%    retry%  barrier%     lock%\n",
+        );
+        let mut line = |tag: &str, r: &BlameRow| {
+            let pct = |v: u64| {
+                if r.wall_ns == 0 {
+                    0.0
+                } else {
+                    v as f64 * 100.0 / r.wall_ns as f64
+                }
+            };
+            let _ = writeln!(
+                out,
+                "{tag:<4}{:>10.1}{:>10.1}{:>10.1}{:>10.1}{:>10.1}{:>10.1}{:>10.1}",
+                r.wall_ns as f64 / 1_000.0,
+                pct(r.compute_ns),
+                pct(r.serve_ns),
+                pct(r.net_ns),
+                pct(r.retry_ns),
+                pct(r.barrier_ns),
+                pct(r.lock_ns),
+            );
+        };
+        for r in &self.rows {
+            line(&r.pe.to_string(), r);
+        }
+        line("all", &self.total());
+        out
+    }
+}
+
+/// Attribute every PE's wall clock across compute / serve / net / retry /
+/// barrier / lock. See [`BlameRow`] for the exact invariant.
+pub fn blame(trace: &ClusterTrace) -> BlameTable {
+    let mut rows = Vec::new();
+    for pe in 0..trace.nprocs as u32 {
+        let Some(app) = trace.app_span(pe) else {
+            continue;
+        };
+        let wall = app.dur_ns();
+        let sum = |kind: TraceSpanKind| -> u64 {
+            trace
+                .spans
+                .iter()
+                .filter(|s| s.pe == pe && s.kind == kind)
+                .map(|s| s.dur_ns())
+                .sum()
+        };
+        // Clamp in sequence so the row always accounts for exactly the
+        // wall clock even if a clock hiccup over-reports a wait.
+        let barrier = sum(TraceSpanKind::BarrierWait).min(wall);
+        let lock = sum(TraceSpanKind::LockWait).min(wall - barrier);
+        let gm = sum(TraceSpanKind::GmBlock).min(wall - barrier - lock);
+        let compute = wall - barrier - lock - gm;
+        // Inside the GM wait: the home's serve time (spans at other PEs
+        // naming this PE as the requester), then local retry backoff,
+        // then whatever is left was wire transit + kernel queueing.
+        let serve_raw: u64 = trace
+            .spans
+            .iter()
+            .filter(|s| s.kind == TraceSpanKind::Serve && !s.dedup && s.peer == pe)
+            .map(|s| s.dur_ns())
+            .sum();
+        let serve = serve_raw.min(gm);
+        let retry = sum(TraceSpanKind::RetryBackoff).min(gm - serve);
+        let net = gm - serve - retry;
+        rows.push(BlameRow {
+            pe,
+            wall_ns: wall,
+            compute_ns: compute,
+            serve_ns: serve,
+            net_ns: net,
+            retry_ns: retry,
+            barrier_ns: barrier,
+            lock_ns: lock,
+        });
+    }
+    BlameTable { rows }
+}
+
+/// One hop of the critical path, chronological.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathStep {
+    /// PE the time was spent on.
+    pub pe: u32,
+    /// What the time was (`compute`, `serve`, `net`, a wait label, ...).
+    pub what: &'static str,
+    /// Step start, engine clock (ns).
+    pub start_ns: u64,
+    /// Step end, engine clock (ns).
+    pub end_ns: u64,
+    /// Correlation id of the span behind the step (0 = none).
+    pub seq: u64,
+}
+
+impl PathStep {
+    /// Step duration.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// The chain of spans that bounded the run end-to-end.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CriticalPath {
+    /// Steps in chronological order.
+    pub steps: Vec<PathStep>,
+}
+
+impl CriticalPath {
+    /// Total time covered by the path.
+    pub fn total_ns(&self) -> u64 {
+        self.steps.iter().map(|s| s.dur_ns()).sum()
+    }
+
+    /// Per-label totals, in first-appearance order.
+    pub fn totals(&self) -> Vec<(&'static str, u64)> {
+        let mut order: Vec<&'static str> = Vec::new();
+        let mut acc: HashMap<&'static str, u64> = HashMap::new();
+        for s in &self.steps {
+            if !acc.contains_key(s.what) {
+                order.push(s.what);
+            }
+            *acc.entry(s.what).or_insert(0) += s.dur_ns();
+        }
+        order.into_iter().map(|w| (w, acc[w])).collect()
+    }
+
+    /// Render the path (last `max_steps` hops) plus the per-label rollup.
+    pub fn render(&self, max_steps: usize) -> String {
+        let mut out = String::new();
+        let total = self.total_ns().max(1);
+        out.push_str("critical path (chronological):\n");
+        let skip = self.steps.len().saturating_sub(max_steps);
+        if skip > 0 {
+            let _ = writeln!(out, "  ... {skip} earlier steps elided ...");
+        }
+        for s in &self.steps[skip..] {
+            let _ = writeln!(
+                out,
+                "  pe{:<3} {:<14} {:>12} ns  seq={}",
+                s.pe,
+                s.what,
+                s.dur_ns(),
+                s.seq
+            );
+        }
+        out.push_str("by kind:\n");
+        for (what, ns) in self.totals() {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>12} ns {:>6.1}%",
+                what,
+                ns,
+                ns as f64 * 100.0 / total as f64
+            );
+        }
+        out
+    }
+}
+
+fn is_wait(kind: TraceSpanKind) -> bool {
+    matches!(
+        kind,
+        TraceSpanKind::BarrierWait | TraceSpanKind::LockWait | TraceSpanKind::GmBlock
+    )
+}
+
+/// Walk the critical path of an assembled trace.
+///
+/// Start from the app span that finished last, then repeatedly: attribute
+/// the gap back to the previous wait on the current PE as compute, then
+/// explain the wait — a barrier hops to the straggler whose late arrival
+/// released the round, a GM wait routes through the home kernel's serve
+/// span (net → serve → net), a lock charges the coordinator's grant. Ties
+/// break on `(end, start, span)` so equal traces yield equal paths.
+pub fn critical_path(trace: &ClusterTrace) -> CriticalPath {
+    let mut rev: Vec<PathStep> = Vec::new();
+    let Some(root) = trace
+        .spans
+        .iter()
+        .filter(|s| s.kind == TraceSpanKind::App)
+        .max_by_key(|s| (s.end_ns, s.pe))
+    else {
+        return CriticalPath::default();
+    };
+    let app_start: HashMap<u32, u64> = trace
+        .spans
+        .iter()
+        .filter(|s| s.kind == TraceSpanKind::App)
+        .map(|s| (s.pe, s.start_ns))
+        .collect();
+    let mut pe = root.pe;
+    let mut cursor = root.end_ns;
+    // Bounded: the cursor strictly decreases every iteration.
+    for _ in 0..1_000_000 {
+        let floor = app_start.get(&pe).copied().unwrap_or(0);
+        let wait = trace
+            .spans
+            .iter()
+            .filter(|s| s.pe == pe && is_wait(s.kind) && s.end_ns <= cursor && s.start_ns >= floor)
+            .max_by_key(|s| (s.end_ns, s.start_ns, s.span));
+        let Some(w) = wait else {
+            rev.push(PathStep {
+                pe,
+                what: "compute",
+                start_ns: floor.min(cursor),
+                end_ns: cursor,
+                seq: 0,
+            });
+            break;
+        };
+        if cursor > w.end_ns {
+            rev.push(PathStep {
+                pe,
+                what: "compute",
+                start_ns: w.end_ns,
+                end_ns: cursor,
+                seq: 0,
+            });
+        }
+        match w.kind {
+            TraceSpanKind::BarrierWait => {
+                rev.push(PathStep {
+                    pe,
+                    what: "barrier_wait",
+                    start_ns: w.start_ns,
+                    end_ns: w.end_ns,
+                    seq: w.seq,
+                });
+                // The round ended when its last waiter arrived: jump to
+                // that PE at its arrival time.
+                let straggler = trace
+                    .spans
+                    .iter()
+                    .filter(|s| s.kind == TraceSpanKind::BarrierWait && s.seq == w.seq)
+                    .max_by_key(|s| (s.start_ns, s.pe, s.span));
+                match straggler {
+                    Some(s2) if s2.pe != pe && s2.start_ns < w.end_ns => {
+                        pe = s2.pe;
+                        cursor = s2.start_ns;
+                    }
+                    _ => cursor = w.start_ns,
+                }
+            }
+            TraceSpanKind::GmBlock => {
+                // Route the wait through the home's serve span when the
+                // chain linked: net out, serve, net back.
+                let serve = trace
+                    .spans
+                    .iter()
+                    .filter(|s| {
+                        s.kind == TraceSpanKind::Serve
+                            && s.peer == pe
+                            && s.end_ns <= w.end_ns
+                            && s.start_ns >= w.start_ns
+                    })
+                    .max_by_key(|s| (s.end_ns, s.start_ns, s.span));
+                if let Some(sv) = serve {
+                    rev.push(PathStep {
+                        pe,
+                        what: "net",
+                        start_ns: sv.end_ns,
+                        end_ns: w.end_ns,
+                        seq: sv.seq,
+                    });
+                    rev.push(PathStep {
+                        pe: sv.pe,
+                        what: "serve",
+                        start_ns: sv.start_ns,
+                        end_ns: sv.end_ns,
+                        seq: sv.seq,
+                    });
+                    rev.push(PathStep {
+                        pe,
+                        what: "net",
+                        start_ns: w.start_ns,
+                        end_ns: sv.start_ns,
+                        seq: sv.seq,
+                    });
+                } else {
+                    rev.push(PathStep {
+                        pe,
+                        what: "gm_wait",
+                        start_ns: w.start_ns,
+                        end_ns: w.end_ns,
+                        seq: w.seq,
+                    });
+                }
+                cursor = w.start_ns;
+            }
+            TraceSpanKind::LockWait => {
+                rev.push(PathStep {
+                    pe,
+                    what: "lock_wait",
+                    start_ns: w.start_ns,
+                    end_ns: w.end_ns,
+                    seq: w.seq,
+                });
+                cursor = w.start_ns;
+            }
+            _ => unreachable!("is_wait covers exactly the wait kinds"),
+        }
+        if cursor <= floor {
+            break;
+        }
+    }
+    rev.reverse();
+    CriticalPath { steps: rev }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{assemble, derived_serve_id};
+    use dse_obs::TraceSpanRec;
+
+    fn rec(
+        kind: TraceSpanKind,
+        trace: u64,
+        id: u64,
+        parent: u64,
+        pe: u32,
+        start: u64,
+        end: u64,
+    ) -> TraceSpanRec {
+        TraceSpanRec::new(kind, trace, id, parent, pe, start, end)
+    }
+
+    /// Two PEs: PE0 computes 0..100, blocks on GM 100..200 (serve on PE1
+    /// 130..170), computes 200..300, barrier-waits 300..400. PE1 computes
+    /// 0..390 (the straggler), barrier-waits 390..400.
+    fn two_pe_trace() -> ClusterTrace {
+        let mut pe0 = vec![rec(TraceSpanKind::App, 1, 1, 0, 0, 0, 400)];
+        let mut req = rec(TraceSpanKind::GmReq, 1, 2, 1, 0, 100, 200);
+        req.seq = 5;
+        req.peer = 1;
+        pe0.push(req);
+        let mut blk = rec(TraceSpanKind::GmBlock, 1, 3, 1, 0, 100, 200);
+        blk.seq = 5;
+        pe0.push(blk);
+        let sid = derived_serve_id(2, 0);
+        let mut rdm = rec(TraceSpanKind::Redeem, 1, 4, sid, 0, 195, 200);
+        rdm.seq = 5;
+        pe0.push(rdm);
+        let mut bw0 = rec(TraceSpanKind::BarrierWait, 1, 5, 1, 0, 300, 400);
+        bw0.seq = 11;
+        pe0.push(bw0);
+
+        let mut pe1 = vec![rec(TraceSpanKind::App, 10, 10, 0, 1, 0, 400)];
+        let mut sv = rec(TraceSpanKind::Serve, 1, sid, 2, 1, 130, 170);
+        sv.peer = 0;
+        sv.seq = 5;
+        pe1.push(sv);
+        let mut bw1 = rec(TraceSpanKind::BarrierWait, 10, 11, 10, 1, 390, 400);
+        bw1.seq = 11;
+        pe1.push(bw1);
+        let mut rel = rec(TraceSpanKind::BarrierRelease, 10, 12, 11, 0, 300, 400);
+        rel.seq = 11;
+        pe1.push(rel);
+        assemble(&[pe0, pe1])
+    }
+
+    #[test]
+    fn blame_accounts_for_every_nanosecond() {
+        let t = two_pe_trace();
+        let b = blame(&t);
+        assert_eq!(b.rows.len(), 2);
+        for r in &b.rows {
+            assert_eq!(
+                r.compute_ns + r.serve_ns + r.net_ns + r.retry_ns + r.barrier_ns + r.lock_ns,
+                r.wall_ns,
+                "pe{} must account for its whole wall clock",
+                r.pe
+            );
+        }
+        let r0 = &b.rows[0];
+        assert_eq!(r0.wall_ns, 400);
+        assert_eq!(r0.barrier_ns, 100);
+        assert_eq!(r0.serve_ns, 40, "PE1's serve span claims 40ns");
+        assert_eq!(r0.net_ns, 60, "the rest of the block is transit");
+        assert_eq!(r0.compute_ns, 200);
+        let r1 = &b.rows[1];
+        assert_eq!(r1.compute_ns, 390);
+        assert_eq!(r1.barrier_ns, 10);
+        let table = b.render();
+        assert!(table.starts_with("pe "), "{table}");
+        assert!(table.contains("all"), "{table}");
+    }
+
+    #[test]
+    fn critical_path_hops_to_the_straggler_and_through_the_serve() {
+        let t = two_pe_trace();
+        let p = critical_path(&t);
+        // Last finisher is PE1 (tie on end, max pe). PE1's wait starts at
+        // 390 after pure compute: the path should be pe1 compute then the
+        // final barrier wait — no hop back to PE0.
+        let labels: Vec<(u32, &str)> = p.steps.iter().map(|s| (s.pe, s.what)).collect();
+        assert_eq!(
+            labels,
+            vec![(1, "compute"), (1, "barrier_wait")],
+            "{:?}",
+            p.steps
+        );
+        assert_eq!(p.steps[0].dur_ns(), 390);
+        // Remove PE1's straggler wait: now PE0 finishes last and its path
+        // routes through the GM serve on PE1.
+        let mut spans = t.spans.clone();
+        spans.retain(|s| !(s.kind == TraceSpanKind::BarrierWait && s.pe == 1));
+        spans.retain(|s| !(s.kind == TraceSpanKind::App && s.pe == 1));
+        let t2 = ClusterTrace {
+            spans,
+            nprocs: 2,
+            links: t.links,
+        };
+        let p2 = critical_path(&t2);
+        let labels: Vec<(u32, &str)> = p2.steps.iter().map(|s| (s.pe, s.what)).collect();
+        assert_eq!(
+            labels,
+            vec![
+                (0, "compute"),
+                (0, "net"),
+                (1, "serve"),
+                (0, "net"),
+                (0, "compute"),
+                (0, "barrier_wait"),
+            ],
+            "{:?}",
+            p2.steps
+        );
+        assert_eq!(p2.total_ns(), 400, "path covers the whole run");
+        let rendered = p2.render(10);
+        assert!(rendered.contains("critical path"), "{rendered}");
+        assert!(rendered.contains("serve"), "{rendered}");
+    }
+
+    #[test]
+    fn render_caps_steps_but_keeps_totals() {
+        let t = two_pe_trace();
+        let p = critical_path(&t);
+        let r = p.render(1);
+        assert!(r.contains("elided"), "{r}");
+        assert!(r.contains("by kind:"), "{r}");
+    }
+}

@@ -12,11 +12,33 @@
 //!
 //! See `examples/trace_breakdown.rs` for the DCT fine-vs-coarse grain
 //! story told in these terms.
+//!
+//! For the *live* engine the crate is the causal-trace assembler: each PE
+//! of a traced run writes its span stream as JSONL
+//! (`dse_obs::TraceRecorder`), [`assemble`] / [`load_trace_dir`] merge
+//! the streams into one [`ClusterTrace`], and on top of it
+//!
+//! * [`blame`] attributes every PE's wall clock across compute / serve /
+//!   net / retry / barrier / lock, summing to 100% by construction;
+//! * [`critical_path`] walks the chain of spans that bounded the run,
+//!   hopping PEs at barriers and through home-kernel serves;
+//! * [`chrome_flow_json`] exports the trace with cross-PE flow arrows;
+//! * [`ClusterTrace::canonical`] strips timing nondeterminism so CI can
+//!   diff two runs byte-for-byte.
 
 #![warn(missing_docs)]
 
+mod blame;
 mod breakdown;
+mod cluster;
+mod flow;
 mod gantt;
 
+pub use blame::{blame, critical_path, BlameRow, BlameTable, CriticalPath, PathStep};
 pub use breakdown::{analyze, ProcBreakdown, TraceAnalysis};
+pub use cluster::{
+    assemble, derived_serve_id, load_trace_dir, trace_file_name, write_trace_dir, ClusterTrace,
+    LinkStats,
+};
+pub use flow::{chrome_flow_json, PID_APP, PID_KERNEL};
 pub use gantt::gantt;

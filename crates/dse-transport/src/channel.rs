@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use dse_msg::Message;
+use dse_msg::{Message, TraceCtx};
 
 use crate::mux::{BlockingQueue, FrameMux};
 use crate::{Envelope, Transport, TransportError};
@@ -42,6 +42,20 @@ impl ChannelTransport {
     fn inbox(&self) -> &Inbox {
         &self.inboxes[self.mux.pe() as usize]
     }
+
+    fn send_impl(
+        &self,
+        to: u32,
+        msg: &Message,
+        ctx: Option<TraceCtx>,
+    ) -> Result<(), TransportError> {
+        if self.aborted.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        self.mux.send_frame(to, msg, ctx, |frame| {
+            self.inboxes[to as usize].push((self.mux.pe(), frame))
+        })
+    }
 }
 
 impl Transport for ChannelTransport {
@@ -54,12 +68,11 @@ impl Transport for ChannelTransport {
     }
 
     fn send(&self, to: u32, msg: &Message) -> Result<(), TransportError> {
-        if self.aborted.load(Ordering::Acquire) {
-            return Err(TransportError::Closed);
-        }
-        self.mux.send_frame(to, msg, |frame| {
-            self.inboxes[to as usize].push((self.mux.pe(), frame))
-        })
+        self.send_impl(to, msg, None)
+    }
+
+    fn send_ctx(&self, to: u32, msg: &Message, ctx: TraceCtx) -> Result<(), TransportError> {
+        self.send_impl(to, msg, Some(ctx))
     }
 
     fn recv(&self, timeout: Option<Duration>) -> Result<Option<Envelope>, TransportError> {
@@ -147,6 +160,24 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!((e1.seq, e2.seq, e3.seq), (0, 1, 0));
+    }
+
+    #[test]
+    fn send_ctx_delivers_trace_context() {
+        let mut cluster = ChannelTransport::cluster(2);
+        let b = cluster.pop().unwrap();
+        let a = cluster.pop().unwrap();
+        let ctx = TraceCtx {
+            trace: 77,
+            parent: 88,
+        };
+        a.send_ctx(1, &msg(1), ctx).unwrap();
+        a.send(1, &msg(2)).unwrap();
+        let e1 = b.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        let e2 = b.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        assert_eq!(e1.ctx, Some(ctx));
+        assert_eq!((e1.seq, e2.seq), (0, 1)); // one seq space for both kinds
+        assert_eq!(e2.ctx, None);
     }
 
     #[test]

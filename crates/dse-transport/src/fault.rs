@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use dse_msg::Message;
+use dse_msg::{Message, TraceCtx};
 
 use crate::{Envelope, Transport, TransportError};
 
@@ -180,18 +180,24 @@ impl FaultyTransport {
     pub fn inner(&self) -> &Arc<dyn Transport> {
         &self.inner
     }
-}
 
-impl Transport for FaultyTransport {
-    fn pe(&self) -> u32 {
-        self.inner.pe()
+    /// Forward to the wrapped endpoint, preserving any trace context.
+    fn fwd(&self, to: u32, msg: &Message, ctx: Option<TraceCtx>) -> Result<(), TransportError> {
+        match ctx {
+            Some(c) => self.inner.send_ctx(to, msg, c),
+            None => self.inner.send(to, msg),
+        }
     }
 
-    fn npes(&self) -> u32 {
-        self.inner.npes()
-    }
-
-    fn send(&self, to: u32, msg: &Message) -> Result<(), TransportError> {
+    /// The one fault path: traced and untraced sends roll the *same*
+    /// per-edge decisions, so enabling tracing never changes which
+    /// messages a seeded plan drops, duplicates, delays or corrupts.
+    fn send_impl(
+        &self,
+        to: u32,
+        msg: &Message,
+        ctx: Option<TraceCtx>,
+    ) -> Result<(), TransportError> {
         if self.dead.load(Ordering::Acquire) {
             return Err(TransportError::Closed);
         }
@@ -233,13 +239,14 @@ impl Transport for FaultyTransport {
                     // undecodable rather than silently wrong.
                     let mut bad = payload.clone();
                     bad[0] ^= 0xFF;
-                    return self.inner.send(
+                    return self.fwd(
                         to,
                         &Message::Telemetry {
                             pe: *pe,
                             seq: *seq,
                             payload: bad,
                         },
+                        ctx,
                     );
                 }
             }
@@ -247,10 +254,28 @@ impl Transport for FaultyTransport {
                 .plan
                 .roll(SALT_DUP, from, to, n, self.plan.dup_permille)
             {
-                self.inner.send(to, msg)?;
+                self.fwd(to, msg, ctx)?;
             }
         }
-        self.inner.send(to, msg)
+        self.fwd(to, msg, ctx)
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn pe(&self) -> u32 {
+        self.inner.pe()
+    }
+
+    fn npes(&self) -> u32 {
+        self.inner.npes()
+    }
+
+    fn send(&self, to: u32, msg: &Message) -> Result<(), TransportError> {
+        self.send_impl(to, msg, None)
+    }
+
+    fn send_ctx(&self, to: u32, msg: &Message, ctx: TraceCtx) -> Result<(), TransportError> {
+        self.send_impl(to, msg, Some(ctx))
     }
 
     fn recv(&self, timeout: Option<Duration>) -> Result<Option<Envelope>, TransportError> {
@@ -394,6 +419,39 @@ mod tests {
             Message::Telemetry { payload, .. } => assert_eq!(payload[0], 2 ^ 0xFF),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_sends_roll_the_same_faults_and_keep_ctx() {
+        let plan = FaultPlan {
+            seed: 42,
+            drop_permille: 300,
+            ..FaultPlan::default()
+        };
+        // Which of 64 sends survive must not depend on tracing being on.
+        let untraced = wrap(2, &plan);
+        for i in 0..64 {
+            untraced[0].send(1, &gm(i)).unwrap();
+        }
+        let mut got_plain = Vec::new();
+        while let Ok(Some(env)) = untraced[1].recv(Some(Duration::from_millis(30))) {
+            got_plain.push(env.msg);
+        }
+        let traced = wrap(2, &plan);
+        let ctx = TraceCtx {
+            trace: 1,
+            parent: 2,
+        };
+        for i in 0..64 {
+            traced[0].send_ctx(1, &gm(i), ctx).unwrap();
+        }
+        let mut got_traced = Vec::new();
+        while let Ok(Some(env)) = traced[1].recv(Some(Duration::from_millis(30))) {
+            assert_eq!(env.ctx, Some(ctx));
+            got_traced.push(env.msg);
+        }
+        assert!(!got_plain.is_empty() && got_plain.len() < 64);
+        assert_eq!(got_plain, got_traced);
     }
 
     #[test]

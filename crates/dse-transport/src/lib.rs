@@ -36,9 +36,10 @@ mod socket;
 
 use std::time::Duration;
 
-use dse_msg::Message;
+use dse_msg::{Message, TraceCtx};
 
 pub use channel::ChannelTransport;
+pub use dse_msg::TraceCtx as MsgTraceCtx;
 pub use error::TransportError;
 pub use fault::{FaultPlan, FaultyTransport};
 pub use simbus::{BusParams, BusStats, SimBusTransport};
@@ -53,6 +54,8 @@ pub struct Envelope {
     pub seq: u64,
     /// The decoded message.
     pub msg: Message,
+    /// Causal trace context, when the sender attached one.
+    pub ctx: Option<TraceCtx>,
 }
 
 /// A reliable, ordered, peer-addressed message carrier.
@@ -69,6 +72,15 @@ pub trait Transport: Send + Sync {
 
     /// Send `msg` to PE `to` (sending to self is allowed and loops back).
     fn send(&self, to: u32, msg: &Message) -> Result<(), TransportError>;
+
+    /// Send `msg` with a causal trace context riding the same frame. All
+    /// shipped backends propagate the context; the default implementation
+    /// drops it (for minimal external impls) and otherwise behaves exactly
+    /// like [`send`](Transport::send).
+    fn send_ctx(&self, to: u32, msg: &Message, ctx: TraceCtx) -> Result<(), TransportError> {
+        let _ = ctx;
+        self.send(to, msg)
+    }
 
     /// Receive the next message. `None` timeout blocks indefinitely;
     /// `Ok(None)` means the timeout elapsed with nothing to deliver.

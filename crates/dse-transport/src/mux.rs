@@ -8,7 +8,7 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use dse_msg::{encode_bye, encode_frame, FrameDecoder, FrameEvent, Message};
+use dse_msg::{encode_bye, encode_frame_ctx, FrameDecoder, FrameEvent, Message, TraceCtx};
 
 use crate::{Envelope, TransportError};
 
@@ -151,6 +151,7 @@ impl FrameMux {
         &self,
         to: u32,
         msg: &Message,
+        ctx: Option<TraceCtx>,
         deliver: impl FnOnce(Vec<u8>) -> bool,
     ) -> Result<(), TransportError> {
         if to >= self.npes {
@@ -158,7 +159,7 @@ impl FrameMux {
         }
         let mut seqs = self.tx_seq.lock().unwrap_or_else(|e| e.into_inner());
         let seq = seqs[to as usize];
-        if !deliver(encode_frame(seq, msg)) {
+        if !deliver(encode_frame_ctx(seq, msg, ctx)) {
             return Err(TransportError::PeerDropped { peer: to });
         }
         seqs[to as usize] += 1;
@@ -188,12 +189,17 @@ impl FrameMux {
                     Self::check_seq(from, &mut pr.next_seq, seq)?;
                     pr.bye = true;
                 }
-                Some(FrameEvent::Msg { seq, msg }) => {
+                Some(FrameEvent::Msg { seq, msg, ctx }) => {
                     Self::check_seq(from, &mut pr.next_seq, seq)?;
                     self.ready
                         .lock()
                         .unwrap_or_else(|e| e.into_inner())
-                        .push_back(Envelope { from, seq, msg });
+                        .push_back(Envelope {
+                            from,
+                            seq,
+                            msg,
+                            ctx,
+                        });
                 }
             }
         }

@@ -9,7 +9,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use dse_msg::Message;
+use dse_msg::{Message, TraceCtx};
 
 use crate::mux::{BlockingQueue, FrameMux};
 use crate::{Envelope, Transport, TransportError};
@@ -90,25 +90,20 @@ impl SimBusTransport {
     fn inbox(&self) -> &Inbox {
         &self.core.inboxes[self.mux.pe() as usize]
     }
-}
 
-impl Transport for SimBusTransport {
-    fn pe(&self) -> u32 {
-        self.mux.pe()
-    }
-
-    fn npes(&self) -> u32 {
-        self.mux.npes()
-    }
-
-    fn send(&self, to: u32, msg: &Message) -> Result<(), TransportError> {
+    fn send_impl(
+        &self,
+        to: u32,
+        msg: &Message,
+        ctx: Option<TraceCtx>,
+    ) -> Result<(), TransportError> {
         if to == self.mux.pe() {
             // Own-node fast path: no bus traversal, like the sim loopback.
-            return self
-                .mux
-                .send_frame(to, msg, |frame| self.inbox().push((self.mux.pe(), frame)));
+            return self.mux.send_frame(to, msg, ctx, |frame| {
+                self.inbox().push((self.mux.pe(), frame))
+            });
         }
-        self.mux.send_frame(to, msg, |frame| {
+        self.mux.send_frame(to, msg, ctx, |frame| {
             // Acquire the medium; deliver while holding it so bus order is
             // a total order, as on a real shared segment.
             let mut stats = self.core.medium.lock().unwrap_or_else(|e| e.into_inner());
@@ -125,6 +120,24 @@ impl Transport for SimBusTransport {
             }
             true
         })
+    }
+}
+
+impl Transport for SimBusTransport {
+    fn pe(&self) -> u32 {
+        self.mux.pe()
+    }
+
+    fn npes(&self) -> u32 {
+        self.mux.npes()
+    }
+
+    fn send(&self, to: u32, msg: &Message) -> Result<(), TransportError> {
+        self.send_impl(to, msg, None)
+    }
+
+    fn send_ctx(&self, to: u32, msg: &Message, ctx: TraceCtx) -> Result<(), TransportError> {
+        self.send_impl(to, msg, Some(ctx))
     }
 
     fn recv(&self, timeout: Option<Duration>) -> Result<Option<Envelope>, TransportError> {

@@ -25,7 +25,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
-use dse_msg::{encode_bye, encode_frame, FrameDecoder, FrameEvent, Message};
+use dse_msg::{encode_bye, encode_frame_ctx, FrameDecoder, FrameEvent, Message, TraceCtx};
 
 use crate::mux::{BlockingQueue, Pop};
 use crate::{Envelope, Transport, TransportError};
@@ -332,6 +332,47 @@ impl SocketTransport {
             closing,
         })
     }
+
+    fn send_impl(
+        &self,
+        to: u32,
+        msg: &Message,
+        ctx: Option<TraceCtx>,
+    ) -> Result<(), TransportError> {
+        if to >= self.npes {
+            return Err(TransportError::NoSuchPeer { peer: to });
+        }
+        if to == self.pe {
+            // Own-node fast path still runs the frame codec end to end.
+            let mut g = self.self_rx.lock().unwrap_or_else(|e| e.into_inner());
+            let (dec, seq) = &mut *g;
+            dec.push(&encode_frame_ctx(*seq, msg, ctx));
+            *seq += 1;
+            while let Some(ev) = dec.next_frame()? {
+                if let FrameEvent::Msg { seq, msg, ctx } = ev {
+                    self.events.push(Ok(Envelope {
+                        from: self.pe,
+                        seq,
+                        msg,
+                        ctx,
+                    }));
+                }
+            }
+            return Ok(());
+        }
+        let mut g = self.peers[to as usize]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let peer = g.as_mut().ok_or(TransportError::PeerDropped { peer: to })?;
+        let frame = encode_frame_ctx(peer.next_seq, msg, ctx);
+        peer.next_seq += 1;
+        if let Err(e) = peer.conn.write_all(&frame) {
+            peer.conn.shutdown_both();
+            *g = None;
+            return Err(TransportError::Io(e.to_string()));
+        }
+        Ok(())
+    }
 }
 
 fn reader_loop(
@@ -362,7 +403,7 @@ fn reader_loop(
                     clean = true;
                     break 'io;
                 }
-                Ok(Some(FrameEvent::Msg { seq, msg })) => {
+                Ok(Some(FrameEvent::Msg { seq, msg, ctx })) => {
                     if seq != next_seq {
                         events.push(Err(TransportError::SequenceGap {
                             peer: from,
@@ -372,7 +413,12 @@ fn reader_loop(
                         return;
                     }
                     next_seq += 1;
-                    events.push(Ok(Envelope { from, seq, msg }));
+                    events.push(Ok(Envelope {
+                        from,
+                        seq,
+                        msg,
+                        ctx,
+                    }));
                 }
                 Err(e) => {
                     events.push(Err(TransportError::Codec(e)));
@@ -398,38 +444,11 @@ impl Transport for SocketTransport {
     }
 
     fn send(&self, to: u32, msg: &Message) -> Result<(), TransportError> {
-        if to >= self.npes {
-            return Err(TransportError::NoSuchPeer { peer: to });
-        }
-        if to == self.pe {
-            // Own-node fast path still runs the frame codec end to end.
-            let mut g = self.self_rx.lock().unwrap_or_else(|e| e.into_inner());
-            let (dec, seq) = &mut *g;
-            dec.push(&encode_frame(*seq, msg));
-            *seq += 1;
-            while let Some(ev) = dec.next_frame()? {
-                if let FrameEvent::Msg { seq, msg } = ev {
-                    self.events.push(Ok(Envelope {
-                        from: self.pe,
-                        seq,
-                        msg,
-                    }));
-                }
-            }
-            return Ok(());
-        }
-        let mut g = self.peers[to as usize]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
-        let peer = g.as_mut().ok_or(TransportError::PeerDropped { peer: to })?;
-        let frame = encode_frame(peer.next_seq, msg);
-        peer.next_seq += 1;
-        if let Err(e) = peer.conn.write_all(&frame) {
-            peer.conn.shutdown_both();
-            *g = None;
-            return Err(TransportError::Io(e.to_string()));
-        }
-        Ok(())
+        self.send_impl(to, msg, None)
+    }
+
+    fn send_ctx(&self, to: u32, msg: &Message, ctx: TraceCtx) -> Result<(), TransportError> {
+        self.send_impl(to, msg, Some(ctx))
     }
 
     fn recv(&self, timeout: Option<Duration>) -> Result<Option<Envelope>, TransportError> {
@@ -551,6 +570,28 @@ mod tests {
         assert_eq!(env.msg, msg(5));
         drop(cluster);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tcp_send_ctx_delivers_trace_context_and_loops_back() {
+        let cluster = SocketTransport::tcp_cluster(2).unwrap();
+        let ctx = TraceCtx {
+            trace: 5,
+            parent: 6,
+        };
+        cluster[0].send_ctx(1, &msg(1), ctx).unwrap();
+        cluster[0].send_ctx(0, &msg(2), ctx).unwrap(); // self path
+        let remote = cluster[1]
+            .recv(Some(Duration::from_secs(5)))
+            .unwrap()
+            .unwrap();
+        assert_eq!(remote.ctx, Some(ctx));
+        let local = cluster[0]
+            .recv(Some(Duration::from_secs(5)))
+            .unwrap()
+            .unwrap();
+        assert_eq!(local.from, 0);
+        assert_eq!(local.ctx, Some(ctx));
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Causal-tracing overhead measurement: wall-clock time of a fixed
+//! Gauss-Seidel solve on the channel-live engine with and without
+//! `LiveRunConfig::tracing`, at 2 and 4 PEs.
+//!
+//! Tracing adds span records on every causal hop and a 17-byte trace
+//! context to every framed message, so its cost shows up directly in the
+//! live run's wall clock. The budget is < 5 % added wall time; each
+//! configuration is measured several times and the minimum kept (live
+//! wall clocks are noisy upward, never downward). The example asserts
+//! the budget and prints the JSON document committed as
+//! `bench_results/trace_overhead.json`:
+//!
+//! ```sh
+//! cargo run --release --example trace_overhead > bench_results/trace_overhead.json
+//! ```
+
+use std::time::Instant;
+
+use dse::apps::gauss_seidel::{self, GaussSeidelParams};
+use dse::live::{try_run_live, LiveRunConfig};
+
+fn wall_ns(procs: usize, tracing: bool) -> u64 {
+    // Fixed sweep count (eps = 0 never converges early): every run does
+    // identical work, so the min-of-reps wall clocks are comparable.
+    let params = GaussSeidelParams {
+        eps: 0.0,
+        max_iters: 48,
+        ..GaussSeidelParams::paper(256)
+    };
+    let cfg = LiveRunConfig {
+        tracing,
+        ..LiveRunConfig::default()
+    };
+    let started = Instant::now();
+    try_run_live(cfg, procs, move |ctx| {
+        gauss_seidel::body(ctx, &params);
+    })
+    .expect("live run completes");
+    started.elapsed().as_nanos() as u64
+}
+
+/// Median of `reps` interleaved base/traced measurements (medians shrug
+/// off both slow outliers and the occasional anomalously fast run that
+/// would skew a min-of-reps).
+fn measure(procs: usize, reps: usize) -> (u64, u64) {
+    // Warm both paths once so neither pays first-run thread spawn costs.
+    wall_ns(procs, false);
+    wall_ns(procs, true);
+    let mut base = Vec::with_capacity(reps);
+    let mut traced = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        base.push(wall_ns(procs, false));
+        traced.push(wall_ns(procs, true));
+    }
+    base.sort_unstable();
+    traced.sort_unstable();
+    (base[reps / 2], traced[reps / 2])
+}
+
+fn main() {
+    let budget_pct = 5.0;
+    let reps = 15;
+    println!("{{");
+    println!("  \"workload\": \"gauss-seidel N=256 x 48 sweeps, live engine, channel transport\",");
+    println!("  \"reps\": {reps},");
+    println!("  \"budget_pct\": {budget_pct},");
+    println!("  \"results\": [");
+    let mut overheads = Vec::new();
+    let procs_list = [2usize, 4];
+    for (i, procs) in procs_list.iter().enumerate() {
+        let (base, traced) = measure(*procs, reps);
+        let pct = (traced as f64 - base as f64) * 100.0 / base as f64;
+        overheads.push((*procs, pct));
+        let comma = if i + 1 < procs_list.len() { "," } else { "" };
+        println!(
+            "    {{\"procs\": {procs}, \"base_ns\": {base}, \"traced_ns\": {traced}, \
+             \"overhead_pct\": {pct:.4}}}{comma}"
+        );
+    }
+    println!("  ]");
+    println!("}}");
+    for (procs, pct) in overheads {
+        assert!(
+            pct < budget_pct,
+            "tracing overhead at {procs} PEs is {pct:.2}%, budget is {budget_pct}%"
+        );
+    }
+}

@@ -53,6 +53,8 @@ struct Args {
     watchdog_ms: u64,
     flight_json: Option<String>,
     fault_plan: Option<String>,
+    trace_dir: Option<String>,
+    critical_path: bool,
     /// Flags the user actually typed, for meaningless-combination checks
     /// (a default value is fine; an explicit contradiction is an error).
     explicit: Vec<String>,
@@ -83,6 +85,9 @@ fn usage() -> ! {
   --flight-json PATH           write the flight-recorder ring (JSONL)
   --fault-plan SPEC            inject deterministic transport faults (live engine)
                                e.g. seed=7,drop=10,dup=5,corrupt=3,delay=20:2,disconnect=2:40
+  --trace-dir DIR              live engine: record causal spans, write per-PE streams,
+                               the assembled cluster trace, blame table and critical path
+  --critical-path              live engine: print the blame table and critical path
 
 or run one cell of a sweep scenario spec (see dse-sweep):
   dse-run --scenario FILE            list the spec's cells
@@ -118,6 +123,8 @@ fn parse_from(argv: &[String]) -> Result<Args, String> {
         watchdog_ms: 250,
         flight_json: None,
         fault_plan: None,
+        trace_dir: None,
+        critical_path: false,
         explicit: Vec::new(),
     };
     let mut it = argv.iter();
@@ -158,6 +165,8 @@ fn parse_from(argv: &[String]) -> Result<Args, String> {
             "--watchdog-ms" => args.watchdog_ms = num(flag, val()?)? as u64,
             "--flight-json" => args.flight_json = Some(val()?),
             "--fault-plan" => args.fault_plan = Some(val()?),
+            "--trace-dir" => args.trace_dir = Some(val()?),
+            "--critical-path" => args.critical_path = true,
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -191,6 +200,16 @@ fn validate_engine_combos(args: &Args) -> Result<(), String> {
     }
     if let Some(spec) = &args.fault_plan {
         build::check_fault_plan(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+    }
+    if args.engine == "sim" {
+        for f in ["--trace-dir", "--critical-path"] {
+            if explicit(f) {
+                return Err(format!(
+                    "{f} drives the live engine's causal tracing; the simulator's breakdown \
+                     is --trace / --trace-json (add --engine live)"
+                ));
+            }
+        }
     }
     if args.engine == "live" {
         if args.app == "gauss-mp" {
@@ -328,8 +347,9 @@ fn main() {
 /// transport carrying every remote GM access, results printed exactly like
 /// the simulator's so the two engines are directly comparable.
 fn run_live_cli(args: &Args) {
-    let cfg = build::build_live(&args.transport, args.fault_plan.as_deref(), None)
+    let mut cfg = build::build_live(&args.transport, args.fault_plan.as_deref(), None)
         .expect("transport and fault plan validated at startup");
+    cfg.tracing = args.trace_dir.is_some() || args.critical_path;
     println!(
         "# {} on the live engine ({} transport), {} processors",
         args.app, args.transport, args.procs
@@ -408,6 +428,61 @@ fn run_live_cli(args: &Args) {
     if let Some(path) = &args.flight_json {
         write(path, "flight recorder", run.flight_jsonl.clone());
     }
+    if cfg.tracing {
+        report_causal_trace(args, &run);
+    }
+}
+
+/// Assemble the run's causal trace, print the blame table (and critical
+/// path under `--critical-path`), and populate `--trace-dir` with the
+/// per-PE streams plus every derived artifact. The canonical files are
+/// what the CI determinism smoke diffs across two runs.
+fn report_causal_trace(args: &Args, run: &LiveRunResult) {
+    let t = dse_trace::assemble(&run.trace_spans);
+    println!(
+        "causal trace: {} spans, {}/{} gm chains linked ({:.1}%)",
+        t.spans.len(),
+        t.links.gm_linked,
+        t.links.gm_reqs,
+        t.links.gm_link_ratio() * 100.0
+    );
+    let blame = dse_trace::blame(&t);
+    print!("{}", blame.render());
+    let path = dse_trace::critical_path(&t);
+    if args.critical_path {
+        print!("{}", path.render(40));
+    }
+    let Some(dir) = &args.trace_dir else {
+        return;
+    };
+    let dir = std::path::Path::new(dir);
+    if let Err(e) = dse_trace::write_trace_dir(dir, &run.trace_spans) {
+        eprintln!("cannot write trace streams: {e}");
+        std::process::exit(1);
+    }
+    let canonical = t.canonical();
+    let outs: [(&str, String); 5] = [
+        ("cluster.trace.json", dse_trace::chrome_flow_json(&t)),
+        ("blame.txt", blame.render()),
+        ("critical_path.txt", path.render(usize::MAX)),
+        ("canonical.trace.jsonl", canonical.to_jsonl()),
+        (
+            "canonical.critical_path.txt",
+            dse_trace::critical_path(&canonical).render(usize::MAX),
+        ),
+    ];
+    for (name, data) in outs {
+        let p = dir.join(name);
+        if let Err(e) = std::fs::write(&p, data) {
+            eprintln!("cannot write {}: {e}", p.display());
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "trace streams + assembly ({} PEs) written to {}",
+        run.trace_spans.len(),
+        dir.display()
+    );
 }
 
 /// Execute one SPMD body on the live engine (watched if `--watch`) and
@@ -765,6 +840,25 @@ mod tests {
         let a = parse_from(&argv("gauss --engine live --fault-plan frob=1")).unwrap();
         let err = validate_engine_combos(&a).unwrap_err();
         assert!(err.starts_with("--fault-plan:"), "{err}");
+    }
+
+    #[test]
+    fn trace_dir_flags_parse_and_require_live_engine() {
+        let a = parse_from(&argv(
+            "gauss --engine live --trace-dir traces/g --critical-path",
+        ))
+        .unwrap();
+        assert_eq!(a.trace_dir.as_deref(), Some("traces/g"));
+        assert!(a.critical_path);
+        assert!(validate_engine_combos(&a).is_ok());
+        // --critical-path alone also works (prints without writing).
+        let a = parse_from(&argv("gauss --engine live --critical-path")).unwrap();
+        assert!(validate_engine_combos(&a).is_ok());
+        for flags in ["--trace-dir traces/g", "--critical-path"] {
+            let a = parse_from(&argv(&format!("gauss {flags}"))).unwrap();
+            let err = validate_engine_combos(&a).unwrap_err();
+            assert!(err.contains("add --engine live"), "{flags}: {err}");
+        }
     }
 
     #[test]

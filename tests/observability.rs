@@ -256,7 +256,9 @@ fn metrics_jsonl_schema_and_content() {
             }
             "gauge" => {}
             "histogram" => {
-                for key in ["count", "sum", "min", "max", "p50", "p90", "p99", "buckets"] {
+                for key in [
+                    "count", "sum", "min", "max", "p50", "p90", "p99", "p999", "buckets",
+                ] {
                     assert!(v.get(key).is_some(), "histogram missing '{key}': {line}");
                 }
                 let count = v.get("count").unwrap().as_num() as u64;
@@ -286,10 +288,14 @@ fn metrics_jsonl_schema_and_content() {
     let h = remote_read_hist.expect("remote GM read latency histogram must be exported");
     let p50 = h.get("p50").unwrap().as_num();
     let p99 = h.get("p99").unwrap().as_num();
+    let p999 = h.get("p999").unwrap().as_num();
     let min = h.get("min").unwrap().as_num();
     let max = h.get("max").unwrap().as_num();
     assert!(h.get("count").unwrap().as_num() > 0.0);
-    assert!(min <= p50 && p50 <= p99 && p99 <= max, "quantile ordering");
+    assert!(
+        min <= p50 && p50 <= p99 && p99 <= p999 && p999 <= max,
+        "quantile ordering"
+    );
 }
 
 #[test]

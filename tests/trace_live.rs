@@ -1,0 +1,126 @@
+//! Acceptance tests for cluster-wide causal tracing on the live engine:
+//! every workload's GM request spans link requester → home serve →
+//! requester redemption, the blame decomposition accounts for the whole
+//! wall clock of every PE, and turning tracing on does not perturb the
+//! application's answer.
+
+use std::sync::Mutex;
+
+use dse::apps::{dct, gauss_seidel, knights, matmul, othello};
+use dse::live::{try_run_live, LiveCtx, LiveRunConfig, LiveRunResult, TransportKind};
+use dse_trace::{assemble, blame};
+
+/// Run a body on the channel-live engine, with or without tracing, and
+/// capture rank 0's result alongside the run.
+fn live_run<T: Send>(
+    nprocs: usize,
+    tracing: bool,
+    body: impl Fn(&mut LiveCtx) -> Option<T> + Send + Sync,
+) -> (LiveRunResult, T) {
+    let slot: Mutex<Option<T>> = Mutex::new(None);
+    let cfg = LiveRunConfig {
+        tracing,
+        ..LiveRunConfig::on(TransportKind::Channel)
+    };
+    let run = try_run_live(cfg, nprocs, |ctx| {
+        if let Some(v) = body(ctx) {
+            *slot.lock().unwrap() = Some(v);
+        }
+    })
+    .expect("live run completes");
+    (run, slot.into_inner().unwrap().expect("rank 0 result"))
+}
+
+/// The per-app acceptance check: ≥99% of GM request spans causally
+/// linked, blame partitions 100% of each PE's wall clock, and the result
+/// is bit-identical to an untraced run.
+fn check_app<T: Send + PartialEq + std::fmt::Debug>(
+    name: &str,
+    nprocs: usize,
+    body: impl Fn(&mut LiveCtx) -> Option<T> + Send + Sync,
+) {
+    let (traced, result_on) = live_run(nprocs, true, &body);
+    let (untraced, result_off) = live_run(nprocs, false, &body);
+    assert_eq!(
+        result_on, result_off,
+        "{name}: tracing must not perturb the application result"
+    );
+    assert!(
+        untraced.trace_spans.iter().all(Vec::is_empty),
+        "{name}: untraced runs must record no spans"
+    );
+
+    let trace = assemble(&traced.trace_spans);
+    assert_eq!(trace.nprocs, nprocs, "{name}: every PE contributes spans");
+    assert!(
+        trace.links.gm_reqs > 0,
+        "{name}: the workload must issue GM requests"
+    );
+    assert!(
+        trace.links.gm_link_ratio() >= 0.99,
+        "{name}: only {}/{} GM chains linked ({:.2}%)",
+        trace.links.gm_linked,
+        trace.links.gm_reqs,
+        trace.links.gm_link_ratio() * 100.0
+    );
+    assert_eq!(
+        trace.links.barrier_linked, trace.links.barrier_waits,
+        "{name}: every barrier wait must match a release"
+    );
+
+    // The blame table partitions each PE's app-span wall clock exactly:
+    // compute + serve + net + retry + barrier + lock == wall, per PE.
+    let table = blame(&trace);
+    assert_eq!(table.rows.len(), nprocs, "{name}: one blame row per PE");
+    for row in &table.rows {
+        let parts = row.compute_ns
+            + row.serve_ns
+            + row.net_ns
+            + row.retry_ns
+            + row.barrier_ns
+            + row.lock_ns;
+        assert_eq!(
+            parts, row.wall_ns,
+            "{name}: blame on pe{} accounts for {parts} of {} wall ns",
+            row.pe, row.wall_ns
+        );
+        assert!(row.wall_ns > 0, "{name}: pe{} app span is empty", row.pe);
+    }
+}
+
+#[test]
+fn gauss_traces_link_and_blame_accounts_wall() {
+    let params = gauss_seidel::GaussSeidelParams::paper(40);
+    check_app("gauss", 3, move |ctx| {
+        gauss_seidel::body(ctx, &params).map(|s| (s.iters, s.x))
+    });
+}
+
+#[test]
+fn dct_traces_link_and_blame_accounts_wall() {
+    let params = dct::DctParams {
+        size: 64,
+        block: 8,
+        keep: 0.25,
+        seed: 3,
+    };
+    check_app("dct", 3, move |ctx| dct::body(ctx, &params));
+}
+
+#[test]
+fn othello_traces_link_and_blame_accounts_wall() {
+    let params = othello::OthelloParams::paper(3);
+    check_app("othello", 3, move |ctx| othello::body(ctx, &params));
+}
+
+#[test]
+fn matmul_traces_link_and_blame_accounts_wall() {
+    let params = matmul::MatmulParams::single(16);
+    check_app("matmul", 3, move |ctx| matmul::body(ctx, &params));
+}
+
+#[test]
+fn knights_traces_link_and_blame_accounts_wall() {
+    let params = knights::KnightsParams::paper(8);
+    check_app("knights", 3, move |ctx| knights::body(ctx, &params));
+}
