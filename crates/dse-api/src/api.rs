@@ -77,6 +77,20 @@ pub trait ParallelApi {
     fn lock(&mut self, id: u32);
     /// Release a cluster-wide lock.
     fn unlock(&mut self, id: u32);
+    /// Release-consistency *release*: make this rank's prior GM writes
+    /// globally visible (flushes the split-phase pipeline). Barriers and
+    /// `unlock` imply a release, so data-race-free programs never need to
+    /// call this directly.
+    fn gm_release(&mut self) {
+        self.gm_wait_all();
+    }
+    /// Release-consistency *acquire*: ensure subsequent GM reads observe
+    /// writes released before this point. Under the release-consistency
+    /// cache mode this drops the rank's read replicas; elsewhere it is a
+    /// fence. Barriers and `lock` imply an acquire.
+    fn gm_acquire(&mut self) {
+        self.gm_wait_all();
+    }
 }
 
 impl ParallelApi for crate::DseCtx<'_> {
@@ -130,5 +144,11 @@ impl ParallelApi for crate::DseCtx<'_> {
     }
     fn unlock(&mut self, id: u32) {
         crate::DseCtx::unlock(self, id)
+    }
+    fn gm_release(&mut self) {
+        crate::DseCtx::gm_release(self)
+    }
+    fn gm_acquire(&mut self) {
+        crate::DseCtx::gm_acquire(self)
     }
 }

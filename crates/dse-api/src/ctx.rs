@@ -12,7 +12,7 @@ use std::sync::Arc;
 use dse_kernel::cache::{blocks_inside, CACHE_BLOCK};
 use dse_kernel::kernel::{barrier_enter, lock_acquire, lock_release};
 use dse_kernel::netpath::{charge_local, charge_recv, send_msg};
-use dse_kernel::{ClusterShared, Distribution, Party, SimMsg};
+use dse_kernel::{ClusterShared, Distribution, GmMode, Party, SimMsg};
 use dse_msg::{GlobalPid, GmOp, Message, NodeId, RegionId, ReqId, ReqIdGen};
 use dse_obs::{MetricKey, SpanKind};
 use dse_platform::Work;
@@ -402,7 +402,28 @@ impl<'a> DseCtx<'a> {
                 }
             };
             if full.is_empty() {
-                add_fetch(&mut cur, off, end, None);
+                // A sub-block read (e.g. a single-element `get`) is still
+                // served from a replica installed by an earlier
+                // block-covering read, as long as it lies inside one block.
+                let b = off / bsz;
+                let served = end <= (b + 1) * bsz
+                    && match self.shared.cache.get(self.node, region, b) {
+                        Some(data) => {
+                            charge_local(self.ctx, &self.shared, self.node, rlen);
+                            self.shared.stats.update(self.node, |s| {
+                                s.cache_hits += 1;
+                                s.dir_hits += 1;
+                            });
+                            let s0 = (off - b * bsz) as usize;
+                            let buf = self.handles.get_mut(&handle).unwrap().buf.as_mut().unwrap();
+                            buf[buf_off..buf_off + rlen].copy_from_slice(&data[s0..s0 + rlen]);
+                            true
+                        }
+                        None => false,
+                    };
+                if !served {
+                    add_fetch(&mut cur, off, end, None);
+                }
             } else {
                 if off < full.start * bsz {
                     add_fetch(&mut cur, off, full.start * bsz, None);
@@ -411,7 +432,10 @@ impl<'a> DseCtx<'a> {
                     if let Some(data) = self.shared.cache.get(self.node, region, b) {
                         // Hit: a library call plus a block copy, no wire.
                         charge_local(self.ctx, &self.shared, self.node, CACHE_BLOCK);
-                        self.shared.stats.update(self.node, |s| s.cache_hits += 1);
+                        self.shared.stats.update(self.node, |s| {
+                            s.cache_hits += 1;
+                            s.dir_hits += 1;
+                        });
                         let bo = (b * bsz - offset) as usize;
                         let buf = self.handles.get_mut(&handle).unwrap().buf.as_mut().unwrap();
                         buf[bo..bo + CACHE_BLOCK].copy_from_slice(&data);
@@ -419,7 +443,10 @@ impl<'a> DseCtx<'a> {
                             fetches.push(f);
                         }
                     } else {
-                        self.shared.stats.update(self.node, |s| s.cache_misses += 1);
+                        self.shared.stats.update(self.node, |s| {
+                            s.cache_misses += 1;
+                            s.dir_misses += 1;
+                        });
                         add_fetch(&mut cur, b * bsz, (b + 1) * bsz, Some(b));
                     }
                 }
@@ -521,6 +548,26 @@ impl<'a> DseCtx<'a> {
         }
     }
 
+    /// Coherence action before an own-node store mutation: write-invalidate
+    /// runs the synchronous invalidation round; release consistency leaves
+    /// the sharers' leases alone (they self-invalidate at their next
+    /// acquire point) and only counts the deferral.
+    fn coherent_local_write(&mut self, region: RegionId, offset: u64, len: usize) {
+        if self.shared.config.gm_mode == GmMode::ReleaseConsistency {
+            let deferred = self
+                .shared
+                .cache
+                .peek_holders(region, offset, len, self.node);
+            if !deferred.is_empty() {
+                self.shared
+                    .stats
+                    .update(self.node, |s| s.rc_deferred_invals += 1);
+            }
+            return;
+        }
+        self.invalidate_for_local_write(region, offset, len);
+    }
+
     /// Invalidate every other node's cached copies of a range and wait for
     /// their acknowledgements (the local-write half of the write-invalidate
     /// protocol; remote writes are handled by the home kernel).
@@ -532,6 +579,13 @@ impl<'a> DseCtx<'a> {
             .shared
             .cache
             .take_holders(region, offset, len, self.node);
+        if !holders.is_empty() {
+            // Same accounting as the home kernel's `begin_invalidation`:
+            // one round per mutation that found sharers.
+            self.shared
+                .stats
+                .update(self.node, |s| s.invalidation_rounds += 1);
+        }
         let inv = Message::GmInvalidate {
             req: txn,
             region,
@@ -599,7 +653,7 @@ impl<'a> DseCtx<'a> {
             let chunk = &data[buf_off..buf_off + rlen];
             if home == self.node {
                 if cache_on {
-                    self.invalidate_for_local_write(region, off, rlen);
+                    self.coherent_local_write(region, off, rlen);
                 }
                 charge_local(self.ctx, &self.shared, self.node, rlen);
                 self.shared.store.write(region, off, chunk).unwrap();
@@ -706,6 +760,36 @@ impl<'a> DseCtx<'a> {
     pub fn gm_wait_all(&mut self) {
         self.gm_fence();
         self.completed.clear();
+    }
+
+    /// Release-consistency *release*: flush and complete all split-phase GM
+    /// work so this rank's prior writes are globally visible (home memory
+    /// is write-through, so a fence is exactly a release). Barriers,
+    /// `unlock`, atomics and sends already imply it; call it directly only
+    /// around hand-rolled synchronization.
+    pub fn gm_release(&mut self) {
+        self.gm_fence();
+    }
+
+    /// Release-consistency *acquire*: fence, then — under the RC cache mode
+    /// — drop this rank's read replicas and release their directory leases,
+    /// so subsequent reads refetch anything written before the matching
+    /// release. Barriers and `lock` already imply it. Under
+    /// write-invalidate (or with the cache off) this is just a fence.
+    pub fn gm_acquire(&mut self) {
+        self.gm_fence();
+        self.acquire_replicas();
+    }
+
+    /// The acquire-side self-invalidation of release consistency: purge
+    /// this rank's replica cache and directory leases. No-op outside the
+    /// RC cache mode.
+    fn acquire_replicas(&mut self) {
+        if self.shared.config.gm_cache && self.shared.config.gm_mode == GmMode::ReleaseConsistency {
+            charge_local(self.ctx, &self.shared, self.node, 0);
+            self.shared.cache.purge_node(self.node);
+            self.shared.stats.update(self.node, |s| s.rc_acquires += 1);
+        }
     }
 
     /// Complete all staged and in-flight split-phase work, keeping redeemed
@@ -1013,7 +1097,7 @@ impl<'a> DseCtx<'a> {
         if home == self.node {
             if self.shared.config.gm_cache {
                 self.shared.cache.drop_range(self.node, region, offset, 8);
-                self.invalidate_for_local_write(region, offset, 8);
+                self.coherent_local_write(region, offset, 8);
             }
             charge_local(self.ctx, &self.shared, self.node, 8);
             self.shared.stats.update(self.node, |s| s.fetch_adds += 1);
@@ -1099,6 +1183,7 @@ impl<'a> DseCtx<'a> {
             charge_local(self.ctx, &self.shared, self.node, 16);
             if barrier_enter(self.ctx, &self.shared, NodeId(0), id, party).is_some() {
                 self.finish_barrier_span(pe, id);
+                self.acquire_replicas();
                 return;
             }
         } else {
@@ -1118,6 +1203,7 @@ impl<'a> DseCtx<'a> {
             match msg {
                 Message::BarrierRelease { barrier, .. } if barrier == id => {
                     self.finish_barrier_span(pe, id);
+                    self.acquire_replicas();
                     return;
                 }
                 other => self.stash.push_back((from, other)),
@@ -1184,6 +1270,9 @@ impl<'a> DseCtx<'a> {
                             .record(MetricKey::pe("sync", "lock_wait_ns", pe), rec.total_ns());
                         self.shared.flight.span(&rec);
                     }
+                    // A lock grant is an acquire point: the holder must see
+                    // everything released by the previous holder's unlock.
+                    self.acquire_replicas();
                     return;
                 }
                 other => self.stash.push_back((from, other)),

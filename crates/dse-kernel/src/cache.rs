@@ -16,11 +16,13 @@
 //! always go to the home), which keeps entries uniform without complicating
 //! the home-run arithmetic.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use parking_lot::Mutex;
 
 use dse_msg::{NodeId, RegionId};
+
+use crate::directory::Directory;
 
 /// Cache block granularity in bytes.
 pub const CACHE_BLOCK: usize = 512;
@@ -56,8 +58,9 @@ pub fn blocks_inside(offset: u64, len: usize) -> std::ops::Range<u64> {
 pub struct CacheStore {
     nodes: Vec<Mutex<HashMap<BlockKey, Vec<u8>>>>,
     /// Directory: which nodes hold a copy of each block. Lives with the
-    /// data homes conceptually; centralized here for the simulator.
-    directory: Mutex<HashMap<BlockKey, HashSet<NodeId>>>,
+    /// data homes conceptually; centralized here because both engines run
+    /// in one address space.
+    directory: Directory,
 }
 
 impl CacheStore {
@@ -65,7 +68,7 @@ impl CacheStore {
     pub fn new(nnodes: usize) -> CacheStore {
         CacheStore {
             nodes: (0..nnodes).map(|_| Mutex::new(HashMap::new())).collect(),
-            directory: Mutex::new(HashMap::new()),
+            directory: Directory::new(),
         }
     }
 
@@ -78,16 +81,32 @@ impl CacheStore {
     }
 
     /// Install a block copy at `node` and register it in the directory.
-    pub fn install(&self, node: NodeId, region: RegionId, block: u64, data: Vec<u8>) {
+    /// Returns true when this created a fresh directory lease (as opposed
+    /// to refreshing a copy the directory already knew about).
+    pub fn install(&self, node: NodeId, region: RegionId, block: u64, data: Vec<u8>) -> bool {
         debug_assert_eq!(data.len(), CACHE_BLOCK);
         self.nodes[node.index()]
             .lock()
             .insert((region, block), data);
-        self.directory
+        self.directory.grant(region, block, node)
+    }
+
+    /// Register `node` in the directory for `block` without installing
+    /// data — the home-side half of a lease grant when the data travels to
+    /// the requester separately (live engine). Returns true on a fresh
+    /// lease.
+    pub fn grant(&self, node: NodeId, region: RegionId, block: u64) -> bool {
+        self.directory.grant(region, block, node)
+    }
+
+    /// Install block data at `node` without touching the directory — the
+    /// requester-side half of a live-engine lease whose directory entry the
+    /// home already recorded at serve time.
+    pub fn install_data(&self, node: NodeId, region: RegionId, block: u64, data: Vec<u8>) {
+        debug_assert_eq!(data.len(), CACHE_BLOCK);
+        self.nodes[node.index()]
             .lock()
-            .entry((region, block))
-            .or_default()
-            .insert(node);
+            .insert((region, block), data);
     }
 
     /// Drop `node`'s copies of all blocks intersecting the range (the
@@ -109,24 +128,44 @@ impl CacheStore {
         len: usize,
         exclude: NodeId,
     ) -> Vec<NodeId> {
-        let mut dir = self.directory.lock();
-        let mut holders: Vec<NodeId> = Vec::new();
-        for b in blocks_touching(offset, len) {
-            if let Some(set) = dir.remove(&(region, b)) {
-                for n in set {
-                    if n != exclude && !holders.contains(&n) {
-                        holders.push(n);
-                    }
-                }
-            }
-        }
-        holders.sort_unstable();
-        holders
+        self.directory.take_range(region, offset, len, exclude)
+    }
+
+    /// The sharers a write over the range *would* invalidate, without
+    /// clearing their leases — how release consistency counts deferred
+    /// invalidations.
+    pub fn peek_holders(
+        &self,
+        region: RegionId,
+        offset: u64,
+        len: usize,
+        exclude: NodeId,
+    ) -> Vec<NodeId> {
+        self.directory.peek_range(region, offset, len, exclude)
+    }
+
+    /// Drop every replica `node` holds and release its directory leases —
+    /// the acquire-side self-invalidation of release consistency. Returns
+    /// the number of replicas dropped.
+    pub fn purge_node(&self, node: NodeId) -> usize {
+        let dropped = {
+            let mut map = self.nodes[node.index()].lock();
+            let n = map.len();
+            map.clear();
+            n
+        };
+        self.directory.release_node(node);
+        dropped
     }
 
     /// Number of blocks currently cached at `node` (for tests/stats).
     pub fn cached_blocks(&self, node: NodeId) -> usize {
         self.nodes[node.index()].lock().len()
+    }
+
+    /// The backing sharing directory (diagnostics and property tests).
+    pub fn directory(&self) -> &Directory {
+        &self.directory
     }
 }
 
@@ -176,6 +215,34 @@ mod tests {
         assert_eq!(holders, vec![NodeId(2)]);
         // Directory is cleared: a second take returns nobody.
         assert!(cs.take_holders(r, 0, 2 * CACHE_BLOCK, NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn purge_node_releases_replicas_and_leases() {
+        let cs = CacheStore::new(2);
+        let r = RegionId(0);
+        assert!(cs.install(NodeId(0), r, 0, vec![0; CACHE_BLOCK]), "lease");
+        assert!(!cs.install(NodeId(0), r, 0, vec![1; CACHE_BLOCK]));
+        cs.install(NodeId(1), r, 0, vec![0; CACHE_BLOCK]);
+        assert_eq!(cs.purge_node(NodeId(0)), 1);
+        assert!(cs.get(NodeId(0), r, 0).is_none());
+        // Node 0's lease is gone from the directory; node 1's survives.
+        assert_eq!(cs.peek_holders(r, 0, CACHE_BLOCK, NodeId(2)), [NodeId(1)]);
+        // peek left the lease in place; take clears it.
+        assert_eq!(cs.take_holders(r, 0, CACHE_BLOCK, NodeId(2)), [NodeId(1)]);
+        assert!(cs.peek_holders(r, 0, CACHE_BLOCK, NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn grant_without_data_still_invalidated() {
+        let cs = CacheStore::new(2);
+        let r = RegionId(0);
+        assert!(cs.grant(NodeId(1), r, 4), "directory-only lease");
+        assert!(cs.get(NodeId(1), r, 4).is_none(), "no data installed");
+        assert_eq!(
+            cs.take_holders(r, 4 * B, CACHE_BLOCK, NodeId(0)),
+            [NodeId(1)]
+        );
     }
 
     #[test]

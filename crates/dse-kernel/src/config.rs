@@ -29,6 +29,45 @@ pub enum NetworkChoice {
     Switched(f64, SimDuration),
 }
 
+/// Coherence protocol of the global-memory cache.
+///
+/// Only consulted when `DseConfig::gm_cache` is on; without replicas there
+/// is nothing to keep coherent and both modes degenerate to the baseline
+/// request/response semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GmMode {
+    /// Sequentially consistent write-invalidate: every write consults the
+    /// home directory and stalls until every sharer has acknowledged an
+    /// invalidation.
+    #[default]
+    WriteInvalidate,
+    /// Release consistency: writes go straight to the home (which is always
+    /// current) and *defer* invalidations; each node drops its own replicas
+    /// at acquire points (barrier exit, lock grant, `gm_acquire`). Correct
+    /// for data-race-free programs, and removes the invalidation round
+    /// trips from the write path entirely.
+    ReleaseConsistency,
+}
+
+impl GmMode {
+    /// Parse a CLI/TOML spelling (`wi` | `rc`).
+    pub fn parse(s: &str) -> Option<GmMode> {
+        match s {
+            "wi" | "write-invalidate" => Some(GmMode::WriteInvalidate),
+            "rc" | "release-consistency" => Some(GmMode::ReleaseConsistency),
+            _ => None,
+        }
+    }
+
+    /// Canonical short spelling (round-trips through [`GmMode::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            GmMode::WriteInvalidate => "wi",
+            GmMode::ReleaseConsistency => "rc",
+        }
+    }
+}
+
 /// Telemetry-plane configuration (see `DseConfig::telemetry`).
 ///
 /// When enabled, every kernel periodically ships its metric deltas in-band
@@ -103,9 +142,12 @@ pub struct DseConfig {
     pub protocol: Protocol,
     /// Physical interconnect.
     pub network: NetworkChoice,
-    /// Enable the read-replicating, write-invalidating global-memory cache
+    /// Enable the read-replicating, directory-tracked global-memory cache
     /// (an extension beyond the paper's request/response semantics).
     pub gm_cache: bool,
+    /// Coherence protocol for the GM cache (ignored when `gm_cache` is
+    /// off).
+    pub gm_mode: GmMode,
     /// Seed for all model randomness (Ethernet backoff).
     pub seed: u64,
     /// In-band telemetry plane (`None` = off; the default, so telemetry
@@ -131,6 +173,7 @@ impl Default for DseConfig {
             protocol: Protocol::TcpIp,
             network: NetworkChoice::SharedBus(10_000_000.0),
             gm_cache: false,
+            gm_mode: GmMode::WriteInvalidate,
             seed: 0x05E_1999,
             telemetry: None,
             gm_window: DEFAULT_GM_WINDOW,
@@ -183,6 +226,12 @@ impl DseConfig {
         self
     }
 
+    /// Builder-style: set the GM cache coherence protocol.
+    pub fn with_gm_mode(mut self, mode: GmMode) -> Self {
+        self.gm_mode = mode;
+        self
+    }
+
     /// Builder-style: enable the in-band telemetry plane.
     pub fn with_telemetry(mut self, t: TelemetryConfig) -> Self {
         self.telemetry = Some(t);
@@ -219,6 +268,21 @@ mod tests {
         assert_eq!(c.protocol, Protocol::TcpIp);
         assert!(matches!(c.network, NetworkChoice::SharedBus(b) if b == 10_000_000.0));
         assert!(!c.gm_cache);
+        assert_eq!(c.gm_mode, GmMode::WriteInvalidate);
+    }
+
+    #[test]
+    fn gm_mode_parses_and_roundtrips() {
+        assert_eq!(GmMode::parse("wi"), Some(GmMode::WriteInvalidate));
+        assert_eq!(GmMode::parse("rc"), Some(GmMode::ReleaseConsistency));
+        assert_eq!(
+            GmMode::parse("release-consistency"),
+            Some(GmMode::ReleaseConsistency)
+        );
+        assert_eq!(GmMode::parse("sc"), None);
+        for m in [GmMode::WriteInvalidate, GmMode::ReleaseConsistency] {
+            assert_eq!(GmMode::parse(m.name()), Some(m));
+        }
     }
 
     #[test]
@@ -227,12 +291,14 @@ mod tests {
             .with_protocol(Protocol::RawEthernet)
             .with_seed(42)
             .with_gm_cache(true)
+            .with_gm_mode(GmMode::ReleaseConsistency)
             .with_gm_window(4)
             .with_tracing(true)
             .with_machines(3);
         assert_eq!(c.protocol, Protocol::RawEthernet);
         assert_eq!(c.seed, 42);
         assert!(c.gm_cache);
+        assert_eq!(c.gm_mode, GmMode::ReleaseConsistency);
         assert_eq!(c.gm_window, 4);
         assert!(c.tracing);
         assert_eq!(c.machines, Some(3));

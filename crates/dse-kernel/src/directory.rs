@@ -1,0 +1,251 @@
+//! The per-block sharing directory backing the GM coherence protocols.
+//!
+//! Each home kernel conceptually owns the directory entries for the blocks
+//! it homes: a *sharing vector* (one bit per node) recording which nodes
+//! hold a read replica of the block. Granting a replica sets the bit (a
+//! *lease*); a write under write-invalidate consults the vector and
+//! invalidates exactly the recorded sharers; release consistency leaves the
+//! vector in place at write time and lets readers drop their own leases at
+//! acquire points instead.
+//!
+//! The directory is centralized in one structure here because both engines
+//! run in a single address space; the per-home ownership shows up in who is
+//! *charged* for touching it, not in where the bits live.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use dse_msg::{NodeId, RegionId};
+
+use crate::cache::blocks_touching;
+
+/// Key of one directory entry (region, block index).
+type BlockKey = (RegionId, u64);
+
+/// A per-block sharing vector: one bit per node holding a replica.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Sharers {
+    words: Vec<u64>,
+}
+
+impl Sharers {
+    /// The empty sharing vector.
+    pub fn new() -> Sharers {
+        Sharers::default()
+    }
+
+    /// Set `node`'s bit. Returns true when the bit was newly set (a fresh
+    /// lease grant, as opposed to refreshing an existing one).
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let (w, b) = (node.index() / 64, node.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Clear `node`'s bit. Returns true when the bit was set.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let (w, b) = (node.index() / 64, node.index() % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// True when `node` holds a lease on this block.
+    pub fn contains(&self, node: NodeId) -> bool {
+        let (w, b) = (node.index() / 64, node.index() % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// True when no node holds a lease.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of leased replicas.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The sharers in ascending node order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.count());
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(NodeId((w * 64 + b) as u16));
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+/// The sharing directory: block key → sharing vector.
+#[derive(Debug, Default)]
+pub struct Directory {
+    map: Mutex<HashMap<BlockKey, Sharers>>,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// Record that `node` holds a replica of `block`. Returns true when
+    /// this is a fresh lease (the node was not already registered).
+    pub fn grant(&self, region: RegionId, block: u64, node: NodeId) -> bool {
+        self.map
+            .lock()
+            .entry((region, block))
+            .or_default()
+            .insert(node)
+    }
+
+    /// Remove and return the sharers (other than `exclude`) of every block
+    /// intersecting `[offset, offset+len)` — the write-invalidate
+    /// recipients. Sorted, deduplicated; the touched entries are cleared
+    /// (`exclude`'s own lease included: the writer's copy is stale too).
+    pub fn take_range(
+        &self,
+        region: RegionId,
+        offset: u64,
+        len: usize,
+        exclude: NodeId,
+    ) -> Vec<NodeId> {
+        let mut map = self.map.lock();
+        let mut holders: Vec<NodeId> = Vec::new();
+        for b in blocks_touching(offset, len) {
+            if let Some(set) = map.remove(&(region, b)) {
+                for n in set.nodes() {
+                    if n != exclude && !holders.contains(&n) {
+                        holders.push(n);
+                    }
+                }
+            }
+        }
+        holders.sort_unstable();
+        holders
+    }
+
+    /// The sharers (other than `exclude`) of blocks intersecting the range,
+    /// without clearing anything — how release consistency counts the
+    /// invalidations it defers.
+    pub fn peek_range(
+        &self,
+        region: RegionId,
+        offset: u64,
+        len: usize,
+        exclude: NodeId,
+    ) -> Vec<NodeId> {
+        let map = self.map.lock();
+        let mut holders: Vec<NodeId> = Vec::new();
+        for b in blocks_touching(offset, len) {
+            if let Some(set) = map.get(&(region, b)) {
+                for n in set.nodes() {
+                    if n != exclude && !holders.contains(&n) {
+                        holders.push(n);
+                    }
+                }
+            }
+        }
+        holders.sort_unstable();
+        holders
+    }
+
+    /// Drop every lease held by `node` (the acquire-side self-invalidation
+    /// of release consistency). Returns how many block leases were
+    /// released.
+    pub fn release_node(&self, node: NodeId) -> usize {
+        let mut map = self.map.lock();
+        let mut released = 0;
+        map.retain(|_, set| {
+            if set.remove(node) {
+                released += 1;
+            }
+            !set.is_empty()
+        });
+        released
+    }
+
+    /// Current sharers of one block, in node order (tests/diagnostics).
+    pub fn holders(&self, region: RegionId, block: u64) -> Vec<NodeId> {
+        self.map
+            .lock()
+            .get(&(region, block))
+            .map(|s| s.nodes())
+            .unwrap_or_default()
+    }
+
+    /// Number of blocks with at least one registered sharer.
+    pub fn shared_blocks(&self) -> usize {
+        self.map.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharers_bitset_roundtrip() {
+        let mut s = Sharers::new();
+        assert!(s.is_empty());
+        assert!(s.insert(NodeId(3)), "fresh lease");
+        assert!(!s.insert(NodeId(3)), "refresh is not a new lease");
+        assert!(s.insert(NodeId(70)), "second word allocated on demand");
+        assert!(s.contains(NodeId(3)) && s.contains(NodeId(70)));
+        assert_eq!(s.nodes(), vec![NodeId(3), NodeId(70)]);
+        assert_eq!(s.count(), 2);
+        assert!(s.remove(NodeId(3)));
+        assert!(!s.remove(NodeId(3)), "double release is a no-op");
+        assert!(!s.contains(NodeId(3)));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn grant_take_release() {
+        let d = Directory::new();
+        let r = RegionId(0);
+        assert!(d.grant(r, 0, NodeId(1)));
+        assert!(!d.grant(r, 0, NodeId(1)), "re-grant is lease refresh");
+        assert!(d.grant(r, 0, NodeId(2)));
+        assert!(d.grant(r, 1, NodeId(2)));
+        assert_eq!(d.holders(r, 0), vec![NodeId(1), NodeId(2)]);
+        // Peek does not clear.
+        assert_eq!(
+            d.peek_range(r, 0, 2 * crate::cache::CACHE_BLOCK, NodeId(1)),
+            vec![NodeId(2)]
+        );
+        assert_eq!(d.holders(r, 0), vec![NodeId(1), NodeId(2)]);
+        // Take clears, excludes the writer, dedups across blocks.
+        assert_eq!(
+            d.take_range(r, 0, 2 * crate::cache::CACHE_BLOCK, NodeId(1)),
+            vec![NodeId(2)]
+        );
+        assert!(d.holders(r, 0).is_empty());
+        assert_eq!(d.shared_blocks(), 0);
+    }
+
+    #[test]
+    fn release_node_drops_all_leases_of_one_node() {
+        let d = Directory::new();
+        let r = RegionId(7);
+        d.grant(r, 0, NodeId(0));
+        d.grant(r, 1, NodeId(0));
+        d.grant(r, 1, NodeId(1));
+        assert_eq!(d.release_node(NodeId(0)), 2);
+        assert_eq!(d.release_node(NodeId(0)), 0, "idempotent");
+        assert_eq!(d.holders(r, 1), vec![NodeId(1)]);
+        assert_eq!(d.shared_blocks(), 1, "empty entries are pruned");
+    }
+}

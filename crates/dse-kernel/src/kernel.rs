@@ -15,6 +15,7 @@ use dse_obs::{DeltaTracker, FlightEventKind, MetricKey, SpanKind, TelemetryDelta
 use dse_sim::{ProcCtx, ProcId, RecvResult};
 
 use crate::cache::blocks_inside;
+use crate::config::GmMode;
 use crate::netpath::{charge_recv, send_msg};
 use crate::service::{serve_gm, GmServiceHooks, Served};
 use crate::shared::ClusterShared;
@@ -141,6 +142,9 @@ struct SimGmHooks<'a> {
     shared: &'a ClusterShared,
     node: NodeId,
     cache_on: bool,
+    /// Release consistency: defer invalidations to the readers' acquire
+    /// points instead of starting rounds on the write path.
+    rc: bool,
     requester: NodeId,
     txn_ids: &'a mut ReqIdGen,
     acks_needed: usize,
@@ -159,11 +163,15 @@ impl GmServiceHooks for SimGmHooks<'_> {
         });
         if self.cache_on {
             // The reader will install every block fully inside the
-            // response; record it as a holder of exactly those.
+            // response; record it as a holder of exactly those. A fresh
+            // directory registration is a lease grant, charged to this
+            // home.
             for b in blocks_inside(offset, data.len()) {
                 let lo = (b as usize * crate::cache::CACHE_BLOCK) as u64 - offset;
                 let chunk = data[lo as usize..lo as usize + crate::cache::CACHE_BLOCK].to_vec();
-                self.shared.cache.install(self.requester, region, b, chunk);
+                if self.shared.cache.install(self.requester, region, b, chunk) {
+                    self.shared.stats.update(self.node, |s| s.dir_leases += 1);
+                }
             }
         }
     }
@@ -178,42 +186,57 @@ impl GmServiceHooks for SimGmHooks<'_> {
             s.gm_bytes_written += len as u64;
         });
         if self.cache_on {
-            let txn = self.txn_ids.next();
-            let acks = begin_invalidation(
-                self.ctx,
-                self.shared,
-                self.node,
-                txn,
-                region,
-                offset,
-                len,
-                self.requester,
-            );
-            if acks > 0 {
-                self.acks_needed += acks;
-                self.txns.push(txn.0);
-            }
+            self.coherence_write(region, offset, len);
         }
     }
 
     fn fetch_add_executed(&mut self, region: dse_msg::RegionId, offset: u64) {
         self.shared.stats.update(self.node, |s| s.fetch_adds += 1);
         if self.cache_on {
-            let txn = self.txn_ids.next();
-            let acks = begin_invalidation(
-                self.ctx,
-                self.shared,
-                self.node,
-                txn,
-                region,
-                offset,
-                8,
-                self.requester,
-            );
-            if acks > 0 {
-                self.acks_needed += acks;
-                self.txns.push(txn.0);
+            self.coherence_write(region, offset, 8);
+        }
+    }
+
+    fn invalidated(&mut self, region: dse_msg::RegionId, offset: u64, len: usize) {
+        // The holder-side action: drop this node's stale replicas before
+        // the ack goes back to the writer's home.
+        self.shared.cache.drop_range(self.node, region, offset, len);
+        self.shared.stats.update(self.node, |s| s.dir_invals += 1);
+    }
+}
+
+impl SimGmHooks<'_> {
+    /// Coherence action for a served store mutation: under write-invalidate
+    /// start an ack-gated invalidation round; under release consistency
+    /// leave the sharers' leases alone (they self-invalidate at their next
+    /// acquire point) and only count what was deferred.
+    fn coherence_write(&mut self, region: dse_msg::RegionId, offset: u64, len: usize) {
+        if self.rc {
+            let deferred = self
+                .shared
+                .cache
+                .peek_holders(region, offset, len, self.requester);
+            if !deferred.is_empty() {
+                self.shared
+                    .stats
+                    .update(self.node, |s| s.rc_deferred_invals += 1);
             }
+            return;
+        }
+        let txn = self.txn_ids.next();
+        let acks = begin_invalidation(
+            self.ctx,
+            self.shared,
+            self.node,
+            txn,
+            region,
+            offset,
+            len,
+            self.requester,
+        );
+        if acks > 0 {
+            self.acks_needed += acks;
+            self.txns.push(txn.0);
         }
     }
 }
@@ -277,6 +300,7 @@ pub fn kernel_main(
 ) {
     let mut next_local_pid: u16 = 1;
     let cache_on = shared.config.gm_cache;
+    let rc = cache_on && shared.config.gm_mode == GmMode::ReleaseConsistency;
     let mut txn_ids = ReqIdGen::new();
     let mut gates: HashMap<u64, ResponseGate> = HashMap::new();
     let mut txn_to_gate: HashMap<u64, u64> = HashMap::new();
@@ -385,6 +409,7 @@ pub fn kernel_main(
                     shared: &shared,
                     node,
                     cache_on,
+                    rc,
                     requester: sm.from_node,
                     txn_ids: &mut txn_ids,
                     acks_needed: 0,
@@ -500,15 +525,26 @@ pub fn kernel_main(
                 debug_assert_eq!(node, NodeId(0), "lock traffic must reach node 0");
                 lock_release(ctx, &shared, node, lock, pid);
             }
-            Message::GmInvalidate {
-                req,
-                region,
-                offset,
-                len,
-            } => {
-                // Drop this node's stale copies and confirm.
-                shared.cache.drop_range(node, region, offset, len as usize);
-                let ack = Message::GmInvalidateAck { req };
+            msg @ Message::GmInvalidate { .. } => {
+                // The holder-side half of an invalidation round goes
+                // through the engine-neutral service like every other GM
+                // message; the hook drops this node's stale copies.
+                let mut hooks = SimGmHooks {
+                    ctx,
+                    shared: &shared,
+                    node,
+                    cache_on,
+                    rc,
+                    requester: sm.from_node,
+                    txn_ids: &mut txn_ids,
+                    acks_needed: 0,
+                    txns: Vec::new(),
+                };
+                let ack = match serve_gm(&shared.store, msg, &mut hooks) {
+                    Served::Response(r) => r,
+                    Served::NotGm(_) => unreachable!("invalidate is a GM message"),
+                };
+                drop(hooks);
                 send_msg(
                     ctx,
                     &shared,

@@ -26,6 +26,7 @@ pub mod cache;
 pub mod config;
 pub mod cost;
 pub mod dedup;
+pub mod directory;
 pub mod gmem;
 pub mod kernel;
 pub mod netpath;
@@ -37,9 +38,12 @@ pub mod sync;
 pub mod watchdog;
 
 pub use cache::{CacheStore, CACHE_BLOCK};
-pub use config::{DseConfig, NetworkChoice, Organization, TelemetryConfig, DEFAULT_GM_WINDOW};
+pub use config::{
+    DseConfig, GmMode, NetworkChoice, Organization, TelemetryConfig, DEFAULT_GM_WINDOW,
+};
 pub use cost::CostModel;
 pub use dedup::{dedup_key, DedupCache};
+pub use directory::{Directory, Sharers};
 pub use gmem::{Distribution, GlobalStore, GmError};
 pub use kernel::{kernel_main, AppBody, AppFactory};
 pub use service::{serve_gm, GmServiceHooks, NoHooks, Served};

@@ -21,6 +21,12 @@ pub trait GmServiceHooks {
     fn write_executed(&mut self, region: RegionId, offset: u64, len: usize);
     /// A fetch-add on the cell at (`region`, `offset`) was executed.
     fn fetch_add_executed(&mut self, region: RegionId, offset: u64);
+    /// A `GmInvalidate` over (`region`, `offset`, `len`) arrived: this node
+    /// must drop its cached replicas of the range before the ack goes back.
+    /// Default: nothing to drop (engines without a replica cache).
+    fn invalidated(&mut self, region: RegionId, offset: u64, len: usize) {
+        let _ = (region, offset, len);
+    }
 }
 
 /// Hooks that do nothing; for callers with no engine accounting.
@@ -112,6 +118,15 @@ pub fn serve_gm(store: &GlobalStore, msg: Message, hooks: &mut impl GmServiceHoo
             }
             Served::Response(Message::GmBatchResp { req, reads })
         }
+        Message::GmInvalidate {
+            req,
+            region,
+            offset,
+            len,
+        } => {
+            hooks.invalidated(region, offset, len as usize);
+            Served::Response(Message::GmInvalidateAck { req })
+        }
         other => Served::NotGm(other),
     }
 }
@@ -126,6 +141,7 @@ mod tests {
         reads: usize,
         writes: usize,
         fadds: usize,
+        invals: Vec<(RegionId, u64, usize)>,
     }
 
     impl GmServiceHooks for CountingHooks {
@@ -137,6 +153,9 @@ mod tests {
         }
         fn fetch_add_executed(&mut self, _: RegionId, _: u64) {
             self.fadds += 1;
+        }
+        fn invalidated(&mut self, region: RegionId, offset: u64, len: usize) {
+            self.invals.push((region, offset, len));
         }
     }
 
@@ -207,6 +226,35 @@ mod tests {
             _ => panic!("expected batch resp"),
         }
         assert_eq!((hooks.reads, hooks.writes, hooks.fadds), (1, 1, 0));
+    }
+
+    #[test]
+    fn invalidate_fires_hook_and_acks() {
+        let (store, r) = store_with_region(64);
+        let mut hooks = CountingHooks::default();
+        let inv = Message::GmInvalidate {
+            req: ReqId(9),
+            region: r,
+            offset: 16,
+            len: 32,
+        };
+        match serve_gm(&store, inv, &mut hooks) {
+            Served::Response(Message::GmInvalidateAck { req: ReqId(9) }) => {}
+            _ => panic!("expected invalidate ack"),
+        }
+        assert_eq!(hooks.invals, vec![(r, 16, 32)]);
+        // The default hook implementation keeps engines without a cache
+        // compiling and serving acks.
+        let inv = Message::GmInvalidate {
+            req: ReqId(10),
+            region: r,
+            offset: 0,
+            len: 8,
+        };
+        assert!(matches!(
+            serve_gm(&store, inv, &mut NoHooks),
+            Served::Response(Message::GmInvalidateAck { req: ReqId(10) })
+        ));
     }
 
     #[test]

@@ -56,6 +56,21 @@ pub struct KernelStats {
     /// *merged* request, not one per original `gm_write_nb` call (a batch
     /// write that absorbed three coalesced writes is a single round).
     pub invalidation_rounds: u64,
+    /// Reads served from a directory-leased replica (requester side).
+    pub dir_hits: u64,
+    /// Cacheable block lookups that missed the replica cache.
+    pub dir_misses: u64,
+    /// Fresh read-replica leases granted by home directories (home side).
+    pub dir_leases: u64,
+    /// Invalidations applied by this node as a sharer (the holder-side
+    /// count behind the `--watch` INVAL column).
+    pub dir_invals: u64,
+    /// Invalidation rounds a release-consistency write skipped because the
+    /// protocol defers them to the readers' acquire points.
+    pub rc_deferred_invals: u64,
+    /// Acquire-point self-invalidations performed under release
+    /// consistency (barrier exit, lock grant, explicit `gm_acquire`).
+    pub rc_acquires: u64,
 }
 
 impl KernelStats {
@@ -79,6 +94,12 @@ impl KernelStats {
         self.gm_request_msgs += other.gm_request_msgs;
         self.gm_coalesced += other.gm_coalesced;
         self.invalidation_rounds += other.invalidation_rounds;
+        self.dir_hits += other.dir_hits;
+        self.dir_misses += other.dir_misses;
+        self.dir_leases += other.dir_leases;
+        self.dir_invals += other.dir_invals;
+        self.rc_deferred_invals += other.rc_deferred_invals;
+        self.rc_acquires += other.rc_acquires;
     }
 
     /// Flatten these counters into named metric series (subsystem `kernel`)
@@ -108,6 +129,12 @@ impl KernelStats {
             (key("gm_request_msgs"), self.gm_request_msgs),
             (key("gm_coalesced"), self.gm_coalesced),
             (key("invalidation_rounds"), self.invalidation_rounds),
+            (key("dir_hits"), self.dir_hits),
+            (key("dir_misses"), self.dir_misses),
+            (key("dir_leases"), self.dir_leases),
+            (key("dir_invals"), self.dir_invals),
+            (key("rc_deferred_invals"), self.rc_deferred_invals),
+            (key("rc_acquires"), self.rc_acquires),
         ]
     }
 }
@@ -210,7 +237,7 @@ mod tests {
             ..KernelStats::default()
         };
         let counters = ks.as_metric_counters(2, 1);
-        assert_eq!(counters.len(), 18);
+        assert_eq!(counters.len(), 24);
         assert_eq!(
             counters[0].0,
             MetricKey::pe("kernel", "gm_local_reads", 2).on_machine(1)
@@ -223,6 +250,11 @@ mod tests {
         assert_eq!(counters[14].1, 9);
         assert_eq!(counters[15].0.name, "gm_request_msgs");
         assert_eq!(counters[17].0.name, "invalidation_rounds");
+        // The directory/RC counters are appended after the originals so
+        // existing consumers keep their positions.
+        assert_eq!(counters[18].0.name, "dir_hits");
+        assert_eq!(counters[21].0.name, "dir_invals");
+        assert_eq!(counters[23].0.name, "rc_acquires");
     }
 
     #[test]

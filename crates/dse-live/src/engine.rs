@@ -22,7 +22,7 @@
 //! identical program results on all of them, which is the portability claim
 //! made mechanical.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -32,10 +32,11 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use dse_api::{GmHandle, ParallelApi};
+use dse_kernel::cache::{blocks_inside, blocks_touching};
 use dse_kernel::gmem::GlobalStore;
 use dse_kernel::{
-    dedup_key, serve_gm, BarrierCenter, BarrierOutcome, DedupCache, Distribution, GmServiceHooks,
-    LockCenter, LockOutcome, Party, Served, UnlockOutcome,
+    dedup_key, serve_gm, BarrierCenter, BarrierOutcome, CacheStore, DedupCache, Distribution,
+    GmMode, GmServiceHooks, LockCenter, LockOutcome, Party, Served, UnlockOutcome, CACHE_BLOCK,
 };
 use dse_msg::{GlobalPid, GmOp, Message, NodeId, RegionId, ReqId, ReqIdGen, TraceCtx};
 use dse_obs::{
@@ -106,6 +107,16 @@ pub struct LiveRunConfig {
     /// context rides the wire frames; when clear, the wire format and the
     /// hot paths are exactly the untraced ones.
     pub tracing: bool,
+    /// Read-replica GM caching: readers keep copies of remote blocks and
+    /// the home kernels run the directory coherence protocol over the wire
+    /// (`GmInvalidate`/`GmInvalidateAck`). Off by default — the uncached
+    /// request/response semantics are the cross-engine baseline.
+    pub gm_cache: bool,
+    /// Coherence protocol for cached runs: write-invalidate (every write
+    /// synchronously invalidates the sharers) or release consistency
+    /// (writes defer; readers self-invalidate at acquire points). Ignored
+    /// when `gm_cache` is off.
+    pub gm_mode: GmMode,
 }
 
 impl Default for LiveRunConfig {
@@ -116,6 +127,8 @@ impl Default for LiveRunConfig {
             gm_retry: default_gm_retry(),
             flight_capacity: 256,
             tracing: false,
+            gm_cache: false,
+            gm_mode: GmMode::WriteInvalidate,
         }
     }
 }
@@ -221,32 +234,43 @@ pub struct LiveCluster {
     /// abort, so the post-mortem trace is complete). Entries are
     /// `(pe, role, spans)` with role 0 = app thread, 1 = kernel thread.
     trace_sink: Mutex<Vec<(u32, u8, Vec<TraceSpanRec>)>>,
+    /// Replica cache + sharing directory (`Some` only for cached runs).
+    /// The per-node block maps and the directory live in one shared
+    /// structure because the cluster is one address space, but every
+    /// *protocol* action on them travels the wire.
+    cache: Option<CacheStore>,
+    /// Coherence protocol for cached runs.
+    gm_mode: GmMode,
+    /// Per-PE install guards: the epoch counts invalidations applied
+    /// against that PE's replicas. A read snapshot the epoch at dispatch
+    /// and installs its blocks on completion only if the epoch is
+    /// unchanged, so an invalidation racing a fetch can never be undone by
+    /// a late install.
+    install_guards: Vec<Mutex<u64>>,
 }
 
 impl LiveCluster {
     /// Shared state for `nprocs` processing elements.
     pub fn new(nprocs: usize) -> LiveCluster {
-        LiveCluster::with_config(nprocs, default_gm_retry(), 256, false)
+        LiveCluster::with_config(nprocs, &LiveRunConfig::default())
     }
 
-    fn with_config(
-        nprocs: usize,
-        retry: RetryPolicy,
-        flight_capacity: usize,
-        tracing: bool,
-    ) -> LiveCluster {
+    fn with_config(nprocs: usize, cfg: &LiveRunConfig) -> LiveCluster {
         LiveCluster {
             nprocs,
             store: GlobalStore::new(nprocs),
             allocs: Mutex::new(Vec::new()),
             metrics: Registry::new(),
-            flight: FlightRecorder::with_capacity(flight_capacity),
+            flight: FlightRecorder::with_capacity(cfg.flight_capacity),
             failures: Mutex::new(Vec::new()),
             abort: AtomicBool::new(false),
-            retry,
+            retry: cfg.gm_retry,
             t0: Instant::now(),
-            tracing,
+            tracing: cfg.tracing,
             trace_sink: Mutex::new(Vec::new()),
+            cache: cfg.gm_cache.then(|| CacheStore::new(nprocs)),
+            gm_mode: cfg.gm_mode,
+            install_guards: (0..nprocs).map(|_| Mutex::new(0)).collect(),
         }
     }
 
@@ -379,27 +403,82 @@ fn lock_grant_trace(
 type WatchHook<'h> = &'h (dyn Fn(&ClusterAggregator, u64) + Send + Sync);
 type WatchSpec<'h> = (Duration, WatchHook<'h>);
 
+/// Kernel transaction ids live above this bit so they can never collide
+/// with app-side `ReqIdGen` ids: a `GmInvalidateAck` whose id has the high
+/// bit belongs to a home kernel's write gate, anything else to an app's
+/// own-node invalidation round.
+const KERNEL_TXN_BASE: u64 = 1 << 63;
+
 /// Kernel-side GM service accounting, using the same metric names the
 /// simulator's kernel emits so one `dse-top` view serves both engines.
+/// On cached runs the hooks also run the home side of the directory
+/// protocol: reads grant leases to the requester at serve time, writes are
+/// collected so the loop can gate the response on invalidation acks, and a
+/// `GmInvalidate` addressed to this PE drops the local replicas.
 struct LiveGmHooks<'a> {
     metrics: &'a Registry,
     pe: u32,
+    /// The requesting PE of the message being served.
+    from: u32,
+    /// The run's replica cache (`None` on uncached runs).
+    cache: Option<&'a CacheStore>,
+    /// This PE's install guard, for holder-side invalidation application.
+    guard: &'a Mutex<u64>,
+    /// Written ranges of the request being served, in execution order —
+    /// the loop consults the directory for these after the serve.
+    writes: Vec<(RegionId, u64, usize)>,
 }
 
 impl GmServiceHooks for LiveGmHooks<'_> {
-    fn read_executed(&mut self, _region: dse_msg::RegionId, _offset: u64, data: &[u8]) {
+    fn read_executed(&mut self, region: dse_msg::RegionId, offset: u64, data: &[u8]) {
         self.metrics.add(
             MetricKey::pe("kernel", "gm_bytes_read", self.pe),
             data.len() as u64,
         );
+        if let Some(cs) = self.cache {
+            // Home-side half of the lease: record the requester as a
+            // sharer of every block its fetch fully covers. The data half
+            // installs at the requester on completion (epoch-guarded).
+            let mut fresh = 0u64;
+            for b in blocks_inside(offset, data.len()) {
+                if cs.grant(NodeId(self.from as u16), region, b) {
+                    fresh += 1;
+                }
+            }
+            if fresh > 0 {
+                self.metrics
+                    .add(MetricKey::pe("kernel", "dir_leases", self.pe), fresh);
+            }
+        }
     }
-    fn write_executed(&mut self, _region: dse_msg::RegionId, _offset: u64, len: usize) {
+    fn write_executed(&mut self, region: dse_msg::RegionId, offset: u64, len: usize) {
         self.metrics.add(
             MetricKey::pe("kernel", "gm_bytes_written", self.pe),
             len as u64,
         );
+        if self.cache.is_some() {
+            self.writes.push((region, offset, len));
+        }
     }
-    fn fetch_add_executed(&mut self, _region: dse_msg::RegionId, _offset: u64) {}
+    fn fetch_add_executed(&mut self, region: dse_msg::RegionId, offset: u64) {
+        if self.cache.is_some() {
+            self.writes.push((region, offset, 8));
+        }
+    }
+    fn invalidated(&mut self, region: dse_msg::RegionId, offset: u64, len: usize) {
+        if let Some(cs) = self.cache {
+            // Epoch first, then the drop, both under the guard: an app-side
+            // install that checked the epoch before this bump is either
+            // already in the map (the drop removes it) or will re-check and
+            // skip.
+            let mut epoch = self.guard.lock();
+            *epoch += 1;
+            cs.drop_range(NodeId(self.pe as u16), region, offset, len);
+            drop(epoch);
+            self.metrics
+                .incr(MetricKey::pe("kernel", "dir_invals", self.pe));
+        }
+    }
 }
 
 /// What the app thread can receive from its kernel: responses to its own
@@ -423,6 +502,23 @@ const IDLE_TICK: Duration = Duration::from_millis(50);
 
 /// Serving-side GM request dedup capacity (per kernel, across all peers).
 const DEDUP_CAP: usize = 64;
+
+/// A served write (or atomic) whose response is withheld until every
+/// stale replica's invalidation ack has come back — the live engine's
+/// single-home transaction ordering.
+struct WriteGate {
+    /// Invalidation acks still outstanding.
+    remaining: usize,
+    /// The withheld response.
+    resp: Message,
+    /// The requester it goes back to.
+    to: u32,
+    /// Trace context the response rides with.
+    ctx: Option<TraceCtx>,
+    /// Dedup key of the gated request: inserted into the served cache only
+    /// when the response actually goes out.
+    key: Option<(u32, u64)>,
+}
 
 /// Why the kernel loop stopped (without a first-hand failure).
 enum KernelExit {
@@ -532,6 +628,16 @@ fn kernel_loop(
     let barriers: BarrierCenter<u32> = BarrierCenter::new(nprocs);
     let locks: LockCenter<u32> = LockCenter::new();
     let mut served_cache = DedupCache::new(DEDUP_CAP);
+    // Directory coherence state (cached runs only): write gates awaiting
+    // invalidation acks, the inval-txn → gate index, and the dedup keys of
+    // requests currently gated (their retransmits are dropped, not
+    // re-executed).
+    let cache = cluster.cache.as_ref();
+    let rc = cluster.gm_mode == GmMode::ReleaseConsistency;
+    let mut gates: HashMap<u64, WriteGate> = HashMap::new();
+    let mut inval_to_gate: HashMap<u64, u64> = HashMap::new();
+    let mut pending_gated: HashSet<(u32, u64)> = HashSet::new();
+    let mut next_txn: u64 = 0;
     // Trace context and arrival time of coordination requests still
     // pending an answer: barrier rounds keyed by barrier id (first-enter
     // time), lock requests keyed by (requester, req).
@@ -614,10 +720,21 @@ fn kernel_loop(
                     }
                     continue;
                 }
+                if pending_gated.contains(&key) {
+                    // Retransmit of a write still gated on invalidation
+                    // acks: drop it. The response becomes replayable the
+                    // moment the gate opens; re-executing now would leak
+                    // an ungated ack past the coherence protocol.
+                    continue;
+                }
             }
             let mut hooks = LiveGmHooks {
                 metrics: &cluster.metrics,
                 pe,
+                from,
+                cache,
+                guard: &cluster.install_guards[pe as usize],
+                writes: Vec::new(),
             };
             let gm_ctx = env.ctx;
             match serve_gm(&cluster.store, env.msg, &mut hooks) {
@@ -636,7 +753,6 @@ fn kernel_loop(
                         trace: c.trace,
                         parent: serve_span_id(c.parent, 0),
                     });
-                    send(from, &resp, resp_ctx)?;
                     if let Some(c) = gm_ctx {
                         let mut span = TraceSpanRec::new(
                             TraceSpanKind::Serve,
@@ -652,8 +768,87 @@ fn kernel_loop(
                         span.seq = key.map(|k| k.1).unwrap_or(0);
                         rec.push(span);
                     }
-                    if let Some(key) = key {
-                        served_cache.insert(key, resp);
+                    // Directory coherence for the ranges this serve wrote:
+                    // WI takes the sharers and gates the response on their
+                    // acks; RC leaves the leases in place and counts the
+                    // deferral (the replicas die at the holders' next
+                    // acquire).
+                    let mut invals: Vec<(NodeId, RegionId, u64, usize)> = Vec::new();
+                    if let Some(cs) = cache {
+                        let writer = NodeId(from as u16);
+                        let writes = std::mem::take(&mut hooks.writes);
+                        for (region, offset, len) in writes {
+                            if rc {
+                                if !cs.peek_holders(region, offset, len, writer).is_empty() {
+                                    cluster.metrics.incr(MetricKey::pe(
+                                        "kernel",
+                                        "rc_deferred_invals",
+                                        pe,
+                                    ));
+                                }
+                                continue;
+                            }
+                            let holders = cs.take_holders(region, offset, len, writer);
+                            if holders.is_empty() {
+                                continue;
+                            }
+                            cluster.metrics.incr(MetricKey::pe(
+                                "kernel",
+                                "invalidation_rounds",
+                                pe,
+                            ));
+                            cluster.metrics.add(
+                                MetricKey::pe("kernel", "cache_invalidations", pe),
+                                holders.len() as u64,
+                            );
+                            for h in holders {
+                                if h.0 as u32 == pe {
+                                    // Our own replica: apply the drop
+                                    // in-place, no wire round needed.
+                                    hooks.invalidated(region, offset, len);
+                                } else {
+                                    invals.push((h, region, offset, len));
+                                }
+                            }
+                        }
+                    }
+                    if invals.is_empty() {
+                        send(from, &resp, resp_ctx)?;
+                        if let Some(key) = key {
+                            served_cache.insert(key, resp);
+                        }
+                    } else {
+                        let gate_id = next_txn;
+                        let mut remaining = 0usize;
+                        for (h, region, offset, len) in invals {
+                            next_txn += 1;
+                            let txn = KERNEL_TXN_BASE | next_txn;
+                            inval_to_gate.insert(txn, gate_id);
+                            remaining += 1;
+                            send(
+                                h.0 as u32,
+                                &Message::GmInvalidate {
+                                    req: ReqId(txn),
+                                    region,
+                                    offset,
+                                    len: len as u32,
+                                },
+                                None,
+                            )?;
+                        }
+                        if let Some(key) = key {
+                            pending_gated.insert(key);
+                        }
+                        gates.insert(
+                            gate_id,
+                            WriteGate {
+                                remaining,
+                                resp,
+                                to: from,
+                                ctx: resp_ctx,
+                                key,
+                            },
+                        );
                     }
                 }
                 Served::NotGm(msg) if is_app_bound(&msg) => {
@@ -665,6 +860,35 @@ fn kernel_loop(
                     let _ = app_tx.send((msg, gm_ctx));
                 }
                 Served::NotGm(msg) => match msg {
+                    Message::GmInvalidateAck { req } => {
+                        if let Some(gate_id) = inval_to_gate.remove(&req.0) {
+                            // One of our write gates: the holder has
+                            // dropped its replica. Open the gate once the
+                            // last ack lands — only then does the writer
+                            // see its ack and only then does the response
+                            // become replayable for retransmits.
+                            let done = {
+                                let g = gates
+                                    .get_mut(&gate_id)
+                                    .expect("invalidation ack for an unknown gate");
+                                g.remaining -= 1;
+                                g.remaining == 0
+                            };
+                            if done {
+                                let g = gates.remove(&gate_id).unwrap();
+                                send(g.to, &g.resp, g.ctx)?;
+                                if let Some(key) = g.key {
+                                    pending_gated.remove(&key);
+                                    served_cache.insert(key, g.resp);
+                                }
+                            }
+                        } else {
+                            // An app-originated invalidation round (own-
+                            // node write): the ack belongs to our app
+                            // thread.
+                            let _ = app_tx.send((Message::GmInvalidateAck { req }, gm_ctx));
+                        }
+                    }
                     Message::BarrierEnter { barrier, pid } => {
                         let party = Party {
                             pid,
@@ -860,6 +1084,14 @@ struct ReadCtl {
     offset: u64,
     len: usize,
     dests: Vec<ReadDest>,
+    /// Region the segment reads (for replica installs on cached runs).
+    region: RegionId,
+    /// Fully-contained blocks to install on completion (empty when the
+    /// replica cache is off).
+    install: std::ops::Range<u64>,
+    /// Install-epoch snapshot taken at dispatch: a mismatch at completion
+    /// means an invalidation raced the fetch, so the install is skipped.
+    epoch: u64,
 }
 
 /// Bookkeeping for one write request on the wire: the handles it completes.
@@ -1361,12 +1593,95 @@ impl LiveCtx {
                     .unwrap();
                 continue;
             }
+            if self.cluster.cache.is_some() {
+                self.stage_read_cached(home.0 as u32, region, offset, off, rlen, handle, eager);
+                continue;
+            }
             let st = self.handles.get_mut(&handle).unwrap();
             st.remaining += 1;
             st.remote = true;
             self.stage_read(home.0 as u32, region, off, rlen, handle, buf_off, eager);
         }
         self.release_issuance_token(handle)
+    }
+
+    /// One remote read run with the replica cache on: serve fully cached
+    /// blocks straight out of the local replica store, and stage only the
+    /// misses and edge fragments (coalesced into minimal spans) as wire
+    /// fetches.
+    #[allow(clippy::too_many_arguments)]
+    fn stage_read_cached(
+        &mut self,
+        home: u32,
+        region: RegionId,
+        base: u64,
+        off: u64,
+        rlen: usize,
+        handle: u64,
+        eager: bool,
+    ) {
+        let cluster = Arc::clone(&self.cluster);
+        let cs = cluster.cache.as_ref().unwrap();
+        let me = NodeId(self.rank as u16);
+        let end = off + rlen as u64;
+        let full = blocks_inside(off, rlen);
+        // Contiguous span still needing a fetch, grown block by block.
+        let mut pend: Option<(u64, u64)> = None;
+        let mut segs: Vec<(u64, usize)> = Vec::new();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for b in blocks_touching(off, rlen) {
+            let bs = b * CACHE_BLOCK as u64;
+            let s = bs.max(off);
+            let e = (bs + CACHE_BLOCK as u64).min(end);
+            let cached = full.contains(&b).then(|| cs.get(me, region, b)).flatten();
+            match cached {
+                Some(data) => {
+                    hits += 1;
+                    let st = self.handles.get_mut(&handle).unwrap();
+                    let buf = st.buf.as_mut().unwrap();
+                    let at = (s - base) as usize;
+                    let src = (s - bs) as usize;
+                    let n = (e - s) as usize;
+                    buf[at..at + n].copy_from_slice(&data[src..src + n]);
+                    if let Some((ps, pe)) = pend.take() {
+                        segs.push((ps, (pe - ps) as usize));
+                    }
+                }
+                None => {
+                    if full.contains(&b) {
+                        misses += 1;
+                    }
+                    match &mut pend {
+                        Some((_, stop)) => *stop = e,
+                        None => pend = Some((s, e)),
+                    }
+                }
+            }
+        }
+        if let Some((ps, pe)) = pend {
+            segs.push((ps, (pe - ps) as usize));
+        }
+        if hits > 0 {
+            self.metrics()
+                .add(MetricKey::pe("kernel", "cache_hits", self.rank), hits);
+            self.metrics()
+                .add(MetricKey::pe("kernel", "dir_hits", self.rank), hits);
+        }
+        if misses > 0 {
+            self.metrics()
+                .add(MetricKey::pe("kernel", "cache_misses", self.rank), misses);
+            self.metrics()
+                .add(MetricKey::pe("kernel", "dir_misses", self.rank), misses);
+        }
+        for (s, l) in segs {
+            let st = self.handles.get_mut(&handle).unwrap();
+            st.remaining += 1;
+            st.remote = true;
+            self.stage_read(home, region, s, l, handle, (s - base) as usize, false);
+        }
+        if eager {
+            self.flush_staged();
+        }
     }
 
     fn issue_write(&mut self, region: RegionId, offset: u64, data: &[u8], eager: bool) -> GmHandle {
@@ -1395,7 +1710,14 @@ impl LiveCtx {
             let chunk = &data[buf_off..buf_off + rlen];
             if home.0 as u32 == self.rank {
                 self.cluster.store.write(region, off, chunk).unwrap();
+                self.own_write_coherence(region, off, rlen, Some(handle));
                 continue;
+            }
+            if let Some(cs) = self.cluster.cache.as_ref() {
+                // Our own replicas of the written range are stale the
+                // moment the home applies the write; the home's take
+                // excludes us, so we drop them here.
+                cs.drop_range(NodeId(self.rank as u16), region, off, rlen);
             }
             let st = self.handles.get_mut(&handle).unwrap();
             st.remaining += 1;
@@ -1403,6 +1725,75 @@ impl LiveCtx {
             self.stage_write(home.0 as u32, region, off, chunk.to_vec(), handle, eager);
         }
         self.release_issuance_token(handle)
+    }
+
+    /// Coherence actions for a write applied directly to this PE's own
+    /// home partition. Write-invalidate sends `GmInvalidate` to every
+    /// other holder and ties the acks into `handle`'s completion (or waits
+    /// inline when `handle` is `None`, the fetch-add path). Release
+    /// consistency counts the deferral and leaves the replicas to die at
+    /// their holders' next acquire.
+    fn own_write_coherence(
+        &mut self,
+        region: RegionId,
+        offset: u64,
+        len: usize,
+        handle: Option<u64>,
+    ) {
+        let cluster = Arc::clone(&self.cluster);
+        let Some(cs) = cluster.cache.as_ref() else {
+            return;
+        };
+        let me = NodeId(self.rank as u16);
+        if cluster.gm_mode == GmMode::ReleaseConsistency {
+            if !cs.peek_holders(region, offset, len, me).is_empty() {
+                self.metrics()
+                    .incr(MetricKey::pe("kernel", "rc_deferred_invals", self.rank));
+            }
+            return;
+        }
+        let holders = cs.take_holders(region, offset, len, me);
+        if holders.is_empty() {
+            return;
+        }
+        self.metrics()
+            .incr(MetricKey::pe("kernel", "invalidation_rounds", self.rank));
+        self.metrics().add(
+            MetricKey::pe("kernel", "cache_invalidations", self.rank),
+            holders.len() as u64,
+        );
+        let mut inline: Vec<u64> = Vec::new();
+        for h in holders {
+            let req = self.reqs.next();
+            let msg = Message::GmInvalidate {
+                req,
+                region,
+                offset,
+                len: len as u32,
+            };
+            self.send(h.0 as u32, &msg);
+            self.arm_retry(req, h.0 as u32, msg, None);
+            match handle {
+                Some(hd) => {
+                    let st = self.handles.get_mut(&hd).unwrap();
+                    st.remaining += 1;
+                    st.remote = true;
+                    self.inflight
+                        .insert(req.0, InflightReq::Write(WriteCtl { writers: vec![hd] }));
+                }
+                None => inline.push(req.0),
+            }
+        }
+        while !inline.is_empty() {
+            match self.recv_app(Some(self.retry_tick())) {
+                None => self.service_retries(),
+                Some((Message::GmInvalidateAck { req }, _)) if inline.contains(&req.0) => {
+                    self.retry.remove(&req.0);
+                    inline.retain(|&r| r != req.0);
+                }
+                Some(other) => self.stash.push_back(other),
+            }
+        }
     }
 
     /// Release the issuance token: if every segment was served locally, the
@@ -1571,6 +1962,27 @@ impl LiveCtx {
         }
     }
 
+    /// Build one read segment's completion bookkeeping, snapshotting the
+    /// install epoch at dispatch for cached runs.
+    fn read_ctl(&self, region: RegionId, offset: u64, len: usize, dests: Vec<ReadDest>) -> ReadCtl {
+        let (install, epoch) = if self.cluster.cache.is_some() {
+            (
+                blocks_inside(offset, len),
+                *self.cluster.install_guards[self.rank as usize].lock(),
+            )
+        } else {
+            (0..0, 0)
+        };
+        ReadCtl {
+            offset,
+            len,
+            dests,
+            region,
+            install,
+            epoch,
+        }
+    }
+
     fn send_plain(&mut self, home: u32, seg: StagedSeg) {
         let req = self.reqs.next();
         let (msg, ctl) = match seg.kind {
@@ -1581,11 +1993,7 @@ impl LiveCtx {
                     offset: seg.offset,
                     len: len as u32,
                 },
-                InflightReq::Read(ReadCtl {
-                    offset: seg.offset,
-                    len,
-                    dests,
-                }),
+                InflightReq::Read(self.read_ctl(seg.region, seg.offset, len, dests)),
             ),
             SegKind::Write { data, writers } => (
                 Message::GmWriteReq {
@@ -1612,11 +2020,9 @@ impl LiveCtx {
                         offset: seg.offset,
                         len: len as u32,
                     });
-                    ctls.push(InflightOp::Read(ReadCtl {
-                        offset: seg.offset,
-                        len,
-                        dests,
-                    }));
+                    ctls.push(InflightOp::Read(
+                        self.read_ctl(seg.region, seg.offset, len, dests),
+                    ));
                 }
                 SegKind::Write { data, writers } => {
                     ctls.push(InflightOp::Write(WriteCtl { writers }));
@@ -1657,6 +2063,7 @@ impl LiveCtx {
                 Message::GmReadResp { .. }
                     | Message::GmWriteAck { .. }
                     | Message::GmBatchResp { .. }
+                    | Message::GmInvalidateAck { .. }
             )
         }) {
             let (msg, ctx) = self.stash.remove(idx).unwrap();
@@ -1669,7 +2076,8 @@ impl LiveCtx {
                 Some((
                     msg @ (Message::GmReadResp { .. }
                     | Message::GmWriteAck { .. }
-                    | Message::GmBatchResp { .. }),
+                    | Message::GmBatchResp { .. }
+                    | Message::GmInvalidateAck { .. }),
                     ctx,
                 )) => {
                     self.process_completion(msg, ctx);
@@ -1731,12 +2139,46 @@ impl LiveCtx {
                 ),
                 None => {}
             },
+            Message::GmInvalidateAck { req } => match self.inflight.remove(&req.0) {
+                // Own-node write invalidation round: the ack completes the
+                // writing handle exactly like a remote write ack would.
+                Some(InflightReq::Write(c)) => {
+                    self.retry.remove(&req.0);
+                    self.complete_write(c);
+                }
+                Some(_) => panic!(
+                    "live rank {}: GmInvalidateAck for a non-invalidation request",
+                    self.rank
+                ),
+                None => {}
+            },
             _ => unreachable!("process_completion on a non-GM message"),
         }
     }
 
     fn complete_read(&mut self, ctl: ReadCtl, data: &[u8]) {
         assert_eq!(data.len(), ctl.len, "short remote read");
+        if !ctl.install.is_empty() {
+            if let Some(cs) = self.cluster.cache.as_ref() {
+                // Requester-side half of the lease the home granted at
+                // serve time: install the fully fetched blocks, unless an
+                // invalidation has landed since dispatch (epoch mismatch)
+                // — then the bytes may already be stale and the lease
+                // stays data-less.
+                let guard = self.cluster.install_guards[self.rank as usize].lock();
+                if *guard == ctl.epoch {
+                    for b in ctl.install.clone() {
+                        let at = (b * CACHE_BLOCK as u64 - ctl.offset) as usize;
+                        cs.install_data(
+                            NodeId(self.rank as u16),
+                            ctl.region,
+                            b,
+                            data[at..at + CACHE_BLOCK].to_vec(),
+                        );
+                    }
+                }
+            }
+        }
         for d in ctl.dests {
             let h = self
                 .handles
@@ -1800,6 +2242,25 @@ impl LiveCtx {
             self.drain_one();
         }
         self.push_block_span(t0, 0);
+    }
+
+    /// Release-consistency acquire: purge this rank's replicas (and their
+    /// directory leases) so subsequent reads re-fetch from the homes.
+    /// Self-invalidation costs zero wire traffic — the whole point of
+    /// deferring the write-side invalidations. No-op under
+    /// write-invalidate, where the protocol keeps replicas exact.
+    fn acquire_replicas(&mut self) {
+        let cluster = Arc::clone(&self.cluster);
+        if let Some(cs) = cluster.cache.as_ref() {
+            if cluster.gm_mode == GmMode::ReleaseConsistency {
+                let mut epoch = cluster.install_guards[self.rank as usize].lock();
+                *epoch += 1;
+                cs.purge_node(NodeId(self.rank as u16));
+                drop(epoch);
+                self.metrics()
+                    .incr(MetricKey::pe("kernel", "rc_acquires", self.rank));
+            }
+        }
     }
 
     /// Called by the harness after the body returns: fence, then notify the
@@ -1913,11 +2374,17 @@ impl ParallelApi for LiveCtx {
         let start = Instant::now();
         let home = self.home_of(region, offset);
         let prev = if home == self.rank {
-            self.cluster
+            let prev = self
+                .cluster
                 .store
                 .fetch_add(region, offset, delta)
-                .unwrap_or_else(|e| panic!("live rank {}: fetch_add failed: {e}", self.rank))
+                .unwrap_or_else(|e| panic!("live rank {}: fetch_add failed: {e}", self.rank));
+            self.own_write_coherence(region, offset, 8, None);
+            prev
         } else {
+            if let Some(cs) = self.cluster.cache.as_ref() {
+                cs.drop_range(NodeId(self.rank as u16), region, offset, 8);
+            }
             let req = self.reqs.next();
             self.metrics()
                 .incr(MetricKey::pe("kernel", "gm_request_msgs", self.rank));
@@ -1999,6 +2466,8 @@ impl ParallelApi for LiveCtx {
             MetricKey::pe("sync", "barrier_wait_ns", self.rank),
             start.elapsed().as_nanos() as u64,
         );
+        // Completing a barrier is an acquire point.
+        self.acquire_replicas();
     }
 
     fn lock(&mut self, id: u32) {
@@ -2044,6 +2513,8 @@ impl ParallelApi for LiveCtx {
             MetricKey::pe("sync", "lock_wait_ns", self.rank),
             start.elapsed().as_nanos() as u64,
         );
+        // A lock grant is an acquire point.
+        self.acquire_replicas();
     }
 
     fn unlock(&mut self, id: u32) {
@@ -2055,6 +2526,17 @@ impl ParallelApi for LiveCtx {
                 pid: self.pid,
             },
         );
+    }
+
+    fn gm_release(&mut self) {
+        // Making prior writes globally visible is exactly the fence: every
+        // write ack (gated on its invalidations under WI) has landed.
+        self.gm_fence();
+    }
+
+    fn gm_acquire(&mut self) {
+        self.gm_fence();
+        self.acquire_replicas();
     }
 }
 
@@ -2090,40 +2572,149 @@ pub struct LiveRunResult {
     pub trace_spans: Vec<Vec<TraceSpanRec>>,
 }
 
-/// Run `body` as an SPMD program over `nprocs` PEs on the in-process
-/// channel transport.
+/// Builder for live runs: the one entry point to the live engine.
+///
+/// Every knob the old `run_live*`/`try_run_live*` family spread across six
+/// signatures is a chained setter here; `run` panics on failure, `try_run`
+/// returns the structured [`RunError`].
 ///
 /// ```
 /// use dse_api::{collective, ParallelApi};
+/// use dse_live::LiveRunner;
 ///
-/// let result = dse_live::run_live(4, |ctx| {
+/// let result = LiveRunner::new(4).run(|ctx| {
 ///     let all = collective::all_gather(ctx, ctx.rank() as i64);
 ///     assert_eq!(all, vec![0, 1, 2, 3]);
 /// });
 /// assert_eq!(result.nprocs, 4);
 /// ```
+pub struct LiveRunner<'h> {
+    nprocs: usize,
+    cfg: LiveRunConfig,
+    watch: Option<WatchSpec<'h>>,
+}
+
+impl<'h> LiveRunner<'h> {
+    /// A run over `nprocs` PEs on the default configuration (in-process
+    /// channel transport, no faults, no watch, cache off).
+    pub fn new(nprocs: usize) -> LiveRunner<'h> {
+        LiveRunner {
+            nprocs,
+            cfg: LiveRunConfig::default(),
+            watch: None,
+        }
+    }
+
+    /// Which wire carries the run's messages.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.cfg.kind = kind;
+        self
+    }
+
+    /// Deterministic fault injection applied to every endpoint.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault_plan = Some(plan);
+        self
+    }
+
+    /// Retry/deadline budget for outstanding GM requests.
+    pub fn gm_retry(mut self, policy: RetryPolicy) -> Self {
+        self.cfg.gm_retry = policy;
+        self
+    }
+
+    /// Flight-recorder ring size (0 disables post-mortem capture).
+    pub fn flight_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.flight_capacity = capacity;
+        self
+    }
+
+    /// Causal tracing on or off (see [`LiveRunConfig::tracing`]).
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.cfg.tracing = on;
+        self
+    }
+
+    /// Read-replica GM caching with the wire directory protocol (see
+    /// [`LiveRunConfig::gm_cache`]).
+    pub fn gm_cache(mut self, on: bool) -> Self {
+        self.cfg.gm_cache = on;
+        self
+    }
+
+    /// Coherence protocol for cached runs (see [`LiveRunConfig::gm_mode`]).
+    pub fn gm_mode(mut self, mode: GmMode) -> Self {
+        self.cfg.gm_mode = mode;
+        self
+    }
+
+    /// Replace the whole configuration at once (for callers that already
+    /// assembled a [`LiveRunConfig`]).
+    pub fn config(mut self, cfg: LiveRunConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Watch the run: each PE's kernel thread ships incremental telemetry
+    /// deltas *over the transport* to PE 0 every `interval`; PE 0's kernel
+    /// applies them to a [`ClusterAggregator`] and invokes `hook` with the
+    /// aggregator and the elapsed wall clock in nanoseconds on each of its
+    /// own ticks. The hook signature matches the simulator's epoch hook,
+    /// so one rendering function (e.g. `dse_ssi::view::render_top`) serves
+    /// both engines. After the kernels shut down, a final absolute round
+    /// heals any deltas lost in the shutdown race and the resulting rollup
+    /// lands in [`LiveRunResult::telemetry_rollup`].
+    pub fn watch(
+        mut self,
+        interval: Duration,
+        hook: &'h (dyn Fn(&ClusterAggregator, u64) + Send + Sync),
+    ) -> Self {
+        self.watch = Some((interval, hook));
+        self
+    }
+
+    /// Run `body` as an SPMD program, panicking on a structured failure.
+    pub fn run<F>(self, body: F) -> LiveRunResult
+    where
+        F: Fn(&mut LiveCtx) + Send + Sync,
+    {
+        self.try_run(body)
+            .unwrap_or_else(|e| panic!("live run failed:\n{e}"))
+    }
+
+    /// Run `body` with structured failure reporting: a run that hits a
+    /// transport fault, a GM deadline, or a dead kernel aborts
+    /// cluster-wide (every thread joins) and returns a [`RunError`]
+    /// carrying the per-PE failure report and the flight-recorder
+    /// post-mortem instead of panicking.
+    pub fn try_run<F>(self, body: F) -> Result<LiveRunResult, RunError>
+    where
+        F: Fn(&mut LiveCtx) + Send + Sync,
+    {
+        run_live_inner(self.cfg, self.nprocs, self.watch, body)
+    }
+}
+
+/// Run `body` over `nprocs` PEs on the in-process channel transport.
+#[deprecated(note = "use LiveRunner::new(nprocs).run(body)")]
 pub fn run_live<F>(nprocs: usize, body: F) -> LiveRunResult
 where
     F: Fn(&mut LiveCtx) + Send + Sync,
 {
-    try_run_live(LiveRunConfig::default(), nprocs, body)
-        .unwrap_or_else(|e| panic!("live run failed:\n{e}"))
+    LiveRunner::new(nprocs).run(body)
 }
 
-/// [`run_live`] on an explicitly chosen transport.
+/// [`LiveRunner::run`] on an explicitly chosen transport.
+#[deprecated(note = "use LiveRunner::new(nprocs).transport(kind).run(body)")]
 pub fn run_live_on<F>(kind: TransportKind, nprocs: usize, body: F) -> LiveRunResult
 where
     F: Fn(&mut LiveCtx) + Send + Sync,
 {
-    try_run_live(LiveRunConfig::on(kind), nprocs, body)
-        .unwrap_or_else(|e| panic!("live run failed:\n{e}"))
+    LiveRunner::new(nprocs).transport(kind).run(body)
 }
 
-/// [`run_live`] with full configuration and structured failure reporting:
-/// a run that hits a transport fault, a GM deadline, or a dead kernel
-/// aborts cluster-wide (every thread joins) and returns a [`RunError`]
-/// carrying the per-PE failure report and the flight-recorder post-mortem
-/// instead of panicking.
+/// [`LiveRunner::try_run`] with a pre-assembled configuration.
+#[deprecated(note = "use LiveRunner::new(nprocs).config(cfg).try_run(body)")]
 pub fn try_run_live<F>(
     cfg: LiveRunConfig,
     nprocs: usize,
@@ -2132,28 +2723,21 @@ pub fn try_run_live<F>(
 where
     F: Fn(&mut LiveCtx) + Send + Sync,
 {
-    run_live_inner(cfg, nprocs, None, body)
+    LiveRunner::new(nprocs).config(cfg).try_run(body)
 }
 
-/// Watched variant of [`run_live`]: each PE's kernel thread ships
-/// incremental telemetry deltas *over the transport* to PE 0 every
-/// `interval`; PE 0's kernel applies them to a [`ClusterAggregator`] and
-/// invokes `hook` with the aggregator and the elapsed wall clock in
-/// nanoseconds on each of its own ticks. The hook signature matches the
-/// simulator's epoch hook, so one rendering function (e.g.
-/// `dse_ssi::view::render_top`) serves both engines. After the kernels shut
-/// down, a final absolute round heals any deltas lost in the shutdown race
-/// and the resulting rollup lands in [`LiveRunResult::telemetry_rollup`].
+/// Watched run on the default configuration (see [`LiveRunner::watch`]).
+#[deprecated(note = "use LiveRunner::new(nprocs).watch(interval, &hook).run(body)")]
 pub fn run_live_watched<F, H>(nprocs: usize, interval: Duration, hook: H, body: F) -> LiveRunResult
 where
     F: Fn(&mut LiveCtx) + Send + Sync,
     H: Fn(&ClusterAggregator, u64) + Send + Sync,
 {
-    try_run_live_watched(LiveRunConfig::default(), nprocs, interval, hook, body)
-        .unwrap_or_else(|e| panic!("live run failed:\n{e}"))
+    LiveRunner::new(nprocs).watch(interval, &hook).run(body)
 }
 
-/// [`run_live_watched`] on an explicitly chosen transport.
+/// Watched run on an explicitly chosen transport (see [`LiveRunner::watch`]).
+#[deprecated(note = "use LiveRunner::new(nprocs).transport(kind).watch(interval, &hook).run(body)")]
 pub fn run_live_watched_on<F, H>(
     kind: TransportKind,
     nprocs: usize,
@@ -2165,12 +2749,15 @@ where
     F: Fn(&mut LiveCtx) + Send + Sync,
     H: Fn(&ClusterAggregator, u64) + Send + Sync,
 {
-    try_run_live_watched(LiveRunConfig::on(kind), nprocs, interval, hook, body)
-        .unwrap_or_else(|e| panic!("live run failed:\n{e}"))
+    LiveRunner::new(nprocs)
+        .transport(kind)
+        .watch(interval, &hook)
+        .run(body)
 }
 
-/// [`run_live_watched`] with full configuration and structured failure
-/// reporting (see [`try_run_live`]).
+/// Watched run with a pre-assembled configuration and structured failure
+/// reporting (see [`LiveRunner::watch`] and [`LiveRunner::try_run`]).
+#[deprecated(note = "use LiveRunner::new(nprocs).config(cfg).watch(interval, &hook).try_run(body)")]
 pub fn try_run_live_watched<F, H>(
     cfg: LiveRunConfig,
     nprocs: usize,
@@ -2182,7 +2769,10 @@ where
     F: Fn(&mut LiveCtx) + Send + Sync,
     H: Fn(&ClusterAggregator, u64) + Send + Sync,
 {
-    run_live_inner(cfg, nprocs, Some((interval, &hook)), body)
+    LiveRunner::new(nprocs)
+        .config(cfg)
+        .watch(interval, &hook)
+        .try_run(body)
 }
 
 fn run_live_inner<F>(
@@ -2195,12 +2785,7 @@ where
     F: Fn(&mut LiveCtx) + Send + Sync,
 {
     assert!(nprocs > 0);
-    let cluster = Arc::new(LiveCluster::with_config(
-        nprocs,
-        cfg.gm_retry,
-        cfg.flight_capacity,
-        cfg.tracing,
-    ));
+    let cluster = Arc::new(LiveCluster::with_config(nprocs, &cfg));
     let start = Instant::now();
     // The guard outlives the scope below: socket files are removed however
     // the run ends, including an unwinding abort.
@@ -2340,7 +2925,7 @@ mod tests {
 
     #[test]
     fn live_barrier_and_gm_roundtrip() {
-        run_live(4, |ctx| {
+        LiveRunner::new(4).run(|ctx| {
             let arr = GmArray::<u64>::alloc(ctx, 4, Distribution::Blocked);
             arr.set(ctx, ctx.rank() as usize, ctx.rank() as u64 * 10);
             ctx.barrier();
@@ -2352,7 +2937,7 @@ mod tests {
     #[test]
     fn live_counter_is_exactly_once() {
         let total = AtomicU64::new(0);
-        run_live(4, |ctx| {
+        LiveRunner::new(4).run(|ctx| {
             let c = GmCounter::alloc(ctx);
             ctx.barrier();
             loop {
@@ -2368,7 +2953,7 @@ mod tests {
 
     #[test]
     fn live_metrics_capture_gm_and_sync() {
-        let r = run_live(3, |ctx| {
+        let r = LiveRunner::new(3).run(|ctx| {
             let arr = GmArray::<u64>::alloc(ctx, 3, Distribution::Blocked);
             arr.set(ctx, ctx.rank() as usize, 1);
             ctx.barrier();
@@ -2386,7 +2971,7 @@ mod tests {
     fn live_run_exchanges_wire_messages() {
         // The acceptance gate for the message-passing engine: a multi-PE
         // run must put real GM request messages on the transport.
-        let r = run_live(2, |ctx| {
+        let r = LiveRunner::new(2).run(|ctx| {
             let arr = GmArray::<u64>::alloc(ctx, 8, Distribution::Blocked);
             arr.set(ctx, (ctx.rank() as usize + 5) % 8, 1);
             ctx.barrier();
@@ -2405,19 +2990,17 @@ mod tests {
     #[test]
     fn watched_rollup_matches_direct_snapshot() {
         let epochs = AtomicU64::new(0);
-        let r = run_live_watched(
-            3,
-            Duration::from_millis(1),
-            |_agg, _now_ns| {
-                epochs.fetch_add(1, Ordering::SeqCst);
-            },
-            |ctx| {
+        let hook = |_agg: &ClusterAggregator, _now_ns: u64| {
+            epochs.fetch_add(1, Ordering::SeqCst);
+        };
+        let r = LiveRunner::new(3)
+            .watch(Duration::from_millis(1), &hook)
+            .run(|ctx| {
                 let arr = GmArray::<u64>::alloc(ctx, 3, Distribution::Blocked);
                 arr.set(ctx, ctx.rank() as usize, 7);
                 ctx.barrier();
                 let _ = arr.read(ctx, 0, 3);
-            },
-        );
+            });
         assert!(epochs.load(Ordering::SeqCst) >= 1, "hook never fired");
         let rollup = r.telemetry_rollup.expect("watched run produces a rollup");
         assert_eq!(
@@ -2429,13 +3012,13 @@ mod tests {
 
     #[test]
     fn unwatched_run_has_no_rollup() {
-        let r = run_live(2, |ctx| ctx.barrier());
+        let r = LiveRunner::new(2).run(|ctx| ctx.barrier());
         assert!(r.telemetry_rollup.is_none());
     }
 
     #[test]
     fn live_collectives() {
-        run_live(5, |ctx| {
+        LiveRunner::new(5).run(|ctx| {
             let s = collective::reduce_sum(ctx, 1.0);
             assert_eq!(s, 5.0);
             let g = collective::all_gather(ctx, ctx.rank() as i64);
@@ -2446,7 +3029,7 @@ mod tests {
     #[test]
     fn live_locks_are_mutually_exclusive() {
         let inside = AtomicU64::new(0);
-        run_live(6, |ctx| {
+        LiveRunner::new(6).run(|ctx| {
             for _ in 0..50 {
                 ctx.lock(3);
                 let v = inside.fetch_add(1, Ordering::SeqCst);
@@ -2460,14 +3043,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "release of unknown lock 9")]
     fn live_unlock_unheld_panics() {
-        run_live(1, |ctx| {
+        LiveRunner::new(1).run(|ctx| {
             ctx.unlock(9);
         });
     }
 
     #[test]
     fn live_on_tcp_roundtrip() {
-        let r = run_live_on(TransportKind::Tcp, 3, |ctx| {
+        let r = LiveRunner::new(3).transport(TransportKind::Tcp).run(|ctx| {
             let arr = GmArray::<u64>::alloc(ctx, 3, Distribution::Blocked);
             arr.set(ctx, ctx.rank() as usize, ctx.rank() as u64 + 1);
             ctx.barrier();
@@ -2481,7 +3064,7 @@ mod tests {
     #[cfg(unix)]
     #[test]
     fn live_on_uds_roundtrip() {
-        run_live_on(TransportKind::Uds, 2, |ctx| {
+        LiveRunner::new(2).transport(TransportKind::Uds).run(|ctx| {
             let c = GmCounter::alloc(ctx);
             ctx.barrier();
             let mine = c.next(ctx);
@@ -2498,18 +3081,20 @@ mod tests {
             fault_plan: Some(FaultPlan::parse("seed=11,drop=150,dup=80").unwrap()),
             ..LiveRunConfig::default()
         };
-        let r = try_run_live(cfg, 3, |ctx| {
-            let arr = GmArray::<u64>::alloc(ctx, 12, Distribution::Blocked);
-            for i in 0..12 {
-                if i % 3 == ctx.rank() as usize {
-                    arr.set(ctx, i, (i * 7) as u64);
+        let r = LiveRunner::new(3)
+            .config(cfg)
+            .try_run(|ctx| {
+                let arr = GmArray::<u64>::alloc(ctx, 12, Distribution::Blocked);
+                for i in 0..12 {
+                    if i % 3 == ctx.rank() as usize {
+                        arr.set(ctx, i, (i * 7) as u64);
+                    }
                 }
-            }
-            ctx.barrier();
-            let all = arr.read(ctx, 0, 12);
-            assert_eq!(all, (0..12u64).map(|i| i * 7).collect::<Vec<_>>());
-        })
-        .expect("drops and dups are recoverable faults");
+                ctx.barrier();
+                let all = arr.read(ctx, 0, 12);
+                assert_eq!(all, (0..12u64).map(|i| i * 7).collect::<Vec<_>>());
+            })
+            .expect("drops and dups are recoverable faults");
         assert_eq!(r.nprocs, 3);
     }
 
@@ -2521,14 +3106,16 @@ mod tests {
             fault_plan: Some(FaultPlan::parse("seed=3,disconnect=1:8").unwrap()),
             ..LiveRunConfig::default()
         };
-        let err = try_run_live(cfg, 3, |ctx| {
-            let arr = GmArray::<u64>::alloc(ctx, 64, Distribution::Blocked);
-            for round in 0..200 {
-                arr.set(ctx, (ctx.rank() as usize * 13 + round) % 64, round as u64);
-                ctx.barrier();
-            }
-        })
-        .expect_err("a dead endpoint must fail the run");
+        let err = LiveRunner::new(3)
+            .config(cfg)
+            .try_run(|ctx| {
+                let arr = GmArray::<u64>::alloc(ctx, 64, Distribution::Blocked);
+                for round in 0..200 {
+                    arr.set(ctx, (ctx.rank() as usize * 13 + round) % 64, round as u64);
+                    ctx.barrier();
+                }
+            })
+            .expect_err("a dead endpoint must fail the run");
         assert!(!err.failures.is_empty(), "report must name an observer");
         assert!(
             err.report().contains("first-hand failure"),
@@ -2549,15 +3136,17 @@ mod tests {
             },
             ..LiveRunConfig::default()
         };
-        let err = try_run_live(cfg, 2, |ctx| {
-            let arr = GmArray::<u64>::alloc(ctx, 8, Distribution::Blocked);
-            // Rank 0 writes into rank 1's half: always a wire request.
-            if ctx.rank() == 0 {
-                arr.set(ctx, 7, 42);
-            }
-            ctx.barrier();
-        })
-        .expect_err("an unanswerable GM request must trip the deadline");
+        let err = LiveRunner::new(2)
+            .config(cfg)
+            .try_run(|ctx| {
+                let arr = GmArray::<u64>::alloc(ctx, 8, Distribution::Blocked);
+                // Rank 0 writes into rank 1's half: always a wire request.
+                if ctx.rank() == 0 {
+                    arr.set(ctx, 7, 42);
+                }
+                ctx.barrier();
+            })
+            .expect_err("an unanswerable GM request must trip the deadline");
         assert!(
             err.failures
                 .iter()
@@ -2570,7 +3159,7 @@ mod tests {
     fn split_phase_batches_on_the_wire() {
         // Two non-adjacent writes to the same remote home must coalesce
         // into one GmBatchReq: exactly one request message for both.
-        let r = run_live(2, |ctx| {
+        let r = LiveRunner::new(2).run(|ctx| {
             let arr = GmArray::<u64>::alloc(ctx, 16, Distribution::Blocked);
             if ctx.rank() == 0 {
                 // Elements 8..16 are homed on rank 1.
@@ -2599,15 +3188,17 @@ mod tests {
             tracing: true,
             ..LiveRunConfig::default()
         };
-        let r = try_run_live(cfg, 2, |ctx| {
-            let arr = GmArray::<u64>::alloc(ctx, 8, Distribution::Blocked);
-            arr.set(ctx, ctx.rank() as usize, ctx.rank() as u64 + 1);
-            ctx.barrier();
-            let all = arr.read(ctx, 0, 8);
-            assert_eq!(all[0], 1);
-            assert_eq!(all[1], 2);
-        })
-        .unwrap();
+        let r = LiveRunner::new(2)
+            .config(cfg)
+            .try_run(|ctx| {
+                let arr = GmArray::<u64>::alloc(ctx, 8, Distribution::Blocked);
+                arr.set(ctx, ctx.rank() as usize, ctx.rank() as u64 + 1);
+                ctx.barrier();
+                let all = arr.read(ctx, 0, 8);
+                assert_eq!(all[0], 1);
+                assert_eq!(all[1], 2);
+            })
+            .unwrap();
         assert_eq!(r.trace_spans.len(), 2);
         let all: Vec<_> = r.trace_spans.iter().flatten().collect();
         // Every PE closes exactly one root app span.
@@ -2657,9 +3248,148 @@ mod tests {
         }
     }
 
+    /// Shared-table workload for the coherence tests: every rank replicates
+    /// the whole array, then each rank writes one element homed on the
+    /// *next* rank (so a third rank always holds a stale replica), plus one
+    /// element of its own partition, then everyone re-reads everything.
+    fn coherence_body(ctx: &mut LiveCtx) {
+        // 384 u64 over 3 ranks: 128 elements (1024 bytes = 2 cache blocks)
+        // per home.
+        let arr = GmArray::<u64>::alloc(ctx, 384, Distribution::Blocked);
+        ctx.barrier();
+        let _ = arr.read(ctx, 0, 384); // replicate everything
+        ctx.barrier();
+        let me = ctx.rank() as usize;
+        let remote = 128 * ((me + 1) % 3) + 7;
+        let own = 128 * me + 11;
+        arr.set(ctx, remote, (1000 + me) as u64);
+        arr.set(ctx, own, (2000 + me) as u64);
+        ctx.barrier();
+        let all = arr.read(ctx, 0, 384);
+        for r in 0..3usize {
+            assert_eq!(all[128 * ((r + 1) % 3) + 7], (1000 + r) as u64);
+            assert_eq!(all[128 * r + 11], (2000 + r) as u64);
+        }
+    }
+
+    #[test]
+    fn cached_wi_invalidates_stale_replicas() {
+        // Write-invalidate: the stale third-party replicas must be killed
+        // over the wire (home-gated remote writes and app-driven own-node
+        // writes both), or the final reads above would observe stale data.
+        let r = LiveRunner::new(3).gm_cache(true).run(coherence_body);
+        let m = &r.metrics;
+        assert!(m.counter_sum_over_pes("kernel", "dir_leases") > 0, "leases");
+        assert!(m.counter_sum_over_pes("kernel", "dir_hits") > 0, "hits");
+        assert!(
+            m.counter_sum_over_pes("kernel", "cache_invalidations") > 0,
+            "writes with sharers must invalidate"
+        );
+        assert!(
+            m.counter_sum_over_pes("kernel", "dir_invals") > 0,
+            "holders must apply wire invalidations"
+        );
+        assert_eq!(m.counter_sum_over_pes("kernel", "rc_deferred_invals"), 0);
+    }
+
+    #[test]
+    fn cached_rc_is_correct_at_sync_points() {
+        // Release consistency: zero invalidation traffic; the barriers'
+        // implied acquires purge the replicas, so the final reads still
+        // observe every released write. (The replicate-read is itself
+        // followed by a barrier, so its leases are released again before
+        // the writes — deferral counting is covered by the flag-ordered
+        // test below.)
+        let r = LiveRunner::new(3)
+            .gm_cache(true)
+            .gm_mode(GmMode::ReleaseConsistency)
+            .run(coherence_body);
+        let m = &r.metrics;
+        assert_eq!(
+            m.counter_sum_over_pes("kernel", "cache_invalidations"),
+            0,
+            "RC must not send invalidations"
+        );
+        assert_eq!(m.counter_sum_over_pes("kernel", "invalidation_rounds"), 0);
+        assert!(
+            m.counter_sum_over_pes("kernel", "rc_acquires") > 0,
+            "barriers imply acquires"
+        );
+    }
+
+    #[test]
+    fn cached_read_mostly_serves_from_replicas() {
+        let r = LiveRunner::new(2).gm_cache(true).run(|ctx| {
+            let arr = GmArray::<u64>::alloc(ctx, 256, Distribution::Blocked);
+            ctx.barrier();
+            for _ in 0..5 {
+                let all = arr.read(ctx, 0, 256);
+                assert_eq!(all[0], 0);
+            }
+        });
+        let m = &r.metrics;
+        assert!(
+            m.counter_sum_over_pes("kernel", "dir_hits")
+                >= m.counter_sum_over_pes("kernel", "dir_misses"),
+            "repeat reads must be served from replicas"
+        );
+        // 5 full-array reads each, but only the first one fetches the
+        // remote half: the request count stays near the uncached cost of a
+        // single sweep.
+        assert!(
+            m.counter_sum_over_pes("kernel", "gm_request_msgs") <= 4,
+            "replica hits must keep requests off the wire, got {}",
+            m.counter_sum_over_pes("kernel", "gm_request_msgs")
+        );
+    }
+
+    #[test]
+    fn cached_rc_defers_invalidations_to_acquire() {
+        // A hand-rolled release/acquire pair (no barrier, so no implied
+        // purge between the lease and the write): the writer's update to a
+        // block rank 0 holds a replica of must be *deferred* (counted, not
+        // sent), and rank 0's explicit acquire must drop the stale replica
+        // — without the purge, the cached block would satisfy the read.
+        let r = LiveRunner::new(2)
+            .gm_cache(true)
+            .gm_mode(GmMode::ReleaseConsistency)
+            .run(|ctx| {
+                let arr = GmArray::<u64>::alloc(ctx, 256, Distribution::Blocked);
+                let flag = GmCounter::alloc(ctx);
+                ctx.barrier();
+                if ctx.rank() == 0 {
+                    let _ = arr.read(ctx, 128, 128); // replicate rank 1's half
+                    flag.next(ctx); // leases are on record: let the writer go
+                    while flag.load(ctx) < 2 {
+                        std::thread::yield_now();
+                    }
+                    ctx.gm_acquire();
+                    assert_eq!(arr.get(ctx, 200), 77, "acquire must drop the replica");
+                } else {
+                    while flag.load(ctx) < 1 {
+                        std::thread::yield_now();
+                    }
+                    arr.set(ctx, 200, 77); // own partition; rank 0 holds a lease
+                    ctx.gm_release();
+                    flag.next(ctx);
+                }
+            });
+        let m = &r.metrics;
+        assert!(
+            m.counter_sum_over_pes("kernel", "rc_deferred_invals") > 0,
+            "a write over a leased block must count a deferral"
+        );
+        assert_eq!(
+            m.counter_sum_over_pes("kernel", "cache_invalidations"),
+            0,
+            "RC must not send invalidations"
+        );
+        assert!(m.counter_sum_over_pes("kernel", "rc_acquires") > 0);
+    }
+
     #[test]
     fn tracing_off_records_nothing() {
-        let r = run_live(2, |ctx| {
+        let r = LiveRunner::new(2).run(|ctx| {
             let arr = GmArray::<u64>::alloc(ctx, 4, Distribution::Blocked);
             arr.set(ctx, ctx.rank() as usize, 1);
             ctx.barrier();

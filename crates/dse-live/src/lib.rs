@@ -1,8 +1,8 @@
 //! # dse-live — the real-thread DSE execution engine
 //!
-//! The counterpart of the simulated cluster: [`run_live`] executes the same
-//! [`dse_api::ParallelApi`] application bodies on real OS threads with real
-//! synchronization and wall-clock timing. One application source, two
+//! The counterpart of the simulated cluster: [`LiveRunner`] executes the
+//! same [`dse_api::ParallelApi`] application bodies on real OS threads with
+//! real synchronization and wall-clock timing. One application source, two
 //! engines — the portability the paper's design argues for, demonstrated
 //! mechanically by the cross-engine equivalence tests in `tests/`.
 
@@ -11,9 +11,12 @@
 mod engine;
 mod error;
 
+pub use dse_kernel::GmMode;
 pub use dse_transport::{FaultPlan, RetryPolicy};
+#[allow(deprecated)]
 pub use engine::{
     run_live, run_live_on, run_live_watched, run_live_watched_on, try_run_live,
-    try_run_live_watched, LiveCluster, LiveCtx, LiveRunConfig, LiveRunResult, TransportKind,
+    try_run_live_watched,
 };
+pub use engine::{LiveCluster, LiveCtx, LiveRunConfig, LiveRunResult, LiveRunner, TransportKind};
 pub use error::{FailureKind, FailureRole, PeFailure, RunError};

@@ -41,11 +41,12 @@ use crate::registry::{MetricKey, MetricsSnapshot};
 /// telemetry plane's bus footprint stays a small fraction of the paper's
 /// 10 Mbps shared Ethernet. Version 3 extends the static name table with
 /// the sweep-harness throughput counters (`sim/events_processed`,
-/// `kernel/gm_ops`); the wire layout is unchanged and the table is
-/// append-only, so v2 payloads decode under a v3 reader — only the new
-/// indices are out of reach for a v2-era reader, which is why the version
-/// byte moves.
-const FORMAT_VERSION: u8 = 3;
+/// `kernel/gm_ops`); version 4 appends the GM coherence-directory
+/// counters (`dir_hits` … `rc_acquires`). The wire layout is unchanged
+/// across all of them and the table is append-only, so v2/v3 payloads
+/// decode under a v4 reader — only the new indices are out of reach for
+/// an older reader, which is why the version byte moves.
+const FORMAT_VERSION: u8 = 4;
 
 /// Oldest payload version this reader still accepts. Every version in
 /// `MIN_DECODE_VERSION..=FORMAT_VERSION` shares the wire layout; newer
@@ -110,6 +111,13 @@ const STATIC_NAMES: &[&str] = &[
     "sim",
     "events_processed",
     "gm_ops",
+    // GM coherence directory and release consistency (format v4)
+    "dir_hits",
+    "dir_misses",
+    "dir_leases",
+    "dir_invals",
+    "rc_deferred_invals",
+    "rc_acquires",
 ];
 
 /// Intern a decoded metric-name string so it can live in a
@@ -758,6 +766,63 @@ mod tests {
         // table hit encodes as a single nonzero varint. None of the new
         // names should appear as raw bytes in the payload.
         for name in ["events_processed", "gm_ops"] {
+            assert!(
+                !wire.windows(name.len()).any(|w| w == name.as_bytes()),
+                "{name} was inline-encoded instead of using the static table"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_payload_still_decodes() {
+        // A v3 payload only references the pre-v4 prefix of the name
+        // table (the coherence counters did not exist), so a delta built
+        // from v3-era names with its version byte rewritten to 3 is
+        // byte-for-byte what a v3 writer would have emitted.
+        let d = TelemetryDelta {
+            absolute: false,
+            counters: vec![
+                (MetricKey::global("sim", "events_processed"), 41),
+                (MetricKey::pe("kernel", "gm_ops", 2), 17),
+                (MetricKey::pe("kernel", "cache_hits", 1), 5),
+            ],
+            gauges: Vec::new(),
+            hists: Vec::new(),
+        };
+        let mut buf = d.encode();
+        assert_eq!(buf[0], FORMAT_VERSION);
+        buf[0] = 3;
+        let back = TelemetryDelta::decode(&buf).expect("v3 payload must decode");
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn v4_directory_names_resolve_via_static_table() {
+        // The coherence counters introduced with format v4 must ride the
+        // string table, not the inline-string escape.
+        let d = TelemetryDelta {
+            absolute: false,
+            counters: vec![
+                (MetricKey::pe("kernel", "dir_hits", 0), 9),
+                (MetricKey::pe("kernel", "dir_misses", 0), 4),
+                (MetricKey::pe("kernel", "dir_leases", 1), 6),
+                (MetricKey::pe("kernel", "dir_invals", 1), 2),
+                (MetricKey::pe("kernel", "rc_deferred_invals", 2), 3),
+                (MetricKey::pe("kernel", "rc_acquires", 2), 8),
+            ],
+            gauges: Vec::new(),
+            hists: Vec::new(),
+        };
+        let wire = d.encode();
+        assert_eq!(TelemetryDelta::decode(&wire).unwrap(), d);
+        for name in [
+            "dir_hits",
+            "dir_misses",
+            "dir_leases",
+            "dir_invals",
+            "rc_deferred_invals",
+            "rc_acquires",
+        ] {
             assert!(
                 !wire.windows(name.len()).any(|w| w == name.as_bytes()),
                 "{name} was inline-encoded instead of using the static table"

@@ -198,6 +198,13 @@ pub struct TopRow {
     pub cache_hits: u64,
     /// GM cache misses on this node.
     pub cache_misses: u64,
+    /// Directory lookups served from a read replica at this home kernel.
+    pub dir_hits: u64,
+    /// Directory lookups that had to fetch from the home copy.
+    pub dir_misses: u64,
+    /// Invalidations applied on this node (wire-driven under WI, local
+    /// purges under RC acquires).
+    pub dir_invals: u64,
     /// High-water mark of split-phase GM requests this PE had in flight.
     pub gm_inflight: u64,
     /// GM operations coalesced into an already-staged request on this PE.
@@ -231,6 +238,17 @@ impl TopRow {
             None
         } else {
             Some(self.cache_hits as f64 * 100.0 / total as f64)
+        }
+    }
+
+    /// Directory hit rate in percent, `None` when the coherence directory
+    /// saw no lookups (cache off, or no remote reads yet).
+    pub fn dir_hit_pct(&self) -> Option<f64> {
+        let total = self.dir_hits + self.dir_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.dir_hits as f64 * 100.0 / total as f64)
         }
     }
 }
@@ -274,6 +292,9 @@ pub fn top_rows(agg: &ClusterAggregator, now_ns: u64) -> Vec<TopRow> {
                 gm_bytes: c("gm_bytes_read") + c("gm_bytes_written"),
                 cache_hits: c("cache_hits"),
                 cache_misses: c("cache_misses"),
+                dir_hits: c("dir_hits"),
+                dir_misses: c("dir_misses"),
+                dir_invals: c("dir_invals"),
                 gm_inflight: snap.gauge("kernel", "gm_inflight", Some(pe)).unwrap_or(0),
                 gm_coalesced: c("gm_coalesced"),
                 gm_retries: c("gm_retries"),
@@ -301,7 +322,7 @@ fn fmt_us(v: Option<u64>) -> String {
 /// request-latency percentiles and telemetry health.
 pub fn render_top(agg: &ClusterAggregator, now_ns: u64) -> String {
     let mut out = String::from(
-        "NODE  MACHINE  MSGS      GM-BYTES    HIT%   INFLT  COAL   RETRY  TRIPS  P50(us)   P99(us)   P999(us)  SEQ    GAPS  AGE(ms)\n",
+        "NODE  MACHINE  MSGS      GM-BYTES    HIT%   DIR%   INVAL  INFLT  COAL   RETRY  TRIPS  P50(us)   P99(us)   P999(us)  SEQ    GAPS  AGE(ms)\n",
     );
     for r in top_rows(agg, now_ns) {
         let machine = r
@@ -312,17 +333,23 @@ pub fn render_top(agg: &ClusterAggregator, now_ns: u64) -> String {
             .hit_pct()
             .map(|p| format!("{p:.1}"))
             .unwrap_or_else(|| "-".to_string());
+        let dir = r
+            .dir_hit_pct()
+            .map(|p| format!("{p:.1}"))
+            .unwrap_or_else(|| "-".to_string());
         let age = r
             .age_ns
             .map(|a| format!("{:.1}", a as f64 / 1e6))
             .unwrap_or_else(|| "-".to_string());
         out.push_str(&format!(
-            "{:<5} {:<8} {:<9} {:<11} {:<6} {:<6} {:<6} {:<6} {:<6} {:<9} {:<9} {:<9} {:<6} {:<5} {}\n",
+            "{:<5} {:<8} {:<9} {:<11} {:<6} {:<6} {:<6} {:<6} {:<6} {:<6} {:<6} {:<9} {:<9} {:<9} {:<6} {:<5} {}\n",
             r.pe,
             machine,
             r.messages,
             r.gm_bytes,
             hit,
+            dir,
+            r.dir_invals,
             r.gm_inflight,
             r.gm_coalesced,
             r.gm_retries,
@@ -451,6 +478,9 @@ mod tests {
         );
         reg0.add(MetricKey::pe("kernel", "cache_hits", 0).on_machine(0), 3);
         reg0.add(MetricKey::pe("kernel", "cache_misses", 0).on_machine(0), 1);
+        reg0.add(MetricKey::pe("kernel", "dir_hits", 0).on_machine(0), 9);
+        reg0.add(MetricKey::pe("kernel", "dir_misses", 0).on_machine(0), 1);
+        reg0.add(MetricKey::pe("kernel", "dir_invals", 0).on_machine(0), 6);
         reg0.add(MetricKey::pe("kernel", "gm_coalesced", 0).on_machine(0), 7);
         reg0.add(MetricKey::pe("kernel", "gm_retries", 0).on_machine(0), 2);
         reg0.add(
@@ -484,6 +514,8 @@ mod tests {
         assert_eq!(r0.messages, 12);
         assert_eq!(r0.gm_bytes, 128);
         assert_eq!(r0.hit_pct(), Some(75.0));
+        assert_eq!(r0.dir_hit_pct(), Some(90.0));
+        assert_eq!(r0.dir_invals, 6);
         assert_eq!(r0.gm_inflight, 4);
         assert_eq!(r0.gm_coalesced, 7);
         assert_eq!(r0.gm_retries, 2);
@@ -499,6 +531,8 @@ mod tests {
         assert_eq!(r1.machine, Some(1));
         assert_eq!(r1.messages, 5);
         assert_eq!(r1.hit_pct(), None);
+        assert_eq!(r1.dir_hit_pct(), None);
+        assert_eq!(r1.dir_invals, 0);
         assert_eq!(r1.gm_inflight, 0);
         assert_eq!(r1.gm_coalesced, 0);
         assert_eq!(r1.gm_retries, 0);
@@ -526,6 +560,9 @@ mod tests {
         assert!(text.starts_with("NODE"));
         assert!(text.contains("P999(us)"));
         assert!(text.contains("HIT%"));
+        assert!(text.contains("DIR%"));
+        assert!(text.contains("INVAL"));
+        assert!(text.contains("90.0"));
         assert!(text.contains("INFLT"));
         assert!(text.contains("COAL"));
         assert!(text.contains("RETRY"));

@@ -199,6 +199,62 @@ pub fn to_bench_json(sweep: &str, cells: &[CellSummary]) -> String {
     out
 }
 
+/// Fold several trajectory files into one conservative gating baseline.
+///
+/// Cells on this matrix finish in single-digit milliseconds, so their
+/// wall-clock throughput jitters far more run-to-run than any real
+/// regression ever would. Per cell, the merged baseline keeps the
+/// MINIMUM observed throughput (`events_per_sec`, `gm_ops_per_sec`) —
+/// the floor `--gate` compares against — and the maximum wall/latency
+/// figures, so the gate only trips when a sweep falls below every
+/// healthy run that produced the baseline. Failure counts keep the
+/// worst case too (`ok` is the minimum), so a cell that ever failed
+/// while baselining is not treated as "was clean" by the gate.
+pub fn merge_floor(inputs: &[Vec<CellSummary>]) -> Vec<CellSummary> {
+    let mut merged: BTreeMap<String, CellSummary> = BTreeMap::new();
+    for cells in inputs {
+        for c in cells {
+            match merged.get_mut(&c.cell) {
+                None => {
+                    merged.insert(c.cell.clone(), c.clone());
+                }
+                Some(m) => {
+                    m.ok = m.ok.min(c.ok);
+                    m.aborts = m.aborts.max(c.aborts);
+                    m.timeouts = m.timeouts.max(c.timeouts);
+                    m.errors = m.errors.max(c.errors);
+                    m.retries = m.retries.max(c.retries);
+                    m.events_per_sec = m.events_per_sec.min(c.events_per_sec);
+                    m.gm_ops_per_sec = m.gm_ops_per_sec.min(c.gm_ops_per_sec);
+                    m.wall_ns = m.wall_ns.max(c.wall_ns);
+                    m.virtual_ns = m.virtual_ns.max(c.virtual_ns);
+                    m.p50_ns = m.p50_ns.max(c.p50_ns);
+                    m.p99_ns = m.p99_ns.max(c.p99_ns);
+                    m.p999_ns = m.p999_ns.max(c.p999_ns);
+                }
+            }
+        }
+    }
+    merged.into_values().collect()
+}
+
+/// Merge raw trajectory-file sources with [`merge_floor`] and
+/// re-serialize the result. The sweep name is carried over from the
+/// first input.
+pub fn merge_bench_json(sources: &[String]) -> Result<String, String> {
+    let first = sources.first().ok_or("merge: no input files")?;
+    let name = json::parse(first)?
+        .get("sweep")
+        .and_then(Value::as_str)
+        .unwrap_or("merged")
+        .to_string();
+    let inputs: Vec<Vec<CellSummary>> = sources
+        .iter()
+        .map(|s| parse_bench_json(s))
+        .collect::<Result<_, _>>()?;
+    Ok(to_bench_json(&name, &merge_floor(&inputs)))
+}
+
 /// Parse a trajectory file back into summaries.
 pub fn parse_bench_json(src: &str) -> Result<Vec<CellSummary>, String> {
     let doc = json::parse(src)?;
@@ -428,6 +484,54 @@ mod tests {
         let legacy = text.replace(", \"p999_ns\": 12000", "");
         let back = parse_bench_json(&legacy).unwrap();
         assert!(back.iter().all(|c| c.p999_ns == 0.0));
+    }
+
+    #[test]
+    fn merge_floor_keeps_worst_case_per_cell() {
+        let cells = aggregate(&fixture_rows());
+        // Second sample: faster throughput, slower tails, one failure.
+        let mut fast = cells.clone();
+        for c in &mut fast {
+            c.events_per_sec *= 2.0;
+            c.gm_ops_per_sec *= 0.5;
+            c.p99_ns *= 3.0;
+        }
+        fast[0].ok -= 1;
+        fast[0].timeouts += 1;
+        let merged = merge_floor(&[cells.clone(), fast]);
+        assert_eq!(merged.len(), cells.len());
+        for (m, orig) in merged.iter().zip(&cells) {
+            assert_eq!(m.cell, orig.cell);
+            // Throughput keeps the slower sample, tails the slower tail.
+            assert!((m.events_per_sec - orig.events_per_sec).abs() < 1e-9);
+            assert!((m.gm_ops_per_sec - orig.gm_ops_per_sec * 0.5).abs() < 1e-9);
+            assert!((m.p99_ns - orig.p99_ns * 3.0).abs() < 1e-9);
+        }
+        // A cell that ever failed is not "clean" in the merged baseline.
+        assert_eq!(merged[0].ok, cells[0].ok - 1);
+        assert_eq!(merged[0].timeouts, 1);
+        // The floor baseline passes the gate against any of its inputs.
+        let report = diff(&cells, &merged, 15.0);
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn merge_bench_json_unions_cells_and_keeps_name() {
+        let cells = aggregate(&fixture_rows());
+        let a = to_bench_json("full", &cells);
+        // Second file: one overlapping (slower) cell plus one new cell.
+        let mut extra = cells.clone();
+        extra[0].events_per_sec /= 4.0;
+        extra[1].cell = "fx.other.p2".into();
+        let b = to_bench_json("full", &extra);
+        let merged = merge_bench_json(&[a, b]).unwrap();
+        assert!(merged.contains("\"sweep\": \"full\""));
+        let back = parse_bench_json(&merged).unwrap();
+        assert_eq!(back.len(), 3, "union of both files' cells");
+        let floor = back.iter().find(|c| c.cell == cells[0].cell).unwrap();
+        assert!((floor.events_per_sec - cells[0].events_per_sec / 4.0).abs() < 0.1);
+        assert!(merge_bench_json(&[]).is_err());
+        assert!(merge_bench_json(&["not json".into()]).is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! compute. Keeping the mapping here means a new axis value lands in the
 //! CLI and the sweep harness at the same time — they cannot drift.
 
-use dse_kernel::{DseConfig, Organization, TelemetryConfig};
+use dse_kernel::{DseConfig, GmMode, Organization, TelemetryConfig};
 use dse_live::{FaultPlan, LiveRunConfig, TransportKind};
 use dse_net::Protocol;
 use dse_platform::Platform;
@@ -116,6 +116,15 @@ pub fn check_protocol(name: &str) -> Result<Protocol, String> {
     }
 }
 
+/// Validate a GM coherence-mode name.
+pub fn check_gm_mode(name: &str) -> Result<GmMode, String> {
+    match name {
+        "wi" => Ok(GmMode::WriteInvalidate),
+        "rc" => Ok(GmMode::ReleaseConsistency),
+        other => Err(format!("gm_mode '{other}' is not wi or rc")),
+    }
+}
+
 /// Resolve a platform preset id.
 pub fn platform_by_id(id: &str) -> Result<Platform, String> {
     Platform::by_id(id).ok_or_else(|| format!("unknown platform '{id}'"))
@@ -153,6 +162,8 @@ pub struct SimSettings {
     pub protocol: String,
     /// Enable the GM cache.
     pub cache: bool,
+    /// GM coherence mode (`wi` | `rc`), meaningful with the cache on.
+    pub gm_mode: String,
     /// Physical machine count.
     pub machines: usize,
     /// Record the execution trace.
@@ -172,6 +183,7 @@ impl Default for SimSettings {
             organization: "linked".into(),
             protocol: "tcp".into(),
             cache: false,
+            gm_mode: "wi".into(),
             machines: 6,
             tracing: false,
             telemetry_ms: None,
@@ -184,7 +196,9 @@ impl Default for SimSettings {
 /// Build the platform and [`DseConfig`] for a simulated run.
 pub fn build_sim(settings: &SimSettings) -> Result<(Platform, DseConfig), String> {
     let platform = platform_by_id(&settings.platform)?;
-    let mut config = DseConfig::paper().with_gm_cache(settings.cache);
+    let mut config = DseConfig::paper()
+        .with_gm_cache(settings.cache)
+        .with_gm_mode(check_gm_mode(&settings.gm_mode)?);
     config.organization = check_organization(&settings.organization)?;
     config.protocol = check_protocol(&settings.protocol)?;
     if let Some((interval_ms, watchdog_ms)) = settings.telemetry_ms {
@@ -213,8 +227,11 @@ pub fn build_live(
     transport: &str,
     fault_plan: Option<&str>,
     seed: Option<u64>,
+    cache: bool,
+    gm_mode: &str,
 ) -> Result<LiveRunConfig, String> {
     let kind = transport_kind(transport)?;
+    let gm_mode = check_gm_mode(gm_mode)?;
     let fault_plan = match fault_plan.filter(|s| !s.is_empty()) {
         None => None,
         Some(spec) => {
@@ -230,6 +247,8 @@ pub fn build_live(
     Ok(LiveRunConfig {
         kind,
         fault_plan,
+        gm_cache: cache,
+        gm_mode,
         ..LiveRunConfig::default()
     })
 }
@@ -272,6 +291,7 @@ mod tests {
             organization: "legacy".into(),
             protocol: "udp".into(),
             cache: true,
+            gm_mode: "rc".into(),
             machines: 4,
             tracing: true,
             telemetry_ms: Some((10, 100)),
@@ -283,6 +303,7 @@ mod tests {
         assert_eq!(config.organization, Organization::SeparateProcess);
         assert_eq!(config.protocol, Protocol::Udp);
         assert!(config.gm_cache && config.tracing);
+        assert_eq!(config.gm_mode, GmMode::ReleaseConsistency);
         assert_eq!(config.machines, Some(4));
         assert_eq!(config.seed, 42);
         assert_eq!(config.gm_window, 8);
@@ -306,24 +327,39 @@ mod tests {
             ..SimSettings::default()
         };
         assert!(build_sim(&s).unwrap_err().contains("not tcp, udp or raw"));
+        let s = SimSettings {
+            gm_mode: "mesi".into(),
+            ..SimSettings::default()
+        };
+        assert!(build_sim(&s).unwrap_err().contains("not wi or rc"));
         assert!(transport_kind("pigeon").is_err());
     }
 
     #[test]
+    fn gm_mode_names_validate() {
+        assert_eq!(check_gm_mode("wi").unwrap(), GmMode::WriteInvalidate);
+        assert_eq!(check_gm_mode("rc").unwrap(), GmMode::ReleaseConsistency);
+        assert!(check_gm_mode("mesi").is_err());
+    }
+
+    #[test]
     fn live_seed_injected_only_when_plan_has_none() {
-        let cfg = build_live("channel", Some("drop=10"), Some(7)).unwrap();
+        let cfg = build_live("channel", Some("drop=10"), Some(7), false, "wi").unwrap();
         let with_seed = FaultPlan::parse("seed=7,drop=10").unwrap();
         assert_eq!(cfg.fault_plan, Some(with_seed));
-        let cfg = build_live("channel", Some("seed=3,drop=10"), Some(7)).unwrap();
+        let cfg = build_live("channel", Some("seed=3,drop=10"), Some(7), false, "wi").unwrap();
         assert_eq!(
             cfg.fault_plan,
             Some(FaultPlan::parse("seed=3,drop=10").unwrap())
         );
-        let cfg = build_live("channel", None, Some(7)).unwrap();
+        let cfg = build_live("channel", None, Some(7), false, "wi").unwrap();
         assert!(cfg.fault_plan.is_none());
-        let cfg = build_live("tcp", Some(""), None).unwrap();
+        let cfg = build_live("tcp", Some(""), None, true, "rc").unwrap();
         assert!(cfg.fault_plan.is_none());
         assert_eq!(cfg.kind, TransportKind::Tcp);
+        assert!(cfg.gm_cache);
+        assert_eq!(cfg.gm_mode, GmMode::ReleaseConsistency);
+        assert!(build_live("tcp", None, None, true, "moesi").is_err());
     }
 
     #[test]

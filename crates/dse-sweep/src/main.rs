@@ -6,6 +6,8 @@
 //! dse-sweep --spec spec.toml --out out --jobs 4 \
 //!     --baseline bench_results/BENCH_sweep.json --gate 15
 //! dse-sweep --spec spec.toml --list            # print the matrix, run nothing
+//! dse-sweep merge a/BENCH_sweep.json b/BENCH_sweep.json \
+//!     --out bench_results/BENCH_sweep.json     # conservative gate floor
 //! ```
 //!
 //! The hidden `run-one` mode is the child-process entry the executor
@@ -25,7 +27,12 @@ fn usage() -> ! {
   --baseline FILE   BENCH_sweep.json to diff against
   --gate PCT        exit 1 when a cell's throughput regresses more than
                     PCT percent below the baseline (requires --baseline)
-  --list            print the expanded run matrix and exit"
+  --list            print the expanded run matrix and exit
+
+       dse-sweep merge FILE... [--out FILE]
+  Fold several BENCH_sweep.json files into one conservative baseline:
+  per cell, the minimum observed throughput and the worst failure
+  counts/latencies. Prints to stdout unless --out is given."
     );
     std::process::exit(2)
 }
@@ -128,10 +135,52 @@ fn run_one(argv: &[String]) -> ! {
     std::process::exit(if record.status == RunStatus::Ok { 0 } else { 1 })
 }
 
+/// `dse-sweep merge FILE... [--out FILE]` — fold several trajectory
+/// files into one conservative gating baseline (see
+/// [`agg::merge_floor`]).
+fn merge(argv: &[String]) -> ! {
+    let mut out: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => fail("merge: --out needs a value"),
+            },
+            flag if flag.starts_with("--") => fail(&format!("merge: unknown flag {flag}")),
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if files.is_empty() {
+        fail("merge: expected at least one BENCH_sweep.json input");
+    }
+    let sources: Vec<String> = files
+        .iter()
+        .map(|p| {
+            std::fs::read_to_string(p)
+                .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", p.display())))
+        })
+        .collect();
+    let merged = agg::merge_bench_json(&sources).unwrap_or_else(|e| fail(&format!("merge: {e}")));
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &merged)
+                .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+            eprintln!("merged {} file(s) -> {}", files.len(), path.display());
+        }
+        None => print!("{merged}"),
+    }
+    std::process::exit(0)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("run-one") {
         run_one(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("merge") {
+        merge(&argv[1..]);
     }
     let args = parse_args(&argv).unwrap_or_else(|err| {
         if err != "help" {

@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use dse_api::{DseProgram, RunResult};
 use dse_apps::{dct, gauss_seidel, gauss_seidel_mp, knights, matmul, othello};
-use dse_live::{try_run_live, LiveCtx, LiveRunResult};
+use dse_live::{LiveCtx, LiveRunResult, LiveRunner};
 use dse_obs::{LogHistogram, MetricsSnapshot};
 
 use crate::build::{self, AppKind, SimSettings};
@@ -66,6 +66,7 @@ pub struct RunRecord {
     pub procs: usize,
     pub gm_window: usize,
     pub cache: bool,
+    pub gm_mode: String,
     pub fault_plan: String,
     pub seed: u64,
     /// Outcome.
@@ -105,8 +106,8 @@ pub struct RunRecord {
 
 /// CSV header matching [`RunRecord::to_csv_line`].
 pub const CSV_HEADER: &str = "idx,cell,scenario,app,engine,transport,platform,procs,gm_window,\
-cache,fault_plan,seed,status,note,wall_ns,virtual_ns,events,gm_ops,gm_request_msgs,retries,\
-p50_ns,p99_ns,p999_ns,blame_compute_ns,blame_serve_ns,blame_net_ns,blame_retry_ns,\
+cache,gm_mode,fault_plan,seed,status,note,wall_ns,virtual_ns,events,gm_ops,gm_request_msgs,\
+retries,p50_ns,p99_ns,p999_ns,blame_compute_ns,blame_serve_ns,blame_net_ns,blame_retry_ns,\
 blame_barrier_ns,blame_lock_ns";
 
 impl RunRecord {
@@ -123,6 +124,7 @@ impl RunRecord {
             procs: spec.procs,
             gm_window: spec.gm_window,
             cache: spec.cache,
+            gm_mode: spec.gm_mode.clone(),
             fault_plan: spec.fault_plan.clone(),
             seed: spec.seed,
             status,
@@ -151,7 +153,7 @@ impl RunRecord {
             concat!(
                 "{{\"idx\":{},\"cell\":\"{}\",\"scenario\":\"{}\",\"app\":\"{}\",",
                 "\"engine\":\"{}\",\"transport\":\"{}\",\"platform\":\"{}\",\"procs\":{},",
-                "\"gm_window\":{},\"cache\":{},\"fault_plan\":\"{}\",\"seed\":{},",
+                "\"gm_window\":{},\"cache\":{},\"gm_mode\":\"{}\",\"fault_plan\":\"{}\",\"seed\":{},",
                 "\"status\":\"{}\",\"note\":\"{}\",\"wall_ns\":{},\"virtual_ns\":{},",
                 "\"events\":{},\"gm_ops\":{},\"gm_request_msgs\":{},\"retries\":{},",
                 "\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},",
@@ -168,6 +170,7 @@ impl RunRecord {
             self.procs,
             self.gm_window,
             self.cache,
+            json::escape(&self.gm_mode),
             json::escape(&self.fault_plan),
             self.seed,
             self.status.name(),
@@ -222,7 +225,7 @@ impl RunRecord {
             }
         };
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.idx,
             csv(&self.cell),
             csv(&self.scenario),
@@ -233,6 +236,7 @@ impl RunRecord {
             self.procs,
             self.gm_window,
             self.cache,
+            self.gm_mode,
             csv(&self.fault_plan),
             self.seed,
             self.status.name(),
@@ -284,6 +288,13 @@ impl RunRecord {
                 .get("cache")
                 .and_then(Value::as_bool)
                 .ok_or("row missing boolean field 'cache'")?,
+            // Rows written before the coherence axis existed default to
+            // write-invalidate, the mode those rows actually ran under.
+            gm_mode: v
+                .get("gm_mode")
+                .and_then(Value::as_str)
+                .unwrap_or("wi")
+                .to_string(),
             fault_plan: s("fault_plan")?,
             seed: n("seed")?,
             status: RunStatus::parse(&status_name)
@@ -361,6 +372,7 @@ fn execute_sim(spec: &RunSpec, app: AppKind) -> RunRecord {
         organization: spec.organization.clone(),
         protocol: spec.protocol.clone(),
         cache: spec.cache,
+        gm_mode: spec.gm_mode.clone(),
         machines: spec.machines,
         tracing: false,
         telemetry_ms: None,
@@ -438,6 +450,8 @@ fn execute_live(spec: &RunSpec, app: AppKind) -> RunRecord {
         &spec.transport,
         Some(spec.fault_plan.as_str()),
         Some(spec.seed),
+        spec.cache,
+        &spec.gm_mode,
     ) {
         Ok(cfg) => cfg,
         Err(e) => return RunRecord::failed(spec, RunStatus::Error, e),
@@ -446,12 +460,12 @@ fn execute_live(spec: &RunSpec, app: AppKind) -> RunRecord {
     // run's wall clock, so every sweep shows *where* a cell's time went.
     cfg.tracing = true;
     let p = spec.params;
-    let procs = spec.procs;
+    let runner = LiveRunner::new(spec.procs).config(cfg);
     let started = Instant::now();
     let outcome: Result<LiveRunResult, _> = match app {
         AppKind::Gauss => {
             let params = gauss_seidel::GaussSeidelParams::paper(p.n);
-            try_run_live(cfg, procs, move |ctx: &mut LiveCtx| {
+            runner.try_run(move |ctx: &mut LiveCtx| {
                 gauss_seidel::body(ctx, &params);
             })
         }
@@ -460,25 +474,25 @@ fn execute_live(spec: &RunSpec, app: AppKind) -> RunRecord {
             if p.size != 0 {
                 params.size = p.size;
             }
-            try_run_live(cfg, procs, move |ctx: &mut LiveCtx| {
+            runner.try_run(move |ctx: &mut LiveCtx| {
                 dct::body(ctx, &params);
             })
         }
         AppKind::Othello => {
             let params = othello::OthelloParams::paper(p.depth);
-            try_run_live(cfg, procs, move |ctx: &mut LiveCtx| {
+            runner.try_run(move |ctx: &mut LiveCtx| {
                 othello::body(ctx, &params);
             })
         }
         AppKind::Matmul => {
             let params = matmul::MatmulParams::single(p.n.min(256));
-            try_run_live(cfg, procs, move |ctx: &mut LiveCtx| {
+            runner.try_run(move |ctx: &mut LiveCtx| {
                 matmul::body(ctx, &params);
             })
         }
         AppKind::Knights => {
             let params = knights::KnightsParams::paper(p.jobs);
-            try_run_live(cfg, procs, move |ctx: &mut LiveCtx| {
+            runner.try_run(move |ctx: &mut LiveCtx| {
                 knights::body(ctx, &params);
             })
         }

@@ -3,18 +3,21 @@
 //!
 //! A spec is a `[sweep]` header plus one or more `[[scenario]]` blocks.
 //! Every scenario field that names an axis (`app`, `engine`, `transport`,
-//! `platform`, `procs`, `gm_window`, `cache`, `fault_plan`) accepts either
-//! a scalar or an array; scalars are normalized to one-element arrays.
+//! `platform`, `procs`, `gm_window`, `cache`, `gm_mode`, `fault_plan`)
+//! accepts either a scalar or an array; scalars are normalized to
+//! one-element arrays.
 //! Expansion is the Cartesian product of the axes with the seed list,
 //! ordered exactly as written — the run index is stable, which is what
 //! lets a subprocess re-derive its own `RunSpec` from `(spec file, index)`.
 //!
 //! Engine-specific axes follow the same rules `dse-run` enforces on flags:
-//! `transport`/`fault_plan` only vary live runs, `platform`/`gm_window`/
-//! `cache` only vary simulated runs. An axis that does not apply to the
-//! engine being expanded is pinned to its neutral value rather than
-//! multiplied, so a mixed `engine = ["sim", "live"]` scenario produces no
-//! meaningless duplicate cells.
+//! `transport`/`fault_plan` only vary live runs, `platform`/`gm_window`
+//! only vary simulated runs; `cache` and `gm_mode` apply to both engines.
+//! An axis that does not apply to the engine being expanded is pinned to
+//! its neutral value rather than multiplied, so a mixed
+//! `engine = ["sim", "live"]` scenario produces no meaningless duplicate
+//! cells. `gm_mode` is likewise pinned to `wi` whenever the cache is off —
+//! the coherence protocol only acts on cached replicas.
 
 use crate::build::{self, AppKind, AppParams};
 use crate::toml::{self, Table, Value};
@@ -53,8 +56,11 @@ pub struct Scenario {
     pub procs: Vec<usize>,
     /// GM pipeline windows; `0` means the engine default (axis, sim only).
     pub gm_windows: Vec<usize>,
-    /// GM cache on/off (axis, sim only).
+    /// GM cache on/off (axis, both engines).
     pub caches: Vec<bool>,
+    /// GM coherence modes, `wi` | `rc` (axis, both engines; pinned to
+    /// `wi` when the cache is off).
+    pub gm_modes: Vec<String>,
     /// Fault-plan specs; `""` means a clean mesh (axis, live only).
     pub fault_plans: Vec<String>,
     /// Seed override; empty uses the sweep-level list.
@@ -82,6 +88,7 @@ impl Default for Scenario {
             procs: vec![4],
             gm_windows: vec![0],
             caches: vec![false],
+            gm_modes: vec!["wi".into()],
             fault_plans: vec![String::new()],
             seeds: Vec::new(),
             machines: 6,
@@ -118,8 +125,10 @@ pub struct RunSpec {
     pub protocol: String,
     /// GM pipeline window (`0` = engine default).
     pub gm_window: usize,
-    /// GM cache enabled (sim only).
+    /// GM cache enabled.
     pub cache: bool,
+    /// GM coherence mode (`wi` | `rc`).
+    pub gm_mode: String,
     /// Fault-plan spec (`""` = clean mesh; live only).
     pub fault_plan: String,
     /// Seed for this run.
@@ -135,7 +144,7 @@ impl RunSpec {
     /// dotted key. Runs of one cell differ only by seed; aggregation and
     /// baseline diffing group by this id.
     pub fn cell_id(&self) -> String {
-        let variant = if self.engine == "sim" {
+        let mut variant = if self.engine == "sim" {
             let mut v = format!(
                 "{}.w{}.c{}",
                 self.platform,
@@ -149,11 +158,23 @@ impl RunSpec {
                 v.push_str(&format!(".{}", self.protocol));
             }
             v
-        } else if self.fault_plan.is_empty() {
-            self.transport.clone()
         } else {
-            format!("{}.f-{}", self.transport, sanitize(&self.fault_plan))
+            // Live ids carry the cache axis only when it is on, so
+            // pre-cache baselines keep their cell keys.
+            let mut v = if self.fault_plan.is_empty() {
+                self.transport.clone()
+            } else {
+                format!("{}.f-{}", self.transport, sanitize(&self.fault_plan))
+            };
+            if self.cache {
+                v.push_str(".c1");
+            }
+            v
         };
+        // Both engines: a non-default coherence mode suffixes the id.
+        if self.gm_mode != "wi" {
+            variant.push_str(&format!(".{}", self.gm_mode));
+        }
         format!(
             "{}.{}.{}.{}.p{}",
             self.scenario, self.app, self.engine, variant, self.procs
@@ -260,6 +281,7 @@ const SCENARIO_KEYS: &[&str] = &[
     "procs",
     "gm_window",
     "cache",
+    "gm_mode",
     "fault_plan",
     "seeds",
     "machines",
@@ -333,6 +355,7 @@ pub fn parse_spec(src: &str) -> Result<SweepSpec, String> {
             procs: usize_list(t, "procs")?.unwrap_or(d.procs),
             gm_windows: usize_list(t, "gm_window")?.unwrap_or(d.gm_windows),
             caches: bool_list(t, "cache")?.unwrap_or(d.caches),
+            gm_modes: str_list(t, "gm_mode")?.unwrap_or(d.gm_modes),
             fault_plans: str_list(t, "fault_plan")?.unwrap_or(d.fault_plans),
             seeds: u64_list(t, "seeds")?.unwrap_or_default(),
             machines: want_usize(t, "machines")?.unwrap_or(d.machines),
@@ -377,6 +400,9 @@ fn validate_scenario(what: &str, sc: &Scenario) -> Result<(), String> {
     for p in &sc.platforms {
         build::platform_by_id(p).map_err(|e| format!("{what}: {e}"))?;
     }
+    for mode in &sc.gm_modes {
+        build::check_gm_mode(mode).map_err(|e| format!("{what}: {e}"))?;
+    }
     for plan in &sc.fault_plans {
         if !plan.is_empty() {
             build::check_fault_plan(plan).map_err(|e| format!("{what}: fault_plan: {e}"))?;
@@ -412,12 +438,14 @@ pub fn expand(spec: &SweepSpec) -> Vec<RunSpec> {
         } else {
             sc.timeout_ms
         };
+        #[allow(clippy::too_many_arguments)]
         let push = |app: &str,
                     engine: &str,
                     transport: &str,
                     platform: &str,
                     gm_window: usize,
                     cache: bool,
+                    gm_mode: &str,
                     fault_plan: &str,
                     procs: usize,
                     seed: u64,
@@ -435,11 +463,23 @@ pub fn expand(spec: &SweepSpec) -> Vec<RunSpec> {
                 protocol: sc.protocol.clone(),
                 gm_window,
                 cache,
+                gm_mode: gm_mode.to_string(),
                 fault_plan: fault_plan.to_string(),
                 seed,
                 params: sc.params,
                 timeout_ms,
             });
+        };
+        // The coherence mode only acts on cached replicas: with the cache
+        // off it is pinned to `wi` instead of multiplied, so `cache =
+        // [false, true]` x `gm_mode = ["wi", "rc"]` yields three cells,
+        // not four.
+        let modes_for = |cache: bool| -> Vec<&str> {
+            if cache {
+                sc.gm_modes.iter().map(String::as_str).collect()
+            } else {
+                vec!["wi"]
+            }
         };
         for app in &sc.apps {
             for engine in &sc.engines {
@@ -447,12 +487,14 @@ pub fn expand(spec: &SweepSpec) -> Vec<RunSpec> {
                     for platform in &sc.platforms {
                         for window in &sc.gm_windows {
                             for cache in &sc.caches {
-                                for procs in &sc.procs {
-                                    for seed in seeds {
-                                        push(
-                                            app, engine, "", platform, *window, *cache, "", *procs,
-                                            *seed, &mut runs,
-                                        );
+                                for mode in modes_for(*cache) {
+                                    for procs in &sc.procs {
+                                        for seed in seeds {
+                                            push(
+                                                app, engine, "", platform, *window, *cache, mode,
+                                                "", *procs, *seed, &mut runs,
+                                            );
+                                        }
                                     }
                                 }
                             }
@@ -460,13 +502,17 @@ pub fn expand(spec: &SweepSpec) -> Vec<RunSpec> {
                     }
                 } else {
                     for transport in &sc.transports {
-                        for plan in &sc.fault_plans {
-                            for procs in &sc.procs {
-                                for seed in seeds {
-                                    push(
-                                        app, engine, transport, "", 0, false, plan, *procs, *seed,
-                                        &mut runs,
-                                    );
+                        for cache in &sc.caches {
+                            for mode in modes_for(*cache) {
+                                for plan in &sc.fault_plans {
+                                    for procs in &sc.procs {
+                                        for seed in seeds {
+                                            push(
+                                                app, engine, transport, "", 0, *cache, mode, plan,
+                                                *procs, *seed, &mut runs,
+                                            );
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -520,6 +566,7 @@ impl SweepSpec {
             ));
             let caches: Vec<String> = sc.caches.iter().map(|b| b.to_string()).collect();
             out.push_str(&format!("cache = [{}]\n", caches.join(", ")));
+            out.push_str(&format!("gm_mode = {}\n", toml_str_array(&sc.gm_modes)));
             out.push_str(&format!(
                 "fault_plan = {}\n",
                 toml_str_array(&sc.fault_plans)
@@ -656,6 +703,44 @@ n = 64
         assert!(parse_spec("[typo]\n[[scenario]]\n")
             .unwrap_err()
             .contains("unknown table"));
+    }
+
+    #[test]
+    fn gm_mode_axis_validates_pins_and_suffixes() {
+        // Unknown modes fail at parse time.
+        let err = parse_spec("[[scenario]]\ngm_mode = \"mesi\"").unwrap_err();
+        assert!(err.contains("not wi or rc"), "{err}");
+        // With the cache off the mode is pinned to wi: 1 (c0, wi) +
+        // 2 (c1, wi|rc) = 3 cells, and only non-defaults suffix the id.
+        let spec = parse_spec(
+            "[[scenario]]\nname = \"m\"\napp = \"matmul\"\nprocs = [2]\nn = 16\n\
+             cache = [false, true]\ngm_mode = [\"wi\", \"rc\"]\n",
+        )
+        .unwrap();
+        let runs = expand(&spec);
+        let cells: Vec<String> = runs.iter().map(RunSpec::cell_id).collect();
+        assert_eq!(
+            cells,
+            vec![
+                "m.matmul.sim.sunos.w0.c0.p2",
+                "m.matmul.sim.sunos.w0.c1.p2",
+                "m.matmul.sim.sunos.w0.c1.rc.p2",
+            ]
+        );
+        // Live runs carry the axis too, with the same suffix rules.
+        let spec = parse_spec(
+            "[[scenario]]\nname = \"m\"\napp = \"matmul\"\nengine = \"live\"\nprocs = [2]\n\
+             n = 16\ncache = true\ngm_mode = [\"wi\", \"rc\"]\n",
+        )
+        .unwrap();
+        let cells: Vec<String> = expand(&spec).iter().map(RunSpec::cell_id).collect();
+        assert_eq!(
+            cells,
+            vec![
+                "m.matmul.live.channel.c1.p2",
+                "m.matmul.live.channel.c1.rc.p2"
+            ]
+        );
     }
 
     #[test]

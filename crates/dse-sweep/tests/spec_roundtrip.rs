@@ -31,7 +31,10 @@ fn scenario() -> impl Strategy<Value = Scenario> {
         vec(0usize..8, 1..3),
     );
     let variants = (
-        prop_oneof![Just(vec![false]), Just(vec![true]), Just(vec![false, true]),],
+        (
+            prop_oneof![Just(vec![false]), Just(vec![true]), Just(vec![false, true]),],
+            subset(&["wi", "rc"]),
+        ),
         prop_oneof![
             Just(vec![String::new()]),
             Just(vec![String::new(), "seed=7,drop=10".to_string()]),
@@ -55,7 +58,7 @@ fn scenario() -> impl Strategy<Value = Scenario> {
     );
     (any::<u64>(), axes, variants, extras).prop_map(|(tag, axes, variants, extras)| {
         let (mut apps, engines, transports, platforms, procs, gm_windows) = axes;
-        let (caches, fault_plans, seeds, machines, organization, protocol) = variants;
+        let ((caches, gm_modes), fault_plans, seeds, machines, organization, protocol) = variants;
         let (timeout_ms, n, block, size, depth, jobs) = extras;
         // gauss-mp is sim-only; keep the generated spec valid.
         if engines.iter().any(|e| e == "live") {
@@ -73,6 +76,7 @@ fn scenario() -> impl Strategy<Value = Scenario> {
             procs,
             gm_windows,
             caches,
+            gm_modes,
             fault_plans,
             seeds,
             machines,
@@ -128,17 +132,23 @@ proptest! {
         for (i, r) in runs.iter().enumerate() {
             prop_assert_eq!(r.idx, i);
         }
-        // Cardinality: per scenario, sim multiplies platform x window x
-        // cache while live multiplies transport x fault plan; both then
-        // multiply apps x procs x seeds.
+        // Cardinality: per scenario, sim multiplies platform x window
+        // while live multiplies transport x fault plan; both multiply the
+        // cache/mode pairs (mode pinned to wi when the cache is off) and
+        // then apps x procs x seeds.
         let mut want = 0usize;
         for sc in &spec.scenarios {
             let seeds = if sc.seeds.is_empty() { spec.seeds.len() } else { sc.seeds.len() };
+            let cache_modes: usize = sc
+                .caches
+                .iter()
+                .map(|&c| if c { sc.gm_modes.len() } else { 1 })
+                .sum();
             for engine in &sc.engines {
                 let variants = if engine == "sim" {
-                    sc.platforms.len() * sc.gm_windows.len() * sc.caches.len()
+                    sc.platforms.len() * sc.gm_windows.len() * cache_modes
                 } else {
-                    sc.transports.len() * sc.fault_plans.len()
+                    sc.transports.len() * sc.fault_plans.len() * cache_modes
                 };
                 want += sc.apps.len() * variants * sc.procs.len() * seeds;
             }

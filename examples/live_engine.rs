@@ -14,11 +14,11 @@
 use std::sync::Mutex;
 
 use dse::apps::gauss_seidel::{self, GaussSeidelParams, Solution};
-use dse::live::{run_live_on, LiveRunResult, TransportKind};
+use dse::live::{LiveRunResult, LiveRunner, TransportKind};
 
 fn solve_on(kind: TransportKind, params: &GaussSeidelParams) -> (LiveRunResult, Solution) {
     let slot: Mutex<Option<Solution>> = Mutex::new(None);
-    let run = run_live_on(kind, 4, |ctx| {
+    let run = LiveRunner::new(4).transport(kind).run(|ctx| {
         if let Some(sol) = gauss_seidel::body(ctx, params) {
             *slot.lock().unwrap() = Some(sol);
         }

@@ -38,7 +38,7 @@ fn main() {
     println!("the portability claim of the paper, reproduced.");
 
     // And the very same body on the live engine:
-    let live = run_live(4, |ctx| {
+    let live = LiveRunner::new(4).run(|ctx| {
         let sol = gauss_seidel::body(ctx, &params);
         if let Some(sol) = sol {
             println!(

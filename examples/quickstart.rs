@@ -46,7 +46,7 @@ fn main() {
     }
 
     println!("--- same program on real threads (live engine) ---");
-    let live = run_live(4, |ctx| {
+    let live = LiveRunner::new(4).run(|ctx| {
         if let Some(sum) = program(ctx) {
             println!("  rank 0 computed sum = {sum:.3}");
         }

@@ -17,7 +17,7 @@
 use std::time::Instant;
 
 use dse::apps::gauss_seidel::{self, GaussSeidelParams};
-use dse::live::{try_run_live, LiveRunConfig};
+use dse::live::LiveRunner;
 
 fn wall_ns(procs: usize, tracing: bool) -> u64 {
     // Fixed sweep count (eps = 0 never converges early): every run does
@@ -27,15 +27,13 @@ fn wall_ns(procs: usize, tracing: bool) -> u64 {
         max_iters: 48,
         ..GaussSeidelParams::paper(256)
     };
-    let cfg = LiveRunConfig {
-        tracing,
-        ..LiveRunConfig::default()
-    };
     let started = Instant::now();
-    try_run_live(cfg, procs, move |ctx| {
-        gauss_seidel::body(ctx, &params);
-    })
-    .expect("live run completes");
+    LiveRunner::new(procs)
+        .tracing(tracing)
+        .try_run(move |ctx| {
+            gauss_seidel::body(ctx, &params);
+        })
+        .expect("live run completes");
     started.elapsed().as_nanos() as u64
 }
 

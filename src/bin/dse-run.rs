@@ -23,7 +23,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use dse::apps::{dct, gauss_seidel, gauss_seidel_mp, knights, matmul, othello};
-use dse::live::{try_run_live, try_run_live_watched, LiveCtx, LiveRunConfig, LiveRunResult};
+use dse::live::{LiveCtx, LiveRunConfig, LiveRunResult, LiveRunner};
 use dse::prelude::*;
 use dse_sweep::build;
 use dse_sweep::run::RunStatus;
@@ -43,6 +43,7 @@ struct Args {
     organization: String,
     protocol: String,
     cache: bool,
+    gm_mode: String,
     trace: bool,
     machines: usize,
     metrics_json: Option<String>,
@@ -74,7 +75,9 @@ fn usage() -> ! {
   --jobs J                     Knight's-Tour job count    (default 16)
   --organization linked|legacy software organization     (default linked)
   --protocol tcp|udp|raw       protocol stack             (default tcp)
-  --cache                      enable the GM cache
+  --cache                      enable the GM cache (both engines)
+  --gm-mode wi|rc              cache coherence: write-invalidate or
+                               release consistency        (default wi)
   --trace                      print the execution-time breakdown
   --metrics-json PATH          write metrics as JSON Lines
   --metrics-csv PATH           write metrics as CSV
@@ -113,6 +116,7 @@ fn parse_from(argv: &[String]) -> Result<Args, String> {
         organization: "linked".into(),
         protocol: "tcp".into(),
         cache: false,
+        gm_mode: "wi".into(),
         trace: false,
         machines: 6,
         metrics_json: None,
@@ -156,6 +160,7 @@ fn parse_from(argv: &[String]) -> Result<Args, String> {
             "--organization" => args.organization = val()?,
             "--protocol" => args.protocol = val()?,
             "--cache" => args.cache = true,
+            "--gm-mode" => args.gm_mode = val()?,
             "--trace" => args.trace = true,
             "--metrics-json" => args.metrics_json = Some(val()?),
             "--metrics-csv" => args.metrics_csv = Some(val()?),
@@ -201,6 +206,16 @@ fn validate_engine_combos(args: &Args) -> Result<(), String> {
     if let Some(spec) = &args.fault_plan {
         build::check_fault_plan(spec).map_err(|e| format!("--fault-plan: {e}"))?;
     }
+    if build::check_gm_mode(&args.gm_mode).is_err() {
+        return Err(format!("--gm-mode: '{}' is not wi or rc", args.gm_mode));
+    }
+    if args.gm_mode == "rc" && !args.cache {
+        return Err(
+            "--gm-mode rc relaxes the GM cache's coherence protocol; it has no effect \
+             without --cache"
+                .into(),
+        );
+    }
     if args.engine == "sim" {
         for f in ["--trace-dir", "--critical-path"] {
             if explicit(f) {
@@ -226,7 +241,6 @@ fn validate_engine_combos(args: &Args) -> Result<(), String> {
             "--machines",
             "--organization",
             "--protocol",
-            "--cache",
             "--trace",
             "--trace-json",
             "--watchdog-ms",
@@ -347,8 +361,14 @@ fn main() {
 /// transport carrying every remote GM access, results printed exactly like
 /// the simulator's so the two engines are directly comparable.
 fn run_live_cli(args: &Args) {
-    let mut cfg = build::build_live(&args.transport, args.fault_plan.as_deref(), None)
-        .expect("transport and fault plan validated at startup");
+    let mut cfg = build::build_live(
+        &args.transport,
+        args.fault_plan.as_deref(),
+        None,
+        args.cache,
+        &args.gm_mode,
+    )
+    .expect("transport, fault plan and gm mode validated at startup");
     cfg.tracing = args.trace_dir.is_some() || args.critical_path;
     println!(
         "# {} on the live engine ({} transport), {} processors",
@@ -412,6 +432,23 @@ fn run_live_cli(args: &Args) {
         run.metrics
             .counter_sum_over_pes("kernel", "requests_served"),
     );
+    if args.cache {
+        let c = |name: &str| run.metrics.counter_sum_over_pes("kernel", name);
+        println!(
+            "directory: {} hits / {} misses / {} leases / {} invals",
+            c("dir_hits"),
+            c("dir_misses"),
+            c("dir_leases"),
+            c("dir_invals"),
+        );
+        if args.gm_mode == "rc" {
+            println!(
+                "rc: {} deferred invalidations / {} acquires",
+                c("rc_deferred_invals"),
+                c("rc_acquires"),
+            );
+        }
+    }
     let write = |path: &str, what: &str, data: String| {
         if let Err(e) = std::fs::write(path, data) {
             eprintln!("cannot write {what} to {path}: {e}");
@@ -500,20 +537,15 @@ fn live_app<T: Send>(
             *slot.lock().unwrap() = Some(v);
         }
     };
-    let run = if args.watch {
-        try_run_live_watched(
-            cfg.clone(),
-            args.procs,
-            Duration::from_millis(args.watch_ms),
-            |agg, now_ns| {
-                println!("-- t={:.1}ms", now_ns as f64 / 1e6);
-                print!("{}", dse::ssi::render_top(agg, now_ns));
-            },
-            capture,
-        )
-    } else {
-        try_run_live(cfg.clone(), args.procs, capture)
+    let hook = |agg: &dse::obs::ClusterAggregator, now_ns: u64| {
+        println!("-- t={:.1}ms", now_ns as f64 / 1e6);
+        print!("{}", dse::ssi::render_top(agg, now_ns));
     };
+    let mut runner = LiveRunner::new(args.procs).config(cfg.clone());
+    if args.watch {
+        runner = runner.watch(Duration::from_millis(args.watch_ms), &hook);
+    }
+    let run = runner.try_run(capture);
     let run = run.unwrap_or_else(|err| {
         eprint!("{}", err.report());
         if let Some(path) = &args.flight_json {
@@ -534,6 +566,7 @@ fn run_sim_cli(args: &Args) {
         organization: args.organization.clone(),
         protocol: args.protocol.clone(),
         cache: args.cache,
+        gm_mode: args.gm_mode.clone(),
         machines: args.machines,
         // A Chrome trace needs the per-process event timeline, so
         // --trace-json implies tracing even without the printed breakdown.
@@ -626,6 +659,16 @@ fn run_sim_cli(args: &Args) {
             "cache: {} hits / {} misses / {} invalidations",
             run.stats.cache_hits, run.stats.cache_misses, run.stats.cache_invalidations
         );
+        println!(
+            "directory: {} hits / {} misses / {} leases / {} invals",
+            run.stats.dir_hits, run.stats.dir_misses, run.stats.dir_leases, run.stats.dir_invals
+        );
+        if args.gm_mode == "rc" {
+            println!(
+                "rc: {} deferred invalidations / {} acquires",
+                run.stats.rc_deferred_invals, run.stats.rc_acquires
+            );
+        }
     }
     if args.trace {
         let trace = run.report.trace.as_ref().expect("tracing enabled");
@@ -803,7 +846,6 @@ mod tests {
             "--machines 4",
             "--organization legacy",
             "--protocol udp",
-            "--cache",
             "--trace",
             "--trace-json t.json",
             "--watchdog-ms 10",
@@ -815,13 +857,40 @@ mod tests {
                 "{flags}: {err}"
             );
         }
-        // Observability outputs, the watch view, and the flight recorder all
-        // work on the live engine.
+        // Observability outputs, the watch view, the flight recorder and the
+        // GM cache all work on the live engine.
         let a = parse_from(&argv(
             "gauss --engine live --watch --watch-ms 10 --metrics-json m.jsonl --metrics-csv m.csv \
-             --flight-json f.jsonl",
+             --flight-json f.jsonl --cache",
         ))
         .unwrap();
+        assert!(validate_engine_combos(&a).is_ok());
+    }
+
+    #[test]
+    fn gm_mode_parses_and_validates() {
+        let a = parse_from(&argv("gauss")).unwrap();
+        assert_eq!(a.gm_mode, "wi");
+        for engine in ["sim", "live"] {
+            let a = parse_from(&argv(&format!(
+                "gauss --engine {engine} --cache --gm-mode rc"
+            )))
+            .unwrap();
+            assert_eq!(a.gm_mode, "rc");
+            assert!(validate_engine_combos(&a).is_ok(), "{engine}");
+        }
+        let a = parse_from(&argv("gauss --cache --gm-mode mesi")).unwrap();
+        let err = validate_engine_combos(&a).unwrap_err();
+        assert!(err.contains("not wi or rc"), "{err}");
+    }
+
+    #[test]
+    fn gm_mode_rc_without_cache_rejected() {
+        let a = parse_from(&argv("gauss --gm-mode rc")).unwrap();
+        let err = validate_engine_combos(&a).unwrap_err();
+        assert!(err.contains("without --cache"), "{err}");
+        // wi is the default protocol; stating it without the cache is fine.
+        let a = parse_from(&argv("gauss --gm-mode wi")).unwrap();
         assert!(validate_engine_combos(&a).is_ok());
     }
 

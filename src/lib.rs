@@ -76,8 +76,6 @@ pub mod prelude {
         NetworkChoice, Organization, ParallelApi, Platform, RunResult, SimDuration, StallReport,
         TelemetryConfig, TelemetrySummary, Work,
     };
-    pub use dse_live::{
-        run_live, run_live_on, run_live_watched, run_live_watched_on, TransportKind,
-    };
+    pub use dse_live::{GmMode, LiveRunner, TransportKind};
     pub use dse_ssi::{render_top, top_rows, ClusterView, PlacementPolicy, Placer};
 }

@@ -6,7 +6,7 @@
 //! transport layer.
 
 use dse::apps::{dct, gauss_seidel, knights, othello};
-use dse::live::{run_live_on, TransportKind};
+use dse::live::{LiveRunner, TransportKind};
 use dse::prelude::*;
 use std::sync::Mutex;
 
@@ -17,7 +17,7 @@ fn live_capture_on<T: Send + 'static>(
     body: impl Fn(&mut dse::live::LiveCtx) -> Option<T> + Send + Sync,
 ) -> T {
     let slot: Mutex<Option<T>> = Mutex::new(None);
-    run_live_on(kind, nprocs, |ctx| {
+    LiveRunner::new(nprocs).transport(kind).run(|ctx| {
         if let Some(v) = body(ctx) {
             *slot.lock().unwrap() = Some(v);
         }

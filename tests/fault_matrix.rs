@@ -16,9 +16,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use dse::apps::{dct, gauss_seidel, knights, matmul, othello};
-use dse::live::{
-    try_run_live, try_run_live_watched, FaultPlan, LiveCtx, LiveRunConfig, RunError, TransportKind,
-};
+use dse::live::{FaultPlan, LiveCtx, LiveRunner, RunError, TransportKind};
 
 /// Hard wall-clock ceiling for one test's worth of runs. A fault-injected
 /// run that cannot finish must abort within its retry deadline, so even
@@ -55,13 +53,12 @@ fn try_capture<T: Send>(
     nprocs: usize,
     body: impl Fn(&mut LiveCtx) -> Option<T> + Send + Sync,
 ) -> Result<T, RunError> {
-    let cfg = LiveRunConfig {
-        kind,
-        fault_plan: plan.map(|s| FaultPlan::parse(s).expect("test plan parses")),
-        ..LiveRunConfig::default()
-    };
+    let mut runner = LiveRunner::new(nprocs).transport(kind);
+    if let Some(s) = plan {
+        runner = runner.fault_plan(FaultPlan::parse(s).expect("test plan parses"));
+    }
     let slot: Mutex<Option<T>> = Mutex::new(None);
-    try_run_live(cfg, nprocs, |ctx| {
+    runner.try_run(|ctx| {
         if let Some(v) = body(ctx) {
             *slot.lock().unwrap() = Some(v);
         }
@@ -244,24 +241,18 @@ fn corrupt_telemetry_is_dropped_and_counted() {
             gauss_seidel::body(ctx, &params).map(|s| (s.iters, s.x))
         })
         .expect("clean baseline");
-        let cfg = LiveRunConfig {
-            kind: TransportKind::Channel,
-            fault_plan: Some(FaultPlan::parse("seed=9,corrupt=1000").unwrap()),
-            ..LiveRunConfig::default()
-        };
         let slot: Mutex<Option<(usize, Vec<f64>)>> = Mutex::new(None);
-        let run = try_run_live_watched(
-            cfg,
-            3,
-            Duration::from_millis(1),
-            |_agg, _now_ns| {},
-            |ctx| {
+        let hook = |_agg: &dse::obs::ClusterAggregator, _now_ns: u64| {};
+        let run = LiveRunner::new(3)
+            .transport(TransportKind::Channel)
+            .fault_plan(FaultPlan::parse("seed=9,corrupt=1000").unwrap())
+            .watch(Duration::from_millis(1), &hook)
+            .try_run(|ctx| {
                 if let Some(s) = gauss_seidel::body(ctx, &params) {
                     *slot.lock().unwrap() = Some((s.iters, s.x));
                 }
-            },
-        )
-        .expect("corrupt telemetry must not abort the run");
+            })
+            .expect("corrupt telemetry must not abort the run");
         assert_eq!(
             slot.into_inner().unwrap().expect("rank 0 result"),
             baseline,

@@ -1,0 +1,129 @@
+//! Coherence-mode portability: turning the GM cache on — under either
+//! coherence protocol — must never change a workload's answer, only its
+//! traffic. Write-invalidate keeps replicas coherent eagerly; release
+//! consistency defers invalidation to sync points, and every app in the
+//! suite synchronizes (barriers, locks) before reading shared writes, so
+//! its results match WI bit for bit on both engines.
+
+use dse::apps::{dct, gauss_seidel, knights, matmul, othello};
+use dse::live::{GmMode, LiveRunner};
+use dse::prelude::*;
+use std::sync::Mutex;
+
+fn config(mode: GmMode) -> DseConfig {
+    DseConfig::paper().with_gm_cache(true).with_gm_mode(mode)
+}
+
+/// Run a body on the live engine with the cache on under `mode` and
+/// capture rank 0's result.
+fn live_cached<T: Send + 'static>(
+    mode: GmMode,
+    nprocs: usize,
+    body: impl Fn(&mut dse::live::LiveCtx) -> Option<T> + Send + Sync,
+) -> T {
+    let slot: Mutex<Option<T>> = Mutex::new(None);
+    LiveRunner::new(nprocs)
+        .gm_cache(true)
+        .gm_mode(mode)
+        .run(|ctx| {
+            if let Some(v) = body(ctx) {
+                *slot.lock().unwrap() = Some(v);
+            }
+        });
+    slot.into_inner().unwrap().expect("rank 0 result")
+}
+
+#[test]
+fn sim_cache_and_modes_preserve_gauss_seidel() {
+    let params = gauss_seidel::GaussSeidelParams::paper(80);
+    let base = DseProgram::new(Platform::sunos_sparc());
+    let (_, plain) = gauss_seidel::solve_parallel(&base, 3, params);
+    for mode in [GmMode::WriteInvalidate, GmMode::ReleaseConsistency] {
+        let prog = DseProgram::new(Platform::sunos_sparc()).with_config(config(mode));
+        let (_, sol) = gauss_seidel::solve_parallel(&prog, 3, params);
+        assert_eq!(plain.iters, sol.iters, "{mode:?}");
+        assert_eq!(plain.x, sol.x, "{mode:?}");
+    }
+}
+
+#[test]
+fn sim_cache_and_modes_preserve_dct() {
+    let params = dct::DctParams {
+        size: 128,
+        block: 8,
+        keep: 0.25,
+        seed: 3,
+    };
+    let (_, plain) =
+        dct::compress_parallel(&DseProgram::new(Platform::linux_pentium2()), 4, params);
+    assert_eq!(plain, dct::compress_sequential(&params));
+    for mode in [GmMode::WriteInvalidate, GmMode::ReleaseConsistency] {
+        let prog = DseProgram::new(Platform::linux_pentium2()).with_config(config(mode));
+        let (_, out) = dct::compress_parallel(&prog, 4, params);
+        assert_eq!(plain, out, "{mode:?}");
+    }
+}
+
+#[test]
+fn sim_cache_and_modes_preserve_othello() {
+    let params = othello::OthelloParams::paper(4);
+    let (_, plain) = othello::search_parallel(&DseProgram::new(Platform::aix_rs6000()), 3, params);
+    for mode in [GmMode::WriteInvalidate, GmMode::ReleaseConsistency] {
+        let prog = DseProgram::new(Platform::aix_rs6000()).with_config(config(mode));
+        let (_, best) = othello::search_parallel(&prog, 3, params);
+        assert_eq!(plain, best, "{mode:?}");
+    }
+}
+
+#[test]
+fn sim_cache_and_modes_preserve_knights() {
+    let params = knights::KnightsParams::paper(16);
+    let (_, plain) = knights::count_parallel(&DseProgram::new(Platform::sunos_sparc()), 4, params);
+    assert_eq!(plain, 304);
+    for mode in [GmMode::WriteInvalidate, GmMode::ReleaseConsistency] {
+        let prog = DseProgram::new(Platform::sunos_sparc()).with_config(config(mode));
+        let (_, count) = knights::count_parallel(&prog, 4, params);
+        assert_eq!(plain, count, "{mode:?}");
+    }
+}
+
+#[test]
+fn sim_cache_and_modes_preserve_matmul() {
+    let params = matmul::MatmulParams::single(20);
+    let (_, plain) =
+        matmul::multiply_parallel(&DseProgram::new(Platform::sunos_sparc()), 3, params);
+    assert_eq!(plain, matmul::multiply_sequential(&params));
+    for mode in [GmMode::WriteInvalidate, GmMode::ReleaseConsistency] {
+        let prog = DseProgram::new(Platform::sunos_sparc()).with_config(config(mode));
+        let (_, c) = matmul::multiply_parallel(&prog, 3, params);
+        assert_eq!(plain, c, "{mode:?}");
+    }
+}
+
+#[test]
+fn live_cache_and_modes_preserve_gauss_seidel() {
+    let params = gauss_seidel::GaussSeidelParams::paper(80);
+    let (_, sim_sol) =
+        gauss_seidel::solve_parallel(&DseProgram::new(Platform::sunos_sparc()), 3, params);
+    for mode in [GmMode::WriteInvalidate, GmMode::ReleaseConsistency] {
+        let sol = live_cached(mode, 3, |ctx| gauss_seidel::body(ctx, &params));
+        assert_eq!(sim_sol.iters, sol.iters, "{mode:?}");
+        assert_eq!(sim_sol.x, sol.x, "{mode:?}");
+    }
+}
+
+#[test]
+fn live_cache_and_modes_preserve_dct() {
+    let params = dct::DctParams {
+        size: 128,
+        block: 8,
+        keep: 0.25,
+        seed: 3,
+    };
+    let (_, sim_out) =
+        dct::compress_parallel(&DseProgram::new(Platform::linux_pentium2()), 4, params);
+    for mode in [GmMode::WriteInvalidate, GmMode::ReleaseConsistency] {
+        let out = live_cached(mode, 4, |ctx| dct::body(ctx, &params));
+        assert_eq!(sim_out, out, "{mode:?}");
+    }
+}

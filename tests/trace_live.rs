@@ -7,7 +7,7 @@
 use std::sync::Mutex;
 
 use dse::apps::{dct, gauss_seidel, knights, matmul, othello};
-use dse::live::{try_run_live, LiveCtx, LiveRunConfig, LiveRunResult, TransportKind};
+use dse::live::{LiveCtx, LiveRunResult, LiveRunner, TransportKind};
 use dse_trace::{assemble, blame};
 
 /// Run a body on the channel-live engine, with or without tracing, and
@@ -18,16 +18,15 @@ fn live_run<T: Send>(
     body: impl Fn(&mut LiveCtx) -> Option<T> + Send + Sync,
 ) -> (LiveRunResult, T) {
     let slot: Mutex<Option<T>> = Mutex::new(None);
-    let cfg = LiveRunConfig {
-        tracing,
-        ..LiveRunConfig::on(TransportKind::Channel)
-    };
-    let run = try_run_live(cfg, nprocs, |ctx| {
-        if let Some(v) = body(ctx) {
-            *slot.lock().unwrap() = Some(v);
-        }
-    })
-    .expect("live run completes");
+    let run = LiveRunner::new(nprocs)
+        .transport(TransportKind::Channel)
+        .tracing(tracing)
+        .try_run(|ctx| {
+            if let Some(v) = body(ctx) {
+                *slot.lock().unwrap() = Some(v);
+            }
+        })
+        .expect("live run completes");
     (run, slot.into_inner().unwrap().expect("rank 0 result"))
 }
 
