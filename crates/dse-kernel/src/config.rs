@@ -1,5 +1,7 @@
 //! Runtime configuration: software organization, protocol, network, cache.
 
+use std::time::Duration;
+
 use dse_net::Protocol;
 use dse_sim::SimDuration;
 
@@ -64,6 +66,43 @@ impl GmMode {
         match self {
             GmMode::WriteInvalidate => "wi",
             GmMode::ReleaseConsistency => "rc",
+        }
+    }
+}
+
+/// How the live engine hosts its per-PE kernels.
+///
+/// The simulator is inherently event-driven (one virtual-time wheel drives
+/// every PE), so this axis only matters to the live engine: `Threads` is
+/// the reference implementation (one OS kernel thread per PE, blocking on
+/// its transport), `Tasks` multiplexes every PE's resumable
+/// [`crate::task::KernelTask`] on a small worker pool so one process can
+/// host thousands of PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// One blocking kernel thread per PE (the reference implementation).
+    #[default]
+    Threads,
+    /// Event-driven kernel tasks polled by a worker pool sized to the
+    /// host's parallelism.
+    Tasks,
+}
+
+impl SchedulerKind {
+    /// Parse a CLI/TOML spelling (`threads` | `tasks`).
+    pub fn parse(s: &str) -> Option<SchedulerKind> {
+        match s {
+            "threads" | "thread" => Some(SchedulerKind::Threads),
+            "tasks" | "task" => Some(SchedulerKind::Tasks),
+            _ => None,
+        }
+    }
+
+    /// Canonical spelling (round-trips through [`SchedulerKind::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Threads => "threads",
+            SchedulerKind::Tasks => "tasks",
         }
     }
 }
@@ -162,6 +201,15 @@ pub struct DseConfig {
     /// Physical machines backing the cluster (`None` = the paper's
     /// machine count; the canonical home of `DseProgram::with_machines`).
     pub machines: Option<usize>,
+    /// How the live engine hosts its kernels (ignored by the simulator,
+    /// whose event wheel is already a scheduler).
+    pub scheduler: SchedulerKind,
+    /// Bound on a live kernel's idle wait between housekeeping ticks
+    /// (abort-latch checks, telemetry emission). `None` picks the
+    /// scheduler's default: 50 ms under `Threads`, 5 ms under `Tasks`,
+    /// where thousands of idle PEs would otherwise stretch shutdown by
+    /// seconds.
+    pub kernel_tick: Option<Duration>,
 }
 
 impl Default for DseConfig {
@@ -179,6 +227,8 @@ impl Default for DseConfig {
             gm_window: DEFAULT_GM_WINDOW,
             tracing: false,
             machines: None,
+            scheduler: SchedulerKind::Threads,
+            kernel_tick: None,
         }
     }
 }
@@ -255,6 +305,18 @@ impl DseConfig {
         self.machines = Some(machines);
         self
     }
+
+    /// Builder-style: choose the live engine's kernel scheduler.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Builder-style: bound the live kernels' idle housekeeping tick.
+    pub fn with_kernel_tick(mut self, tick: Duration) -> Self {
+        self.kernel_tick = Some(tick);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +379,31 @@ mod tests {
         let l = DseConfig::legacy();
         assert_eq!(l.organization, Organization::SeparateProcess);
         assert_eq!(l.protocol, DseConfig::default().protocol);
+    }
+
+    #[test]
+    fn scheduler_parses_and_roundtrips() {
+        assert_eq!(
+            SchedulerKind::parse("threads"),
+            Some(SchedulerKind::Threads)
+        );
+        assert_eq!(SchedulerKind::parse("tasks"), Some(SchedulerKind::Tasks));
+        assert_eq!(SchedulerKind::parse("fibers"), None);
+        for k in [SchedulerKind::Threads, SchedulerKind::Tasks] {
+            assert_eq!(SchedulerKind::parse(k.name()), Some(k));
+        }
+    }
+
+    #[test]
+    fn scheduler_and_tick_default_and_compose() {
+        let c = DseConfig::default();
+        assert_eq!(c.scheduler, SchedulerKind::Threads);
+        assert_eq!(c.kernel_tick, None);
+        let c = DseConfig::paper()
+            .with_scheduler(SchedulerKind::Tasks)
+            .with_kernel_tick(Duration::from_millis(2));
+        assert_eq!(c.scheduler, SchedulerKind::Tasks);
+        assert_eq!(c.kernel_tick, Some(Duration::from_millis(2)));
     }
 
     #[test]

@@ -35,11 +35,13 @@ pub mod shared;
 pub mod simmsg;
 pub mod stats;
 pub mod sync;
+pub mod task;
 pub mod watchdog;
 
 pub use cache::{CacheStore, CACHE_BLOCK};
 pub use config::{
-    DseConfig, GmMode, NetworkChoice, Organization, TelemetryConfig, DEFAULT_GM_WINDOW,
+    DseConfig, GmMode, NetworkChoice, Organization, SchedulerKind, TelemetryConfig,
+    DEFAULT_GM_WINDOW,
 };
 pub use cost::CostModel;
 pub use dedup::{dedup_key, DedupCache};
@@ -51,4 +53,7 @@ pub use shared::{ClusterShared, TelemetryHook};
 pub use simmsg::SimMsg;
 pub use stats::{KernelStats, StatsCell};
 pub use sync::{BarrierCenter, BarrierOutcome, LockCenter, LockOutcome, Party, UnlockOutcome};
+pub use task::{
+    is_app_bound, KernelEnv, KernelEvent, KernelTask, Outbound, Progress, KERNEL_TXN_BASE,
+};
 pub use watchdog::{StallReport, StallWatchdog};

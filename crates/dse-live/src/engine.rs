@@ -22,7 +22,7 @@
 //! identical program results on all of them, which is the portability claim
 //! made mechanical.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -34,15 +34,12 @@ use parking_lot::Mutex;
 use dse_api::{GmHandle, ParallelApi};
 use dse_kernel::cache::{blocks_inside, blocks_touching};
 use dse_kernel::gmem::GlobalStore;
-use dse_kernel::{
-    dedup_key, serve_gm, BarrierCenter, BarrierOutcome, CacheStore, DedupCache, Distribution,
-    GmMode, GmServiceHooks, LockCenter, LockOutcome, Party, Served, UnlockOutcome, CACHE_BLOCK,
-};
+use dse_kernel::task::{KernelEnv, KernelEvent, KernelTask, Outbound, Progress};
+use dse_kernel::{CacheStore, Distribution, GmMode, SchedulerKind, CACHE_BLOCK};
 use dse_msg::{GlobalPid, GmOp, Message, NodeId, RegionId, ReqId, ReqIdGen, TraceCtx};
 use dse_obs::{
-    derived_span_id, ClusterAggregator, DeltaTracker, FlightEventKind, FlightRecorder, MetricKey,
-    MetricsSnapshot, Registry, SpanKind, TelemetryDelta, TraceRecorder, TraceRole, TraceSpanKind,
-    TraceSpanRec,
+    ClusterAggregator, DeltaTracker, FlightEventKind, FlightRecorder, MetricKey, MetricsSnapshot,
+    Registry, SpanKind, TelemetryDelta, TraceRecorder, TraceRole, TraceSpanKind, TraceSpanRec,
 };
 use dse_platform::Work;
 use dse_transport::{
@@ -51,6 +48,8 @@ use dse_transport::{
 };
 
 use crate::error::{abort_code, FailureKind, FailureRole, PeFailure, RunError};
+
+pub(crate) mod sched;
 
 /// Which wire carries the live engine's messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +116,15 @@ pub struct LiveRunConfig {
     /// (writes defer; readers self-invalidate at acquire points). Ignored
     /// when `gm_cache` is off.
     pub gm_mode: GmMode,
+    /// Which engine drives the per-PE kernels: one OS thread per PE
+    /// (`Threads`, the reference implementation) or a small worker pool
+    /// multiplexing every PE's kernel task (`Tasks`, for many-PE runs).
+    pub scheduler: SchedulerKind,
+    /// Bound on a kernel's idle wait between events. `None` picks the
+    /// scheduler default: 50 ms under `Threads`, 5 ms under `Tasks`
+    /// (thousands of idle PEs sharing a few workers would otherwise stack
+    /// their waits into seconds of shutdown latency).
+    pub kernel_tick: Option<Duration>,
 }
 
 impl Default for LiveRunConfig {
@@ -129,6 +137,8 @@ impl Default for LiveRunConfig {
             tracing: false,
             gm_cache: false,
             gm_mode: GmMode::WriteInvalidate,
+            scheduler: SchedulerKind::Threads,
+            kernel_tick: None,
         }
     }
 }
@@ -247,6 +257,10 @@ pub struct LiveCluster {
     /// unchanged, so an invalidation racing a fetch can never be undone by
     /// a late install.
     install_guards: Vec<Mutex<u64>>,
+    /// Which engine drives the per-PE kernels.
+    scheduler: SchedulerKind,
+    /// Effective bound on a kernel's idle wait for this run.
+    kernel_tick: Duration,
 }
 
 impl LiveCluster {
@@ -271,6 +285,11 @@ impl LiveCluster {
             cache: cfg.gm_cache.then(|| CacheStore::new(nprocs)),
             gm_mode: cfg.gm_mode,
             install_guards: (0..nprocs).map(|_| Mutex::new(0)).collect(),
+            scheduler: cfg.scheduler,
+            kernel_tick: cfg.kernel_tick.unwrap_or(match cfg.scheduler {
+                SchedulerKind::Threads => THREADS_TICK,
+                SchedulerKind::Tasks => TASKS_TICK,
+            }),
         }
     }
 
@@ -335,245 +354,96 @@ impl LiveCluster {
 const AUTO_BARRIER_BASE: u32 = 0x4000_0000;
 
 // ---------------------------------------------------------------------------
-// Deterministic derived span ids.
-//
-// Spans whose ids both wire endpoints (or two runs of the same seed) must
-// agree on are never minted from a counter — they are derived by hashing
-// ids the endpoints already share. The salt keeps the three derivation
-// families disjoint.
-// ---------------------------------------------------------------------------
-
-/// Serve span for the `replay`-th answer (0 = fresh) to the request whose
-/// root span is `parent`: requester and home compute the same id.
-fn serve_span_id(parent: u64, replay: u32) -> u64 {
-    derived_span_id(parent, 1 | ((replay as u64) << 8))
-}
-
-/// Barrier-release span for one `(barrier, epoch)` round.
-fn barrier_span_id(barrier: u32, epoch: u32) -> u64 {
-    derived_span_id(((barrier as u64) << 24) ^ epoch as u64, 2)
-}
-
-/// Lock-grant span for the request `req` issued by PE `owner`.
-fn lock_span_id(owner: u32, req: u64) -> u64 {
-    derived_span_id(((owner as u64) << 40) ^ req, 3)
-}
-
-/// Wire context and half-built grant span for a lock grant to `owner`
-/// (the caller stamps `end_ns` and `pe`). `start_ns` is when the request
-/// arrived at the coordinator, so the span covers the coordinator-side
-/// queueing time.
-fn lock_grant_trace(
-    ctx: Option<TraceCtx>,
-    owner: u32,
-    req: u64,
-    _lock: u32,
-    start_ns: u64,
-) -> (Option<TraceCtx>, Option<TraceSpanRec>) {
-    match ctx {
-        Some(c) => {
-            let span_id = lock_span_id(owner, req);
-            let mut span = TraceSpanRec::new(
-                TraceSpanKind::LockGrant,
-                c.trace,
-                span_id,
-                c.parent,
-                0,
-                start_ns,
-                start_ns,
-            );
-            span.peer = owner;
-            span.seq = req;
-            (
-                Some(TraceCtx {
-                    trace: c.trace,
-                    parent: span_id,
-                }),
-                Some(span),
-            )
-        }
-        None => (None, None),
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Kernel thread: the per-PE message loop.
+//
+// The protocol logic itself — GM service, directory coherence, barriers,
+// locks, exit collection, telemetry emission, causal spans — lives in
+// `dse_kernel::task::KernelTask`, a sans-IO state machine consuming one
+// event per `poll`. The live engine supplies the IO around it, twice: the
+// blocking per-PE driver below (`SchedulerKind::Threads`, the reference
+// implementation) and the worker-pool multiplexer in `crate::sched`
+// (`SchedulerKind::Tasks`). Both drivers feed the same state machine, so
+// their runs are bit-identical by construction.
 // ---------------------------------------------------------------------------
 
-type WatchHook<'h> = &'h (dyn Fn(&ClusterAggregator, u64) + Send + Sync);
-type WatchSpec<'h> = (Duration, WatchHook<'h>);
+type WatchSpec<'h> = (Duration, dse_kernel::task::WatchHook<'h>);
 
-/// Kernel transaction ids live above this bit so they can never collide
-/// with app-side `ReqIdGen` ids: a `GmInvalidateAck` whose id has the high
-/// bit belongs to a home kernel's write gate, anything else to an app's
-/// own-node invalidation round.
-const KERNEL_TXN_BASE: u64 = 1 << 63;
+/// Default bound on a kernel's idle wait under the threaded scheduler:
+/// even an unwatched, idle kernel wakes this often to notice the cluster
+/// abort latch (or a silently dead peer) instead of blocking forever.
+pub(crate) const THREADS_TICK: Duration = Duration::from_millis(50);
 
-/// Kernel-side GM service accounting, using the same metric names the
-/// simulator's kernel emits so one `dse-top` view serves both engines.
-/// On cached runs the hooks also run the home side of the directory
-/// protocol: reads grant leases to the requester at serve time, writes are
-/// collected so the loop can gate the response on invalidation acks, and a
-/// `GmInvalidate` addressed to this PE drops the local replicas.
-struct LiveGmHooks<'a> {
-    metrics: &'a Registry,
-    pe: u32,
-    /// The requesting PE of the message being served.
-    from: u32,
-    /// The run's replica cache (`None` on uncached runs).
-    cache: Option<&'a CacheStore>,
-    /// This PE's install guard, for holder-side invalidation application.
-    guard: &'a Mutex<u64>,
-    /// Written ranges of the request being served, in execution order —
-    /// the loop consults the directory for these after the serve.
-    writes: Vec<(RegionId, u64, usize)>,
+/// Default tick under the task scheduler: thousands of idle PEs sharing a
+/// few workers would otherwise stack their 50 ms waits into seconds of
+/// shutdown latency.
+pub(crate) const TASKS_TICK: Duration = Duration::from_millis(5);
+
+impl LiveCluster {
+    /// The shared-state view one PE's kernel task serves against.
+    fn kernel_env<'a>(&'a self, pe: u32, start: Instant) -> KernelEnv<'a> {
+        KernelEnv {
+            pe,
+            nprocs: self.nprocs,
+            store: &self.store,
+            metrics: &self.metrics,
+            flight: &self.flight,
+            cache: self.cache.as_ref(),
+            gm_mode: self.gm_mode,
+            install_guard: &self.install_guards[pe as usize],
+            engine_t0: self.t0,
+            run_start: start,
+        }
+    }
 }
 
-impl GmServiceHooks for LiveGmHooks<'_> {
-    fn read_executed(&mut self, region: dse_msg::RegionId, offset: u64, data: &[u8]) {
-        self.metrics.add(
-            MetricKey::pe("kernel", "gm_bytes_read", self.pe),
-            data.len() as u64,
-        );
-        if let Some(cs) = self.cache {
-            // Home-side half of the lease: record the requester as a
-            // sharer of every block its fetch fully covers. The data half
-            // installs at the requester on completion (epoch-guarded).
-            let mut fresh = 0u64;
-            for b in blocks_inside(offset, data.len()) {
-                if cs.grant(NodeId(self.from as u16), region, b) {
-                    fresh += 1;
+/// Drain a task's outbox onto the wire / the app channel. A failed
+/// [`Outbound::Wire`] send stops the drain (discarding the rest, matching
+/// the blocking loop's abort-on-first-error semantics) and fails the
+/// kernel; best-effort items never fail.
+pub(crate) fn flush_outbox(
+    task: &mut KernelTask<'_>,
+    transport: &dyn Transport,
+    app_tx: &mpsc::Sender<(Message, Option<TraceCtx>)>,
+) -> Result<(), FailureKind> {
+    for out in task.drain_outbox() {
+        match out {
+            Outbound::Wire { to, msg, ctx } => {
+                match ctx {
+                    Some(c) => transport.send_ctx(to, &msg, c),
+                    None => transport.send(to, &msg),
                 }
+                .map_err(FailureKind::Transport)?;
             }
-            if fresh > 0 {
-                self.metrics
-                    .add(MetricKey::pe("kernel", "dir_leases", self.pe), fresh);
+            Outbound::WireBestEffort { to, msg } => {
+                let _ = transport.send(to, &msg);
+            }
+            Outbound::App { msg, ctx } => {
+                let _ = app_tx.send((msg, ctx));
             }
         }
     }
-    fn write_executed(&mut self, region: dse_msg::RegionId, offset: u64, len: usize) {
-        self.metrics.add(
-            MetricKey::pe("kernel", "gm_bytes_written", self.pe),
-            len as u64,
-        );
-        if self.cache.is_some() {
-            self.writes.push((region, offset, len));
-        }
-    }
-    fn fetch_add_executed(&mut self, region: dse_msg::RegionId, offset: u64) {
-        if self.cache.is_some() {
-            self.writes.push((region, offset, 8));
-        }
-    }
-    fn invalidated(&mut self, region: dse_msg::RegionId, offset: u64, len: usize) {
-        if let Some(cs) = self.cache {
-            // Epoch first, then the drop, both under the guard: an app-side
-            // install that checked the epoch before this bump is either
-            // already in the map (the drop removes it) or will re-check and
-            // skip.
-            let mut epoch = self.guard.lock();
-            *epoch += 1;
-            cs.drop_range(NodeId(self.pe as u16), region, offset, len);
-            drop(epoch);
-            self.metrics
-                .incr(MetricKey::pe("kernel", "dir_invals", self.pe));
-        }
-    }
+    Ok(())
 }
 
-/// What the app thread can receive from its kernel: responses to its own
-/// requests and coordination wakeups, forwarded off the transport.
-fn is_app_bound(msg: &Message) -> bool {
-    matches!(
-        msg,
-        Message::GmReadResp { .. }
-            | Message::GmWriteAck { .. }
-            | Message::GmBatchResp { .. }
-            | Message::GmFetchAddResp { .. }
-            | Message::BarrierRelease { .. }
-            | Message::LockGrant { .. }
-    )
-}
-
-/// Bound on any single blocking receive in the kernel loop: even an
-/// unwatched, idle kernel wakes this often to notice the cluster abort
-/// latch (or a silently dead peer) instead of blocking forever.
-const IDLE_TICK: Duration = Duration::from_millis(50);
-
-/// Serving-side GM request dedup capacity (per kernel, across all peers).
-const DEDUP_CAP: usize = 64;
-
-/// A served write (or atomic) whose response is withheld until every
-/// stale replica's invalidation ack has come back — the live engine's
-/// single-home transaction ordering.
-struct WriteGate {
-    /// Invalidation acks still outstanding.
-    remaining: usize,
-    /// The withheld response.
-    resp: Message,
-    /// The requester it goes back to.
-    to: u32,
-    /// Trace context the response rides with.
-    ctx: Option<TraceCtx>,
-    /// Dedup key of the gated request: inserted into the served cache only
-    /// when the response actually goes out.
-    key: Option<(u32, u64)>,
-}
-
-/// Why the kernel loop stopped (without a first-hand failure).
-enum KernelExit {
-    /// Normal shutdown: every rank's ExitNotice reached the coordinator
-    /// and `KernelShutdown` came back.
-    Clean,
-    /// The run is aborting; the payload is the `Abort` frame to relay
-    /// (PE 0 re-broadcasts it to the cluster).
-    Aborted(Message),
-}
-
-/// One PE's kernel loop: the single consumer of this PE's transport.
-///
-/// Serves GM requests against the store (responses go back on the wire),
-/// forwards app-bound messages to the co-resident application thread, and
-/// on PE 0 additionally coordinates barriers, locks, exit collection and
-/// telemetry aggregation. Returns this PE's delta tracker (for the final
-/// absolute telemetry round) and, on a watched PE 0, the aggregator.
-///
-/// Failure handling wraps [`kernel_loop`]: a first-hand transport failure
-/// is recorded against the cluster, turned into an [`Message::Abort`]
-/// frame (non-zero PEs report to PE 0, PE 0 broadcasts), and forwarded to
-/// the co-resident app thread so it unwinds instead of blocking forever.
-fn live_kernel(
+/// Shared teardown of one PE's kernel, whichever driver ran it: flush the
+/// causal spans, convert a first-hand failure into an `Abort` relay
+/// (non-zero PEs report to PE 0, PE 0 broadcasts), wake the co-resident
+/// app thread, and release the transport endpoint.
+pub(crate) fn finish_kernel(
     pe: u32,
     cluster: &LiveCluster,
-    transport: &Arc<dyn Transport>,
-    app_tx: mpsc::Sender<(Message, Option<TraceCtx>)>,
-    watch: Option<WatchSpec<'_>>,
-    start: Instant,
+    transport: &dyn Transport,
+    app_tx: &mpsc::Sender<(Message, Option<TraceCtx>)>,
+    task: KernelTask<'_>,
+    exit: Result<Option<Message>, FailureKind>,
 ) -> (DeltaTracker, Option<ClusterAggregator>) {
-    let mut tracker = DeltaTracker::new(pe, pe == 0);
-    let mut agg = (pe == 0 && watch.is_some()).then(|| ClusterAggregator::new(cluster.nprocs));
-    let mut rec = if cluster.tracing {
-        TraceRecorder::new(pe, TraceRole::Kernel)
-    } else {
-        TraceRecorder::disabled(pe, TraceRole::Kernel)
-    };
-    let exit = kernel_loop(
-        pe,
-        cluster,
-        transport,
-        &app_tx,
-        watch,
-        start,
-        &mut tracker,
-        &mut agg,
-        &mut rec,
-    );
+    let (tracker, agg, spans) = task.finish();
     // Flush this kernel's causal spans whatever the exit path — an aborted
     // run's post-mortem trace is where they matter most.
-    cluster.flush_trace(pe, 1, rec.take());
+    cluster.flush_trace(pe, 1, spans);
     let relay = match exit {
-        Ok(KernelExit::Clean) => None,
-        Ok(KernelExit::Aborted(frame)) => Some(frame),
+        Ok(None) => None,
+        Ok(Some(frame)) => Some(frame),
         Err(kind) => {
             let code = match &kind {
                 FailureKind::Transport(_) => abort_code::TRANSPORT,
@@ -607,463 +477,57 @@ fn live_kernel(
     (tracker, agg)
 }
 
-/// The receive/serve/coordinate loop of [`live_kernel`]. Every blocking
-/// receive is bounded by [`IDLE_TICK`] so a silently dead peer or the
-/// cluster abort latch is noticed promptly; transport errors surface as
-/// `Err` instead of panicking the thread.
-#[allow(clippy::too_many_arguments)]
-fn kernel_loop(
+/// One PE's kernel under the threaded scheduler: a dedicated OS thread
+/// blocking on the transport and feeding the events to a [`KernelTask`].
+///
+/// The task serves GM requests against the store (responses go back on the
+/// wire), forwards app-bound messages to the co-resident application
+/// thread, and on PE 0 additionally coordinates barriers, locks, exit
+/// collection and telemetry aggregation. Returns this PE's delta tracker
+/// (for the final absolute telemetry round) and, on a watched PE 0, the
+/// aggregator. Every blocking receive is bounded by the kernel tick so a
+/// silently dead peer or the cluster abort latch is noticed promptly.
+fn live_kernel(
     pe: u32,
     cluster: &LiveCluster,
     transport: &Arc<dyn Transport>,
-    app_tx: &mpsc::Sender<(Message, Option<TraceCtx>)>,
+    app_tx: mpsc::Sender<(Message, Option<TraceCtx>)>,
     watch: Option<WatchSpec<'_>>,
     start: Instant,
-    tracker: &mut DeltaTracker,
-    agg: &mut Option<ClusterAggregator>,
-    rec: &mut TraceRecorder,
-) -> Result<KernelExit, FailureKind> {
-    let nprocs = cluster.nprocs;
-    // Coordination state lives on PE 0 (reply tokens are PE ranks).
-    let barriers: BarrierCenter<u32> = BarrierCenter::new(nprocs);
-    let locks: LockCenter<u32> = LockCenter::new();
-    let mut served_cache = DedupCache::new(DEDUP_CAP);
-    // Directory coherence state (cached runs only): write gates awaiting
-    // invalidation acks, the inval-txn → gate index, and the dedup keys of
-    // requests currently gated (their retransmits are dropped, not
-    // re-executed).
-    let cache = cluster.cache.as_ref();
-    let rc = cluster.gm_mode == GmMode::ReleaseConsistency;
-    let mut gates: HashMap<u64, WriteGate> = HashMap::new();
-    let mut inval_to_gate: HashMap<u64, u64> = HashMap::new();
-    let mut pending_gated: HashSet<(u32, u64)> = HashSet::new();
-    let mut next_txn: u64 = 0;
-    // Trace context and arrival time of coordination requests still
-    // pending an answer: barrier rounds keyed by barrier id (first-enter
-    // time), lock requests keyed by (requester, req).
-    let mut barrier_open: HashMap<u32, u64> = HashMap::new();
-    let mut lock_pend: HashMap<(u32, u64), (Option<TraceCtx>, u64)> = HashMap::new();
-    let mut exited = 0usize;
-    let mut last_emit = Instant::now();
-    let send = |to: u32, msg: &Message, ctx: Option<TraceCtx>| -> Result<(), FailureKind> {
-        cluster.flight.record(
-            cluster.now_ns(),
-            pe,
-            FlightEventKind::Bus {
-                label: msg.label(),
-                to_pe: to,
-                bytes: msg.wire_len() as u64,
-            },
-        );
-        match ctx {
-            Some(c) => transport.send_ctx(to, msg, c),
-            None => transport.send(to, msg),
-        }
-        .map_err(FailureKind::Transport)
-    };
-    loop {
+) -> (DeltaTracker, Option<ClusterAggregator>) {
+    let mut task = KernelTask::new(
+        cluster.kernel_env(pe, start),
+        watch,
+        cluster.kernel_tick,
+        cluster.tracing,
+    );
+    let exit = loop {
         if cluster.aborting() {
-            return Ok(KernelExit::Aborted(Message::Abort {
-                source: pe,
-                code: abort_code::GENERIC,
-                detail: b"cluster abort latch".to_vec(),
-            }));
+            match task.poll(KernelEvent::AbortLatch) {
+                Progress::Aborted(frame) => break Ok(Some(frame)),
+                _ => unreachable!("abort latch poll is terminal"),
+            }
         }
-        let timeout = watch
-            .as_ref()
-            .map(|(iv, _)| iv.saturating_sub(last_emit.elapsed()).min(IDLE_TICK))
-            .unwrap_or(IDLE_TICK);
-        let env = match transport.recv(Some(timeout)) {
-            Ok(env) => env,
-            Err(e) => return Err(FailureKind::Transport(e)),
+        let event = match transport.recv(Some(task.timeout())) {
+            Ok(Some(env)) => KernelEvent::Message {
+                from: env.from,
+                msg: env.msg,
+                ctx: env.ctx,
+            },
+            Ok(None) => KernelEvent::Tick,
+            Err(e) => break Err(FailureKind::Transport(e)),
         };
-        let mut shutdown = false;
-        if let Some(env) = env {
-            let from = env.from;
-            let t0 = Instant::now();
-            let t_in_ns = cluster.now_ns();
-            cluster
-                .metrics
-                .incr(MetricKey::pe("kernel", "messages", pe));
-            let key = dedup_key(&env.msg, from);
-            if let Some(key) = key {
-                if let Some((resp, replay)) = served_cache.replay(key) {
-                    // Retransmit of a request we already served: replay
-                    // the cached response rather than re-executing it
-                    // (a second fetch-add would change the answer). Not a
-                    // fresh serve, so `requests_served` stays put.
-                    cluster
-                        .metrics
-                        .incr(MetricKey::pe("kernel", "gm_dup_requests", pe));
-                    // The replay is its own serve span (dedup-flagged),
-                    // derived from the same root as the original serve.
-                    let resp_ctx = env.ctx.map(|c| TraceCtx {
-                        trace: c.trace,
-                        parent: serve_span_id(c.parent, replay),
-                    });
-                    send(from, &resp, resp_ctx)?;
-                    if let Some(c) = env.ctx {
-                        let mut span = TraceSpanRec::new(
-                            TraceSpanKind::Serve,
-                            c.trace,
-                            serve_span_id(c.parent, replay),
-                            c.parent,
-                            pe,
-                            t_in_ns,
-                            cluster.now_ns(),
-                        );
-                        span.peer = from;
-                        span.bytes = resp.wire_len() as u64;
-                        span.seq = key.1;
-                        span.dedup = true;
-                        rec.push(span);
-                    }
-                    continue;
-                }
-                if pending_gated.contains(&key) {
-                    // Retransmit of a write still gated on invalidation
-                    // acks: drop it. The response becomes replayable the
-                    // moment the gate opens; re-executing now would leak
-                    // an ungated ack past the coherence protocol.
-                    continue;
-                }
-            }
-            let mut hooks = LiveGmHooks {
-                metrics: &cluster.metrics,
-                pe,
-                from,
-                cache,
-                guard: &cluster.install_guards[pe as usize],
-                writes: Vec::new(),
-            };
-            let gm_ctx = env.ctx;
-            match serve_gm(&cluster.store, env.msg, &mut hooks) {
-                Served::Response(resp) => {
-                    cluster
-                        .metrics
-                        .incr(MetricKey::pe("kernel", "requests_served", pe));
-                    cluster.metrics.record(
-                        MetricKey::pe("kernel", "service_ns", pe),
-                        t0.elapsed().as_nanos() as u64,
-                    );
-                    // Fresh serve: child of the requester's root span, and
-                    // the response carries the serve span as the parent so
-                    // the requester's redemption links back to it.
-                    let resp_ctx = gm_ctx.map(|c| TraceCtx {
-                        trace: c.trace,
-                        parent: serve_span_id(c.parent, 0),
-                    });
-                    if let Some(c) = gm_ctx {
-                        let mut span = TraceSpanRec::new(
-                            TraceSpanKind::Serve,
-                            c.trace,
-                            serve_span_id(c.parent, 0),
-                            c.parent,
-                            pe,
-                            t_in_ns,
-                            cluster.now_ns(),
-                        );
-                        span.peer = from;
-                        span.bytes = resp.wire_len() as u64;
-                        span.seq = key.map(|k| k.1).unwrap_or(0);
-                        rec.push(span);
-                    }
-                    // Directory coherence for the ranges this serve wrote:
-                    // WI takes the sharers and gates the response on their
-                    // acks; RC leaves the leases in place and counts the
-                    // deferral (the replicas die at the holders' next
-                    // acquire).
-                    let mut invals: Vec<(NodeId, RegionId, u64, usize)> = Vec::new();
-                    if let Some(cs) = cache {
-                        let writer = NodeId(from as u16);
-                        let writes = std::mem::take(&mut hooks.writes);
-                        for (region, offset, len) in writes {
-                            if rc {
-                                if !cs.peek_holders(region, offset, len, writer).is_empty() {
-                                    cluster.metrics.incr(MetricKey::pe(
-                                        "kernel",
-                                        "rc_deferred_invals",
-                                        pe,
-                                    ));
-                                }
-                                continue;
-                            }
-                            let holders = cs.take_holders(region, offset, len, writer);
-                            if holders.is_empty() {
-                                continue;
-                            }
-                            cluster.metrics.incr(MetricKey::pe(
-                                "kernel",
-                                "invalidation_rounds",
-                                pe,
-                            ));
-                            cluster.metrics.add(
-                                MetricKey::pe("kernel", "cache_invalidations", pe),
-                                holders.len() as u64,
-                            );
-                            for h in holders {
-                                if h.0 as u32 == pe {
-                                    // Our own replica: apply the drop
-                                    // in-place, no wire round needed.
-                                    hooks.invalidated(region, offset, len);
-                                } else {
-                                    invals.push((h, region, offset, len));
-                                }
-                            }
-                        }
-                    }
-                    if invals.is_empty() {
-                        send(from, &resp, resp_ctx)?;
-                        if let Some(key) = key {
-                            served_cache.insert(key, resp);
-                        }
-                    } else {
-                        let gate_id = next_txn;
-                        let mut remaining = 0usize;
-                        for (h, region, offset, len) in invals {
-                            next_txn += 1;
-                            let txn = KERNEL_TXN_BASE | next_txn;
-                            inval_to_gate.insert(txn, gate_id);
-                            remaining += 1;
-                            send(
-                                h.0 as u32,
-                                &Message::GmInvalidate {
-                                    req: ReqId(txn),
-                                    region,
-                                    offset,
-                                    len: len as u32,
-                                },
-                                None,
-                            )?;
-                        }
-                        if let Some(key) = key {
-                            pending_gated.insert(key);
-                        }
-                        gates.insert(
-                            gate_id,
-                            WriteGate {
-                                remaining,
-                                resp,
-                                to: from,
-                                ctx: resp_ctx,
-                                key,
-                            },
-                        );
-                    }
-                }
-                Served::NotGm(msg) if is_app_bound(&msg) => {
-                    // Response or wakeup addressed to our application
-                    // thread; it may have exited already if the program is
-                    // erroneous, so delivery is best-effort. The wire trace
-                    // context travels along so the app thread can link its
-                    // redemption span to the remote serve.
-                    let _ = app_tx.send((msg, gm_ctx));
-                }
-                Served::NotGm(msg) => match msg {
-                    Message::GmInvalidateAck { req } => {
-                        if let Some(gate_id) = inval_to_gate.remove(&req.0) {
-                            // One of our write gates: the holder has
-                            // dropped its replica. Open the gate once the
-                            // last ack lands — only then does the writer
-                            // see its ack and only then does the response
-                            // become replayable for retransmits.
-                            let done = {
-                                let g = gates
-                                    .get_mut(&gate_id)
-                                    .expect("invalidation ack for an unknown gate");
-                                g.remaining -= 1;
-                                g.remaining == 0
-                            };
-                            if done {
-                                let g = gates.remove(&gate_id).unwrap();
-                                send(g.to, &g.resp, g.ctx)?;
-                                if let Some(key) = g.key {
-                                    pending_gated.remove(&key);
-                                    served_cache.insert(key, g.resp);
-                                }
-                            }
-                        } else {
-                            // An app-originated invalidation round (own-
-                            // node write): the ack belongs to our app
-                            // thread.
-                            let _ = app_tx.send((Message::GmInvalidateAck { req }, gm_ctx));
-                        }
-                    }
-                    Message::BarrierEnter { barrier, pid } => {
-                        let party = Party {
-                            pid,
-                            node: NodeId(from as u16),
-                            reply_to: from,
-                            req: ReqId(0),
-                        };
-                        barrier_open.entry(barrier).or_insert(t_in_ns);
-                        if let BarrierOutcome::Complete { epoch, waiters } =
-                            barriers.enter(barrier, party)
-                        {
-                            let release = Message::BarrierRelease { barrier, epoch };
-                            // One release span covers the whole round,
-                            // first enter to completion; its id is derived
-                            // from (barrier, epoch) so both runs of a seed
-                            // agree. Parent: the completing enter's wait
-                            // span (the enter that made the round whole).
-                            let span_id = barrier_span_id(barrier, epoch);
-                            let release_ctx = gm_ctx.map(|c| TraceCtx {
-                                trace: c.trace,
-                                parent: span_id,
-                            });
-                            for w in waiters {
-                                send(w.reply_to, &release, release_ctx)?;
-                            }
-                            send(from, &release, release_ctx)?;
-                            if let Some(c) = gm_ctx {
-                                let opened = barrier_open.remove(&barrier).unwrap_or(t_in_ns);
-                                let mut span = TraceSpanRec::new(
-                                    TraceSpanKind::BarrierRelease,
-                                    c.trace,
-                                    span_id,
-                                    c.parent,
-                                    pe,
-                                    opened,
-                                    cluster.now_ns(),
-                                );
-                                span.peer = from;
-                                span.seq = barrier as u64;
-                                rec.push(span);
-                            } else {
-                                barrier_open.remove(&barrier);
-                            }
-                        }
-                    }
-                    Message::LockReq { req, lock, pid } => {
-                        let party = Party {
-                            pid,
-                            node: NodeId(from as u16),
-                            reply_to: from,
-                            req,
-                        };
-                        match locks.acquire(lock, party) {
-                            LockOutcome::Granted => {
-                                let (ctx, grant) =
-                                    lock_grant_trace(gm_ctx, from, req.0, lock, t_in_ns);
-                                send(from, &Message::LockGrant { req, lock }, ctx)?;
-                                if let Some(mut span) = grant {
-                                    span.end_ns = cluster.now_ns();
-                                    span.pe = pe;
-                                    rec.push(span);
-                                }
-                            }
-                            LockOutcome::Queued => {
-                                lock_pend.insert((from, req.0), (gm_ctx, t_in_ns));
-                            }
-                        }
-                    }
-                    Message::UnlockReq { lock, pid } => {
-                        if let UnlockOutcome::Granted(next) = locks.release(lock, pid) {
-                            let (pend_ctx, queued_at) = lock_pend
-                                .remove(&(next.reply_to, next.req.0))
-                                .unwrap_or((None, t_in_ns));
-                            let (ctx, grant) = lock_grant_trace(
-                                pend_ctx,
-                                next.reply_to,
-                                next.req.0,
-                                lock,
-                                queued_at,
-                            );
-                            send(
-                                next.reply_to,
-                                &Message::LockGrant {
-                                    req: next.req,
-                                    lock,
-                                },
-                                ctx,
-                            )?;
-                            if let Some(mut span) = grant {
-                                span.end_ns = cluster.now_ns();
-                                span.pe = pe;
-                                rec.push(span);
-                            }
-                        }
-                    }
-                    Message::ExitNotice { .. } => {
-                        exited += 1;
-                        if exited == nprocs {
-                            for q in 0..nprocs as u32 {
-                                send(q, &Message::KernelShutdown, None)?;
-                            }
-                        }
-                    }
-                    Message::Telemetry {
-                        pe: src,
-                        seq,
-                        payload,
-                    } => {
-                        if let Some(agg) = agg.as_mut() {
-                            let now_ns = start.elapsed().as_nanos() as u64;
-                            match TelemetryDelta::decode(&payload) {
-                                Ok(delta) => agg.apply(src, seq, now_ns, &delta),
-                                Err(e) => {
-                                    // A corrupt delta is dropped and
-                                    // accounted as a sequence gap — the
-                                    // telemetry plane degrades, the run
-                                    // does not.
-                                    eprintln!(
-                                        "live kernel PE {pe}: dropping corrupt telemetry \
-                                         delta from PE {src} (seq {seq}): {e}"
-                                    );
-                                    cluster.metrics.incr(MetricKey::pe(
-                                        "kernel",
-                                        "telemetry_corrupt",
-                                        pe,
-                                    ));
-                                    agg.note_corrupt(src, seq, now_ns);
-                                }
-                            }
-                        }
-                    }
-                    Message::Abort {
-                        source,
-                        code,
-                        detail,
-                    } => {
-                        return Ok(KernelExit::Aborted(Message::Abort {
-                            source,
-                            code,
-                            detail,
-                        }));
-                    }
-                    Message::KernelShutdown => shutdown = true,
-                    other => panic!("live kernel PE {pe}: unexpected message {other:?}"),
-                },
-            }
+        let prog = task.poll(event);
+        if let Err(e) = flush_outbox(&mut task, transport.as_ref(), &app_tx) {
+            break Err(e);
         }
-        if let Some((interval, hook)) = watch.as_ref() {
-            if last_emit.elapsed() >= *interval {
-                last_emit = Instant::now();
-                let snap = cluster.metrics.snapshot();
-                // PE 0 forces an empty heartbeat so the aggregator's
-                // staleness clock keeps advancing on an idle cluster.
-                if let Some((seq, d)) = tracker.delta(&snap, &[], pe == 0) {
-                    // The aggregating PE may already be gone during
-                    // shutdown; a lost delta is healed by the final
-                    // absolute round.
-                    let _ = transport.send(
-                        0,
-                        &Message::Telemetry {
-                            pe,
-                            seq,
-                            payload: d.encode(),
-                        },
-                    );
-                }
-                if let Some(agg) = agg.as_ref() {
-                    hook(agg, start.elapsed().as_nanos() as u64);
-                }
-            }
+        match prog {
+            Progress::Pending => {}
+            Progress::Clean => break Ok(None),
+            Progress::Aborted(frame) => break Ok(Some(frame)),
         }
-        if shutdown {
-            return Ok(KernelExit::Clean);
-        }
-    }
+    };
+    finish_kernel(pe, cluster, transport.as_ref(), &app_tx, task, exit)
 }
 
 // ---------------------------------------------------------------------------
@@ -2648,6 +2112,22 @@ impl<'h> LiveRunner<'h> {
         self
     }
 
+    /// Which engine drives the per-PE kernels (see
+    /// [`LiveRunConfig::scheduler`]): `Threads` is the thread-per-PE
+    /// reference implementation, `Tasks` multiplexes every kernel on a
+    /// small worker pool so one process can run thousands of PEs.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.cfg.scheduler = kind;
+        self
+    }
+
+    /// Bound on a kernel's idle wait between events (see
+    /// [`LiveRunConfig::kernel_tick`]).
+    pub fn kernel_tick(mut self, tick: Duration) -> Self {
+        self.cfg.kernel_tick = Some(tick);
+        self
+    }
+
     /// Replace the whole configuration at once (for callers that already
     /// assembled a [`LiveRunConfig`]).
     pub fn config(mut self, cfg: LiveRunConfig) -> Self {
@@ -2695,86 +2175,6 @@ impl<'h> LiveRunner<'h> {
     }
 }
 
-/// Run `body` over `nprocs` PEs on the in-process channel transport.
-#[deprecated(note = "use LiveRunner::new(nprocs).run(body)")]
-pub fn run_live<F>(nprocs: usize, body: F) -> LiveRunResult
-where
-    F: Fn(&mut LiveCtx) + Send + Sync,
-{
-    LiveRunner::new(nprocs).run(body)
-}
-
-/// [`LiveRunner::run`] on an explicitly chosen transport.
-#[deprecated(note = "use LiveRunner::new(nprocs).transport(kind).run(body)")]
-pub fn run_live_on<F>(kind: TransportKind, nprocs: usize, body: F) -> LiveRunResult
-where
-    F: Fn(&mut LiveCtx) + Send + Sync,
-{
-    LiveRunner::new(nprocs).transport(kind).run(body)
-}
-
-/// [`LiveRunner::try_run`] with a pre-assembled configuration.
-#[deprecated(note = "use LiveRunner::new(nprocs).config(cfg).try_run(body)")]
-pub fn try_run_live<F>(
-    cfg: LiveRunConfig,
-    nprocs: usize,
-    body: F,
-) -> Result<LiveRunResult, RunError>
-where
-    F: Fn(&mut LiveCtx) + Send + Sync,
-{
-    LiveRunner::new(nprocs).config(cfg).try_run(body)
-}
-
-/// Watched run on the default configuration (see [`LiveRunner::watch`]).
-#[deprecated(note = "use LiveRunner::new(nprocs).watch(interval, &hook).run(body)")]
-pub fn run_live_watched<F, H>(nprocs: usize, interval: Duration, hook: H, body: F) -> LiveRunResult
-where
-    F: Fn(&mut LiveCtx) + Send + Sync,
-    H: Fn(&ClusterAggregator, u64) + Send + Sync,
-{
-    LiveRunner::new(nprocs).watch(interval, &hook).run(body)
-}
-
-/// Watched run on an explicitly chosen transport (see [`LiveRunner::watch`]).
-#[deprecated(note = "use LiveRunner::new(nprocs).transport(kind).watch(interval, &hook).run(body)")]
-pub fn run_live_watched_on<F, H>(
-    kind: TransportKind,
-    nprocs: usize,
-    interval: Duration,
-    hook: H,
-    body: F,
-) -> LiveRunResult
-where
-    F: Fn(&mut LiveCtx) + Send + Sync,
-    H: Fn(&ClusterAggregator, u64) + Send + Sync,
-{
-    LiveRunner::new(nprocs)
-        .transport(kind)
-        .watch(interval, &hook)
-        .run(body)
-}
-
-/// Watched run with a pre-assembled configuration and structured failure
-/// reporting (see [`LiveRunner::watch`] and [`LiveRunner::try_run`]).
-#[deprecated(note = "use LiveRunner::new(nprocs).config(cfg).watch(interval, &hook).try_run(body)")]
-pub fn try_run_live_watched<F, H>(
-    cfg: LiveRunConfig,
-    nprocs: usize,
-    interval: Duration,
-    hook: H,
-    body: F,
-) -> Result<LiveRunResult, RunError>
-where
-    F: Fn(&mut LiveCtx) + Send + Sync,
-    H: Fn(&ClusterAggregator, u64) + Send + Sync,
-{
-    LiveRunner::new(nprocs)
-        .config(cfg)
-        .watch(interval, &hook)
-        .try_run(body)
-}
-
 fn run_live_inner<F>(
     cfg: LiveRunConfig,
     nprocs: usize,
@@ -2805,18 +2205,15 @@ where
             }
         };
     let rollup = std::thread::scope(|scope| {
-        let mut kernel_handles = Vec::with_capacity(nprocs);
+        let mut kernel_inputs: Vec<sched::KernelInput> = Vec::with_capacity(nprocs);
         let mut app_handles = Vec::with_capacity(nprocs);
         for (pe, transport) in transports.iter().enumerate() {
-            let kernel_cluster = Arc::clone(&cluster);
             let app_cluster = Arc::clone(&cluster);
             let app_transport = Arc::clone(transport);
             let (app_tx, app_rx) = mpsc::channel();
-            kernel_handles.push(scope.spawn(move || {
-                live_kernel(pe as u32, &kernel_cluster, transport, app_tx, watch, start)
-            }));
+            kernel_inputs.push((pe as u32, Arc::clone(transport), app_tx));
             let body = &body;
-            app_handles.push(scope.spawn(move || {
+            let app_thread = move || {
                 let mut ctx = LiveCtx::new(pe as u32, app_cluster, app_transport, app_rx);
                 let out = catch_unwind(AssertUnwindSafe(|| {
                     body(&mut ctx);
@@ -2837,26 +2234,64 @@ where
                     }
                     resume_unwind(p);
                 }
-            }));
+            };
+            app_handles.push(match cluster.scheduler {
+                SchedulerKind::Threads => scope.spawn(app_thread),
+                // App bodies are blocking closures, so they keep dedicated
+                // threads under both schedulers — but at many-PE scale the
+                // default ~8 MiB stacks would dominate memory, so the task
+                // scheduler shrinks them.
+                SchedulerKind::Tasks => std::thread::Builder::new()
+                    .stack_size(sched::APP_STACK)
+                    .spawn_scoped(scope, app_thread)
+                    .expect("spawn app thread"),
+            });
         }
         // Kernels first: they stop only after a clean shutdown handshake
         // or a cluster abort, either of which also unblocks the apps.
         let mut trackers = Vec::with_capacity(nprocs);
         let mut agg = None;
         let mut propagate = None;
-        for h in kernel_handles {
-            match h.join() {
-                Ok((tracker, a)) => {
-                    trackers.push(tracker);
-                    agg = agg.or(a);
+        match cluster.scheduler {
+            SchedulerKind::Threads => {
+                let kernel_handles: Vec<_> = kernel_inputs
+                    .into_iter()
+                    .map(|(pe, transport, app_tx)| {
+                        let kernel_cluster = Arc::clone(&cluster);
+                        scope.spawn(move || {
+                            live_kernel(pe, &kernel_cluster, &transport, app_tx, watch, start)
+                        })
+                    })
+                    .collect();
+                for h in kernel_handles {
+                    match h.join() {
+                        Ok((tracker, a)) => {
+                            trackers.push(tracker);
+                            agg = agg.or(a);
+                        }
+                        Err(p) => {
+                            // A kernel *bug* (transport failures return
+                            // structured errors, they never unwind): latch
+                            // the abort so the rest of the cluster drains,
+                            // re-panic once every thread is down.
+                            cluster.abort.store(true, Ordering::Release);
+                            propagate.get_or_insert(p);
+                        }
+                    }
                 }
-                Err(p) => {
-                    // A kernel *bug* (transport failures return structured
-                    // errors, they never unwind): latch the abort so the
-                    // rest of the cluster drains, re-panic once every
-                    // thread is down.
-                    cluster.abort.store(true, Ordering::Release);
-                    propagate.get_or_insert(p);
+            }
+            SchedulerKind::Tasks => {
+                match sched::run_kernels(&cluster, kernel_inputs, watch, start) {
+                    Ok(results) => {
+                        for (tracker, a) in results {
+                            trackers.push(tracker);
+                            agg = agg.or(a);
+                        }
+                    }
+                    Err(p) => {
+                        cluster.abort.store(true, Ordering::Release);
+                        propagate.get_or_insert(p);
+                    }
                 }
             }
         }
@@ -3217,7 +2652,7 @@ mod tests {
             .collect();
         assert!(!reqs.is_empty(), "remote reads must open request spans");
         for rq in &reqs {
-            let serve_id = serve_span_id(rq.span, 0);
+            let serve_id = dse_kernel::task::serve_span_id(rq.span, 0);
             let serve = all
                 .iter()
                 .find(|s| s.kind == TraceSpanKind::Serve && s.span == serve_id)
@@ -3395,5 +2830,173 @@ mod tests {
             ctx.barrier();
         });
         assert!(r.trace_spans.iter().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn tasks_scheduler_runs_barriers_locks_and_gm() {
+        let total = AtomicU64::new(0);
+        LiveRunner::new(8)
+            .scheduler(SchedulerKind::Tasks)
+            .run(|ctx| {
+                let arr = GmArray::<u64>::alloc(ctx, 8, Distribution::Blocked);
+                arr.set(ctx, ctx.rank() as usize, ctx.rank() as u64 * 3);
+                ctx.barrier();
+                let all = arr.read(ctx, 0, 8);
+                assert_eq!(all, (0..8u64).map(|r| r * 3).collect::<Vec<_>>());
+                let c = GmCounter::alloc(ctx);
+                ctx.barrier();
+                loop {
+                    let j = c.next(ctx);
+                    if j >= 40 {
+                        break;
+                    }
+                    total.fetch_add(j as u64, Ordering::Relaxed);
+                }
+            });
+        assert_eq!(total.load(Ordering::Relaxed), (0..40u64).sum());
+    }
+
+    #[test]
+    fn tasks_scheduler_aborted_run_reports_failures() {
+        // Kill PE 1's endpoint mid-run under the task scheduler: the abort
+        // latch must drain the whole worker pool instead of hanging it.
+        let err = LiveRunner::new(3)
+            .scheduler(SchedulerKind::Tasks)
+            .fault_plan(FaultPlan::parse("seed=3,disconnect=1:8").unwrap())
+            .try_run(|ctx| {
+                let arr = GmArray::<u64>::alloc(ctx, 64, Distribution::Blocked);
+                for round in 0..200 {
+                    arr.set(ctx, (ctx.rank() as usize * 13 + round) % 64, round as u64);
+                    ctx.barrier();
+                }
+            })
+            .expect_err("a dead endpoint must fail the run");
+        assert!(!err.failures.is_empty());
+    }
+
+    // ----- LiveRunner builder edge cases -----
+
+    #[test]
+    fn builder_setters_round_trip_into_run_config() {
+        let hook = |_: &ClusterAggregator, _: u64| {};
+        let plan = FaultPlan::parse("seed=5,drop=10").unwrap();
+        let retry = RetryPolicy {
+            max_attempts: 9,
+            base_delay: Duration::from_millis(3),
+            max_delay: Duration::from_millis(30),
+        };
+        let r = LiveRunner::new(4)
+            .transport(TransportKind::Tcp)
+            .fault_plan(plan.clone())
+            .gm_retry(retry)
+            .flight_capacity(99)
+            .tracing(true)
+            .gm_cache(true)
+            .gm_mode(GmMode::ReleaseConsistency)
+            .scheduler(SchedulerKind::Tasks)
+            .kernel_tick(Duration::from_millis(7))
+            .watch(Duration::from_millis(40), &hook);
+        assert_eq!(r.cfg.kind, TransportKind::Tcp);
+        assert_eq!(r.cfg.fault_plan, Some(plan));
+        assert_eq!(r.cfg.gm_retry.max_attempts, 9);
+        assert_eq!(r.cfg.gm_retry.base_delay, Duration::from_millis(3));
+        assert_eq!(r.cfg.flight_capacity, 99);
+        assert!(r.cfg.tracing);
+        assert!(r.cfg.gm_cache);
+        assert_eq!(r.cfg.gm_mode, GmMode::ReleaseConsistency);
+        assert_eq!(r.cfg.scheduler, SchedulerKind::Tasks);
+        assert_eq!(r.cfg.kernel_tick, Some(Duration::from_millis(7)));
+        assert!(r.watch.is_some());
+        // `config` replaces the whole assembled configuration at once.
+        let r = r.config(LiveRunConfig::default());
+        assert_eq!(r.cfg.kind, TransportKind::Channel);
+        assert_eq!(r.cfg.scheduler, SchedulerKind::Threads);
+        assert_eq!(r.cfg.kernel_tick, None);
+    }
+
+    #[test]
+    fn kernel_tick_defaults_per_scheduler_and_overrides() {
+        let threads = LiveCluster::with_config(2, &LiveRunConfig::default());
+        assert_eq!(threads.kernel_tick, THREADS_TICK);
+        let tasks = LiveCluster::with_config(
+            2,
+            &LiveRunConfig {
+                scheduler: SchedulerKind::Tasks,
+                ..LiveRunConfig::default()
+            },
+        );
+        assert_eq!(tasks.kernel_tick, TASKS_TICK);
+        let explicit = LiveCluster::with_config(
+            2,
+            &LiveRunConfig {
+                kernel_tick: Some(Duration::from_millis(2)),
+                ..LiveRunConfig::default()
+            },
+        );
+        assert_eq!(explicit.kernel_tick, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn gm_mode_without_cache_is_inert() {
+        // Setting a coherence protocol while the cache is off must not
+        // change behavior: no directory, no leases, no invalidations.
+        let r = LiveRunner::new(3)
+            .gm_mode(GmMode::ReleaseConsistency)
+            .run(|ctx| {
+                let arr = GmArray::<u64>::alloc(ctx, 6, Distribution::Blocked);
+                arr.set(ctx, ctx.rank() as usize, 5);
+                ctx.barrier();
+                let _ = arr.read(ctx, 0, 6);
+                ctx.gm_release();
+                ctx.gm_acquire();
+            });
+        assert_eq!(r.metrics.counter_sum_over_pes("kernel", "dir_leases"), 0);
+        assert_eq!(r.metrics.counter_sum_over_pes("kernel", "dir_invals"), 0);
+        assert_eq!(
+            r.metrics
+                .counter_sum_over_pes("kernel", "rc_deferred_invals"),
+            0
+        );
+    }
+
+    #[test]
+    fn cache_with_write_invalidate_and_rc_both_run_clean() {
+        // The two legal gm_mode/gm_cache combinations both complete and
+        // agree on program results.
+        for mode in [GmMode::WriteInvalidate, GmMode::ReleaseConsistency] {
+            let r = LiveRunner::new(2).gm_cache(true).gm_mode(mode).run(|ctx| {
+                let arr = GmArray::<u64>::alloc(ctx, 4, Distribution::Blocked);
+                arr.set(ctx, ctx.rank() as usize, 11);
+                ctx.barrier();
+                ctx.gm_acquire();
+                let sum: u64 = arr.read(ctx, 0, 4).iter().sum();
+                assert_eq!(sum, 22);
+            });
+            assert!(r.metrics.counter_sum_over_pes("kernel", "requests_served") > 0);
+        }
+    }
+
+    #[test]
+    fn watch_composes_with_try_run() {
+        let ticks = AtomicU64::new(0);
+        let hook = |_: &ClusterAggregator, _: u64| {
+            ticks.fetch_add(1, Ordering::Relaxed);
+        };
+        let r = LiveRunner::new(2)
+            .watch(Duration::from_millis(5), &hook)
+            .try_run(|ctx| {
+                let c = GmCounter::alloc(ctx);
+                ctx.barrier();
+                while c.next(ctx) < 20 {}
+            })
+            .expect("watched try_run must succeed");
+        // The final absolute round always fires the hook at least once and
+        // produces a rollup that matches the registry.
+        assert!(ticks.load(Ordering::Relaxed) >= 1);
+        let rollup = r.telemetry_rollup.expect("watched run yields a rollup");
+        assert_eq!(
+            rollup.counter_sum_over_pes("kernel", "requests_served"),
+            r.metrics.counter_sum_over_pes("kernel", "requests_served")
+        );
     }
 }

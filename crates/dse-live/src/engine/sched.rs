@@ -1,0 +1,284 @@
+//! The task scheduler (`SchedulerKind::Tasks`): every PE's kernel as a
+//! poll-driven task multiplexed on a small worker pool.
+//!
+//! The threaded engine spends one OS thread per kernel blocking in `recv`;
+//! at 1,000+ PEs that is 1,000+ mostly-idle threads. Here the kernels are
+//! [`KernelTask`] state machines and a pool of `available_parallelism`
+//! workers sweeps them: each worker owns a static partition of the PEs and
+//! repeatedly (a) checks the cluster abort latch, (b) drains a bounded
+//! batch of ready messages per task via the non-blocking
+//! [`Transport::poll_recv`] readiness path, and (c) fires a
+//! [`KernelEvent::Tick`] when a task's timer deadline (telemetry emission,
+//! the idle heartbeat) is due. Nothing ever blocks on a single PE's
+//! socket, so one worker can serve hundreds of kernels.
+//!
+//! The drivers share everything with the threaded engine except the event
+//! delivery: the same state machine, the same `flush_outbox`, the same
+//! `finish_kernel` teardown — which is why the two schedulers produce
+//! bit-identical program results.
+//!
+//! App bodies remain blocking closures on dedicated threads (shrunk to
+//! [`APP_STACK`] stacks); only kernel work multiplexes.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dse_kernel::task::{abort_code, KernelEvent, KernelTask, Progress};
+use dse_msg::{Message, TraceCtx};
+use dse_obs::{ClusterAggregator, DeltaTracker};
+use dse_transport::Transport;
+
+use super::{finish_kernel, flush_outbox, LiveCluster, WatchSpec};
+use crate::error::FailureKind;
+
+/// One PE's kernel-side wiring: rank, transport endpoint, and the channel
+/// to its co-resident app thread.
+pub(crate) type KernelInput = (
+    u32,
+    Arc<dyn Transport>,
+    mpsc::Sender<(Message, Option<TraceCtx>)>,
+);
+
+/// Stack size for app threads under the task scheduler: the bodies are
+/// shallow SPMD loops, and a thousand default 8 MiB stacks would dwarf
+/// the run's actual working set.
+pub(crate) const APP_STACK: usize = 512 * 1024;
+
+/// Per-task bound on messages drained in one sweep visit, so one busy PE
+/// (PE 0 under coordination load) cannot starve its partition neighbors.
+const MAX_BATCH: usize = 32;
+
+/// Consecutive empty sweeps a worker spin-yields before it starts
+/// sleeping between sweeps.
+const SPIN_SWEEPS: u32 = 50;
+
+/// Sleep between sweeps once a worker has gone idle: long enough to stop
+/// burning a core, short enough to keep request latency well under the
+/// kernel tick.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// What each kernel hands back at teardown: its telemetry delta tracker
+/// and, for a watched PE 0, the cluster aggregator.
+type KernelOutput = (DeltaTracker, Option<ClusterAggregator>);
+
+/// One kernel task being driven by a worker.
+struct Slot<'a> {
+    pe: u32,
+    transport: Arc<dyn Transport>,
+    app_tx: mpsc::Sender<(Message, Option<TraceCtx>)>,
+    task: KernelTask<'a>,
+    /// When the task next wants a `Tick`.
+    deadline: Instant,
+    /// Set once the task is finished (clean, aborted, or failed).
+    exit: Option<Result<Option<Message>, FailureKind>>,
+}
+
+/// Drive every kernel in `inputs` to completion on a worker pool. Returns
+/// the per-PE `(tracker, aggregator)` results in rank order, or the first
+/// panic payload after the whole cluster has drained (mirroring the
+/// threaded engine's join-then-rethrow discipline).
+pub(crate) fn run_kernels(
+    cluster: &LiveCluster,
+    inputs: Vec<KernelInput>,
+    watch: Option<WatchSpec<'_>>,
+    start: Instant,
+) -> Result<Vec<KernelOutput>, Box<dyn Any + Send>> {
+    let nworkers = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(inputs.len())
+        .max(1);
+    // Static round-robin partition: contiguous ranks land on different
+    // workers, so the coordinator (PE 0) shares its worker with as few
+    // hot neighbors as possible.
+    let mut parts: Vec<Vec<KernelInput>> = (0..nworkers).map(|_| Vec::new()).collect();
+    for (i, input) in inputs.into_iter().enumerate() {
+        parts[i % nworkers].push(input);
+    }
+    let joined: Vec<Result<Vec<(u32, KernelOutput)>, _>> = thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(w, part)| {
+                thread::Builder::new()
+                    .name(format!("dse-sched-{w}"))
+                    .spawn_scoped(s, move || worker_loop(cluster, part, watch, start))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    let mut out = Vec::new();
+    let mut propagate: Option<Box<dyn Any + Send>> = None;
+    for r in joined {
+        match r {
+            Ok(items) => out.extend(items),
+            Err(p) => {
+                cluster.abort.store(true, Ordering::Release);
+                propagate.get_or_insert(p);
+            }
+        }
+    }
+    if let Some(p) = propagate {
+        return Err(p);
+    }
+    out.sort_by_key(|(pe, _)| *pe);
+    Ok(out.into_iter().map(|(_, output)| output).collect())
+}
+
+/// One worker: sweep the partition's tasks until every one has exited,
+/// then tear each down through the shared `finish_kernel` path. A panic
+/// inside a task poll latches the cluster abort, lets the rest of the
+/// partition drain through their abort-latch exits, and only then
+/// re-raises — so the cluster never hangs on a dead coordinator.
+fn worker_loop<'e>(
+    cluster: &'e LiveCluster,
+    part: Vec<KernelInput>,
+    watch: Option<WatchSpec<'e>>,
+    start: Instant,
+) -> Vec<(u32, KernelOutput)> {
+    let mut slots: Vec<Slot<'e>> = part
+        .into_iter()
+        .map(|(pe, transport, app_tx)| {
+            let task = KernelTask::new(
+                cluster.kernel_env(pe, start),
+                watch,
+                cluster.kernel_tick,
+                cluster.tracing,
+            );
+            let deadline = task.deadline();
+            Slot {
+                pe,
+                transport,
+                app_tx,
+                task,
+                deadline,
+                exit: None,
+            }
+        })
+        .collect();
+    let mut panic_payload: Option<Box<dyn Any + Send>> = None;
+    let mut idle_sweeps = 0u32;
+    while slots.iter().any(|s| s.exit.is_none()) {
+        let mut progressed = false;
+        for slot in slots.iter_mut() {
+            if slot.exit.is_some() {
+                continue;
+            }
+            match catch_unwind(AssertUnwindSafe(|| step(cluster, slot))) {
+                Ok(p) => progressed |= p,
+                Err(p) => {
+                    // The task's protocol state is gone; the cluster can
+                    // only abort. Mark this slot aborted so its teardown
+                    // still shuts the endpoint down and wakes its app.
+                    cluster.abort.store(true, Ordering::Release);
+                    slot.exit = Some(Ok(Some(Message::Abort {
+                        source: slot.pe,
+                        code: abort_code::GENERIC,
+                        detail: b"kernel task panicked".to_vec(),
+                    })));
+                    panic_payload.get_or_insert(p);
+                    progressed = true;
+                }
+            }
+        }
+        if progressed {
+            idle_sweeps = 0;
+        } else {
+            idle_sweeps += 1;
+            if idle_sweeps < SPIN_SWEEPS {
+                thread::yield_now();
+            } else {
+                thread::sleep(IDLE_SLEEP);
+            }
+        }
+    }
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            let exit = slot.exit.expect("loop exits only when every slot has");
+            let output = finish_kernel(
+                slot.pe,
+                cluster,
+                slot.transport.as_ref(),
+                &slot.app_tx,
+                slot.task,
+                exit,
+            );
+            (slot.pe, output)
+        })
+        .collect();
+    if let Some(p) = panic_payload {
+        resume_unwind(p);
+    }
+    results
+}
+
+/// One sweep visit to one live task: abort latch, then a bounded batch of
+/// ready messages, then the timer. Returns whether any event was
+/// consumed. Sets `slot.exit` when the task finishes.
+fn step(cluster: &LiveCluster, slot: &mut Slot<'_>) -> bool {
+    if cluster.aborting() {
+        match slot.task.poll(KernelEvent::AbortLatch) {
+            Progress::Aborted(frame) => slot.exit = Some(Ok(Some(frame))),
+            _ => unreachable!("abort latch poll is terminal"),
+        }
+        return true;
+    }
+    let mut progressed = false;
+    for _ in 0..MAX_BATCH {
+        match slot.transport.poll_recv() {
+            Ok(Some(env)) => {
+                progressed = true;
+                if drive(
+                    slot,
+                    KernelEvent::Message {
+                        from: env.from,
+                        msg: env.msg,
+                        ctx: env.ctx,
+                    },
+                ) {
+                    return true;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                slot.exit = Some(Err(FailureKind::Transport(e)));
+                return true;
+            }
+        }
+    }
+    if Instant::now() >= slot.deadline {
+        progressed = true;
+        if drive(slot, KernelEvent::Tick) {
+            return true;
+        }
+    }
+    progressed
+}
+
+/// Feed one event, flush the outbox, refresh the timer. Returns true when
+/// the slot reached a terminal state.
+fn drive(slot: &mut Slot<'_>, event: KernelEvent) -> bool {
+    let prog = slot.task.poll(event);
+    if let Err(e) = flush_outbox(&mut slot.task, slot.transport.as_ref(), &slot.app_tx) {
+        slot.exit = Some(Err(e));
+        return true;
+    }
+    slot.deadline = slot.task.deadline();
+    match prog {
+        Progress::Pending => false,
+        Progress::Clean => {
+            slot.exit = Some(Ok(None));
+            true
+        }
+        Progress::Aborted(frame) => {
+            slot.exit = Some(Ok(Some(frame)));
+            true
+        }
+    }
+}

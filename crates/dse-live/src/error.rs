@@ -129,13 +129,9 @@ impl fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
-/// `Abort` frame `code` values used by the live engine.
-pub(crate) mod abort_code {
-    /// Abort relayed or triggered without a more specific cause.
-    pub const GENERIC: u32 = 0;
-    /// A transport send/receive failed.
-    pub const TRANSPORT: u32 = 1;
-}
+// `Abort` frame `code` values moved into the kernel with the task state
+// machine; the live engine shares them.
+pub(crate) use dse_kernel::task::abort_code;
 
 #[cfg(test)]
 mod tests {

@@ -11,12 +11,7 @@
 mod engine;
 mod error;
 
-pub use dse_kernel::GmMode;
+pub use dse_kernel::{GmMode, SchedulerKind};
 pub use dse_transport::{FaultPlan, RetryPolicy};
-#[allow(deprecated)]
-pub use engine::{
-    run_live, run_live_on, run_live_watched, run_live_watched_on, try_run_live,
-    try_run_live_watched,
-};
 pub use engine::{LiveCluster, LiveCtx, LiveRunConfig, LiveRunResult, LiveRunner, TransportKind};
 pub use error::{FailureKind, FailureRole, PeFailure, RunError};

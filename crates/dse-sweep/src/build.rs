@@ -6,7 +6,7 @@
 //! compute. Keeping the mapping here means a new axis value lands in the
 //! CLI and the sweep harness at the same time — they cannot drift.
 
-use dse_kernel::{DseConfig, GmMode, Organization, TelemetryConfig};
+use dse_kernel::{DseConfig, GmMode, Organization, SchedulerKind, TelemetryConfig};
 use dse_live::{FaultPlan, LiveRunConfig, TransportKind};
 use dse_net::Protocol;
 use dse_platform::Platform;
@@ -125,6 +125,11 @@ pub fn check_gm_mode(name: &str) -> Result<GmMode, String> {
     }
 }
 
+/// Validate a kernel-scheduler name (`threads` | `tasks`, live engine).
+pub fn check_scheduler(name: &str) -> Result<SchedulerKind, String> {
+    SchedulerKind::parse(name).ok_or_else(|| format!("scheduler '{name}' is not threads or tasks"))
+}
+
 /// Resolve a platform preset id.
 pub fn platform_by_id(id: &str) -> Result<Platform, String> {
     Platform::by_id(id).ok_or_else(|| format!("unknown platform '{id}'"))
@@ -229,9 +234,11 @@ pub fn build_live(
     seed: Option<u64>,
     cache: bool,
     gm_mode: &str,
+    scheduler: &str,
 ) -> Result<LiveRunConfig, String> {
     let kind = transport_kind(transport)?;
     let gm_mode = check_gm_mode(gm_mode)?;
+    let scheduler = check_scheduler(scheduler)?;
     let fault_plan = match fault_plan.filter(|s| !s.is_empty()) {
         None => None,
         Some(spec) => {
@@ -249,6 +256,7 @@ pub fn build_live(
         fault_plan,
         gm_cache: cache,
         gm_mode,
+        scheduler,
         ..LiveRunConfig::default()
     })
 }
@@ -344,22 +352,40 @@ mod tests {
 
     #[test]
     fn live_seed_injected_only_when_plan_has_none() {
-        let cfg = build_live("channel", Some("drop=10"), Some(7), false, "wi").unwrap();
+        let cfg = build_live("channel", Some("drop=10"), Some(7), false, "wi", "threads").unwrap();
         let with_seed = FaultPlan::parse("seed=7,drop=10").unwrap();
         assert_eq!(cfg.fault_plan, Some(with_seed));
-        let cfg = build_live("channel", Some("seed=3,drop=10"), Some(7), false, "wi").unwrap();
+        let cfg = build_live(
+            "channel",
+            Some("seed=3,drop=10"),
+            Some(7),
+            false,
+            "wi",
+            "threads",
+        )
+        .unwrap();
         assert_eq!(
             cfg.fault_plan,
             Some(FaultPlan::parse("seed=3,drop=10").unwrap())
         );
-        let cfg = build_live("channel", None, Some(7), false, "wi").unwrap();
+        let cfg = build_live("channel", None, Some(7), false, "wi", "threads").unwrap();
         assert!(cfg.fault_plan.is_none());
-        let cfg = build_live("tcp", Some(""), None, true, "rc").unwrap();
+        let cfg = build_live("tcp", Some(""), None, true, "rc", "threads").unwrap();
         assert!(cfg.fault_plan.is_none());
         assert_eq!(cfg.kind, TransportKind::Tcp);
         assert!(cfg.gm_cache);
         assert_eq!(cfg.gm_mode, GmMode::ReleaseConsistency);
-        assert!(build_live("tcp", None, None, true, "moesi").is_err());
+        assert!(build_live("tcp", None, None, true, "moesi", "threads").is_err());
+    }
+
+    #[test]
+    fn scheduler_names_validate_and_build() {
+        assert_eq!(check_scheduler("threads").unwrap(), SchedulerKind::Threads);
+        assert_eq!(check_scheduler("tasks").unwrap(), SchedulerKind::Tasks);
+        assert!(check_scheduler("fibers").is_err());
+        let cfg = build_live("channel", None, None, false, "wi", "tasks").unwrap();
+        assert_eq!(cfg.scheduler, SchedulerKind::Tasks);
+        assert!(build_live("channel", None, None, false, "wi", "fibers").is_err());
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub struct RunRecord {
     pub app: String,
     pub engine: String,
     pub transport: String,
+    pub scheduler: String,
     pub platform: String,
     pub procs: usize,
     pub gm_window: usize,
@@ -105,10 +106,10 @@ pub struct RunRecord {
 }
 
 /// CSV header matching [`RunRecord::to_csv_line`].
-pub const CSV_HEADER: &str = "idx,cell,scenario,app,engine,transport,platform,procs,gm_window,\
-cache,gm_mode,fault_plan,seed,status,note,wall_ns,virtual_ns,events,gm_ops,gm_request_msgs,\
-retries,p50_ns,p99_ns,p999_ns,blame_compute_ns,blame_serve_ns,blame_net_ns,blame_retry_ns,\
-blame_barrier_ns,blame_lock_ns";
+pub const CSV_HEADER: &str = "idx,cell,scenario,app,engine,transport,scheduler,platform,procs,\
+gm_window,cache,gm_mode,fault_plan,seed,status,note,wall_ns,virtual_ns,events,gm_ops,\
+gm_request_msgs,retries,p50_ns,p99_ns,p999_ns,blame_compute_ns,blame_serve_ns,blame_net_ns,\
+blame_retry_ns,blame_barrier_ns,blame_lock_ns";
 
 impl RunRecord {
     /// A failure row for a run that produced no metrics.
@@ -120,6 +121,7 @@ impl RunRecord {
             app: spec.app.clone(),
             engine: spec.engine.clone(),
             transport: spec.transport.clone(),
+            scheduler: spec.scheduler.clone(),
             platform: spec.platform.clone(),
             procs: spec.procs,
             gm_window: spec.gm_window,
@@ -152,7 +154,8 @@ impl RunRecord {
         format!(
             concat!(
                 "{{\"idx\":{},\"cell\":\"{}\",\"scenario\":\"{}\",\"app\":\"{}\",",
-                "\"engine\":\"{}\",\"transport\":\"{}\",\"platform\":\"{}\",\"procs\":{},",
+                "\"engine\":\"{}\",\"transport\":\"{}\",\"scheduler\":\"{}\",",
+                "\"platform\":\"{}\",\"procs\":{},",
                 "\"gm_window\":{},\"cache\":{},\"gm_mode\":\"{}\",\"fault_plan\":\"{}\",\"seed\":{},",
                 "\"status\":\"{}\",\"note\":\"{}\",\"wall_ns\":{},\"virtual_ns\":{},",
                 "\"events\":{},\"gm_ops\":{},\"gm_request_msgs\":{},\"retries\":{},",
@@ -166,6 +169,7 @@ impl RunRecord {
             json::escape(&self.app),
             json::escape(&self.engine),
             json::escape(&self.transport),
+            json::escape(&self.scheduler),
             json::escape(&self.platform),
             self.procs,
             self.gm_window,
@@ -225,13 +229,14 @@ impl RunRecord {
             }
         };
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.idx,
             csv(&self.cell),
             csv(&self.scenario),
             csv(&self.app),
             self.engine,
             self.transport,
+            self.scheduler,
             self.platform,
             self.procs,
             self.gm_window,
@@ -274,13 +279,21 @@ impl RunRecord {
                 .ok_or_else(|| format!("row missing numeric field '{key}'"))
         };
         let status_name = s("status")?;
+        let engine = s("engine")?;
         Ok(RunRecord {
             idx: n("idx")? as usize,
             cell: s("cell")?,
             scenario: s("scenario")?,
             app: s("app")?,
-            engine: s("engine")?,
             transport: s("transport")?,
+            // Rows written before the scheduler axis existed all ran the
+            // thread-per-PE engine; sim rows leave the field empty.
+            scheduler: v
+                .get("scheduler")
+                .and_then(Value::as_str)
+                .unwrap_or(if engine == "live" { "threads" } else { "" })
+                .to_string(),
+            engine,
             platform: s("platform")?,
             procs: n("procs")? as usize,
             gm_window: n("gm_window")? as usize,
@@ -452,6 +465,7 @@ fn execute_live(spec: &RunSpec, app: AppKind) -> RunRecord {
         Some(spec.seed),
         spec.cache,
         &spec.gm_mode,
+        &spec.scheduler,
     ) {
         Ok(cfg) => cfg,
         Err(e) => return RunRecord::failed(spec, RunStatus::Error, e),
@@ -586,6 +600,26 @@ mod tests {
         assert!(parts > 0, "blame columns must be populated on live rows");
         assert!(row.blame_compute_ns > 0);
         assert!(row.p999_ns >= row.p99_ns);
+    }
+
+    #[test]
+    fn live_tasks_scheduler_row_and_legacy_parse_default() {
+        let spec = parse_spec(
+            "[[scenario]]\nname = \"l\"\napp = \"matmul\"\nengine = \"live\"\nprocs = [2]\n\
+             n = 16\nscheduler = \"tasks\"\n",
+        )
+        .unwrap();
+        let rs = expand(&spec).remove(0);
+        assert_eq!(rs.cell_id(), "l.matmul.live.channel.tasks.p2");
+        let row = execute_run(&rs);
+        assert_eq!(row.status, RunStatus::Ok, "{}", row.note);
+        assert_eq!(row.scheduler, "tasks");
+        assert!(row.gm_ops > 0);
+        // Rows serialized before the scheduler axis existed parse with the
+        // scheduler those rows actually ran under.
+        let legacy = row.to_json_line().replace("\"scheduler\":\"tasks\",", "");
+        let back = RunRecord::from_json_line(&legacy).unwrap();
+        assert_eq!(back.scheduler, "threads");
     }
 
     #[test]

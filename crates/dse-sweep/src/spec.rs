@@ -3,16 +3,17 @@
 //!
 //! A spec is a `[sweep]` header plus one or more `[[scenario]]` blocks.
 //! Every scenario field that names an axis (`app`, `engine`, `transport`,
-//! `platform`, `procs`, `gm_window`, `cache`, `gm_mode`, `fault_plan`)
-//! accepts either a scalar or an array; scalars are normalized to
-//! one-element arrays.
+//! `platform`, `procs`, `gm_window`, `cache`, `gm_mode`, `fault_plan`,
+//! `scheduler`) accepts either a scalar or an array; scalars are
+//! normalized to one-element arrays.
 //! Expansion is the Cartesian product of the axes with the seed list,
 //! ordered exactly as written — the run index is stable, which is what
 //! lets a subprocess re-derive its own `RunSpec` from `(spec file, index)`.
 //!
 //! Engine-specific axes follow the same rules `dse-run` enforces on flags:
-//! `transport`/`fault_plan` only vary live runs, `platform`/`gm_window`
-//! only vary simulated runs; `cache` and `gm_mode` apply to both engines.
+//! `transport`/`fault_plan`/`scheduler` only vary live runs,
+//! `platform`/`gm_window` only vary simulated runs; `cache` and `gm_mode`
+//! apply to both engines.
 //! An axis that does not apply to the engine being expanded is pinned to
 //! its neutral value rather than multiplied, so a mixed
 //! `engine = ["sim", "live"]` scenario produces no meaningless duplicate
@@ -50,6 +51,9 @@ pub struct Scenario {
     pub engines: Vec<String>,
     /// Live-engine wire transports (axis; ignored for sim runs).
     pub transports: Vec<String>,
+    /// Live-engine kernel schedulers, `threads` | `tasks` (axis; ignored
+    /// for sim runs).
+    pub schedulers: Vec<String>,
     /// Simulated platform presets (axis; ignored for live runs).
     pub platforms: Vec<String>,
     /// PE counts (axis).
@@ -84,6 +88,7 @@ impl Default for Scenario {
             apps: vec!["gauss".into()],
             engines: vec!["sim".into()],
             transports: vec!["channel".into()],
+            schedulers: vec!["threads".into()],
             platforms: vec!["sunos".into()],
             procs: vec![4],
             gm_windows: vec![0],
@@ -113,6 +118,8 @@ pub struct RunSpec {
     pub engine: String,
     /// Live transport (`""` on sim runs).
     pub transport: String,
+    /// Live kernel scheduler, `threads` | `tasks` (`""` on sim runs).
+    pub scheduler: String,
     /// Simulated platform id (`""` on live runs).
     pub platform: String,
     /// PE count.
@@ -168,6 +175,11 @@ impl RunSpec {
             };
             if self.cache {
                 v.push_str(".c1");
+            }
+            // The task scheduler suffixes the id only when selected, so
+            // pre-scheduler baselines keep their cell keys.
+            if !self.scheduler.is_empty() && self.scheduler != "threads" {
+                v.push_str(&format!(".{}", self.scheduler));
             }
             v
         };
@@ -277,6 +289,7 @@ const SCENARIO_KEYS: &[&str] = &[
     "app",
     "engine",
     "transport",
+    "scheduler",
     "platform",
     "procs",
     "gm_window",
@@ -351,6 +364,7 @@ pub fn parse_spec(src: &str) -> Result<SweepSpec, String> {
             apps: str_list(t, "app")?.unwrap_or(d.apps),
             engines: str_list(t, "engine")?.unwrap_or(d.engines),
             transports: str_list(t, "transport")?.unwrap_or(d.transports),
+            schedulers: str_list(t, "scheduler")?.unwrap_or(d.schedulers),
             platforms: str_list(t, "platform")?.unwrap_or(d.platforms),
             procs: usize_list(t, "procs")?.unwrap_or(d.procs),
             gm_windows: usize_list(t, "gm_window")?.unwrap_or(d.gm_windows),
@@ -397,6 +411,9 @@ fn validate_scenario(what: &str, sc: &Scenario) -> Result<(), String> {
     for tr in &sc.transports {
         build::transport_kind(tr).map_err(|e| format!("{what}: {e}"))?;
     }
+    for sched in &sc.schedulers {
+        build::check_scheduler(sched).map_err(|e| format!("{what}: {e}"))?;
+    }
     for p in &sc.platforms {
         build::platform_by_id(p).map_err(|e| format!("{what}: {e}"))?;
     }
@@ -442,6 +459,7 @@ pub fn expand(spec: &SweepSpec) -> Vec<RunSpec> {
         let push = |app: &str,
                     engine: &str,
                     transport: &str,
+                    scheduler: &str,
                     platform: &str,
                     gm_window: usize,
                     cache: bool,
@@ -456,6 +474,7 @@ pub fn expand(spec: &SweepSpec) -> Vec<RunSpec> {
                 app: app.to_string(),
                 engine: engine.to_string(),
                 transport: transport.to_string(),
+                scheduler: scheduler.to_string(),
                 platform: platform.to_string(),
                 procs,
                 machines: sc.machines,
@@ -491,8 +510,8 @@ pub fn expand(spec: &SweepSpec) -> Vec<RunSpec> {
                                     for procs in &sc.procs {
                                         for seed in seeds {
                                             push(
-                                                app, engine, "", platform, *window, *cache, mode,
-                                                "", *procs, *seed, &mut runs,
+                                                app, engine, "", "", platform, *window, *cache,
+                                                mode, "", *procs, *seed, &mut runs,
                                             );
                                         }
                                     }
@@ -502,15 +521,17 @@ pub fn expand(spec: &SweepSpec) -> Vec<RunSpec> {
                     }
                 } else {
                     for transport in &sc.transports {
-                        for cache in &sc.caches {
-                            for mode in modes_for(*cache) {
-                                for plan in &sc.fault_plans {
-                                    for procs in &sc.procs {
-                                        for seed in seeds {
-                                            push(
-                                                app, engine, transport, "", 0, *cache, mode, plan,
-                                                *procs, *seed, &mut runs,
-                                            );
+                        for scheduler in &sc.schedulers {
+                            for cache in &sc.caches {
+                                for mode in modes_for(*cache) {
+                                    for plan in &sc.fault_plans {
+                                        for procs in &sc.procs {
+                                            for seed in seeds {
+                                                push(
+                                                    app, engine, transport, scheduler, "", 0,
+                                                    *cache, mode, plan, *procs, *seed, &mut runs,
+                                                );
+                                            }
                                         }
                                     }
                                 }
@@ -558,6 +579,7 @@ impl SweepSpec {
             out.push_str(&format!("app = {}\n", toml_str_array(&sc.apps)));
             out.push_str(&format!("engine = {}\n", toml_str_array(&sc.engines)));
             out.push_str(&format!("transport = {}\n", toml_str_array(&sc.transports)));
+            out.push_str(&format!("scheduler = {}\n", toml_str_array(&sc.schedulers)));
             out.push_str(&format!("platform = {}\n", toml_str_array(&sc.platforms)));
             out.push_str(&format!("procs = {}\n", toml_usize_array(&sc.procs)));
             out.push_str(&format!(
@@ -741,6 +763,35 @@ n = 64
                 "m.matmul.live.channel.c1.rc.p2"
             ]
         );
+    }
+
+    #[test]
+    fn scheduler_axis_validates_pins_and_suffixes() {
+        // Unknown schedulers fail at parse time.
+        let err = parse_spec("[[scenario]]\nscheduler = \"fibers\"").unwrap_err();
+        assert!(err.contains("not threads or tasks"), "{err}");
+        // The axis only multiplies live runs; sim cells are unchanged and
+        // only the non-default value suffixes the id, so pre-scheduler
+        // baseline keys survive.
+        let spec = parse_spec(
+            "[[scenario]]\nname = \"s\"\napp = \"matmul\"\nengine = [\"sim\", \"live\"]\n\
+             procs = [2]\nn = 16\nscheduler = [\"threads\", \"tasks\"]\n",
+        )
+        .unwrap();
+        let runs = expand(&spec);
+        let cells: Vec<String> = runs.iter().map(RunSpec::cell_id).collect();
+        assert_eq!(
+            cells,
+            vec![
+                "s.matmul.sim.sunos.w0.c0.p2",
+                "s.matmul.live.channel.p2",
+                "s.matmul.live.channel.tasks.p2",
+            ]
+        );
+        assert!(runs
+            .iter()
+            .filter(|r| r.engine == "sim")
+            .all(|r| r.scheduler.is_empty()));
     }
 
     #[test]

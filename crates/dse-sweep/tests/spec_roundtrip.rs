@@ -25,7 +25,7 @@ fn scenario() -> impl Strategy<Value = Scenario> {
     let axes = (
         subset(&["gauss", "gauss-mp", "dct", "othello", "matmul", "knights"]),
         subset(&["sim", "live"]),
-        subset(&["channel", "tcp"]),
+        (subset(&["channel", "tcp"]), subset(&["threads", "tasks"])),
         subset(&["sunos", "aix", "linux"]),
         vec(1usize..9, 1..3),
         vec(0usize..8, 1..3),
@@ -57,7 +57,7 @@ fn scenario() -> impl Strategy<Value = Scenario> {
         1usize..20,
     );
     (any::<u64>(), axes, variants, extras).prop_map(|(tag, axes, variants, extras)| {
-        let (mut apps, engines, transports, platforms, procs, gm_windows) = axes;
+        let (mut apps, engines, (transports, schedulers), platforms, procs, gm_windows) = axes;
         let ((caches, gm_modes), fault_plans, seeds, machines, organization, protocol) = variants;
         let (timeout_ms, n, block, size, depth, jobs) = extras;
         // gauss-mp is sim-only; keep the generated spec valid.
@@ -72,6 +72,7 @@ fn scenario() -> impl Strategy<Value = Scenario> {
             apps,
             engines,
             transports,
+            schedulers,
             platforms,
             procs,
             gm_windows,
@@ -148,7 +149,7 @@ proptest! {
                 let variants = if engine == "sim" {
                     sc.platforms.len() * sc.gm_windows.len() * cache_modes
                 } else {
-                    sc.transports.len() * sc.fault_plans.len() * cache_modes
+                    sc.transports.len() * sc.schedulers.len() * sc.fault_plans.len() * cache_modes
                 };
                 want += sc.apps.len() * variants * sc.procs.len() * seeds;
             }

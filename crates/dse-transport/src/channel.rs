@@ -79,6 +79,12 @@ impl Transport for ChannelTransport {
         self.mux.recv_via(self.inbox(), timeout)
     }
 
+    fn poll_recv(&self) -> Result<Option<Envelope>, TransportError> {
+        // The trait default (zero-timeout recv) would never ingest queued
+        // frames here — recv_via's deadline check precedes the inbox pop.
+        self.mux.poll_via(self.inbox())
+    }
+
     fn shutdown(&self) {
         // Announce Bye to every peer, then close our own inbox so a
         // blocked `recv` wakes with `Closed` once drained.
@@ -178,6 +184,26 @@ mod tests {
         assert_eq!(e1.ctx, Some(ctx));
         assert_eq!((e1.seq, e2.seq), (0, 1)); // one seq space for both kinds
         assert_eq!(e2.ctx, None);
+    }
+
+    #[test]
+    fn poll_recv_pops_queued_frames_without_waiting() {
+        let mut cluster = ChannelTransport::cluster(2);
+        let b = cluster.pop().unwrap();
+        let a = cluster.pop().unwrap();
+        assert_eq!(b.poll_recv().unwrap(), None);
+        a.send(1, &msg(1)).unwrap();
+        a.send(1, &msg(2)).unwrap();
+        // Both frames are queued but undecoded: poll must ingest them.
+        let e1 = b.poll_recv().unwrap().unwrap();
+        let e2 = b.poll_recv().unwrap().unwrap();
+        assert_eq!((e1.msg, e2.msg), (msg(1), msg(2)));
+        assert_eq!(b.poll_recv().unwrap(), None);
+        // Drain-then-closed, same as recv.
+        a.send(1, &msg(3)).unwrap();
+        b.shutdown();
+        assert_eq!(b.poll_recv().unwrap().unwrap().msg, msg(3));
+        assert_eq!(b.poll_recv(), Err(TransportError::Closed));
     }
 
     #[test]

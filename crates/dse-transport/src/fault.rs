@@ -282,6 +282,12 @@ impl Transport for FaultyTransport {
         self.inner.recv(timeout)
     }
 
+    fn poll_recv(&self) -> Result<Option<Envelope>, TransportError> {
+        // Faults are injected on the send side; receive is a passthrough,
+        // so forward to the inner backend's (possibly overridden) poll.
+        self.inner.poll_recv()
+    }
+
     fn shutdown(&self) {
         self.inner.shutdown();
     }

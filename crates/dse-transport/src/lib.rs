@@ -86,6 +86,17 @@ pub trait Transport: Send + Sync {
     /// `Ok(None)` means the timeout elapsed with nothing to deliver.
     fn recv(&self, timeout: Option<Duration>) -> Result<Option<Envelope>, TransportError>;
 
+    /// Non-blocking receive: return an already-available message or
+    /// `Ok(None)` immediately, never waiting. This is the readiness path
+    /// the task scheduler sweeps — it must be cheap when idle and must
+    /// deliver any message a blocking [`recv`](Transport::recv) would have
+    /// found ready. The default delegates to a zero-timeout `recv`, which
+    /// is correct for backends whose zero-timeout `recv` still pops an
+    /// available item (backends where it does not must override this).
+    fn poll_recv(&self) -> Result<Option<Envelope>, TransportError> {
+        self.recv(Some(Duration::ZERO))
+    }
+
     /// Announce clean shutdown to all peers (`Bye` handshake) and release
     /// the endpoint. After this, `recv` drains already-delivered messages
     /// and then reports [`TransportError::Closed`].

@@ -261,4 +261,30 @@ impl FrameMux {
             }
         }
     }
+
+    /// Non-blocking receive: drain whatever the inbox already holds into
+    /// the decoder and pop one envelope if any is ready. Never waits.
+    /// (`recv_via` with a zero timeout is *not* equivalent — its deadline
+    /// check fires before the inbox pop, so queued-but-undecoded frames
+    /// would never be ingested.)
+    pub fn poll_via(
+        &self,
+        inbox: &BlockingQueue<(u32, Vec<u8>)>,
+    ) -> Result<Option<Envelope>, TransportError> {
+        loop {
+            if let Some(env) = self.take_ready() {
+                return Ok(Some(env));
+            }
+            match inbox.pop(Some(Duration::ZERO)) {
+                Pop::Item((from, bytes)) => self.ingest(from, &bytes)?,
+                Pop::TimedOut => return Ok(None),
+                Pop::Closed => {
+                    return match self.take_ready() {
+                        Some(env) => Ok(Some(env)),
+                        None => Err(TransportError::Closed),
+                    };
+                }
+            }
+        }
+    }
 }

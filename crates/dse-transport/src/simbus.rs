@@ -144,6 +144,12 @@ impl Transport for SimBusTransport {
         self.mux.recv_via(self.inbox(), timeout)
     }
 
+    fn poll_recv(&self) -> Result<Option<Envelope>, TransportError> {
+        // Same caveat as the channel backend: a zero-timeout recv_via never
+        // ingests queued frames, so poll explicitly.
+        self.mux.poll_via(self.inbox())
+    }
+
     fn shutdown(&self) {
         for to in 0..self.mux.npes() {
             if to != self.mux.pe() {

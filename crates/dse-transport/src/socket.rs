@@ -5,8 +5,12 @@
 //! `q < p` (with retry under bounded exponential backoff, since peers come
 //! up in arbitrary order) and accepts connections from every `q > p`. The
 //! dialer identifies itself with a 4-byte little-endian hello carrying its
-//! rank. One reader thread per connection reassembles frames with
-//! `FrameDecoder` and feeds a single event queue.
+//! rank. The receive path is readiness-driven: one poller thread per
+//! *endpoint* (not per connection) sweeps every peer connection in
+//! nonblocking mode, reassembles frames with `FrameDecoder`, and feeds a
+//! single event queue — so an endpoint costs O(1) threads however many
+//! peers it has. Nonblocking is a property of the shared fd, so the write
+//! half absorbs `WouldBlock` itself (see `write_all_nb`).
 //!
 //! Shutdown is a handshake: `shutdown` sends a `Bye` frame on every
 //! connection and closes the write half. A reader that sees `Bye` (or EOF
@@ -95,6 +99,40 @@ impl Conn {
             }
         }
     }
+
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_nonblocking(nb),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.set_nonblocking(nb),
+        }
+    }
+}
+
+/// `write_all` over a nonblocking stream. The poller needs the fd
+/// nonblocking for its readiness sweep, and nonblocking is a property of
+/// the fd shared by both clones — so the write half must absorb
+/// `WouldBlock` (kernel send buffer full, e.g. mid-way through a 1 MiB
+/// frame) by retrying after a short sleep instead of failing the send.
+fn write_all_nb(conn: &mut Conn, mut buf: &[u8]) -> std::io::Result<()> {
+    use std::io::ErrorKind;
+    while !buf.is_empty() {
+        match conn.write(buf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::WriteZero,
+                    "connection wrote zero bytes",
+                ))
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_micros(100));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 impl Read for Conn {
@@ -312,15 +350,30 @@ impl SocketTransport {
             Arc::new(BlockingQueue::default());
         let closing = Arc::new(AtomicBool::new(false));
         let mut peers: Vec<Mutex<Option<PeerTx>>> = (0..npes).map(|_| Mutex::new(None)).collect();
+        let mut pollers: Vec<PollerConn> = Vec::new();
         for (q, conn) in conns {
             let reader = conn.try_clone()?;
+            // The mesh/hello exchange above ran blocking; from here on the
+            // fd is nonblocking for the poller sweep (writes compensate via
+            // `write_all_nb`).
+            reader.set_nonblocking(true)?;
             *peers[q as usize].get_mut().unwrap() = Some(PeerTx { conn, next_seq: 0 });
+            pollers.push(PollerConn {
+                from: q,
+                conn: reader,
+                dec: FrameDecoder::new(),
+                next_seq: 0,
+                done: false,
+                clean: false,
+            });
+        }
+        if !pollers.is_empty() {
             let events = Arc::clone(&events);
             let closing = Arc::clone(&closing);
             thread::Builder::new()
-                .name(format!("dse-rx-{pe}<-{q}"))
-                .spawn(move || reader_loop(q, reader, events, closing))
-                .expect("spawn reader thread");
+                .name(format!("dse-poll-{pe}"))
+                .spawn(move || poller_loop(pollers, events, closing))
+                .expect("spawn poller thread");
         }
         Ok(SocketTransport {
             pe,
@@ -366,7 +419,7 @@ impl SocketTransport {
         let peer = g.as_mut().ok_or(TransportError::PeerDropped { peer: to })?;
         let frame = encode_frame_ctx(peer.next_seq, msg, ctx);
         peer.next_seq += 1;
-        if let Err(e) = peer.conn.write_all(&frame) {
+        if let Err(e) = write_all_nb(&mut peer.conn, &frame) {
             peer.conn.shutdown_both();
             *g = None;
             return Err(TransportError::Io(e.to_string()));
@@ -375,62 +428,102 @@ impl SocketTransport {
     }
 }
 
-fn reader_loop(
+/// Receive state of one inbound connection in the poller sweep.
+struct PollerConn {
     from: u32,
-    mut conn: Conn,
+    conn: Conn,
+    dec: FrameDecoder,
+    next_seq: u64,
+    /// This connection is finished (Bye, EOF, or error); skip it.
+    done: bool,
+    /// The peer said `Bye` — a later EOF is a polite close, not a drop.
+    clean: bool,
+}
+
+/// The endpoint's single receive thread: a readiness sweep over every peer
+/// connection in nonblocking mode — the epoll-style replacement for one
+/// reader thread per connection. Frames decode into the shared event queue
+/// under the same discipline as before (sequence check per sender, `Bye`
+/// ends a connection quietly, EOF without `Bye` is a dropped peer); the
+/// sweep sleeps briefly only when a full pass over the live connections
+/// made no progress, and the thread exits when every connection is done.
+fn poller_loop(
+    mut conns: Vec<PollerConn>,
     events: Arc<BlockingQueue<Result<Envelope, TransportError>>>,
     closing: Arc<AtomicBool>,
 ) {
-    let mut dec = FrameDecoder::new();
-    let mut next_seq = 0u64;
+    use std::io::ErrorKind;
     let mut buf = [0u8; 64 * 1024];
-    let mut clean = false;
-    'io: loop {
-        let n = match conn.read(&mut buf) {
-            Ok(0) => break 'io,
-            Ok(n) => n,
-            Err(_) if closing.load(Ordering::SeqCst) => return,
-            Err(e) => {
-                events.push(Err(TransportError::Io(e.to_string())));
-                return;
+    loop {
+        let mut progress = false;
+        let mut live = 0usize;
+        for pc in conns.iter_mut() {
+            if pc.done {
+                continue;
             }
-        };
-        dec.push(&buf[..n]);
-        loop {
-            match dec.next_frame() {
-                Ok(None) => break,
-                Ok(Some(FrameEvent::Bye { .. })) => {
-                    clean = true;
-                    break 'io;
-                }
-                Ok(Some(FrameEvent::Msg { seq, msg, ctx })) => {
-                    if seq != next_seq {
-                        events.push(Err(TransportError::SequenceGap {
-                            peer: from,
-                            expected: next_seq,
-                            got: seq,
-                        }));
-                        return;
+            live += 1;
+            match pc.conn.read(&mut buf) {
+                Ok(0) => {
+                    // EOF. Clean if the peer said Bye (or we initiated
+                    // shutdown ourselves); a cut mid-frame or a silent
+                    // close is a dropped peer.
+                    pc.done = true;
+                    if !pc.clean && !closing.load(Ordering::SeqCst) {
+                        events.push(Err(TransportError::PeerDropped { peer: pc.from }));
                     }
-                    next_seq += 1;
-                    events.push(Ok(Envelope {
-                        from,
-                        seq,
-                        msg,
-                        ctx,
-                    }));
                 }
+                Ok(n) => {
+                    progress = true;
+                    pc.dec.push(&buf[..n]);
+                    loop {
+                        match pc.dec.next_frame() {
+                            Ok(None) => break,
+                            Ok(Some(FrameEvent::Bye { .. })) => {
+                                pc.clean = true;
+                                pc.done = true;
+                                break;
+                            }
+                            Ok(Some(FrameEvent::Msg { seq, msg, ctx })) => {
+                                if seq != pc.next_seq {
+                                    events.push(Err(TransportError::SequenceGap {
+                                        peer: pc.from,
+                                        expected: pc.next_seq,
+                                        got: seq,
+                                    }));
+                                    pc.done = true;
+                                    break;
+                                }
+                                pc.next_seq += 1;
+                                events.push(Ok(Envelope {
+                                    from: pc.from,
+                                    seq,
+                                    msg,
+                                    ctx,
+                                }));
+                            }
+                            Err(e) => {
+                                events.push(Err(TransportError::Codec(e)));
+                                pc.done = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) if closing.load(Ordering::SeqCst) => pc.done = true,
                 Err(e) => {
-                    events.push(Err(TransportError::Codec(e)));
-                    return;
+                    events.push(Err(TransportError::Io(e.to_string())));
+                    pc.done = true;
                 }
             }
         }
-    }
-    // EOF. Clean if the peer said Bye (or we initiated shutdown ourselves);
-    // a cut mid-frame or a silent close is a dropped peer.
-    if !clean && !closing.load(Ordering::SeqCst) {
-        events.push(Err(TransportError::PeerDropped { peer: from }));
+        if live == 0 {
+            return;
+        }
+        if !progress {
+            thread::sleep(Duration::from_micros(500));
+        }
     }
 }
 
@@ -468,7 +561,7 @@ impl Transport for SocketTransport {
             }
             let mut g = peer.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(p) = g.as_mut() {
-                let _ = p.conn.write_all(&encode_bye(p.next_seq));
+                let _ = write_all_nb(&mut p.conn, &encode_bye(p.next_seq));
                 let _ = p.conn.flush();
                 p.conn.shutdown_write();
             }
@@ -592,6 +685,24 @@ mod tests {
             .unwrap();
         assert_eq!(local.from, 0);
         assert_eq!(local.ctx, Some(ctx));
+    }
+
+    #[test]
+    fn poll_recv_sees_delivered_frames() {
+        let cluster = SocketTransport::tcp_cluster(2).unwrap();
+        assert_eq!(cluster[1].poll_recv().unwrap(), None);
+        cluster[0].send(1, &msg(9)).unwrap();
+        // Delivery crosses a real socket; spin until the poller lands it.
+        let t0 = Instant::now();
+        let env = loop {
+            if let Some(env) = cluster[1].poll_recv().unwrap() {
+                break env;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(5), "frame never arrived");
+            thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(env.msg, msg(9));
+        assert_eq!(cluster[1].poll_recv().unwrap(), None);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Many-PE scaling probe for the poll-driven task scheduler: one process,
+//! 64 / 256 / 1024 PEs, all kernels multiplexed on an
+//! `available_parallelism`-sized worker pool instead of one OS thread per
+//! kernel.
+//!
+//! Each PE publishes its rank into a blocked GM array, reads its right
+//! neighbor's slot back over the wire, then drains a GM fetch-add work
+//! queue of `2 * PEs` jobs — so GM traffic grows with the cluster and the
+//! ops/sec figure reflects kernel service throughput, not app compute.
+//! The run asserts exactly-once job delivery at every size and prints the
+//! JSON document committed as `bench_results/BENCH_scale.json`:
+//!
+//! ```sh
+//! cargo run --release --example scale_pe > bench_results/BENCH_scale.json
+//! ```
+//!
+//! A thread-per-PE run at the smallest size rides along as the baseline:
+//! it needs one kernel thread per PE, while the task scheduler holds the
+//! kernel-side thread count flat as the PE count grows 16x.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+use dse::prelude::*;
+
+struct Point {
+    pes: usize,
+    kernel_threads: usize,
+    wall_ns: u64,
+    gm_ops: u64,
+    gm_ops_per_sec: u64,
+}
+
+/// How many kernel-side threads a run at `pes` needs under `sched`
+/// (mirrors the scheduler's pool sizing; threads-per-PE needs `pes`).
+fn kernel_threads(pes: usize, sched: SchedulerKind) -> usize {
+    match sched {
+        SchedulerKind::Threads => pes,
+        SchedulerKind::Tasks => thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(pes)
+            .max(1),
+    }
+}
+
+fn measure(pes: usize, sched: SchedulerKind) -> Point {
+    let jobs = 2 * pes as i64;
+    let claimed = AtomicU64::new(0);
+    let run = LiveRunner::new(pes).scheduler(sched).run(|ctx| {
+        let n = ctx.nprocs();
+        let arr = GmArray::<u64>::alloc(ctx, n, Distribution::Blocked);
+        arr.set(ctx, ctx.rank() as usize, ctx.rank() as u64 + 1);
+        ctx.barrier();
+        let right = (ctx.rank() as usize + 1) % n;
+        let got = arr.read(ctx, right, 1);
+        assert_eq!(got[0], right as u64 + 1, "neighbor slot read back wrong");
+        let queue = GmCounter::alloc(ctx);
+        ctx.barrier();
+        loop {
+            let j = queue.next(ctx);
+            if j >= jobs {
+                break;
+            }
+            claimed.fetch_add(j as u64 + 1, Ordering::Relaxed);
+        }
+    });
+    // Exactly-once delivery: every job index was claimed by one PE.
+    let want = (jobs as u64) * (jobs as u64 + 1) / 2;
+    assert_eq!(
+        claimed.load(Ordering::Relaxed),
+        want,
+        "{pes} PEs: jobs lost or duplicated"
+    );
+    let gm_ops = run.metrics.counter_sum_over_pes("kernel", "gm_ops");
+    let wall_ns = run.elapsed.as_nanos() as u64;
+    Point {
+        pes,
+        kernel_threads: kernel_threads(pes, sched),
+        wall_ns,
+        gm_ops,
+        gm_ops_per_sec: (gm_ops as u128 * 1_000_000_000 / run.elapsed.as_nanos().max(1)) as u64,
+    }
+}
+
+fn print_point(p: &Point, comma: &str) {
+    println!(
+        "    {{\"pes\": {}, \"kernel_threads\": {}, \"pes_per_kernel_thread\": {:.1}, \
+         \"wall_ns\": {}, \"gm_ops\": {}, \"gm_ops_per_sec\": {}}}{}",
+        p.pes,
+        p.kernel_threads,
+        p.pes as f64 / p.kernel_threads as f64,
+        p.wall_ns,
+        p.gm_ops,
+        p.gm_ops_per_sec,
+        comma
+    );
+}
+
+fn main() {
+    let sizes = [64usize, 256, 1024];
+    let baseline = measure(sizes[0], SchedulerKind::Threads);
+    let points: Vec<Point> = sizes
+        .iter()
+        .map(|&pes| measure(pes, SchedulerKind::Tasks))
+        .collect();
+    println!("{{");
+    println!("  \"schema\": \"dse-scale/v1\",");
+    println!("  \"workload\": \"GM neighbor exchange + fetch-add work queue of 2*PEs jobs\",");
+    println!("  \"transport\": \"channel\",");
+    println!("  \"baseline_threads\": [");
+    print_point(&baseline, "");
+    println!("  ],");
+    println!("  \"tasks\": [");
+    for (i, p) in points.iter().enumerate() {
+        print_point(p, if i + 1 < points.len() { "," } else { "" });
+    }
+    println!("  ]");
+    println!("}}");
+    // The point of the refactor: PE count grew 16x, the kernel-side
+    // thread bill did not.
+    let largest = points.last().unwrap();
+    assert!(
+        largest.kernel_threads < largest.pes / 4,
+        "task scheduler still needs {} kernel threads for {} PEs",
+        largest.kernel_threads,
+        largest.pes
+    );
+}

@@ -34,6 +34,7 @@ struct Args {
     app: String,
     engine: String,
     transport: String,
+    scheduler: String,
     platform: String,
     procs: usize,
     n: usize,
@@ -66,6 +67,9 @@ fn usage() -> ! {
         "usage: dse-run <gauss|gauss-mp|dct|othello|knights|matmul> [options]
   --engine sim|live            execution engine           (default sim)
   --transport channel|tcp|uds  live engine wire           (default channel)
+  --scheduler threads|tasks    live engine kernel driver: one OS thread
+                               per PE, or poll-driven tasks on a worker
+                               pool (for many-PE runs)    (default threads)
   --platform sunos|aix|linux   simulated platform        (default sunos)
   --procs N                    processors 1..12           (default 4)
   --machines N                 physical machines          (default 6)
@@ -107,6 +111,7 @@ fn parse_from(argv: &[String]) -> Result<Args, String> {
         app: String::new(),
         engine: "sim".into(),
         transport: "channel".into(),
+        scheduler: "threads".into(),
         platform: "sunos".into(),
         procs: 4,
         n: 400,
@@ -150,6 +155,7 @@ fn parse_from(argv: &[String]) -> Result<Args, String> {
         match flag.as_str() {
             "--engine" => args.engine = val()?,
             "--transport" => args.transport = val()?,
+            "--scheduler" => args.scheduler = val()?,
             "--platform" => args.platform = val()?,
             "--procs" => args.procs = num(flag, val()?)?,
             "--machines" => args.machines = num(flag, val()?)?,
@@ -193,6 +199,14 @@ fn validate_engine_combos(args: &Args) -> Result<(), String> {
         return Err(
             "--transport chooses the live engine's wire; it has no effect with --engine sim \
              (add --engine live)"
+                .into(),
+        );
+    }
+    build::check_scheduler(&args.scheduler).map_err(|e| format!("--{e}"))?;
+    if args.engine == "sim" && explicit("--scheduler") {
+        return Err(
+            "--scheduler picks the live engine's kernel driver; it has no effect with \
+             --engine sim (add --engine live)"
                 .into(),
         );
     }
@@ -367,12 +381,13 @@ fn run_live_cli(args: &Args) {
         None,
         args.cache,
         &args.gm_mode,
+        &args.scheduler,
     )
-    .expect("transport, fault plan and gm mode validated at startup");
+    .expect("transport, fault plan, gm mode and scheduler validated at startup");
     cfg.tracing = args.trace_dir.is_some() || args.critical_path;
     println!(
-        "# {} on the live engine ({} transport), {} processors",
-        args.app, args.transport, args.procs
+        "# {} on the live engine ({} transport, {} scheduler), {} processors",
+        args.app, args.transport, args.scheduler, args.procs
     );
     if let Some(spec) = &args.fault_plan {
         println!("# fault plan: {spec}");
@@ -865,6 +880,21 @@ mod tests {
         ))
         .unwrap();
         assert!(validate_engine_combos(&a).is_ok());
+    }
+
+    #[test]
+    fn scheduler_flag_parses_and_requires_live_engine() {
+        let a = parse_from(&argv("gauss")).unwrap();
+        assert_eq!(a.scheduler, "threads");
+        let a = parse_from(&argv("gauss --engine live --scheduler tasks")).unwrap();
+        assert_eq!(a.scheduler, "tasks");
+        assert!(validate_engine_combos(&a).is_ok());
+        let a = parse_from(&argv("gauss --scheduler tasks")).unwrap();
+        let err = validate_engine_combos(&a).unwrap_err();
+        assert!(err.contains("no effect with --engine sim"), "{err}");
+        let a = parse_from(&argv("gauss --engine live --scheduler fibers")).unwrap();
+        let err = validate_engine_combos(&a).unwrap_err();
+        assert!(err.contains("not threads or tasks"), "{err}");
     }
 
     #[test]

@@ -76,6 +76,6 @@ pub mod prelude {
         NetworkChoice, Organization, ParallelApi, Platform, RunResult, SimDuration, StallReport,
         TelemetryConfig, TelemetrySummary, Work,
     };
-    pub use dse_live::{GmMode, LiveRunner, TransportKind};
+    pub use dse_live::{GmMode, LiveRunner, SchedulerKind, TransportKind};
     pub use dse_ssi::{render_top, top_rows, ClusterView, PlacementPolicy, Placer};
 }

@@ -5,10 +5,35 @@
 //! over loopback), which is the paper's portability claim for the
 //! transport layer.
 
+//! A third axis rides the same claim: the live engine's two kernel
+//! drivers — one OS thread per PE, or every PE's kernel as a poll-driven
+//! task on a small worker pool — share one protocol state machine, so
+//! every workload is bit-identical across `SchedulerKind` too.
+
 use dse::apps::{dct, gauss_seidel, knights, othello};
-use dse::live::{LiveRunner, TransportKind};
+use dse::live::{LiveRunner, SchedulerKind, TransportKind};
 use dse::prelude::*;
 use std::sync::Mutex;
+
+/// Run a body on the live engine over `kind` under `sched` and capture
+/// rank 0's result.
+fn live_capture_with<T: Send + 'static>(
+    kind: TransportKind,
+    sched: SchedulerKind,
+    nprocs: usize,
+    body: impl Fn(&mut dse::live::LiveCtx) -> Option<T> + Send + Sync,
+) -> T {
+    let slot: Mutex<Option<T>> = Mutex::new(None);
+    LiveRunner::new(nprocs)
+        .transport(kind)
+        .scheduler(sched)
+        .run(|ctx| {
+            if let Some(v) = body(ctx) {
+                *slot.lock().unwrap() = Some(v);
+            }
+        });
+    slot.into_inner().unwrap().expect("rank 0 result")
+}
 
 /// Run a body on the live engine over `kind` and capture rank 0's result.
 fn live_capture_on<T: Send + 'static>(
@@ -16,13 +41,7 @@ fn live_capture_on<T: Send + 'static>(
     nprocs: usize,
     body: impl Fn(&mut dse::live::LiveCtx) -> Option<T> + Send + Sync,
 ) -> T {
-    let slot: Mutex<Option<T>> = Mutex::new(None);
-    LiveRunner::new(nprocs).transport(kind).run(|ctx| {
-        if let Some(v) = body(ctx) {
-            *slot.lock().unwrap() = Some(v);
-        }
-    });
-    slot.into_inner().unwrap().expect("rank 0 result")
+    live_capture_with(kind, SchedulerKind::Threads, nprocs, body)
 }
 
 fn live_capture<T: Send + 'static>(
@@ -102,6 +121,63 @@ fn matmul_same_on_both_engines() {
     assert_eq!(sim_c, matmul::multiply_sequential(&params));
     let tcp_c = live_capture_on(TransportKind::Tcp, 3, |ctx| matmul::body(ctx, &params));
     assert_eq!(sim_c, tcp_c);
+}
+
+/// The tentpole cross-engine claim for the task scheduler: every app's
+/// answer is bit-identical whether the per-PE kernels run as dedicated
+/// threads or as poll-driven tasks multiplexed on the worker pool. Both
+/// drivers feed the same kernel state machine, so any divergence here is
+/// an event-delivery bug, not a protocol one.
+#[test]
+fn all_apps_identical_across_kernel_schedulers() {
+    let tasks =
+        |nprocs, body: &(dyn Fn(&mut dse::live::LiveCtx) -> Option<Vec<u8>> + Send + Sync)| {
+            live_capture_with(TransportKind::Channel, SchedulerKind::Tasks, nprocs, body)
+        };
+    let threads =
+        |nprocs, body: &(dyn Fn(&mut dse::live::LiveCtx) -> Option<Vec<u8>> + Send + Sync)| {
+            live_capture_with(TransportKind::Channel, SchedulerKind::Threads, nprocs, body)
+        };
+
+    let gs = gauss_seidel::GaussSeidelParams::paper(60);
+    let gauss_body = move |ctx: &mut dse::live::LiveCtx| {
+        gauss_seidel::body(ctx, &gs).map(|sol| {
+            let mut bytes = sol.iters.to_le_bytes().to_vec();
+            bytes.extend(sol.x.iter().flat_map(|v| v.to_le_bytes()));
+            bytes
+        })
+    };
+    assert_eq!(threads(3, &gauss_body), tasks(3, &gauss_body), "gauss");
+
+    let dp = dct::DctParams {
+        size: 64,
+        block: 8,
+        keep: 0.25,
+        seed: 3,
+    };
+    let dct_body = move |ctx: &mut dse::live::LiveCtx| {
+        dct::body(ctx, &dp).map(|out| format!("{out:?}").into_bytes())
+    };
+    assert_eq!(threads(4, &dct_body), tasks(4, &dct_body), "dct");
+
+    let op = othello::OthelloParams::paper(3);
+    let oth_body = move |ctx: &mut dse::live::LiveCtx| {
+        othello::body(ctx, &op).map(|best| format!("{best:?}").into_bytes())
+    };
+    assert_eq!(threads(3, &oth_body), tasks(3, &oth_body), "othello");
+
+    let kp = knights::KnightsParams::paper(16);
+    let kn_body = move |ctx: &mut dse::live::LiveCtx| {
+        knights::body(ctx, &kp).map(|count| count.to_le_bytes().to_vec())
+    };
+    assert_eq!(threads(4, &kn_body), tasks(4, &kn_body), "knights");
+
+    let mp = dse::apps::matmul::MatmulParams::single(16);
+    let mm_body = move |ctx: &mut dse::live::LiveCtx| {
+        dse::apps::matmul::body(ctx, &mp)
+            .map(|c| c.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>())
+    };
+    assert_eq!(threads(3, &mm_body), tasks(3, &mm_body), "matmul");
 }
 
 #[cfg(unix)]
