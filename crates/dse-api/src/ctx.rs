@@ -866,7 +866,7 @@ impl<'a> DseCtx<'a> {
                         req,
                         region: seg.region,
                         offset: seg.offset,
-                        data,
+                        data: data.into(),
                     },
                     SpanKind::GmWrite,
                     blen,
@@ -910,7 +910,7 @@ impl<'a> DseCtx<'a> {
                     ops.push(GmOp::Write {
                         region: seg.region,
                         offset: seg.offset,
-                        data,
+                        data: data.into(),
                     });
                 }
             }

@@ -16,7 +16,7 @@ fn bench_codec(c: &mut Criterion) {
     for size in [0usize, 64, 1460, 8192] {
         let msg = Message::GmReadResp {
             req: ReqId(77),
-            data: vec![0xAB; size],
+            data: vec![0xAB; size].into(),
         };
         g.bench_with_input(BenchmarkId::new("encode", size), &msg, |b, m| {
             b.iter(|| black_box(m.encode()))

@@ -63,7 +63,10 @@ pub fn serve_gm(store: &GlobalStore, msg: Message, hooks: &mut impl GmServiceHoo
                 .read(region, offset, len as usize)
                 .unwrap_or_else(|e| panic!("gm service: remote read failed: {e}"));
             hooks.read_executed(region, offset, &data);
-            Served::Response(Message::GmReadResp { req, data })
+            Served::Response(Message::GmReadResp {
+                req,
+                data: data.into(),
+            })
         }
         Message::GmWriteReq {
             req,
@@ -102,7 +105,7 @@ pub fn serve_gm(store: &GlobalStore, msg: Message, hooks: &mut impl GmServiceHoo
                             .read(region, offset, len as usize)
                             .unwrap_or_else(|e| panic!("gm service: batched read failed: {e}"));
                         hooks.read_executed(region, offset, &data);
-                        reads.push(data);
+                        reads.push(data.into());
                     }
                     GmOp::Write {
                         region,
@@ -173,7 +176,7 @@ mod tests {
             req: ReqId(1),
             region: r,
             offset: 8,
-            data: vec![5u8; 16],
+            data: vec![5u8; 16].into(),
         };
         match serve_gm(&store, w, &mut hooks) {
             Served::Response(Message::GmWriteAck { req: ReqId(1) }) => {}
@@ -207,7 +210,7 @@ mod tests {
                 GmOp::Write {
                     region: r,
                     offset: 0,
-                    data: vec![9u8; 8],
+                    data: vec![9u8; 8].into(),
                 },
                 GmOp::Read {
                     region: r,

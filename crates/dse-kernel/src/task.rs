@@ -423,7 +423,17 @@ impl<'a> KernelTask<'a> {
                 bytes: msg.wire_len() as u64,
             },
         );
-        self.outbox.push_back(Outbound::Wire { to, msg, ctx });
+        if to == self.env.pe && is_app_bound(&msg) {
+            // A response addressed to our own application thread. Sending
+            // it over the transport would only loop it back to this very
+            // kernel (encode → own inbox → wake → decode → reclassify as
+            // app-bound) one poll later; hand it to the app directly
+            // instead. Kernel-bound self-traffic (e.g. invalidation acks)
+            // still rides the wire so its handling order is unchanged.
+            self.outbox.push_back(Outbound::App { msg, ctx });
+        } else {
+            self.outbox.push_back(Outbound::Wire { to, msg, ctx });
+        }
     }
 
     /// Consume one event. Drain the outbox after every call — including
@@ -895,13 +905,14 @@ mod tests {
         assert!(matches!(prog, Progress::Pending));
         let out: Vec<_> = t.drain_outbox().collect();
         assert_eq!(out.len(), 1);
+        // The requester is our own PE, so the response short-circuits the
+        // wire loopback and goes straight to the application side.
         match &out[0] {
-            Outbound::Wire {
-                to: 0,
+            Outbound::App {
                 msg: Message::GmReadResp { data, .. },
                 ..
             } => assert_eq!(data.as_slice(), &7u64.to_le_bytes()),
-            _ => panic!("expected a read response to PE 0"),
+            _ => panic!("expected a read response for the local app"),
         }
     }
 
@@ -920,6 +931,8 @@ mod tests {
         t.poll(enter(1));
         assert_eq!(t.drain_outbox().count(), 0, "incomplete round must wait");
         t.poll(enter(0));
+        // Remote parties get wire releases; our own party's release skips
+        // the self-loopback and goes straight to the local app.
         let releases: Vec<u32> = t
             .drain_outbox()
             .map(|o| match o {
@@ -928,6 +941,10 @@ mod tests {
                     msg: Message::BarrierRelease { barrier: 9, .. },
                     ..
                 } => to,
+                Outbound::App {
+                    msg: Message::BarrierRelease { barrier: 9, .. },
+                    ..
+                } => 0,
                 _ => panic!("expected only barrier releases"),
             })
             .collect();
@@ -972,7 +989,8 @@ mod tests {
         let prevs: Vec<i64> = t
             .drain_outbox()
             .map(|o| match o {
-                Outbound::Wire {
+                // Self-addressed responses route directly to the local app.
+                Outbound::App {
                     msg: Message::GmFetchAddResp { prev, .. },
                     ..
                 } => prev,

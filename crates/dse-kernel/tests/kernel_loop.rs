@@ -94,7 +94,7 @@ fn remote_read_write_roundtrip() {
                     req: ReqId(1),
                     region: RegionId(0),
                     offset: 8,
-                    data: vec![5, 6, 7],
+                    data: vec![5, 6, 7].into(),
                 },
             );
             assert_eq!(w, Message::GmWriteAck { req: ReqId(1) });
@@ -113,7 +113,7 @@ fn remote_read_write_roundtrip() {
                 r,
                 Message::GmReadResp {
                     req: ReqId(2),
-                    data: vec![0, 5, 6, 7, 0]
+                    data: vec![0, 5, 6, 7, 0].into()
                 }
             );
         },
@@ -198,7 +198,7 @@ fn write_with_cached_holder_defers_ack_until_invalidated() {
                     req: ReqId(2),
                     region: RegionId(0),
                     offset: 0,
-                    data: vec![9; 16],
+                    data: vec![9; 16].into(),
                 },
             );
             assert_eq!(w, Message::GmWriteAck { req: ReqId(2) });

@@ -26,7 +26,7 @@ use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -34,7 +34,7 @@ use parking_lot::Mutex;
 use dse_api::{GmHandle, ParallelApi};
 use dse_kernel::cache::{blocks_inside, blocks_touching};
 use dse_kernel::gmem::GlobalStore;
-use dse_kernel::task::{KernelEnv, KernelEvent, KernelTask, Outbound, Progress};
+use dse_kernel::task::{is_app_bound, KernelEnv, KernelEvent, KernelTask, Outbound, Progress};
 use dse_kernel::{CacheStore, Distribution, GmMode, SchedulerKind, CACHE_BLOCK};
 use dse_msg::{GlobalPid, GmOp, Message, NodeId, RegionId, ReqId, ReqIdGen, TraceCtx};
 use dse_obs::{
@@ -43,8 +43,8 @@ use dse_obs::{
 };
 use dse_platform::Work;
 use dse_transport::{
-    ChannelTransport, FaultPlan, FaultyTransport, RetryPolicy, SocketTransport, Transport,
-    TransportError,
+    BlockingQueue, ChannelTransport, FaultPlan, FaultyTransport, Pop, RetryPolicy, SocketTransport,
+    Transport, TransportError,
 };
 
 use crate::error::{abort_code, FailureKind, FailureRole, PeFailure, RunError};
@@ -261,7 +261,15 @@ pub struct LiveCluster {
     scheduler: SchedulerKind,
     /// Effective bound on a kernel's idle wait for this run.
     kernel_tick: Duration,
+    /// Per-PE application-thread inboxes. The co-resident kernel is the
+    /// usual producer; on lossless in-process transports remote kernels
+    /// push app-bound responses here directly, skipping the relay hop
+    /// through the destination's kernel.
+    app_inboxes: Vec<AppInbox>,
 }
+
+/// One PE's app-thread inbox: responses and coordination wakeups.
+type AppInbox = Arc<BlockingQueue<(Message, Option<TraceCtx>)>>;
 
 impl LiveCluster {
     /// Shared state for `nprocs` processing elements.
@@ -290,7 +298,17 @@ impl LiveCluster {
                 SchedulerKind::Threads => THREADS_TICK,
                 SchedulerKind::Tasks => TASKS_TICK,
             }),
+            app_inboxes: (0..nprocs)
+                .map(|_| Arc::new(BlockingQueue::default()))
+                .collect(),
         }
+    }
+
+    /// Deliver a message to `pe`'s application thread. Best-effort: a
+    /// closed inbox (its kernel already tore down) drops the message, the
+    /// same way a dead relay kernel would have.
+    fn app_push(&self, pe: u32, msg: Message, ctx: Option<TraceCtx>) {
+        let _ = self.app_inboxes[pe as usize].push((msg, ctx));
     }
 
     /// Park one thread's causal spans in the cluster sink.
@@ -396,33 +414,104 @@ impl LiveCluster {
     }
 }
 
-/// Drain a task's outbox onto the wire / the app channel. A failed
+thread_local! {
+    /// Reused per-driver-thread accumulator for [`flush_outbox`]'s
+    /// per-destination wire batches — warm capacity, no per-flush
+    /// allocation.
+    static WIRE_BATCH: std::cell::RefCell<Vec<(Message, Option<TraceCtx>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Ship an accumulated run of same-destination wire messages: a single
+/// send for a run of one, a coalesced [`Transport::send_batch`] otherwise
+/// (one socket write per destination per tick instead of one per message).
+fn ship_wire_batch(
+    transport: &dyn Transport,
+    to: u32,
+    batch: &mut Vec<(Message, Option<TraceCtx>)>,
+) -> Result<(), FailureKind> {
+    let res = if batch.len() == 1 {
+        let (msg, ctx) = &batch[0];
+        match ctx {
+            Some(c) => transport.send_ctx(to, msg, *c),
+            None => transport.send(to, msg),
+        }
+    } else {
+        transport.send_batch(to, batch)
+    };
+    batch.clear();
+    res.map_err(FailureKind::Transport)
+}
+
+/// Drain a task's outbox onto the wire / the app inboxes. A failed
 /// [`Outbound::Wire`] send stops the drain (discarding the rest, matching
 /// the blocking loop's abort-on-first-error semantics) and fails the
 /// kernel; best-effort items never fail.
+///
+/// Consecutive [`Outbound::Wire`] items for the same destination are
+/// grouped into one [`Transport::send_batch`] call, preserving order —
+/// a batch is flushed before any send to a different destination or any
+/// non-wire item, so the observable delivery order is unchanged.
+///
+/// On the lossless in-process channel transport, app-bound wire messages
+/// (read responses, write acks, barrier releases, lock grants) are pushed
+/// straight into the destination's app inbox instead: the receiving
+/// kernel would only have decoded and forwarded them, so the direct push
+/// saves that relay wakeup. The requester-side install-epoch guard
+/// already covers the one ordering this drops (a response racing an
+/// invalidation to the same PE), and faulty/socket transports keep the
+/// full wire path so loss, delay, and retransmission behavior are
+/// untouched.
 pub(crate) fn flush_outbox(
     task: &mut KernelTask<'_>,
     transport: &dyn Transport,
-    app_tx: &mpsc::Sender<(Message, Option<TraceCtx>)>,
+    cluster: &LiveCluster,
+    pe: u32,
 ) -> Result<(), FailureKind> {
-    for out in task.drain_outbox() {
-        match out {
-            Outbound::Wire { to, msg, ctx } => {
-                match ctx {
-                    Some(c) => transport.send_ctx(to, &msg, c),
-                    None => transport.send(to, &msg),
+    let direct = transport.kind() == "channel";
+    WIRE_BATCH.with(|cell| {
+        let batch = &mut *cell.borrow_mut();
+        batch.clear();
+        let mut batch_to: Option<u32> = None;
+        for out in task.drain_outbox() {
+            match out {
+                Outbound::Wire { to, msg, ctx } if direct && is_app_bound(&msg) => {
+                    if let Some(prev) = batch_to.take() {
+                        ship_wire_batch(transport, prev, batch)?;
+                    }
+                    cluster
+                        .metrics
+                        .incr(MetricKey::pe("kernel", "app_direct_msgs", pe));
+                    cluster.app_push(to, msg, ctx);
                 }
-                .map_err(FailureKind::Transport)?;
-            }
-            Outbound::WireBestEffort { to, msg } => {
-                let _ = transport.send(to, &msg);
-            }
-            Outbound::App { msg, ctx } => {
-                let _ = app_tx.send((msg, ctx));
+                Outbound::Wire { to, msg, ctx } => {
+                    if batch_to != Some(to) {
+                        if let Some(prev) = batch_to.take() {
+                            ship_wire_batch(transport, prev, batch)?;
+                        }
+                        batch_to = Some(to);
+                    }
+                    batch.push((msg, ctx));
+                }
+                Outbound::WireBestEffort { to, msg } => {
+                    if let Some(prev) = batch_to.take() {
+                        ship_wire_batch(transport, prev, batch)?;
+                    }
+                    let _ = transport.send(to, &msg);
+                }
+                Outbound::App { msg, ctx } => {
+                    if let Some(prev) = batch_to.take() {
+                        ship_wire_batch(transport, prev, batch)?;
+                    }
+                    cluster.app_push(pe, msg, ctx);
+                }
             }
         }
-    }
-    Ok(())
+        if let Some(to) = batch_to {
+            ship_wire_batch(transport, to, batch)?;
+        }
+        Ok(())
+    })
 }
 
 /// Shared teardown of one PE's kernel, whichever driver ran it: flush the
@@ -433,7 +522,6 @@ pub(crate) fn finish_kernel(
     pe: u32,
     cluster: &LiveCluster,
     transport: &dyn Transport,
-    app_tx: &mpsc::Sender<(Message, Option<TraceCtx>)>,
     task: KernelTask<'_>,
     exit: Result<Option<Message>, FailureKind>,
 ) -> (DeltaTracker, Option<ClusterAggregator>) {
@@ -471,9 +559,14 @@ pub(crate) fn finish_kernel(
             }
         }
         // Wake our own app thread so it unwinds at its next receive.
-        let _ = app_tx.send((frame, None));
+        cluster.app_push(pe, frame, None);
     }
     transport.shutdown();
+    // Closing the inbox is what "kernel gone" looks like to the app now
+    // that the channel is a shared queue: already-queued messages (the
+    // abort frame above included) drain first, then receives report
+    // closure.
+    cluster.app_inboxes[pe as usize].close();
     (tracker, agg)
 }
 
@@ -491,7 +584,6 @@ fn live_kernel(
     pe: u32,
     cluster: &LiveCluster,
     transport: &Arc<dyn Transport>,
-    app_tx: mpsc::Sender<(Message, Option<TraceCtx>)>,
     watch: Option<WatchSpec<'_>>,
     start: Instant,
 ) -> (DeltaTracker, Option<ClusterAggregator>) {
@@ -518,7 +610,7 @@ fn live_kernel(
             Err(e) => break Err(FailureKind::Transport(e)),
         };
         let prog = task.poll(event);
-        if let Err(e) = flush_outbox(&mut task, transport.as_ref(), &app_tx) {
+        if let Err(e) = flush_outbox(&mut task, transport.as_ref(), cluster, pe) {
             break Err(e);
         }
         match prog {
@@ -527,7 +619,7 @@ fn live_kernel(
             Progress::Aborted(frame) => break Ok(Some(frame)),
         }
     };
-    finish_kernel(pe, cluster, transport.as_ref(), &app_tx, task, exit)
+    finish_kernel(pe, cluster, transport.as_ref(), task, exit)
 }
 
 // ---------------------------------------------------------------------------
@@ -659,7 +751,7 @@ pub struct LiveCtx {
     pid: GlobalPid,
     cluster: Arc<LiveCluster>,
     transport: Arc<dyn Transport>,
-    app_rx: mpsc::Receiver<(Message, Option<TraceCtx>)>,
+    app_rx: AppInbox,
     reqs: ReqIdGen,
     barrier_seq: u32,
     alloc_seq: usize,
@@ -690,12 +782,8 @@ pub struct LiveCtx {
 }
 
 impl LiveCtx {
-    fn new(
-        rank: u32,
-        cluster: Arc<LiveCluster>,
-        transport: Arc<dyn Transport>,
-        app_rx: mpsc::Receiver<(Message, Option<TraceCtx>)>,
-    ) -> LiveCtx {
+    fn new(rank: u32, cluster: Arc<LiveCluster>, transport: Arc<dyn Transport>) -> LiveCtx {
+        let app_rx = Arc::clone(&cluster.app_inboxes[rank as usize]);
         let mut rec = if cluster.tracing {
             TraceRecorder::new(rank, TraceRole::App)
         } else {
@@ -787,24 +875,19 @@ impl LiveCtx {
         }
     }
 
-    /// Receive the next message forwarded by our kernel thread.
+    /// Receive the next message from our app inbox (fed by the local
+    /// kernel and, on direct-delivery transports, by remote kernels).
     ///
     /// A `None` timeout blocks until a message arrives — safe only where
-    /// an eventual wakeup is guaranteed (the kernel forwards the `Abort`
-    /// frame and then drops the channel when the run dies). A `Some`
+    /// an eventual wakeup is guaranteed (the kernel pushes the `Abort`
+    /// frame and then closes the inbox when the run dies). A `Some`
     /// timeout returns `None` on expiry so the caller can service
     /// retransmission deadlines.
     fn recv_app(&mut self, timeout: Option<Duration>) -> Option<(Message, Option<TraceCtx>)> {
-        let got = match timeout {
-            Some(t) => match self.app_rx.recv_timeout(t) {
-                Ok(m) => m,
-                Err(mpsc::RecvTimeoutError::Timeout) => return None,
-                Err(mpsc::RecvTimeoutError::Disconnected) => self.die(FailureKind::KernelGone),
-            },
-            None => match self.app_rx.recv() {
-                Ok(m) => m,
-                Err(_) => self.die(FailureKind::KernelGone),
-            },
+        let got = match self.app_rx.pop(timeout) {
+            Pop::Item(m) => m,
+            Pop::TimedOut => return None,
+            Pop::Closed => self.die(FailureKind::KernelGone),
         };
         if matches!(got.0, Message::Abort { .. }) {
             // The run is aborting; this thread is a casualty, not a
@@ -1464,7 +1547,7 @@ impl LiveCtx {
                     req,
                     region: seg.region,
                     offset: seg.offset,
-                    data,
+                    data: data.into(),
                 },
                 InflightReq::Write(WriteCtl { writers }),
             ),
@@ -1493,7 +1576,7 @@ impl LiveCtx {
                     ops.push(GmOp::Write {
                         region: seg.region,
                         offset: seg.offset,
-                        data,
+                        data: data.into(),
                     });
                 }
             }
@@ -2210,11 +2293,10 @@ where
         for (pe, transport) in transports.iter().enumerate() {
             let app_cluster = Arc::clone(&cluster);
             let app_transport = Arc::clone(transport);
-            let (app_tx, app_rx) = mpsc::channel();
-            kernel_inputs.push((pe as u32, Arc::clone(transport), app_tx));
+            kernel_inputs.push((pe as u32, Arc::clone(transport)));
             let body = &body;
             let app_thread = move || {
-                let mut ctx = LiveCtx::new(pe as u32, app_cluster, app_transport, app_rx);
+                let mut ctx = LiveCtx::new(pe as u32, app_cluster, app_transport);
                 let out = catch_unwind(AssertUnwindSafe(|| {
                     body(&mut ctx);
                     ctx.finish();
@@ -2256,10 +2338,10 @@ where
             SchedulerKind::Threads => {
                 let kernel_handles: Vec<_> = kernel_inputs
                     .into_iter()
-                    .map(|(pe, transport, app_tx)| {
+                    .map(|(pe, transport)| {
                         let kernel_cluster = Arc::clone(&cluster);
                         scope.spawn(move || {
-                            live_kernel(pe, &kernel_cluster, &transport, app_tx, watch, start)
+                            live_kernel(pe, &kernel_cluster, &transport, watch, start)
                         })
                     })
                     .collect();

@@ -23,25 +23,21 @@
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
 use dse_kernel::task::{abort_code, KernelEvent, KernelTask, Progress};
-use dse_msg::{Message, TraceCtx};
+use dse_msg::Message;
 use dse_obs::{ClusterAggregator, DeltaTracker};
 use dse_transport::Transport;
 
 use super::{finish_kernel, flush_outbox, LiveCluster, WatchSpec};
 use crate::error::FailureKind;
 
-/// One PE's kernel-side wiring: rank, transport endpoint, and the channel
-/// to its co-resident app thread.
-pub(crate) type KernelInput = (
-    u32,
-    Arc<dyn Transport>,
-    mpsc::Sender<(Message, Option<TraceCtx>)>,
-);
+/// One PE's kernel-side wiring: rank and transport endpoint (the app
+/// inbox lives in the shared [`LiveCluster`]).
+pub(crate) type KernelInput = (u32, Arc<dyn Transport>);
 
 /// Stack size for app threads under the task scheduler: the bodies are
 /// shallow SPMD loops, and a thousand default 8 MiB stacks would dwarf
@@ -69,7 +65,6 @@ type KernelOutput = (DeltaTracker, Option<ClusterAggregator>);
 struct Slot<'a> {
     pe: u32,
     transport: Arc<dyn Transport>,
-    app_tx: mpsc::Sender<(Message, Option<TraceCtx>)>,
     task: KernelTask<'a>,
     /// When the task next wants a `Tick`.
     deadline: Instant,
@@ -143,7 +138,7 @@ fn worker_loop<'e>(
 ) -> Vec<(u32, KernelOutput)> {
     let mut slots: Vec<Slot<'e>> = part
         .into_iter()
-        .map(|(pe, transport, app_tx)| {
+        .map(|(pe, transport)| {
             let task = KernelTask::new(
                 cluster.kernel_env(pe, start),
                 watch,
@@ -154,7 +149,6 @@ fn worker_loop<'e>(
             Slot {
                 pe,
                 transport,
-                app_tx,
                 task,
                 deadline,
                 exit: None,
@@ -201,14 +195,7 @@ fn worker_loop<'e>(
         .into_iter()
         .map(|slot| {
             let exit = slot.exit.expect("loop exits only when every slot has");
-            let output = finish_kernel(
-                slot.pe,
-                cluster,
-                slot.transport.as_ref(),
-                &slot.app_tx,
-                slot.task,
-                exit,
-            );
+            let output = finish_kernel(slot.pe, cluster, slot.transport.as_ref(), slot.task, exit);
             (slot.pe, output)
         })
         .collect();
@@ -235,6 +222,7 @@ fn step(cluster: &LiveCluster, slot: &mut Slot<'_>) -> bool {
             Ok(Some(env)) => {
                 progressed = true;
                 if drive(
+                    cluster,
                     slot,
                     KernelEvent::Message {
                         from: env.from,
@@ -254,7 +242,7 @@ fn step(cluster: &LiveCluster, slot: &mut Slot<'_>) -> bool {
     }
     if Instant::now() >= slot.deadline {
         progressed = true;
-        if drive(slot, KernelEvent::Tick) {
+        if drive(cluster, slot, KernelEvent::Tick) {
             return true;
         }
     }
@@ -263,9 +251,9 @@ fn step(cluster: &LiveCluster, slot: &mut Slot<'_>) -> bool {
 
 /// Feed one event, flush the outbox, refresh the timer. Returns true when
 /// the slot reached a terminal state.
-fn drive(slot: &mut Slot<'_>, event: KernelEvent) -> bool {
+fn drive(cluster: &LiveCluster, slot: &mut Slot<'_>, event: KernelEvent) -> bool {
     let prog = slot.task.poll(event);
-    if let Err(e) = flush_outbox(&mut slot.task, slot.transport.as_ref(), &slot.app_tx) {
+    if let Err(e) = flush_outbox(&mut slot.task, slot.transport.as_ref(), cluster, slot.pe) {
         slot.exit = Some(Err(e));
         return true;
     }

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use crate::bytes::Bytes;
+
 /// Errors produced while decoding a wire buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
@@ -61,6 +63,12 @@ impl Writer {
         Writer {
             buf: Vec::with_capacity(n),
         }
+    }
+
+    /// Writer that appends to an existing buffer (pooled encode paths
+    /// reuse one buffer across messages instead of allocating per frame).
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Writer { buf }
     }
 
     /// Append one byte.
@@ -182,6 +190,26 @@ impl<'a> Reader<'a> {
             return Err(CodecError::BadLength(len as u64));
         }
         Ok(self.take(len)?.to_vec())
+    }
+
+    /// Read a length-prefixed byte string as a [`Bytes`] view.
+    ///
+    /// When `share` is the shared storage this reader's buffer is a view
+    /// of (the caller guarantees `share[..] == buf`), the field becomes a
+    /// zero-copy slice of that storage — a refcount bump instead of an
+    /// allocation. Without `share` the bytes are copied out, matching
+    /// [`Reader::bytes`].
+    pub fn bytes_shared(&mut self, share: Option<&Bytes>) -> Result<Bytes, CodecError> {
+        let len = self.u32()? as usize;
+        if len > MAX_PAYLOAD {
+            return Err(CodecError::BadLength(len as u64));
+        }
+        let at = self.pos;
+        let s = self.take(len)?;
+        Ok(match share {
+            Some(b) => b.slice(at, len),
+            None => Bytes::copy_from_slice(s),
+        })
     }
 
     /// Read an unsigned LEB128 varint written by [`Writer::uvar`].

@@ -41,7 +41,10 @@
 //! chunk boundaries — concatenated frames in one read and a frame split
 //! over many reads both decode to the same event stream.
 
-use crate::codec::{CodecError, Reader, Writer, MAX_PAYLOAD};
+use std::sync::Arc;
+
+use crate::bytes::Bytes;
+use crate::codec::{CodecError, Reader, MAX_PAYLOAD};
 use crate::message::Message;
 
 /// Frame kind byte: the payload is one encoded [`Message`].
@@ -88,59 +91,105 @@ pub enum FrameEvent {
     },
 }
 
+/// Append one message frame with sequence number `seq` to `buf`.
+///
+/// The payload is encoded straight into the frame buffer ([`Message::wire_len`]
+/// is exact, so the length prefix is written up front) — no intermediate
+/// payload `Vec`, and a pooled `buf` makes the whole send allocation-free.
+pub fn encode_frame_into(buf: &mut Vec<u8>, seq: u64, msg: &Message) {
+    let plen = msg.wire_len();
+    buf.reserve(FRAME_HEADER_LEN + plen);
+    buf.extend_from_slice(&(plen as u32).to_le_bytes());
+    buf.push(FRAME_MSG);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    msg.encode_into(buf);
+}
+
+/// Append one frame to `buf`, attaching `ctx` when present. With
+/// `ctx == None` this is exactly [`encode_frame_into`] — untraced runs pay
+/// nothing on the wire.
+pub fn encode_frame_ctx_into(buf: &mut Vec<u8>, seq: u64, msg: &Message, ctx: Option<TraceCtx>) {
+    let Some(ctx) = ctx else {
+        return encode_frame_into(buf, seq, msg);
+    };
+    let total = 1 + TRACE_EXT_LEN + msg.wire_len();
+    buf.reserve(FRAME_HEADER_LEN + total);
+    buf.extend_from_slice(&(total as u32).to_le_bytes());
+    buf.push(FRAME_MSG_TRACED);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.push(TRACE_EXT_LEN as u8);
+    buf.push(TRACE_EXT_VERSION);
+    buf.extend_from_slice(&ctx.trace.to_le_bytes());
+    buf.extend_from_slice(&ctx.parent.to_le_bytes());
+    msg.encode_into(buf);
+}
+
+/// Append a `Bye` (clean shutdown) frame with sequence number `seq`.
+pub fn encode_bye_into(buf: &mut Vec<u8>, seq: u64) {
+    buf.reserve(FRAME_HEADER_LEN);
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    buf.push(FRAME_BYE);
+    buf.extend_from_slice(&seq.to_le_bytes());
+}
+
 /// Encode `msg` as one message frame with sequence number `seq`.
 pub fn encode_frame(seq: u64, msg: &Message) -> Vec<u8> {
-    let payload = msg.encode();
-    let mut w = Writer::with_capacity(FRAME_HEADER_LEN + payload.len());
-    w.u32(payload.len() as u32);
-    w.u8(FRAME_MSG);
-    w.u64(seq);
-    let mut buf = w.finish();
-    buf.extend_from_slice(&payload);
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + msg.wire_len());
+    encode_frame_into(&mut buf, seq, msg);
     buf
 }
 
-/// Encode `msg` as one frame, attaching `ctx` when present. With
-/// `ctx == None` this is exactly [`encode_frame`] — untraced runs pay
-/// nothing on the wire.
+/// Encode `msg` as one frame into a fresh buffer, attaching `ctx` when
+/// present.
 pub fn encode_frame_ctx(seq: u64, msg: &Message, ctx: Option<TraceCtx>) -> Vec<u8> {
-    let Some(ctx) = ctx else {
-        return encode_frame(seq, msg);
-    };
-    let payload = msg.encode();
-    let total = 1 + TRACE_EXT_LEN + payload.len();
-    let mut w = Writer::with_capacity(FRAME_HEADER_LEN + total);
-    w.u32(total as u32);
-    w.u8(FRAME_MSG_TRACED);
-    w.u64(seq);
-    w.u8(TRACE_EXT_LEN as u8);
-    w.u8(TRACE_EXT_VERSION);
-    w.u64(ctx.trace);
-    w.u64(ctx.parent);
-    let mut buf = w.finish();
-    buf.extend_from_slice(&payload);
+    let mut buf = Vec::new();
+    encode_frame_ctx_into(&mut buf, seq, msg, ctx);
     buf
 }
 
 /// Encode a `Bye` (clean shutdown) frame with sequence number `seq`.
 pub fn encode_bye(seq: u64) -> Vec<u8> {
-    let mut w = Writer::with_capacity(FRAME_HEADER_LEN);
-    w.u32(0);
-    w.u8(FRAME_BYE);
-    w.u64(seq);
-    w.finish()
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN);
+    encode_bye_into(&mut buf, seq);
+    buf
 }
+
+/// Consumed-prefix length that triggers compaction of the reassembly
+/// buffer on the next [`FrameDecoder::push`].
+const COMPACT_AT: usize = 4096;
+
+/// Capacity high-water mark for the reassembly buffer: after a burst of
+/// large frames (a big GM batch response), capacity above this is released
+/// once the buffered remainder fits comfortably below it. Without the cap
+/// every per-peer decoder quietly pins the largest frame it ever saw — at
+/// 1,024 PEs that is real memory creep.
+pub const DECODER_HIGH_WATER: usize = 64 * 1024;
 
 /// Incremental frame reassembler for one receive direction of a stream.
 ///
 /// Feed raw bytes with [`push`](FrameDecoder::push) as they arrive, then
 /// drain complete frames with [`next_frame`](FrameDecoder::next_frame) until it
 /// returns `Ok(None)` (meaning: need more bytes).
-#[derive(Debug, Default)]
+///
+/// The reassembly buffer is shared storage: decoded messages' payload
+/// fields are [`Bytes`] views into it, so draining a frame copies nothing.
+/// Once those views drop, the buffer is unique again and the next `push`
+/// appends in place — the steady-state receive path allocates nothing.
+#[derive(Debug)]
 pub struct FrameDecoder {
-    buf: Vec<u8>,
+    buf: Arc<Vec<u8>>,
     start: usize,
     dropped_trace_ctx: u64,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder {
+            buf: Arc::new(Vec::new()),
+            start: 0,
+            dropped_trace_ctx: 0,
+        }
+    }
 }
 
 impl FrameDecoder {
@@ -158,18 +207,45 @@ impl FrameDecoder {
 
     /// Append newly received bytes.
     pub fn push(&mut self, bytes: &[u8]) {
-        // Reclaim consumed prefix before growing, so long-lived streams
-        // don't accumulate dead bytes.
-        if self.start > 0 && (self.start >= 4096 || self.start == self.buf.len()) {
-            self.buf.drain(..self.start);
-            self.start = 0;
+        match Arc::get_mut(&mut self.buf) {
+            Some(v) => {
+                // Reclaim consumed prefix before growing, so long-lived
+                // streams don't accumulate dead bytes.
+                if self.start > 0 && (self.start >= COMPACT_AT || self.start == v.len()) {
+                    v.drain(..self.start);
+                    self.start = 0;
+                }
+                // Release capacity pinned by a past large frame once the
+                // live remainder is small again.
+                if v.capacity() > DECODER_HIGH_WATER
+                    && v.len() + bytes.len() <= DECODER_HIGH_WATER / 2
+                {
+                    v.shrink_to(DECODER_HIGH_WATER / 2);
+                }
+                v.extend_from_slice(bytes);
+            }
+            None => {
+                // Earlier frames' payload views still pin the buffer:
+                // leave it to them and restart from the unconsumed tail.
+                let tail = &self.buf[self.start..];
+                let mut v = Vec::with_capacity(tail.len() + bytes.len());
+                v.extend_from_slice(tail);
+                v.extend_from_slice(bytes);
+                self.buf = Arc::new(v);
+                self.start = 0;
+            }
         }
-        self.buf.extend_from_slice(bytes);
     }
 
     /// Bytes buffered but not yet consumed by a complete frame.
     pub fn buffered(&self) -> usize {
         self.buf.len() - self.start
+    }
+
+    /// Current capacity of the reassembly buffer (observability for the
+    /// high-water shrink policy).
+    pub fn buffer_capacity(&self) -> usize {
+        self.buf.capacity()
     }
 
     /// True if a partial frame is sitting in the buffer — used to tell a
@@ -195,13 +271,17 @@ impl FrameDecoder {
         if pending.len() < FRAME_HEADER_LEN + payload_len {
             return Ok(None);
         }
+        let payload_at = self.start + FRAME_HEADER_LEN;
         let payload = &pending[FRAME_HEADER_LEN..FRAME_HEADER_LEN + payload_len];
         let event = match kind {
-            FRAME_MSG => FrameEvent::Msg {
-                seq,
-                msg: Message::decode(payload)?,
-                ctx: None,
-            },
+            FRAME_MSG => {
+                let body = Bytes::from_arc(Arc::clone(&self.buf), payload_at, payload_len);
+                FrameEvent::Msg {
+                    seq,
+                    msg: Message::decode_shared(&body)?,
+                    ctx: None,
+                }
+            }
             FRAME_MSG_TRACED => {
                 // [u8 ext_len][ext][message]. A truncated ext_len makes the
                 // message boundary unrecoverable — that is fatal framing
@@ -224,9 +304,14 @@ impl FrameDecoder {
                     self.dropped_trace_ctx += 1;
                     None
                 };
+                let body = Bytes::from_arc(
+                    Arc::clone(&self.buf),
+                    payload_at + 1 + ext_len,
+                    payload_len - 1 - ext_len,
+                );
                 FrameEvent::Msg {
                     seq,
-                    msg: Message::decode(&payload[1 + ext_len..])?,
+                    msg: Message::decode_shared(&body)?,
                     ctx,
                 }
             }
@@ -246,6 +331,7 @@ impl FrameDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::Writer;
     use crate::ids::{RegionId, ReqId};
 
     fn sample_msg(i: u64) -> Message {
@@ -352,6 +438,66 @@ mod tests {
             }
         }
         assert!(!d.has_partial());
+    }
+
+    #[test]
+    fn reassembly_buffer_shrinks_after_large_frame() {
+        let mut d = FrameDecoder::new();
+        // One huge write frame balloons the buffer well past the cap...
+        let big = Message::GmWriteReq {
+            req: ReqId(1),
+            region: RegionId(0),
+            offset: 0,
+            data: vec![0xAB; 4 * DECODER_HIGH_WATER].into(),
+        };
+        d.push(&encode_frame(0, &big));
+        assert!(matches!(
+            d.next_frame().unwrap(),
+            Some(FrameEvent::Msg { seq: 0, .. })
+        ));
+        assert!(d.buffer_capacity() > DECODER_HIGH_WATER);
+        // ...then small steady-state traffic releases the excess capacity
+        // instead of pinning largest-frame-ever forever.
+        for i in 1..4u64 {
+            d.push(&encode_frame(i, &sample_msg(i)));
+            assert!(matches!(
+                d.next_frame().unwrap(),
+                Some(FrameEvent::Msg { .. })
+            ));
+        }
+        assert!(
+            d.buffer_capacity() <= DECODER_HIGH_WATER,
+            "capacity {} still above high water",
+            d.buffer_capacity()
+        );
+    }
+
+    #[test]
+    fn payload_views_share_reassembly_buffer() {
+        // The decoded GmReadResp data must be a view into the decoder's
+        // buffer (refcount > 1 while held), not a copy.
+        let msg = Message::GmReadResp {
+            req: ReqId(9),
+            data: vec![0x5A; 256].into(),
+        };
+        let mut d = FrameDecoder::new();
+        d.push(&encode_frame(0, &msg));
+        let held = match d.next_frame().unwrap() {
+            Some(FrameEvent::Msg { msg, .. }) => msg,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(Arc::strong_count(&d.buf), 2);
+        // While the view is alive a push must not disturb its bytes.
+        d.push(&encode_frame(1, &sample_msg(1)));
+        match &held {
+            Message::GmReadResp { data, .. } => assert_eq!(*data, vec![0x5A; 256]),
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(held);
+        // View gone: the buffer is unique again for in-place appends.
+        let _ = d.next_frame().unwrap();
+        d.push(&[0u8]);
+        assert_eq!(Arc::strong_count(&d.buf), 1);
     }
 
     // --- Trace-context extension (back-compat + degradation). -------------

@@ -7,6 +7,7 @@
 //! fields, then any variable payload — because the encoded size is also the
 //! number of bytes the network model puts on the wire.
 
+use crate::bytes::Bytes;
 use crate::codec::{CodecError, Reader, Writer};
 use crate::ids::{GlobalPid, RegionId, ReqId};
 
@@ -42,8 +43,9 @@ pub enum Message {
     GmReadResp {
         /// Correlation id of the request.
         req: ReqId,
-        /// The data read.
-        data: Vec<u8>,
+        /// The data read (a shared view — on the receive path it aliases
+        /// the frame decoder's reassembly buffer, copy-free).
+        data: Bytes,
     },
     /// Write bytes at `offset` within a global-memory region.
     GmWriteReq {
@@ -54,7 +56,7 @@ pub enum Message {
         /// Byte offset within the region.
         offset: u64,
         /// Bytes to write.
-        data: Vec<u8>,
+        data: Bytes,
     },
     /// Acknowledges a [`Message::GmWriteReq`].
     GmWriteAck {
@@ -97,7 +99,7 @@ pub enum Message {
         /// Correlation id of the batch.
         req: ReqId,
         /// Read results, in the order the reads appeared in the batch.
-        reads: Vec<Vec<u8>>,
+        reads: Vec<Bytes>,
     },
     /// Invalidate any cached copies of a region range (cache-coherence
     /// traffic when the optional global-memory cache is enabled).
@@ -248,7 +250,7 @@ pub enum GmOp {
         /// Byte offset within the region.
         offset: u64,
         /// Bytes to write.
-        data: Vec<u8>,
+        data: Bytes,
     },
 }
 
@@ -296,7 +298,17 @@ const TAG_KERNEL_SHUTDOWN: u8 = 0x7F;
 impl Message {
     /// Encode into a fresh buffer.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::with_capacity(self.wire_len());
+        let mut buf = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Append the encoding to `out` (the pooled-buffer entry point:
+    /// steady-state senders reuse one buffer instead of allocating per
+    /// message). Appends exactly [`Message::wire_len`] bytes.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.wire_len());
+        let mut w = Writer::from_vec(std::mem::take(out));
         match self {
             Message::GmReadReq {
                 req,
@@ -478,7 +490,7 @@ impl Message {
                 w.u8(TAG_KERNEL_SHUTDOWN);
             }
         }
-        w.finish()
+        *out = w.finish();
     }
 
     /// Exact encoded size in bytes (this is what goes on the wire and what
@@ -522,7 +534,18 @@ impl Message {
     /// [`Message::decode_prefix`] instead.
     pub fn decode(buf: &[u8]) -> Result<Message, CodecError> {
         let mut r = Reader::new(buf);
-        let msg = Self::decode_inner(&mut r)?;
+        let msg = Self::decode_inner(&mut r, None)?;
+        r.expect_end()?;
+        Ok(msg)
+    }
+
+    /// Decode a message whose payload lives in shared storage: byte-string
+    /// fields become zero-copy views of `payload` instead of owned copies.
+    /// Byte-for-byte equivalent to [`Message::decode`] over the same
+    /// bytes — only the storage of the payload fields differs.
+    pub fn decode_shared(payload: &Bytes) -> Result<Message, CodecError> {
+        let mut r = Reader::new(payload);
+        let msg = Self::decode_inner(&mut r, Some(payload))?;
         r.expect_end()?;
         Ok(msg)
     }
@@ -533,11 +556,11 @@ impl Message {
     /// is the frame-cursor entry point used by streaming transports.
     pub fn decode_prefix(buf: &[u8]) -> Result<(Message, usize), CodecError> {
         let mut r = Reader::new(buf);
-        let msg = Self::decode_inner(&mut r)?;
+        let msg = Self::decode_inner(&mut r, None)?;
         Ok((msg, r.position()))
     }
 
-    fn decode_inner(r: &mut Reader<'_>) -> Result<Message, CodecError> {
+    fn decode_inner(r: &mut Reader<'_>, share: Option<&Bytes>) -> Result<Message, CodecError> {
         let tag = r.u8()?;
         let msg = match tag {
             TAG_GM_READ_REQ => Message::GmReadReq {
@@ -548,13 +571,13 @@ impl Message {
             },
             TAG_GM_READ_RESP => Message::GmReadResp {
                 req: ReqId(r.u64()?),
-                data: r.bytes()?,
+                data: r.bytes_shared(share)?,
             },
             TAG_GM_WRITE_REQ => Message::GmWriteReq {
                 req: ReqId(r.u64()?),
                 region: RegionId(r.u32()?),
                 offset: r.u64()?,
-                data: r.bytes()?,
+                data: r.bytes_shared(share)?,
             },
             TAG_GM_WRITE_ACK => Message::GmWriteAck {
                 req: ReqId(r.u64()?),
@@ -586,7 +609,7 @@ impl Message {
                         GM_OP_WRITE => GmOp::Write {
                             region,
                             offset,
-                            data: r.bytes()?,
+                            data: r.bytes_shared(share)?,
                         },
                         other => return Err(CodecError::BadTag(other)),
                     });
@@ -598,7 +621,7 @@ impl Message {
                 let n = r.u32()?;
                 let mut reads = Vec::with_capacity((n as usize).min(1024));
                 for _ in 0..n {
-                    reads.push(r.bytes()?);
+                    reads.push(r.bytes_shared(share)?);
                 }
                 Message::GmBatchResp { req, reads }
             }
@@ -756,13 +779,13 @@ mod tests {
             },
             Message::GmReadResp {
                 req: ReqId(1),
-                data: vec![1, 2, 3],
+                data: vec![1, 2, 3].into(),
             },
             Message::GmWriteReq {
                 req: ReqId(9),
                 region: RegionId(0),
                 offset: 1024,
-                data: vec![0; 17],
+                data: vec![0; 17].into(),
             },
             Message::GmWriteAck { req: ReqId(9) },
             Message::GmFetchAddReq {
@@ -788,7 +811,7 @@ mod tests {
                     GmOp::Write {
                         region: RegionId(1),
                         offset: 0,
-                        data: vec![5; 24],
+                        data: vec![5; 24].into(),
                     },
                     GmOp::Read {
                         region: RegionId(1),
@@ -798,13 +821,13 @@ mod tests {
                     GmOp::Write {
                         region: RegionId(2),
                         offset: 512,
-                        data: vec![],
+                        data: vec![].into(),
                     },
                 ],
             },
             Message::GmBatchResp {
                 req: ReqId(30),
-                reads: vec![vec![9; 16]],
+                reads: vec![vec![9; 16].into()],
             },
             Message::InvokeReq {
                 req: ReqId(11),

@@ -22,7 +22,7 @@ fn arb_gm_op() -> impl Strategy<Value = GmOp> {
         (any::<u32>(), any::<u64>(), data).prop_map(|(g, o, d)| GmOp::Write {
             region: RegionId(g),
             offset: o,
-            data: d,
+            data: d.into(),
         }),
     ]
 }
@@ -35,7 +35,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (any::<u64>(), ops).prop_map(|(r, ops)| Message::GmBatchReq { req: ReqId(r), ops }),
         (any::<u64>(), reads).prop_map(|(r, reads)| Message::GmBatchResp {
             req: ReqId(r),
-            reads
+            reads: reads.into_iter().map(Into::into).collect(),
         }),
         (any::<u64>(), any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(r, g, o, l)| {
             Message::GmReadReq {
@@ -47,14 +47,14 @@ fn arb_message() -> impl Strategy<Value = Message> {
         }),
         (any::<u64>(), data.clone()).prop_map(|(r, d)| Message::GmReadResp {
             req: ReqId(r),
-            data: d
+            data: d.into()
         }),
         (any::<u64>(), any::<u32>(), any::<u64>(), data.clone()).prop_map(|(r, g, o, d)| {
             Message::GmWriteReq {
                 req: ReqId(r),
                 region: RegionId(g),
                 offset: o,
-                data: d,
+                data: d.into(),
             }
         }),
         any::<u64>().prop_map(|r| Message::GmWriteAck { req: ReqId(r) }),
@@ -196,6 +196,45 @@ proptest! {
         }
         prop_assert_eq!(&events[msgs.len()], &FrameEvent::Bye { seq: msgs.len() as u64 });
         prop_assert!(!dec.has_partial());
+    }
+
+    /// Zero-copy equivalence: frames decoded through the shared reassembly
+    /// buffer (payload views borrow the decoder's storage) must be
+    /// byte-identical to an owned decode of the same payloads, for any
+    /// message mix and any chunk boundary. Events are held across
+    /// subsequent pushes so live views force the decoder's copy-on-shared
+    /// path as well as the in-place path.
+    #[test]
+    fn shared_buffer_decode_matches_owned_decode(
+        msgs in proptest::collection::vec(arb_message(), 1..6),
+        chunk in 1usize..64
+    ) {
+        let mut stream = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            stream.extend_from_slice(&encode_frame(i as u64, m));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut shared = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.push(piece);
+            while let Some(ev) = dec.next_frame().unwrap() {
+                shared.push(ev);
+            }
+        }
+        let owned: Vec<Message> = msgs
+            .iter()
+            .map(|m| Message::decode(&m.encode()).unwrap())
+            .collect();
+        prop_assert_eq!(shared.len(), owned.len());
+        for (ev, want) in shared.iter().zip(&owned) {
+            match ev {
+                FrameEvent::Msg { msg, .. } => {
+                    prop_assert_eq!(msg, want);
+                    prop_assert_eq!(msg.encode(), want.encode());
+                }
+                other => prop_assert!(false, "expected Msg frame, got {:?}", other),
+            }
+        }
     }
 
     /// Traced frames round-trip the context for any message and any id

@@ -3,20 +3,47 @@
 //! Each simulated process runs its *real* Rust code on a dedicated OS thread,
 //! but exactly one thread executes at any instant: the engine resumes the
 //! runnable entity with the lowest virtual time, waits for it to yield (every
-//! context-API call yields), and only then proceeds. Virtual time advances
-//! solely through yields, so event handling is totally ordered by
-//! `(time, sequence)` and a run is bit-for-bit deterministic.
+//! blocking context-API call yields), and only then proceeds. Virtual time
+//! advances solely through the context API, so event handling is totally
+//! ordered by `(time, sequence)` and a run is bit-for-bit deterministic.
 //!
 //! This is the classic "direct execution" simulation style: application
 //! results are computed for real (a solver really converges, a game tree is
 //! really searched) while *timing* comes entirely from the cost model that
 //! callers express through [`ProcCtx::use_resource`], [`ProcCtx::sleep`] and
 //! message latencies.
+//!
+//! ## The shared scheduler core
+//!
+//! The mutable scheduler state (event heap, resource queues, statistics,
+//! trace) lives in a [`Core`] shared between the engine thread and every
+//! process context. Because exactly one process runs at a time and the
+//! engine only acts while all processes are parked, the mutex is never
+//! contended and the interleaving of core operations is deterministic.
+//!
+//! Sharing the core lets the hot context calls avoid the engine round-trip
+//! (two context switches each) entirely:
+//!
+//! - [`ProcCtx::send`] appends the delivery event to the heap itself; the
+//!   engine thread is not woken at all.
+//! - [`ProcCtx::sleep`] and [`ProcCtx::use_resource`] complete inline when
+//!   the resulting wake would be the very next event popped (no earlier
+//!   event is queued, and nothing can be queued before it while the caller
+//!   is the running process). Otherwise they fall back to parking on the
+//!   engine, which preserves global virtual-time order — in particular FCFS
+//!   resource handover between processes.
+//!
+//! Either way the logical event sequence — counters, virtual times, FCFS
+//! grants, and the determinism hash — is identical to the fully-parked
+//! schedule; only the number of OS context switches changes.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
 
 use crate::envelope::{Envelope, RecvResult};
 use crate::ids::{ProcId, ResourceId};
@@ -28,7 +55,7 @@ type ProcFn<M> = Box<dyn FnOnce(&mut ProcCtx<M>) + Send + 'static>;
 
 /// What the engine hands a process when resuming it.
 enum ResumePayload<M: Send + 'static> {
-    /// Plain wakeup (sleep expired, resource granted, send accepted, start).
+    /// Plain wakeup (wait expired, start).
     None,
     /// A received message.
     Msg(Envelope<M>),
@@ -45,18 +72,13 @@ struct Resume<M: Send + 'static> {
     payload: ResumePayload<M>,
 }
 
-/// What a process asks of the engine when yielding.
+/// What a process asks of the engine when yielding. Sends and uncontended
+/// sleeps/resource holds never yield — they go straight to the shared core.
 enum YieldReason<M: Send + 'static> {
-    /// Suspend until the given instant.
-    Sleep { until: SimTime },
-    /// Queue on a FCFS resource and hold it for `dur`.
-    UseResource { res: ResourceId, dur: SimDuration },
-    /// Send a message; the engine accepts it and resumes the caller at once.
-    Send {
-        to: ProcId,
-        latency: SimDuration,
-        msg: M,
-    },
+    /// Park until the given instant (sleep, or a resource hold that must
+    /// respect earlier queued events). All timing bookkeeping was already
+    /// done by the caller; the engine only schedules the wake.
+    Wait { until: SimTime },
     /// Wait for a message (optionally until a deadline).
     Recv { deadline: Option<SimTime> },
     /// Create a new process starting now.
@@ -78,15 +100,12 @@ enum Action<M: Send + 'static> {
     Deliver(ProcId, Envelope<M>),
 }
 
-struct Event<M: Send + 'static> {
-    time: SimTime,
-    seq: u64,
-    action: Action<M>,
-}
-
-/// Heap key; min-heap by `(time, seq)` so ties resolve in schedule order.
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
-struct Key(SimTime, u64);
+/// Bits of the packed heap key reserved for the slab slot index; the rest
+/// carry the global schedule sequence. 24 bits bound the number of
+/// *outstanding* (scheduled, not yet fired) events at ~16.7M, leaving 40
+/// bits of sequence — ~10^12 events per run before wraparound.
+const SLOT_BITS: u32 = 24;
+const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ProcState {
@@ -124,6 +143,114 @@ struct ResourceState {
     acquisitions: u64,
 }
 
+/// The mutable scheduler state shared between the engine thread and every
+/// [`ProcCtx`]. See the module docs for why the mutex is uncontended and
+/// the operation order deterministic.
+struct Core<M: Send + 'static> {
+    /// Min-heap of `(time, seq << SLOT_BITS | slot)` keys. Ordering is by
+    /// `(time, seq)` — the sequence is globally unique, so the slot bits
+    /// never decide a comparison — and sift operations move 16-byte keys
+    /// instead of full `Action` payloads. The payload lives in `slab` at
+    /// the key's slot until the key is popped.
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Indexed event storage; `free` recycles vacated slots so steady-state
+    /// scheduling allocates nothing.
+    slab: Vec<Option<Action<M>>>,
+    free: Vec<u32>,
+    seq: u64,
+    now: SimTime,
+    stats: SimStats,
+    hasher: TraceHasher,
+    tracing: Option<Vec<TraceEvent>>,
+    resources: Vec<ResourceState>,
+}
+
+impl<M: Send + 'static> Core<M> {
+    fn new() -> Self {
+        Core {
+            heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            stats: SimStats::default(),
+            hasher: TraceHasher::new(),
+            tracing: None,
+            resources: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn trace(&mut self, proc: ProcId, kind: TraceKind) {
+        if let Some(t) = self.tracing.as_mut() {
+            t.push(TraceEvent { proc, kind });
+        }
+    }
+
+    fn push_event(&mut self, time: SimTime, action: Action<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        debug_assert!(seq < (1 << (64 - SLOT_BITS)), "schedule sequence overflow");
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = Some(action);
+                s
+            }
+            None => {
+                assert!(
+                    self.slab.len() as u64 <= SLOT_MASK,
+                    "too many outstanding events"
+                );
+                self.slab.push(Some(action));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.heap
+            .push(Reverse((time, (seq << SLOT_BITS) | slot as u64)));
+    }
+
+    /// Schedule a wake for `p` at `time`, invalidating older pending wakes.
+    fn push_wake(
+        &mut self,
+        procs: &mut [ProcSlot<M>],
+        time: SimTime,
+        p: ProcId,
+        payload: ResumePayload<M>,
+    ) {
+        let slot = &mut procs[p.index()];
+        slot.epoch += 1;
+        let epoch = slot.epoch;
+        slot.state = ProcState::Scheduled;
+        self.push_event(time, Action::Wake(p, epoch, payload));
+    }
+
+    /// Lookahead: would a wake at `t` for the currently running process be
+    /// the very next event popped? True when every queued event is strictly
+    /// later (a tie loses — the queued event has the smaller sequence).
+    /// While the caller is the running process nothing else can queue an
+    /// event, so a true answer stays true until the caller acts on it.
+    #[inline]
+    fn wake_is_next(&self, t: SimTime) -> bool {
+        match self.heap.peek() {
+            None => true,
+            Some(Reverse((ht, _))) => *ht > t,
+        }
+    }
+
+    /// Account a wake of `p` at `t` that is completing inline on the
+    /// process thread: exactly the bookkeeping the pop-and-dispatch path
+    /// would have done, so statistics, virtual time, and the determinism
+    /// hash are identical to the parked schedule.
+    #[inline]
+    fn account_inline_wake(&mut self, p: ProcId, t: SimTime) {
+        self.stats.events += 1;
+        self.stats.inline_wakes += 1;
+        self.now = t;
+        self.hasher.mix(t.as_nanos());
+        self.hasher.mix(p.0 as u64);
+    }
+}
+
 /// The simulation engine. Type parameter `M` is the message payload type
 /// exchanged between processes.
 ///
@@ -147,32 +274,8 @@ struct ResourceState {
 /// ```
 pub struct Simulator<M: Send + 'static> {
     procs: Vec<ProcSlot<M>>,
-    resources: Vec<ResourceState>,
-    heap: BinaryHeap<Reverse<(Key, Event<M>)>>,
-    seq: u64,
-    now: SimTime,
-    stats: SimStats,
-    hasher: TraceHasher,
-    tracing: Option<Vec<TraceEvent>>,
+    core: Arc<Mutex<Core<M>>>,
     shutting_down: bool,
-}
-
-// Manual Ord plumbing: only the Key participates in ordering.
-impl<M: Send + 'static> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M: Send + 'static> Eq for Event<M> {}
-impl<M: Send + 'static> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M: Send + 'static> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
 }
 
 impl<M: Send + 'static> Default for Simulator<M> {
@@ -186,13 +289,7 @@ impl<M: Send + 'static> Simulator<M> {
     pub fn new() -> Self {
         Simulator {
             procs: Vec::new(),
-            resources: Vec::new(),
-            heap: BinaryHeap::new(),
-            seq: 0,
-            now: SimTime::ZERO,
-            stats: SimStats::default(),
-            hasher: TraceHasher::new(),
-            tracing: None,
+            core: Arc::new(Mutex::new(Core::new())),
             shutting_down: false,
         }
     }
@@ -200,21 +297,15 @@ impl<M: Send + 'static> Simulator<M> {
     /// Record an execution trace during the run (see [`TraceRecords`]);
     /// retrieve it from [`SimReport::trace`].
     pub fn enable_tracing(&mut self) {
-        self.tracing = Some(Vec::new());
-    }
-
-    #[inline]
-    fn trace(&mut self, proc: ProcId, kind: TraceKind) {
-        if let Some(t) = self.tracing.as_mut() {
-            t.push(TraceEvent { proc, kind });
-        }
+        self.core.lock().tracing = Some(Vec::new());
     }
 
     /// Register a FCFS resource (e.g. a machine CPU). Must be called before
     /// [`Simulator::run`].
     pub fn add_resource(&mut self, name: &str) -> ResourceId {
-        let id = ResourceId(self.resources.len() as u32);
-        self.resources.push(ResourceState {
+        let mut core = self.core.lock();
+        let id = ResourceId(core.resources.len() as u32);
+        core.resources.push(ResourceState {
             name: name.to_string(),
             available_at: SimTime::ZERO,
             stats_busy: SimDuration::ZERO,
@@ -230,7 +321,8 @@ impl<M: Send + 'static> Simulator<M> {
         F: FnOnce(&mut ProcCtx<M>) + Send + 'static,
     {
         let id = self.add_proc(name, Box::new(f));
-        self.push_wake(SimTime::ZERO, id, ResumePayload::None);
+        let mut core = self.core.lock();
+        core.push_wake(&mut self.procs, SimTime::ZERO, id, ResumePayload::None);
         id
     }
 
@@ -238,6 +330,7 @@ impl<M: Send + 'static> Simulator<M> {
         let id = ProcId(self.procs.len() as u32);
         let (resume_tx, resume_rx) = channel::<Resume<M>>();
         let (yield_tx, yield_rx) = channel::<YieldMsg<M>>();
+        let core = Arc::clone(&self.core);
         let thread_name = format!("sim-{name}");
         let thread = std::thread::Builder::new()
             .name(thread_name)
@@ -245,6 +338,7 @@ impl<M: Send + 'static> Simulator<M> {
                 let mut ctx = ProcCtx {
                     id,
                     now: SimTime::ZERO,
+                    core,
                     resume_rx,
                     yield_tx,
                     dead: false,
@@ -274,24 +368,8 @@ impl<M: Send + 'static> Simulator<M> {
             thread: Some(thread),
             inbox: VecDeque::new(),
         });
-        self.stats.spawns += 1;
+        self.core.lock().stats.spawns += 1;
         id
-    }
-
-    fn push_event(&mut self, time: SimTime, action: Action<M>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap
-            .push(Reverse((Key(time, seq), Event { time, seq, action })));
-    }
-
-    /// Schedule a wake for `p` at `time`, invalidating older pending wakes.
-    fn push_wake(&mut self, time: SimTime, p: ProcId, payload: ResumePayload<M>) {
-        let slot = &mut self.procs[p.index()];
-        slot.epoch += 1;
-        let epoch = slot.epoch;
-        slot.state = ProcState::Scheduled;
-        self.push_event(time, Action::Wake(p, epoch, payload));
     }
 
     /// Run the simulation to completion and return the report.
@@ -302,41 +380,59 @@ impl<M: Send + 'static> Simulator<M> {
     ///
     /// Panics raised inside process threads are propagated to the caller.
     pub fn run(mut self) -> SimReport {
-        while let Some(Reverse((_, ev))) = self.heap.pop() {
-            self.stats.events += 1;
-            debug_assert!(ev.time >= self.now, "event heap out of order");
-            self.now = ev.time;
-            match ev.action {
-                Action::Deliver(to, env) => self.deliver(to, env),
+        loop {
+            // All processes are parked here, so the lock is free and the
+            // heap cannot change between the pop and the dispatch.
+            let (time, action) = {
+                let mut core = self.core.lock();
+                match core.heap.pop() {
+                    Some(Reverse((time, packed))) => {
+                        let slot = (packed & SLOT_MASK) as usize;
+                        let action = core.slab[slot].take().expect("popped key with empty slot");
+                        core.free.push(slot as u32);
+                        core.stats.events += 1;
+                        debug_assert!(time >= core.now, "event heap out of order");
+                        core.now = time;
+                        (time, action)
+                    }
+                    None => break,
+                }
+            };
+            match action {
+                Action::Deliver(to, env) => self.deliver(to, env, time),
                 Action::Wake(p, epoch, payload) => {
                     if self.procs[p.index()].epoch != epoch {
                         continue; // stale wake (e.g. timeout raced a message)
                     }
-                    self.hasher.mix(ev.time.as_nanos());
-                    self.hasher.mix(p.0 as u64);
-                    self.run_proc(p, ev.time, payload);
+                    {
+                        let mut core = self.core.lock();
+                        core.hasher.mix(time.as_nanos());
+                        core.hasher.mix(p.0 as u64);
+                    }
+                    self.run_proc(p, time, payload);
                 }
             }
         }
         self.shutdown()
     }
 
-    fn deliver(&mut self, to: ProcId, env: Envelope<M>) {
-        self.hasher.mix(env.delivered_at.as_nanos());
-        self.hasher.mix(0x00de_11fe ^ to.0 as u64);
+    fn deliver(&mut self, to: ProcId, env: Envelope<M>, now: SimTime) {
+        let mut core = self.core.lock();
+        core.hasher.mix(env.delivered_at.as_nanos());
+        core.hasher.mix(0x00de_11fe ^ to.0 as u64);
         let slot = &mut self.procs[to.index()];
         match slot.state {
             ProcState::Done => {
-                self.stats.dropped += 1;
+                core.stats.dropped += 1;
             }
             ProcState::Blocked => {
-                self.stats.delivers += 1;
+                core.stats.delivers += 1;
                 // Wake the receiver at the later of its local time and now.
-                let t = slot.time.max(self.now);
-                self.push_wake(t, to, ResumePayload::Msg(env));
+                let t = slot.time.max(now);
+                core.push_wake(&mut self.procs, t, to, ResumePayload::Msg(env));
             }
             _ => {
-                self.stats.delivers += 1;
+                core.stats.delivers += 1;
                 slot.inbox.push_back(env);
             }
         }
@@ -345,13 +441,16 @@ impl<M: Send + 'static> Simulator<M> {
     /// Resume process `p` at time `t` and service its yields until it blocks.
     fn run_proc(&mut self, p: ProcId, t: SimTime, payload: ResumePayload<M>) {
         let i = p.index();
-        if self.tracing.is_some() {
-            if !self.procs[i].started {
-                self.procs[i].started = true;
-                self.trace(p, TraceKind::Start { at: t });
-            }
-            if let Some(from) = self.procs[i].blocked_since.take() {
-                self.trace(p, TraceKind::RecvWait { from, until: t });
+        {
+            let mut core = self.core.lock();
+            if core.tracing.is_some() {
+                if !self.procs[i].started {
+                    self.procs[i].started = true;
+                    core.trace(p, TraceKind::Start { at: t });
+                }
+                if let Some(from) = self.procs[i].blocked_since.take() {
+                    core.trace(p, TraceKind::RecvWait { from, until: t });
+                }
             }
         }
         self.procs[i].state = ProcState::Running;
@@ -374,61 +473,10 @@ impl<M: Send + 'static> Simulator<M> {
             let yt = y.time;
             self.procs[i].time = yt;
             match y.reason {
-                YieldReason::Sleep { until } => {
-                    self.trace(
-                        p,
-                        TraceKind::Sleep {
-                            from: yt,
-                            until: until.max(yt),
-                        },
-                    );
-                    self.push_wake(until.max(yt), p, ResumePayload::None);
+                YieldReason::Wait { until } => {
+                    let mut core = self.core.lock();
+                    core.push_wake(&mut self.procs, until.max(yt), p, ResumePayload::None);
                     return;
-                }
-                YieldReason::UseResource { res, dur } => {
-                    let r = &mut self.resources[res.index()];
-                    let start = r.available_at.max(yt);
-                    r.stats_waited += start - yt;
-                    r.stats_busy += dur;
-                    r.acquisitions += 1;
-                    r.available_at = start + dur;
-                    let done = start + dur;
-                    if self.tracing.is_some() {
-                        if start > yt {
-                            self.trace(
-                                p,
-                                TraceKind::ResourceWait {
-                                    res,
-                                    from: yt,
-                                    until: start,
-                                },
-                            );
-                        }
-                        self.trace(
-                            p,
-                            TraceKind::ResourceHold {
-                                res,
-                                from: start,
-                                until: done,
-                            },
-                        );
-                    }
-                    self.push_wake(done, p, ResumePayload::None);
-                    return;
-                }
-                YieldReason::Send { to, latency, msg } => {
-                    self.stats.sends += 1;
-                    self.trace(p, TraceKind::Sent { at: yt, to });
-                    let env = Envelope {
-                        from: p,
-                        sent_at: yt,
-                        delivered_at: yt + latency,
-                        msg,
-                    };
-                    self.push_event(env.delivered_at, Action::Deliver(to, env));
-                    if !self.resume_in_place(p, yt, ResumePayload::None) {
-                        return;
-                    }
                 }
                 YieldReason::Recv { deadline } => {
                     if let Some(env) = self.procs[i].inbox.pop_front() {
@@ -447,7 +495,8 @@ impl<M: Send + 'static> Simulator<M> {
                         if let Some(d) = deadline {
                             // Leave state Blocked but schedule the timeout wake;
                             // push_wake flips state to Scheduled, so set it back.
-                            self.push_wake(d.max(yt), p, ResumePayload::Timeout);
+                            let mut core = self.core.lock();
+                            core.push_wake(&mut self.procs, d.max(yt), p, ResumePayload::Timeout);
                             self.procs[i].state = ProcState::Blocked;
                         }
                         return;
@@ -455,13 +504,15 @@ impl<M: Send + 'static> Simulator<M> {
                 }
                 YieldReason::Spawn { name, f } => {
                     let child = self.add_proc(&name, f);
-                    self.push_wake(yt, child, ResumePayload::None);
+                    let mut core = self.core.lock();
+                    core.push_wake(&mut self.procs, yt, child, ResumePayload::None);
+                    drop(core);
                     if !self.resume_in_place(p, yt, ResumePayload::Spawned(child)) {
                         return;
                     }
                 }
                 YieldReason::Exit => {
-                    self.trace(p, TraceKind::Exit { at: yt });
+                    self.core.lock().trace(p, TraceKind::Exit { at: yt });
                     self.procs[i].state = ProcState::Done;
                     if let Some(h) = self.procs[i].thread.take() {
                         let _ = h.join();
@@ -537,15 +588,21 @@ impl<M: Send + 'static> Simulator<M> {
                 let _ = h.join();
             }
         }
-        let trace = self.tracing.take().map(|events| TraceRecords {
+        // Every process thread has been joined, so their Arc clones are
+        // gone and the core can be taken apart without copying.
+        let core = match Arc::try_unwrap(self.core) {
+            Ok(m) => m.into_inner(),
+            Err(_) => unreachable!("process thread still holds the core after join"),
+        };
+        let trace = core.tracing.map(|events| TraceRecords {
             events,
             proc_names: self.procs.iter().map(|s| s.name.clone()).collect(),
         });
         SimReport {
-            end_time: self.now,
-            stats: self.stats,
+            end_time: core.now,
+            stats: core.stats,
             trace,
-            resources: self
+            resources: core
                 .resources
                 .iter()
                 .map(|r| ResourceStats {
@@ -557,12 +614,13 @@ impl<M: Send + 'static> Simulator<M> {
                 .collect(),
             completed,
             blocked_at_end: blocked,
-            trace_hash: self.hasher.finish(),
+            trace_hash: core.hasher.finish(),
         }
     }
 
     /// During shutdown: serve a process's remaining yields with frozen time
-    /// until it exits. Sends are dropped, receives return Shutdown.
+    /// until it exits. The context API short-circuits on a dead context, so
+    /// in practice only the final Exit arrives; the other arms are defensive.
     fn drain_until_exit(&mut self, p: ProcId) {
         let i = p.index();
         loop {
@@ -576,7 +634,7 @@ impl<M: Send + 'static> Simulator<M> {
             let t = self.procs[i].time;
             match y.reason {
                 YieldReason::Exit => {
-                    self.trace(p, TraceKind::Exit { at: t });
+                    self.core.lock().trace(p, TraceKind::Exit { at: t });
                     self.procs[i].state = ProcState::Done;
                     if let Some(h) = self.procs[i].thread.take() {
                         let _ = h.join();
@@ -591,8 +649,8 @@ impl<M: Send + 'static> Simulator<M> {
                 YieldReason::Spawn { .. } => {
                     panic!("process '{}' spawned during shutdown", self.procs[i].name);
                 }
-                _ => {
-                    // Sleep / UseResource / Send complete immediately.
+                YieldReason::Wait { .. } => {
+                    // Waits complete immediately; time stays frozen.
                     if !self.resume_in_place(p, t, ResumePayload::None) {
                         return;
                     }
@@ -607,6 +665,7 @@ impl<M: Send + 'static> Simulator<M> {
 pub struct ProcCtx<M: Send + 'static> {
     id: ProcId,
     now: SimTime,
+    core: Arc<Mutex<Core<M>>>,
     resume_rx: Receiver<Resume<M>>,
     yield_tx: Sender<YieldMsg<M>>,
     dead: bool,
@@ -665,26 +724,105 @@ impl<M: Send + 'static> ProcCtx<M> {
     /// resource (pure delay, e.g. a propagation latency).
     pub fn sleep(&mut self, d: SimDuration) {
         let until = self.now + d;
-        self.call(YieldReason::Sleep { until });
+        self.sleep_until(until);
     }
 
     /// Suspend until absolute time `t` (no-op if `t` is in the past).
     pub fn sleep_until(&mut self, t: SimTime) {
-        self.call(YieldReason::Sleep { until: t });
+        if self.dead {
+            return;
+        }
+        let until = t.max(self.now);
+        let core = Arc::clone(&self.core);
+        let mut core = core.lock();
+        core.trace(
+            self.id,
+            TraceKind::Sleep {
+                from: self.now,
+                until,
+            },
+        );
+        if core.wake_is_next(until) {
+            core.account_inline_wake(self.id, until);
+            drop(core);
+            self.now = until;
+        } else {
+            drop(core);
+            self.call(YieldReason::Wait { until });
+        }
     }
 
     /// Queue FCFS on `res` and hold it for `dur`; returns once the hold
     /// completes. This is how CPU computation is charged.
+    ///
+    /// The grant order is the order in which running processes reach this
+    /// call (virtual-time execution order), exactly as when the engine
+    /// served the request; only the wake-up is short-circuited when no
+    /// earlier event is pending.
     pub fn use_resource(&mut self, res: ResourceId, dur: SimDuration) {
-        if dur.is_zero() {
+        if dur.is_zero() || self.dead {
             return;
         }
-        self.call(YieldReason::UseResource { res, dur });
+        let yt = self.now;
+        let core = Arc::clone(&self.core);
+        let mut core = core.lock();
+        let r = &mut core.resources[res.index()];
+        let start = r.available_at.max(yt);
+        r.stats_waited += start - yt;
+        r.stats_busy += dur;
+        r.acquisitions += 1;
+        let done = start + dur;
+        r.available_at = done;
+        if core.tracing.is_some() {
+            if start > yt {
+                core.trace(
+                    self.id,
+                    TraceKind::ResourceWait {
+                        res,
+                        from: yt,
+                        until: start,
+                    },
+                );
+            }
+            core.trace(
+                self.id,
+                TraceKind::ResourceHold {
+                    res,
+                    from: start,
+                    until: done,
+                },
+            );
+        }
+        if core.wake_is_next(done) {
+            core.account_inline_wake(self.id, done);
+            drop(core);
+            self.now = done;
+        } else {
+            drop(core);
+            self.call(YieldReason::Wait { until: done });
+        }
     }
 
-    /// Send `msg` to `to`, arriving after `latency`. Non-blocking.
+    /// Send `msg` to `to`, arriving after `latency`. Non-blocking and
+    /// engine-free: the delivery event goes straight onto the shared heap,
+    /// so a send costs no context switch at all. Virtual time does not
+    /// advance.
     pub fn send(&mut self, to: ProcId, latency: SimDuration, msg: M) {
-        self.call(YieldReason::Send { to, latency, msg });
+        if self.dead {
+            return;
+        }
+        let delivered_at = self.now + latency;
+        let env = Envelope {
+            from: self.id,
+            sent_at: self.now,
+            delivered_at,
+            msg,
+        };
+        let core = Arc::clone(&self.core);
+        let mut core = core.lock();
+        core.stats.sends += 1;
+        core.trace(self.id, TraceKind::Sent { at: self.now, to });
+        core.push_event(delivered_at, Action::Deliver(to, env));
     }
 
     /// Block until a message arrives. Returns `None` when the simulation is
@@ -911,6 +1049,26 @@ mod tests {
         let b = build();
         assert_eq!(a.trace_hash, b.trace_hash);
         assert_eq!(a.end_time, b.end_time);
+    }
+
+    #[test]
+    fn inline_wakes_preserve_virtual_time_and_events() {
+        // A lone process's sleeps and holds complete inline (no earlier
+        // event can exist), yet the event count and end time must match
+        // the parked schedule's.
+        let mut sim: Simulator<()> = Simulator::new();
+        let cpu = sim.add_resource("cpu");
+        sim.spawn("solo", move |ctx| {
+            for _ in 0..100 {
+                ctx.use_resource(cpu, SimDuration::from_micros(3));
+                ctx.sleep(SimDuration::from_micros(2));
+            }
+        });
+        let report = sim.run();
+        // 1 start wake + 200 inline wakes.
+        assert_eq!(report.stats.events, 201);
+        assert_eq!(report.stats.inline_wakes, 200);
+        assert_eq!(report.end_time.as_nanos(), 100 * 5_000);
     }
 
     #[test]

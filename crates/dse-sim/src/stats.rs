@@ -6,8 +6,12 @@ use crate::trace::TraceRecords;
 /// Aggregate event-loop counters.
 #[derive(Debug, Clone, Default)]
 pub struct SimStats {
-    /// Heap events processed (wakeups + deliveries), including stale ones.
+    /// Events processed (wakeups + deliveries), including stale ones and
+    /// wakes completed inline on the process thread.
     pub events: u64,
+    /// Of `events`: wakes that completed inline on the yielding process
+    /// thread because no earlier event was queued (no engine round-trip).
+    pub inline_wakes: u64,
     /// Messages sent between processes.
     pub sends: u64,
     /// Messages delivered into inboxes (or directly to blocked receivers).

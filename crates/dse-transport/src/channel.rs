@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use dse_msg::{Message, TraceCtx};
 
-use crate::mux::{BlockingQueue, FrameMux};
+use crate::mux::{BlockingQueue, FrameMux, FramePool};
 use crate::{Envelope, Transport, TransportError};
 
 type Inbox = Arc<BlockingQueue<(u32, Vec<u8>)>>;
@@ -30,9 +30,12 @@ impl ChannelTransport {
                 .map(|_| Arc::new(BlockingQueue::default()))
                 .collect(),
         );
+        // One frame pool for the whole cluster: a receiver returns spent
+        // buffers into circulation for every sender.
+        let pool = Arc::new(FramePool::default());
         (0..npes)
             .map(|pe| ChannelTransport {
-                mux: FrameMux::new(pe, npes),
+                mux: FrameMux::with_pool(pe, npes, Arc::clone(&pool)),
                 inboxes: Arc::clone(&inboxes),
                 aborted: AtomicBool::new(false),
             })
@@ -73,6 +76,22 @@ impl Transport for ChannelTransport {
 
     fn send_ctx(&self, to: u32, msg: &Message, ctx: TraceCtx) -> Result<(), TransportError> {
         self.send_impl(to, msg, Some(ctx))
+    }
+
+    fn send_batch(
+        &self,
+        to: u32,
+        msgs: &[(Message, Option<TraceCtx>)],
+    ) -> Result<(), TransportError> {
+        if self.aborted.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        // One pooled buffer, one queue push (one lock + one wakeup) for the
+        // whole run — the receiver's streaming decoder splits it back into
+        // frames.
+        self.mux.send_frames(to, msgs, |frames| {
+            self.inboxes[to as usize].push((self.mux.pe(), frames))
+        })
     }
 
     fn recv(&self, timeout: Option<Duration>) -> Result<Option<Envelope>, TransportError> {
@@ -204,6 +223,22 @@ mod tests {
         b.shutdown();
         assert_eq!(b.poll_recv().unwrap().unwrap().msg, msg(3));
         assert_eq!(b.poll_recv(), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn frame_buffers_recycle_through_the_cluster_pool() {
+        let mut cluster = ChannelTransport::cluster(2);
+        let b = cluster.pop().unwrap();
+        let a = cluster.pop().unwrap();
+        assert_eq!(a.mux.pool().pooled(), 0);
+        for i in 0..8 {
+            a.send(1, &msg(i)).unwrap();
+            b.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        }
+        // The receiver returned the spent encode buffers; the shared pool
+        // holds at least one warm buffer for the next sender.
+        assert!(a.mux.pool().pooled() >= 1);
+        assert!(b.mux.pool().pooled() >= 1);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub use channel::ChannelTransport;
 pub use dse_msg::TraceCtx as MsgTraceCtx;
 pub use error::TransportError;
 pub use fault::{FaultPlan, FaultyTransport};
+pub use mux::{BlockingQueue, Pop};
 pub use simbus::{BusParams, BusStats, SimBusTransport};
 pub use socket::{RetryPolicy, SocketTransport};
 
@@ -80,6 +81,28 @@ pub trait Transport: Send + Sync {
     fn send_ctx(&self, to: u32, msg: &Message, ctx: TraceCtx) -> Result<(), TransportError> {
         let _ = ctx;
         self.send(to, msg)
+    }
+
+    /// Send several messages to one peer as a single batch, in order.
+    ///
+    /// The default sends each message individually. Backends that write to
+    /// a real byte stream override this to coalesce the frames into one
+    /// write — one syscall instead of one per message (Nagle-for-GM at the
+    /// frame layer, but driven by the caller's natural batch boundary, so
+    /// it adds no delay). Sequence numbers are allocated per frame exactly
+    /// as with individual sends, so receivers cannot tell the difference.
+    fn send_batch(
+        &self,
+        to: u32,
+        msgs: &[(Message, Option<TraceCtx>)],
+    ) -> Result<(), TransportError> {
+        for (msg, ctx) in msgs {
+            match ctx {
+                Some(c) => self.send_ctx(to, msg, *c)?,
+                None => self.send(to, msg)?,
+            }
+        }
+        Ok(())
     }
 
     /// Receive the next message. `None` timeout blocks indefinitely;

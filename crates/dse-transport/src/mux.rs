@@ -8,9 +8,63 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use dse_msg::{encode_bye, encode_frame_ctx, FrameDecoder, FrameEvent, Message, TraceCtx};
+use std::sync::Arc;
+
+use dse_msg::{
+    encode_bye_into, encode_frame_ctx_into, FrameDecoder, FrameEvent, Message, TraceCtx,
+};
 
 use crate::{Envelope, TransportError};
+
+/// Cap on buffers retained by a [`FramePool`]; beyond this, returned
+/// buffers are simply dropped.
+const POOL_MAX_BUFS: usize = 64;
+
+/// Capacity above which a returned buffer is dropped instead of pooled, so
+/// one giant frame doesn't pin its footprint forever (mirrors the decoder's
+/// high-water policy).
+const POOL_MAX_CAP: usize = 64 * 1024;
+
+/// A free-list of frame encode buffers shared by a cluster's endpoints.
+///
+/// Senders [`get`](FramePool::get) a cleared buffer, encode a frame into
+/// it, and hand it to the destination's inbox; the receiver returns it with
+/// [`put`](FramePool::put) once ingested. In steady state every frame hop
+/// reuses a warm buffer and the send path allocates nothing.
+#[derive(Default)]
+pub struct FramePool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+}
+
+impl FramePool {
+    /// Take a cleared buffer from the pool (or a fresh one when empty).
+    pub fn get(&self) -> Vec<u8> {
+        self.bufs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Return a spent buffer for reuse. Oversized or surplus buffers are
+    /// dropped rather than retained.
+    pub fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > POOL_MAX_CAP {
+            return;
+        }
+        buf.clear();
+        let mut g = self.bufs.lock().unwrap_or_else(|e| e.into_inner());
+        if g.len() < POOL_MAX_BUFS {
+            g.push(buf);
+        }
+    }
+
+    /// Buffers currently pooled (observability for tests).
+    #[cfg(test)]
+    pub fn pooled(&self) -> usize {
+        self.bufs.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
 
 /// Outcome of a timed pop.
 pub enum Pop<T> {
@@ -112,10 +166,14 @@ pub struct FrameMux {
     tx_seq: Mutex<Vec<u64>>,
     rx: Mutex<Vec<PeerRx>>,
     ready: Mutex<VecDeque<Envelope>>,
+    pool: Arc<FramePool>,
 }
 
 impl FrameMux {
-    pub fn new(pe: u32, npes: u32) -> Self {
+    /// A mux whose encode buffers come from (and return to) `pool`. Cluster
+    /// constructors share one pool so a buffer sent by PE a and ingested by
+    /// PE b goes back into circulation for any sender.
+    pub fn with_pool(pe: u32, npes: u32, pool: Arc<FramePool>) -> Self {
         FrameMux {
             pe,
             npes,
@@ -130,6 +188,7 @@ impl FrameMux {
                     .collect(),
             ),
             ready: Mutex::new(VecDeque::new()),
+            pool,
         }
     }
 
@@ -139,6 +198,12 @@ impl FrameMux {
 
     pub fn npes(&self) -> u32 {
         self.npes
+    }
+
+    /// The frame-buffer pool this mux draws from.
+    #[cfg(test)]
+    pub fn pool(&self) -> &FramePool {
+        &self.pool
     }
 
     /// Encode `msg` as the next frame for destination `to` and hand it to
@@ -159,10 +224,44 @@ impl FrameMux {
         }
         let mut seqs = self.tx_seq.lock().unwrap_or_else(|e| e.into_inner());
         let seq = seqs[to as usize];
-        if !deliver(encode_frame_ctx(seq, msg, ctx)) {
+        let mut frame = self.pool.get();
+        encode_frame_ctx_into(&mut frame, seq, msg, ctx);
+        if !deliver(frame) {
             return Err(TransportError::PeerDropped { peer: to });
         }
         seqs[to as usize] += 1;
+        Ok(())
+    }
+
+    /// Encode a run of messages as consecutive frames for `to` into a
+    /// single pooled buffer and hand it to `deliver` in one delivery. The
+    /// receive side's frame decoder is a streaming reassembler, so one
+    /// multi-frame buffer is indistinguishable from back-to-back single
+    /// frames — but the queue (or socket) is touched once instead of once
+    /// per message.
+    pub fn send_frames(
+        &self,
+        to: u32,
+        msgs: &[(Message, Option<TraceCtx>)],
+        deliver: impl FnOnce(Vec<u8>) -> bool,
+    ) -> Result<(), TransportError> {
+        if to >= self.npes {
+            return Err(TransportError::NoSuchPeer { peer: to });
+        }
+        if msgs.is_empty() {
+            return Ok(());
+        }
+        let mut seqs = self.tx_seq.lock().unwrap_or_else(|e| e.into_inner());
+        let mut seq = seqs[to as usize];
+        let mut frame = self.pool.get();
+        for (msg, ctx) in msgs {
+            encode_frame_ctx_into(&mut frame, seq, msg, *ctx);
+            seq += 1;
+        }
+        if !deliver(frame) {
+            return Err(TransportError::PeerDropped { peer: to });
+        }
+        seqs[to as usize] = seq;
         Ok(())
     }
 
@@ -171,7 +270,9 @@ impl FrameMux {
     pub fn send_bye(&self, to: u32, deliver: impl FnOnce(Vec<u8>) -> bool) {
         let mut seqs = self.tx_seq.lock().unwrap_or_else(|e| e.into_inner());
         let seq = seqs[to as usize];
-        if deliver(encode_bye(seq)) {
+        let mut frame = self.pool.get();
+        encode_bye_into(&mut frame, seq);
+        if deliver(frame) {
             seqs[to as usize] += 1;
         }
     }
@@ -248,7 +349,10 @@ impl FrameMux {
                 }
             };
             match inbox.pop(remaining) {
-                Pop::Item((from, bytes)) => self.ingest(from, &bytes)?,
+                Pop::Item((from, bytes)) => {
+                    self.ingest(from, &bytes)?;
+                    self.pool.put(bytes);
+                }
                 Pop::TimedOut => return Ok(None),
                 Pop::Closed => {
                     // Drain anything decoded between the check above and
@@ -276,7 +380,10 @@ impl FrameMux {
                 return Ok(Some(env));
             }
             match inbox.pop(Some(Duration::ZERO)) {
-                Pop::Item((from, bytes)) => self.ingest(from, &bytes)?,
+                Pop::Item((from, bytes)) => {
+                    self.ingest(from, &bytes)?;
+                    self.pool.put(bytes);
+                }
                 Pop::TimedOut => return Ok(None),
                 Pop::Closed => {
                     return match self.take_ready() {

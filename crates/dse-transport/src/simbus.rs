@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use dse_msg::{Message, TraceCtx};
 
-use crate::mux::{BlockingQueue, FrameMux};
+use crate::mux::{BlockingQueue, FrameMux, FramePool};
 use crate::{Envelope, Transport, TransportError};
 
 /// Timing model for the shared bus.
@@ -74,9 +74,10 @@ impl SimBusTransport {
                 .map(|_| Arc::new(BlockingQueue::default()))
                 .collect(),
         });
+        let pool = Arc::new(FramePool::default());
         (0..npes)
             .map(|pe| SimBusTransport {
-                mux: FrameMux::new(pe, npes),
+                mux: FrameMux::with_pool(pe, npes, Arc::clone(&pool)),
                 core: Arc::clone(&core),
             })
             .collect()
@@ -176,7 +177,7 @@ mod tests {
             req: ReqId(i),
             region: RegionId(0),
             offset: 0,
-            data: vec![0u8; 32],
+            data: vec![0u8; 32].into(),
         }
     }
 

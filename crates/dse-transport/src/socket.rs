@@ -29,7 +29,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
-use dse_msg::{encode_bye, encode_frame_ctx, FrameDecoder, FrameEvent, Message, TraceCtx};
+use dse_msg::{encode_bye, encode_frame_ctx_into, FrameDecoder, FrameEvent, Message, TraceCtx};
 
 use crate::mux::{BlockingQueue, Pop};
 use crate::{Envelope, Transport, TransportError};
@@ -166,6 +166,10 @@ impl Write for Conn {
 struct PeerTx {
     conn: Conn,
     next_seq: u64,
+    // Per-peer encode buffer, reused across sends: steady-state sends
+    // encode into warm capacity and allocate nothing. Batched sends stack
+    // several frames here before the single write.
+    scratch: Vec<u8>,
 }
 
 /// Socket-backed transport endpoint. Build whole in-process clusters with
@@ -177,7 +181,8 @@ pub struct SocketTransport {
     // Writer side per peer; None at our own index.
     peers: Vec<Mutex<Option<PeerTx>>>,
     // Loopback: self-sends decode locally, same discipline as the wire.
-    self_rx: Mutex<(FrameDecoder, u64)>,
+    // The Vec is the reused loopback encode buffer.
+    self_rx: Mutex<(FrameDecoder, u64, Vec<u8>)>,
     events: Arc<BlockingQueue<Result<Envelope, TransportError>>>,
     closing: Arc<AtomicBool>,
 }
@@ -284,7 +289,14 @@ impl SocketTransport {
                 .enumerate()
                 .map(|(pe, listener)| s.spawn(move || connect(pe as u32, listener)))
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(TransportError::Io("mesh connect thread panicked".into()))
+                    })
+                })
+                .collect()
         });
         results
             .into_iter()
@@ -357,7 +369,13 @@ impl SocketTransport {
             // fd is nonblocking for the poller sweep (writes compensate via
             // `write_all_nb`).
             reader.set_nonblocking(true)?;
-            *peers[q as usize].get_mut().unwrap() = Some(PeerTx { conn, next_seq: 0 });
+            *peers[q as usize]
+                .get_mut()
+                .unwrap_or_else(|e| e.into_inner()) = Some(PeerTx {
+                conn,
+                next_seq: 0,
+                scratch: Vec::new(),
+            });
             pollers.push(PollerConn {
                 from: q,
                 conn: reader,
@@ -373,14 +391,14 @@ impl SocketTransport {
             thread::Builder::new()
                 .name(format!("dse-poll-{pe}"))
                 .spawn(move || poller_loop(pollers, events, closing))
-                .expect("spawn poller thread");
+                .map_err(|e| TransportError::Io(format!("spawn poller thread: {e}")))?;
         }
         Ok(SocketTransport {
             pe,
             npes,
             kind,
             peers,
-            self_rx: Mutex::new((FrameDecoder::new(), 0)),
+            self_rx: Mutex::new((FrameDecoder::new(), 0, Vec::new())),
             events,
             closing,
         })
@@ -398,8 +416,10 @@ impl SocketTransport {
         if to == self.pe {
             // Own-node fast path still runs the frame codec end to end.
             let mut g = self.self_rx.lock().unwrap_or_else(|e| e.into_inner());
-            let (dec, seq) = &mut *g;
-            dec.push(&encode_frame_ctx(*seq, msg, ctx));
+            let (dec, seq, scratch) = &mut *g;
+            scratch.clear();
+            encode_frame_ctx_into(scratch, *seq, msg, ctx);
+            dec.push(scratch);
             *seq += 1;
             while let Some(ev) = dec.next_frame()? {
                 if let FrameEvent::Msg { seq, msg, ctx } = ev {
@@ -417,10 +437,37 @@ impl SocketTransport {
             .lock()
             .unwrap_or_else(|e| e.into_inner());
         let peer = g.as_mut().ok_or(TransportError::PeerDropped { peer: to })?;
-        let frame = encode_frame_ctx(peer.next_seq, msg, ctx);
+        peer.scratch.clear();
+        encode_frame_ctx_into(&mut peer.scratch, peer.next_seq, msg, ctx);
         peer.next_seq += 1;
-        if let Err(e) = write_all_nb(&mut peer.conn, &frame) {
-            peer.conn.shutdown_both();
+        let PeerTx { conn, scratch, .. } = peer;
+        if let Err(e) = write_all_nb(conn, scratch) {
+            conn.shutdown_both();
+            *g = None;
+            return Err(TransportError::Io(e.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Batched remote send: every frame is encoded back-to-back into the
+    /// peer's scratch buffer and shipped with a single write.
+    fn send_batch_impl(
+        &self,
+        to: u32,
+        msgs: &[(Message, Option<TraceCtx>)],
+    ) -> Result<(), TransportError> {
+        let mut g = self.peers[to as usize]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let peer = g.as_mut().ok_or(TransportError::PeerDropped { peer: to })?;
+        peer.scratch.clear();
+        for (msg, ctx) in msgs {
+            encode_frame_ctx_into(&mut peer.scratch, peer.next_seq, msg, *ctx);
+            peer.next_seq += 1;
+        }
+        let PeerTx { conn, scratch, .. } = peer;
+        if let Err(e) = write_all_nb(conn, scratch) {
+            conn.shutdown_both();
             *g = None;
             return Err(TransportError::Io(e.to_string()));
         }
@@ -544,6 +591,24 @@ impl Transport for SocketTransport {
         self.send_impl(to, msg, Some(ctx))
     }
 
+    fn send_batch(
+        &self,
+        to: u32,
+        msgs: &[(Message, Option<TraceCtx>)],
+    ) -> Result<(), TransportError> {
+        if to >= self.npes {
+            return Err(TransportError::NoSuchPeer { peer: to });
+        }
+        if to == self.pe {
+            // Loopback has no syscall to coalesce; deliver one by one.
+            for (msg, ctx) in msgs {
+                self.send_impl(to, msg, *ctx)?;
+            }
+            return Ok(());
+        }
+        self.send_batch_impl(to, msgs)
+    }
+
     fn recv(&self, timeout: Option<Duration>) -> Result<Option<Envelope>, TransportError> {
         match self.events.pop(timeout) {
             Pop::Item(Ok(env)) => Ok(Some(env)),
@@ -638,7 +703,10 @@ mod tests {
             req: ReqId(1),
             region: RegionId(0),
             offset: 0,
-            data: (0..1_048_576u32).map(|i| i as u8).collect(),
+            data: (0..1_048_576u32)
+                .map(|i| i as u8)
+                .collect::<Vec<u8>>()
+                .into(),
         };
         cluster[0].send(1, &big).unwrap();
         let env = cluster[1]
@@ -646,6 +714,32 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(env.msg, big);
+    }
+
+    #[test]
+    fn batched_send_is_indistinguishable_on_the_receiver() {
+        let cluster = SocketTransport::tcp_cluster(2).unwrap();
+        let ctx = TraceCtx {
+            trace: 10,
+            parent: 20,
+        };
+        let batch: Vec<(Message, Option<TraceCtx>)> = vec![
+            (msg(0), None),
+            (msg(1), Some(ctx)),
+            (msg(2), None),
+            (msg(3), None),
+        ];
+        cluster[0].send_batch(1, &batch).unwrap();
+        cluster[0].send(1, &msg(4)).unwrap(); // seq continues after the batch
+        for i in 0..5u64 {
+            let env = cluster[1]
+                .recv(Some(Duration::from_secs(5)))
+                .unwrap()
+                .unwrap();
+            assert_eq!(env.seq, i);
+            assert_eq!(env.msg, msg(i));
+            assert_eq!(env.ctx, if i == 1 { Some(ctx) } else { None });
+        }
     }
 
     #[cfg(unix)]
